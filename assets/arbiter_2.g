@@ -1,0 +1,16 @@
+.model arbiter
+.inputs r0 r1
+.outputs g0 g1
+.graph
+r0+ g0+
+g0+ r0-
+r0- g0-
+g0- mutex r0+
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- mutex r1+
+mutex g0+ g1+
+.marking { mutex <g0-,r0+> <g1-,r1+> }
+.initial_state 0000
+.end

@@ -1,0 +1,27 @@
+.model cf-sym
+.outputs x0_0 x0_1 x0_2 x1_0 x1_1 x1_2 x2_0 x2_1 x2_2
+.internal s
+.graph
+s+ x0_0- x1_0- x2_0-
+s- x0_0+ x1_0+ x2_0+
+x0_0+ x0_1+
+x0_1+ x0_2+
+x0_2+ s+
+x0_0- x0_1-
+x0_1- x0_2-
+x0_2- s-
+x1_0+ x1_1+
+x1_1+ x1_2+
+x1_2+ s+
+x1_0- x1_1-
+x1_1- x1_2-
+x1_2- s-
+x2_0+ x2_1+
+x2_1+ x2_2+
+x2_2+ s+
+x2_0- x2_1-
+x2_1- x2_2-
+x2_2- s-
+.marking { <s-,x0_0+> <s-,x1_0+> <s-,x2_0+> }
+.initial_state 0000000000
+.end

@@ -1,0 +1,19 @@
+.model dup
+.inputs r v0 v1
+.outputs a t0 t1
+.graph
+r+ t0+ t1+
+r- t0- t1- a-
+a+ r-
+a- r+
+t0+ v0+
+t0- v0-
+v0+ a+
+v0- t0+
+t1+ v1+
+t1- v1-
+v1+ a+
+v1- t1+
+.marking { <v0-,t0+> <v1-,t1+> <a-,r+> }
+.initial_state 000000
+.end

@@ -1,0 +1,22 @@
+.model dup
+.inputs r v0 v1
+.outputs a t0 t1
+.internal csc
+.graph
+r+ csc+
+r- csc-
+a+ r-
+a- r+
+csc+ t0+ t1+
+csc- t0- t1- a-
+t0+ v0+
+t0- v0-
+v0+ a+
+v0- csc+
+t1+ v1+
+t1- v1-
+v1+ a+
+v1- csc+
+.marking { <v0-,csc+> <v1-,csc+> <a-,r+> }
+.initial_state 0000000
+.end

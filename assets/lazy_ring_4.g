@@ -1,0 +1,23 @@
+.model lazy-ring
+.inputs d0 d1 d2 d3
+.outputs c0 c1 c2 c3
+.graph
+c0+ d0+
+d0+ c0-
+c0- d0-
+d0- c1+
+c1+ d1+
+d1+ c1-
+c1- d1-
+d1- c2+
+c2+ d2+
+d2+ c2-
+c2- d2-
+d2- c3+
+c3+ d3+
+d3+ c3-
+c3- d3-
+d3- c0+
+.marking { <d3-,c0+> }
+.initial_state 00000000
+.end

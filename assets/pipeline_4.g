@@ -1,0 +1,17 @@
+.model pipeline
+.inputs s0
+.outputs s1 s2 s3 s4
+.graph
+s0+ s1+
+s1+ s0- s2+
+s2+ s1- s3+
+s3+ s2- s4+
+s4+ s3- s4-
+s0- s1-
+s1- s0+ s2-
+s2- s1+ s3-
+s3- s2+ s4-
+s4- s3+
+.marking { <s1-,s0+> <s2-,s1+> <s3-,s2+> <s4-,s3+> }
+.initial_state 00000
+.end

@@ -1,0 +1,28 @@
+.model vme-master
+.inputs dsr dsw ldtack
+.outputs dtack lds d
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+dtack- lds-
+lds- ldtack-
+ldtack- idle
+dsw+ d+/2
+d+/2 lds+/2
+lds+/2 ldtack+/2
+ldtack+/2 d-/2
+d-/2 dtack+/2
+dtack+/2 dsw-
+dsw- dtack-/2
+dtack-/2 lds-/2
+lds-/2 ldtack-/2
+ldtack-/2 idle
+idle dsr+ dsw+
+.marking { idle }
+.initial_state 000000
+.end

@@ -1,0 +1,18 @@
+# VME bus controller, read cycle (paper Fig. 1a).
+# Signal order: dsr dtack lds ldtack d.
+.model vme_read
+.inputs dsr ldtack
+.outputs dtack lds d
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack- lds-
+lds- ldtack-
+ldtack- lds+
+dtack- dsr+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end

@@ -1,0 +1,20 @@
+.model vme-csc
+.inputs dsr ldtack
+.outputs dtack lds d
+.internal csc
+.graph
+dsr+ csc+
+dsr- csc-
+dtack+ dsr-
+dtack- dsr+
+lds+ ldtack+
+lds- ldtack-
+ldtack+ d+
+ldtack- csc+
+d+ dtack+
+d- dtack- lds-
+csc+ lds+
+csc- d-
+.marking { <ldtack-,csc+> <dtack-,dsr+> }
+.initial_state 000000
+.end

@@ -1,0 +1,33 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! A from-scratch BDD package — the substrate for the Petrify-style
+//! symbolic baseline (the `Pfy` column of the paper's Table 1 is a
+//! BDD-based tool). Features: hash-consed unique table, ITE with a
+//! computed cache, boolean connectives, existential/universal
+//! quantification, monotone variable renaming, restriction,
+//! satisfying-assignment extraction and model counting.
+//!
+//! Nodes live in a [`Bdd`] manager and are referenced by [`NodeId`];
+//! the manager grows monotonically (no garbage collection — the
+//! symbolic reachability workloads here are bounded and short-lived).
+//!
+//! # Examples
+//!
+//! ```
+//! use bdd::Bdd;
+//!
+//! let mut m = Bdd::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let xor = m.xor(x, y);
+//! assert!(m.eval(xor, &|v| v == 0));
+//! assert!(!m.eval(xor, &|_| true));
+//! assert_eq!(m.sat_count(xor, 2), 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod manager;
+mod ops;
+
+pub use manager::{Bdd, NodeId};

@@ -1,0 +1,206 @@
+//! The node manager: unique table and ITE core.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reference to a BDD node inside a [`Bdd`] manager.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant `false` function.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant `true` function.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Whether this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => write!(f, "⊥"),
+            NodeId::TRUE => write!(f, "⊤"),
+            NodeId(n) => write!(f, "n{n}"),
+        }
+    }
+}
+
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Node {
+    pub var: u32,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+/// A BDD manager: owns the node store and operation caches.
+///
+/// Variables are `u32` indices ordered numerically (smaller = closer
+/// to the root).
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    pub(crate) nodes: Vec<Node>,
+    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bdd {
+    /// Creates an empty manager (containing only the terminals).
+    pub fn new() -> Self {
+        Bdd {
+            nodes: vec![
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: NodeId::FALSE,
+                    hi: NodeId::FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: NodeId::TRUE,
+                    hi: NodeId::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    /// The variable a node tests (`None` for terminals).
+    pub fn node_var(&self, id: NodeId) -> Option<u32> {
+        let v = self.node(id).var;
+        (v != TERMINAL_VAR).then_some(v)
+    }
+
+    /// Hash-consed node constructor (the "mk" operation).
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The function of a single positive literal.
+    pub fn var(&mut self, v: u32) -> NodeId {
+        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// The function of a single negative literal.
+    pub fn nvar(&mut self, v: u32) -> NodeId {
+        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)` — the workhorse all binary
+    /// connectives reduce to.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f == NodeId::TRUE {
+            return g;
+        }
+        if f == NodeId::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == NodeId::TRUE && h == NodeId::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = [f, g, h]
+            .into_iter()
+            .map(|n| self.node(n).var)
+            .min()
+            .expect("non-empty");
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(top, lo, hi);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    pub(crate) fn cofactors(&self, f: NodeId, var: u32) -> (NodeId, NodeId) {
+        let n = self.node(f);
+        if n.var == var {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_literals() {
+        let mut m = Bdd::new();
+        assert_eq!(m.num_nodes(), 2);
+        let x = m.var(3);
+        assert_eq!(m.node_var(x), Some(3));
+        assert_eq!(m.node_var(NodeId::TRUE), None);
+        // Hash-consing: same literal, same node.
+        assert_eq!(m.var(3), x);
+        let nx = m.nvar(3);
+        assert_ne!(nx, x);
+    }
+
+    #[test]
+    fn ite_reductions() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        assert_eq!(m.ite(NodeId::TRUE, x, y), x);
+        assert_eq!(m.ite(NodeId::FALSE, x, y), y);
+        assert_eq!(m.ite(x, y, y), y);
+        assert_eq!(m.ite(x, NodeId::TRUE, NodeId::FALSE), x);
+    }
+
+    #[test]
+    fn mk_eliminates_redundant_tests() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        assert_eq!(m.mk(1, x, x), x);
+    }
+
+    #[test]
+    fn ordering_is_respected() {
+        let mut m = Bdd::new();
+        let y = m.var(5);
+        let x = m.var(2);
+        let f = m.ite(x, y, NodeId::FALSE); // x ∧ y
+        assert_eq!(m.node_var(f), Some(2));
+        let n = m.node(f);
+        assert_eq!(m.node_var(n.hi), Some(5));
+    }
+}

@@ -1,0 +1,341 @@
+//! Boolean connectives, quantification, renaming and model queries.
+
+use std::collections::HashMap;
+
+use crate::manager::{Bdd, NodeId, TERMINAL_VAR};
+
+impl Bdd {
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, NodeId::TRUE, g)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Biconditional (`f ↔ g`).
+    pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication (`f → g`).
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite(f, g, NodeId::TRUE)
+    }
+
+    /// Conjunction of many functions.
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
+        fs.into_iter()
+            .fold(NodeId::TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// Disjunction of many functions.
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
+        fs.into_iter()
+            .fold(NodeId::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    /// Restriction `f[var := value]`.
+    pub fn restrict(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, var, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeId,
+        var: u32,
+        value: bool,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        let n = self.node(f);
+        if n.var > var {
+            // Past the variable (or terminal): unchanged.
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let r = if n.var == var {
+            if value {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.restrict_rec(n.lo, var, value, memo);
+            let hi = self.restrict_rec(n.hi, var, value, memo);
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification over a set of variables
+    /// (`∃ vars. f`). `vars` must be sorted ascending.
+    pub fn exists(&mut self, f: NodeId, vars: &[u32]) -> NodeId {
+        let mut memo = HashMap::new();
+        self.exists_rec(f, vars, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        f: NodeId,
+        vars: &[u32],
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        let n = self.node(f);
+        if n.var == TERMINAL_VAR {
+            return f;
+        }
+        // Drop quantified variables above the node's top variable.
+        let pos = vars.partition_point(|&v| v < n.var);
+        let vars = &vars[pos..];
+        if vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let lo = self.exists_rec(n.lo, vars, memo);
+        let hi = self.exists_rec(n.hi, vars, memo);
+        let r = if vars.first() == Some(&n.var) {
+            self.or(lo, hi)
+        } else {
+            self.mk(n.var, lo, hi)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Universal quantification (`∀ vars. f`).
+    pub fn forall(&mut self, f: NodeId, vars: &[u32]) -> NodeId {
+        let nf = self.not(f);
+        let e = self.exists(nf, vars);
+        self.not(e)
+    }
+
+    /// Renames variables through a *strictly increasing-compatible*
+    /// map (i.e. `a < b ⟹ map(a) < map(b)` on the variables actually
+    /// occurring in `f`), preserving the ordering invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if the map is not monotone on the
+    /// encountered variables.
+    pub fn rename_monotone(&mut self, f: NodeId, map: &dyn Fn(u32) -> u32) -> NodeId {
+        let mut memo = HashMap::new();
+        self.rename_rec(f, map, &mut memo)
+    }
+
+    fn rename_rec(
+        &mut self,
+        f: NodeId,
+        map: &dyn Fn(u32) -> u32,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.rename_rec(n.lo, map, memo);
+        let hi = self.rename_rec(n.hi, map, memo);
+        let nv = map(n.var);
+        debug_assert!(
+            self.node(lo).var > nv && self.node(hi).var > nv,
+            "rename map must be monotone"
+        );
+        let r = self.mk(nv, lo, hi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Evaluates `f` under a total assignment.
+    pub fn eval(&self, f: NodeId, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                NodeId::FALSE => return false,
+                NodeId::TRUE => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment(n.var) { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of satisfying assignments over `num_vars` variables
+    /// `0..num_vars` (as `f64`; exact for counts below 2⁵³).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if `f` tests a variable `≥ num_vars`.
+    pub fn sat_count(&self, f: NodeId, num_vars: u32) -> f64 {
+        // c(f) = models of f over variables var(f)..num_vars-1, with
+        // var(terminal) treated as num_vars.
+        fn effective_var(bdd: &Bdd, f: NodeId, num_vars: u32) -> u32 {
+            if f.is_terminal() {
+                num_vars
+            } else {
+                bdd.node(f).var
+            }
+        }
+        fn rec(bdd: &Bdd, f: NodeId, num_vars: u32, memo: &mut HashMap<NodeId, f64>) -> f64 {
+            match f {
+                NodeId::FALSE => 0.0,
+                NodeId::TRUE => 1.0,
+                _ => {
+                    if let Some(&c) = memo.get(&f) {
+                        return c;
+                    }
+                    let n = bdd.node(f);
+                    debug_assert!(n.var < num_vars, "variable outside the counting range");
+                    let lo_gap = effective_var(bdd, n.lo, num_vars) - n.var - 1;
+                    let hi_gap = effective_var(bdd, n.hi, num_vars) - n.var - 1;
+                    let c = rec(bdd, n.lo, num_vars, memo) * 2f64.powi(lo_gap as i32)
+                        + rec(bdd, n.hi, num_vars, memo) * 2f64.powi(hi_gap as i32);
+                    memo.insert(f, c);
+                    c
+                }
+            }
+        }
+        let mut memo = HashMap::new();
+        let root_gap = effective_var(self, f, num_vars);
+        rec(self, f, num_vars, &mut memo) * 2f64.powi(root_gap as i32)
+    }
+
+    /// One satisfying assignment as `(var, value)` pairs for the
+    /// variables on the chosen path (unlisted variables are don't-
+    /// cares), or `None` if unsatisfiable.
+    pub fn any_sat(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
+        if f == NodeId::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while cur != NodeId::TRUE {
+            let n = self.node(cur);
+            if n.hi != NodeId::FALSE {
+                path.push((n.var, true));
+                cur = n.hi;
+            } else {
+                path.push((n.var, false));
+                cur = n.lo;
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let and = m.and(x, y);
+        let or = m.or(x, y);
+        let xor = m.xor(x, y);
+        let iff = m.iff(x, y);
+        let imp = m.implies(x, y);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let env = |v: u32| if v == 0 { a } else { b };
+            assert_eq!(m.eval(and, &env), a && b);
+            assert_eq!(m.eval(or, &env), a || b);
+            assert_eq!(m.eval(xor, &env), a ^ b);
+            assert_eq!(m.eval(iff, &env), a == b);
+            assert_eq!(m.eval(imp, &env), !a || b);
+        }
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let and = m.and(x, y);
+        // ∃x. x∧y = y ; ∀x. x∧y = ⊥ ; ∃x∃y. x∧y = ⊤.
+        assert_eq!(m.exists(and, &[0]), y);
+        assert_eq!(m.forall(and, &[0]), NodeId::FALSE);
+        assert_eq!(m.exists(and, &[0, 1]), NodeId::TRUE);
+        let or = m.or(x, y);
+        assert_eq!(m.forall(or, &[0]), y);
+    }
+
+    #[test]
+    fn restriction() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let f1 = m.restrict(f, 0, true);
+        let ny = m.not(y);
+        assert_eq!(f1, ny);
+        assert_eq!(m.restrict(f, 0, false), y);
+        assert_eq!(m.restrict(y, 0, true), y);
+    }
+
+    #[test]
+    fn renaming_shifts_variables() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(2);
+        let f = m.and(x, y);
+        let g = m.rename_monotone(f, &|v| v + 1);
+        let x1 = m.var(1);
+        let y3 = m.var(3);
+        let expect = m.and(x1, y3);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn sat_counts() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        assert_eq!(m.sat_count(NodeId::TRUE, 3), 8.0);
+        assert_eq!(m.sat_count(NodeId::FALSE, 3), 0.0);
+        assert_eq!(m.sat_count(x, 3), 4.0);
+        let and = m.and(x, z); // skips variable 1
+        assert_eq!(m.sat_count(and, 3), 2.0);
+        let or3 = m.or_all([x, y, z]);
+        assert_eq!(m.sat_count(or3, 3), 7.0);
+        let xor = m.xor(y, z); // root at var 1
+        assert_eq!(m.sat_count(xor, 3), 4.0);
+    }
+
+    #[test]
+    fn any_sat_paths_satisfy() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let ny = m.nvar(1);
+        let f = m.and(x, ny);
+        let sat = m.any_sat(f).unwrap();
+        assert!(sat.contains(&(0, true)));
+        assert!(sat.contains(&(1, false)));
+        assert_eq!(m.any_sat(NodeId::FALSE), None);
+        assert_eq!(m.any_sat(NodeId::TRUE), Some(vec![]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the BDD package against a brute-force
+//! truth-table oracle.
+
+use bdd::{Bdd, NodeId};
+use proptest::prelude::*;
+
+/// A random boolean expression over variables 0..NVARS.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 5;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+        ]
+    })
+}
+
+fn build(m: &mut Bdd, e: &Expr) -> NodeId {
+    match e {
+        Expr::Var(v) => m.var(*v),
+        Expr::Not(a) => {
+            let fa = build(m, a);
+            m.not(fa)
+        }
+        Expr::And(a, b) => {
+            let (fa, fb) = (build(m, a), build(m, b));
+            m.and(fa, fb)
+        }
+        Expr::Or(a, b) => {
+            let (fa, fb) = (build(m, a), build(m, b));
+            m.or(fa, fb)
+        }
+        Expr::Xor(a, b) => {
+            let (fa, fb) = (build(m, a), build(m, b));
+            m.xor(fa, fb)
+        }
+        Expr::Ite(a, b, c) => {
+            let (fa, fb, fc) = (build(m, a), build(m, b), build(m, c));
+            m.ite(fa, fb, fc)
+        }
+    }
+}
+
+fn truth(e: &Expr, env: u32) -> bool {
+    match e {
+        Expr::Var(v) => env & (1 << v) != 0,
+        Expr::Not(a) => !truth(a, env),
+        Expr::And(a, b) => truth(a, env) && truth(b, env),
+        Expr::Or(a, b) => truth(a, env) || truth(b, env),
+        Expr::Xor(a, b) => truth(a, env) ^ truth(b, env),
+        Expr::Ite(a, b, c) => {
+            if truth(a, env) {
+                truth(b, env)
+            } else {
+                truth(c, env)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        for env in 0..(1u32 << NVARS) {
+            let bit = |v: u32| env & (1 << v) != 0;
+            prop_assert_eq!(m.eval(f, &bit), truth(&e, env));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let expected = (0..(1u32 << NVARS)).filter(|&env| truth(&e, env)).count();
+        prop_assert_eq!(m.sat_count(f, NVARS), expected as f64);
+    }
+
+    #[test]
+    fn any_sat_is_a_model(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        match m.any_sat(f) {
+            None => prop_assert_eq!(f, NodeId::FALSE),
+            Some(path) => {
+                // Fill don't-cares with false.
+                let env: u32 = path
+                    .iter()
+                    .filter(|&&(_, b)| b)
+                    .map(|&(v, _)| 1u32 << v)
+                    .sum();
+                prop_assert!(truth(&e, env));
+            }
+        }
+    }
+
+    #[test]
+    fn quantification_laws(e in arb_expr(), v in 0..NVARS) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        // ∃v.f = f[v:=0] ∨ f[v:=1], ∀v.f = f[v:=0] ∧ f[v:=1].
+        let f0 = m.restrict(f, v, false);
+        let f1 = m.restrict(f, v, true);
+        let or = m.or(f0, f1);
+        let and = m.and(f0, f1);
+        prop_assert_eq!(m.exists(f, &[v]), or);
+        prop_assert_eq!(m.forall(f, &[v]), and);
+    }
+
+    #[test]
+    fn double_negation_and_canonicity(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let nf = m.not(f);
+        prop_assert_eq!(m.not(nf), f, "hash-consing gives canonical nodes");
+        let self_xor = m.xor(f, f);
+        prop_assert_eq!(self_xor, NodeId::FALSE);
+        let self_iff = m.iff(f, f);
+        prop_assert_eq!(self_iff, NodeId::TRUE);
+    }
+
+    #[test]
+    fn rename_shift_preserves_semantics(e in arb_expr(), shift in 1u32..4) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        let g = m.rename_monotone(f, &|v| v + shift);
+        for env in 0..(1u32 << NVARS) {
+            let shifted = |v: u32| v >= shift && (env & (1 << (v - shift))) != 0;
+            prop_assert_eq!(m.eval(g, &shifted), truth(&e, env));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * closure propagation vs explicit compatibility constraints (the
+//!   paper's motivation: generic IP solvers "need too much time");
+//! * the §7 conflict-free subset optimisation on/off;
+//! * McMillan vs ERV adequate order (prefix size/time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use csc_core::{Checker, CheckerOptions};
+use stg::gen::counterflow::counterflow_sym;
+use stg::gen::vme::vme_read;
+use unfolding::{OrderStrategy, Prefix, UnfoldOptions};
+
+fn bench_closure_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_closure");
+    group.sample_size(10);
+    let stg = vme_read();
+    group.bench_function("with_closure", |b| {
+        b.iter(|| {
+            let checker = Checker::new(black_box(&stg)).expect("checks");
+            black_box(checker.check_csc().expect("completes"))
+        })
+    });
+    group.bench_function("generic_ip", |b| {
+        b.iter(|| {
+            let mut options = CheckerOptions::default();
+            options.solver.use_closure = false;
+            options.compatibility_constraints = true;
+            let checker = Checker::with_options(black_box(&stg), options).expect("checks");
+            black_box(checker.check_csc().expect("completes"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_conflict_free_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cf_opt");
+    group.sample_size(10);
+    // A conflict-free (marked-graph-like) model where Prop. 1 applies:
+    // absence proofs must exhaust the space, so the restriction to
+    // ordered pairs matters most here.
+    let stg = counterflow_sym(2, 3);
+    for (label, cf_opt) in [("subset_pairs", true), ("all_pairs", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let options = CheckerOptions {
+                    conflict_free_optimisation: cf_opt,
+                    ..Default::default()
+                };
+                let checker = Checker::with_options(black_box(&stg), options).expect("checks");
+                black_box(checker.check_csc().expect("completes"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_order");
+    group.sample_size(10);
+    let stg = counterflow_sym(3, 3);
+    for (label, order) in [
+        ("erv_total", OrderStrategy::ErvTotal),
+        ("mcmillan", OrderStrategy::McMillan),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let options = UnfoldOptions {
+                    order,
+                    ..Default::default()
+                };
+                black_box(Prefix::of_stg(black_box(&stg), options).expect("unfolds"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closure_ablation,
+    bench_conflict_free_ablation,
+    bench_order_ablation
+);
+criterion_main!(benches);

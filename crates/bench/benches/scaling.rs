@@ -1,0 +1,35 @@
+//! Scalability benches: Muller pipelines of growing depth, comparing
+//! prefix construction + IP check against explicit state-graph
+//! analysis (whose cost tracks the exponential state count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use csc_core::Checker;
+use stg::gen::pipeline::muller_pipeline;
+use stg::StateGraph;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        let stg = muller_pipeline(n);
+        group.bench_with_input(BenchmarkId::new("unfolding_ilp", n), &stg, |b, stg| {
+            b.iter(|| {
+                let checker = Checker::new(black_box(stg)).expect("pipeline checks");
+                black_box(checker.check_csc().expect("search completes"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("explicit_sg", n), &stg, |b, stg| {
+            b.iter(|| {
+                let sg = StateGraph::build(black_box(stg), Default::default())
+                    .expect("pipeline explores");
+                black_box(sg.csc_conflict_pairs(stg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Benches for the downstream synthesis steps: automatic CSC
+//! resolution (step b) and next-state function derivation (step c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use resolve::{resolve_csc, ResolverOptions};
+use stg::gen::duplex::dup_4ph;
+use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+use synth::NextStateFunctions;
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolution");
+    group.sample_size(10);
+    for (label, stg) in [("vme", vme_read()), ("dup_4ph_1", dup_4ph(1, false))] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(resolve_csc(black_box(&stg), ResolverOptions::default()).expect("runs"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_equation_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equations");
+    group.sample_size(20);
+    let stg = vme_read_csc_resolved();
+    group.bench_function("vme_resolved", |b| {
+        b.iter(|| {
+            let mut fns =
+                NextStateFunctions::derive(black_box(&stg), Default::default()).expect("derives");
+            let signals: Vec<_> = fns.signals().collect();
+            for z in signals {
+                black_box(fns.equation(z));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution, bench_equation_derivation);
+criterion_main!(benches);

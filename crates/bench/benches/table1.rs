@@ -1,0 +1,46 @@
+//! Criterion benches for the Table 1 rows: per model, the unfolding +
+//! IP CSC check (`clp`) against the symbolic all-conflicts baseline
+//! (`pfy`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench_harness::models;
+use csc_core::Checker;
+use symbolic::SymbolicChecker;
+
+/// Models cheap enough for the repeated-sampling symbolic baseline;
+/// the `table1` binary still times the full roster once per run.
+const PFY_BENCH_MODELS: [&str; 5] = [
+    "LAZYRING",
+    "DUP-4PH-A",
+    "DUP-4PH-B",
+    "DUP-MOD-A",
+    "CF-SYM-A-CSC",
+];
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for model in models() {
+        let stg = &model.stg;
+        group.bench_function(format!("clp/{}", model.name), |b| {
+            b.iter(|| {
+                let checker = Checker::new(black_box(stg)).expect("model checks");
+                black_box(checker.check_csc().expect("search completes"))
+            })
+        });
+        if PFY_BENCH_MODELS.contains(&model.name) {
+            group.bench_function(format!("pfy/{}", model.name), |b| {
+                b.iter(|| {
+                    let mut sym = SymbolicChecker::new(black_box(stg));
+                    black_box(sym.analyse())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

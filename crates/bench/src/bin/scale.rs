@@ -1,0 +1,61 @@
+//! The scalability sweep ("figure" series): pipeline stages vs
+//! explicit state count, prefix size, and check times for the
+//! explicit and unfolding engines. Demonstrates the paper's core
+//! claim — the state space grows exponentially while the prefix and
+//! the IP check grow polynomially.
+//!
+//! Usage: `cargo run --release -p bench-harness --bin scale
+//! [-- --max N] [-- --json PATH]`
+
+use std::env;
+use std::fs;
+
+use bench_harness::{run_scale, run_scale_counterflow};
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let max: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--max")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(8);
+    let json_path = args
+        .windows(2)
+        .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone());
+    let counterflow = args.iter().any(|a| a == "--counterflow");
+
+    let stages: Vec<usize> = (1..=max).collect();
+    let points = if counterflow {
+        run_scale_counterflow(&stages, 2, 2_000_000)
+    } else {
+        run_scale(&stages, 2_000_000)
+    };
+
+    println!(
+        "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12}",
+        "n", "states", "|E|", "|B|", "explicit[ms]", "CLP[ms]"
+    );
+    println!("{}", "-".repeat(62));
+    for p in &points {
+        println!(
+            "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12.2}",
+            p.n,
+            p.states
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| ">cap".to_owned()),
+            p.events,
+            p.conditions,
+            p.explicit_ms
+                .map(|t| format!("{t:.2}"))
+                .unwrap_or_else(|| "skip".to_owned()),
+            p.clp_ms,
+        );
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&points).expect("points serialise");
+        fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

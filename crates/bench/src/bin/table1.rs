@@ -1,0 +1,53 @@
+//! Regenerates Table 1 of the paper: structural statistics of every
+//! benchmark STG and its prefix, plus the timing comparison between
+//! the symbolic all-conflicts baseline (`Pfy`) and the unfolding +
+//! integer-programming checker (`CLP`).
+//!
+//! Usage: `cargo run --release -p bench-harness --bin table1
+//! [-- --json PATH]`
+
+use std::env;
+use std::fs;
+
+use bench_harness::{format_table, models, run_row};
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let json_path = args
+        .windows(2)
+        .find(|w| w[0] == "--json")
+        .map(|w| w[1].clone());
+
+    eprintln!("regenerating Table 1 ({} models)...", models().len());
+    let mut rows = Vec::new();
+    for model in models() {
+        eprintln!("  {}", model.name);
+        rows.push(run_row(&model));
+    }
+    print!("{}", format_table(&rows));
+    println!();
+    println!(
+        "shape check: conflict-present rows solved by CLP in ≤ {:.2} ms,",
+        rows.iter()
+            .filter(|r| !r.csc)
+            .map(|r| r.clp_ms)
+            .fold(0.0f64, f64::max)
+    );
+    println!(
+        "conflict-free rows need exhaustive search (max {:.2} ms).",
+        rows.iter()
+            .filter(|r| r.csc)
+            .map(|r| r.clp_ms)
+            .fold(0.0f64, f64::max)
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
+        fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+    if rows.iter().any(|r| !r.verdicts_ok) {
+        eprintln!("WARNING: verdict mismatch in some rows");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Benchmark harness regenerating the paper's evaluation.
+//!
+//! The roster in [`models`] mirrors the 15 rows of Table 1 (DATE
+//! 2002): ring protocol adapters, duplex channel controllers and
+//! counterflow pipeline controllers, rebuilt parametrically (see
+//! DESIGN.md §2 for the substitution rationale). For every model the
+//! harness reports the paper's columns:
+//!
+//! `|S| |T| |Z|` of the STG, `|B| |E| |E_cut|` of its complete
+//! prefix, the time of the BDD-based all-conflicts baseline (the
+//! paper's `Pfy` column) and the time of the unfolding + integer
+//! programming checker (`CLP`).
+//!
+//! Binaries:
+//!
+//! * `table1` — prints the table and writes `table1.json`;
+//! * `scale`  — the scalability sweep (pipeline width vs state count,
+//!   prefix size, engine times).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use csc_core::{CheckOutcome, Checker};
+use serde::{Deserialize, Serialize};
+use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
+use stg::gen::duplex::{dup_4ph, dup_mod};
+use stg::gen::pipeline::muller_pipeline;
+use stg::gen::ring::{eager_ring, lazy_ring};
+use stg::Stg;
+use symbolic::SymbolicChecker;
+use unfolding::{Prefix, UnfoldOptions};
+
+/// A named benchmark instance.
+pub struct BenchModel {
+    /// Row name, following the paper's Table 1.
+    pub name: &'static str,
+    /// The generated STG.
+    pub stg: Stg,
+    /// Expected CSC verdict (`true` = satisfies CSC), used as a
+    /// sanity check; the harness re-derives it and flags mismatches.
+    pub expect_csc: bool,
+}
+
+/// The Table 1 roster. The paper's exact STG files are not archived;
+/// the parameters below size each family into the same structural
+/// regime (see DESIGN.md). The top half contains coding conflicts,
+/// the bottom (CF-*-CSC) half is conflict-free.
+pub fn models() -> Vec<BenchModel> {
+    vec![
+        BenchModel {
+            name: "LAZYRING",
+            stg: lazy_ring(4),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "RING",
+            stg: eager_ring(4),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-4PH-A",
+            stg: dup_4ph(1, false),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-4PH-B",
+            stg: dup_4ph(2, false),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-4PH-MTR-A",
+            stg: dup_4ph(3, false),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-4PH-MTR-B",
+            stg: dup_4ph(4, false),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-MOD-A",
+            stg: dup_mod(2),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-MOD-B",
+            stg: dup_mod(4),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "DUP-MOD-C",
+            stg: dup_mod(6),
+            expect_csc: false,
+        },
+        BenchModel {
+            name: "CF-SYM-A-CSC",
+            stg: counterflow_sym(2, 3),
+            expect_csc: true,
+        },
+        BenchModel {
+            name: "CF-SYM-B-CSC",
+            stg: counterflow_sym(3, 3),
+            expect_csc: true,
+        },
+        BenchModel {
+            name: "CF-SYM-C-CSC",
+            stg: counterflow_sym(2, 5),
+            expect_csc: true,
+        },
+        BenchModel {
+            name: "CF-SYM-D-CSC",
+            stg: counterflow_sym(4, 2),
+            expect_csc: true,
+        },
+        BenchModel {
+            name: "CF-ASYM-A-CSC",
+            stg: counterflow_asym(3, 2),
+            expect_csc: true,
+        },
+        BenchModel {
+            name: "CF-ASYM-B-CSC",
+            stg: counterflow_asym(4, 2),
+            expect_csc: true,
+        },
+    ]
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Model name.
+    pub name: String,
+    /// Places of the STG.
+    pub s: usize,
+    /// Transitions of the STG.
+    pub t: usize,
+    /// Signals of the STG.
+    pub z: usize,
+    /// Conditions of the prefix.
+    pub b: usize,
+    /// Events of the prefix.
+    pub e: usize,
+    /// Cut-off events of the prefix.
+    pub e_cut: usize,
+    /// Reachable states (as counted by the symbolic engine).
+    pub states: f64,
+    /// Symbolic all-conflicts baseline time, milliseconds.
+    pub pfy_ms: f64,
+    /// Unfolding + IP (first conflict / absence proof) time,
+    /// milliseconds.
+    pub clp_ms: f64,
+    /// Whether CSC holds.
+    pub csc: bool,
+    /// Whether the verdicts matched the expectation and each other.
+    pub verdicts_ok: bool,
+}
+
+/// Measures one model end to end.
+pub fn run_row(model: &BenchModel) -> TableRow {
+    let stg = &model.stg;
+    let prefix = Prefix::of_stg(stg, UnfoldOptions::default()).expect("benchmark model unfolds");
+
+    let t0 = Instant::now();
+    let mut symbolic = SymbolicChecker::new(stg);
+    let report = symbolic.analyse();
+    let pfy_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let checker = Checker::new(stg).expect("benchmark model checks");
+    let outcome = checker.check_csc().expect("search completes");
+    let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let csc = matches!(outcome, CheckOutcome::Satisfied);
+    TableRow {
+        name: model.name.to_owned(),
+        s: stg.net().num_places(),
+        t: stg.net().num_transitions(),
+        z: stg.num_signals(),
+        b: prefix.num_conditions(),
+        e: prefix.num_events(),
+        e_cut: prefix.num_cutoffs(),
+        states: report.num_states,
+        pfy_ms,
+        clp_ms,
+        csc,
+        verdicts_ok: csc == model.expect_csc && report.satisfies_csc() == csc,
+    }
+}
+
+/// Formats rows as an aligned text table in the paper's column
+/// order.
+pub fn format_table(rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} | {:>4} {:>3}\n",
+        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "CSC", "ok"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8.0} | {:>9.2} {:>9.2} | {:>4} {:>3}\n",
+            r.name,
+            r.s,
+            r.t,
+            r.z,
+            r.b,
+            r.e,
+            r.e_cut,
+            r.states,
+            r.pfy_ms,
+            r.clp_ms,
+            if r.csc { "yes" } else { "no" },
+            if r.verdicts_ok { "ok" } else { "BAD" },
+        ));
+    }
+    out
+}
+
+/// One point of the scalability sweep (the "figure" series).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Pipeline stages.
+    pub n: usize,
+    /// Reachable states (explicit; `None` if over the cap).
+    pub states: Option<usize>,
+    /// Prefix events.
+    pub events: usize,
+    /// Prefix conditions.
+    pub conditions: usize,
+    /// Explicit state-graph CSC check time, ms (`None` if skipped).
+    pub explicit_ms: Option<f64>,
+    /// Unfolding + IP CSC check time, ms.
+    pub clp_ms: f64,
+}
+
+/// Runs the pipeline scalability sweep for `stages`, capping explicit
+/// exploration at `explicit_cap` states.
+pub fn run_scale(stages: &[usize], explicit_cap: usize) -> Vec<ScalePoint> {
+    stages
+        .iter()
+        .map(|&n| {
+            let stg = muller_pipeline(n);
+            let prefix =
+                Prefix::of_stg(&stg, UnfoldOptions::default()).expect("pipeline unfolds");
+            let limits = petri::ExploreLimits {
+                max_states: explicit_cap,
+                token_bound: 1,
+            };
+            let t0 = Instant::now();
+            let explicit = stg::StateGraph::build(&stg, limits).ok();
+            let explicit_ms = explicit
+                .as_ref()
+                .map(|sg| {
+                    let _ = sg.csc_conflict_pairs(&stg);
+                    t0.elapsed().as_secs_f64() * 1e3
+                });
+            let t1 = Instant::now();
+            let checker = Checker::new(&stg).expect("pipeline checks");
+            let _ = checker.check_csc().expect("search completes");
+            let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
+            ScalePoint {
+                n,
+                states: explicit.as_ref().map(|sg| sg.num_states()),
+                events: prefix.num_events(),
+                conditions: prefix.num_conditions(),
+                explicit_ms,
+                clp_ms,
+            }
+        })
+        .collect()
+}
+
+/// Runs the conflict-free absence-proof sweep: counterflow
+/// controllers of growing `width` at fixed `depth` — the hard half of
+/// the workload, where the IP engine must exhaust its search space.
+pub fn run_scale_counterflow(widths: &[usize], depth: usize, explicit_cap: usize) -> Vec<ScalePoint> {
+    widths
+        .iter()
+        .map(|&w| {
+            let stg = counterflow_sym(w, depth);
+            let prefix =
+                Prefix::of_stg(&stg, UnfoldOptions::default()).expect("counterflow unfolds");
+            let limits = petri::ExploreLimits {
+                max_states: explicit_cap,
+                token_bound: 1,
+            };
+            let t0 = Instant::now();
+            let explicit = stg::StateGraph::build(&stg, limits).ok();
+            let explicit_ms = explicit.as_ref().map(|sg| {
+                let _ = sg.csc_conflict_pairs(&stg);
+                t0.elapsed().as_secs_f64() * 1e3
+            });
+            let t1 = Instant::now();
+            let checker = Checker::new(&stg).expect("counterflow checks");
+            let outcome = checker.check_csc().expect("search completes");
+            assert!(
+                matches!(outcome, CheckOutcome::Satisfied),
+                "counterflow is conflict-free by construction"
+            );
+            let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
+            ScalePoint {
+                n: w,
+                states: explicit.as_ref().map(|sg| sg.num_states()),
+                events: prefix.num_events(),
+                conditions: prefix.num_conditions(),
+                explicit_ms,
+                clp_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_the_fifteen_rows() {
+        let ms = models();
+        assert_eq!(ms.len(), 15);
+        let conflicted = ms.iter().filter(|m| !m.expect_csc).count();
+        assert_eq!(conflicted, 9, "top half of the table has conflicts");
+    }
+
+    #[test]
+    fn rows_measure_consistently() {
+        // One small model from each half.
+        for model in models()
+            .into_iter()
+            .filter(|m| m.name == "DUP-4PH-A" || m.name == "CF-SYM-D-CSC")
+        {
+            let row = run_row(&model);
+            assert!(row.verdicts_ok, "{}", row.name);
+            assert!(row.e > 0 && row.b > 0);
+            assert_eq!(row.csc, model.expect_csc);
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_all_rows() {
+        let model = &models()[2];
+        let row = run_row(model);
+        let text = format_table(std::slice::from_ref(&row));
+        assert!(text.contains("DUP-4PH-A"));
+        assert!(text.contains("Pfy[ms]"));
+    }
+
+    #[test]
+    fn scale_sweep_produces_monotone_prefixes() {
+        let points = run_scale(&[1, 2, 3], 100_000);
+        assert_eq!(points.len(), 3);
+        assert!(points.windows(2).all(|w| w[0].events <= w[1].events));
+    }
+}

@@ -1,0 +1,614 @@
+//! The unfolding + integer-programming checker.
+
+use ilp::{CmpOp, Problem, Solver, SolverOptions};
+use petri::BitSet;
+use stg::{Signal, Stg};
+use unfolding::{EventRelations, Prefix, UnfoldOptions};
+
+use crate::error::CheckError;
+use crate::exprs::{code_diff_expr, marking_exprs};
+use crate::witness::{ConflictKind, ConflictWitness, NormalcyWitness};
+
+/// Options of a [`Checker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckerOptions {
+    /// Prefix-construction options.
+    pub unfold: UnfoldOptions,
+    /// Search-engine options.
+    pub solver: SolverOptions,
+    /// Apply the §7 restriction to ordered configuration pairs when
+    /// the prefix shows the net is dynamically conflict-free.
+    pub conflict_free_optimisation: bool,
+    /// Add the explicit marking-equation compatibility constraints
+    /// (`M_in + I·x ≥ 0`). Redundant with closure propagation on;
+    /// required for the generic-solver ablation
+    /// (`solver.use_closure = false`).
+    pub compatibility_constraints: bool,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            unfold: UnfoldOptions::default(),
+            solver: SolverOptions::default(),
+            conflict_free_optimisation: true,
+            compatibility_constraints: false,
+        }
+    }
+}
+
+/// Verdict of a USC/CSC check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The property holds: the search space was exhausted without a
+    /// conflict.
+    Satisfied,
+    /// A conflict was found; the witness carries execution paths.
+    Conflict(Box<ConflictWitness>),
+}
+
+impl CheckOutcome {
+    /// Whether the property holds.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, CheckOutcome::Satisfied)
+    }
+}
+
+/// Normalcy verdict for one signal (§6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalcyOutcome {
+    /// The signal checked.
+    pub signal: Signal,
+    /// Whether p-normalcy holds.
+    pub p_normal: bool,
+    /// Whether n-normalcy holds.
+    pub n_normal: bool,
+    /// Witness of the p-normalcy violation, if any.
+    pub p_witness: Option<Box<NormalcyWitness>>,
+    /// Witness of the n-normalcy violation, if any.
+    pub n_witness: Option<Box<NormalcyWitness>>,
+}
+
+impl NormalcyOutcome {
+    /// A signal is normal iff it is p-normal or n-normal.
+    pub fn is_normal(&self) -> bool {
+        self.p_normal || self.n_normal
+    }
+}
+
+/// Normalcy verdicts for all circuit-driven signals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalcyReport {
+    /// Per-signal outcomes, in signal order.
+    pub outcomes: Vec<NormalcyOutcome>,
+}
+
+impl NormalcyReport {
+    /// Whether the STG is normal (every signal p- or n-normal).
+    pub fn is_normal(&self) -> bool {
+        self.outcomes.iter().all(NormalcyOutcome::is_normal)
+    }
+}
+
+/// The unfolding-based coding-conflict checker. Builds the prefix
+/// once; each query assembles and solves an integer program over it.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    stg: &'a Stg,
+    options: CheckerOptions,
+    prefix: Prefix,
+    relations: EventRelations,
+}
+
+impl<'a> Checker<'a> {
+    /// Builds a checker with default options.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the STG's net system is not safe or prefix
+    /// construction exceeds its event limit.
+    pub fn new(stg: &'a Stg) -> Result<Self, CheckError> {
+        Self::with_options(stg, CheckerOptions::default())
+    }
+
+    /// Builds a checker with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Checker::new`].
+    pub fn with_options(stg: &'a Stg, options: CheckerOptions) -> Result<Self, CheckError> {
+        let prefix = Prefix::of_stg(stg, options.unfold)?;
+        let relations = EventRelations::of(&prefix);
+        Ok(Checker {
+            stg,
+            options,
+            prefix,
+            relations,
+        })
+    }
+
+    /// The STG under analysis.
+    pub fn stg(&self) -> &'a Stg {
+        self.stg
+    }
+
+    /// The finite complete prefix.
+    pub fn prefix(&self) -> &Prefix {
+        &self.prefix
+    }
+
+    /// The precomputed event relations.
+    pub fn relations(&self) -> &EventRelations {
+        &self.relations
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &CheckerOptions {
+        &self.options
+    }
+
+    /// A fresh pair problem with cut-off constraints (and, when
+    /// enabled, compatibility constraints).
+    pub(crate) fn base_problem(&self, sides: usize) -> Problem<'_> {
+        let mut problem = Problem::new(&self.relations, sides);
+        let prefix = &self.prefix;
+        problem.fix_cutoffs(|e| prefix.is_cutoff(e));
+        if self.options.compatibility_constraints {
+            problem.add_compatibility_constraints(prefix);
+        }
+        problem
+    }
+
+    /// Adds the §3 conflict constraints `Code(x⁰) = Code(x¹)`.
+    fn add_code_equality(&self, problem: &mut Problem<'_>) {
+        for z in self.stg.signals() {
+            let expr = code_diff_expr(problem, &self.prefix, self.stg, z);
+            problem.add_linear(expr, CmpOp::Eq);
+        }
+    }
+
+    /// Adds the separating constraint `M⁰ ≠ M¹` — as `M⁰ <lex M¹` in
+    /// general (symmetry breaking), or as plain disequality plus the
+    /// subset restriction when the §7 optimisation applies.
+    fn add_separation(&self, problem: &mut Problem<'_>) {
+        self.add_separation_with(problem, true);
+    }
+
+    fn add_separation_with(&self, problem: &mut Problem<'_>, allow_cf_opt: bool) {
+        let np = self.stg.net().num_places();
+        let lhs = marking_exprs(problem, &self.prefix, np, 0);
+        let rhs = marking_exprs(problem, &self.prefix, np, 1);
+        if allow_cf_opt
+            && self.options.conflict_free_optimisation
+            && self.prefix.is_dynamically_conflict_free()
+        {
+            problem.set_subset_chain();
+            problem.add_not_equal(lhs, rhs);
+        } else {
+            problem.add_lex_less(lhs, rhs);
+        }
+    }
+
+    fn make_witness(&self, kind: ConflictKind, sides: &[BitSet]) -> Box<ConflictWitness> {
+        let prefix = &self.prefix;
+        let config1 = sides[0].clone();
+        let config2 = sides[1].clone();
+        let marking1 = prefix.marking_of(&config1);
+        let marking2 = prefix.marking_of(&config2);
+        let code = self
+            .stg
+            .initial_code()
+            .apply(&prefix.change_vector(self.stg, &config1))
+            .expect("consistent STG: configuration codes are binary");
+        let out1 = self.stg.enabled_local_signals(&marking1);
+        let out2 = self.stg.enabled_local_signals(&marking2);
+        Box::new(ConflictWitness {
+            kind,
+            sequence1: prefix.firing_sequence(&config1),
+            sequence2: prefix.firing_sequence(&config2),
+            config1,
+            config2,
+            marking1,
+            marking2,
+            code,
+            out1,
+            out2,
+        })
+    }
+
+    fn run_pair_search(
+        &self,
+        problem: &Problem<'_>,
+        mut accept: impl FnMut(&[BitSet]) -> bool,
+    ) -> Result<Option<Vec<BitSet>>, CheckError> {
+        let mut solver = Solver::new(problem, self.options.solver);
+        let solution = solver.solve(&mut accept);
+        if solver.stats().aborted {
+            return Err(CheckError::SearchAborted);
+        }
+        Ok(solution)
+    }
+
+    /// Checks the Unique State Coding property (§3). On conflict the
+    /// witness carries two execution paths to distinct markings with
+    /// equal codes.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn check_usc(&self) -> Result<CheckOutcome, CheckError> {
+        let mut problem = self.base_problem(2);
+        self.add_code_equality(&mut problem);
+        self.add_separation(&mut problem);
+        match self.run_pair_search(&problem, |_| true)? {
+            Some(sides) => Ok(CheckOutcome::Conflict(
+                self.make_witness(ConflictKind::Usc, &sides),
+            )),
+            None => Ok(CheckOutcome::Satisfied),
+        }
+    }
+
+    /// Checks the Complete State Coding property (§3). As the paper
+    /// prescribes, the solver searches for USC conflicts and decides
+    /// the non-linear `Out(M') ≠ Out(M'')` side condition at each
+    /// total assignment "directly from the STG", continuing the
+    /// search through USC conflicts that are not CSC conflicts.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn check_csc(&self) -> Result<CheckOutcome, CheckError> {
+        let mut problem = self.base_problem(2);
+        self.add_code_equality(&mut problem);
+        self.add_separation(&mut problem);
+        let prefix = &self.prefix;
+        let stg = self.stg;
+        let accept = |sides: &[BitSet]| {
+            let out1 = stg.enabled_local_signals(&prefix.marking_of(&sides[0]));
+            let out2 = stg.enabled_local_signals(&prefix.marking_of(&sides[1]));
+            out1 != out2
+        };
+        match self.run_pair_search(&problem, accept)? {
+            Some(sides) => Ok(CheckOutcome::Conflict(
+                self.make_witness(ConflictKind::Csc, &sides),
+            )),
+            None => Ok(CheckOutcome::Satisfied),
+        }
+    }
+
+    /// Enumerates *all* coding conflicts of the given kind, up to
+    /// `limit` distinct marking pairs (Petrify-style exhaustive
+    /// characterisation, but produced by the IP engine). Distinct
+    /// configuration pairs reaching the same marking pair are
+    /// deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn enumerate_conflicts(
+        &self,
+        kind: ConflictKind,
+        limit: usize,
+    ) -> Result<Vec<ConflictWitness>, CheckError> {
+        let mut problem = self.base_problem(2);
+        self.add_code_equality(&mut problem);
+        // Full enumeration must not use the §7 subset restriction:
+        // Proposition 1 preserves *existence* of conflicts under the
+        // restriction, not the complete set of conflicting pairs.
+        self.add_separation_with(&mut problem, false);
+        let prefix = &self.prefix;
+        let stg = self.stg;
+        let mut seen: std::collections::HashSet<(petri::Marking, petri::Marking)> =
+            std::collections::HashSet::new();
+        let mut witnesses = Vec::new();
+        let accept = |sides: &[BitSet]| {
+            let m1 = prefix.marking_of(&sides[0]);
+            let m2 = prefix.marking_of(&sides[1]);
+            if kind == ConflictKind::Csc {
+                let out1 = stg.enabled_local_signals(&m1);
+                let out2 = stg.enabled_local_signals(&m2);
+                if out1 == out2 {
+                    return false;
+                }
+            }
+            let key = if m1 <= m2 {
+                (m1, m2)
+            } else {
+                (m2, m1)
+            };
+            if seen.insert(key) {
+                witnesses.push(self.make_witness(kind, sides));
+            }
+            witnesses.len() >= limit // accept (stop) only at the cap
+        };
+        self.run_pair_search(&problem, accept)?;
+        Ok(witnesses.into_iter().map(|b| *b).collect())
+    }
+
+    /// Searches for a violation pair of p-normalcy (`positive =
+    /// true`) or n-normalcy (`positive = false`) of signal `z`:
+    /// `Code(M⁰) ≤ Code(M¹)` with discordant `Nxt_z` (§6).
+    fn find_normalcy_violation(
+        &self,
+        z: Signal,
+        positive: bool,
+    ) -> Result<Option<Box<NormalcyWitness>>, CheckError> {
+        let mut problem = self.base_problem(2);
+        // Code(x⁰) ≤ Code(x¹) componentwise: diff_z' ≤ 0 per signal.
+        for zz in self.stg.signals() {
+            let expr = code_diff_expr(&problem, &self.prefix, self.stg, zz);
+            problem.add_linear(expr, CmpOp::Le);
+        }
+        let prefix = &self.prefix;
+        let stg = self.stg;
+        let evaluate = |sides: &[BitSet]| {
+            let m1 = prefix.marking_of(&sides[0]);
+            let m2 = prefix.marking_of(&sides[1]);
+            let c1 = stg
+                .initial_code()
+                .apply(&prefix.change_vector(stg, &sides[0]))
+                .expect("binary codes");
+            let c2 = stg
+                .initial_code()
+                .apply(&prefix.change_vector(stg, &sides[1]))
+                .expect("binary codes");
+            let n1 = stg.next_state(&m1, &c1, z);
+            let n2 = stg.next_state(&m2, &c2, z);
+            (m1, m2, c1, c2, n1, n2)
+        };
+        let accept = |sides: &[BitSet]| {
+            let (_, _, _, _, n1, n2) = evaluate(sides);
+            if positive {
+                n1 && !n2 // Nxt(M') > Nxt(M'') refutes p-normalcy
+            } else {
+                !n1 && n2 // Nxt(M') < Nxt(M'') refutes n-normalcy
+            }
+        };
+        match self.run_pair_search(&problem, accept)? {
+            None => Ok(None),
+            Some(sides) => {
+                let (m1, m2, c1, c2, n1, n2) = evaluate(&sides);
+                Ok(Some(Box::new(NormalcyWitness {
+                    signal: z,
+                    sequence1: prefix.firing_sequence(&sides[0]),
+                    sequence2: prefix.firing_sequence(&sides[1]),
+                    marking1: m1,
+                    marking2: m2,
+                    code1: c1,
+                    code2: c2,
+                    nxt1: n1,
+                    nxt2: n2,
+                })))
+            }
+        }
+    }
+
+    /// Checks p/n-normalcy of one signal.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn check_normalcy_of(&self, z: Signal) -> Result<NormalcyOutcome, CheckError> {
+        let p_witness = self.find_normalcy_violation(z, true)?;
+        let n_witness = self.find_normalcy_violation(z, false)?;
+        Ok(NormalcyOutcome {
+            signal: z,
+            p_normal: p_witness.is_none(),
+            n_normal: n_witness.is_none(),
+            p_witness,
+            n_witness,
+        })
+    }
+
+    /// Checks normalcy of every circuit-driven signal (§6).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn check_normalcy(&self) -> Result<NormalcyReport, CheckError> {
+        let outcomes = self
+            .stg
+            .local_signals()
+            .map(|z| self.check_normalcy_of(z))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NormalcyReport { outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::witness::ConflictKind;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::duplex::{dup_4ph, dup_mod};
+    use stg::gen::ring::lazy_ring;
+    use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+    use stg::StateGraph;
+
+    #[test]
+    fn vme_csc_conflict_matches_fig1() {
+        let stg = vme_read();
+        let checker = Checker::new(&stg).unwrap();
+        let outcome = checker.check_csc().unwrap();
+        let CheckOutcome::Conflict(w) = outcome else {
+            panic!("vme_read must have a CSC conflict");
+        };
+        assert_eq!(w.kind, ConflictKind::Csc);
+        assert!(w.replay(&stg));
+        assert_eq!(w.code.to_string(), "10110");
+        assert_ne!(w.out1, w.out2);
+    }
+
+    #[test]
+    fn vme_usc_also_fails() {
+        let stg = vme_read();
+        let checker = Checker::new(&stg).unwrap();
+        let CheckOutcome::Conflict(w) = checker.check_usc().unwrap() else {
+            panic!("expected conflict");
+        };
+        assert!(w.replay(&stg));
+    }
+
+    #[test]
+    fn resolved_vme_satisfies_csc_but_not_normalcy() {
+        let stg = vme_read_csc_resolved();
+        let checker = Checker::new(&stg).unwrap();
+        assert!(checker.check_csc().unwrap().is_satisfied());
+        let csc = stg.signal_by_name("csc").unwrap();
+        let outcome = checker.check_normalcy_of(csc).unwrap();
+        assert!(!outcome.p_normal);
+        assert!(!outcome.n_normal);
+        assert!(outcome.p_witness.unwrap().replay(&stg));
+        assert!(outcome.n_witness.unwrap().replay(&stg));
+        assert!(!checker.check_normalcy().unwrap().is_normal());
+    }
+
+    #[test]
+    fn counterflow_is_conflict_free() {
+        let stg = counterflow_sym(2, 2);
+        let checker = Checker::new(&stg).unwrap();
+        assert!(checker.check_usc().unwrap().is_satisfied());
+        assert!(checker.check_csc().unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn agreement_with_explicit_oracle() {
+        let cases: Vec<stg::Stg> = vec![
+            vme_read(),
+            vme_read_csc_resolved(),
+            lazy_ring(2),
+            lazy_ring(3),
+            dup_4ph(1, false),
+            dup_4ph(1, true),
+            dup_4ph(2, false),
+            dup_mod(2),
+            counterflow_sym(2, 2),
+            counterflow_sym(3, 1),
+        ];
+        for (i, stg) in cases.iter().enumerate() {
+            let sg = StateGraph::build(stg, Default::default()).unwrap();
+            let checker = Checker::new(stg).unwrap();
+            assert_eq!(
+                checker.check_usc().unwrap().is_satisfied(),
+                sg.satisfies_usc(),
+                "usc disagreement on case {i}"
+            );
+            assert_eq!(
+                checker.check_csc().unwrap().is_satisfied(),
+                sg.satisfies_csc(stg),
+                "csc disagreement on case {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalcy_agrees_with_explicit_oracle() {
+        let cases: Vec<stg::Stg> = vec![
+            vme_read_csc_resolved(),
+            counterflow_sym(2, 2),
+            dup_4ph(1, true),
+            lazy_ring(2),
+        ];
+        for (i, stg) in cases.iter().enumerate() {
+            let sg = StateGraph::build(stg, Default::default()).unwrap();
+            let checker = Checker::new(stg).unwrap();
+            for z in stg.local_signals() {
+                let ours = checker.check_normalcy_of(z).unwrap();
+                let oracle = sg.normalcy_of(stg, z);
+                assert_eq!(ours.p_normal, oracle.p_normal, "case {i}, signal {z:?}");
+                assert_eq!(ours.n_normal, oracle.n_normal, "case {i}, signal {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_modes_agree() {
+        let stg = vme_read();
+        // Generic-IP mode: no closure, explicit compatibility.
+        let mut options = CheckerOptions::default();
+        options.solver.use_closure = false;
+        options.compatibility_constraints = true;
+        let generic = Checker::with_options(&stg, options).unwrap();
+        let CheckOutcome::Conflict(w) = generic.check_csc().unwrap() else {
+            panic!("generic mode must also find the conflict");
+        };
+        assert!(w.replay(&stg));
+        // Conflict-free optimisation off.
+        let options = CheckerOptions {
+            conflict_free_optimisation: false,
+            ..Default::default()
+        };
+        let plain = Checker::with_options(&stg, options).unwrap();
+        assert!(!plain.check_csc().unwrap().is_satisfied());
+    }
+
+    #[test]
+    fn enumeration_matches_explicit_pair_counts() {
+        for stg in [vme_read(), lazy_ring(2), dup_4ph(1, false), dup_mod(2)] {
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            let checker = Checker::new(&stg).unwrap();
+            let usc = checker.enumerate_conflicts(ConflictKind::Usc, 10_000).unwrap();
+            let csc = checker.enumerate_conflicts(ConflictKind::Csc, 10_000).unwrap();
+            assert_eq!(usc.len(), sg.usc_conflict_pairs().len());
+            assert_eq!(csc.len(), sg.csc_conflict_pairs(&stg).len());
+            for w in usc.iter().chain(&csc) {
+                assert!(w.replay(&stg));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit_and_empty_case() {
+        let stg = vme_read();
+        let checker = Checker::new(&stg).unwrap();
+        let some = checker.enumerate_conflicts(ConflictKind::Usc, 1).unwrap();
+        assert_eq!(some.len(), 1);
+        let clean = counterflow_sym(2, 2);
+        let checker = Checker::new(&clean).unwrap();
+        assert!(checker
+            .enumerate_conflicts(ConflictKind::Csc, 100)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn all_option_permutations_agree() {
+        use ilp::{ValueOrder, VarOrder};
+        let cases = [vme_read(), counterflow_sym(2, 2), dup_4ph(1, true)];
+        for stg in &cases {
+            let expected = Checker::new(stg).unwrap().check_csc().unwrap().is_satisfied();
+            for value_order in [ValueOrder::OneFirst, ValueOrder::ZeroFirst] {
+                for var_order in [VarOrder::DescendingEvents, VarOrder::AscendingEvents] {
+                    for cf_opt in [true, false] {
+                        let mut options = CheckerOptions::default();
+                        options.solver.value_order = value_order;
+                        options.solver.var_order = var_order;
+                        options.conflict_free_optimisation = cf_opt;
+                        let checker = Checker::with_options(stg, options).unwrap();
+                        assert_eq!(
+                            checker.check_csc().unwrap().is_satisfied(),
+                            expected,
+                            "options must not change verdicts"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aborted_search_is_reported() {
+        let stg = lazy_ring(3);
+        let mut options = CheckerOptions::default();
+        options.solver.max_steps = 2;
+        let checker = Checker::with_options(&stg, options).unwrap();
+        assert_eq!(checker.check_usc(), Err(CheckError::SearchAborted));
+    }
+}

@@ -1,0 +1,267 @@
+//! Prefix-based consistency checking.
+//!
+//! Consistency (§2.1) requires every reachable marking to have a
+//! well-defined binary code. On the prefix this decomposes into three
+//! integer-programming/structural checks:
+//!
+//! 1. **binariness** — no cut-off-free configuration drives a signal
+//!    count outside `{0, 1}`;
+//! 2. **determinism** — no two cut-off-free configurations reach the
+//!    same marking with different signal-change vectors;
+//! 3. **cut-off coherence** — every cut-off event's configuration has
+//!    the same signal-change vector as its mate's, so codes remain
+//!    stable beyond the prefix (this is what makes checks 1–2 on the
+//!    truncated prefix conclusive for the full unfolding).
+
+use ilp::{CmpOp, LinExpr, Solver};
+use petri::{Marking, TransitionId};
+use stg::Signal;
+use unfolding::{CutoffMate, EventId};
+
+use crate::checker::Checker;
+use crate::error::CheckError;
+use crate::exprs::{change_expr, marking_exprs};
+
+/// Verdict of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyOutcome {
+    /// The STG is consistent.
+    Consistent,
+    /// A violation was found.
+    Violation(ConsistencyViolation),
+}
+
+impl ConsistencyOutcome {
+    /// Whether the STG is consistent.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, ConsistencyOutcome::Consistent)
+    }
+}
+
+/// A concrete consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConsistencyViolation {
+    /// A firing sequence drives `signal` outside `{0, 1}`.
+    NonBinary {
+        /// The offending signal.
+        signal: Signal,
+        /// A firing sequence exhibiting the violation.
+        sequence: Vec<TransitionId>,
+    },
+    /// Two firing sequences reach the same marking with different
+    /// codes.
+    NonDeterministic {
+        /// First sequence.
+        sequence1: Vec<TransitionId>,
+        /// Second sequence.
+        sequence2: Vec<TransitionId>,
+        /// The shared marking.
+        marking: Marking,
+    },
+    /// A cut-off event's signal changes disagree with its mate's, so
+    /// the code would drift on repetition.
+    CutoffMismatch {
+        /// The cut-off event.
+        event: EventId,
+        /// The signal whose change counts differ.
+        signal: Signal,
+    },
+}
+
+impl Checker<'_> {
+    /// Checks consistency on the prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if a solver step budget ran out.
+    pub fn check_consistency(&self) -> Result<ConsistencyOutcome, CheckError> {
+        // 3. Cut-off coherence (cheap, structural).
+        let prefix = self.prefix();
+        let stg = self.stg();
+        for e in prefix.events() {
+            if let Some(mate) = prefix.cutoff_mate(e) {
+                let ours = prefix.change_vector(stg, prefix.local_config(e));
+                let theirs = match mate {
+                    CutoffMate::Initial => stg::ChangeVec::zero(stg.num_signals()),
+                    CutoffMate::Event(f) => prefix.change_vector(stg, prefix.local_config(f)),
+                };
+                for z in stg.signals() {
+                    if ours.get(z) != theirs.get(z) {
+                        return Ok(ConsistencyOutcome::Violation(
+                            ConsistencyViolation::CutoffMismatch { event: e, signal: z },
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 1. Binariness per signal and direction.
+        for z in stg.signals() {
+            let v0 = i64::from(stg.initial_code().bit(z));
+            for (op, bound) in [(CmpOp::Ge, 2 - v0), (CmpOp::Le, -1 - v0)] {
+                let problem = {
+                    let mut p = self.base_problem(1);
+                    let mut expr = change_expr(&p, prefix, stg, z, 0);
+                    expr.add_constant(-bound);
+                    p.add_linear(expr, op);
+                    p
+                };
+                let mut solver = Solver::new(&problem, self.options().solver);
+                let found = solver.solve(|_| true);
+                if solver.stats().aborted {
+                    return Err(CheckError::SearchAborted);
+                }
+                if let Some(sides) = found {
+                    return Ok(ConsistencyOutcome::Violation(
+                        ConsistencyViolation::NonBinary {
+                            signal: z,
+                            sequence: prefix.firing_sequence(&sides[0]),
+                        },
+                    ));
+                }
+            }
+        }
+
+        // 2. Determinism: same marking, different change vector.
+        let mut problem = self.base_problem(2);
+        let np = stg.net().num_places();
+        let lhs = marking_exprs(&problem, prefix, np, 0);
+        let rhs = marking_exprs(&problem, prefix, np, 1);
+        for (l, r) in lhs.iter().zip(&rhs) {
+            let mut eq = l.clone();
+            for &(v, c) in r.terms() {
+                eq.push(v, -c);
+            }
+            eq.add_constant(-r.constant());
+            problem.add_linear(eq, CmpOp::Eq);
+        }
+        let code_digits_l: Vec<LinExpr> = stg
+            .signals()
+            .map(|z| change_expr(&problem, prefix, stg, z, 0))
+            .collect();
+        let code_digits_r: Vec<LinExpr> = stg
+            .signals()
+            .map(|z| change_expr(&problem, prefix, stg, z, 1))
+            .collect();
+        problem.add_not_equal(code_digits_l, code_digits_r);
+        let mut solver = Solver::new(&problem, self.options().solver);
+        let found = solver.solve(|_| true);
+        if solver.stats().aborted {
+            return Err(CheckError::SearchAborted);
+        }
+        if let Some(sides) = found {
+            return Ok(ConsistencyOutcome::Violation(
+                ConsistencyViolation::NonDeterministic {
+                    sequence1: prefix.firing_sequence(&sides[0]),
+                    sequence2: prefix.firing_sequence(&sides[1]),
+                    marking: prefix.marking_of(&sides[0]),
+                },
+            ));
+        }
+        Ok(ConsistencyOutcome::Consistent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::vme::vme_read;
+    use stg::{CodeVec, Edge, SignalKind, StgBuilder};
+
+    #[test]
+    fn consistent_models_pass() {
+        for stg in [vme_read(), stg::gen::ring::lazy_ring(3)] {
+            let checker = Checker::new(&stg).unwrap();
+            assert!(checker.check_consistency().unwrap().is_consistent());
+        }
+    }
+
+    #[test]
+    fn non_binary_detected() {
+        // a+ a+ a- a-: zero net change per lap (so cut-offs cohere)
+        // but the half-lap configuration {a+, a+} drives a to 2.
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Rise);
+        let t3 = b.edge(a, Edge::Fall);
+        let t4 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, t2, t3, t4]).unwrap();
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let checker = Checker::new(&stg).unwrap();
+        match checker.check_consistency().unwrap() {
+            ConsistencyOutcome::Violation(ConsistencyViolation::NonBinary {
+                signal,
+                sequence,
+            }) => {
+                assert_eq!(signal, a);
+                // The sequence indeed leaves binary codes.
+                assert_eq!(stg.code_after(&sequence), None);
+            }
+            other => panic!("expected NonBinary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_deterministic_detected() {
+        // Choice between a+ and b+ converging on the same marking:
+        // p -> a+ -> q, p -> b+ -> q. Reaching q via a+ gives code 10,
+        // via b+ gives 01.
+        let mut bld = StgBuilder::new();
+        let a = bld.add_signal("a", SignalKind::Output);
+        let bsig = bld.add_signal("b", SignalKind::Output);
+        let ta = bld.edge(a, Edge::Rise);
+        let tb = bld.edge(bsig, Edge::Rise);
+        let p = bld.add_place("p");
+        let q = bld.add_place("q");
+        bld.arc_pt(p, ta).unwrap();
+        bld.arc_tp(ta, q).unwrap();
+        bld.arc_pt(p, tb).unwrap();
+        bld.arc_tp(tb, q).unwrap();
+        bld.mark(p, 1);
+        bld.set_initial_code(CodeVec::zeros(2));
+        let stg = bld.build().unwrap();
+        let checker = Checker::new(&stg).unwrap();
+        // The violation surfaces either as a non-deterministic pair or
+        // — because the colliding configurations are local, so one of
+        // them becomes a cut-off whose signal changes disagree with
+        // its mate — as a cut-off mismatch. Both diagnose the same
+        // root cause.
+        match checker.check_consistency().unwrap() {
+            ConsistencyOutcome::Violation(
+                ConsistencyViolation::NonDeterministic { .. }
+                | ConsistencyViolation::CutoffMismatch { .. },
+            ) => {}
+            other => panic!("expected a determinism violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cutoff_mismatch_detected() {
+        // A cycle whose single loop iteration flips `a` once: a+ then
+        // back to M0 — the cut-off's change vector (+1) differs from
+        // the initial configuration's (0), i.e. codes drift each lap.
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Rise);
+        let p = b.add_place("p");
+        let q = b.add_place("q");
+        b.arc_pt(p, t1).unwrap();
+        b.arc_tp(t1, q).unwrap();
+        b.arc_pt(q, t2).unwrap();
+        b.arc_tp(t2, p).unwrap();
+        b.mark(p, 1);
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let checker = Checker::new(&stg).unwrap();
+        match checker.check_consistency().unwrap() {
+            ConsistencyOutcome::Violation(ConsistencyViolation::CutoffMismatch {
+                signal, ..
+            }) => assert_eq!(signal, a),
+            other => panic!("expected CutoffMismatch, got {other:?}"),
+        }
+    }
+}

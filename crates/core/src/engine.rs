@@ -1,0 +1,135 @@
+//! Uniform front-end over the three verification engines.
+//!
+//! Used by the cross-validation tests and the benchmark harness: the
+//! same property can be decided by the paper's unfolding + integer
+//! programming method, by explicit state-graph enumeration (the
+//! ground-truth oracle), or by the BDD-based symbolic baseline (the
+//! Petrify-style comparator of Table 1).
+
+use stg::{StateGraph, Stg};
+use symbolic::SymbolicChecker;
+
+use crate::checker::Checker;
+use crate::error::CheckError;
+
+/// Which engine decides the property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Unfolding prefix + integer programming (this crate; stops at
+    /// the first conflict).
+    UnfoldingIlp,
+    /// Explicit state-graph enumeration.
+    ExplicitStateGraph,
+    /// Symbolic BDD traversal computing all conflicts.
+    SymbolicBdd,
+}
+
+/// The property to decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// Unique State Coding.
+    Usc,
+    /// Complete State Coding.
+    Csc,
+    /// Every circuit-driven signal is p- or n-normal.
+    Normalcy,
+}
+
+/// Decides `property` for `stg` with `engine`; `true` means the
+/// property is satisfied.
+///
+/// # Errors
+///
+/// Propagates engine failures ([`CheckError`]).
+///
+/// # Examples
+///
+/// ```
+/// use csc_core::{check_property, Engine, Property};
+/// use stg::gen::vme::vme_read;
+///
+/// # fn main() -> Result<(), csc_core::CheckError> {
+/// let stg = vme_read();
+/// for engine in [
+///     Engine::UnfoldingIlp,
+///     Engine::ExplicitStateGraph,
+///     Engine::SymbolicBdd,
+/// ] {
+///     assert!(!check_property(&stg, Property::Csc, engine)?);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_property(stg: &Stg, property: Property, engine: Engine) -> Result<bool, CheckError> {
+    match engine {
+        Engine::UnfoldingIlp => {
+            let checker = Checker::new(stg)?;
+            match property {
+                Property::Usc => Ok(checker.check_usc()?.is_satisfied()),
+                Property::Csc => Ok(checker.check_csc()?.is_satisfied()),
+                Property::Normalcy => Ok(checker.check_normalcy()?.is_normal()),
+            }
+        }
+        Engine::ExplicitStateGraph => {
+            let sg = StateGraph::build(stg, Default::default())
+                .map_err(|e| CheckError::StateGraph(e.to_string()))?;
+            Ok(match property {
+                Property::Usc => sg.satisfies_usc(),
+                Property::Csc => sg.satisfies_csc(stg),
+                Property::Normalcy => sg.is_normal(stg),
+            })
+        }
+        Engine::SymbolicBdd => match property {
+            Property::Usc => Ok(SymbolicChecker::new(stg).analyse().satisfies_usc()),
+            Property::Csc => Ok(SymbolicChecker::new(stg).analyse().satisfies_csc()),
+            Property::Normalcy => Ok(SymbolicChecker::new(stg).is_normal()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::duplex::dup_4ph;
+    use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+
+    const ENGINES: [Engine; 3] = [
+        Engine::UnfoldingIlp,
+        Engine::ExplicitStateGraph,
+        Engine::SymbolicBdd,
+    ];
+
+    #[test]
+    fn engines_agree_on_usc_and_csc() {
+        for stg in [
+            vme_read(),
+            vme_read_csc_resolved(),
+            dup_4ph(2, false),
+            dup_4ph(1, true),
+            counterflow_sym(2, 2),
+        ] {
+            for property in [Property::Usc, Property::Csc] {
+                let verdicts: Vec<bool> = ENGINES
+                    .iter()
+                    .map(|&e| check_property(&stg, property, e).unwrap())
+                    .collect();
+                assert!(
+                    verdicts.windows(2).all(|w| w[0] == w[1]),
+                    "{property:?}: {verdicts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_normalcy() {
+        for stg in [vme_read_csc_resolved(), counterflow_sym(2, 2)] {
+            let verdicts: Vec<bool> = ENGINES
+                .iter()
+                .map(|&e| check_property(&stg, Property::Normalcy, e).unwrap())
+                .collect();
+            assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors of the coding-conflict checker.
+
+use std::error::Error;
+use std::fmt;
+
+use unfolding::UnfoldError;
+
+/// An error raised by [`crate::Checker`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckError {
+    /// Prefix construction failed (unsafe net or event limit).
+    Unfold(UnfoldError),
+    /// The solver ran out of its step budget before reaching a
+    /// verdict; the result would not be conclusive.
+    SearchAborted,
+    /// A baseline engine failed (explicit state-graph construction).
+    StateGraph(String),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Unfold(e) => write!(f, "unfolding failed: {e}"),
+            CheckError::SearchAborted => {
+                write!(f, "search aborted before reaching a verdict")
+            }
+            CheckError::StateGraph(m) => write!(f, "state-graph engine failed: {m}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Unfold(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnfoldError> for CheckError {
+    fn from(e: UnfoldError) -> Self {
+        CheckError::Unfold(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CheckError::SearchAborted;
+        assert!(e.to_string().contains("aborted"));
+        let e = CheckError::Unfold(UnfoldError::TooManyEvents(5));
+        assert!(e.to_string().contains("unfolding failed"));
+        assert!(Error::source(&e).is_some());
+    }
+}

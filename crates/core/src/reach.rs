@@ -1,0 +1,299 @@
+//! Extended reachability analysis (§5): arbitrary linear marking
+//! predicates translated to event variables and solved over the
+//! prefix — plus a ready-made deadlock finder (the application whose
+//! success motivated the paper's approach, cf. its §1 and its
+//! reference `[8]`, the LP deadlock-checking work).
+
+use ilp::{CmpOp, Solver};
+use petri::{Marking, PlaceId, TransitionId};
+
+use crate::checker::Checker;
+use crate::error::CheckError;
+use crate::exprs::marking_exprs;
+
+/// A linear constraint `Σ coeffs(s) · M(s) ⋈ rhs` over markings of
+/// the original net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkingConstraint {
+    /// Weighted places (unlisted places have weight 0).
+    pub coeffs: Vec<(PlaceId, i32)>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: i64,
+}
+
+impl MarkingConstraint {
+    /// `M(p) = k`.
+    pub fn tokens_eq(p: PlaceId, k: i64) -> Self {
+        MarkingConstraint {
+            coeffs: vec![(p, 1)],
+            op: CmpOp::Eq,
+            rhs: k,
+        }
+    }
+
+    /// `Σ M(p) ≤ k` over the listed places.
+    pub fn sum_le(places: &[PlaceId], k: i64) -> Self {
+        MarkingConstraint {
+            coeffs: places.iter().map(|&p| (p, 1)).collect(),
+            op: CmpOp::Le,
+            rhs: k,
+        }
+    }
+
+    /// `Σ M(p) ≥ k` over the listed places.
+    pub fn sum_ge(places: &[PlaceId], k: i64) -> Self {
+        MarkingConstraint {
+            coeffs: places.iter().map(|&p| (p, 1)).collect(),
+            op: CmpOp::Ge,
+            rhs: k,
+        }
+    }
+
+    /// Whether a concrete marking satisfies the constraint.
+    pub fn holds(&self, m: &Marking) -> bool {
+        let v: i64 = self
+            .coeffs
+            .iter()
+            .map(|&(p, c)| c as i64 * m.tokens(p) as i64)
+            .sum();
+        match self.op {
+            CmpOp::Eq => v == self.rhs,
+            CmpOp::Le => v <= self.rhs,
+            CmpOp::Ge => v >= self.rhs,
+        }
+    }
+}
+
+/// A reachable marking satisfying a predicate, with an execution path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachWitness {
+    /// The marking found.
+    pub marking: Marking,
+    /// A firing sequence from `M0` to it.
+    pub sequence: Vec<TransitionId>,
+}
+
+impl Checker<'_> {
+    /// Searches for a reachable marking satisfying all the given
+    /// linear constraints (§5 translation: each `M(s)` becomes a
+    /// linear function of the event variables).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csc_core::reach::MarkingConstraint;
+    /// use csc_core::Checker;
+    /// use stg::gen::vme::vme_read;
+    ///
+    /// # fn main() -> Result<(), csc_core::CheckError> {
+    /// let stg = vme_read();
+    /// let checker = Checker::new(&stg)?;
+    /// // Any reachable marking with ≥ 2 tokens total on all places:
+    /// let all: Vec<_> = stg.net().places().collect();
+    /// let found = checker
+    ///     .find_marking(&[MarkingConstraint::sum_ge(&all, 2)])?
+    ///     .expect("every marking of this net has 2 tokens");
+    /// assert_eq!(found.marking.total(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn find_marking(
+        &self,
+        constraints: &[MarkingConstraint],
+    ) -> Result<Option<ReachWitness>, CheckError> {
+        let mut problem = self.base_problem(1);
+        let digits = marking_exprs(&problem, self.prefix(), self.stg().net().num_places(), 0);
+        for c in constraints {
+            let mut expr = ilp::LinExpr::new();
+            for &(p, coeff) in &c.coeffs {
+                let digit = &digits[p.index()];
+                for &(v, dc) in digit.terms() {
+                    expr.push(v, dc * coeff);
+                }
+                expr.add_constant(digit.constant() * coeff as i64);
+            }
+            expr.add_constant(-c.rhs);
+            problem.add_linear(expr, c.op);
+        }
+        let mut solver = Solver::new(&problem, self.options().solver);
+        let found = solver.solve(|_| true);
+        if solver.stats().aborted {
+            return Err(CheckError::SearchAborted);
+        }
+        Ok(found.map(|sides| ReachWitness {
+            marking: self.prefix().marking_of(&sides[0]),
+            sequence: self.prefix().firing_sequence(&sides[0]),
+        }))
+    }
+
+    /// Checks mutual exclusion of a set of places: searches for a
+    /// reachable marking carrying two or more tokens across them
+    /// (`Σ M(p) ≥ 2`). Returns a witness if exclusion is violated.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csc_core::Checker;
+    /// use stg::gen::arbiter::mutex_arbiter;
+    ///
+    /// # fn main() -> Result<(), csc_core::CheckError> {
+    /// let stg = mutex_arbiter(2);
+    /// let checker = Checker::new(&stg)?;
+    /// // The critical sections (the place between g_i+ and r_i-)
+    /// // are mutually exclusive:
+    /// let cs: Vec<_> = stg
+    ///     .net()
+    ///     .places()
+    ///     .filter(|&p| {
+    ///         let name = stg.net().place_name(p);
+    ///         name.starts_with("<g") && name.contains("+,")
+    ///     })
+    ///     .collect();
+    /// assert!(checker.check_mutual_exclusion(&cs)?.is_none());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn check_mutual_exclusion(
+        &self,
+        places: &[PlaceId],
+    ) -> Result<Option<ReachWitness>, CheckError> {
+        self.find_marking(&[MarkingConstraint::sum_ge(places, 2)])
+    }
+
+    /// Searches for a reachable deadlock: for every transition `t`,
+    /// `Σ_{s ∈ •t} M(s) ≤ |•t| − 1` (some input place unmarked).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if the solver step budget ran
+    /// out.
+    pub fn find_deadlock(&self) -> Result<Option<ReachWitness>, CheckError> {
+        let constraints: Vec<MarkingConstraint> = self
+            .stg()
+            .net()
+            .transitions()
+            .map(|t| {
+                let pre = self.stg().net().preset(t);
+                MarkingConstraint::sum_le(pre, pre.len() as i64 - 1)
+            })
+            .collect();
+        self.find_marking(&constraints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::vme::vme_read;
+    use stg::{CodeVec, Edge, SignalKind, StgBuilder};
+
+    #[test]
+    fn vme_is_deadlock_free() {
+        let stg = vme_read();
+        let checker = Checker::new(&stg).unwrap();
+        assert_eq!(checker.find_deadlock().unwrap(), None);
+    }
+
+    #[test]
+    fn deadlock_found_and_replayable() {
+        // a+ leads into a sink place: firing it deadlocks.
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t = b.edge(a, Edge::Rise);
+        let p = b.add_place("p");
+        let sink = b.add_place("sink");
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, sink).unwrap();
+        b.mark(p, 1);
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let checker = Checker::new(&stg).unwrap();
+        let w = checker.find_deadlock().unwrap().expect("sink deadlocks");
+        let m = stg
+            .net()
+            .fire_sequence(stg.initial_marking(), &w.sequence)
+            .unwrap();
+        assert_eq!(m, w.marking);
+        assert!(stg.net().is_deadlock(&m));
+    }
+
+    #[test]
+    fn marking_predicates_find_specific_states() {
+        let stg = vme_read();
+        let checker = Checker::new(&stg).unwrap();
+        // Find the marking where d+ is enabled: its input place is
+        // marked. d+'s preset in the generated net:
+        let d = stg.signal_by_name("d").unwrap();
+        let d_plus = stg
+            .transitions_of(d)
+            .find(|&t| stg.label(t).edge() == Some(Edge::Rise))
+            .unwrap();
+        let pre = stg.net().preset(d_plus).to_vec();
+        let constraints: Vec<_> = pre
+            .iter()
+            .map(|&p| MarkingConstraint::tokens_eq(p, 1))
+            .collect();
+        let w = checker.find_marking(&constraints).unwrap().expect("reachable");
+        assert!(stg.net().is_enabled(&w.marking, d_plus));
+        // Unreachable: 3 tokens in a 2-token-invariant net.
+        let all: Vec<_> = stg.net().places().collect();
+        assert_eq!(
+            checker
+                .find_marking(&[MarkingConstraint::sum_ge(&all, 3)])
+                .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn mutual_exclusion_queries() {
+        use stg::gen::arbiter::mutex_arbiter;
+        let stg = mutex_arbiter(2);
+        let checker = Checker::new(&stg).unwrap();
+        let place = |name: &str| {
+            stg.net()
+                .places()
+                .find(|&p| stg.net().place_name(p) == name)
+                .unwrap()
+        };
+        // Critical sections exclude each other...
+        let cs = [place("<g0+,r0->"), place("<g1+,r1->")];
+        assert_eq!(checker.check_mutual_exclusion(&cs).unwrap(), None);
+        // ...but pending requests do not.
+        let pending = [place("<r0+,g0+>"), place("<r1+,g1+>")];
+        let w = checker
+            .check_mutual_exclusion(&pending)
+            .unwrap()
+            .expect("both requests can be pending at once");
+        assert_eq!(w.marking.tokens(pending[0]), 1);
+        assert_eq!(w.marking.tokens(pending[1]), 1);
+        // The witness replays.
+        let m = stg
+            .net()
+            .fire_sequence(stg.initial_marking(), &w.sequence)
+            .unwrap();
+        assert_eq!(m, w.marking);
+    }
+
+    #[test]
+    fn constraint_holds_helper() {
+        let stg = vme_read();
+        let m = stg.initial_marking();
+        let all: Vec<_> = stg.net().places().collect();
+        assert!(MarkingConstraint::sum_ge(&all, 2).holds(m));
+        assert!(MarkingConstraint::sum_le(&all, 2).holds(m));
+        assert!(!MarkingConstraint::sum_ge(&all, 3).holds(m));
+    }
+}

@@ -1,0 +1,183 @@
+//! One-call full analysis with a human-readable report.
+
+use std::fmt;
+
+use stg::Stg;
+
+use crate::checker::{CheckOutcome, Checker, NormalcyReport};
+use crate::consistency::ConsistencyOutcome;
+use crate::error::CheckError;
+use crate::reach::ReachWitness;
+
+/// Everything the checker can say about one STG, computed in
+/// dependency order (consistency first; coding checks only when
+/// consistent).
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Prefix statistics: `(|B|, |E|, |E_cut|)`.
+    pub prefix_stats: (usize, usize, usize),
+    /// Consistency verdict.
+    pub consistency: ConsistencyOutcome,
+    /// USC verdict (`None` when skipped due to inconsistency).
+    pub usc: Option<CheckOutcome>,
+    /// CSC verdict (`None` when skipped).
+    pub csc: Option<CheckOutcome>,
+    /// Normalcy verdicts (`None` when skipped).
+    pub normalcy: Option<NormalcyReport>,
+    /// Deadlock witness, if one exists (`None` = deadlock-free or
+    /// skipped).
+    pub deadlock: Option<ReachWitness>,
+}
+
+impl AnalysisReport {
+    /// Whether the STG passed every implementability condition
+    /// covered by the paper (consistency, CSC, normalcy).
+    pub fn is_implementable_with_monotonic_gates(&self) -> bool {
+        self.consistency.is_consistent()
+            && self.csc.as_ref().is_some_and(CheckOutcome::is_satisfied)
+            && self.normalcy.as_ref().is_some_and(NormalcyReport::is_normal)
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (b, e, ecut) = self.prefix_stats;
+        writeln!(f, "prefix: |B| = {b}, |E| = {e}, |E_cut| = {ecut}")?;
+        writeln!(f, "consistent: {}", self.consistency.is_consistent())?;
+        let verdict = |o: &Option<CheckOutcome>| match o {
+            None => "skipped",
+            Some(CheckOutcome::Satisfied) => "satisfied",
+            Some(CheckOutcome::Conflict(_)) => "CONFLICT",
+        };
+        writeln!(f, "USC: {}", verdict(&self.usc))?;
+        writeln!(f, "CSC: {}", verdict(&self.csc))?;
+        match &self.normalcy {
+            None => writeln!(f, "normalcy: skipped")?,
+            Some(r) => writeln!(
+                f,
+                "normalcy: {}",
+                if r.is_normal() { "all signals normal" } else { "VIOLATED" }
+            )?,
+        }
+        writeln!(
+            f,
+            "deadlock: {}",
+            if self.deadlock.is_some() { "FOUND" } else { "none" }
+        )
+    }
+}
+
+impl Checker<'_> {
+    /// Runs the full battery: consistency, then (when consistent)
+    /// USC, CSC, normalcy and deadlock search.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::SearchAborted`] if any solver budget ran out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csc_core::Checker;
+    /// use stg::gen::vme::vme_read_csc_resolved;
+    ///
+    /// # fn main() -> Result<(), csc_core::CheckError> {
+    /// let stg = vme_read_csc_resolved();
+    /// let report = Checker::new(&stg)?.analyse()?;
+    /// // CSC holds but csc is not normal, so not monotonic-gate
+    /// // implementable:
+    /// assert!(!report.is_implementable_with_monotonic_gates());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn analyse(&self) -> Result<AnalysisReport, CheckError> {
+        let prefix_stats = (
+            self.prefix().num_conditions(),
+            self.prefix().num_events(),
+            self.prefix().num_cutoffs(),
+        );
+        let consistency = self.check_consistency()?;
+        if !consistency.is_consistent() {
+            return Ok(AnalysisReport {
+                prefix_stats,
+                consistency,
+                usc: None,
+                csc: None,
+                normalcy: None,
+                deadlock: None,
+            });
+        }
+        Ok(AnalysisReport {
+            prefix_stats,
+            consistency,
+            usc: Some(self.check_usc()?),
+            csc: Some(self.check_csc()?),
+            normalcy: Some(self.check_normalcy()?),
+            deadlock: self.find_deadlock()?,
+        })
+    }
+
+    /// Convenience wrapper over [`Checker::analyse`] for `stg` —
+    /// unfolds and analyses in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unfolding and search errors.
+    pub fn analyse_stg(stg: &Stg) -> Result<AnalysisReport, CheckError> {
+        Checker::new(stg)?.analyse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+    use stg::{CodeVec, Edge, SignalKind, StgBuilder};
+
+    #[test]
+    fn vme_report() {
+        let stg = vme_read();
+        let report = Checker::analyse_stg(&stg).unwrap();
+        assert!(report.consistency.is_consistent());
+        assert!(matches!(report.usc, Some(CheckOutcome::Conflict(_))));
+        assert!(matches!(report.csc, Some(CheckOutcome::Conflict(_))));
+        assert!(!report.is_implementable_with_monotonic_gates());
+        let text = report.to_string();
+        assert!(text.contains("CSC: CONFLICT"));
+        assert!(text.contains("deadlock: none"));
+    }
+
+    #[test]
+    fn clean_model_is_implementable() {
+        let stg = counterflow_sym(2, 2);
+        let report = Checker::analyse_stg(&stg).unwrap();
+        assert!(report.is_implementable_with_monotonic_gates());
+        assert!(report.to_string().contains("all signals normal"));
+    }
+
+    #[test]
+    fn resolved_vme_fails_only_normalcy() {
+        let stg = vme_read_csc_resolved();
+        let report = Checker::analyse_stg(&stg).unwrap();
+        assert!(matches!(report.csc, Some(CheckOutcome::Satisfied)));
+        assert!(!report.normalcy.unwrap().is_normal());
+    }
+
+    #[test]
+    fn inconsistent_model_skips_coding_checks() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Rise);
+        let t3 = b.edge(a, Edge::Fall);
+        let t4 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, t2, t3, t4]).unwrap();
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let report = Checker::analyse_stg(&stg).unwrap();
+        assert!(!report.consistency.is_consistent());
+        assert!(report.usc.is_none());
+        assert!(report.to_string().contains("USC: skipped"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Conflict witnesses: execution paths to the offending markings.
+
+use std::fmt;
+
+use petri::{BitSet, Marking, TransitionId};
+use stg::{CodeVec, Signal, Stg};
+
+/// Which coding property a [`ConflictWitness`] violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two distinct states with the same code.
+    Usc,
+    /// Same code *and* different enabled output sets.
+    Csc,
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictKind::Usc => write!(f, "USC"),
+            ConflictKind::Csc => write!(f, "CSC"),
+        }
+    }
+}
+
+/// A detected coding conflict with full diagnostic material: the two
+/// configurations of the prefix, linearised firing sequences of the
+/// original STG, the conflicting markings, the shared code and the
+/// enabled output sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictWitness {
+    /// Which property is violated.
+    pub kind: ConflictKind,
+    /// First configuration (event set of the prefix).
+    pub config1: BitSet,
+    /// Second configuration.
+    pub config2: BitSet,
+    /// A firing sequence reaching the first marking.
+    pub sequence1: Vec<TransitionId>,
+    /// A firing sequence reaching the second marking.
+    pub sequence2: Vec<TransitionId>,
+    /// The first conflicting marking.
+    pub marking1: Marking,
+    /// The second conflicting marking.
+    pub marking2: Marking,
+    /// The code shared by both markings.
+    pub code: CodeVec,
+    /// `Out(M1)`.
+    pub out1: Vec<Signal>,
+    /// `Out(M2)`.
+    pub out2: Vec<Signal>,
+}
+
+impl ConflictWitness {
+    /// Validates the witness against the STG by replaying both firing
+    /// sequences from the initial marking: they must be fireable,
+    /// reach the recorded (distinct) markings, and produce the shared
+    /// code.
+    pub fn replay(&self, stg: &Stg) -> bool {
+        let net = stg.net();
+        let m1 = net.fire_sequence(stg.initial_marking(), &self.sequence1);
+        let m2 = net.fire_sequence(stg.initial_marking(), &self.sequence2);
+        let codes_ok = stg.code_after(&self.sequence1).as_ref() == Some(&self.code)
+            && stg.code_after(&self.sequence2).as_ref() == Some(&self.code);
+        m1.as_ref() == Some(&self.marking1)
+            && m2.as_ref() == Some(&self.marking2)
+            && self.marking1 != self.marking2
+            && codes_ok
+    }
+
+    /// Formats the firing sequences with transition names.
+    pub fn describe(&self, stg: &Stg) -> String {
+        let names = |seq: &[TransitionId]| {
+            seq.iter()
+                .map(|&t| stg.transition_name(t).to_owned())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let outs = |out: &[Signal]| {
+            out.iter()
+                .map(|&z| stg.signal_name(z).to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{} conflict at code {}\n  path 1: {}\n  path 2: {}\n  Out(M') = {{{}}}\n  Out(M'') = {{{}}}",
+            self.kind,
+            self.code,
+            names(&self.sequence1),
+            names(&self.sequence2),
+            outs(&self.out1),
+            outs(&self.out2),
+        )
+    }
+}
+
+/// A witness of a normalcy violation for one signal: a pair of
+/// markings with ordered codes but wrongly-ordered next-state values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalcyWitness {
+    /// The signal whose normalcy is violated.
+    pub signal: Signal,
+    /// Firing sequence to the first marking.
+    pub sequence1: Vec<TransitionId>,
+    /// Firing sequence to the second marking.
+    pub sequence2: Vec<TransitionId>,
+    /// The first marking (`Code(M1) ≤ Code(M2)`).
+    pub marking1: Marking,
+    /// The second marking.
+    pub marking2: Marking,
+    /// `Code(M1)`.
+    pub code1: CodeVec,
+    /// `Code(M2)`.
+    pub code2: CodeVec,
+    /// `Nxt_z(M1)`.
+    pub nxt1: bool,
+    /// `Nxt_z(M2)`.
+    pub nxt2: bool,
+}
+
+impl NormalcyWitness {
+    /// Validates the witness: sequences replay, codes are ordered
+    /// componentwise and the next-state values are discordant.
+    pub fn replay(&self, stg: &Stg) -> bool {
+        let net = stg.net();
+        let ok1 = net.fire_sequence(stg.initial_marking(), &self.sequence1).as_ref()
+            == Some(&self.marking1);
+        let ok2 = net.fire_sequence(stg.initial_marking(), &self.sequence2).as_ref()
+            == Some(&self.marking2);
+        ok1 && ok2
+            && self.code1.componentwise_le(&self.code2)
+            && stg.next_state(&self.marking1, &self.code1, self.signal) == self.nxt1
+            && stg.next_state(&self.marking2, &self.code2, self.signal) == self.nxt2
+            && self.nxt1 != self.nxt2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ConflictKind::Usc.to_string(), "USC");
+        assert_eq!(ConflictKind::Csc.to_string(), "CSC");
+    }
+}

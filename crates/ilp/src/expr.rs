@@ -1,0 +1,160 @@
+//! Variables and linear expressions.
+
+use std::fmt;
+
+/// A 0-1 solver variable. For a problem with `k` configuration
+/// vectors over `n` events, variable `side * n + event` is the
+/// component `x^{(side)}(event)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ c_i · v_i + constant` over 0-1 variables.
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{LinExpr, Var};
+///
+/// let mut e = LinExpr::new();
+/// e.push(Var(0), 1);
+/// e.push(Var(1), -1);
+/// e.add_constant(2);
+/// // With nothing assigned, bounds cover both variables' ranges.
+/// let unassigned = |_: Var| None;
+/// assert_eq!(e.bounds(&unassigned), (1, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: Vec<(Var, i32)>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a term `coeff · var`. Repeated variables are merged.
+    pub fn push(&mut self, var: Var, coeff: i32) {
+        if coeff == 0 {
+            return;
+        }
+        if let Some(t) = self.terms.iter_mut().find(|(v, _)| *v == var) {
+            t.1 += coeff;
+            if t.1 == 0 {
+                self.terms.retain(|(v, _)| *v != var);
+            }
+        } else {
+            self.terms.push((var, coeff));
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn add_constant(&mut self, c: i64) {
+        self.constant += c;
+    }
+
+    /// The terms of the expression.
+    pub fn terms(&self) -> &[(Var, i32)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Interval `[lo, hi]` of achievable values under a partial
+    /// assignment (`None` = unassigned).
+    pub fn bounds(&self, value: &dyn Fn(Var) -> Option<bool>) -> (i64, i64) {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        for &(v, c) in &self.terms {
+            match value(v) {
+                Some(true) => {
+                    lo += c as i64;
+                    hi += c as i64;
+                }
+                Some(false) => {}
+                None => {
+                    if c > 0 {
+                        hi += c as i64;
+                    } else {
+                        lo += c as i64;
+                    }
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Exact value under a total assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some variable of the expression is unassigned.
+    pub fn eval(&self, value: &dyn Fn(Var) -> Option<bool>) -> i64 {
+        let mut sum = self.constant;
+        for &(v, c) in &self.terms {
+            if value(v).expect("eval requires a total assignment") {
+                sum += c as i64;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_terms() {
+        let mut e = LinExpr::new();
+        e.push(Var(3), 2);
+        e.push(Var(3), -2);
+        assert!(e.terms().is_empty());
+        e.push(Var(3), 1);
+        e.push(Var(3), 1);
+        assert_eq!(e.terms(), &[(Var(3), 2)]);
+        e.push(Var(4), 0);
+        assert_eq!(e.terms().len(), 1);
+    }
+
+    #[test]
+    fn bounds_respect_partial_assignment() {
+        let mut e = LinExpr::new();
+        e.push(Var(0), 1);
+        e.push(Var(1), -2);
+        let assigned = |v: Var| match v.0 {
+            0 => Some(true),
+            _ => None,
+        };
+        assert_eq!(e.bounds(&assigned), (-1, 1));
+        let total = |v: Var| Some(v.0 == 0);
+        assert_eq!(e.bounds(&total), (1, 1));
+        assert_eq!(e.eval(&total), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "total assignment")]
+    fn eval_requires_total() {
+        let mut e = LinExpr::new();
+        e.push(Var(0), 1);
+        e.eval(&|_| None);
+    }
+}

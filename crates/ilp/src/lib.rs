@@ -1,0 +1,63 @@
+//! 0-1 integer programming over Petri-net unfoldings.
+//!
+//! This crate implements the verification engine of the paper (§3–§5):
+//! a branch-and-bound search over *Unf-compatible* 0-1 vectors — the
+//! vectors that are Parikh vectors of configurations of a finite
+//! complete prefix. By Theorems 1 and 2 of the paper, compatibility
+//! is exactly closure under
+//!
+//! * `x(e) = 1 ⟹ x(f) = 1` for every causal predecessor `f < e`,
+//! * `x(e) = 1 ⟹ x(g) = 0` for every `g # e`,
+//! * `x(e) = 0 ⟹ x(f) = 0` for every causal successor `f > e`,
+//!
+//! which the solver maintains as unit propagation (the *minimal
+//! compatible closure* MCC). On top of it sit linear (pseudo-boolean)
+//! constraints with interval bound propagation, the lexicographic
+//! marking order (the paper's USC separating constraint), and
+//! vector disequality. Problems range over one or more configuration
+//! vectors (`x'`, `x''`, …), and searches can run in *exhaustive
+//! enumeration* mode where a leaf callback accepts or rejects each
+//! total assignment — this is how the non-linear CSC and normalcy
+//! separating predicates are decided "directly from the STG", as the
+//! paper prescribes.
+//!
+//! # Examples
+//!
+//! Find any non-empty configuration of a prefix:
+//!
+//! ```
+//! use ilp::{CmpOp, LinExpr, Problem, Solver, SolverOptions};
+//! use stg::gen::vme::vme_read;
+//! use unfolding::{EventRelations, Prefix, UnfoldOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stg = vme_read();
+//! let prefix = Prefix::of_stg(&stg, UnfoldOptions::default())?;
+//! let rel = EventRelations::of(&prefix);
+//! let mut problem = Problem::new(&rel, 1);
+//! // Σ x(e) ≥ 1
+//! let mut expr = LinExpr::new();
+//! for e in prefix.events() {
+//!     expr.push(problem.var(0, e), 1);
+//! }
+//! expr.add_constant(-1);
+//! problem.add_linear(expr, CmpOp::Ge);
+//! let mut solver = Solver::new(&problem, SolverOptions::default());
+//! let solution = solver.solve(|_| true).expect("some event can fire");
+//! assert!(prefix.is_configuration(&solution[0]));
+//! assert!(!solution[0].is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod constraint;
+mod expr;
+mod problem;
+mod solver;
+
+pub use constraint::{CmpOp, Constraint};
+pub use expr::{LinExpr, Var};
+pub use problem::Problem;
+pub use solver::{SearchStats, Solver, SolverOptions, ValueOrder, VarOrder};

@@ -1,0 +1,548 @@
+//! The branch-and-bound search engine.
+
+use std::collections::VecDeque;
+
+use petri::BitSet;
+
+use crate::constraint::Feasibility;
+use crate::expr::Var;
+use crate::problem::Problem;
+
+/// Which value a decision tries first. Trying 1 first drives the
+/// search towards large configurations quickly (good when a conflict
+/// is expected to exist); 0 first proves absence on shallow prefixes
+/// faster in some families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueOrder {
+    /// Try `x(e) = 1` first.
+    #[default]
+    OneFirst,
+    /// Try `x(e) = 0` first.
+    ZeroFirst,
+}
+
+/// Static variable-selection heuristic (unless the problem supplies
+/// an explicit order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarOrder {
+    /// Decide late (causally deep) events first: assigning them pulls
+    /// whole histories in via closure, so each decision is maximally
+    /// informative.
+    #[default]
+    DescendingEvents,
+    /// Decide early events first (weaker propagation; kept as an
+    /// ablation).
+    AscendingEvents,
+}
+
+/// Search options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Unit-propagate the Unf-compatibility closure (§4). Disabling
+    /// this reproduces the paper's "standard solver" baseline; the
+    /// problem must then carry explicit compatibility constraints.
+    pub use_closure: bool,
+    /// First value tried at each decision.
+    pub value_order: ValueOrder,
+    /// Static decision order.
+    pub var_order: VarOrder,
+    /// Abort (with [`SearchStats::aborted`] set) after this many
+    /// propagation steps.
+    pub max_steps: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            use_closure: true,
+            value_order: ValueOrder::OneFirst,
+            var_order: VarOrder::DescendingEvents,
+            max_steps: u64::MAX,
+        }
+    }
+}
+
+/// Counters describing a finished (or aborted) search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Variable assignments (decisions + propagated).
+    pub propagations: u64,
+    /// Dead ends encountered.
+    pub conflicts: u64,
+    /// Total assignments reaching the leaf callback.
+    pub leaves: u64,
+    /// Whether the search ran out of its step budget.
+    pub aborted: bool,
+}
+
+struct Decision {
+    var: Var,
+    first: bool,
+    flipped: bool,
+    trail_len: usize,
+    scan_from: usize,
+}
+
+/// A DFS solver over a [`Problem`].
+///
+/// The search enumerates total Unf-compatible assignments satisfying
+/// all constraints; for each one the *leaf callback* decides whether
+/// to accept (stop and return) or reject (continue exhaustively).
+/// See the crate-level example.
+pub struct Solver<'p, 'r> {
+    problem: &'p Problem<'r>,
+    options: SolverOptions,
+    values: Vec<Option<bool>>,
+    trail: Vec<Var>,
+    queue: VecDeque<(Var, bool)>,
+    watch: Vec<Vec<u32>>,
+    order: Vec<Var>,
+    stats: SearchStats,
+}
+
+impl<'p, 'r> Solver<'p, 'r> {
+    /// Prepares a solver for `problem`.
+    pub fn new(problem: &'p Problem<'r>, options: SolverOptions) -> Self {
+        let mut watch = vec![Vec::new(); problem.num_vars()];
+        for (ci, c) in problem.constraints().iter().enumerate() {
+            for v in c.variables() {
+                watch[v.index()].push(ci as u32);
+            }
+        }
+        let mut order = problem.decision_order_or_default();
+        if problem.explicit_decision_order().is_none()
+            && options.var_order == VarOrder::AscendingEvents
+        {
+            order.reverse();
+        }
+        Solver {
+            problem,
+            options,
+            values: vec![None; problem.num_vars()],
+            trail: Vec::new(),
+            queue: VecDeque::new(),
+            watch,
+            order,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// The statistics of the last [`Solver::solve`] run.
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    fn propagate(&mut self) -> bool {
+        while let Some((v, b)) = self.queue.pop_front() {
+            match self.values[v.index()] {
+                Some(x) if x == b => continue,
+                Some(_) => {
+                    self.queue.clear();
+                    return false;
+                }
+                None => {}
+            }
+            self.values[v.index()] = Some(b);
+            self.trail.push(v);
+            self.stats.propagations += 1;
+            if self.stats.propagations > self.options.max_steps {
+                self.stats.aborted = true;
+                self.queue.clear();
+                return false;
+            }
+
+            // Unf-compatibility closure (Theorem 1 / MCC).
+            if self.options.use_closure {
+                let (s, e) = self.problem.side_event(v);
+                let rel = self.problem.relations();
+                if b {
+                    for f in rel.predecessors(e).iter() {
+                        self.queue
+                            .push_back((self.problem.var(s, unfolding::EventId(f as u32)), true));
+                    }
+                    for g in rel.conflicts(e).iter() {
+                        self.queue
+                            .push_back((self.problem.var(s, unfolding::EventId(g as u32)), false));
+                    }
+                } else {
+                    for f in rel.successors(e).iter() {
+                        self.queue
+                            .push_back((self.problem.var(s, unfolding::EventId(f as u32)), false));
+                    }
+                }
+            }
+
+            // Subset chaining (§7): x⁰(e) ≤ x¹(e).
+            if self.problem.subset_chain() {
+                let (s, e) = self.problem.side_event(v);
+                if b && s == 0 {
+                    self.queue.push_back((self.problem.var(1, e), true));
+                } else if !b && s == 1 {
+                    self.queue.push_back((self.problem.var(0, e), false));
+                }
+            }
+
+            // Wake the watching constraints.
+            let mut forced: Vec<(Var, bool)> = Vec::new();
+            for wi in 0..self.watch[v.index()].len() {
+                let ci = self.watch[v.index()][wi] as usize;
+                let constraint = &self.problem.constraints()[ci];
+                let values = &self.values;
+                let feasibility = constraint.check_partial(
+                    &|u: Var| values[u.index()],
+                    &mut |u, val| forced.push((u, val)),
+                );
+                if feasibility == Feasibility::Conflict {
+                    self.queue.clear();
+                    return false;
+                }
+            }
+            self.queue.extend(forced);
+        }
+        true
+    }
+
+    fn unwind_to(&mut self, len: usize) {
+        while self.trail.len() > len {
+            let v = self.trail.pop().expect("trail length checked");
+            self.values[v.index()] = None;
+        }
+    }
+
+    fn all_constraints_hold(&self) -> bool {
+        let values = &self.values;
+        self.problem
+            .constraints()
+            .iter()
+            .all(|c| c.check_total(&|u: Var| values[u.index()]))
+    }
+
+    fn extract_sides(&self) -> Vec<BitSet> {
+        let n = self.problem.relations().num_events();
+        let mut sides = vec![BitSet::new(n); self.problem.sides()];
+        for (i, v) in self.values.iter().enumerate() {
+            if *v == Some(true) {
+                sides[i / n].insert(i % n);
+            }
+        }
+        sides
+    }
+
+    /// Runs the search. `on_leaf` is invoked for every constraint-
+    /// satisfying total assignment; returning `true` accepts it (the
+    /// solution is returned), `false` rejects it and the search
+    /// continues exhaustively.
+    ///
+    /// Returns `None` when the space is exhausted without an accepted
+    /// solution, or when the step budget ran out (check
+    /// [`Solver::stats`]).
+    pub fn solve(&mut self, mut on_leaf: impl FnMut(&[BitSet]) -> bool) -> Option<Vec<BitSet>> {
+        self.stats = SearchStats::default();
+        self.values.fill(None);
+        self.trail.clear();
+        self.queue.clear();
+
+        for &(v, b) in self.problem.fixed() {
+            self.queue.push_back((v, b));
+        }
+        if !self.propagate() {
+            self.stats.conflicts += 1;
+            return None;
+        }
+
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut scan_from = 0usize;
+        loop {
+            if self.stats.aborted {
+                return None;
+            }
+            // Find the next unassigned decision variable.
+            let mut next = None;
+            let mut pos = scan_from;
+            while pos < self.order.len() {
+                let v = self.order[pos];
+                if self.values[v.index()].is_none() {
+                    next = Some((v, pos));
+                    break;
+                }
+                pos += 1;
+            }
+            match next {
+                Some((v, pos)) => {
+                    let first = matches!(self.options.value_order, ValueOrder::OneFirst);
+                    decisions.push(Decision {
+                        var: v,
+                        first,
+                        flipped: false,
+                        trail_len: self.trail.len(),
+                        scan_from,
+                    });
+                    scan_from = pos + 1;
+                    self.stats.decisions += 1;
+                    self.queue.push_back((v, first));
+                }
+                None => {
+                    // Total assignment.
+                    self.stats.leaves += 1;
+                    if self.all_constraints_hold() {
+                        let sides = self.extract_sides();
+                        if on_leaf(&sides) {
+                            return Some(sides);
+                        }
+                    }
+                    // Treat as a dead end and continue.
+                    if !self.backtrack(&mut decisions, &mut scan_from) {
+                        return None;
+                    }
+                    continue;
+                }
+            }
+            if !self.propagate() {
+                self.stats.conflicts += 1;
+                if self.stats.aborted {
+                    return None;
+                }
+                if !self.backtrack(&mut decisions, &mut scan_from) {
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Unwinds to the deepest decision with an untried value, flips
+    /// it and re-propagates (repeating on conflict). Returns `false`
+    /// when the space is exhausted.
+    fn backtrack(&mut self, decisions: &mut Vec<Decision>, scan_from: &mut usize) -> bool {
+        loop {
+            let Some(top) = decisions.last_mut() else {
+                return false;
+            };
+            self.queue.clear();
+            if top.flipped {
+                self.unwind_to(top.trail_len);
+                *scan_from = top.scan_from;
+                decisions.pop();
+                continue;
+            }
+            top.flipped = true;
+            self.unwind_to(top.trail_len);
+            let v = top.var;
+            let second = !top.first;
+            self.queue.push_back((v, second));
+            if self.propagate() {
+                return true;
+            }
+            self.stats.conflicts += 1;
+            if self.stats.aborted {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::CmpOp;
+    use crate::expr::LinExpr;
+    use petri::{Marking, NetBuilder};
+    use unfolding::{EventId, EventRelations, Prefix, UnfoldOptions};
+
+    /// A chain p -> a -> q -> b -> r plus a competitor c for p.
+    fn prefix() -> (Prefix, EventRelations) {
+        let mut nb = NetBuilder::new();
+        let p = nb.add_place("p");
+        let q = nb.add_place("q");
+        let r = nb.add_place("r");
+        let s = nb.add_place("s");
+        let a = nb.add_transition("a");
+        let b = nb.add_transition("b");
+        let c = nb.add_transition("c");
+        nb.arc_pt(p, a).unwrap();
+        nb.arc_tp(a, q).unwrap();
+        nb.arc_pt(q, b).unwrap();
+        nb.arc_tp(b, r).unwrap();
+        nb.arc_pt(p, c).unwrap();
+        nb.arc_tp(c, s).unwrap();
+        let net = nb.build().unwrap();
+        let m0 = Marking::with_tokens(4, &[(p, 1)]);
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        let rel = EventRelations::of(&prefix);
+        (prefix, rel)
+    }
+
+    fn event_named(prefix: &Prefix, name: &str) -> EventId {
+        // Transition names a=0, b=1, c=2 by construction.
+        let idx = match name {
+            "a" => 0,
+            "b" => 1,
+            _ => 2,
+        };
+        prefix
+            .events()
+            .find(|&e| prefix.event_transition(e).index() == idx)
+            .unwrap()
+    }
+
+    #[test]
+    fn closure_forces_causal_past_and_blocks_conflicts() {
+        let (prefix, rel) = prefix();
+        let ea = event_named(&prefix, "a");
+        let eb = event_named(&prefix, "b");
+        let ec = event_named(&prefix, "c");
+        let mut problem = Problem::new(&rel, 1);
+        // Demand x(b) = 1.
+        let mut expr = LinExpr::new();
+        expr.push(problem.var(0, eb), 1);
+        expr.add_constant(-1);
+        problem.add_linear(expr, CmpOp::Eq);
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let sol = solver.solve(|_| true).expect("b is executable");
+        assert!(sol[0].contains(eb.index()));
+        assert!(sol[0].contains(ea.index()), "a must be pulled in by closure");
+        assert!(!sol[0].contains(ec.index()), "c conflicts with a");
+    }
+
+    #[test]
+    fn exhaustive_enumeration_counts_configurations() {
+        let (prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 1);
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut seen = Vec::new();
+        let result = solver.solve(|sides| {
+            seen.push(sides[0].clone());
+            false
+        });
+        assert!(result.is_none());
+        // Configurations: {}, {a}, {c}, {a,b} — all Unf-compatible
+        // vectors of this prefix.
+        assert_eq!(seen.len(), 4);
+        for c in &seen {
+            assert!(prefix.is_configuration(c));
+        }
+        assert_eq!(solver.stats().leaves, 4);
+    }
+
+    #[test]
+    fn ablation_without_closure_needs_compatibility_constraints() {
+        let (prefix, rel) = prefix();
+        let mut problem = Problem::new(&rel, 1);
+        problem.add_compatibility_constraints(&prefix);
+        let options = SolverOptions {
+            use_closure: false,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, options);
+        let mut count = 0usize;
+        let mut all_valid = true;
+        solver.solve(|sides| {
+            count += 1;
+            all_valid &= prefix.is_configuration(&sides[0]);
+            false
+        });
+        // The marking equation characterises configurations exactly on
+        // occurrence nets, so the same 4 solutions must appear.
+        assert_eq!(count, 4);
+        assert!(all_valid);
+    }
+
+    #[test]
+    fn infeasible_problem_returns_none() {
+        let (prefix, rel) = prefix();
+        let eb = event_named(&prefix, "b");
+        let ec = event_named(&prefix, "c");
+        let mut problem = Problem::new(&rel, 1);
+        // x(b) + x(c) = 2: but b and c are in conflict.
+        let mut expr = LinExpr::new();
+        expr.push(problem.var(0, eb), 1);
+        expr.push(problem.var(0, ec), 1);
+        expr.add_constant(-2);
+        problem.add_linear(expr, CmpOp::Eq);
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        assert!(solver.solve(|_| true).is_none());
+        assert!(!solver.stats().aborted);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let (prefix, rel) = prefix();
+        let ea = event_named(&prefix, "a");
+        let mut problem = Problem::new(&rel, 1);
+        problem.fix(problem.var(0, ea), false);
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut seen = 0usize;
+        solver.solve(|sides| {
+            assert!(!sides[0].contains(ea.index()));
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 2); // {} and {c}
+    }
+
+    #[test]
+    fn step_budget_aborts() {
+        let (_prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 2);
+        let options = SolverOptions {
+            max_steps: 1,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, options);
+        assert!(solver.solve(|_| false).is_none());
+        assert!(solver.stats().aborted);
+    }
+
+    #[test]
+    fn subset_chain_orders_sides() {
+        let (prefix, rel) = prefix();
+        let mut problem = Problem::new(&rel, 2);
+        problem.set_subset_chain();
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut checked = 0usize;
+        solver.solve(|sides| {
+            assert!(sides[0].is_subset(&sides[1]));
+            checked += 1;
+            false
+        });
+        // Ordered pairs of the 4 configurations: (C, C') with C ⊆ C'.
+        // {}⊆ all 4, {a}⊆{a},{a,b}, {c}⊆{c}, {a,b}⊆{a,b} => 4+2+1+1 = 8.
+        assert_eq!(checked, 8);
+        let _ = prefix;
+    }
+
+    #[test]
+    fn ascending_order_explores_same_space() {
+        let (_prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 1);
+        let options = SolverOptions {
+            var_order: VarOrder::AscendingEvents,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, options);
+        let mut count = 0;
+        solver.solve(|_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn zero_first_explores_same_space() {
+        let (_prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 1);
+        let options = SolverOptions {
+            value_order: ValueOrder::ZeroFirst,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, options);
+        let mut count = 0;
+        solver.solve(|_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 4);
+    }
+}

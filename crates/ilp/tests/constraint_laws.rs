@@ -1,0 +1,218 @@
+//! Property tests of the constraint semantics against brute-force
+//! enumeration: solutions reported by the solver must be exactly the
+//! assignments accepted by a naive evaluator, for every constraint
+//! kind.
+
+use ilp::{CmpOp, LinExpr, Problem, Solver, SolverOptions, Var};
+use petri::{BitSet, Marking, NetBuilder};
+use proptest::prelude::*;
+use unfolding::{EventRelations, Prefix, UnfoldOptions};
+
+/// A prefix of `n` completely independent events (so every subset is
+/// a configuration and the solver space is the full hypercube — the
+/// right substrate for testing constraint semantics in isolation).
+fn free_prefix(n: usize) -> (Prefix, EventRelations) {
+    let mut b = NetBuilder::new();
+    let mut tokens = Vec::new();
+    for i in 0..n {
+        let p = b.add_place(format!("p{i}"));
+        let q = b.add_place(format!("q{i}"));
+        let t = b.add_transition(format!("t{i}"));
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, q).unwrap();
+        tokens.push((p, 1));
+    }
+    let net = b.build().unwrap();
+    let m0 = Marking::with_tokens(net.num_places(), &tokens);
+    let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+    assert_eq!(prefix.num_events(), n);
+    assert_eq!(prefix.num_cutoffs(), 0);
+    let rel = EventRelations::of(&prefix);
+    (prefix, rel)
+}
+
+#[derive(Debug, Clone)]
+struct RandLinear {
+    coeffs: Vec<i32>,
+    constant: i64,
+    op: usize, // 0 = Eq, 1 = Le, 2 = Ge
+}
+
+fn arb_linear(n: usize) -> impl Strategy<Value = RandLinear> {
+    (
+        prop::collection::vec(-3i32..=3, n),
+        -4i64..=4,
+        0usize..3,
+    )
+        .prop_map(|(coeffs, constant, op)| RandLinear { coeffs, constant, op })
+}
+
+fn eval_linear(c: &RandLinear, bits: u32) -> bool {
+    let v: i64 = c
+        .coeffs
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| if bits & (1 << i) != 0 { k as i64 } else { 0 })
+        .sum::<i64>()
+        + c.constant;
+    match c.op {
+        0 => v == 0,
+        1 => v <= 0,
+        _ => v >= 0,
+    }
+}
+
+const N: usize = 5;
+
+fn solutions_of(problem: &Problem<'_>) -> Vec<u32> {
+    let mut solver = Solver::new(problem, SolverOptions::default());
+    let mut found = Vec::new();
+    solver.solve(|sides: &[BitSet]| {
+        let bits: u32 = sides[0].iter().map(|e| 1u32 << e).sum();
+        found.push(bits);
+        false
+    });
+    found.sort_unstable();
+    found
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linear_constraints_match_brute_force(cs in prop::collection::vec(arb_linear(N), 1..4)) {
+        let (_prefix, rel) = free_prefix(N);
+        let mut problem = Problem::new(&rel, 1);
+        for c in &cs {
+            let mut expr = LinExpr::new();
+            for (i, &k) in c.coeffs.iter().enumerate() {
+                expr.push(problem.var(0, unfolding::EventId(i as u32)), k);
+            }
+            expr.add_constant(c.constant);
+            let op = [CmpOp::Eq, CmpOp::Le, CmpOp::Ge][c.op];
+            problem.add_linear(expr, op);
+        }
+        let got = solutions_of(&problem);
+        let expected: Vec<u32> = (0..(1u32 << N))
+            .filter(|&bits| cs.iter().all(|c| eval_linear(c, bits)))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lex_less_matches_brute_force(
+        la in prop::collection::vec(arb_linear(N), 1..3),
+        lb in prop::collection::vec(arb_linear(N), 1..3),
+    ) {
+        // Build digit expressions from the random linear rows (ops
+        // ignored; just the affine parts), one block per side.
+        let digits = la.len().min(lb.len());
+        let (_prefix, rel) = free_prefix(N);
+        let mut problem = Problem::new(&rel, 2);
+        let make = |problem: &Problem<'_>, c: &RandLinear, side: usize| {
+            let mut e = LinExpr::new();
+            for (i, &k) in c.coeffs.iter().enumerate() {
+                e.push(problem.var(side, unfolding::EventId(i as u32)), k);
+            }
+            e.add_constant(c.constant);
+            e
+        };
+        let lhs: Vec<LinExpr> = la[..digits].iter().map(|c| make(&problem, c, 0)).collect();
+        let rhs: Vec<LinExpr> = lb[..digits].iter().map(|c| make(&problem, c, 1)).collect();
+        problem.add_lex_less(lhs, rhs);
+
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut got = Vec::new();
+        solver.solve(|sides: &[BitSet]| {
+            let a: u32 = sides[0].iter().map(|e| 1u32 << e).sum();
+            let b: u32 = sides[1].iter().map(|e| 1u32 << e).sum();
+            got.push((a, b));
+            false
+        });
+        got.sort_unstable();
+
+        let affine = |c: &RandLinear, bits: u32| -> i64 {
+            c.coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| if bits & (1 << i) != 0 { k as i64 } else { 0 })
+                .sum::<i64>()
+                + c.constant
+        };
+        let mut expected = Vec::new();
+        for a in 0..(1u32 << N) {
+            for b in 0..(1u32 << N) {
+                let va: Vec<i64> = la[..digits].iter().map(|c| affine(c, a)).collect();
+                let vb: Vec<i64> = lb[..digits].iter().map(|c| affine(c, b)).collect();
+                if va < vb {
+                    expected.push((a, b));
+                }
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn not_equal_matches_brute_force(
+        la in prop::collection::vec(arb_linear(N), 1..3),
+    ) {
+        let digits = la.len();
+        let (_prefix, rel) = free_prefix(N);
+        let mut problem = Problem::new(&rel, 2);
+        let make = |problem: &Problem<'_>, c: &RandLinear, side: usize| {
+            let mut e = LinExpr::new();
+            for (i, &k) in c.coeffs.iter().enumerate() {
+                e.push(problem.var(side, unfolding::EventId(i as u32)), k);
+            }
+            e.add_constant(c.constant);
+            e
+        };
+        // Same affine forms on both sides: NotEqual holds iff the two
+        // assignments give different digit vectors.
+        let lhs: Vec<LinExpr> = la.iter().map(|c| make(&problem, c, 0)).collect();
+        let rhs: Vec<LinExpr> = la.iter().map(|c| make(&problem, c, 1)).collect();
+        problem.add_not_equal(lhs, rhs);
+
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut count = 0usize;
+        solver.solve(|sides: &[BitSet]| {
+            let _ = sides;
+            count += 1;
+            false
+        });
+
+        let affine = |c: &RandLinear, bits: u32| -> i64 {
+            c.coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| if bits & (1 << i) != 0 { k as i64 } else { 0 })
+                .sum::<i64>()
+                + c.constant
+        };
+        let mut expected = 0usize;
+        for a in 0..(1u32 << N) {
+            for b in 0..(1u32 << N) {
+                let va: Vec<i64> = la[..digits].iter().map(|c| affine(c, a)).collect();
+                let vb: Vec<i64> = la[..digits].iter().map(|c| affine(c, b)).collect();
+                if va != vb {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(count, expected);
+    }
+}
+
+#[test]
+fn variables_are_independent_in_free_prefix() {
+    let (_prefix, rel) = free_prefix(4);
+    let problem = Problem::new(&rel, 1);
+    let mut solver = Solver::new(&problem, SolverOptions::default());
+    let mut count = 0;
+    solver.solve(|_| {
+        count += 1;
+        false
+    });
+    assert_eq!(count, 16, "free prefix spans the full hypercube");
+    let _ = Var(0);
+}

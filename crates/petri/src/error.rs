@@ -1,0 +1,68 @@
+//! Error types for net construction.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{PlaceId, TransitionId};
+
+/// An error raised while building or validating a [`crate::Net`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// An arc references a place id that does not exist.
+    UnknownPlace(PlaceId),
+    /// An arc references a transition id that does not exist.
+    UnknownTransition(TransitionId),
+    /// The same arc was added twice (arc weights > 1 are not supported).
+    DuplicateArc {
+        /// Place endpoint of the offending arc.
+        place: PlaceId,
+        /// Transition endpoint of the offending arc.
+        transition: TransitionId,
+    },
+    /// A transition has an empty preset; such transitions could fire
+    /// unboundedly and are rejected (the paper assumes `•t ≠ ∅`).
+    EmptyPreset(TransitionId),
+    /// A transition has a self-loop (`•t ∩ t• ≠ ∅`), which the paper's
+    /// net model excludes.
+    SelfLoop {
+        /// The transition with the self-loop.
+        transition: TransitionId,
+        /// The place in both its preset and postset.
+        place: PlaceId,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPlace(p) => write!(f, "unknown place {p}"),
+            NetError::UnknownTransition(t) => write!(f, "unknown transition {t}"),
+            NetError::DuplicateArc { place, transition } => {
+                write!(f, "duplicate arc between {place} and {transition}")
+            }
+            NetError::EmptyPreset(t) => write!(f, "transition {t} has an empty preset"),
+            NetError::SelfLoop { transition, place } => {
+                write!(f, "transition {transition} has a self-loop through {place}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetError::DuplicateArc {
+            place: PlaceId::new(1),
+            transition: TransitionId::new(2),
+        };
+        assert_eq!(e.to_string(), "duplicate arc between s1 and t2");
+        let e = NetError::EmptyPreset(TransitionId::new(0));
+        assert!(e.to_string().contains("empty preset"));
+    }
+}

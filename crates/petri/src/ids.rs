@@ -1,0 +1,84 @@
+//! Typed indices for places and transitions.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index of this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a place within a [`crate::Net`].
+    ///
+    /// Ids are dense indices in creation order, so they can be used to
+    /// index per-place vectors directly.
+    PlaceId,
+    "s"
+);
+
+id_type!(
+    /// Identifier of a transition within a [`crate::Net`].
+    TransitionId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let p = PlaceId::new(7);
+        assert_eq!(p.index(), 7);
+        let t = TransitionId::new(0);
+        assert_eq!(t.index(), 0);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(PlaceId::new(3).to_string(), "s3");
+        assert_eq!(TransitionId::new(4).to_string(), "t4");
+        assert_eq!(format!("{:?}", PlaceId::new(3)), "s3");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(PlaceId::new(1) < PlaceId::new(2));
+        assert_eq!(usize::from(TransitionId::new(9)), 9);
+    }
+}

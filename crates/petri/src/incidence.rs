@@ -1,0 +1,215 @@
+//! Incidence matrix, Parikh vectors and the marking equation.
+//!
+//! For a net with `m` places and `n` transitions, the incidence matrix
+//! `I` is the `m × n` matrix with `I[p][t] = +1` if `p ∈ t• \ •t`,
+//! `−1` if `p ∈ •t \ t•` and `0` otherwise. If `M0 [σ⟩ M` then
+//! `M = M0 + I·x_σ` where `x_σ` is the Parikh vector of `σ` — the
+//! *marking equation* at the heart of the paper's §2.2.
+
+use crate::{Marking, Net, TransitionId};
+
+/// The Parikh vector of a transition sequence: occurrence counts per
+/// transition.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{ParikhVector, TransitionId};
+///
+/// let t0 = TransitionId::new(0);
+/// let t1 = TransitionId::new(1);
+/// let x = ParikhVector::of_sequence(2, &[t0, t1, t0]);
+/// assert_eq!(x.count(t0), 2);
+/// assert_eq!(x.count(t1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParikhVector(Vec<u32>);
+
+impl ParikhVector {
+    /// The zero vector over `num_transitions` transitions.
+    pub fn zero(num_transitions: usize) -> Self {
+        ParikhVector(vec![0; num_transitions])
+    }
+
+    /// Counts the occurrences of each transition in `seq`.
+    pub fn of_sequence(num_transitions: usize, seq: &[TransitionId]) -> Self {
+        let mut v = Self::zero(num_transitions);
+        for &t in seq {
+            v.0[t.index()] += 1;
+        }
+        v
+    }
+
+    /// Occurrences of `t`.
+    pub fn count(&self, t: TransitionId) -> u32 {
+        self.0[t.index()]
+    }
+
+    /// Increments the count of `t`.
+    pub fn increment(&mut self, t: TransitionId) {
+        self.0[t.index()] += 1;
+    }
+
+    /// Total length of any sequence with this Parikh vector.
+    pub fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+
+    /// Raw counts, indexed by transition id.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+/// The incidence matrix of a net, stored dense in row-major order
+/// (rows = places).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidenceMatrix {
+    entries: Vec<i32>,
+    num_places: usize,
+    num_transitions: usize,
+}
+
+impl IncidenceMatrix {
+    /// Computes the incidence matrix of `net`.
+    pub fn of(net: &Net) -> Self {
+        let (m, n) = (net.num_places(), net.num_transitions());
+        let mut entries = vec![0i32; m * n];
+        for t in net.transitions() {
+            for &p in net.preset(t) {
+                entries[p.index() * n + t.index()] -= 1;
+            }
+            for &p in net.postset(t) {
+                entries[p.index() * n + t.index()] += 1;
+            }
+        }
+        IncidenceMatrix {
+            entries,
+            num_places: m,
+            num_transitions: n,
+        }
+    }
+
+    /// The entry `I[p][t] ∈ {−1, 0, +1}`.
+    pub fn entry(&self, p: crate::PlaceId, t: TransitionId) -> i32 {
+        self.entries[p.index() * self.num_transitions + t.index()]
+    }
+
+    /// Number of places (rows).
+    pub fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    /// Number of transitions (columns).
+    pub fn num_transitions(&self) -> usize {
+        self.num_transitions
+    }
+
+    /// Evaluates the marking equation `M0 + I·x`, returning `None` if
+    /// some place would go negative (i.e. `x` is not even
+    /// *marking-equation feasible* from `M0`).
+    pub fn apply(&self, m0: &Marking, x: &ParikhVector) -> Option<Marking> {
+        assert_eq!(m0.num_places(), self.num_places, "marking size mismatch");
+        assert_eq!(
+            x.as_slice().len(),
+            self.num_transitions,
+            "parikh size mismatch"
+        );
+        let mut result = Vec::with_capacity(self.num_places);
+        for p in 0..self.num_places {
+            let mut v = m0.as_slice()[p] as i64;
+            let row = &self.entries[p * self.num_transitions..(p + 1) * self.num_transitions];
+            for (t, &c) in row.iter().enumerate() {
+                v += c as i64 * x.as_slice()[t] as i64;
+            }
+            if v < 0 {
+                return None;
+            }
+            result.push(v as u32);
+        }
+        Some(Marking::with_tokens(
+            self.num_places,
+            &result
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| (crate::PlaceId::new(i), k))
+                .collect::<Vec<_>>(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn diamond() -> (Net, Vec<crate::PlaceId>, Vec<TransitionId>) {
+        // p0 -> a -> p1 -> c -> p3
+        // p0 -> b -> p2 -> c'? keep simple: two parallel branches joined
+        let mut b = NetBuilder::new();
+        let p0 = b.add_place("p0");
+        let p1 = b.add_place("p1");
+        let p2 = b.add_place("p2");
+        let p3 = b.add_place("p3");
+        let ta = b.add_transition("a");
+        let tb = b.add_transition("b");
+        let tc = b.add_transition("c");
+        b.arc_pt(p0, ta).unwrap();
+        b.arc_tp(ta, p1).unwrap();
+        b.arc_pt(p0, tb).unwrap();
+        b.arc_tp(tb, p2).unwrap();
+        b.arc_pt(p1, tc).unwrap();
+        b.arc_pt(p2, tc).unwrap();
+        b.arc_tp(tc, p3).unwrap();
+        (b.build().unwrap(), vec![p0, p1, p2, p3], vec![ta, tb, tc])
+    }
+
+    #[test]
+    fn entries_match_flow() {
+        let (net, p, t) = diamond();
+        let inc = IncidenceMatrix::of(&net);
+        assert_eq!(inc.entry(p[0], t[0]), -1);
+        assert_eq!(inc.entry(p[1], t[0]), 1);
+        assert_eq!(inc.entry(p[1], t[2]), -1);
+        assert_eq!(inc.entry(p[3], t[2]), 1);
+        assert_eq!(inc.entry(p[3], t[0]), 0);
+        assert_eq!(inc.num_places(), 4);
+        assert_eq!(inc.num_transitions(), 3);
+    }
+
+    #[test]
+    fn marking_equation_matches_firing() {
+        let (net, p, t) = diamond();
+        let inc = IncidenceMatrix::of(&net);
+        // Two tokens in p0 so both branches can fire.
+        let m0 = Marking::with_tokens(4, &[(p[0], 2)]);
+        let seq = [t[0], t[1], t[2]];
+        let by_firing = net.fire_sequence(&m0, &seq).unwrap();
+        let x = ParikhVector::of_sequence(3, &seq);
+        let by_equation = inc.apply(&m0, &x).unwrap();
+        assert_eq!(by_firing, by_equation);
+        assert_eq!(by_equation.tokens(p[3]), 1);
+    }
+
+    #[test]
+    fn infeasible_parikh_detected() {
+        let (net, p, t) = diamond();
+        let inc = IncidenceMatrix::of(&net);
+        let m0 = Marking::with_tokens(4, &[(p[0], 1)]);
+        // Firing c without its inputs would drive p1, p2 negative.
+        let x = ParikhVector::of_sequence(3, &[t[2]]);
+        assert_eq!(inc.apply(&m0, &x), None);
+    }
+
+    #[test]
+    fn parikh_vector_counts() {
+        let x = ParikhVector::of_sequence(2, &[TransitionId::new(1), TransitionId::new(1)]);
+        assert_eq!(x.count(TransitionId::new(0)), 0);
+        assert_eq!(x.count(TransitionId::new(1)), 2);
+        assert_eq!(x.total(), 2);
+        let mut y = ParikhVector::zero(2);
+        y.increment(TransitionId::new(1));
+        y.increment(TransitionId::new(1));
+        assert_eq!(x, y);
+    }
+}

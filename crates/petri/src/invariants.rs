@@ -1,0 +1,262 @@
+//! Place and transition semiflows (invariants) via the Farkas
+//! algorithm.
+//!
+//! A *P-semiflow* is a non-negative integer weighting `w` of places
+//! with `wᵀ·I = 0`: the weighted token count `w·M` is constant under
+//! firing. A *T-semiflow* is a non-negative `x` with `I·x = 0`: a
+//! firing count vector that reproduces the marking. Semiflows are the
+//! standard structural sanity checks for handshake models — every
+//! signal's low/high place pair in an STG is a P-semiflow of weight
+//! one, and every complete cycle is a T-semiflow.
+//!
+//! The Farkas construction yields a generating set that includes all
+//! *minimal-support* semiflows; the result here is deduplicated and
+//! normalised (gcd 1) but not minimised further. Worst-case output is
+//! exponential, so [`semiflow_limit`](struct@FarkasLimits) guards it.
+
+use crate::{Net, PlaceId, TransitionId};
+
+/// Limits for the Farkas iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarkasLimits {
+    /// Maximum number of intermediate rows before giving up.
+    pub max_rows: usize,
+}
+
+impl Default for FarkasLimits {
+    fn default() -> Self {
+        FarkasLimits { max_rows: 20_000 }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Runs the Farkas algorithm on matrix `m` (rows = items the
+/// semiflow weights, columns = constraints to cancel). Returns the
+/// non-negative integer row combinations annihilating all columns.
+fn farkas(mut rows: Vec<(Vec<i64>, Vec<i64>)>, num_cols: usize, limits: FarkasLimits) -> Option<Vec<Vec<i64>>> {
+    // Each entry: (constraint row, identity/weight part).
+    for col in 0..num_cols {
+        let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
+        // Keep rows already zero in this column.
+        for r in &rows {
+            if r.0[col] == 0 {
+                next.push(r.clone());
+            }
+        }
+        // Combine opposite-sign pairs.
+        let pos: Vec<&(Vec<i64>, Vec<i64>)> = rows.iter().filter(|r| r.0[col] > 0).collect();
+        let neg: Vec<&(Vec<i64>, Vec<i64>)> = rows.iter().filter(|r| r.0[col] < 0).collect();
+        for p in &pos {
+            for n in &neg {
+                let a = p.0[col];
+                let b = -n.0[col];
+                let l = a / gcd(a, b) * b; // lcm
+                let (fa, fb) = (l / a, l / b);
+                let constraint: Vec<i64> = p
+                    .0
+                    .iter()
+                    .zip(&n.0)
+                    .map(|(x, y)| fa * x + fb * y)
+                    .collect();
+                let weight: Vec<i64> = p
+                    .1
+                    .iter()
+                    .zip(&n.1)
+                    .map(|(x, y)| fa * x + fb * y)
+                    .collect();
+                next.push((constraint, weight));
+                if next.len() > limits.max_rows {
+                    return None;
+                }
+            }
+        }
+        rows = next;
+    }
+    let mut result: Vec<Vec<i64>> = rows
+        .into_iter()
+        .map(|(_, mut w)| {
+            let g = w.iter().fold(0i64, |acc, &v| gcd(acc, v));
+            if g > 1 {
+                for v in &mut w {
+                    *v /= g;
+                }
+            }
+            w
+        })
+        .filter(|w| w.iter().any(|&v| v != 0))
+        .collect();
+    result.sort();
+    result.dedup();
+    Some(result)
+}
+
+/// Computes a generating set of P-semiflows of `net` (weights per
+/// place, in place order). Returns `None` if the Farkas iteration
+/// exceeds `limits`.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{invariants, NetBuilder};
+///
+/// # fn main() -> Result<(), petri::NetError> {
+/// // p0 -> t -> p1 -> u -> p0: tokens are conserved (p0 + p1).
+/// let mut b = NetBuilder::new();
+/// let p0 = b.add_place("p0");
+/// let p1 = b.add_place("p1");
+/// let t = b.add_transition("t");
+/// let u = b.add_transition("u");
+/// b.arc_pt(p0, t)?;
+/// b.arc_tp(t, p1)?;
+/// b.arc_pt(p1, u)?;
+/// b.arc_tp(u, p0)?;
+/// let net = b.build()?;
+/// let flows = invariants::p_semiflows(&net, Default::default()).unwrap();
+/// assert_eq!(flows, vec![vec![1, 1]]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn p_semiflows(net: &Net, limits: FarkasLimits) -> Option<Vec<Vec<i64>>> {
+    let (np, nt) = (net.num_places(), net.num_transitions());
+    let inc = crate::IncidenceMatrix::of(net);
+    let rows: Vec<(Vec<i64>, Vec<i64>)> = (0..np)
+        .map(|p| {
+            let constraint: Vec<i64> = (0..nt)
+                .map(|t| inc.entry(PlaceId::new(p), TransitionId::new(t)) as i64)
+                .collect();
+            let mut weight = vec![0i64; np];
+            weight[p] = 1;
+            (constraint, weight)
+        })
+        .collect();
+    farkas(rows, nt, limits)
+}
+
+/// Computes a generating set of T-semiflows of `net` (firing counts
+/// per transition, in transition order). Returns `None` on limit
+/// overrun.
+pub fn t_semiflows(net: &Net, limits: FarkasLimits) -> Option<Vec<Vec<i64>>> {
+    let (np, nt) = (net.num_places(), net.num_transitions());
+    let inc = crate::IncidenceMatrix::of(net);
+    let rows: Vec<(Vec<i64>, Vec<i64>)> = (0..nt)
+        .map(|t| {
+            let constraint: Vec<i64> = (0..np)
+                .map(|p| inc.entry(PlaceId::new(p), TransitionId::new(t)) as i64)
+                .collect();
+            let mut weight = vec![0i64; nt];
+            weight[t] = 1;
+            (constraint, weight)
+        })
+        .collect();
+    farkas(rows, np, limits)
+}
+
+/// Checks that `weights` is a P-invariant: `Σ w(p)·I[p][t] = 0` for
+/// every transition.
+pub fn is_p_invariant(net: &Net, weights: &[i64]) -> bool {
+    assert_eq!(weights.len(), net.num_places(), "weight vector size");
+    let inc = crate::IncidenceMatrix::of(net);
+    net.transitions().all(|t| {
+        (0..net.num_places())
+            .map(|p| weights[p] * inc.entry(PlaceId::new(p), t) as i64)
+            .sum::<i64>()
+            == 0
+    })
+}
+
+/// The conserved quantity `Σ w(p)·M(p)` of a P-invariant at `m`.
+pub fn invariant_value(m: &crate::Marking, weights: &[i64]) -> i64 {
+    m.as_slice()
+        .iter()
+        .zip(weights)
+        .map(|(&k, &w)| k as i64 * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Marking, NetBuilder};
+
+    fn two_cycles() -> Net {
+        let mut b = NetBuilder::new();
+        for i in 0..2 {
+            let p0 = b.add_place(format!("p{i}0"));
+            let p1 = b.add_place(format!("p{i}1"));
+            let up = b.add_transition(format!("u{i}"));
+            let down = b.add_transition(format!("d{i}"));
+            b.arc_pt(p0, up).unwrap();
+            b.arc_tp(up, p1).unwrap();
+            b.arc_pt(p1, down).unwrap();
+            b.arc_tp(down, p0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn independent_cycles_have_independent_p_semiflows() {
+        let net = two_cycles();
+        let flows = p_semiflows(&net, Default::default()).unwrap();
+        assert!(flows.contains(&vec![1, 1, 0, 0]));
+        assert!(flows.contains(&vec![0, 0, 1, 1]));
+        for f in &flows {
+            assert!(is_p_invariant(&net, f));
+        }
+    }
+
+    #[test]
+    fn t_semiflows_are_cycles() {
+        let net = two_cycles();
+        let flows = t_semiflows(&net, Default::default()).unwrap();
+        assert!(flows.contains(&vec![1, 1, 0, 0]));
+        assert!(flows.contains(&vec![0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn invariant_values_are_conserved_under_firing() {
+        let net = two_cycles();
+        let flows = p_semiflows(&net, Default::default()).unwrap();
+        let m0 = Marking::with_tokens(4, &[(PlaceId::new(0), 1), (PlaceId::new(2), 1)]);
+        for f in &flows {
+            let v0 = invariant_value(&m0, f);
+            for t in net.transitions() {
+                if let Some(m1) = net.fire(&m0, t) {
+                    assert_eq!(invariant_value(&m1, f), v0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_net_has_no_t_semiflow() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let q = b.add_place("q");
+        let t = b.add_transition("t");
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, q).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(t_semiflows(&net, Default::default()).unwrap(), Vec::<Vec<i64>>::new());
+        // But p + q is conserved.
+        let flows = p_semiflows(&net, Default::default()).unwrap();
+        assert_eq!(flows, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn limits_guard_explosion() {
+        let net = two_cycles();
+        let limits = FarkasLimits { max_rows: 0 };
+        // With a zero budget the combination step must bail out as
+        // soon as any pair combination is attempted.
+        assert!(p_semiflows(&net, limits).is_none());
+    }
+}

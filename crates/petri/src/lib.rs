@@ -1,0 +1,54 @@
+//! Place/transition net kernel.
+//!
+//! This crate provides the Petri-net substrate used throughout the
+//! workspace: nets, markings, enabledness and firing, firing sequences,
+//! the incidence matrix and Parikh vectors (the *marking equation*
+//! `M = M0 + I·x`), and explicit reachability exploration with
+//! boundedness/safeness checks.
+//!
+//! The modelling conventions follow the paper being reproduced
+//! (Khomenko/Koutny/Yakovlev, DATE 2002): a net is a triple
+//! `N = (S, T, F)` with unit arc weights, every transition has a
+//! non-empty preset, and `•t ∩ t• = ∅` (no self-loops).
+//!
+//! # Examples
+//!
+//! ```
+//! use petri::{NetBuilder, Marking};
+//!
+//! # fn main() -> Result<(), petri::NetError> {
+//! let mut b = NetBuilder::new();
+//! let p0 = b.add_place("p0");
+//! let p1 = b.add_place("p1");
+//! let t = b.add_transition("t");
+//! b.arc_pt(p0, t)?;
+//! b.arc_tp(t, p1)?;
+//! let net = b.build()?;
+//!
+//! let m0 = Marking::with_tokens(net.num_places(), &[(p0, 1)]);
+//! assert!(net.is_enabled(&m0, t));
+//! let m1 = net.fire(&m0, t).expect("enabled");
+//! assert_eq!(m1.tokens(p1), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+mod error;
+mod ids;
+mod incidence;
+pub mod invariants;
+pub mod siphons;
+mod marking;
+mod net;
+mod reach;
+
+pub use bitset::BitSet;
+pub use error::NetError;
+pub use ids::{PlaceId, TransitionId};
+pub use incidence::{IncidenceMatrix, ParikhVector};
+pub use marking::Marking;
+pub use net::{Net, NetBuilder};
+pub use reach::{is_safe, ExploreLimits, ReachError, ReachabilityGraph, StateId};

@@ -1,0 +1,456 @@
+//! Nets and the net builder.
+
+use std::fmt;
+
+use crate::{Marking, NetError, PlaceId, TransitionId};
+
+#[derive(Debug, Clone)]
+struct PlaceData {
+    name: String,
+    pre: Vec<TransitionId>,  // •p : transitions producing into p
+    post: Vec<TransitionId>, // p• : transitions consuming from p
+}
+
+#[derive(Debug, Clone)]
+struct TransitionData {
+    name: String,
+    pre: Vec<PlaceId>,  // •t
+    post: Vec<PlaceId>, // t•
+}
+
+/// A finite place/transition net `N = (S, T, F)` with unit arc weights.
+///
+/// Nets are immutable once built; use [`NetBuilder`] to construct them.
+/// Presets/postsets are stored sorted, so iteration order is
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use petri::NetBuilder;
+///
+/// # fn main() -> Result<(), petri::NetError> {
+/// let mut b = NetBuilder::new();
+/// let p = b.add_place("req");
+/// let t = b.add_transition("ack+");
+/// b.arc_pt(p, t)?;
+/// let q = b.add_place("done");
+/// b.arc_tp(t, q)?;
+/// let net = b.build()?;
+/// assert_eq!(net.preset(t), &[p]);
+/// assert_eq!(net.place_name(q), "done");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Net {
+    places: Vec<PlaceData>,
+    transitions: Vec<TransitionData>,
+}
+
+impl Net {
+    /// Number of places `|S|`.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions `|T|`.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterates over all place ids.
+    pub fn places(&self) -> impl ExactSizeIterator<Item = PlaceId> + '_ {
+        (0..self.places.len()).map(PlaceId::new)
+    }
+
+    /// Iterates over all transition ids.
+    pub fn transitions(&self) -> impl ExactSizeIterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len()).map(TransitionId::new)
+    }
+
+    /// The name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.places[p.index()].name
+    }
+
+    /// The name of a transition.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.index()].name
+    }
+
+    /// The preset `•t` of a transition, sorted by place id.
+    pub fn preset(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.index()].pre
+    }
+
+    /// The postset `t•` of a transition, sorted by place id.
+    pub fn postset(&self, t: TransitionId) -> &[PlaceId] {
+        &self.transitions[t.index()].post
+    }
+
+    /// The preset `•p` of a place (producers), sorted by transition id.
+    pub fn place_preset(&self, p: PlaceId) -> &[TransitionId] {
+        &self.places[p.index()].pre
+    }
+
+    /// The postset `p•` of a place (consumers), sorted by transition id.
+    pub fn place_postset(&self, p: PlaceId) -> &[TransitionId] {
+        &self.places[p.index()].post
+    }
+
+    /// Returns whether transition `t` is enabled at marking `m`
+    /// (`M[t⟩`): every preset place carries at least one token.
+    pub fn is_enabled(&self, m: &Marking, t: TransitionId) -> bool {
+        self.preset(t).iter().all(|&p| m.tokens(p) >= 1)
+    }
+
+    /// Returns the transitions enabled at `m`, in id order.
+    pub fn enabled(&self, m: &Marking) -> Vec<TransitionId> {
+        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+    }
+
+    /// Fires `t` at `m`, returning the successor marking
+    /// `M' = M − •t + t•`, or `None` if `t` is not enabled.
+    pub fn fire(&self, m: &Marking, t: TransitionId) -> Option<Marking> {
+        if !self.is_enabled(m, t) {
+            return None;
+        }
+        let mut m2 = m.clone();
+        for &p in self.preset(t) {
+            m2.remove_token(p);
+        }
+        for &p in self.postset(t) {
+            m2.add_token(p);
+        }
+        Some(m2)
+    }
+
+    /// Fires a whole sequence `σ = t1 … tk`, returning the final marking
+    /// or `None` as soon as some transition is not enabled.
+    pub fn fire_sequence(&self, m: &Marking, seq: &[TransitionId]) -> Option<Marking> {
+        let mut cur = m.clone();
+        for &t in seq {
+            cur = self.fire(&cur, t)?;
+        }
+        Some(cur)
+    }
+
+    /// Returns whether `m` is a deadlock (no transition enabled).
+    pub fn is_deadlock(&self, m: &Marking) -> bool {
+        self.transitions().all(|t| !self.is_enabled(m, t))
+    }
+
+    /// Structural choice check: a net is *choice-free at the structure
+    /// level* when no place has more than one consumer. This is a cheap
+    /// sufficient condition for the dynamic conflict-freeness used by the
+    /// paper's §7 optimisation (the exact dynamic check lives in the
+    /// unfolding crate).
+    pub fn is_structurally_conflict_free(&self) -> bool {
+        self.places().all(|p| self.place_postset(p).len() <= 1)
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "net: {} places, {} transitions",
+            self.num_places(),
+            self.num_transitions()
+        )?;
+        for t in self.transitions() {
+            let pre: Vec<_> = self.preset(t).iter().map(|&p| self.place_name(p)).collect();
+            let post: Vec<_> = self.postset(t).iter().map(|&p| self.place_name(p)).collect();
+            writeln!(
+                f,
+                "  {} : {{{}}} -> {{{}}}",
+                self.transition_name(t),
+                pre.join(", "),
+                post.join(", ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Net`].
+///
+/// Arcs are validated as they are added; [`NetBuilder::build`] runs the
+/// final structural checks (non-empty presets, no self-loops).
+#[derive(Debug, Clone, Default)]
+pub struct NetBuilder {
+    places: Vec<PlaceData>,
+    transitions: Vec<TransitionData>,
+}
+
+impl NetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a place with the given name and returns its id.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        let id = PlaceId::new(self.places.len());
+        self.places.push(PlaceData {
+            name: name.into(),
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a transition with the given name and returns its id.
+    pub fn add_transition(&mut self, name: impl Into<String>) -> TransitionId {
+        let id = TransitionId::new(self.transitions.len());
+        self.transitions.push(TransitionData {
+            name: name.into(),
+            pre: Vec::new(),
+            post: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of places added so far.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    fn check_ids(&self, p: PlaceId, t: TransitionId) -> Result<(), NetError> {
+        if p.index() >= self.places.len() {
+            return Err(NetError::UnknownPlace(p));
+        }
+        if t.index() >= self.transitions.len() {
+            return Err(NetError::UnknownTransition(t));
+        }
+        Ok(())
+    }
+
+    /// Adds an arc from place `p` to transition `t` (so `p ∈ •t`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::DuplicateArc`] if the arc already exists and
+    /// [`NetError::UnknownPlace`]/[`NetError::UnknownTransition`] for
+    /// dangling ids.
+    pub fn arc_pt(&mut self, p: PlaceId, t: TransitionId) -> Result<(), NetError> {
+        self.check_ids(p, t)?;
+        if self.transitions[t.index()].pre.contains(&p) {
+            return Err(NetError::DuplicateArc { place: p, transition: t });
+        }
+        self.transitions[t.index()].pre.push(p);
+        self.places[p.index()].post.push(t);
+        Ok(())
+    }
+
+    /// Adds an arc from transition `t` to place `p` (so `p ∈ t•`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetBuilder::arc_pt`].
+    pub fn arc_tp(&mut self, t: TransitionId, p: PlaceId) -> Result<(), NetError> {
+        self.check_ids(p, t)?;
+        if self.transitions[t.index()].post.contains(&p) {
+            return Err(NetError::DuplicateArc { place: p, transition: t });
+        }
+        self.transitions[t.index()].post.push(p);
+        self.places[p.index()].pre.push(t);
+        Ok(())
+    }
+
+    /// Convenience: adds a fresh, unnamed place connecting `from` to
+    /// `to` (an "implicit place" in STG parlance) and returns it.
+    pub fn connect(
+        &mut self,
+        from: TransitionId,
+        to: TransitionId,
+    ) -> Result<PlaceId, NetError> {
+        let name = format!(
+            "<{},{}>",
+            self.transitions
+                .get(from.index())
+                .map(|t| t.name.clone())
+                .unwrap_or_default(),
+            self.transitions
+                .get(to.index())
+                .map(|t| t.name.clone())
+                .unwrap_or_default()
+        );
+        let p = self.add_place(name);
+        self.arc_tp(from, p)?;
+        self.arc_pt(p, to)?;
+        Ok(p)
+    }
+
+    /// Finalises the net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EmptyPreset`] if some transition has no input
+    /// place and [`NetError::SelfLoop`] if some transition both consumes
+    /// from and produces into the same place.
+    pub fn build(mut self) -> Result<Net, NetError> {
+        for (i, t) in self.transitions.iter().enumerate() {
+            if t.pre.is_empty() {
+                return Err(NetError::EmptyPreset(TransitionId::new(i)));
+            }
+            for &p in &t.pre {
+                if t.post.contains(&p) {
+                    return Err(NetError::SelfLoop {
+                        transition: TransitionId::new(i),
+                        place: p,
+                    });
+                }
+            }
+        }
+        for p in &mut self.places {
+            p.pre.sort_unstable();
+            p.post.sort_unstable();
+        }
+        for t in &mut self.transitions {
+            t.pre.sort_unstable();
+            t.post.sort_unstable();
+        }
+        Ok(Net {
+            places: self.places,
+            transitions: self.transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> (Net, PlaceId, PlaceId, TransitionId, TransitionId) {
+        // p0 -> a -> p1 -> b -> p0   (a simple 2-phase cycle)
+        let mut b = NetBuilder::new();
+        let p0 = b.add_place("p0");
+        let p1 = b.add_place("p1");
+        let ta = b.add_transition("a");
+        let tb = b.add_transition("b");
+        b.arc_pt(p0, ta).unwrap();
+        b.arc_tp(ta, p1).unwrap();
+        b.arc_pt(p1, tb).unwrap();
+        b.arc_tp(tb, p0).unwrap();
+        (b.build().unwrap(), p0, p1, ta, tb)
+    }
+
+    #[test]
+    fn build_and_query_structure() {
+        let (net, p0, p1, ta, tb) = two_phase();
+        assert_eq!(net.num_places(), 2);
+        assert_eq!(net.num_transitions(), 2);
+        assert_eq!(net.preset(ta), &[p0]);
+        assert_eq!(net.postset(ta), &[p1]);
+        assert_eq!(net.place_preset(p0), &[tb]);
+        assert_eq!(net.place_postset(p0), &[ta]);
+        assert_eq!(net.place_name(p1), "p1");
+        assert_eq!(net.transition_name(tb), "b");
+    }
+
+    #[test]
+    fn firing_semantics() {
+        let (net, p0, p1, ta, tb) = two_phase();
+        let m0 = Marking::with_tokens(2, &[(p0, 1)]);
+        assert!(net.is_enabled(&m0, ta));
+        assert!(!net.is_enabled(&m0, tb));
+        let m1 = net.fire(&m0, ta).unwrap();
+        assert_eq!(m1.tokens(p0), 0);
+        assert_eq!(m1.tokens(p1), 1);
+        assert!(net.fire(&m0, tb).is_none());
+        let back = net.fire_sequence(&m0, &[ta, tb]).unwrap();
+        assert_eq!(back, m0);
+        assert!(net.fire_sequence(&m0, &[tb]).is_none());
+    }
+
+    #[test]
+    fn enabled_and_deadlock() {
+        let (net, p0, _p1, ta, _tb) = two_phase();
+        let m0 = Marking::with_tokens(2, &[(p0, 1)]);
+        assert_eq!(net.enabled(&m0), vec![ta]);
+        let empty = Marking::empty(2);
+        assert!(net.is_deadlock(&empty));
+        assert!(!net.is_deadlock(&m0));
+    }
+
+    #[test]
+    fn duplicate_arc_rejected() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let t = b.add_transition("t");
+        b.arc_pt(p, t).unwrap();
+        assert_eq!(
+            b.arc_pt(p, t),
+            Err(NetError::DuplicateArc { place: p, transition: t })
+        );
+    }
+
+    #[test]
+    fn empty_preset_rejected() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let t = b.add_transition("t");
+        b.arc_tp(t, p).unwrap();
+        assert_eq!(b.build().unwrap_err(), NetError::EmptyPreset(t));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let t = b.add_transition("t");
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, p).unwrap();
+        assert!(matches!(b.build(), Err(NetError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn dangling_ids_rejected() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let t = b.add_transition("t");
+        assert_eq!(b.arc_pt(PlaceId::new(5), t), Err(NetError::UnknownPlace(PlaceId::new(5))));
+        assert_eq!(
+            b.arc_tp(TransitionId::new(9), p),
+            Err(NetError::UnknownTransition(TransitionId::new(9)))
+        );
+    }
+
+    #[test]
+    fn connect_creates_implicit_place() {
+        let mut b = NetBuilder::new();
+        let seed = b.add_place("seed");
+        let ta = b.add_transition("a+");
+        let tb = b.add_transition("b+");
+        b.arc_pt(seed, ta).unwrap();
+        let p = b.connect(ta, tb).unwrap();
+        let net = b.build().unwrap();
+        assert_eq!(net.place_name(p), "<a+,b+>");
+        assert_eq!(net.place_preset(p), &[ta]);
+        assert_eq!(net.place_postset(p), &[tb]);
+    }
+
+    #[test]
+    fn structural_conflict_freeness() {
+        let (net, ..) = two_phase();
+        assert!(net.is_structurally_conflict_free());
+        let mut b = NetBuilder::new();
+        let p = b.add_place("choice");
+        let t1 = b.add_transition("t1");
+        let t2 = b.add_transition("t2");
+        b.arc_pt(p, t1).unwrap();
+        b.arc_pt(p, t2).unwrap();
+        let q = b.add_place("q");
+        b.arc_tp(t1, q).unwrap();
+        b.arc_tp(t2, q).unwrap();
+        let net = b.build().unwrap();
+        assert!(!net.is_structurally_conflict_free());
+    }
+}

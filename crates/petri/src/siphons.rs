@@ -1,0 +1,206 @@
+//! Siphons and traps.
+//!
+//! A *siphon* is a place set `S` with `•S ⊆ S•`: every transition
+//! putting tokens into `S` also takes one out, so an empty siphon
+//! stays empty forever. Dually, a *trap* `Q` has `Q• ⊆ •Q` and stays
+//! marked once marked. The classical connection to deadlocks (and to
+//! this workspace's `find_deadlock`): in an ordinary net, the set of
+//! unmarked places at a deadlocked marking is a siphon.
+
+use crate::bitset::BitSet;
+use crate::{Marking, Net, PlaceId};
+
+fn to_set(net: &Net, places: &[PlaceId]) -> BitSet {
+    let mut s = BitSet::new(net.num_places());
+    for &p in places {
+        s.insert(p.index());
+    }
+    s
+}
+
+fn from_set(set: &BitSet) -> Vec<PlaceId> {
+    set.iter().map(PlaceId::new).collect()
+}
+
+/// Whether `places` forms a siphon: every producer of a member also
+/// consumes from a member.
+pub fn is_siphon(net: &Net, places: &[PlaceId]) -> bool {
+    let set = to_set(net, places);
+    places.iter().all(|&p| {
+        net.place_preset(p).iter().all(|&t| {
+            net.preset(t).iter().any(|&q| set.contains(q.index()))
+        })
+    })
+}
+
+/// Whether `places` forms a trap: every consumer of a member also
+/// produces into a member.
+pub fn is_trap(net: &Net, places: &[PlaceId]) -> bool {
+    let set = to_set(net, places);
+    places.iter().all(|&p| {
+        net.place_postset(p).iter().all(|&t| {
+            net.postset(t).iter().any(|&q| set.contains(q.index()))
+        })
+    })
+}
+
+/// The maximal siphon contained in `within` (possibly empty),
+/// computed by the standard erosion fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{siphons, Marking, NetBuilder};
+///
+/// # fn main() -> Result<(), petri::NetError> {
+/// // p -> t -> q (q is a sink): {q} is no siphon (t produces into
+/// // it without consuming from it), but {p, q} is.
+/// let mut b = NetBuilder::new();
+/// let p = b.add_place("p");
+/// let q = b.add_place("q");
+/// let t = b.add_transition("t");
+/// b.arc_pt(p, t)?;
+/// b.arc_tp(t, q)?;
+/// let net = b.build()?;
+/// let all: Vec<_> = net.places().collect();
+/// assert_eq!(siphons::maximal_siphon_within(&net, &all), vec![p, q]);
+/// assert_eq!(siphons::maximal_siphon_within(&net, &[q]), vec![]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_siphon_within(net: &Net, within: &[PlaceId]) -> Vec<PlaceId> {
+    let mut set = to_set(net, within);
+    loop {
+        let mut removed = false;
+        for p in net.places() {
+            if !set.contains(p.index()) {
+                continue;
+            }
+            let violates = net
+                .place_preset(p)
+                .iter()
+                .any(|&t| !net.preset(t).iter().any(|&q| set.contains(q.index())));
+            if violates {
+                set.remove(p.index());
+                removed = true;
+            }
+        }
+        if !removed {
+            return from_set(&set);
+        }
+    }
+}
+
+/// The maximal trap contained in `within` (possibly empty).
+pub fn maximal_trap_within(net: &Net, within: &[PlaceId]) -> Vec<PlaceId> {
+    let mut set = to_set(net, within);
+    loop {
+        let mut removed = false;
+        for p in net.places() {
+            if !set.contains(p.index()) {
+                continue;
+            }
+            let violates = net
+                .place_postset(p)
+                .iter()
+                .any(|&t| !net.postset(t).iter().any(|&q| set.contains(q.index())));
+            if violates {
+                set.remove(p.index());
+                removed = true;
+            }
+        }
+        if !removed {
+            return from_set(&set);
+        }
+    }
+}
+
+/// The set of places unmarked at `m` — at a deadlock this is a
+/// siphon (the classical deadlock/siphon lemma for ordinary nets).
+pub fn unmarked_places(net: &Net, m: &Marking) -> Vec<PlaceId> {
+    net.places().filter(|&p| m.tokens(p) == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn cycle_net() -> (Net, Vec<PlaceId>) {
+        // p0 -> t0 -> p1 -> t1 -> p0 : the cycle is both a siphon and
+        // a trap.
+        let mut b = NetBuilder::new();
+        let p0 = b.add_place("p0");
+        let p1 = b.add_place("p1");
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0).unwrap();
+        b.arc_tp(t0, p1).unwrap();
+        b.arc_pt(p1, t1).unwrap();
+        b.arc_tp(t1, p0).unwrap();
+        (b.build().unwrap(), vec![p0, p1])
+    }
+
+    #[test]
+    fn cycles_are_siphons_and_traps() {
+        let (net, ps) = cycle_net();
+        assert!(is_siphon(&net, &ps));
+        assert!(is_trap(&net, &ps));
+        assert!(!is_siphon(&net, &ps[..1]));
+        assert!(!is_trap(&net, &ps[1..]));
+        assert!(is_siphon(&net, &[]), "the empty set is trivially a siphon");
+    }
+
+    #[test]
+    fn maximal_computations() {
+        let (net, ps) = cycle_net();
+        assert_eq!(maximal_siphon_within(&net, &ps), ps);
+        assert_eq!(maximal_trap_within(&net, &ps), ps);
+        assert_eq!(maximal_siphon_within(&net, &ps[..1]), Vec::<PlaceId>::new());
+    }
+
+    #[test]
+    fn sink_and_source_structure() {
+        // src -> t -> mid -> u -> sink
+        let mut b = NetBuilder::new();
+        let src = b.add_place("src");
+        let mid = b.add_place("mid");
+        let sink = b.add_place("sink");
+        let t = b.add_transition("t");
+        let u = b.add_transition("u");
+        b.arc_pt(src, t).unwrap();
+        b.arc_tp(t, mid).unwrap();
+        b.arc_pt(mid, u).unwrap();
+        b.arc_tp(u, sink).unwrap();
+        let net = b.build().unwrap();
+        // {src} is a siphon (nothing produces into it); {sink} a trap.
+        assert!(is_siphon(&net, &[src]));
+        assert!(is_trap(&net, &[sink]));
+        assert!(!is_trap(&net, &[src]));
+        assert!(!is_siphon(&net, &[sink]));
+        let all: Vec<_> = net.places().collect();
+        assert_eq!(maximal_trap_within(&net, &all), all);
+    }
+
+    #[test]
+    fn deadlock_empties_form_a_siphon() {
+        // p -> t -> q, token on p: firing t deadlocks with p empty...
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let q = b.add_place("q");
+        let r = b.add_place("r");
+        let t = b.add_transition("t");
+        let u = b.add_transition("u");
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, q).unwrap();
+        b.arc_pt(q, u).unwrap();
+        b.arc_pt(r, u).unwrap(); // u also needs r, which never fills
+        b.arc_tp(u, p).unwrap();
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(3, &[(p, 1)]);
+        let m1 = net.fire(&m0, t).unwrap();
+        assert!(net.is_deadlock(&m1));
+        let empty = unmarked_places(&net, &m1);
+        assert!(is_siphon(&net, &empty));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests of the net kernel: bit-set algebra, the
+//! marking equation against actual firing, and reachability
+//! invariants.
+
+use petri::{
+    BitSet, ExploreLimits, IncidenceMatrix, Marking, Net, NetBuilder, ParikhVector, PlaceId,
+    ReachabilityGraph, TransitionId,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- bitsets
+
+fn arb_elems() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..200, 0..40)
+}
+
+fn set_of(elems: &[usize]) -> BitSet {
+    let mut s = BitSet::new(200);
+    for &e in elems {
+        s.insert(e);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitset_union_is_set_union(a in arb_elems(), b in arb_elems()) {
+        let mut u = set_of(&a);
+        u.union_with(&set_of(&b));
+        let mut expected: Vec<usize> = a.iter().chain(&b).copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(u.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn bitset_difference_intersection_laws(a in arb_elems(), b in arb_elems()) {
+        let (sa, sb) = (set_of(&a), set_of(&b));
+        // |A| = |A∩B| + |A\B|
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert_eq!(sa.len(), inter.len() + diff.len());
+        prop_assert!(inter.is_subset(&sa));
+        prop_assert!(inter.is_subset(&sb));
+        prop_assert!(diff.is_disjoint(&sb));
+    }
+
+    #[test]
+    fn bitset_subset_iff_union_equal(a in arb_elems(), b in arb_elems()) {
+        let (sa, sb) = (set_of(&a), set_of(&b));
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(sa.is_subset(&sb), u == sb);
+    }
+}
+
+// ------------------------------------------------------ random safe nets
+
+/// A random net built from token-preserving cycles through a pool of
+/// transitions (always safe by construction — every place belongs to
+/// exactly one single-token cycle).
+fn arb_net() -> impl Strategy<Value = (Net, Marking)> {
+    (2usize..8, prop::collection::vec((0usize..8, 0usize..8, 0usize..6), 1..6)).prop_map(
+        |(num_transitions, cycles)| {
+            let mut b = NetBuilder::new();
+            let ts: Vec<TransitionId> = (0..num_transitions)
+                .map(|i| b.add_transition(format!("t{i}")))
+                .collect();
+            let mut tokens = Vec::new();
+            for (ci, (from, to, token_at)) in cycles.iter().enumerate() {
+                // A 2-transition cycle (degenerate pairs skipped).
+                let a = ts[from % num_transitions];
+                let c = ts[to % num_transitions];
+                if a == c {
+                    continue;
+                }
+                let p = b.add_place(format!("c{ci}a"));
+                let q = b.add_place(format!("c{ci}b"));
+                b.arc_tp(a, p).unwrap();
+                b.arc_pt(p, c).unwrap();
+                b.arc_tp(c, q).unwrap();
+                b.arc_pt(q, a).unwrap();
+                tokens.push((if token_at % 2 == 0 { p } else { q }, 1));
+            }
+            // Give every transition a self-cycle through two places so
+            // presets are never empty.
+            for (i, &t) in ts.iter().enumerate() {
+                let p = b.add_place(format!("s{i}p"));
+                let q = b.add_place(format!("s{i}q"));
+                b.arc_pt(p, t).unwrap();
+                b.arc_tp(t, q).unwrap();
+                // A partner transition to recycle the token.
+                let r = b.add_transition(format!("r{i}"));
+                b.arc_pt(q, r).unwrap();
+                b.arc_tp(r, p).unwrap();
+                tokens.push((p, 1));
+            }
+            let net = b.build().unwrap();
+            let m0 = Marking::with_tokens(net.num_places(), &tokens);
+            (net, m0)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Firing a random enabled sequence agrees with the marking
+    /// equation `M = M0 + I·x`.
+    #[test]
+    fn marking_equation_agrees_with_firing((net, m0) in arb_net(), choices in prop::collection::vec(0usize..100, 0..30)) {
+        let inc = IncidenceMatrix::of(&net);
+        let mut m = m0.clone();
+        let mut seq = Vec::new();
+        for c in choices {
+            let enabled = net.enabled(&m);
+            if enabled.is_empty() {
+                break;
+            }
+            let t = enabled[c % enabled.len()];
+            m = net.fire(&m, t).unwrap();
+            seq.push(t);
+        }
+        let x = ParikhVector::of_sequence(net.num_transitions(), &seq);
+        prop_assert_eq!(inc.apply(&m0, &x), Some(m));
+    }
+
+    /// All reachable markings of the cycle construction are safe, and
+    /// BFS paths replay.
+    #[test]
+    fn exploration_is_safe_and_paths_replay((net, m0) in arb_net()) {
+        let limits = ExploreLimits { max_states: 50_000, token_bound: 1 };
+        let graph = ReachabilityGraph::explore(&net, &m0, limits).unwrap();
+        for s in graph.states().take(64) {
+            prop_assert!(graph.marking(s).is_safe());
+            let path = graph.path_to(s);
+            let reached = net.fire_sequence(&m0, &path);
+            prop_assert_eq!(reached.as_ref(), Some(graph.marking(s)));
+        }
+    }
+
+    /// Cycle places are P-invariants: every cycle conserves its token.
+    #[test]
+    fn cycle_invariants_hold((net, m0) in arb_net()) {
+        let flows = petri::invariants::p_semiflows(&net, Default::default());
+        prop_assume!(flows.is_some());
+        for f in flows.unwrap().iter().take(16) {
+            prop_assert!(petri::invariants::is_p_invariant(&net, f));
+            let v0 = petri::invariants::invariant_value(&m0, f);
+            for t in net.transitions() {
+                if let Some(m1) = net.fire(&m0, t) {
+                    prop_assert_eq!(petri::invariants::invariant_value(&m1, f), v0);
+                }
+            }
+        }
+    }
+
+    /// Parikh count bookkeeping.
+    #[test]
+    fn parikh_total_is_sequence_length(seq in prop::collection::vec(0u32..10, 0..50)) {
+        let ts: Vec<TransitionId> = seq.iter().map(|&i| TransitionId::new(i as usize)).collect();
+        let x = ParikhVector::of_sequence(10, &ts);
+        prop_assert_eq!(x.total() as usize, ts.len());
+        let by_hand: u32 = (0..10).map(|i| x.count(TransitionId::new(i))).sum();
+        prop_assert_eq!(by_hand, x.total());
+    }
+}
+
+#[test]
+fn place_id_indexing_is_dense() {
+    let mut b = NetBuilder::new();
+    let ids: Vec<PlaceId> = (0..5).map(|i| b.add_place(format!("p{i}"))).collect();
+    for (i, p) in ids.iter().enumerate() {
+        assert_eq!(p.index(), i);
+    }
+}

@@ -1,0 +1,278 @@
+//! The generate-and-test resolution loop.
+
+use std::error::Error;
+use std::fmt;
+
+use csc_core::{CheckError, Checker};
+use petri::ExploreLimits;
+use stg::{StateGraph, Stg};
+
+use crate::insert::insert_state_signal;
+
+/// Options of [`resolve_csc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverOptions {
+    /// Maximum number of state signals to insert.
+    pub max_signals: usize,
+    /// Exploration limits for candidate scoring.
+    pub limits: ExploreLimits,
+    /// Score candidates with the unfolding + IP engine
+    /// (`Checker::enumerate_conflicts`) instead of the explicit state
+    /// graph — slower per candidate on small models, but independent
+    /// of the state-space size.
+    pub unfolding_scoring: bool,
+}
+
+impl Default for ResolverOptions {
+    fn default() -> Self {
+        ResolverOptions {
+            max_signals: 3,
+            limits: ExploreLimits::default(),
+            unfolding_scoring: false,
+        }
+    }
+}
+
+/// Result of a resolution attempt.
+#[derive(Debug, Clone)]
+pub enum ResolveOutcome {
+    /// The input already satisfies CSC.
+    AlreadySatisfied,
+    /// Resolution succeeded; `inserted` names the new signals.
+    Resolved {
+        /// The conflict-free STG.
+        stg: Stg,
+        /// Names of the inserted internal signals.
+        inserted: Vec<String>,
+    },
+    /// The budget ran out; `best` is the lowest-conflict model found.
+    Failed {
+        /// Best model reached.
+        best: Stg,
+        /// CSC conflict pairs remaining in `best`.
+        remaining: usize,
+    },
+}
+
+/// An error during resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResolveError {
+    /// The input STG is inconsistent or too large to score.
+    Input(String),
+    /// The final verification with the unfolding checker failed.
+    Verification(CheckError),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::Input(m) => write!(f, "unresolvable input: {m}"),
+            ResolveError::Verification(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl Error for ResolveError {}
+
+/// Number of CSC conflict pairs, or `None` when the candidate is
+/// broken (inconsistent / unsafe / too large).
+fn score(stg: &Stg, options: &ResolverOptions) -> Option<usize> {
+    if options.unfolding_scoring {
+        let checker = Checker::new(stg).ok()?;
+        if !checker.check_consistency().ok()?.is_consistent() {
+            return None;
+        }
+        Some(
+            checker
+                .enumerate_conflicts(csc_core::ConflictKind::Csc, 10_000)
+                .ok()?
+                .len(),
+        )
+    } else {
+        let sg = StateGraph::build(stg, options.limits).ok()?;
+        Some(sg.csc_conflict_pairs(stg).len())
+    }
+}
+
+/// Attempts to make `stg` satisfy CSC by inserting up to
+/// [`ResolverOptions::max_signals`] internal state signals. Every
+/// returned `Resolved` model has been re-verified with the
+/// unfolding + integer-programming checker.
+///
+/// The search is greedy (best single insertion per round) and can
+/// stall in a local optimum on models whose conflicts cannot be
+/// reduced by any single insertion — notably τ-heavy STGs where
+/// dummy transitions separate same-code states. Such runs end in
+/// [`ResolveOutcome::Failed`] with the best model found.
+///
+/// # Errors
+///
+/// * [`ResolveError::Input`] if the input cannot even be scored
+///   (inconsistent or exceeding the exploration limits);
+/// * [`ResolveError::Verification`] if the final unfolding check
+///   errors out.
+pub fn resolve_csc(stg: &Stg, options: ResolverOptions) -> Result<ResolveOutcome, ResolveError> {
+    let initial = score(stg, &options)
+        .ok_or_else(|| ResolveError::Input("state graph unavailable".to_owned()))?;
+    if initial == 0 {
+        return Ok(ResolveOutcome::AlreadySatisfied);
+    }
+    let mut current = stg.clone();
+    let mut current_score = initial;
+    let mut inserted = Vec::new();
+    for round in 0..options.max_signals {
+        let name = format!("csc{round}");
+        let mut best: Option<(usize, Stg)> = None;
+        let places: Vec<_> = current.net().places().collect();
+        'candidates: for &p_plus in &places {
+            for &p_minus in &places {
+                if p_plus == p_minus {
+                    continue;
+                }
+                let Ok(candidate) = insert_state_signal(&current, &name, p_plus, p_minus) else {
+                    continue;
+                };
+                let Some(s) = score(&candidate, &options) else {
+                    continue; // inconsistent or over limits
+                };
+                if best.as_ref().is_none_or(|(b, _)| s < *b) {
+                    let solved = s == 0;
+                    best = Some((s, candidate));
+                    if solved {
+                        break 'candidates;
+                    }
+                }
+            }
+        }
+        match best {
+            Some((s, candidate)) if s < current_score => {
+                current = candidate;
+                current_score = s;
+                inserted.push(name);
+                if s == 0 {
+                    break;
+                }
+            }
+            _ => break, // no candidate improves: stop early
+        }
+    }
+    if current_score == 0 {
+        // Final verification with the paper's checker — the resolver
+        // only ever *claims* success the unfolding engine confirms.
+        let checker = Checker::new(&current).map_err(ResolveError::Verification)?;
+        let outcome = checker.check_csc().map_err(ResolveError::Verification)?;
+        if !outcome.is_satisfied() {
+            return Err(ResolveError::Input(
+                "scoring and verification disagree".to_owned(),
+            ));
+        }
+        Ok(ResolveOutcome::Resolved {
+            stg: current,
+            inserted,
+        })
+    } else {
+        Ok(ResolveOutcome::Failed {
+            best: current,
+            remaining: current_score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::duplex::{dup_4ph, dup_mod};
+    use stg::gen::ring::lazy_ring;
+    use stg::gen::vme::vme_read;
+
+    fn assert_resolved(stg: &Stg, label: &str) -> Stg {
+        match resolve_csc(stg, ResolverOptions::default()).unwrap() {
+            ResolveOutcome::Resolved { stg: fixed, inserted } => {
+                assert!(!inserted.is_empty(), "{label}");
+                let sg = StateGraph::build(&fixed, Default::default()).unwrap();
+                assert!(sg.satisfies_csc(&fixed), "{label}");
+                fixed
+            }
+            other => panic!("{label}: expected Resolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vme_resolves_with_one_signal() {
+        let fixed = assert_resolved(&vme_read(), "vme");
+        assert_eq!(fixed.num_signals(), 6);
+    }
+
+    #[test]
+    fn dup_4ph_resolves() {
+        assert_resolved(&dup_4ph(1, false), "dup_4ph(1)");
+    }
+
+    #[test]
+    fn dup_mod_resolves() {
+        assert_resolved(&dup_mod(1), "dup_mod(1)");
+    }
+
+    #[test]
+    fn lazy_ring_resolves() {
+        assert_resolved(&lazy_ring(2), "lazy_ring(2)");
+    }
+
+    #[test]
+    fn satisfied_input_is_left_alone() {
+        let stg = counterflow_sym(2, 2);
+        assert!(matches!(
+            resolve_csc(&stg, ResolverOptions::default()).unwrap(),
+            ResolveOutcome::AlreadySatisfied
+        ));
+    }
+
+    #[test]
+    fn unfolding_scoring_agrees_with_explicit() {
+        let stg = vme_read();
+        let options = ResolverOptions {
+            unfolding_scoring: true,
+            ..Default::default()
+        };
+        match resolve_csc(&stg, options).unwrap() {
+            ResolveOutcome::Resolved { stg: fixed, .. } => {
+                let sg = StateGraph::build(&fixed, Default::default()).unwrap();
+                assert!(sg.satisfies_csc(&fixed));
+            }
+            other => panic!("expected Resolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_reports_failure() {
+        let stg = vme_read();
+        let options = ResolverOptions {
+            max_signals: 0,
+            ..Default::default()
+        };
+        match resolve_csc(&stg, options).unwrap() {
+            ResolveOutcome::Failed { remaining, .. } => assert!(remaining > 0),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolved_models_keep_original_behaviour_shape() {
+        // The environment-visible signals and their counts are
+        // untouched; only internal csc* signals appear.
+        let stg = vme_read();
+        let fixed = assert_resolved(&stg, "vme");
+        for z in stg.signals() {
+            let name = stg.signal_name(z);
+            let fz = fixed.signal_by_name(name).unwrap();
+            assert_eq!(fixed.signal_kind(fz), stg.signal_kind(z), "{name}");
+            assert_eq!(
+                fixed.transitions_of(fz).count(),
+                stg.transitions_of(z).count(),
+                "{name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Binary code vectors and integer signal-change vectors.
+
+use std::fmt;
+
+use crate::signal::Signal;
+
+/// A binary state encoding `Code(M) ∈ {0,1}^|Z|`.
+///
+/// Indexed by [`Signal`]; displayed as a bit string in signal order —
+/// the same convention the paper uses (e.g. `10110` for the VME bus
+/// example).
+///
+/// # Examples
+///
+/// ```
+/// use stg::{CodeVec, ChangeVec};
+/// use stg::Signal;
+///
+/// let v0 = CodeVec::zeros(3);
+/// let mut delta = ChangeVec::zero(3);
+/// delta.bump(Signal::new(1), 1);
+/// let code = v0.apply(&delta).expect("stays binary");
+/// assert_eq!(code.to_string(), "010");
+/// assert!(v0.componentwise_le(&code));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CodeVec(Vec<bool>);
+
+impl CodeVec {
+    /// The all-zero code over `n` signals.
+    pub fn zeros(n: usize) -> Self {
+        CodeVec(vec![false; n])
+    }
+
+    /// Builds a code from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        CodeVec(bits)
+    }
+
+    /// Parses a bit string such as `"10110"`.
+    ///
+    /// Returns `None` if a character is not `0`/`1`.
+    pub fn parse_bits(s: &str) -> Option<Self> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(CodeVec)
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the code ranges over zero signals.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value of signal `z`.
+    pub fn bit(&self, z: Signal) -> bool {
+        self.0[z.index()]
+    }
+
+    /// Sets the value of signal `z`.
+    pub fn set_bit(&mut self, z: Signal, v: bool) {
+        self.0[z.index()] = v;
+    }
+
+    /// `v0 + delta`, or `None` if some component leaves `{0,1}` —
+    /// exactly the binariness requirement of STG consistency.
+    pub fn apply(&self, delta: &ChangeVec) -> Option<CodeVec> {
+        let mut out = Vec::with_capacity(self.0.len());
+        for (i, &b) in self.0.iter().enumerate() {
+            match b as i32 + delta.0[i] {
+                0 => out.push(false),
+                1 => out.push(true),
+                _ => return None,
+            }
+        }
+        Some(CodeVec(out))
+    }
+
+    /// Componentwise `≤` — the partial order on codes used by the
+    /// normalcy conditions (§6). Not `PartialOrd`, whose derive would
+    /// be lexicographic.
+    pub fn componentwise_le(&self, other: &CodeVec) -> bool {
+        assert_eq!(self.0.len(), other.0.len(), "code length mismatch");
+        self.0.iter().zip(&other.0).all(|(a, b)| *a <= *b)
+    }
+
+    /// Iterates over the bits in signal order.
+    pub fn bits(&self) -> impl ExactSizeIterator<Item = bool> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for CodeVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CodeVec({self})")
+    }
+}
+
+impl fmt::Display for CodeVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+/// An integer signal-change vector `v_σ ∈ ℤ^|Z|`: per signal, the
+/// number of rising minus falling occurrences along a sequence or
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChangeVec(Vec<i32>);
+
+impl ChangeVec {
+    /// The zero vector over `n` signals.
+    pub fn zero(n: usize) -> Self {
+        ChangeVec(vec![0; n])
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector ranges over zero signals.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component for signal `z`.
+    pub fn get(&self, z: Signal) -> i32 {
+        self.0[z.index()]
+    }
+
+    /// Adds `delta` to the component of `z`.
+    pub fn bump(&mut self, z: Signal, delta: i32) {
+        self.0[z.index()] += delta;
+    }
+
+    /// Componentwise sum.
+    pub fn add(&self, other: &ChangeVec) -> ChangeVec {
+        assert_eq!(self.0.len(), other.0.len(), "change vector length mismatch");
+        ChangeVec(self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect())
+    }
+
+    /// Raw components, indexed by signal.
+    pub fn as_slice(&self) -> &[i32] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let c = CodeVec::parse_bits("10110").unwrap();
+        assert_eq!(c.to_string(), "10110");
+        assert!(c.bit(Signal::new(0)));
+        assert!(!c.bit(Signal::new(1)));
+        assert_eq!(CodeVec::parse_bits("10x"), None);
+    }
+
+    #[test]
+    fn apply_keeps_binariness() {
+        let v0 = CodeVec::parse_bits("01").unwrap();
+        let mut d = ChangeVec::zero(2);
+        d.bump(Signal::new(0), 1);
+        d.bump(Signal::new(1), -1);
+        assert_eq!(v0.apply(&d).unwrap().to_string(), "10");
+        let mut overflow = ChangeVec::zero(2);
+        overflow.bump(Signal::new(1), 1); // 1 + 1 = 2: not binary
+        assert_eq!(v0.apply(&overflow), None);
+        let mut underflow = ChangeVec::zero(2);
+        underflow.bump(Signal::new(0), -1); // 0 - 1: not binary
+        assert_eq!(v0.apply(&underflow), None);
+    }
+
+    #[test]
+    fn componentwise_order_is_not_lexicographic() {
+        let a = CodeVec::parse_bits("01").unwrap();
+        let b = CodeVec::parse_bits("10").unwrap();
+        assert!(!a.componentwise_le(&b));
+        assert!(!b.componentwise_le(&a));
+        let bot = CodeVec::parse_bits("00").unwrap();
+        assert!(bot.componentwise_le(&a));
+        assert!(bot.componentwise_le(&b));
+        assert!(a.componentwise_le(&a));
+    }
+
+    #[test]
+    fn change_vector_arithmetic() {
+        let mut a = ChangeVec::zero(2);
+        a.bump(Signal::new(0), 1);
+        let mut b = ChangeVec::zero(2);
+        b.bump(Signal::new(0), -1);
+        b.bump(Signal::new(1), 1);
+        let s = a.add(&b);
+        assert_eq!(s.get(Signal::new(0)), 0);
+        assert_eq!(s.get(Signal::new(1)), 1);
+        assert_eq!(s.as_slice(), &[0, 1]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Parallel composition of STGs (the classic `pcomp` operation).
+//!
+//! Two STGs are composed by synchronising on their shared signals:
+//! the result contains the disjoint union of both nets, except that
+//! every pair of equally-labelled transitions of a shared signal is
+//! fused into one transition carrying both presets/postsets. A signal
+//! driven as an output by one side and consumed as an input by the
+//! other becomes an output of the composition (the usual
+//! output-driven convention); input/input stays input, and
+//! output/output sharing is rejected (two drivers).
+//!
+//! Composition is how larger controllers are assembled from
+//! handshake components — the concurrency-rich STGs whose state
+//! graphs explode are typically compositions, which is exactly the
+//! regime the paper's unfolding method targets.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use petri::TransitionId;
+
+use crate::code::CodeVec;
+use crate::signal::{Label, Signal, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// An error raised by [`parallel_compose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ComposeError {
+    /// A shared signal is an output (or internal) on both sides.
+    TwoDrivers {
+        /// The doubly-driven signal name.
+        signal: String,
+    },
+    /// A shared signal disagrees on its initial value.
+    InitialValueMismatch {
+        /// The signal name.
+        signal: String,
+    },
+    /// A shared signal has different numbers of rising/falling
+    /// transition instances on the two sides — the synchronisation
+    /// would be ambiguous. (Multi-instance fusion pairs instances in
+    /// order; mismatched counts are rejected.)
+    InstanceMismatch {
+        /// The signal name.
+        signal: String,
+    },
+    /// Net construction failed.
+    Build(String),
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::TwoDrivers { signal } => {
+                write!(f, "signal `{signal}` is driven by both components")
+            }
+            ComposeError::InitialValueMismatch { signal } => {
+                write!(f, "signal `{signal}` starts at different values")
+            }
+            ComposeError::InstanceMismatch { signal } => {
+                write!(f, "signal `{signal}` has mismatched edge instances")
+            }
+            ComposeError::Build(m) => write!(f, "composition failed to build: {m}"),
+        }
+    }
+}
+
+impl Error for ComposeError {}
+
+/// Composes two STGs in parallel, synchronising on signals with equal
+/// names.
+///
+/// # Errors
+///
+/// See [`ComposeError`].
+///
+/// # Examples
+///
+/// Assemble a 4-phase handshake from its two halves (a requester that
+/// treats `ack` as input, and a responder that drives it):
+///
+/// ```
+/// use stg::compose::parallel_compose;
+/// use stg::{Edge, SignalKind, StateGraph, StgBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut req_side = StgBuilder::new();
+/// let r = req_side.add_signal("req", SignalKind::Output);
+/// let a = req_side.add_signal("ack", SignalKind::Input);
+/// let rp = req_side.edge(r, Edge::Rise);
+/// let ap = req_side.edge(a, Edge::Rise);
+/// let rm = req_side.edge(r, Edge::Fall);
+/// let am = req_side.edge(a, Edge::Fall);
+/// req_side.chain_cycle(&[rp, ap, rm, am])?;
+/// let req_side = req_side.build_with_inferred_code(Default::default())?;
+///
+/// let mut ack_side = StgBuilder::new();
+/// let r = ack_side.add_signal("req", SignalKind::Input);
+/// let a = ack_side.add_signal("ack", SignalKind::Output);
+/// let rp = ack_side.edge(r, Edge::Rise);
+/// let ap = ack_side.edge(a, Edge::Rise);
+/// let rm = ack_side.edge(r, Edge::Fall);
+/// let am = ack_side.edge(a, Edge::Fall);
+/// ack_side.chain_cycle(&[rp, ap, rm, am])?;
+/// let ack_side = ack_side.build_with_inferred_code(Default::default())?;
+///
+/// let closed = parallel_compose(&req_side, &ack_side)?;
+/// assert_eq!(closed.num_signals(), 2);
+/// // Both signals are now outputs (each driven by one side).
+/// assert!(closed.signals().all(|z| closed.signal_kind(z).is_local()));
+/// let sg = StateGraph::build(&closed, Default::default())?;
+/// assert_eq!(sg.num_states(), 4); // the closed handshake cycle
+/// # Ok(())
+/// # }
+/// ```
+pub fn parallel_compose(left: &Stg, right: &Stg) -> Result<Stg, ComposeError> {
+    let mut b = StgBuilder::new();
+
+    // Signal table: union by name; kind resolution.
+    let mut signals: HashMap<String, Signal> = HashMap::new();
+    let mut order: Vec<(String, SignalKind, Option<bool>)> = Vec::new();
+    for (stg, _) in [(left, 0), (right, 1)] {
+        for z in stg.signals() {
+            let name = stg.signal_name(z).to_owned();
+            let kind = stg.signal_kind(z);
+            let init = stg.initial_code().bit(z);
+            match order.iter_mut().find(|(n, _, _)| *n == name) {
+                None => order.push((name, kind, Some(init))),
+                Some((n, existing, stored_init)) => {
+                    if existing.is_local() && kind.is_local() {
+                        return Err(ComposeError::TwoDrivers { signal: n.clone() });
+                    }
+                    if kind.is_local() {
+                        *existing = kind;
+                    }
+                    if *stored_init != Some(init) {
+                        return Err(ComposeError::InitialValueMismatch { signal: n.clone() });
+                    }
+                }
+            }
+        }
+    }
+    for (name, kind, _) in &order {
+        let id = b.add_signal(name.clone(), *kind);
+        signals.insert(name.clone(), id);
+    }
+
+    // Fused transitions for shared signals: pair i-th rising with
+    // i-th rising etc.; per-side maps for the rest.
+    let shared: Vec<String> = order
+        .iter()
+        .map(|(n, _, _)| n.clone())
+        .filter(|n| left.signal_by_name(n).is_some() && right.signal_by_name(n).is_some())
+        .collect();
+    let mut fused: HashMap<(usize, TransitionId), TransitionId> = HashMap::new();
+    for name in &shared {
+        let lz = left.signal_by_name(name).expect("shared");
+        let rz = right.signal_by_name(name).expect("shared");
+        for edge in [crate::signal::Edge::Rise, crate::signal::Edge::Fall] {
+            let lts: Vec<_> = left
+                .transitions_of(lz)
+                .filter(|&t| left.label(t).edge() == Some(edge))
+                .collect();
+            let rts: Vec<_> = right
+                .transitions_of(rz)
+                .filter(|&t| right.label(t).edge() == Some(edge))
+                .collect();
+            if lts.len() != rts.len() {
+                return Err(ComposeError::InstanceMismatch { signal: name.clone() });
+            }
+            for (lt, rt) in lts.iter().zip(&rts) {
+                let t = b.edge(signals[name], edge);
+                fused.insert((0, *lt), t);
+                fused.insert((1, *rt), t);
+            }
+        }
+    }
+
+    // Remaining transitions, places and arcs, per side.
+    for (side, stg) in [(0usize, left), (1usize, right)] {
+        let mut tmap: HashMap<TransitionId, TransitionId> = HashMap::new();
+        for t in stg.net().transitions() {
+            let new = if let Some(&f) = fused.get(&(side, t)) {
+                f
+            } else {
+                match stg.label(t) {
+                    Label::SignalEdge(z, e) => b.edge(signals[stg.signal_name(z)], e),
+                    Label::Dummy => b.dummy(format!("{}_{side}", stg.transition_name(t))),
+                }
+            };
+            tmap.insert(t, new);
+        }
+        for p in stg.net().places() {
+            let new_p = b.add_place(format!("{}_{side}", stg.net().place_name(p)));
+            for &t in stg.net().place_preset(p) {
+                b.arc_tp(tmap[&t], new_p)
+                    .map_err(|e| ComposeError::Build(e.to_string()))?;
+            }
+            for &t in stg.net().place_postset(p) {
+                b.arc_pt(new_p, tmap[&t])
+                    .map_err(|e| ComposeError::Build(e.to_string()))?;
+            }
+            let k = stg.initial_marking().tokens(p);
+            if k > 0 {
+                b.mark(new_p, k);
+            }
+        }
+    }
+
+    let bits: Vec<bool> = order
+        .iter()
+        .map(|(_, _, init)| init.unwrap_or(false))
+        .collect();
+    b.set_initial_code(CodeVec::from_bits(bits));
+    b.build().map_err(|e| ComposeError::Build(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Edge;
+    use crate::state_graph::StateGraph;
+
+    fn half(drives_req: bool) -> Stg {
+        let mut b = StgBuilder::new();
+        let (rk, ak) = if drives_req {
+            (SignalKind::Output, SignalKind::Input)
+        } else {
+            (SignalKind::Input, SignalKind::Output)
+        };
+        let r = b.add_signal("req", rk);
+        let a = b.add_signal("ack", ak);
+        let rp = b.edge(r, Edge::Rise);
+        let ap = b.edge(a, Edge::Rise);
+        let rm = b.edge(r, Edge::Fall);
+        let am = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[rp, ap, rm, am]).unwrap();
+        b.set_initial_code(CodeVec::zeros(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn closing_a_handshake() {
+        let closed = parallel_compose(&half(true), &half(false)).unwrap();
+        assert_eq!(closed.num_signals(), 2);
+        assert_eq!(closed.net().num_transitions(), 4);
+        assert_eq!(closed.net().num_places(), 8);
+        let sg = StateGraph::build(&closed, Default::default()).unwrap();
+        assert_eq!(sg.num_states(), 4);
+        assert!(sg.satisfies_csc(&closed));
+    }
+
+    #[test]
+    fn disjoint_signals_interleave() {
+        // Two components with no shared signals: product state space.
+        let mut a = StgBuilder::new();
+        let x = a.add_signal("x", SignalKind::Output);
+        let xp = a.edge(x, Edge::Rise);
+        let xm = a.edge(x, Edge::Fall);
+        a.chain_cycle(&[xp, xm]).unwrap();
+        a.set_initial_code(CodeVec::zeros(1));
+        let a = a.build().unwrap();
+        let mut c = StgBuilder::new();
+        let y = c.add_signal("y", SignalKind::Output);
+        let yp = c.edge(y, Edge::Rise);
+        let ym = c.edge(y, Edge::Fall);
+        c.chain_cycle(&[yp, ym]).unwrap();
+        c.set_initial_code(CodeVec::zeros(1));
+        let c = c.build().unwrap();
+        let both = parallel_compose(&a, &c).unwrap();
+        let sg = StateGraph::build(&both, Default::default()).unwrap();
+        assert_eq!(sg.num_states(), 4);
+    }
+
+    #[test]
+    fn two_drivers_rejected() {
+        let err = parallel_compose(&half(true), &half(true)).unwrap_err();
+        assert_eq!(err, ComposeError::TwoDrivers { signal: "req".to_owned() });
+    }
+
+    #[test]
+    fn initial_value_mismatch_rejected() {
+        let mut b = StgBuilder::new();
+        let r = b.add_signal("req", SignalKind::Input);
+        let a = b.add_signal("ack", SignalKind::Output);
+        // Starts mid-cycle: req already high.
+        let rm = b.edge(r, Edge::Fall);
+        let am = b.edge(a, Edge::Fall);
+        let rp = b.edge(r, Edge::Rise);
+        let ap = b.edge(a, Edge::Rise);
+        b.chain_cycle(&[am, rp, ap, rm]).unwrap();
+        b.set_initial_code(CodeVec::parse_bits("11").unwrap());
+        let high_start = b.build().unwrap();
+        assert!(matches!(
+            parallel_compose(&half(true), &high_start),
+            Err(ComposeError::InitialValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn composed_environment_restores_conflicts() {
+        // A component with a conflict keeps it under composition with
+        // an independent partner.
+        let conflicted = crate::gen::vme::vme_read();
+        let mut other = StgBuilder::new();
+        let y = other.add_signal("tick", SignalKind::Output);
+        let yp = other.edge(y, Edge::Rise);
+        let ym = other.edge(y, Edge::Fall);
+        other.chain_cycle(&[yp, ym]).unwrap();
+        other.set_initial_code(CodeVec::zeros(1));
+        let other = other.build().unwrap();
+        let composed = parallel_compose(&conflicted, &other).unwrap();
+        let sg = StateGraph::build(&composed, Default::default()).unwrap();
+        assert!(!sg.satisfies_csc(&composed));
+    }
+}

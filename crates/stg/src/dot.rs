@@ -1,0 +1,137 @@
+//! Graphviz (DOT) export for STGs.
+//!
+//! Renders the underlying net with the usual STG conventions:
+//! transitions as labelled boxes (inputs, outputs and internal
+//! signals tinted differently), explicit places as circles, implicit
+//! single-in/single-out places collapsed into direct arcs, and the
+//! initial marking as filled dots.
+
+use std::fmt::Write as _;
+
+use petri::PlaceId;
+
+use crate::signal::{Label, SignalKind};
+use crate::stg::Stg;
+
+fn is_collapsible(stg: &Stg, p: PlaceId) -> bool {
+    stg.net().place_preset(p).len() == 1
+        && stg.net().place_postset(p).len() == 1
+        && stg.initial_marking().tokens(p) == 0
+        && stg.net().place_name(p).starts_with('<')
+}
+
+/// Renders the STG as a DOT digraph named `name`.
+///
+/// # Examples
+///
+/// ```
+/// let stg = stg::gen::vme::vme_read();
+/// let dot = stg::dot::to_dot(&stg, "vme");
+/// assert!(dot.starts_with("digraph vme {"));
+/// assert!(dot.contains("\"lds+\""));
+/// ```
+pub fn to_dot(stg: &Stg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for t in stg.net().transitions() {
+        let color = match stg.label(t) {
+            Label::SignalEdge(z, _) => match stg.signal_kind(z) {
+                SignalKind::Input => "lightblue",
+                SignalKind::Output => "lightyellow",
+                SignalKind::Internal => "lightgrey",
+            },
+            Label::Dummy => "white",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, style=filled, fillcolor={}];",
+            stg.transition_name(t),
+            color
+        );
+    }
+    for p in stg.net().places() {
+        if is_collapsible(stg, p) {
+            continue;
+        }
+        let marked = stg.initial_marking().tokens(p) > 0;
+        let label = if marked { "&bull;" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"p{}\" [shape=circle, label=\"{}\", xlabel=\"{}\"];",
+            p.index(),
+            label,
+            escape(stg.net().place_name(p))
+        );
+    }
+    for p in stg.net().places() {
+        if is_collapsible(stg, p) {
+            let src = stg.net().place_preset(p)[0];
+            let dst = stg.net().place_postset(p)[0];
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                stg.transition_name(src),
+                stg.transition_name(dst)
+            );
+        } else {
+            for &t in stg.net().place_preset(p) {
+                let _ = writeln!(out, "  \"{}\" -> \"p{}\";", stg.transition_name(t), p.index());
+            }
+            for &t in stg.net().place_postset(p) {
+                let _ = writeln!(out, "  \"p{}\" -> \"{}\";", p.index(), stg.transition_name(t));
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::vme::vme_read;
+
+    #[test]
+    fn dot_contains_all_transitions() {
+        let stg = vme_read();
+        let dot = to_dot(&stg, "vme");
+        for t in stg.net().transitions() {
+            assert!(
+                dot.contains(&format!("\"{}\"", stg.transition_name(t))),
+                "missing {}",
+                stg.transition_name(t)
+            );
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn marked_places_are_rendered() {
+        let stg = vme_read();
+        let dot = to_dot(&stg, "vme");
+        // Two initially marked places => two bullet nodes.
+        assert_eq!(dot.matches("&bull;").count(), 2);
+    }
+
+    #[test]
+    fn implicit_unmarked_places_collapse() {
+        let stg = vme_read();
+        let dot = to_dot(&stg, "vme");
+        // A chain arc between two transitions appears directly.
+        assert!(dot.contains("\"dsr+\" -> \"lds+\""));
+    }
+
+    #[test]
+    fn input_output_colouring() {
+        let stg = vme_read();
+        let dot = to_dot(&stg, "vme");
+        assert!(dot.contains("\"dsr+\" [shape=box, style=filled, fillcolor=lightblue]"));
+        assert!(dot.contains("\"lds+\" [shape=box, style=filled, fillcolor=lightyellow]"));
+    }
+}

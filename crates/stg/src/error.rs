@@ -1,0 +1,137 @@
+//! Error types for STG construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use petri::{NetError, TransitionId};
+
+use crate::signal::Signal;
+
+/// An error raised while building an [`crate::Stg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// An underlying net construction error.
+    Net(NetError),
+    /// A transition was created without a label (internal invariant).
+    MissingLabel(TransitionId),
+    /// The provided initial code has the wrong number of signals.
+    CodeLengthMismatch {
+        /// Signals declared in the STG.
+        expected: usize,
+        /// Length of the provided code.
+        got: usize,
+    },
+    /// The initial marking ranges over the wrong number of places.
+    MarkingSizeMismatch,
+    /// No initial marking was provided and none could be defaulted.
+    MissingInitialMarking,
+    /// Initial-code inference failed: the STG is not consistent, so no
+    /// initial binary code exists for the given signal.
+    InferenceInconsistent(Signal),
+    /// Initial-code inference could not explore the state space (e.g.
+    /// the net is unbounded or too large).
+    InferenceExploration(String),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Net(e) => write!(f, "net error: {e}"),
+            StgError::MissingLabel(t) => write!(f, "transition {t} has no label"),
+            StgError::CodeLengthMismatch { expected, got } => {
+                write!(f, "initial code has {got} bits, expected {expected}")
+            }
+            StgError::MarkingSizeMismatch => {
+                write!(f, "initial marking size does not match the net")
+            }
+            StgError::MissingInitialMarking => write!(f, "no initial marking provided"),
+            StgError::InferenceInconsistent(z) => {
+                write!(f, "cannot infer a binary initial value for signal {z}")
+            }
+            StgError::InferenceExploration(m) => {
+                write!(f, "initial-code inference failed to explore: {m}")
+            }
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for StgError {
+    fn from(e: NetError) -> Self {
+        StgError::Net(e)
+    }
+}
+
+/// An error raised while parsing a `.g` (astg) file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseStgError {
+    /// A syntax error with line number (1-based) and message.
+    Syntax {
+        /// Line where the error occurred.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed net could not be assembled into an STG.
+    Build(StgError),
+}
+
+impl ParseStgError {
+    pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
+        ParseStgError::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseStgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseStgError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseStgError::Build(e) => write!(f, "invalid stg: {e}"),
+        }
+    }
+}
+
+impl Error for ParseStgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseStgError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StgError> for ParseStgError {
+    fn from(e: StgError) -> Self {
+        ParseStgError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StgError::CodeLengthMismatch { expected: 3, got: 2 };
+        assert_eq!(e.to_string(), "initial code has 2 bits, expected 3");
+        let p = ParseStgError::syntax(4, "unexpected token");
+        assert_eq!(p.to_string(), "line 4: unexpected token");
+        let wrapped = ParseStgError::from(e);
+        assert!(Error::source(&wrapped).is_some());
+    }
+}

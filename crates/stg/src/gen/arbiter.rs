@@ -1,0 +1,102 @@
+//! Mutual-exclusion arbiters.
+//!
+//! An `n`-client arbiter: client `i` raises request `r_i` (input),
+//! the arbiter answers with grant `g_i` (output), and a mutex place
+//! serialises the grants. These models are the complement of the
+//! counterflow family in the test matrix: they satisfy CSC *while
+//! containing dynamic conflicts* (the grant transitions compete for
+//! the mutex token), so CSC-absence proofs must take the general
+//! lexicographic-separation path instead of the §7 subset
+//! optimisation.
+
+use crate::code::CodeVec;
+use crate::signal::{Edge, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// An `n`-client mutex arbiter. Client `i` runs the 4-phase cycle
+/// `r_i+ g_i+ r_i- g_i-` with `g_i+`/`g_i-` bracketing the critical
+/// section guarded by one shared mutex place.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::arbiter::mutex_arbiter;
+/// use stg::StateGraph;
+///
+/// let stg = mutex_arbiter(2);
+/// let sg = StateGraph::build(&stg, Default::default())?;
+/// assert!(sg.satisfies_csc(&stg)); // grants are serialised
+/// assert!(!stg.net().is_structurally_conflict_free());
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn mutex_arbiter(n: usize) -> Stg {
+    assert!(n >= 1, "an arbiter needs at least one client");
+    let mut b = StgBuilder::new();
+    let mutex = b.add_place("mutex");
+    b.mark(mutex, 1);
+    for i in 0..n {
+        let r = b.add_signal(format!("r{i}"), SignalKind::Input);
+        let g = b.add_signal(format!("g{i}"), SignalKind::Output);
+        let r_p = b.edge(r, Edge::Rise);
+        let g_p = b.edge(g, Edge::Rise);
+        let r_m = b.edge(r, Edge::Fall);
+        let g_m = b.edge(g, Edge::Fall);
+        b.chain_cycle(&[r_p, g_p, r_m, g_m]).expect("client cycle");
+        b.arc_pt(mutex, g_p).expect("grant takes the mutex");
+        b.arc_tp(g_m, mutex).expect("release returns the mutex");
+    }
+    b.set_initial_code(CodeVec::zeros(2 * n));
+    b.build().expect("mutex_arbiter is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_graph::StateGraph;
+
+    #[test]
+    fn structure() {
+        let stg = mutex_arbiter(3);
+        assert_eq!(stg.num_signals(), 6);
+        assert_eq!(stg.net().num_transitions(), 12);
+        // 4 implicit places per client + mutex.
+        assert_eq!(stg.net().num_places(), 13);
+        assert!(!stg.net().is_structurally_conflict_free());
+    }
+
+    #[test]
+    fn consistent_safe_and_csc() {
+        for n in 1..=3 {
+            let stg = mutex_arbiter(n);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            for s in sg.states() {
+                assert!(sg.marking(s).is_safe(), "n={n}");
+            }
+            assert!(sg.satisfies_csc(&stg), "n={n}");
+        }
+    }
+
+    #[test]
+    fn grants_are_mutually_exclusive() {
+        let stg = mutex_arbiter(3);
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        let grants: Vec<_> = (0..3)
+            .map(|i| stg.signal_by_name(&format!("g{i}")).unwrap())
+            .collect();
+        for s in sg.states() {
+            let high = grants.iter().filter(|&&g| sg.code(s).bit(g)).count();
+            assert!(high <= 1, "at most one grant high at any state");
+        }
+    }
+
+    #[test]
+    fn usc_holds_despite_dynamic_conflicts() {
+        let stg = mutex_arbiter(2);
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(sg.satisfies_usc());
+    }
+}

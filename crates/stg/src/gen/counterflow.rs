@@ -1,0 +1,127 @@
+//! Counterflow-pipeline-style stage controllers (the CF-* rows).
+//!
+//! The paper's CF-SYM/CF-ASYM examples are counterflow pipeline
+//! controllers (reference `[18]` of its bibliography) *after CSC resolution* — the
+//! hard, conflict-free half of Table 1, where the solver has to
+//! exhaust the search space to prove the absence of conflicts.
+//!
+//! We rebuild the family as barrier-synchronised stage lattices that
+//! satisfy USC (hence CSC) *by construction*: `width` concurrent
+//! branches walk monotone up-phases and down-phases through their
+//! signals, separated by a global phase signal `s`. Along an up-phase
+//! a branch's local code is of the form `1^k 0^m`, along a down-phase
+//! `0^k 1^m`, and the phase bit `s` disambiguates the two boundary
+//! patterns — so the joint code determines the exact position of every
+//! branch, i.e. the state assignment is injective.
+
+use crate::code::CodeVec;
+use crate::signal::{Edge, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// A counterflow controller with branch depths given explicitly.
+///
+/// Branch `w` owns signals `x{w}_0 … x{w}_{depths[w]-1}` (outputs);
+/// an internal phase signal `s` joins all branches between the rising
+/// and falling phases.
+///
+/// # Panics
+///
+/// Panics if there are no branches or some branch is empty.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::counterflow::counterflow;
+/// use stg::StateGraph;
+///
+/// let stg = counterflow(&[2, 2]);
+/// let sg = StateGraph::build(&stg, Default::default())?;
+/// assert!(sg.satisfies_usc()); // conflict-free by construction
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn counterflow(depths: &[usize]) -> Stg {
+    assert!(!depths.is_empty(), "need at least one branch");
+    assert!(depths.iter().all(|&d| d >= 1), "branches must be non-empty");
+    let mut b = StgBuilder::new();
+    let mut branch_signals = Vec::new();
+    for (w, &depth) in depths.iter().enumerate() {
+        let signals: Vec<_> = (0..depth)
+            .map(|j| b.add_signal(format!("x{w}_{j}"), SignalKind::Output))
+            .collect();
+        branch_signals.push(signals);
+    }
+    let s = b.add_signal("s", SignalKind::Internal);
+    let s_p = b.edge(s, Edge::Rise);
+    let s_m = b.edge(s, Edge::Fall);
+
+    for signals in &branch_signals {
+        let ups: Vec<_> = signals.iter().map(|&z| b.edge(z, Edge::Rise)).collect();
+        let downs: Vec<_> = signals.iter().map(|&z| b.edge(z, Edge::Fall)).collect();
+        b.chain(&ups).expect("valid chain");
+        b.chain(&downs).expect("valid chain");
+        // Up-phase joins into s+, s+ forks into the down-phase.
+        b.connect(ups[ups.len() - 1], s_p).expect("valid arc");
+        b.connect(s_p, downs[0]).expect("valid arc");
+        // Down-phase joins into s-, s- restarts the up-phase.
+        b.connect(downs[downs.len() - 1], s_m).expect("valid arc");
+        let restart = b.connect(s_m, ups[0]).expect("valid arc");
+        b.mark(restart, 1);
+    }
+    let total_signals: usize = depths.iter().sum::<usize>() + 1;
+    b.set_initial_code(CodeVec::zeros(total_signals));
+    b.build().expect("counterflow is well-formed")
+}
+
+/// Symmetric counterflow controller: `width` branches of equal `depth`
+/// (the CF-SYM family).
+pub fn counterflow_sym(width: usize, depth: usize) -> Stg {
+    counterflow(&vec![depth; width])
+}
+
+/// Asymmetric counterflow controller: branch `w` has depth
+/// `base + w` (the CF-ASYM family).
+pub fn counterflow_asym(width: usize, base: usize) -> Stg {
+    let depths: Vec<usize> = (0..width).map(|w| base + w).collect();
+    counterflow(&depths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_graph::StateGraph;
+
+    #[test]
+    fn symmetric_is_usc_by_construction() {
+        for (w, d) in [(1, 3), (2, 2), (3, 2), (2, 3)] {
+            let stg = counterflow_sym(w, d);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            assert!(sg.satisfies_usc(), "width={w} depth={d}");
+            assert!(sg.satisfies_csc(&stg), "width={w} depth={d}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_is_usc_by_construction() {
+        let stg = counterflow_asym(3, 1);
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(sg.satisfies_usc());
+    }
+
+    #[test]
+    fn safe_and_concurrent() {
+        let stg = counterflow_sym(3, 2);
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        // Branches interleave: more states than a single cycle.
+        assert!(sg.num_states() > 2 * (3 * 2 + 1));
+        for st in sg.states() {
+            assert!(sg.marking(st).is_safe());
+        }
+    }
+
+    #[test]
+    fn signal_count() {
+        let stg = counterflow(&[2, 3, 4]);
+        assert_eq!(stg.num_signals(), 10);
+        assert_eq!(stg.net().num_transitions(), 2 * 9 + 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Duplex channel port controllers (the DUP-* rows of Table 1).
+//!
+//! Modelled after 4-phase duplex communication controllers (reference
+//! `[7]` of the paper's bibliography): a request `r` triggers transfers on one or
+//! more data channels (`t_i`/`v_i` handshakes) before the port
+//! acknowledges with `a`. The return-to-zero of the data channels
+//! overlaps the next request — exactly the structural pattern that
+//! produces the VME-style CSC conflict. Passing `resolved = true`
+//! inserts an internal state signal `csc` that disambiguates the
+//! overlap (the same resolution as the paper's Fig. 3).
+
+use crate::code::CodeVec;
+use crate::signal::{Edge, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// A duplex port controller with `channels` parallel data channels.
+///
+/// Unresolved (`resolved = false`) controllers have a guaranteed CSC
+/// conflict: the state "all channels transferred, acknowledge pending"
+/// and the state "new request arrived, channel return-to-zero pending"
+/// share a code but enable `{a}` vs `{t_i}`.
+///
+/// # Panics
+///
+/// Panics if `channels == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::duplex::dup_4ph;
+/// use stg::StateGraph;
+///
+/// let conflicted = dup_4ph(2, false);
+/// let resolved = dup_4ph(2, true);
+/// let sg1 = StateGraph::build(&conflicted, Default::default())?;
+/// let sg2 = StateGraph::build(&resolved, Default::default())?;
+/// assert!(!sg1.satisfies_csc(&conflicted));
+/// assert!(sg2.satisfies_csc(&resolved));
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn dup_4ph(channels: usize, resolved: bool) -> Stg {
+    assert!(channels >= 1, "need at least one data channel");
+    let mut b = StgBuilder::new();
+    let r = b.add_signal("r", SignalKind::Input);
+    let a = b.add_signal("a", SignalKind::Output);
+    let mut ts = Vec::new();
+    let mut vs = Vec::new();
+    for i in 0..channels {
+        ts.push(b.add_signal(format!("t{i}"), SignalKind::Output));
+        vs.push(b.add_signal(format!("v{i}"), SignalKind::Input));
+    }
+    let csc = resolved.then(|| b.add_signal("csc", SignalKind::Internal));
+
+    let r_p = b.edge(r, Edge::Rise);
+    let r_m = b.edge(r, Edge::Fall);
+    let a_p = b.edge(a, Edge::Rise);
+    let a_m = b.edge(a, Edge::Fall);
+    let csc_edges = csc.map(|z| (b.edge(z, Edge::Rise), b.edge(z, Edge::Fall)));
+
+    // Request phase: r+ (through csc+ if resolved) forks to all t_i+.
+    let fork_from = match csc_edges {
+        Some((csc_p, _)) => {
+            b.connect(r_p, csc_p).expect("valid arc");
+            csc_p
+        }
+        None => r_p,
+    };
+    // Release phase: r- (through csc- if resolved) forks to all t_i-.
+    let release_from = match csc_edges {
+        Some((_, csc_m)) => {
+            b.connect(r_m, csc_m).expect("valid arc");
+            csc_m
+        }
+        None => r_m,
+    };
+
+    for i in 0..channels {
+        let t_p = b.edge(ts[i], Edge::Rise);
+        let t_m = b.edge(ts[i], Edge::Fall);
+        let v_p = b.edge(vs[i], Edge::Rise);
+        let v_m = b.edge(vs[i], Edge::Fall);
+        b.connect(fork_from, t_p).expect("valid arc");
+        b.connect(t_p, v_p).expect("valid arc");
+        b.connect(v_p, a_p).expect("valid arc"); // join into the ack
+        b.connect(release_from, t_m).expect("valid arc");
+        b.connect(t_m, v_m).expect("valid arc");
+        // The next transfer waits for this channel's return-to-zero —
+        // gating t_i+ (or csc+), *not* r+, so the return-to-zero
+        // overlaps the next request exactly as in the VME controller.
+        let ready = match csc_edges {
+            Some((csc_p, _)) => b.connect(v_m, csc_p).expect("valid arc"),
+            None => b.connect(v_m, t_p).expect("valid arc"),
+        };
+        b.mark(ready, 1);
+    }
+    b.connect(a_p, r_m).expect("valid arc");
+    // In the resolved controller the ack must not fall before csc-,
+    // otherwise the next request can race ahead of the state signal
+    // and re-create the conflict (cf. the ordering in the paper's
+    // Fig. 3, where dtack- follows the csc-gated d-).
+    match csc_edges {
+        Some((_, csc_m)) => b.connect(csc_m, a_m).expect("valid arc"),
+        None => b.connect(r_m, a_m).expect("valid arc"),
+    };
+    let idle = b.connect(a_m, r_p).expect("valid arc");
+    b.mark(idle, 1);
+
+    let n_signals = 2 + 2 * channels + usize::from(resolved);
+    b.set_initial_code(CodeVec::zeros(n_signals));
+    b.build().expect("dup_4ph is well-formed")
+}
+
+/// A modular duplex controller: one request drives `bursts` strictly
+/// sequential data handshakes before acknowledging. Between bursts
+/// (and after the last one) all data signals are low while `r` is
+/// still high, so the inter-burst states share a code but enable
+/// different transitions (`t_j+` vs `a+`) — a guaranteed CSC conflict
+/// for every `bursts ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `bursts == 0`.
+pub fn dup_mod(bursts: usize) -> Stg {
+    assert!(bursts >= 1, "need at least one burst");
+    let mut b = StgBuilder::new();
+    let r = b.add_signal("r", SignalKind::Input);
+    let a = b.add_signal("a", SignalKind::Output);
+    let mut data = Vec::new();
+    for i in 0..bursts {
+        data.push((
+            b.add_signal(format!("t{i}"), SignalKind::Output),
+            b.add_signal(format!("v{i}"), SignalKind::Input),
+        ));
+    }
+    let r_p = b.edge(r, Edge::Rise);
+    let r_m = b.edge(r, Edge::Fall);
+    let a_p = b.edge(a, Edge::Rise);
+    let a_m = b.edge(a, Edge::Fall);
+
+    let mut seq = vec![r_p];
+    for &(t, v) in &data {
+        let t_p = b.edge(t, Edge::Rise);
+        let v_p = b.edge(v, Edge::Rise);
+        let t_m = b.edge(t, Edge::Fall);
+        let v_m = b.edge(v, Edge::Fall);
+        seq.extend([t_p, v_p, t_m, v_m]);
+    }
+    seq.extend([a_p, r_m, a_m]);
+    b.chain_cycle(&seq).expect("dup_mod cycle is well-formed");
+    b.set_initial_code(CodeVec::zeros(2 + 2 * bursts));
+    b.build().expect("dup_mod is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_graph::StateGraph;
+
+    #[test]
+    fn unresolved_has_csc_conflict() {
+        for ch in [1, 2, 3] {
+            let stg = dup_4ph(ch, false);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            assert!(!sg.satisfies_csc(&stg), "channels={ch}");
+        }
+    }
+
+    #[test]
+    fn resolved_satisfies_csc() {
+        for ch in [1, 2] {
+            let stg = dup_4ph(ch, true);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            assert!(sg.satisfies_csc(&stg), "channels={ch}");
+        }
+    }
+
+    #[test]
+    fn all_variants_safe_and_consistent() {
+        for stg in [dup_4ph(1, false), dup_4ph(2, true), dup_mod(3)] {
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            for s in sg.states() {
+                assert!(sg.marking(s).is_safe());
+            }
+        }
+    }
+
+    #[test]
+    fn dup_mod_interburst_conflicts() {
+        // Even a single burst conflicts: the code right after r+ and
+        // right after v0- coincide (all data signals back at zero)
+        // while enabling t0+ vs a+.
+        for k in [1, 2, 4] {
+            let stg = dup_mod(k);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            assert!(!sg.satisfies_csc(&stg), "bursts={k}");
+        }
+    }
+}

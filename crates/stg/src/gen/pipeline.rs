@@ -1,0 +1,97 @@
+//! Scalable Muller-pipeline-style controllers.
+//!
+//! The full version of the paper evaluates scalable families; we use
+//! the classic Muller pipeline STG: stage signals `s_0 … s_n` where
+//! each neighbouring pair is coupled by the four-phase lattice
+//!
+//! ```text
+//! s_{i-1}+ → s_i+ → s_{i-1}- → s_i- → s_{i-1}+ (next wave)
+//! ```
+//!
+//! The state space grows exponentially with `n` while the unfolding
+//! prefix grows linearly — the scalability "figure" of EXPERIMENTS.md
+//! is generated from this family.
+
+use crate::code::CodeVec;
+use crate::signal::{Edge, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// An `n`-stage Muller pipeline (with `n + 1` stage signals; `s_0` is
+/// the environment input).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::pipeline::muller_pipeline;
+/// use stg::StateGraph;
+///
+/// let stg = muller_pipeline(3);
+/// assert_eq!(stg.num_signals(), 4);
+/// let sg = StateGraph::build(&stg, Default::default())?;
+/// assert!(sg.num_states() > 8); // concurrency between waves
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn muller_pipeline(n: usize) -> Stg {
+    assert!(n >= 1, "a pipeline needs at least one stage");
+    let mut b = StgBuilder::new();
+    let signals: Vec<_> = (0..=n)
+        .map(|i| {
+            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            b.add_signal(format!("s{i}"), kind)
+        })
+        .collect();
+    let ups: Vec<_> = signals.iter().map(|&z| b.edge(z, Edge::Rise)).collect();
+    let downs: Vec<_> = signals.iter().map(|&z| b.edge(z, Edge::Fall)).collect();
+    for i in 1..=n {
+        b.connect(ups[i - 1], ups[i]).expect("valid arc");
+        b.connect(ups[i], downs[i - 1]).expect("valid arc");
+        b.connect(downs[i - 1], downs[i]).expect("valid arc");
+        let ready = b.connect(downs[i], ups[i - 1]).expect("valid arc");
+        b.mark(ready, 1);
+    }
+    // Close the last stage: its own 2-phase cycle so s_n can fall after
+    // rising (acknowledged immediately by the environment).
+    let tail = b.connect(ups[n], downs[n]).expect("valid arc");
+    let _ = tail;
+    b.set_initial_code(CodeVec::zeros(n + 1));
+    b.build().expect("muller_pipeline is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_graph::StateGraph;
+
+    #[test]
+    fn small_pipelines_are_consistent_and_safe() {
+        for n in 1..=4 {
+            let stg = muller_pipeline(n);
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            for s in sg.states() {
+                assert!(sg.marking(s).is_safe(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_space_grows_quickly() {
+        let s2 = StateGraph::build(&muller_pipeline(2), Default::default())
+            .unwrap()
+            .num_states();
+        let s5 = StateGraph::build(&muller_pipeline(5), Default::default())
+            .unwrap()
+            .num_states();
+        assert!(s5 > 4 * s2, "s2={s2}, s5={s5}");
+    }
+
+    #[test]
+    fn structure_is_conflict_free() {
+        // Marked-graph structure: every place has one consumer.
+        let stg = muller_pipeline(4);
+        assert!(stg.net().is_structurally_conflict_free());
+    }
+}

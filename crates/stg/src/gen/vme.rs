@@ -1,0 +1,269 @@
+//! The VME bus controller examples from the paper (Figs 1–3).
+
+use crate::code::CodeVec;
+use crate::signal::{Edge, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+/// The read cycle of the simplified VME bus controller — the paper's
+/// Fig. 1(a). Signal order (as in the paper's codes): `dsr`, `dtack`,
+/// `lds`, `ldtack`, `d`.
+///
+/// This STG has a CSC conflict: two reachable markings share the code
+/// `10110` while enabling different output sets (`{lds}` vs `{d}`).
+///
+/// # Examples
+///
+/// ```
+/// let stg = stg::gen::vme::vme_read();
+/// let sg = stg::StateGraph::build(&stg, Default::default())?;
+/// assert!(!sg.satisfies_csc(&stg));
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn vme_read() -> Stg {
+    let mut b = StgBuilder::new();
+    let dsr = b.add_signal("dsr", SignalKind::Input);
+    let dtack = b.add_signal("dtack", SignalKind::Output);
+    let lds = b.add_signal("lds", SignalKind::Output);
+    let ldtack = b.add_signal("ldtack", SignalKind::Input);
+    let d = b.add_signal("d", SignalKind::Output);
+
+    let dsr_p = b.edge(dsr, Edge::Rise);
+    let dsr_m = b.edge(dsr, Edge::Fall);
+    let dtack_p = b.edge(dtack, Edge::Rise);
+    let dtack_m = b.edge(dtack, Edge::Fall);
+    let lds_p = b.edge(lds, Edge::Rise);
+    let lds_m = b.edge(lds, Edge::Fall);
+    let ldtack_p = b.edge(ldtack, Edge::Rise);
+    let ldtack_m = b.edge(ldtack, Edge::Fall);
+    let d_p = b.edge(d, Edge::Rise);
+    let d_m = b.edge(d, Edge::Fall);
+
+    b.chain(&[dsr_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, d_m]).expect("valid chain");
+    b.connect(d_m, dtack_m).expect("valid arc");
+    b.connect(d_m, lds_m).expect("valid arc");
+    b.connect(lds_m, ldtack_m).expect("valid arc");
+    let restart_lds = b.connect(ldtack_m, lds_p).expect("valid arc");
+    let restart_dsr = b.connect(dtack_m, dsr_p).expect("valid arc");
+    b.mark(restart_lds, 1);
+    b.mark(restart_dsr, 1);
+    b.set_initial_code(CodeVec::zeros(5));
+    b.build().expect("vme_read is well-formed")
+}
+
+/// The CSC-resolved VME read controller — the paper's Fig. 3. A new
+/// internal signal `csc` disambiguates the two conflicting states:
+/// `csc+` fires after `dsr+` (once `ldtack` is low again) and gates
+/// `lds+`; `csc-` fires after `dsr-` and gates `d-`.
+///
+/// The resulting STG satisfies CSC, but — as the paper shows — signal
+/// `csc` is neither p-normal nor n-normal, so the model is *not*
+/// implementable with monotonic gates.
+///
+/// # Examples
+///
+/// ```
+/// let stg = stg::gen::vme::vme_read_csc_resolved();
+/// let sg = stg::StateGraph::build(&stg, Default::default())?;
+/// assert!(sg.satisfies_csc(&stg));
+/// let csc = stg.signal_by_name("csc").unwrap();
+/// assert!(!sg.normalcy_of(&stg, csc).is_normal());
+/// # Ok::<(), stg::SgError>(())
+/// ```
+pub fn vme_read_csc_resolved() -> Stg {
+    let mut b = StgBuilder::new();
+    let dsr = b.add_signal("dsr", SignalKind::Input);
+    let dtack = b.add_signal("dtack", SignalKind::Output);
+    let lds = b.add_signal("lds", SignalKind::Output);
+    let ldtack = b.add_signal("ldtack", SignalKind::Input);
+    let d = b.add_signal("d", SignalKind::Output);
+    let csc = b.add_signal("csc", SignalKind::Internal);
+
+    let dsr_p = b.edge(dsr, Edge::Rise);
+    let dsr_m = b.edge(dsr, Edge::Fall);
+    let dtack_p = b.edge(dtack, Edge::Rise);
+    let dtack_m = b.edge(dtack, Edge::Fall);
+    let lds_p = b.edge(lds, Edge::Rise);
+    let lds_m = b.edge(lds, Edge::Fall);
+    let ldtack_p = b.edge(ldtack, Edge::Rise);
+    let ldtack_m = b.edge(ldtack, Edge::Fall);
+    let d_p = b.edge(d, Edge::Rise);
+    let d_m = b.edge(d, Edge::Fall);
+    let csc_p = b.edge(csc, Edge::Rise);
+    let csc_m = b.edge(csc, Edge::Fall);
+
+    b.chain(&[dsr_p, csc_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, csc_m, d_m])
+        .expect("valid chain");
+    b.connect(d_m, dtack_m).expect("valid arc");
+    b.connect(d_m, lds_m).expect("valid arc");
+    b.connect(lds_m, ldtack_m).expect("valid arc");
+    let restart_csc = b.connect(ldtack_m, csc_p).expect("valid arc");
+    let restart_dsr = b.connect(dtack_m, dsr_p).expect("valid arc");
+    b.mark(restart_csc, 1);
+    b.mark(restart_dsr, 1);
+    b.set_initial_code(CodeVec::zeros(6));
+    b.build().expect("vme_read_csc_resolved is well-formed")
+}
+
+/// A VME bus controller serving *both* read and write cycles: from
+/// the idle state the environment chooses between raising `dsr`
+/// (read request) or `dsw` (write request), and each cycle runs its
+/// own sequence of `lds`/`ldtack`/`d`/`dtack` edges (so most signals
+/// have two transition instances — `lds+` and `lds+/2` etc., as in
+/// the classic `master-read` benchmarks). The choice is free (both
+/// branches compete for the idle token), giving a consistent STG
+/// with input choice and dynamic conflicts.
+///
+/// # Examples
+///
+/// ```
+/// let stg = stg::gen::vme::vme_master();
+/// assert_eq!(stg.num_signals(), 6);
+/// let lds = stg.signal_by_name("lds").unwrap();
+/// assert_eq!(stg.transitions_of(lds).count(), 4); // 2 per cycle kind
+/// ```
+pub fn vme_master() -> Stg {
+    let mut b = StgBuilder::new();
+    let dsr = b.add_signal("dsr", SignalKind::Input);
+    let dsw = b.add_signal("dsw", SignalKind::Input);
+    let dtack = b.add_signal("dtack", SignalKind::Output);
+    let lds = b.add_signal("lds", SignalKind::Output);
+    let ldtack = b.add_signal("ldtack", SignalKind::Input);
+    let d = b.add_signal("d", SignalKind::Output);
+
+    let idle = b.add_place("idle");
+    b.mark(idle, 1);
+
+    // Read cycle: dsr+ lds+ ldtack+ d+ dtack+ dsr- d- dtack- lds- ldtack-.
+    let read: Vec<_> = [
+        (dsr, Edge::Rise),
+        (lds, Edge::Rise),
+        (ldtack, Edge::Rise),
+        (d, Edge::Rise),
+        (dtack, Edge::Rise),
+        (dsr, Edge::Fall),
+        (d, Edge::Fall),
+        (dtack, Edge::Fall),
+        (lds, Edge::Fall),
+        (ldtack, Edge::Fall),
+    ]
+    .into_iter()
+    .map(|(z, e)| b.edge(z, e))
+    .collect();
+    b.chain(&read).expect("read chain");
+    b.arc_pt(idle, read[0]).expect("read entry");
+    b.arc_tp(read[read.len() - 1], idle).expect("read exit");
+
+    // Write cycle: dsw+ d+ lds+ ldtack+ d- dtack+ dsw- dtack- lds- ldtack-.
+    let write: Vec<_> = [
+        (dsw, Edge::Rise),
+        (d, Edge::Rise),
+        (lds, Edge::Rise),
+        (ldtack, Edge::Rise),
+        (d, Edge::Fall),
+        (dtack, Edge::Rise),
+        (dsw, Edge::Fall),
+        (dtack, Edge::Fall),
+        (lds, Edge::Fall),
+        (ldtack, Edge::Fall),
+    ]
+    .into_iter()
+    .map(|(z, e)| b.edge(z, e))
+    .collect();
+    b.chain(&write).expect("write chain");
+    b.arc_pt(idle, write[0]).expect("write entry");
+    b.arc_tp(write[write.len() - 1], idle).expect("write exit");
+
+    b.set_initial_code(CodeVec::zeros(6));
+    b.build().expect("vme_master is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_graph::StateGraph;
+
+    #[test]
+    fn vme_matches_paper_statistics() {
+        let stg = vme_read();
+        assert_eq!(stg.num_signals(), 5);
+        assert_eq!(stg.net().num_transitions(), 10);
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(sg.num_states() > 0);
+    }
+
+    #[test]
+    fn vme_has_the_fig1_csc_conflict() {
+        let stg = vme_read();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(!sg.satisfies_usc());
+        let pairs = sg.csc_conflict_pairs(&stg);
+        assert!(!pairs.is_empty());
+        // The paper's conflict: both states coded 10110, Out = {lds} vs {d}.
+        let lds = stg.signal_by_name("lds").unwrap();
+        let d = stg.signal_by_name("d").unwrap();
+        let found = pairs.iter().any(|&(s1, s2)| {
+            sg.code(s1).to_string() == "10110"
+                && sg.code(s2) == sg.code(s1)
+                && {
+                    let o1 = stg.enabled_local_signals(sg.marking(s1));
+                    let o2 = stg.enabled_local_signals(sg.marking(s2));
+                    (o1 == vec![lds] && o2 == vec![d]) || (o1 == vec![d] && o2 == vec![lds])
+                }
+        });
+        assert!(found, "the Fig. 1(b) conflict pair must be present");
+    }
+
+    #[test]
+    fn resolved_vme_is_csc_but_not_normal() {
+        let stg = vme_read_csc_resolved();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(sg.satisfies_csc(&stg));
+        let csc = stg.signal_by_name("csc").unwrap();
+        let verdict = sg.normalcy_of(&stg, csc);
+        assert!(!verdict.p_normal);
+        assert!(!verdict.n_normal);
+        assert!(!sg.is_normal(&stg));
+    }
+
+    #[test]
+    fn both_models_are_safe_and_consistent() {
+        for stg in [vme_read(), vme_read_csc_resolved()] {
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            for s in sg.states() {
+                assert!(sg.marking(s).is_safe());
+            }
+        }
+    }
+
+    #[test]
+    fn master_controller_is_consistent_with_choice() {
+        let stg = vme_master();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        // Sequential branches: idle + 9 intermediate states each.
+        assert_eq!(sg.num_states(), 19);
+        for s in sg.states() {
+            assert!(sg.marking(s).is_safe());
+        }
+        assert!(!stg.net().is_structurally_conflict_free());
+    }
+
+    #[test]
+    fn master_controller_separates_usc_from_csc() {
+        // The read and write branches pass through a shared code
+        // (e.g. 001110 after the request falls) with the *same*
+        // enabled outputs — so USC fails while CSC holds. This is
+        // precisely the paper's "USC conflict which is not a CSC
+        // conflict" case, where the CSC search must skip such pairs
+        // and keep going.
+        let stg = vme_master();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        assert!(!sg.satisfies_usc());
+        assert!(sg.satisfies_csc(&stg));
+        // At least one conflicting pair shares its Out set.
+        let pair = sg.first_usc_conflict().unwrap();
+        assert_eq!(
+            stg.enabled_local_signals(sg.marking(pair.0)),
+            stg.enabled_local_signals(sg.marking(pair.1))
+        );
+    }
+}

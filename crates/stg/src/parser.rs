@@ -1,0 +1,435 @@
+//! Parser for the `.g` (astg) STG interchange format.
+//!
+//! The dialect understood here is the common core written by
+//! petrify-era tools:
+//!
+//! ```text
+//! .model vme
+//! .inputs dsr ldtack
+//! .outputs lds d dtack
+//! .graph
+//! dsr+ lds+
+//! lds+ ldtack+
+//! p0 dsr+
+//! .marking { <dtack-,dsr+> p0 }
+//! .end
+//! ```
+//!
+//! Lines in `.graph` list a source node followed by its successor
+//! nodes. Nodes are transitions (`sig+`, `sig-`, optionally with an
+//! instance suffix `sig+/2`), declared dummies, or explicit places.
+//! An arc between two transitions goes through an implicit place named
+//! `<t,u>`, which the `.marking` section can reference.
+//!
+//! One extension: an optional `.initial_state 0101…` line (bits in
+//! signal declaration order) records `v0` explicitly; without it the
+//! initial code is inferred from reachable behaviour.
+
+use std::collections::HashMap;
+
+use petri::{ExploreLimits, PlaceId, TransitionId};
+
+use crate::code::CodeVec;
+use crate::error::ParseStgError;
+use crate::signal::{Edge, Signal, SignalKind};
+use crate::stg::{Stg, StgBuilder};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Transition(TransitionId),
+    Place(PlaceId),
+}
+
+struct Parser {
+    builder: StgBuilder,
+    signals: HashMap<String, Signal>,
+    dummies: HashMap<String, ()>,
+    transitions: HashMap<String, TransitionId>,
+    places: HashMap<String, PlaceId>,
+    /// Implicit place per (source transition, target transition).
+    implicit: HashMap<(TransitionId, TransitionId), PlaceId>,
+    trans_names: Vec<String>,
+    initial_state: Option<CodeVec>,
+    marking_seen: bool,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            builder: StgBuilder::new(),
+            signals: HashMap::new(),
+            dummies: HashMap::new(),
+            transitions: HashMap::new(),
+            places: HashMap::new(),
+            implicit: HashMap::new(),
+            trans_names: Vec::new(),
+            initial_state: None,
+            marking_seen: false,
+        }
+    }
+
+    fn declare_signals(
+        &mut self,
+        names: &[&str],
+        kind: SignalKind,
+        line: usize,
+    ) -> Result<(), ParseStgError> {
+        for &name in names {
+            if self.signals.contains_key(name) || self.dummies.contains_key(name) {
+                return Err(ParseStgError::syntax(
+                    line,
+                    format!("signal `{name}` declared twice"),
+                ));
+            }
+            let id = self.builder.add_signal(name, kind);
+            self.signals.insert(name.to_owned(), id);
+        }
+        Ok(())
+    }
+
+    /// Splits `lds+/2` into (`lds`, `+`, `/2` suffix kept in the name).
+    fn node(&mut self, token: &str, line: usize) -> Result<Node, ParseStgError> {
+        if let Some(&t) = self.transitions.get(token) {
+            return Ok(Node::Transition(t));
+        }
+        if let Some(&p) = self.places.get(token) {
+            return Ok(Node::Place(p));
+        }
+        // Transition? Strip an optional /k instance suffix.
+        let stem = token.split('/').next().unwrap_or(token);
+        if let Some(base) = stem.strip_suffix('+').or_else(|| stem.strip_suffix('-')) {
+            if let Some(&z) = self.signals.get(base) {
+                let edge = if stem.ends_with('+') { Edge::Rise } else { Edge::Fall };
+                let t = self.builder.edge_named(z, edge, token);
+                self.transitions.insert(token.to_owned(), t);
+                self.trans_names.push(token.to_owned());
+                return Ok(Node::Transition(t));
+            }
+            if self.dummies.contains_key(base) {
+                return Err(ParseStgError::syntax(
+                    line,
+                    format!("dummy `{base}` cannot carry a +/- suffix"),
+                ));
+            }
+            return Err(ParseStgError::syntax(
+                line,
+                format!("transition `{token}` references undeclared signal `{base}`"),
+            ));
+        }
+        if self.dummies.contains_key(stem) {
+            let t = self.builder.dummy(token);
+            self.transitions.insert(token.to_owned(), t);
+            self.trans_names.push(token.to_owned());
+            return Ok(Node::Transition(t));
+        }
+        // Otherwise an explicit place.
+        let p = self.builder.add_place(token);
+        self.places.insert(token.to_owned(), p);
+        Ok(Node::Place(p))
+    }
+
+    fn graph_line(&mut self, tokens: &[&str], line: usize) -> Result<(), ParseStgError> {
+        let src = self.node(tokens[0], line)?;
+        for &tok in &tokens[1..] {
+            let dst = self.node(tok, line)?;
+            let result = match (src, dst) {
+                (Node::Transition(a), Node::Transition(b)) => {
+                    match self.builder.connect(a, b) {
+                        Ok(p) => {
+                            self.implicit.insert((a, b), p);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                (Node::Transition(a), Node::Place(p)) => self.builder.arc_tp(a, p),
+                (Node::Place(p), Node::Transition(b)) => self.builder.arc_pt(p, b),
+                (Node::Place(_), Node::Place(_)) => {
+                    return Err(ParseStgError::syntax(
+                        line,
+                        format!("arc from place `{}` to place `{tok}` is not allowed", tokens[0]),
+                    ));
+                }
+            };
+            result.map_err(|e| ParseStgError::syntax(line, e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    fn marking(&mut self, body: &str, line: usize) -> Result<(), ParseStgError> {
+        self.marking_seen = true;
+        let body = body.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| ParseStgError::syntax(line, "expected `.marking { ... }`"))?;
+        // Tokens are either `name[=k]` or `<t,u>[=k]`.
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let token_end = if rest.starts_with('<') {
+                rest.find('>')
+                    .map(|i| {
+                        // include a possible =k after '>'
+                        let mut end = i + 1;
+                        let tail = &rest[end..];
+                        if let Some(eq) = tail.strip_prefix('=') {
+                            end += 1 + eq.find(char::is_whitespace).unwrap_or(eq.len());
+                        }
+                        end
+                    })
+                    .ok_or_else(|| ParseStgError::syntax(line, "unterminated `<...>`"))?
+            } else {
+                rest.find(char::is_whitespace).unwrap_or(rest.len())
+            };
+            let (token, tail) = rest.split_at(token_end);
+            rest = tail.trim_start();
+            let (name, count) = match token.split_once('=') {
+                Some((n, k)) => (
+                    n,
+                    k.parse::<u32>().map_err(|_| {
+                        ParseStgError::syntax(line, format!("bad token count in `{token}`"))
+                    })?,
+                ),
+                None => (token, 1),
+            };
+            let place = if let Some(pair) = name.strip_prefix('<').and_then(|n| n.strip_suffix('>'))
+            {
+                let (a, b) = pair.split_once(',').ok_or_else(|| {
+                    ParseStgError::syntax(line, format!("bad implicit place `{name}`"))
+                })?;
+                let ta = *self.transitions.get(a.trim()).ok_or_else(|| {
+                    ParseStgError::syntax(line, format!("unknown transition `{a}` in marking"))
+                })?;
+                let tb = *self.transitions.get(b.trim()).ok_or_else(|| {
+                    ParseStgError::syntax(line, format!("unknown transition `{b}` in marking"))
+                })?;
+                *self.implicit.get(&(ta, tb)).ok_or_else(|| {
+                    ParseStgError::syntax(line, format!("no implicit place `{name}`"))
+                })?
+            } else {
+                *self.places.get(name).ok_or_else(|| {
+                    ParseStgError::syntax(line, format!("unknown place `{name}` in marking"))
+                })?
+            };
+            self.builder.mark(place, count);
+        }
+        Ok(())
+    }
+}
+
+/// Parses `.g` source into an [`Stg`].
+///
+/// # Errors
+///
+/// Returns [`ParseStgError`] on malformed input, or when no
+/// `.initial_state` is given and the initial code cannot be inferred
+/// within default exploration limits.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// .model handshake
+/// .inputs req
+/// .outputs ack
+/// .graph
+/// req+ ack+
+/// ack+ req-
+/// req- ack-
+/// ack- req+
+/// .marking { <ack-,req+> }
+/// .end
+/// ";
+/// let stg = stg::parse(src)?;
+/// assert_eq!(stg.num_signals(), 2);
+/// assert_eq!(stg.initial_code().to_string(), "00");
+/// # Ok::<(), stg::ParseStgError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
+    let mut p = Parser::new();
+    let mut in_graph = false;
+    let mut ended = false;
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || ended {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            in_graph = false;
+            let (keyword, body) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let tokens: Vec<&str> = body.split_whitespace().collect();
+            match keyword {
+                "model" | "name" | "version" | "capacity" | "slowenv" => {}
+                "inputs" => p.declare_signals(&tokens, SignalKind::Input, line_no)?,
+                "outputs" => p.declare_signals(&tokens, SignalKind::Output, line_no)?,
+                "internal" => p.declare_signals(&tokens, SignalKind::Internal, line_no)?,
+                "dummy" => {
+                    for &d in &tokens {
+                        p.dummies.insert(d.to_owned(), ());
+                    }
+                }
+                "graph" => in_graph = true,
+                "marking" => p.marking(body, line_no)?,
+                "initial_state" => {
+                    let bits = tokens.first().ok_or_else(|| {
+                        ParseStgError::syntax(line_no, "expected bits after .initial_state")
+                    })?;
+                    p.initial_state = Some(CodeVec::parse_bits(bits).ok_or_else(|| {
+                        ParseStgError::syntax(line_no, format!("bad bit string `{bits}`"))
+                    })?);
+                }
+                "end" => ended = true,
+                other => {
+                    return Err(ParseStgError::syntax(
+                        line_no,
+                        format!("unknown directive `.{other}`"),
+                    ));
+                }
+            }
+        } else if in_graph {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            p.graph_line(&tokens, line_no)?;
+        } else {
+            return Err(ParseStgError::syntax(
+                line_no,
+                format!("unexpected content `{line}` outside .graph"),
+            ));
+        }
+    }
+    if !p.marking_seen {
+        return Err(ParseStgError::Build(crate::error::StgError::MissingInitialMarking));
+    }
+    let stg = match p.initial_state {
+        Some(code) => {
+            p.builder.set_initial_code(code);
+            p.builder.build()?
+        }
+        None => p.builder.build_with_inferred_code(ExploreLimits::default())?,
+    };
+    Ok(stg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VME: &str = "\
+# VME bus controller, read cycle (paper Fig. 1)
+.model vme_read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack- lds-
+lds- ldtack-
+ldtack- lds+
+dtack- dsr+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end
+";
+
+    #[test]
+    fn parses_vme_and_infers_code() {
+        let stg = parse(VME).unwrap();
+        assert_eq!(stg.num_signals(), 5);
+        assert_eq!(stg.net().num_transitions(), 10);
+        // One implicit place per (source, target) pair in .graph.
+        assert_eq!(stg.net().num_places(), 11);
+        assert_eq!(stg.initial_code().to_string(), "00000");
+        let dsr = stg.signal_by_name("dsr").unwrap();
+        assert_eq!(stg.signal_kind(dsr), SignalKind::Input);
+        assert_eq!(stg.initial_marking().total(), 2);
+    }
+
+    #[test]
+    fn explicit_places_and_counts() {
+        let src = "\
+.model m
+.outputs a
+.graph
+a+ p
+p a-
+a- a+
+.marking { p=1 }
+.initial_state 1
+.end
+";
+        let stg = parse(src).unwrap();
+        assert_eq!(stg.initial_code().to_string(), "1");
+        assert_eq!(stg.net().num_places(), 2);
+        let p = stg
+            .net()
+            .places()
+            .find(|&p| stg.net().place_name(p) == "p")
+            .unwrap();
+        assert_eq!(stg.initial_marking().tokens(p), 1);
+    }
+
+    #[test]
+    fn instance_suffixes() {
+        let src = "\
+.model m
+.outputs a b
+.graph
+a+ b+
+b+ a-
+a- a+/2
+a+/2 b-
+b- a-/2
+a-/2 a+
+.marking { <a-/2,a+> }
+.end
+";
+        let stg = parse(src).unwrap();
+        assert_eq!(stg.net().num_transitions(), 6);
+        let a = stg.signal_by_name("a").unwrap();
+        assert_eq!(stg.transitions_of(a).count(), 4);
+    }
+
+    #[test]
+    fn dummies_parse() {
+        let src = "\
+.model m
+.outputs a
+.dummy tau
+.graph
+a+ tau
+tau a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let stg = parse(src).unwrap();
+        assert!(stg.has_dummies());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = ".model m\n.outputs a\n.graph\nb+ a+\n.marking { }\n.end\n";
+        match parse(src) {
+            Err(ParseStgError::Syntax { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("undeclared signal"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_marking_rejected() {
+        let src = ".model m\n.outputs a\n.graph\na+ a-\na- a+\n.end\n";
+        assert!(matches!(parse(src), Err(ParseStgError::Build(_))));
+    }
+
+    #[test]
+    fn place_to_place_rejected() {
+        let src = ".model m\n.outputs a\n.graph\np q\n.marking { p }\n.end\n";
+        assert!(matches!(parse(src), Err(ParseStgError::Syntax { .. })));
+    }
+}

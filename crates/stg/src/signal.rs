@@ -1,0 +1,186 @@
+//! Signals, edges and transition labels.
+
+use std::fmt;
+
+/// Identifier of a signal within an [`crate::Stg`]; dense in
+/// declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Signal(pub u32);
+
+impl Signal {
+    /// Creates a signal id from a raw index.
+    pub const fn new(index: usize) -> Self {
+        Signal(index as u32)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0)
+    }
+}
+
+/// The role of a signal in the circuit.
+///
+/// Input signals are driven by the environment; output and internal
+/// signals are produced by the synthesised logic. CSC distinguishes
+/// states by their *enabled non-input signals*, so [`SignalKind::is_local`]
+/// is the predicate used by `Out(M)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Driven by the environment.
+    Input,
+    /// Produced by the circuit and visible outside.
+    Output,
+    /// Produced by the circuit, not visible outside (state signals).
+    Internal,
+}
+
+impl SignalKind {
+    /// Whether the circuit itself drives this signal (output or
+    /// internal) — the signals that `Out(M)` ranges over.
+    pub fn is_local(self) -> bool {
+        !matches!(self, SignalKind::Input)
+    }
+}
+
+impl fmt::Display for SignalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignalKind::Input => write!(f, "input"),
+            SignalKind::Output => write!(f, "output"),
+            SignalKind::Internal => write!(f, "internal"),
+        }
+    }
+}
+
+/// The direction of a signal transition: rising (`z+`, 0→1) or falling
+/// (`z−`, 1→0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// `z+` — the signal switches from 0 to 1.
+    Rise,
+    /// `z-` — the signal switches from 1 to 0.
+    Fall,
+}
+
+impl Edge {
+    /// The signed contribution to the signal-change vector: `+1` for a
+    /// rising edge, `−1` for a falling edge.
+    pub fn delta(self) -> i32 {
+        match self {
+            Edge::Rise => 1,
+            Edge::Fall => -1,
+        }
+    }
+
+    /// The opposite edge.
+    pub fn opposite(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+
+    /// The suffix used in `.g` files and display: `+` or `-`.
+    pub fn suffix(self) -> char {
+        match self {
+            Edge::Rise => '+',
+            Edge::Fall => '-',
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// The label `λ(t)` of an STG transition: a signal edge, or `τ`
+/// (dummy/silent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// A signal transition `z±`.
+    SignalEdge(Signal, Edge),
+    /// A silent (dummy) transition `τ`.
+    Dummy,
+}
+
+impl Label {
+    /// The labelled signal, if not a dummy.
+    pub fn signal(self) -> Option<Signal> {
+        match self {
+            Label::SignalEdge(z, _) => Some(z),
+            Label::Dummy => None,
+        }
+    }
+
+    /// The edge direction, if not a dummy.
+    pub fn edge(self) -> Option<Edge> {
+        match self {
+            Label::SignalEdge(_, e) => Some(e),
+            Label::Dummy => None,
+        }
+    }
+
+    /// The signed code contribution of this label for signal `z`.
+    pub fn delta_for(self, z: Signal) -> i32 {
+        match self {
+            Label::SignalEdge(s, e) if s == z => e.delta(),
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a dummy (`τ`) label.
+    pub fn is_dummy(self) -> bool {
+        matches!(self, Label::Dummy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_algebra() {
+        assert_eq!(Edge::Rise.delta(), 1);
+        assert_eq!(Edge::Fall.delta(), -1);
+        assert_eq!(Edge::Rise.opposite(), Edge::Fall);
+        assert_eq!(Edge::Fall.opposite(), Edge::Rise);
+        assert_eq!(Edge::Rise.to_string(), "+");
+    }
+
+    #[test]
+    fn label_queries() {
+        let z = Signal::new(3);
+        let l = Label::SignalEdge(z, Edge::Fall);
+        assert_eq!(l.signal(), Some(z));
+        assert_eq!(l.edge(), Some(Edge::Fall));
+        assert_eq!(l.delta_for(z), -1);
+        assert_eq!(l.delta_for(Signal::new(0)), 0);
+        assert!(!l.is_dummy());
+        assert!(Label::Dummy.is_dummy());
+        assert_eq!(Label::Dummy.signal(), None);
+        assert_eq!(Label::Dummy.delta_for(z), 0);
+    }
+
+    #[test]
+    fn signal_kind_locality() {
+        assert!(!SignalKind::Input.is_local());
+        assert!(SignalKind::Output.is_local());
+        assert!(SignalKind::Internal.is_local());
+        assert_eq!(SignalKind::Internal.to_string(), "internal");
+    }
+}

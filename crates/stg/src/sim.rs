@@ -1,0 +1,246 @@
+//! Token-game simulation with live code tracking.
+//!
+//! A [`Simulator`] walks an STG transition by transition, maintaining
+//! the current marking *and* the current code — acting as a runtime
+//! consistency monitor: any firing that would push a signal outside
+//! `{0, 1}` is reported as a [`SimError::CodeOverflow`] instead of
+//! silently corrupting state. Useful for interactive exploration,
+//! randomised smoke testing and witness visualisation.
+
+use std::error::Error;
+use std::fmt;
+
+use petri::{Marking, TransitionId};
+use rand::Rng;
+
+use crate::code::{ChangeVec, CodeVec};
+use crate::signal::Label;
+use crate::stg::Stg;
+
+/// An error during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The transition is not enabled at the current marking.
+    NotEnabled(TransitionId),
+    /// Firing would drive a signal outside `{0,1}` — a consistency
+    /// violation observed at runtime.
+    CodeOverflow(TransitionId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            SimError::CodeOverflow(t) => {
+                write!(f, "firing {t} drives a signal outside {{0,1}}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A stateful token-game simulator.
+///
+/// # Examples
+///
+/// ```
+/// use stg::sim::Simulator;
+/// use stg::gen::vme::vme_read;
+///
+/// # fn main() -> Result<(), stg::sim::SimError> {
+/// let stg = vme_read();
+/// let mut sim = Simulator::new(&stg);
+/// // Fire the only initially-enabled transition: dsr+.
+/// let enabled = sim.enabled();
+/// assert_eq!(enabled.len(), 1);
+/// sim.fire(enabled[0])?;
+/// assert_eq!(sim.code().to_string(), "10000");
+/// assert_eq!(sim.trace().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    stg: &'a Stg,
+    marking: Marking,
+    code: CodeVec,
+    trace: Vec<TransitionId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Starts at the initial state.
+    pub fn new(stg: &'a Stg) -> Self {
+        Simulator {
+            stg,
+            marking: stg.initial_marking().clone(),
+            code: stg.initial_code().clone(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// The current code.
+    pub fn code(&self) -> &CodeVec {
+        &self.code
+    }
+
+    /// The firing trace so far.
+    pub fn trace(&self) -> &[TransitionId] {
+        &self.trace
+    }
+
+    /// The transitions enabled now.
+    pub fn enabled(&self) -> Vec<TransitionId> {
+        self.stg.net().enabled(&self.marking)
+    }
+
+    /// Whether the current state is a deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        self.stg.net().is_deadlock(&self.marking)
+    }
+
+    /// Fires one transition.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotEnabled`] / [`SimError::CodeOverflow`]; the
+    /// state is unchanged on error.
+    pub fn fire(&mut self, t: TransitionId) -> Result<(), SimError> {
+        let next = self
+            .stg
+            .net()
+            .fire(&self.marking, t)
+            .ok_or(SimError::NotEnabled(t))?;
+        let next_code = match self.stg.label(t) {
+            Label::Dummy => self.code.clone(),
+            Label::SignalEdge(z, e) => {
+                let mut delta = ChangeVec::zero(self.stg.num_signals());
+                delta.bump(z, e.delta());
+                self.code.apply(&delta).ok_or(SimError::CodeOverflow(t))?
+            }
+        };
+        self.marking = next;
+        self.code = next_code;
+        self.trace.push(t);
+        Ok(())
+    }
+
+    /// Fires a uniformly random enabled transition, returning it, or
+    /// `None` at a deadlock.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CodeOverflow`] if the chosen firing is
+    /// inconsistent.
+    pub fn fire_random(&mut self, rng: &mut impl Rng) -> Result<Option<TransitionId>, SimError> {
+        let enabled = self.enabled();
+        if enabled.is_empty() {
+            return Ok(None);
+        }
+        let t = enabled[rng.random_range(0..enabled.len())];
+        self.fire(t)?;
+        Ok(Some(t))
+    }
+
+    /// Runs up to `steps` random firings (stopping at deadlocks).
+    /// Returns the number of transitions fired.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CodeOverflow`] on an inconsistent firing.
+    pub fn run_random(&mut self, steps: usize, rng: &mut impl Rng) -> Result<usize, SimError> {
+        for fired in 0..steps {
+            if self.fire_random(rng)?.is_none() {
+                return Ok(fired);
+            }
+        }
+        Ok(steps)
+    }
+
+    /// Rewinds to the initial state, clearing the trace.
+    pub fn reset(&mut self) {
+        self.marking = self.stg.initial_marking().clone();
+        self.code = self.stg.initial_code().clone();
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random::{random_stg, RandomStgConfig};
+    use crate::gen::vme::vme_read;
+    use crate::{CodeVec, Edge, SignalKind, StgBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walks_the_vme_cycle() {
+        let stg = vme_read();
+        let mut sim = Simulator::new(&stg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let fired = sim.run_random(100, &mut rng).unwrap();
+        assert_eq!(fired, 100, "vme is deadlock-free");
+        // The trace replays from the initial marking.
+        let replayed = stg
+            .net()
+            .fire_sequence(stg.initial_marking(), sim.trace())
+            .unwrap();
+        assert_eq!(&replayed, sim.marking());
+        assert_eq!(stg.code_after(sim.trace()).as_ref(), Some(sim.code()));
+    }
+
+    #[test]
+    fn rejects_disabled_firing() {
+        let stg = vme_read();
+        let mut sim = Simulator::new(&stg);
+        // Transition 1 is dsr-: not enabled initially.
+        let t = petri::TransitionId::new(1);
+        assert_eq!(sim.fire(t), Err(SimError::NotEnabled(t)));
+        assert!(sim.trace().is_empty(), "state unchanged on error");
+    }
+
+    #[test]
+    fn detects_code_overflow_at_runtime() {
+        // a+ twice in a row.
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Rise);
+        b.chain_cycle(&[t1, t2]).unwrap();
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let mut sim = Simulator::new(&stg);
+        sim.fire(t1).unwrap();
+        assert_eq!(sim.fire(t2), Err(SimError::CodeOverflow(t2)));
+    }
+
+    #[test]
+    fn random_walks_preserve_invariants() {
+        for seed in 0..10 {
+            let stg = random_stg(&RandomStgConfig::default(), seed);
+            let mut sim = Simulator::new(&stg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            sim.run_random(200, &mut rng).unwrap();
+            assert!(sim.marking().is_safe());
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let stg = vme_read();
+        let mut sim = Simulator::new(&stg);
+        let mut rng = StdRng::seed_from_u64(7);
+        sim.run_random(5, &mut rng).unwrap();
+        sim.reset();
+        assert_eq!(sim.marking(), stg.initial_marking());
+        assert_eq!(sim.code(), stg.initial_code());
+        assert!(sim.trace().is_empty());
+    }
+}

@@ -1,0 +1,566 @@
+//! The [`Stg`] type and its builder.
+
+use std::collections::HashMap;
+
+use petri::{ExploreLimits, Marking, Net, NetBuilder, PlaceId, TransitionId};
+
+use crate::code::{ChangeVec, CodeVec};
+use crate::error::StgError;
+use crate::signal::{Edge, Label, Signal, SignalKind};
+
+#[derive(Debug, Clone)]
+struct SignalData {
+    name: String,
+    kind: SignalKind,
+}
+
+/// A Signal Transition Graph `Γ = (Σ, Z, λ)`: a net system together
+/// with a set of signals, a transition labelling and an initial binary
+/// code `v0`.
+///
+/// `Stg`s are immutable; construct them with [`StgBuilder`] or
+/// [`crate::parser::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::vme::vme_read;
+///
+/// let stg = vme_read();
+/// assert_eq!(stg.num_signals(), 5);
+/// assert_eq!(stg.initial_code().to_string(), "00000");
+/// // dsr is an input, lds an output:
+/// let dsr = stg.signal_by_name("dsr").unwrap();
+/// assert!(!stg.signal_kind(dsr).is_local());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stg {
+    net: Net,
+    signals: Vec<SignalData>,
+    labels: Vec<Label>,
+    initial_marking: Marking,
+    initial_code: CodeVec,
+}
+
+impl Stg {
+    /// The underlying net.
+    pub fn net(&self) -> &Net {
+        &self.net
+    }
+
+    /// Number of signals `|Z|`.
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Iterates over all signals.
+    pub fn signals(&self) -> impl ExactSizeIterator<Item = Signal> + '_ {
+        (0..self.signals.len()).map(Signal::new)
+    }
+
+    /// Iterates over the circuit-driven (output + internal) signals.
+    pub fn local_signals(&self) -> impl Iterator<Item = Signal> + '_ {
+        self.signals().filter(|&z| self.signal_kind(z).is_local())
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, z: Signal) -> &str {
+        &self.signals[z.index()].name
+    }
+
+    /// The kind (input/output/internal) of a signal.
+    pub fn signal_kind(&self, z: Signal) -> SignalKind {
+        self.signals[z.index()].kind
+    }
+
+    /// Looks a signal up by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<Signal> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(Signal::new)
+    }
+
+    /// The label `λ(t)`.
+    pub fn label(&self, t: TransitionId) -> Label {
+        self.labels[t.index()]
+    }
+
+    /// Human-readable name of a transition (e.g. `lds+` or `lds+/2`).
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        self.net.transition_name(t)
+    }
+
+    /// The transitions labelled with edges of signal `z`.
+    pub fn transitions_of(&self, z: Signal) -> impl Iterator<Item = TransitionId> + '_ {
+        self.net
+            .transitions()
+            .filter(move |&t| self.labels[t.index()].signal() == Some(z))
+    }
+
+    /// Whether the STG contains `τ`-labelled (dummy) transitions.
+    pub fn has_dummies(&self) -> bool {
+        self.labels.iter().any(|l| l.is_dummy())
+    }
+
+    /// The initial marking `M0`.
+    pub fn initial_marking(&self) -> &Marking {
+        &self.initial_marking
+    }
+
+    /// The initial code `v0`.
+    pub fn initial_code(&self) -> &CodeVec {
+        &self.initial_code
+    }
+
+    /// The signal-change vector of a transition sequence `v_σ`.
+    pub fn change_vector(&self, seq: &[TransitionId]) -> ChangeVec {
+        let mut v = ChangeVec::zero(self.num_signals());
+        for &t in seq {
+            if let Label::SignalEdge(z, e) = self.labels[t.index()] {
+                v.bump(z, e.delta());
+            }
+        }
+        v
+    }
+
+    /// The code reached by firing `seq` from the initial state, or
+    /// `None` if it leaves `{0,1}^|Z|` (a consistency violation).
+    pub fn code_after(&self, seq: &[TransitionId]) -> Option<CodeVec> {
+        self.initial_code.apply(&self.change_vector(seq))
+    }
+
+    /// `Out(M)`: the circuit-driven signals with an edge enabled at `m`
+    /// (§2.1), in signal order.
+    pub fn enabled_local_signals(&self, m: &Marking) -> Vec<Signal> {
+        let mut out: Vec<Signal> = self
+            .net
+            .transitions()
+            .filter(|&t| self.net.is_enabled(m, t))
+            .filter_map(|t| self.labels[t.index()].signal())
+            .filter(|&z| self.signal_kind(z).is_local())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether some `z`-edge transition with direction `edge` is
+    /// enabled at `m`.
+    pub fn is_edge_enabled(&self, m: &Marking, z: Signal, edge: Edge) -> bool {
+        self.transitions_of(z)
+            .any(|t| self.labels[t.index()].edge() == Some(edge) && self.net.is_enabled(m, t))
+    }
+
+    /// Returns a copy of this STG with signal `z` hidden: its edge
+    /// transitions become `τ`-labelled dummies and the signal
+    /// disappears from the alphabet (remaining signals keep their
+    /// relative order; the net is unchanged). Hiding a state signal
+    /// typically re-introduces the coding conflicts it resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is out of range.
+    pub fn with_signal_hidden(&self, z: Signal) -> Stg {
+        assert!(z.index() < self.num_signals(), "signal out of range");
+        let keep: Vec<Signal> = self.signals().filter(|&s| s != z).collect();
+        let signals = keep
+            .iter()
+            .map(|&s| SignalData {
+                name: self.signal_name(s).to_owned(),
+                kind: self.signal_kind(s),
+            })
+            .collect();
+        let remap = |s: Signal| -> Signal {
+            Signal::new(keep.iter().position(|&k| k == s).expect("kept signal"))
+        };
+        let labels = self
+            .labels
+            .iter()
+            .map(|&l| match l {
+                Label::SignalEdge(s, _) if s == z => Label::Dummy,
+                Label::SignalEdge(s, e) => Label::SignalEdge(remap(s), e),
+                Label::Dummy => Label::Dummy,
+            })
+            .collect();
+        let code = CodeVec::from_bits(keep.iter().map(|&s| self.initial_code.bit(s)).collect());
+        Stg {
+            net: self.net.clone(),
+            signals,
+            labels,
+            initial_marking: self.initial_marking.clone(),
+            initial_code: code,
+        }
+    }
+
+    /// The boolean next-state function `Nxt_z(M)` of §6: where signal
+    /// `z` is heading at marking `m` whose code bit is `u_z`.
+    ///
+    /// * `u_z = 0`: `1` iff a `z+` transition is enabled;
+    /// * `u_z = 1`: `0` iff a `z−` transition is enabled.
+    pub fn next_state(&self, m: &Marking, code: &CodeVec, z: Signal) -> bool {
+        if code.bit(z) {
+            !self.is_edge_enabled(m, z, Edge::Fall)
+        } else {
+            self.is_edge_enabled(m, z, Edge::Rise)
+        }
+    }
+}
+
+/// Staged construction of an [`Stg`].
+///
+/// Transitions are created through [`StgBuilder::edge`] (signal edges)
+/// or [`StgBuilder::dummy`]; connectivity uses explicit places or the
+/// [`StgBuilder::connect`]/[`StgBuilder::chain_cycle`] conveniences
+/// which create implicit places.
+#[derive(Debug, Clone, Default)]
+pub struct StgBuilder {
+    net: NetBuilder,
+    signals: Vec<SignalData>,
+    labels: Vec<Label>,
+    edge_counts: HashMap<(Signal, char), usize>,
+    tokens: Vec<(PlaceId, u32)>,
+    initial_code: Option<CodeVec>,
+}
+
+impl StgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal.
+    pub fn add_signal(&mut self, name: impl Into<String>, kind: SignalKind) -> Signal {
+        let id = Signal::new(self.signals.len());
+        self.signals.push(SignalData {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds a transition labelled `z+`/`z−`. Repeated edges of the
+    /// same signal get instance suffixes (`z+/2`, `z+/3`, …) as in the
+    /// `.g` format.
+    pub fn edge(&mut self, z: Signal, e: Edge) -> TransitionId {
+        let n = self
+            .edge_counts
+            .entry((z, e.suffix()))
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+        let base = format!("{}{}", self.signals[z.index()].name, e.suffix());
+        let name = if *n == 1 {
+            base
+        } else {
+            format!("{base}/{n}")
+        };
+        let t = self.net.add_transition(name);
+        self.labels.push(Label::SignalEdge(z, e));
+        t
+    }
+
+    /// Adds a transition labelled `z+`/`z−` with an explicit name
+    /// (used by the parser to preserve instance suffixes exactly).
+    pub fn edge_named(&mut self, z: Signal, e: Edge, name: impl Into<String>) -> TransitionId {
+        let t = self.net.add_transition(name);
+        self.labels.push(Label::SignalEdge(z, e));
+        t
+    }
+
+    /// Adds a `τ`-labelled (dummy) transition.
+    pub fn dummy(&mut self, name: impl Into<String>) -> TransitionId {
+        let t = self.net.add_transition(name);
+        self.labels.push(Label::Dummy);
+        t
+    }
+
+    /// Adds an explicit place.
+    pub fn add_place(&mut self, name: impl Into<String>) -> PlaceId {
+        self.net.add_place(name)
+    }
+
+    /// Adds an arc from a place to a transition.
+    pub fn arc_pt(&mut self, p: PlaceId, t: TransitionId) -> Result<(), StgError> {
+        Ok(self.net.arc_pt(p, t)?)
+    }
+
+    /// Adds an arc from a transition to a place.
+    pub fn arc_tp(&mut self, t: TransitionId, p: PlaceId) -> Result<(), StgError> {
+        Ok(self.net.arc_tp(t, p)?)
+    }
+
+    /// Creates an implicit place from `from` to `to` and returns it.
+    pub fn connect(&mut self, from: TransitionId, to: TransitionId) -> Result<PlaceId, StgError> {
+        Ok(self.net.connect(from, to)?)
+    }
+
+    /// Connects consecutive transitions with implicit places, without
+    /// closing the loop. Returns the created places.
+    pub fn chain(&mut self, ts: &[TransitionId]) -> Result<Vec<PlaceId>, StgError> {
+        let mut places = Vec::new();
+        for w in ts.windows(2) {
+            places.push(self.connect(w[0], w[1])?);
+        }
+        Ok(places)
+    }
+
+    /// Connects the transitions into a cycle (implicit places between
+    /// consecutive ones and from the last back to the first) and puts
+    /// the initial token on the closing place, so the first transition
+    /// of the slice is initially enabled through this cycle.
+    pub fn chain_cycle(&mut self, ts: &[TransitionId]) -> Result<Vec<PlaceId>, StgError> {
+        assert!(ts.len() >= 2, "a cycle needs at least two transitions");
+        let mut places = self.chain(ts)?;
+        let closing = self.connect(ts[ts.len() - 1], ts[0])?;
+        self.mark(closing, 1);
+        places.push(closing);
+        Ok(places)
+    }
+
+    /// Puts `k` initial tokens on `p`.
+    pub fn mark(&mut self, p: PlaceId, k: u32) {
+        self.tokens.push((p, k));
+    }
+
+    /// Sets the initial code explicitly.
+    pub fn set_initial_code(&mut self, code: CodeVec) {
+        self.initial_code = Some(code);
+    }
+
+    /// Number of signals declared so far.
+    pub fn num_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Finalises the STG with the explicitly provided initial code.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the net is malformed, the code length does not match
+    /// the signal count, or no code was provided (use
+    /// [`StgBuilder::build_with_inferred_code`] in that case).
+    pub fn build(self) -> Result<Stg, StgError> {
+        let code = self.initial_code.clone().ok_or(StgError::CodeLengthMismatch {
+            expected: self.signals.len(),
+            got: 0,
+        })?;
+        self.build_inner(code)
+    }
+
+    fn build_inner(self, code: CodeVec) -> Result<Stg, StgError> {
+        if code.len() != self.signals.len() {
+            return Err(StgError::CodeLengthMismatch {
+                expected: self.signals.len(),
+                got: code.len(),
+            });
+        }
+        let net = self.net.build()?;
+        let marking = Marking::with_tokens(net.num_places(), &self.tokens);
+        if self.labels.len() != net.num_transitions() {
+            return Err(StgError::MissingLabel(TransitionId::new(self.labels.len())));
+        }
+        Ok(Stg {
+            net,
+            signals: self.signals,
+            labels: self.labels,
+            initial_marking: marking,
+            initial_code: code,
+        })
+    }
+
+    /// Finalises the STG, inferring the initial code `v0` from the
+    /// reachable behaviour: if the first edge of a signal along every
+    /// path is rising its initial value is 0, if falling it is 1;
+    /// signals that never switch default to 0.
+    ///
+    /// # Errors
+    ///
+    /// Fails if exploration exceeds `limits`, or no consistent binary
+    /// initial value exists for some signal.
+    pub fn build_with_inferred_code(self, limits: ExploreLimits) -> Result<Stg, StgError> {
+        let provisional = self
+            .clone()
+            .build_inner(CodeVec::zeros(self.signals.len()))?;
+        let code = infer_initial_code(&provisional, limits)?;
+        self.build_inner(code)
+    }
+}
+
+/// Infers `v0` for an STG whose stored code is provisional, by
+/// exploring reachable change vectors.
+fn infer_initial_code(stg: &Stg, limits: ExploreLimits) -> Result<CodeVec, StgError> {
+    let graph = petri::ReachabilityGraph::explore(stg.net(), stg.initial_marking(), limits)
+        .map_err(|e| StgError::InferenceExploration(e.to_string()))?;
+    let nz = stg.num_signals();
+    // Change vector per state, propagated over BFS paths.
+    let mut lo = vec![0i32; nz];
+    let mut hi = vec![0i32; nz];
+    let mut deltas: Vec<Option<ChangeVec>> = vec![None; graph.num_states()];
+    deltas[0] = Some(ChangeVec::zero(nz));
+    for s in graph.states() {
+        let current = deltas[s.index()].clone().expect("BFS order fills parents first");
+        for z in 0..nz {
+            lo[z] = lo[z].min(current.as_slice()[z]);
+            hi[z] = hi[z].max(current.as_slice()[z]);
+        }
+        for &(t, succ) in graph.successors(s) {
+            if deltas[succ.index()].is_none() {
+                let mut next = current.clone();
+                if let Label::SignalEdge(z, e) = stg.label(t) {
+                    next.bump(z, e.delta());
+                }
+                deltas[succ.index()] = Some(next);
+            }
+        }
+    }
+    let mut bits = Vec::with_capacity(nz);
+    for z in 0..nz {
+        let bit = match (lo[z], hi[z]) {
+            (0, 0) => false,           // never switches: default 0
+            (0, 1) => false,           // first edge rising
+            (-1, 0) => true,           // first edge falling
+            _ => return Err(StgError::InferenceInconsistent(Signal::new(z))),
+        };
+        bits.push(bit);
+    }
+    Ok(CodeVec::from_bits(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new();
+        let req = b.add_signal("req", SignalKind::Input);
+        let ack = b.add_signal("ack", SignalKind::Output);
+        let rp = b.edge(req, Edge::Rise);
+        let ap = b.edge(ack, Edge::Rise);
+        let rm = b.edge(req, Edge::Fall);
+        let am = b.edge(ack, Edge::Fall);
+        b.chain_cycle(&[rp, ap, rm, am]).unwrap();
+        b.set_initial_code(CodeVec::zeros(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_labels_and_names() {
+        let stg = handshake();
+        assert_eq!(stg.num_signals(), 2);
+        let req = stg.signal_by_name("req").unwrap();
+        let ack = stg.signal_by_name("ack").unwrap();
+        assert_eq!(stg.signal_kind(req), SignalKind::Input);
+        assert_eq!(stg.signal_kind(ack), SignalKind::Output);
+        assert_eq!(stg.transitions_of(req).count(), 2);
+        let t0 = TransitionId::new(0);
+        assert_eq!(stg.transition_name(t0), "req+");
+        assert_eq!(stg.label(t0), Label::SignalEdge(req, Edge::Rise));
+        assert!(!stg.has_dummies());
+    }
+
+    #[test]
+    fn duplicate_edges_get_instance_suffixes() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Rise);
+        let t3 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, t3, t2]).unwrap();
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        assert_eq!(stg.transition_name(t1), "a+");
+        assert_eq!(stg.transition_name(t2), "a+/2");
+        assert_eq!(stg.transition_name(t3), "a-");
+    }
+
+    #[test]
+    fn change_vector_and_code_after() {
+        let stg = handshake();
+        let rp = TransitionId::new(0);
+        let ap = TransitionId::new(1);
+        let v = stg.change_vector(&[rp, ap]);
+        assert_eq!(v.as_slice(), &[1, 1]);
+        assert_eq!(stg.code_after(&[rp, ap]).unwrap().to_string(), "11");
+        // Firing req+ twice in a row is not binary.
+        assert_eq!(stg.code_after(&[rp, rp]), None);
+    }
+
+    #[test]
+    fn out_and_next_state() {
+        let stg = handshake();
+        let m0 = stg.initial_marking().clone();
+        // At the initial state only req+ (an input) is enabled.
+        assert!(stg.enabled_local_signals(&m0).is_empty());
+        let req = stg.signal_by_name("req").unwrap();
+        let ack = stg.signal_by_name("ack").unwrap();
+        assert!(stg.is_edge_enabled(&m0, req, Edge::Rise));
+        assert!(!stg.is_edge_enabled(&m0, ack, Edge::Rise));
+        let code0 = stg.initial_code().clone();
+        // req heads to 1 (rising enabled), ack stays 0.
+        assert!(stg.next_state(&m0, &code0, req));
+        assert!(!stg.next_state(&m0, &code0, ack));
+        // After req+, ack+ becomes enabled: Out = {ack}.
+        let m1 = stg.net().fire(&m0, TransitionId::new(0)).unwrap();
+        assert_eq!(stg.enabled_local_signals(&m1), vec![ack]);
+    }
+
+    #[test]
+    fn inference_matches_explicit() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let bsig = b.add_signal("b", SignalKind::Output);
+        // Start mid-cycle: a- fires first => v0(a) = 1.
+        let am = b.edge(a, Edge::Fall);
+        let bp = b.edge(bsig, Edge::Rise);
+        let ap = b.edge(a, Edge::Rise);
+        let bm = b.edge(bsig, Edge::Fall);
+        b.chain_cycle(&[am, bp, ap, bm]).unwrap();
+        let stg = b.build_with_inferred_code(ExploreLimits::default()).unwrap();
+        assert_eq!(stg.initial_code().to_string(), "10");
+    }
+
+    #[test]
+    fn code_length_mismatch_rejected() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, t2]).unwrap();
+        b.set_initial_code(CodeVec::zeros(3));
+        assert!(matches!(
+            b.build(),
+            Err(StgError::CodeLengthMismatch { expected: 1, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn hiding_a_signal_dummifies_its_edges() {
+        let stg = handshake();
+        let req = stg.signal_by_name("req").unwrap();
+        let hidden = stg.with_signal_hidden(req);
+        assert_eq!(hidden.num_signals(), 1);
+        assert_eq!(hidden.signal_by_name("req"), None);
+        assert!(hidden.has_dummies());
+        // ack's edges survive with remapped ids.
+        let ack = hidden.signal_by_name("ack").unwrap();
+        assert_eq!(hidden.transitions_of(ack).count(), 2);
+        assert_eq!(hidden.initial_code().len(), 1);
+        // The net itself is untouched.
+        assert_eq!(hidden.net().num_transitions(), stg.net().num_transitions());
+    }
+
+    #[test]
+    fn dummy_transitions_supported() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let d = b.dummy("skip");
+        let t2 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, d, t2]).unwrap();
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        assert!(stg.has_dummies());
+        assert_eq!(stg.label(d), Label::Dummy);
+        assert_eq!(stg.change_vector(&[t1, d]).as_slice(), &[1]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Writer for the `.g` (astg) STG interchange format.
+
+use std::fmt::Write as _;
+
+use petri::PlaceId;
+
+use crate::signal::SignalKind;
+use crate::stg::Stg;
+
+/// Render plan for places: implicit places disappear into direct
+/// transition-to-transition arcs; everything else keeps (or gets) an
+/// explicit name.
+struct PlaceNames {
+    /// `None` = implicit; `Some(name)` = explicit with that name.
+    names: Vec<Option<String>>,
+}
+
+impl PlaceNames {
+    fn plan(stg: &Stg) -> Self {
+        use std::collections::HashMap;
+        // A place can only be rendered implicitly if it is the *unique*
+        // place between its producer/consumer pair — the `.g` syntax
+        // `<a,b>` cannot distinguish parallel places.
+        let mut pair_count: HashMap<(petri::TransitionId, petri::TransitionId), usize> =
+            HashMap::new();
+        for p in stg.net().places() {
+            if stg.net().place_preset(p).len() == 1 && stg.net().place_postset(p).len() == 1 {
+                *pair_count
+                    .entry((stg.net().place_preset(p)[0], stg.net().place_postset(p)[0]))
+                    .or_default() += 1;
+            }
+        }
+        let names = stg
+            .net()
+            .places()
+            .map(|p| {
+                let auto_named = stg.net().place_name(p).starts_with('<');
+                let unique_pair = stg.net().place_preset(p).len() == 1
+                    && stg.net().place_postset(p).len() == 1
+                    && pair_count[&(stg.net().place_preset(p)[0], stg.net().place_postset(p)[0])]
+                        == 1;
+                if auto_named && unique_pair {
+                    None
+                } else if auto_named {
+                    // Parallel implicit place: synthesise a safe name.
+                    Some(format!("pp{}", p.index()))
+                } else {
+                    Some(stg.net().place_name(p).to_owned())
+                }
+            })
+            .collect();
+        PlaceNames { names }
+    }
+
+    fn get(&self, p: PlaceId) -> Option<&str> {
+        self.names[p.index()].as_deref()
+    }
+}
+
+/// Serialises an [`Stg`] to `.g` source, including the
+/// `.initial_state` extension line so the initial code round-trips
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// let stg = stg::gen::vme::vme_read();
+/// let text = stg::to_g_format(&stg, "vme_read");
+/// let back = stg::parse(&text)?;
+/// assert_eq!(back.num_signals(), stg.num_signals());
+/// assert_eq!(back.initial_code(), stg.initial_code());
+/// # Ok::<(), stg::ParseStgError>(())
+/// ```
+pub fn to_g_format(stg: &Stg, model_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model_name}");
+    for (directive, kind) in [
+        (".inputs", SignalKind::Input),
+        (".outputs", SignalKind::Output),
+        (".internal", SignalKind::Internal),
+    ] {
+        let names: Vec<&str> = stg
+            .signals()
+            .filter(|&z| stg.signal_kind(z) == kind)
+            .map(|z| stg.signal_name(z))
+            .collect();
+        if !names.is_empty() {
+            let _ = writeln!(out, "{directive} {}", names.join(" "));
+        }
+    }
+    let dummies: Vec<&str> = stg
+        .net()
+        .transitions()
+        .filter(|&t| stg.label(t).is_dummy())
+        .map(|t| stg.transition_name(t))
+        .collect();
+    if !dummies.is_empty() {
+        let _ = writeln!(out, ".dummy {}", dummies.join(" "));
+    }
+    let plan = PlaceNames::plan(stg);
+    let _ = writeln!(out, ".graph");
+    for t in stg.net().transitions() {
+        let mut targets = Vec::new();
+        for &p in stg.net().postset(t) {
+            match plan.get(p) {
+                None => targets
+                    .push(stg.transition_name(stg.net().place_postset(p)[0]).to_owned()),
+                Some(name) => targets.push(name.to_owned()),
+            }
+        }
+        if !targets.is_empty() {
+            let _ = writeln!(out, "{} {}", stg.transition_name(t), targets.join(" "));
+        }
+    }
+    for p in stg.net().places() {
+        let Some(name) = plan.get(p) else { continue };
+        let consumers: Vec<&str> = stg
+            .net()
+            .place_postset(p)
+            .iter()
+            .map(|&t| stg.transition_name(t))
+            .collect();
+        if !consumers.is_empty() {
+            let _ = writeln!(out, "{} {}", name, consumers.join(" "));
+        }
+    }
+    let mut marks = Vec::new();
+    for p in stg.net().places() {
+        let k = stg.initial_marking().tokens(p);
+        if k == 0 {
+            continue;
+        }
+        let name = match plan.get(p) {
+            None => format!(
+                "<{},{}>",
+                stg.transition_name(stg.net().place_preset(p)[0]),
+                stg.transition_name(stg.net().place_postset(p)[0])
+            ),
+            Some(name) => name.to_owned(),
+        };
+        if k == 1 {
+            marks.push(name);
+        } else {
+            marks.push(format!("{name}={k}"));
+        }
+    }
+    let _ = writeln!(out, ".marking {{ {} }}", marks.join(" "));
+    // The parser declares signals grouped by kind (inputs, outputs,
+    // internal), so the bits must be emitted in that order, not in
+    // this STG's declaration order.
+    let mut bits = String::new();
+    for kind in [SignalKind::Input, SignalKind::Output, SignalKind::Internal] {
+        for z in stg.signals().filter(|&z| stg.signal_kind(z) == kind) {
+            bits.push(if stg.initial_code().bit(z) { '1' } else { '0' });
+        }
+    }
+    let _ = writeln!(out, ".initial_state {bits}");
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::CodeVec;
+    use crate::parser::parse;
+    use crate::signal::{Edge, SignalKind};
+    use crate::stg::StgBuilder;
+
+    fn handshake() -> Stg {
+        let mut b = StgBuilder::new();
+        let req = b.add_signal("req", SignalKind::Input);
+        let ack = b.add_signal("ack", SignalKind::Output);
+        let rp = b.edge(req, Edge::Rise);
+        let ap = b.edge(ack, Edge::Rise);
+        let rm = b.edge(req, Edge::Fall);
+        let am = b.edge(ack, Edge::Fall);
+        b.chain_cycle(&[rp, ap, rm, am]).unwrap();
+        b.set_initial_code(CodeVec::zeros(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let stg = handshake();
+        let text = to_g_format(&stg, "hs");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_signals(), 2);
+        assert_eq!(back.net().num_transitions(), 4);
+        assert_eq!(back.net().num_places(), stg.net().num_places());
+        assert_eq!(back.initial_code(), stg.initial_code());
+        assert_eq!(back.initial_marking().total(), 1);
+    }
+
+    #[test]
+    fn emits_expected_directives() {
+        let text = to_g_format(&handshake(), "hs");
+        assert!(text.contains(".model hs"));
+        assert!(text.contains(".inputs req"));
+        assert!(text.contains(".outputs ack"));
+        assert!(text.contains(".initial_state 00"));
+        assert!(text.contains("req+ ack+"));
+        assert!(text.contains(".marking { <ack-,req+> }"));
+        assert!(text.ends_with(".end\n"));
+    }
+
+    #[test]
+    fn explicit_places_written_by_name() {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let up = b.edge(a, Edge::Rise);
+        let down = b.edge(a, Edge::Fall);
+        let p = b.add_place("shared");
+        let q = b.add_place("idle");
+        b.arc_tp(up, p).unwrap();
+        b.arc_pt(p, down).unwrap();
+        b.arc_tp(down, q).unwrap();
+        b.arc_pt(q, up).unwrap();
+        b.mark(q, 1);
+        b.set_initial_code(CodeVec::zeros(1));
+        let stg = b.build().unwrap();
+        let text = to_g_format(&stg, "m");
+        assert!(text.contains("a+ shared"));
+        assert!(text.contains("shared a-"));
+        assert!(text.contains(".marking { idle }"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.net().num_places(), 2);
+    }
+}

@@ -1,0 +1,557 @@
+//! BDD-based symbolic coding-conflict detection — the Petrify-style
+//! baseline.
+//!
+//! The paper's Table 1 compares against Petrify, which builds the
+//! STG's reachable state space symbolically (BDDs) and computes the
+//! *characteristic function of all CSC conflicts*. This crate
+//! reproduces that behaviour on our own [`bdd`] package:
+//!
+//! 1. encode the joint (marking, code) state of a safe consistent STG
+//!    into boolean variables (one current/next pair per place and per
+//!    signal, interleaved);
+//! 2. build the transition relation as a disjunction of per-
+//!    transition relations;
+//! 3. compute the reachable set by a breadth-first fixpoint;
+//! 4. form the conflict-pair relation
+//!    `R(s) ∧ R(s') ∧ Code(s) = Code(s') ∧ M(s) ≠ M(s')`, optionally
+//!    conjoined with `Out(s) ≠ Out(s')` for CSC.
+//!
+//! Unlike the unfolding checker — which stops at the first conflict —
+//! this engine always characterises *all* conflicts, preserving the
+//! workload asymmetry the paper's timing columns reflect.
+//!
+//! # Examples
+//!
+//! ```
+//! use symbolic::SymbolicChecker;
+//! use stg::gen::vme::vme_read;
+//!
+//! let stg = vme_read();
+//! let mut checker = SymbolicChecker::new(&stg);
+//! let report = checker.analyse();
+//! assert!(report.usc_pairs > 0.0);
+//! assert!(report.csc_pairs > 0.0);
+//! assert_eq!(report.num_states, 14.0); // read-cycle state graph
+//! ```
+
+#![warn(missing_docs)]
+
+use bdd::{Bdd, NodeId};
+use petri::{Marking, PlaceId};
+use stg::{CodeVec, Edge, Label, Signal, Stg};
+
+/// Counts and characteristic functions produced by
+/// [`SymbolicChecker::analyse`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolicReport {
+    /// Number of reachable (marking, code) states.
+    pub num_states: f64,
+    /// Number of unordered USC conflict pairs.
+    pub usc_pairs: f64,
+    /// Number of unordered CSC conflict pairs.
+    pub csc_pairs: f64,
+    /// BDD nodes allocated by the analysis.
+    pub bdd_nodes: usize,
+}
+
+impl SymbolicReport {
+    /// Whether the STG satisfies the USC property.
+    pub fn satisfies_usc(&self) -> bool {
+        self.usc_pairs == 0.0
+    }
+
+    /// Whether the STG satisfies the CSC property.
+    pub fn satisfies_csc(&self) -> bool {
+        self.csc_pairs == 0.0
+    }
+}
+
+/// A decoded symbolic conflict witness: two distinct reachable states
+/// with equal codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicWitness {
+    /// First state's marking.
+    pub marking1: Marking,
+    /// Second state's marking.
+    pub marking2: Marking,
+    /// The shared code.
+    pub code: CodeVec,
+}
+
+/// Options of the symbolic engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolicOptions {
+    /// Apply transition relations one by one to the BFS frontier
+    /// (partitioned image) instead of building one monolithic
+    /// relation — the standard optimisation; turn off for the
+    /// naive-baseline ablation.
+    pub partitioned: bool,
+}
+
+impl Default for SymbolicOptions {
+    fn default() -> Self {
+        SymbolicOptions { partitioned: true }
+    }
+}
+
+/// Symbolic state-space engine for one STG.
+pub struct SymbolicChecker<'a> {
+    stg: &'a Stg,
+    bdd: Bdd,
+    num_bits: usize,
+    reached: Option<NodeId>,
+    options: SymbolicOptions,
+}
+
+impl<'a> SymbolicChecker<'a> {
+    /// Prepares the encoder for `stg` (which must be safe and
+    /// consistent for the analysis to be meaningful).
+    pub fn new(stg: &'a Stg) -> Self {
+        Self::with_options(stg, SymbolicOptions::default())
+    }
+
+    /// Prepares the encoder with explicit options.
+    pub fn with_options(stg: &'a Stg, options: SymbolicOptions) -> Self {
+        let num_bits = stg.net().num_places() + stg.num_signals();
+        SymbolicChecker {
+            stg,
+            bdd: Bdd::new(),
+            num_bits,
+            reached: None,
+            options,
+        }
+    }
+
+    /// Current-state variable of state bit `i`.
+    fn cur(i: usize) -> u32 {
+        (2 * i) as u32
+    }
+
+    /// Next-state variable of state bit `i`.
+    fn next(i: usize) -> u32 {
+        (2 * i + 1) as u32
+    }
+
+    fn place_bit(&self, p: PlaceId) -> usize {
+        p.index()
+    }
+
+    fn signal_bit(&self, z: Signal) -> usize {
+        self.stg.net().num_places() + z.index()
+    }
+
+    fn literal(&mut self, var: u32, value: bool) -> NodeId {
+        if value {
+            self.bdd.var(var)
+        } else {
+            self.bdd.nvar(var)
+        }
+    }
+
+    /// The cube of the initial (marking, code) state over current
+    /// variables.
+    fn initial_cube(&mut self) -> NodeId {
+        let mut cube = NodeId::TRUE;
+        for p in self.stg.net().places() {
+            let marked = self.stg.initial_marking().tokens(p) > 0;
+            let bit = self.place_bit(p);
+            let lit = self.literal(Self::cur(bit), marked);
+            cube = self.bdd.and(cube, lit);
+        }
+        for z in self.stg.signals() {
+            let bit = self.signal_bit(z);
+            let value = self.stg.initial_code().bit(z);
+            let lit = self.literal(Self::cur(bit), value);
+            cube = self.bdd.and(cube, lit);
+        }
+        cube
+    }
+
+    /// The relation of one transition over (current, next) variables.
+    fn transition_relation(&mut self, t: petri::TransitionId) -> NodeId {
+        let net = self.stg.net();
+        let mut rel = NodeId::TRUE;
+        let pre = net.preset(t).to_vec();
+        let post = net.postset(t).to_vec();
+        for p in net.places() {
+            let bit = self.place_bit(p);
+            let term = if pre.contains(&p) {
+                // Consumed: 1 → 0.
+                let c = self.literal(Self::cur(bit), true);
+                let n = self.literal(Self::next(bit), false);
+                self.bdd.and(c, n)
+            } else if post.contains(&p) {
+                // Produced: 0 → 1 (safe nets: target must be empty).
+                let c = self.literal(Self::cur(bit), false);
+                let n = self.literal(Self::next(bit), true);
+                self.bdd.and(c, n)
+            } else {
+                let c = self.bdd.var(Self::cur(bit));
+                let n = self.bdd.var(Self::next(bit));
+                self.bdd.iff(c, n)
+            };
+            rel = self.bdd.and(rel, term);
+        }
+        for z in self.stg.signals() {
+            let bit = self.signal_bit(z);
+            let term = match self.stg.label(t) {
+                Label::SignalEdge(zz, Edge::Rise) if zz == z => {
+                    let c = self.literal(Self::cur(bit), false);
+                    let n = self.literal(Self::next(bit), true);
+                    self.bdd.and(c, n)
+                }
+                Label::SignalEdge(zz, Edge::Fall) if zz == z => {
+                    let c = self.literal(Self::cur(bit), true);
+                    let n = self.literal(Self::next(bit), false);
+                    self.bdd.and(c, n)
+                }
+                _ => {
+                    let c = self.bdd.var(Self::cur(bit));
+                    let n = self.bdd.var(Self::next(bit));
+                    self.bdd.iff(c, n)
+                }
+            };
+            rel = self.bdd.and(rel, term);
+        }
+        rel
+    }
+
+    /// Computes (and caches) the reachable state set over current
+    /// variables.
+    pub fn reachable(&mut self) -> NodeId {
+        if let Some(r) = self.reached {
+            return r;
+        }
+        let relations: Vec<NodeId> = self
+            .stg
+            .net()
+            .transitions()
+            .map(|t| self.transition_relation(t))
+            .collect();
+        let current_vars: Vec<u32> = (0..self.num_bits).map(Self::cur).collect();
+        let mut reached = self.initial_cube();
+        if self.options.partitioned {
+            // Frontier BFS with a partitioned image: apply each
+            // transition relation to the newly discovered states only.
+            let mut frontier = reached;
+            loop {
+                let mut image = NodeId::FALSE;
+                for &rel in &relations {
+                    let step = self.bdd.and(frontier, rel);
+                    let img_next = self.bdd.exists(step, &current_vars);
+                    // next → current: 2i+1 ↦ 2i is monotone.
+                    let img = self.bdd.rename_monotone(img_next, &|v| v - 1);
+                    image = self.bdd.or(image, img);
+                }
+                let not_reached = self.bdd.not(reached);
+                let fresh = self.bdd.and(image, not_reached);
+                if fresh == NodeId::FALSE {
+                    break;
+                }
+                reached = self.bdd.or(reached, fresh);
+                frontier = fresh;
+            }
+        } else {
+            // Naive monolithic relation (ablation baseline).
+            let trans = self.bdd.or_all(relations);
+            loop {
+                let step = self.bdd.and(reached, trans);
+                let img_next = self.bdd.exists(step, &current_vars);
+                let img = self.bdd.rename_monotone(img_next, &|v| v - 1);
+                let new_reached = self.bdd.or(reached, img);
+                if new_reached == reached {
+                    break;
+                }
+                reached = new_reached;
+            }
+        }
+        self.reached = Some(reached);
+        reached
+    }
+
+    /// `Out(M) ∋ z` as a predicate over current place variables: some
+    /// `z±`-labelled transition is enabled.
+    fn output_enabled(&mut self, z: Signal) -> NodeId {
+        let transitions: Vec<_> = self.stg.transitions_of(z).collect();
+        let mut any = NodeId::FALSE;
+        for t in transitions {
+            let pre = self.stg.net().preset(t).to_vec();
+            let mut cube = NodeId::TRUE;
+            for p in pre {
+                let bit = self.place_bit(p);
+                let lit = self.bdd.var(Self::cur(bit));
+                cube = self.bdd.and(cube, lit);
+            }
+            any = self.bdd.or(any, cube);
+        }
+        any
+    }
+
+    /// The conflict-pair relation: both states reachable, equal
+    /// codes, different markings; with `csc` also different enabled
+    /// local-output sets. The second state lives on the next-variable
+    /// block.
+    fn conflict_pairs(&mut self, csc: bool) -> NodeId {
+        let r = self.reachable();
+        // Second copy of the state space on the odd variables.
+        let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
+        let mut pairs = self.bdd.and(r, r2);
+        // Equal codes.
+        for z in self.stg.signals() {
+            let bit = self.signal_bit(z);
+            let c = self.bdd.var(Self::cur(bit));
+            let n = self.bdd.var(Self::next(bit));
+            let eq = self.bdd.iff(c, n);
+            pairs = self.bdd.and(pairs, eq);
+        }
+        // Different markings.
+        let mut same_marking = NodeId::TRUE;
+        for p in self.stg.net().places() {
+            let bit = self.place_bit(p);
+            let c = self.bdd.var(Self::cur(bit));
+            let n = self.bdd.var(Self::next(bit));
+            let eq = self.bdd.iff(c, n);
+            same_marking = self.bdd.and(same_marking, eq);
+        }
+        let diff = self.bdd.not(same_marking);
+        pairs = self.bdd.and(pairs, diff);
+        if csc {
+            let mut out_diff = NodeId::FALSE;
+            let locals: Vec<Signal> = self.stg.local_signals().collect();
+            for z in locals {
+                let e1 = self.output_enabled(z);
+                let e2 = self.bdd.rename_monotone(e1, &|v| v + 1);
+                let d = self.bdd.xor(e1, e2);
+                out_diff = self.bdd.or(out_diff, d);
+            }
+            pairs = self.bdd.and(pairs, out_diff);
+        }
+        pairs
+    }
+
+    /// `Nxt_z` as a predicate over current (place, code) variables:
+    /// if the code bit is 0, true iff some `z+` is enabled; if 1,
+    /// true iff no `z-` is enabled (§6).
+    fn next_state_fn(&mut self, z: Signal) -> NodeId {
+        let rising: Vec<_> = self
+            .stg
+            .transitions_of(z)
+            .filter(|&t| self.stg.label(t).edge() == Some(Edge::Rise))
+            .collect();
+        let falling: Vec<_> = self
+            .stg
+            .transitions_of(z)
+            .filter(|&t| self.stg.label(t).edge() == Some(Edge::Fall))
+            .collect();
+        let enabled = |this: &mut Self, ts: &[petri::TransitionId]| {
+            let mut any = NodeId::FALSE;
+            for &t in ts {
+                let pre = this.stg.net().preset(t).to_vec();
+                let mut cube = NodeId::TRUE;
+                for p in pre {
+                    let lit = this.bdd.var(Self::cur(this.place_bit(p)));
+                    cube = this.bdd.and(cube, lit);
+                }
+                any = this.bdd.or(any, cube);
+            }
+            any
+        };
+        let rise_en = enabled(self, &rising);
+        let fall_en = enabled(self, &falling);
+        let zbit = self.bdd.var(Self::cur(self.signal_bit(z)));
+        let not_fall = self.bdd.not(fall_en);
+        self.bdd.ite(zbit, not_fall, rise_en)
+    }
+
+    /// Symbolic normalcy check for signal `z` (§6): searches for
+    /// reachable pairs with componentwise-ordered codes and
+    /// discordant `Nxt_z` in each direction. Returns
+    /// `(p_normal, n_normal)`.
+    pub fn normalcy_of(&mut self, z: Signal) -> (bool, bool) {
+        let r = self.reachable();
+        let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
+        let both = self.bdd.and(r, r2);
+        // Code(x) ≤ Code(y) componentwise (x = current block, y =
+        // next block).
+        let mut leq = NodeId::TRUE;
+        for zz in self.stg.signals() {
+            let bit = self.signal_bit(zz);
+            let a = self.bdd.nvar(Self::cur(bit));
+            let b = self.bdd.var(Self::next(bit));
+            let clause = self.bdd.or(a, b);
+            leq = self.bdd.and(leq, clause);
+        }
+        let ordered = self.bdd.and(both, leq);
+        let nxt1 = self.next_state_fn(z);
+        let nxt2 = self.bdd.rename_monotone(nxt1, &|v| v + 1);
+        // p-violation: Nxt(x) > Nxt(y); n-violation: Nxt(x) < Nxt(y).
+        let not2 = self.bdd.not(nxt2);
+        let p_viol_pred = self.bdd.and(nxt1, not2);
+        let p_viol = self.bdd.and(ordered, p_viol_pred);
+        let not1 = self.bdd.not(nxt1);
+        let n_viol_pred = self.bdd.and(not1, nxt2);
+        let n_viol = self.bdd.and(ordered, n_viol_pred);
+        (p_viol == NodeId::FALSE, n_viol == NodeId::FALSE)
+    }
+
+    /// Whether every circuit-driven signal is p- or n-normal.
+    pub fn is_normal(&mut self) -> bool {
+        let locals: Vec<Signal> = self.stg.local_signals().collect();
+        locals.into_iter().all(|z| {
+            let (p, n) = self.normalcy_of(z);
+            p || n
+        })
+    }
+
+    /// Runs the full analysis: reachability plus the characteristic
+    /// functions of all USC and CSC conflict pairs.
+    pub fn analyse(&mut self) -> SymbolicReport {
+        let r = self.reachable();
+        let usc = self.conflict_pairs(false);
+        let csc = self.conflict_pairs(true);
+        let nv = (2 * self.num_bits) as u32;
+        // States range over current variables only: divide the count
+        // over all 2k variables by 2^k.
+        let scale = 2f64.powi(self.num_bits as i32);
+        SymbolicReport {
+            num_states: self.bdd.sat_count(r, nv) / scale,
+            usc_pairs: self.bdd.sat_count(usc, nv) / 2.0,
+            csc_pairs: self.bdd.sat_count(csc, nv) / 2.0,
+            bdd_nodes: self.bdd.num_nodes(),
+        }
+    }
+
+    /// Decodes one conflict pair into concrete states, if any exists.
+    pub fn usc_witness(&mut self) -> Option<SymbolicWitness> {
+        let pairs = self.conflict_pairs(false);
+        let path = self.bdd.any_sat(pairs)?;
+        let value = |var: u32| -> bool {
+            path.iter()
+                .find(|&&(v, _)| v == var)
+                .map(|&(_, b)| b)
+                .unwrap_or(false)
+        };
+        let np = self.stg.net().num_places();
+        let mut m1 = Marking::empty(np);
+        let mut m2 = Marking::empty(np);
+        for p in self.stg.net().places() {
+            let bit = self.place_bit(p);
+            if value(Self::cur(bit)) {
+                m1.add_token(p);
+            }
+            if value(Self::next(bit)) {
+                m2.add_token(p);
+            }
+        }
+        let bits: Vec<bool> = self
+            .stg
+            .signals()
+            .map(|z| value(Self::cur(self.signal_bit(z))))
+            .collect();
+        Some(SymbolicWitness {
+            marking1: m1,
+            marking2: m2,
+            code: CodeVec::from_bits(bits),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::duplex::dup_4ph;
+    use stg::gen::ring::lazy_ring;
+    use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+    use stg::StateGraph;
+
+    fn agree_with_explicit(stg: &Stg) {
+        let sg = StateGraph::build(stg, Default::default()).unwrap();
+        let mut checker = SymbolicChecker::new(stg);
+        let report = checker.analyse();
+        assert_eq!(report.num_states, sg.num_states() as f64, "state count");
+        assert_eq!(
+            report.usc_pairs as usize,
+            sg.usc_conflict_pairs().len(),
+            "usc pairs"
+        );
+        assert_eq!(
+            report.csc_pairs as usize,
+            sg.csc_conflict_pairs(stg).len(),
+            "csc pairs"
+        );
+    }
+
+    #[test]
+    fn vme_matches_explicit_counts() {
+        agree_with_explicit(&vme_read());
+    }
+
+    #[test]
+    fn resolved_vme_is_csc_free() {
+        let stg = vme_read_csc_resolved();
+        agree_with_explicit(&stg);
+        let mut checker = SymbolicChecker::new(&stg);
+        assert!(checker.analyse().satisfies_csc());
+    }
+
+    #[test]
+    fn families_agree_with_explicit() {
+        agree_with_explicit(&lazy_ring(3));
+        agree_with_explicit(&dup_4ph(2, false));
+        agree_with_explicit(&counterflow_sym(2, 2));
+    }
+
+    #[test]
+    fn witness_states_are_reachable_with_equal_codes() {
+        let stg = vme_read();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        let mut checker = SymbolicChecker::new(&stg);
+        let w = checker.usc_witness().expect("vme has conflicts");
+        assert_ne!(w.marking1, w.marking2);
+        let s1 = sg.reachability().state_of(&w.marking1).expect("reachable");
+        let s2 = sg.reachability().state_of(&w.marking2).expect("reachable");
+        assert_eq!(sg.code(s1), sg.code(s2));
+        assert_eq!(sg.code(s1), &w.code);
+    }
+
+    #[test]
+    fn conflict_free_has_no_witness() {
+        let stg = counterflow_sym(2, 2);
+        let mut checker = SymbolicChecker::new(&stg);
+        assert!(checker.usc_witness().is_none());
+    }
+
+    #[test]
+    fn normalcy_matches_explicit_oracle() {
+        for stg in [
+            vme_read_csc_resolved(),
+            counterflow_sym(2, 2),
+            dup_4ph(1, true),
+            lazy_ring(2),
+        ] {
+            let sg = StateGraph::build(&stg, Default::default()).unwrap();
+            let mut checker = SymbolicChecker::new(&stg);
+            for z in stg.local_signals().collect::<Vec<_>>() {
+                let oracle = sg.normalcy_of(&stg, z);
+                let (p, n) = checker.normalcy_of(z);
+                assert_eq!(p, oracle.p_normal, "{}", stg.signal_name(z));
+                assert_eq!(n, oracle.n_normal, "{}", stg.signal_name(z));
+            }
+            assert_eq!(checker.is_normal(), sg.is_normal(&stg));
+        }
+    }
+
+    #[test]
+    fn partitioned_and_monolithic_agree() {
+        for stg in [vme_read(), lazy_ring(3), counterflow_sym(2, 2)] {
+            let fast = SymbolicChecker::new(&stg).analyse();
+            let naive =
+                SymbolicChecker::with_options(&stg, SymbolicOptions { partitioned: false })
+                    .analyse();
+            assert_eq!(fast.num_states, naive.num_states);
+            assert_eq!(fast.usc_pairs, naive.usc_pairs);
+            assert_eq!(fast.csc_pairs, naive.csc_pairs);
+        }
+    }
+}

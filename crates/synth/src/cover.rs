@@ -1,0 +1,143 @@
+//! Cubes, covers and printable equations.
+
+use std::fmt;
+
+use stg::{Signal, Stg};
+
+/// A product term: a conjunction of literals over signal variables
+/// (`(var, true)` = positive literal, `(var, false)` = negated).
+/// The empty cube is the constant 1.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Cube {
+    /// Sorted literals.
+    pub literals: Vec<(u32, bool)>,
+}
+
+impl Cube {
+    /// Evaluates the cube under a code assignment.
+    pub fn eval(&self, bit: &dyn Fn(u32) -> bool) -> bool {
+        self.literals.iter().all(|&(v, pos)| bit(v) == pos)
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether this is the constant-1 cube.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    fn render(&self, stg: &Stg) -> String {
+        if self.literals.is_empty() {
+            return "1".to_owned();
+        }
+        self.literals
+            .iter()
+            .map(|&(v, pos)| {
+                let name = stg.signal_name(Signal::new(v as usize));
+                if pos {
+                    name.to_owned()
+                } else {
+                    format!("{name}'")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A named equation `signal = cover`, printable with the STG's signal
+/// names (`'` marks negation, juxtaposition conjunction, `+`
+/// disjunction) — the style of the paper's §6 equations.
+#[derive(Clone)]
+pub struct Equation<'a> {
+    pub(crate) stg: &'a Stg,
+    /// The defined signal.
+    pub signal: Signal,
+    /// The disjunction of cubes.
+    pub cubes: Vec<Cube>,
+}
+
+impl Equation<'_> {
+    /// Evaluates the cover under a code assignment.
+    pub fn eval(&self, bit: &dyn Fn(u32) -> bool) -> bool {
+        self.cubes.iter().any(|c| c.eval(bit))
+    }
+
+    /// Total number of literals (a crude area estimate).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::len).sum()
+    }
+}
+
+impl fmt::Display for Equation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rhs = if self.cubes.is_empty() {
+            "0".to_owned()
+        } else {
+            self.cubes
+                .iter()
+                .map(|c| c.render(self.stg))
+                .collect::<Vec<_>>()
+                .join(" + ")
+        };
+        write!(f, "{} = {}", self.stg.signal_name(self.signal), rhs)
+    }
+}
+
+impl fmt::Debug for Equation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Equation({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::{CodeVec, Edge, SignalKind, StgBuilder};
+
+    fn two_signal_stg() -> Stg {
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Input);
+        let c = b.add_signal("c", SignalKind::Output);
+        let ap = b.edge(a, Edge::Rise);
+        let cp = b.edge(c, Edge::Rise);
+        let am = b.edge(a, Edge::Fall);
+        let cm = b.edge(c, Edge::Fall);
+        b.chain_cycle(&[ap, cp, am, cm]).unwrap();
+        b.set_initial_code(CodeVec::zeros(2));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cube_eval_and_render() {
+        let stg = two_signal_stg();
+        let cube = Cube {
+            literals: vec![(0, true), (1, false)],
+        };
+        assert!(cube.eval(&|v| v == 0));
+        assert!(!cube.eval(&|_| true));
+        assert_eq!(cube.render(&stg), "a c'");
+        assert_eq!(Cube { literals: vec![] }.render(&stg), "1");
+    }
+
+    #[test]
+    fn equation_display() {
+        let stg = two_signal_stg();
+        let eq = Equation {
+            stg: &stg,
+            signal: Signal::new(1),
+            cubes: vec![
+                Cube { literals: vec![(0, true)] },
+                Cube { literals: vec![(0, false), (1, true)] },
+            ],
+        };
+        assert_eq!(eq.to_string(), "c = a + a' c");
+        assert_eq!(eq.literal_count(), 3);
+        assert!(eq.eval(&|v| v == 0));
+        let empty = Equation { stg: &stg, signal: Signal::new(1), cubes: vec![] };
+        assert_eq!(empty.to_string(), "c = 0");
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthesis errors.
+
+use std::error::Error;
+use std::fmt;
+
+use stg::Signal;
+
+/// An error raised while deriving next-state functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The state graph could not be built (inconsistent or too
+    /// large).
+    StateGraph(String),
+    /// Two reachable states share a code but disagree on `Nxt_z` —
+    /// the STG violates CSC with respect to this signal, so no
+    /// next-state function exists.
+    CodingConflict {
+        /// The signal whose next-state value is ambiguous.
+        signal: Signal,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::StateGraph(m) => write!(f, "state graph unavailable: {m}"),
+            SynthError::CodingConflict { signal } => {
+                write!(f, "no next-state function for signal {signal}: coding conflict")
+            }
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SynthError::CodingConflict { signal: Signal::new(2) };
+        assert!(e.to_string().contains("coding conflict"));
+        assert!(SynthError::StateGraph("boom".into()).to_string().contains("boom"));
+    }
+}

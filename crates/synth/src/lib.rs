@@ -1,0 +1,48 @@
+//! Logic-synthesis back-end for STGs.
+//!
+//! The paper situates coding-conflict detection as step (a) of
+//! STG-based synthesis; this crate provides the downstream step (c):
+//! once CSC holds, every output/internal signal has a well-defined
+//! boolean *next-state function* `Nxt_z : {0,1}^Z → {0,1}` over the
+//! state codes, and the circuit implements it. We derive these
+//! functions from the state graph as BDDs (unreachable codes are
+//! don't-cares), extract irredundant sum-of-products covers with the
+//! Minato-Morreale ISOP procedure, and analyse unateness — a cover is
+//! implementable with monotonic gates (standard NAND/NOR/AOI/OAI
+//! libraries without input inverters) exactly when the function is
+//! unate in every support variable, which is the §6 normalcy story
+//! made executable.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's equations for the CSC-resolved VME
+//! controller (its §6: `dtack = d`, `lds = d + csc`, …) and observe
+//! that `csc`'s own function is binate (non-monotonic):
+//!
+//! ```
+//! use stg::gen::vme::vme_read_csc_resolved;
+//! use synth::NextStateFunctions;
+//!
+//! # fn main() -> Result<(), synth::SynthError> {
+//! let model = vme_read_csc_resolved();
+//! let mut fns = NextStateFunctions::derive(&model, Default::default())?;
+//! let dtack = model.signal_by_name("dtack").unwrap();
+//! assert_eq!(fns.equation(dtack).to_string(), "dtack = d");
+//! let csc = model.signal_by_name("csc").unwrap();
+//! assert!(!fns.is_monotonic(csc)); // binate, as the paper observes
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cover;
+mod error;
+mod isop;
+mod nextstate;
+mod unate;
+
+pub use cover::{Cube, Equation};
+pub use error::SynthError;
+pub use nextstate::NextStateFunctions;
+pub use unate::Unateness;

@@ -1,0 +1,167 @@
+//! Unateness analysis.
+//!
+//! A function is *positive unate* in `x` if `f[x:=0] → f[x:=1]`
+//! pointwise, *negative unate* if the implication is reversed, and
+//! *binate* otherwise. A function that is unate in every support
+//! variable is *monotonic* (up to per-input polarity) and therefore
+//! implementable with gate libraries whose characteristic functions
+//! are monotonic — the §6 connection: a signal violating both p- and
+//! n-normalcy ends up with a binate next-state function (like `csc`
+//! in the paper's Fig. 3 example).
+
+use bdd::{Bdd, NodeId};
+
+/// How a function depends on one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarPolarity {
+    /// Not in the support.
+    Independent,
+    /// Positive unate.
+    Positive,
+    /// Negative unate.
+    Negative,
+    /// Binate (both polarities matter somewhere).
+    Binate,
+}
+
+/// Per-variable polarities of a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unateness {
+    polarities: Vec<VarPolarity>,
+}
+
+impl Unateness {
+    /// Analyses `f` over variables `0..num_vars`.
+    pub fn of(m: &mut Bdd, f: NodeId, num_vars: u32) -> Self {
+        let polarities = (0..num_vars)
+            .map(|v| {
+                let f0 = m.restrict(f, v, false);
+                let f1 = m.restrict(f, v, true);
+                if f0 == f1 {
+                    return VarPolarity::Independent;
+                }
+                let nf0 = m.not(f0);
+                let up = m.or(nf0, f1) == NodeId::TRUE; // f0 → f1
+                let nf1 = m.not(f1);
+                let down = m.or(nf1, f0) == NodeId::TRUE; // f1 → f0
+                match (up, down) {
+                    (true, false) => VarPolarity::Positive,
+                    (false, true) => VarPolarity::Negative,
+                    (false, false) => VarPolarity::Binate,
+                    (true, true) => unreachable!("f0 ↔ f1 contradicts f0 ≠ f1"),
+                }
+            })
+            .collect();
+        Unateness { polarities }
+    }
+
+    /// Polarity of variable `v`.
+    pub fn polarity(&self, v: u32) -> VarPolarity {
+        self.polarities[v as usize]
+    }
+
+    /// Variables in the support.
+    pub fn support(&self) -> impl Iterator<Item = u32> + '_ {
+        self.polarities
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p != VarPolarity::Independent)
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Whether the function is unate in every support variable
+    /// (possibly with mixed polarities — such functions still need
+    /// input inverters).
+    pub fn is_unate(&self) -> bool {
+        self.polarities.iter().all(|&p| p != VarPolarity::Binate)
+    }
+
+    /// Whether the function is monotone nondecreasing (every support
+    /// variable positive).
+    pub fn is_increasing(&self) -> bool {
+        self.polarities
+            .iter()
+            .all(|&p| matches!(p, VarPolarity::Positive | VarPolarity::Independent))
+    }
+
+    /// Whether the function is monotone nonincreasing.
+    pub fn is_decreasing(&self) -> bool {
+        self.polarities
+            .iter()
+            .all(|&p| matches!(p, VarPolarity::Negative | VarPolarity::Independent))
+    }
+
+    /// Whether the function is monotonic in the paper's §6 sense:
+    /// order-preserving or order-reversing as a whole (positive *or*
+    /// negative in all support variables; mixed polarity — like the
+    /// paper's `csc = dsr (csc + ldtack')` — does not qualify, as it
+    /// needs an input inverter).
+    pub fn is_monotonic(&self) -> bool {
+        self.is_increasing() || self.is_decreasing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_classification() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y);
+        // f = x ∧ ¬y: positive in x, negative in y.
+        let f = m.and(x, ny);
+        let u = Unateness::of(&mut m, f, 3);
+        assert_eq!(u.polarity(0), VarPolarity::Positive);
+        assert_eq!(u.polarity(1), VarPolarity::Negative);
+        assert_eq!(u.polarity(2), VarPolarity::Independent);
+        // Unate in each variable, but mixed polarity: needs an input
+        // inverter, so not monotonic in the paper's sense.
+        assert!(u.is_unate());
+        assert!(!u.is_monotonic());
+        assert_eq!(u.support().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn xor_is_binate() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let u = Unateness::of(&mut m, f, 2);
+        assert_eq!(u.polarity(0), VarPolarity::Binate);
+        assert_eq!(u.polarity(1), VarPolarity::Binate);
+        assert!(!u.is_unate());
+        assert!(!u.is_monotonic());
+    }
+
+    #[test]
+    fn constants_have_empty_support() {
+        let mut m = Bdd::new();
+        let u = Unateness::of(&mut m, NodeId::TRUE, 4);
+        assert_eq!(u.support().count(), 0);
+        assert!(u.is_monotonic());
+    }
+
+    #[test]
+    fn majority_is_positive_unate_everywhere() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.and(x, y);
+        let yz = m.and(y, z);
+        let xz = m.and(x, z);
+        let t = m.or(xy, yz);
+        let maj = m.or(t, xz);
+        let u = Unateness::of(&mut m, maj, 3);
+        for v in 0..3 {
+            assert_eq!(u.polarity(v), VarPolarity::Positive);
+        }
+        assert!(u.is_increasing());
+        assert!(u.is_monotonic());
+        assert!(!u.is_decreasing());
+    }
+}

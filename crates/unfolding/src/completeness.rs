@@ -1,0 +1,170 @@
+//! Brute-force oracles over prefixes, used by tests and property
+//! tests: configuration enumeration and completeness verification.
+//!
+//! Everything here is exponential in the prefix size and intended for
+//! small instances only.
+
+use std::collections::HashSet;
+
+use petri::{BitSet, ExploreLimits, Marking, Net, ReachabilityGraph};
+
+use crate::occ::{EventId, Prefix};
+use crate::relations::EventRelations;
+
+/// Enumerates all configurations of the prefix whose events are all
+/// non-cut-offs, up to `limit` configurations (including the empty
+/// one). Returns `None` if the limit is exceeded.
+///
+/// # Examples
+///
+/// ```
+/// use petri::{Marking, NetBuilder};
+/// use unfolding::{completeness, Prefix, UnfoldOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetBuilder::new();
+/// let p = b.add_place("p");
+/// let q = b.add_place("q");
+/// let t = b.add_transition("t");
+/// b.arc_pt(p, t)?;
+/// b.arc_tp(t, q)?;
+/// let net = b.build()?;
+/// let m0 = Marking::with_tokens(2, &[(p, 1)]);
+/// let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default())?;
+/// let configs = completeness::cutoff_free_configurations(&prefix, 100).unwrap();
+/// assert_eq!(configs.len(), 2); // empty and {t}
+/// # Ok(())
+/// # }
+/// ```
+pub fn cutoff_free_configurations(prefix: &Prefix, limit: usize) -> Option<Vec<BitSet>> {
+    let rel = EventRelations::of(prefix);
+    let n = prefix.num_events();
+    let mut result = vec![BitSet::new(n)];
+    let mut stack: Vec<(BitSet, usize)> = vec![(BitSet::new(n), 0)];
+    while let Some((config, min_next)) = stack.pop() {
+        for next in min_next..n {
+            let e = EventId(next as u32);
+            if prefix.is_cutoff(e) {
+                continue;
+            }
+            // Causally closed (preds have smaller ids, so membership
+            // suffices) and conflict-free.
+            if !rel.predecessors(e).is_subset(&config) {
+                continue;
+            }
+            if !rel.conflicts(e).is_disjoint(&config) {
+                continue;
+            }
+            let mut extended = config.clone();
+            extended.insert(next);
+            if result.len() >= limit {
+                return None;
+            }
+            result.push(extended.clone());
+            stack.push((extended, next + 1));
+        }
+    }
+    Some(result)
+}
+
+/// The set of original-net markings represented by cut-off-free
+/// configurations of the prefix.
+pub fn represented_markings(prefix: &Prefix, limit: usize) -> Option<HashSet<Marking>> {
+    let configs = cutoff_free_configurations(prefix, limit)?;
+    Some(configs.iter().map(|c| prefix.marking_of(c)).collect())
+}
+
+/// Verifies prefix completeness against explicit reachability: every
+/// reachable marking of `(net, m0)` is represented by a cut-off-free
+/// configuration, and vice versa.
+///
+/// # Panics
+///
+/// Panics if explicit exploration or configuration enumeration
+/// exceeds `limit`.
+pub fn verify_completeness(prefix: &Prefix, net: &Net, m0: &Marking, limit: usize) -> bool {
+    let reach = ReachabilityGraph::explore(
+        net,
+        m0,
+        ExploreLimits {
+            max_states: limit,
+            token_bound: 1,
+        },
+    )
+    .expect("explicit exploration within limit");
+    let reachable: HashSet<Marking> = reach.states().map(|s| reach.marking(s).clone()).collect();
+    let represented =
+        represented_markings(prefix, limit).expect("configuration enumeration within limit");
+    reachable == represented
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnfoldOptions;
+    use petri::NetBuilder;
+
+    fn two_cycles() -> (Net, Marking) {
+        let mut b = NetBuilder::new();
+        let mut init = Vec::new();
+        for i in 0..2 {
+            let p0 = b.add_place(format!("p{i}0"));
+            let p1 = b.add_place(format!("p{i}1"));
+            let up = b.add_transition(format!("u{i}"));
+            let down = b.add_transition(format!("d{i}"));
+            b.arc_pt(p0, up).unwrap();
+            b.arc_tp(up, p1).unwrap();
+            b.arc_pt(p1, down).unwrap();
+            b.arc_tp(down, p0).unwrap();
+            init.push((p0, 1));
+        }
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(net.num_places(), &init);
+        (net, m0)
+    }
+
+    #[test]
+    fn prefix_is_complete_for_parallel_cycles() {
+        let (net, m0) = two_cycles();
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        assert!(verify_completeness(&prefix, &net, &m0, 10_000));
+    }
+
+    #[test]
+    fn prefix_is_complete_for_vme() {
+        let stg = stg::gen::vme::vme_read();
+        let prefix = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+        assert!(verify_completeness(
+            &prefix,
+            stg.net(),
+            stg.initial_marking(),
+            100_000
+        ));
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let (net, m0) = two_cycles();
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        assert!(cutoff_free_configurations(&prefix, 1).is_none());
+    }
+
+    #[test]
+    fn all_enumerated_sets_are_configurations() {
+        let stg = stg::gen::vme::vme_read();
+        let prefix = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+        let configs = cutoff_free_configurations(&prefix, 100_000).unwrap();
+        for c in &configs {
+            assert!(prefix.is_configuration(c));
+        }
+        // And their firing sequences replay on the original net.
+        for c in &configs {
+            let seq = prefix.firing_sequence(c);
+            let m = stg
+                .net()
+                .fire_sequence(stg.initial_marking(), &seq)
+                .expect("linearisation must be fireable");
+            assert_eq!(m, prefix.marking_of(c));
+        }
+    }
+}

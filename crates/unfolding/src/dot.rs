@@ -1,0 +1,106 @@
+//! Graphviz (DOT) export for unfolding prefixes.
+//!
+//! Renders the occurrence net in the style of the paper's Fig. 2:
+//! events as boxes labelled `e<i>` plus the original transition name,
+//! conditions as circles labelled with their original place, cut-off
+//! events double-bordered.
+
+use std::fmt::Write as _;
+
+use stg::Stg;
+
+use crate::occ::Prefix;
+
+/// Renders the prefix of an STG as a DOT digraph named `name`,
+/// labelling events with their signal edges.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::vme::vme_read;
+/// use unfolding::{Prefix, UnfoldOptions};
+///
+/// # fn main() -> Result<(), unfolding::UnfoldError> {
+/// let stg = vme_read();
+/// let prefix = Prefix::of_stg(&stg, UnfoldOptions::default())?;
+/// let dot = unfolding::dot::to_dot(&prefix, &stg, "pref");
+/// assert!(dot.contains("peripheries=2")); // the lds+ cut-off
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(prefix: &Prefix, stg: &Stg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for e in prefix.events() {
+        let label = format!(
+            "e{}\\n{}",
+            e.index() + 1,
+            stg.transition_name(prefix.event_transition(e))
+        );
+        let extras = if prefix.is_cutoff(e) {
+            ", peripheries=2, style=dashed"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  \"e{}\" [shape=box, label=\"{}\"{}];", e.index(), label, extras);
+    }
+    for b in prefix.conditions() {
+        let marked = prefix.cond_producer(b).is_none();
+        let _ = writeln!(
+            out,
+            "  \"b{}\" [shape=circle, label=\"{}\", xlabel=\"b{}\"];",
+            b.index(),
+            if marked { "&bull;" } else { "" },
+            b.index() + 1,
+        );
+    }
+    for b in prefix.conditions() {
+        if let Some(e) = prefix.cond_producer(b) {
+            let _ = writeln!(out, "  \"e{}\" -> \"b{}\";", e.index(), b.index());
+        }
+        for &e in prefix.cond_consumers(b) {
+            let _ = writeln!(out, "  \"b{}\" -> \"e{}\";", b.index(), e.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnfoldOptions;
+    use stg::gen::vme::vme_read;
+
+    #[test]
+    fn dot_has_all_nodes_and_arcs() {
+        let stg = vme_read();
+        let prefix = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+        let dot = to_dot(&prefix, &stg, "pref");
+        assert_eq!(dot.matches("shape=box").count(), prefix.num_events());
+        assert_eq!(dot.matches("shape=circle").count(), prefix.num_conditions());
+        assert_eq!(dot.matches("peripheries=2").count(), prefix.num_cutoffs());
+        // Minimal conditions carry the initial tokens.
+        assert_eq!(
+            dot.matches("&bull;").count(),
+            prefix.min_conditions().len()
+        );
+    }
+
+    #[test]
+    fn arcs_match_flow_relation() {
+        let stg = vme_read();
+        let prefix = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+        let dot = to_dot(&prefix, &stg, "pref");
+        let arcs = dot.matches(" -> ").count();
+        let expected: usize = prefix
+            .conditions()
+            .map(|b| {
+                usize::from(prefix.cond_producer(b).is_some()) + prefix.cond_consumers(b).len()
+            })
+            .sum();
+        assert_eq!(arcs, expected);
+    }
+}

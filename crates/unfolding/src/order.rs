@@ -1,0 +1,107 @@
+//! Adequate orders on configurations.
+//!
+//! An *adequate order* `≺` on finite configurations (Esparza/Römer/
+//! Vogler) must be well-founded, refine set inclusion, and be
+//! preserved by finite extensions. The cut-off criterion "`e` is a
+//! cut-off if some `f` with `Mark([f]) = Mark([e])` and `[f] ≺ [e]`
+//! exists" then yields a complete prefix.
+//!
+//! Two strategies are provided:
+//!
+//! * [`OrderStrategy::McMillan`] — compare sizes only (the original
+//!   1992 criterion; partial, so fewer cut-offs and larger prefixes);
+//! * [`OrderStrategy::ErvTotal`] — size, then Parikh vectors
+//!   lexicographically, then Foata normal forms (the ERV total order,
+//!   giving prefixes at most the size of the reachability graph).
+
+use std::cmp::Ordering;
+
+/// Which adequate order the unfolder uses for queueing possible
+/// extensions and deciding cut-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderStrategy {
+    /// Compare `|C|` only (partial order).
+    McMillan,
+    /// The ERV total order: `|C|`, then Parikh-lex, then Foata.
+    #[default]
+    ErvTotal,
+}
+
+/// A precomputed comparison key for the local configuration of a
+/// (possible) event. Keys are totally ordered; under
+/// [`OrderStrategy::McMillan`] the Parikh/Foata components are left
+/// empty so ties are broken arbitrarily but deterministically by the
+/// queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// `|[e]|`.
+    pub size: u32,
+    /// Occurrence counts per original transition, in transition order.
+    pub parikh: Vec<u16>,
+    /// Per-Foata-level Parikh vectors, level by level.
+    pub foata: Vec<Vec<u16>>,
+}
+
+impl OrderKey {
+    /// Compares under the given strategy: returns `Less` iff `self ≺
+    /// other`.
+    pub fn compare(&self, other: &OrderKey, strategy: OrderStrategy) -> Ordering {
+        match strategy {
+            OrderStrategy::McMillan => self.size.cmp(&other.size),
+            OrderStrategy::ErvTotal => self
+                .size
+                .cmp(&other.size)
+                .then_with(|| self.parikh.cmp(&other.parikh))
+                .then_with(|| self.foata.cmp(&other.foata)),
+        }
+    }
+
+    /// Whether `self` is strictly smaller — the condition for using a
+    /// mate as a cut-off justification.
+    pub fn is_strictly_less(&self, other: &OrderKey, strategy: OrderStrategy) -> bool {
+        self.compare(other, strategy) == Ordering::Less
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(size: u32, parikh: Vec<u16>, foata: Vec<Vec<u16>>) -> OrderKey {
+        OrderKey { size, parikh, foata }
+    }
+
+    #[test]
+    fn size_dominates() {
+        let a = key(1, vec![9, 9], vec![]);
+        let b = key(2, vec![0, 0], vec![]);
+        assert_eq!(a.compare(&b, OrderStrategy::ErvTotal), Ordering::Less);
+        assert_eq!(a.compare(&b, OrderStrategy::McMillan), Ordering::Less);
+    }
+
+    #[test]
+    fn parikh_breaks_size_ties_only_for_erv() {
+        let a = key(2, vec![2, 0], vec![]);
+        let b = key(2, vec![1, 1], vec![]);
+        assert_eq!(a.compare(&b, OrderStrategy::ErvTotal), Ordering::Greater);
+        assert_eq!(a.compare(&b, OrderStrategy::McMillan), Ordering::Equal);
+    }
+
+    #[test]
+    fn foata_breaks_parikh_ties() {
+        // Same events, different level structure: the more sequential
+        // configuration has more levels with smaller first level.
+        let a = key(2, vec![1, 1], vec![vec![1, 0], vec![0, 1]]);
+        let b = key(2, vec![1, 1], vec![vec![1, 1]]);
+        assert_ne!(a.compare(&b, OrderStrategy::ErvTotal), Ordering::Equal);
+    }
+
+    #[test]
+    fn strictness() {
+        let a = key(1, vec![1], vec![vec![1]]);
+        let b = key(1, vec![1], vec![vec![1]]);
+        assert!(!a.is_strictly_less(&b, OrderStrategy::ErvTotal));
+        let c = key(2, vec![2], vec![vec![1], vec![1]]);
+        assert!(a.is_strictly_less(&c, OrderStrategy::ErvTotal));
+    }
+}

@@ -1,0 +1,191 @@
+//! Causality and conflict relations between prefix events, as dense
+//! bit sets.
+//!
+//! These drive the integer-programming solver's propagation (§4 of
+//! the paper): setting `x(e) = 1` forces `x(f) = 1` for all causal
+//! predecessors `f < e` and `x(g) = 0` for all `g # e`; setting
+//! `x(e) = 0` forces `x(f) = 0` for all successors.
+
+use petri::BitSet;
+
+use crate::occ::{EventId, Prefix};
+
+/// Precomputed per-event relation bit sets over a prefix.
+///
+/// # Examples
+///
+/// ```
+/// use stg::gen::vme::vme_read;
+/// use unfolding::{EventRelations, Prefix, UnfoldOptions};
+///
+/// # fn main() -> Result<(), unfolding::UnfoldError> {
+/// let stg = vme_read();
+/// let prefix = Prefix::of_stg(&stg, UnfoldOptions::default())?;
+/// let rel = EventRelations::of(&prefix);
+/// for e in prefix.events() {
+///     // No event conflicts with itself or its causal past.
+///     assert!(!rel.conflicts(e).contains(e.index()));
+///     assert!(rel.conflicts(e).is_disjoint(rel.predecessors(e)));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRelations {
+    n: usize,
+    preds: Vec<BitSet>,
+    succs: Vec<BitSet>,
+    conflicts: Vec<BitSet>,
+}
+
+impl EventRelations {
+    /// Computes the relations for `prefix`.
+    pub fn of(prefix: &Prefix) -> Self {
+        let n = prefix.num_events();
+        let mut preds = Vec::with_capacity(n);
+        let mut succs = vec![BitSet::new(n); n];
+        for e in prefix.events() {
+            let mut p = prefix.local_config(e).clone();
+            p.grow(n);
+            p.remove(e.index());
+            for q in p.iter() {
+                succs[q].insert(e.index());
+            }
+            preds.push(p);
+        }
+        // Up-sets: up[g] = {g} ∪ succs[g].
+        let upset = |g: usize| -> BitSet {
+            let mut u = succs[g].clone();
+            u.insert(g);
+            u
+        };
+        let mut conflicts = vec![BitSet::new(n); n];
+        for b in prefix.conditions() {
+            let consumers = prefix.cond_consumers(b);
+            for (i, &g1) in consumers.iter().enumerate() {
+                for &g2 in &consumers[i + 1..] {
+                    let u1 = upset(g1.index());
+                    let u2 = upset(g2.index());
+                    for x in u1.iter() {
+                        conflicts[x].union_with(&u2);
+                    }
+                    for y in u2.iter() {
+                        conflicts[y].union_with(&u1);
+                    }
+                }
+            }
+        }
+        EventRelations {
+            n,
+            preds,
+            succs,
+            conflicts,
+        }
+    }
+
+    /// Number of events.
+    pub fn num_events(&self) -> usize {
+        self.n
+    }
+
+    /// The strict causal predecessors of `e` (`[e] \ {e}`).
+    pub fn predecessors(&self, e: EventId) -> &BitSet {
+        &self.preds[e.index()]
+    }
+
+    /// The strict causal successors of `e`.
+    pub fn successors(&self, e: EventId) -> &BitSet {
+        &self.succs[e.index()]
+    }
+
+    /// The events in conflict with `e` (`{f : f # e}`).
+    pub fn conflicts(&self, e: EventId) -> &BitSet {
+        &self.conflicts[e.index()]
+    }
+
+    /// Whether `a` and `b` are concurrent (neither ordered nor in
+    /// conflict).
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        a != b
+            && !self.preds[a.index()].contains(b.index())
+            && !self.preds[b.index()].contains(a.index())
+            && !self.conflicts[a.index()].contains(b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::UnfoldOptions;
+    use petri::{Marking, NetBuilder};
+
+    /// p feeds competing t1/t2; independent cycle (q, u).
+    fn mixed() -> (petri::Net, Marking) {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let r1 = b.add_place("r1");
+        let r2 = b.add_place("r2");
+        let t1 = b.add_transition("t1");
+        let t2 = b.add_transition("t2");
+        b.arc_pt(p, t1).unwrap();
+        b.arc_tp(t1, r1).unwrap();
+        b.arc_pt(p, t2).unwrap();
+        b.arc_tp(t2, r2).unwrap();
+        let s1 = b.add_transition("s1");
+        b.arc_pt(r1, s1).unwrap();
+        let r3 = b.add_place("r3");
+        b.arc_tp(s1, r3).unwrap();
+        let q0 = b.add_place("q0");
+        let q1 = b.add_place("q1");
+        let u = b.add_transition("u");
+        b.arc_pt(q0, u).unwrap();
+        b.arc_tp(u, q1).unwrap();
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(net.num_places(), &[(p, 1), (q0, 1)]);
+        (net, m0)
+    }
+
+    #[test]
+    fn relations_partition_event_pairs() {
+        let (net, m0) = mixed();
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        let rel = EventRelations::of(&prefix);
+        for a in prefix.events() {
+            for b in prefix.events() {
+                if a == b {
+                    continue;
+                }
+                let before = rel.predecessors(b).contains(a.index());
+                let after = rel.predecessors(a).contains(b.index());
+                let conflict = rel.conflicts(a).contains(b.index());
+                let co = rel.concurrent(a, b);
+                let count =
+                    usize::from(before) + usize::from(after) + usize::from(conflict) + usize::from(co);
+                assert_eq!(count, 1, "exactly one relation must hold for {a:?},{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_is_inherited_by_successors() {
+        let (net, m0) = mixed();
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        let rel = EventRelations::of(&prefix);
+        // t1 # t2; s1 (successor of t1) must also conflict with t2.
+        let find = |name: &str| {
+            prefix
+                .events()
+                .find(|&e| net.transition_name(prefix.event_transition(e)) == name)
+                .unwrap()
+        };
+        let (e1, e2, es) = (find("t1"), find("t2"), find("s1"));
+        assert!(rel.conflicts(e1).contains(e2.index()));
+        assert!(rel.conflicts(es).contains(e2.index()));
+        assert!(rel.conflicts(e2).contains(es.index()));
+        // u is concurrent with everything else.
+        let eu = find("u");
+        for other in [e1, e2, es] {
+            assert!(rel.concurrent(eu, other));
+        }
+    }
+}

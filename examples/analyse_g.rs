@@ -1,0 +1,72 @@
+//! Analyse an STG from a `.g` (astg) file: consistency, USC, CSC,
+//! normalcy, deadlocks — the full battery with witnesses.
+//!
+//! Run with: `cargo run --example analyse_g [-- path/to/file.g]`
+//! (defaults to `assets/vme_read.g`).
+
+use std::env;
+use std::fs;
+
+use stg_coding_conflicts::csc_core::{CheckOutcome, Checker};
+use stg_coding_conflicts::stg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = env::args()
+        .nth(1)
+        .unwrap_or_else(|| "assets/vme_read.g".to_owned());
+    let source = fs::read_to_string(&path)?;
+    let model = stg::parse(&source)?;
+    println!("{path}:");
+    println!(
+        "  {} places, {} transitions, {} signals, initial code {}",
+        model.net().num_places(),
+        model.net().num_transitions(),
+        model.num_signals(),
+        model.initial_code()
+    );
+
+    let checker = Checker::new(&model)?;
+    println!(
+        "  prefix: |B| = {}, |E| = {}, |E_cut| = {}",
+        checker.prefix().num_conditions(),
+        checker.prefix().num_events(),
+        checker.prefix().num_cutoffs()
+    );
+
+    let consistency = checker.check_consistency()?;
+    println!("  consistent: {}", consistency.is_consistent());
+    if !consistency.is_consistent() {
+        println!("  -> {consistency:?}");
+        return Ok(());
+    }
+
+    match checker.check_usc()? {
+        CheckOutcome::Satisfied => println!("  USC: satisfied"),
+        CheckOutcome::Conflict(w) => println!("  USC: CONFLICT\n{}", w.describe(&model)),
+    }
+    match checker.check_csc()? {
+        CheckOutcome::Satisfied => println!("  CSC: satisfied"),
+        CheckOutcome::Conflict(w) => println!("  CSC: CONFLICT\n{}", w.describe(&model)),
+    }
+
+    let normalcy = checker.check_normalcy()?;
+    for o in &normalcy.outcomes {
+        println!(
+            "  normalcy of {}: p = {}, n = {} => {}",
+            model.signal_name(o.signal),
+            o.p_normal,
+            o.n_normal,
+            if o.is_normal() { "normal" } else { "NOT normal" }
+        );
+    }
+
+    match checker.find_deadlock()? {
+        None => println!("  deadlock-free"),
+        Some(w) => println!(
+            "  DEADLOCK after {} transitions: {:?}",
+            w.sequence.len(),
+            w.marking
+        ),
+    }
+    Ok(())
+}

@@ -1,0 +1,263 @@
+//! `stgcheck` — command-line front-end for the coding-conflict
+//! checker.
+//!
+//! ```text
+//! stgcheck info <file.g>                     structural stats + consistency
+//! stgcheck unfold <file.g> [--dot] [--mcmillan]   prefix stats (optionally DOT)
+//! stgcheck usc <file.g> [--engine E]         Unique State Coding check
+//! stgcheck csc <file.g> [--engine E]         Complete State Coding check
+//! stgcheck normalcy <file.g>                 p/n-normalcy per output signal
+//! stgcheck deadlock <file.g>                 deadlock search (§5)
+//! stgcheck report <file.g>                   full battery, one summary
+//! stgcheck synth <file.g>                    next-state equations (needs CSC)
+//! stgcheck resolve <file.g> [--to-g]         insert state signals until CSC holds
+//! stgcheck dot <file.g>                      STG as Graphviz DOT
+//! stgcheck gen <family> [params] [--to-g]    emit a benchmark model
+//! ```
+//!
+//! Engines: `unfolding` (default), `explicit`, `symbolic`.
+//! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
+//! or processing error.
+
+use std::fs;
+use std::process::ExitCode;
+
+use stg_coding_conflicts::csc_core::{check_property, CheckOutcome, Checker, Engine, Property};
+use stg_coding_conflicts::stg::{self, Stg};
+use stg_coding_conflicts::unfolding::{self, OrderStrategy, Prefix, UnfoldOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(conflict) => {
+            if conflict {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("stgcheck: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: stgcheck <info|unfold|usc|csc|normalcy|deadlock|report|synth|dot|gen> ... (see --help)"
+        .to_owned()
+}
+
+/// Returns `Ok(true)` when a conflict/violation was found.
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    if command == "--help" || command == "-h" {
+        println!("{}", usage());
+        return Ok(false);
+    }
+    if command == "gen" {
+        return generate(&args[1..]);
+    }
+    let path = args.get(1).ok_or_else(usage)?;
+    let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let model = stg::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let flags = &args[2..];
+    match command.as_str() {
+        "info" => info(&model),
+        "unfold" => unfold(&model, flags),
+        "usc" => coding(&model, Property::Usc, flags),
+        "csc" => coding(&model, Property::Csc, flags),
+        "normalcy" => normalcy(&model),
+        "deadlock" => deadlock(&model),
+        "report" => {
+            let report = Checker::analyse_stg(&model).map_err(|e| e.to_string())?;
+            print!("{report}");
+            Ok(!report.is_implementable_with_monotonic_gates())
+        }
+        "synth" => synthesize(&model),
+        "resolve" => resolve_cmd(&model, flags),
+        "dot" => {
+            print!("{}", stg::dot::to_dot(&model, "stg"));
+            Ok(false)
+        }
+        other => Err(format!("unknown command `{other}`; {}", usage())),
+    }
+}
+
+fn engine_flag(flags: &[String]) -> Result<Engine, String> {
+    match flags.iter().position(|f| f == "--engine") {
+        None => Ok(Engine::UnfoldingIlp),
+        Some(i) => match flags.get(i + 1).map(String::as_str) {
+            Some("unfolding") => Ok(Engine::UnfoldingIlp),
+            Some("explicit") => Ok(Engine::ExplicitStateGraph),
+            Some("symbolic") => Ok(Engine::SymbolicBdd),
+            other => Err(format!("bad --engine {other:?} (unfolding|explicit|symbolic)")),
+        },
+    }
+}
+
+fn info(model: &Stg) -> Result<bool, String> {
+    println!(
+        "places: {}, transitions: {}, signals: {} ({} inputs)",
+        model.net().num_places(),
+        model.net().num_transitions(),
+        model.num_signals(),
+        model
+            .signals()
+            .filter(|&z| !model.signal_kind(z).is_local())
+            .count()
+    );
+    println!("initial code: {}", model.initial_code());
+    let checker = Checker::new(model).map_err(|e| e.to_string())?;
+    let consistency = checker.check_consistency().map_err(|e| e.to_string())?;
+    println!("consistent: {}", consistency.is_consistent());
+    if consistency.is_consistent() {
+        if let Ok(sg) = stg::StateGraph::build(model, Default::default()) {
+            println!("output persistent: {}", sg.is_output_persistent(model));
+        }
+    }
+    Ok(!consistency.is_consistent())
+}
+
+fn unfold(model: &Stg, flags: &[String]) -> Result<bool, String> {
+    let order = if flags.iter().any(|f| f == "--mcmillan") {
+        OrderStrategy::McMillan
+    } else {
+        OrderStrategy::ErvTotal
+    };
+    let prefix = Prefix::of_stg(model, UnfoldOptions { order, ..Default::default() })
+        .map_err(|e| e.to_string())?;
+    if flags.iter().any(|f| f == "--dot") {
+        print!("{}", unfolding::dot::to_dot(&prefix, model, "prefix"));
+    } else {
+        println!(
+            "|B| = {}, |E| = {}, |E_cut| = {}",
+            prefix.num_conditions(),
+            prefix.num_events(),
+            prefix.num_cutoffs()
+        );
+    }
+    Ok(false)
+}
+
+fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<bool, String> {
+    let engine = engine_flag(flags)?;
+    if engine == Engine::UnfoldingIlp {
+        // Use the full checker so we can print witnesses.
+        let checker = Checker::new(model).map_err(|e| e.to_string())?;
+        let outcome = match property {
+            Property::Usc => checker.check_usc(),
+            Property::Csc => checker.check_csc(),
+            Property::Normalcy => unreachable!("handled separately"),
+        }
+        .map_err(|e| e.to_string())?;
+        match outcome {
+            CheckOutcome::Satisfied => {
+                println!("{property:?}: satisfied");
+                Ok(false)
+            }
+            CheckOutcome::Conflict(w) => {
+                println!("{}", w.describe(model));
+                Ok(true)
+            }
+        }
+    } else {
+        let ok = check_property(model, property, engine).map_err(|e| e.to_string())?;
+        println!("{property:?}: {}", if ok { "satisfied" } else { "CONFLICT" });
+        Ok(!ok)
+    }
+}
+
+fn normalcy(model: &Stg) -> Result<bool, String> {
+    let checker = Checker::new(model).map_err(|e| e.to_string())?;
+    let report = checker.check_normalcy().map_err(|e| e.to_string())?;
+    for o in &report.outcomes {
+        println!(
+            "{}: p-normal = {}, n-normal = {} => {}",
+            model.signal_name(o.signal),
+            o.p_normal,
+            o.n_normal,
+            if o.is_normal() { "normal" } else { "NOT normal" }
+        );
+    }
+    Ok(!report.is_normal())
+}
+
+fn deadlock(model: &Stg) -> Result<bool, String> {
+    let checker = Checker::new(model).map_err(|e| e.to_string())?;
+    match checker.find_deadlock().map_err(|e| e.to_string())? {
+        None => {
+            println!("deadlock-free");
+            Ok(false)
+        }
+        Some(w) => {
+            let names: Vec<&str> = w.sequence.iter().map(|&t| model.transition_name(t)).collect();
+            println!("deadlock after: {}", names.join(" "));
+            Ok(true)
+        }
+    }
+}
+
+fn synthesize(model: &Stg) -> Result<bool, String> {
+    use stg_coding_conflicts::synth::NextStateFunctions;
+    let mut fns = NextStateFunctions::derive(model, Default::default()).map_err(|e| e.to_string())?;
+    let signals: Vec<_> = fns.signals().collect();
+    let mut all_monotonic = true;
+    for z in signals {
+        let eq = fns.equation(z);
+        let monotonic = fns.is_monotonic(z);
+        all_monotonic &= monotonic;
+        println!(
+            "{eq}{}",
+            if monotonic { "" } else { "   # not monotonic (needs input inverter)" }
+        );
+    }
+    Ok(!all_monotonic)
+}
+
+fn resolve_cmd(model: &Stg, flags: &[String]) -> Result<bool, String> {
+    use stg_coding_conflicts::resolve::{resolve_csc, ResolveOutcome};
+    match resolve_csc(model, Default::default()).map_err(|e| e.to_string())? {
+        ResolveOutcome::AlreadySatisfied => {
+            println!("CSC already holds; nothing to do");
+            Ok(false)
+        }
+        ResolveOutcome::Resolved { stg: fixed, inserted } => {
+            if flags.iter().any(|f| f == "--to-g") {
+                print!("{}", stg::to_g_format(&fixed, "resolved"));
+            } else {
+                println!("resolved with {} state signal(s): {}", inserted.len(), inserted.join(", "));
+            }
+            Ok(false)
+        }
+        ResolveOutcome::Failed { remaining, .. } => {
+            println!("resolution failed: {remaining} CSC conflict pair(s) remain");
+            Ok(true)
+        }
+    }
+}
+
+fn generate(args: &[String]) -> Result<bool, String> {
+    let family = args.first().ok_or("gen: missing family (vme|vme-csc|vme-master|lazy-ring|eager-ring|dup|dup-mod|cf-sym|cf-asym|pipeline|arbiter)")?;
+    let num = |i: usize, default: usize| -> usize {
+        args.get(i).and_then(|a| a.parse().ok()).unwrap_or(default)
+    };
+    let model = match family.as_str() {
+        "vme" => stg::gen::vme::vme_read(),
+        "vme-csc" => stg::gen::vme::vme_read_csc_resolved(),
+        "vme-master" => stg::gen::vme::vme_master(),
+        "lazy-ring" => stg::gen::ring::lazy_ring(num(1, 3)),
+        "eager-ring" => stg::gen::ring::eager_ring(num(1, 3)),
+        "dup" => stg::gen::duplex::dup_4ph(num(1, 2), args.contains(&"--resolved".to_owned())),
+        "dup-mod" => stg::gen::duplex::dup_mod(num(1, 2)),
+        "cf-sym" => stg::gen::counterflow::counterflow_sym(num(1, 2), num(2, 2)),
+        "cf-asym" => stg::gen::counterflow::counterflow_asym(num(1, 2), num(2, 2)),
+        "pipeline" => stg::gen::pipeline::muller_pipeline(num(1, 3)),
+        "arbiter" => stg::gen::arbiter::mutex_arbiter(num(1, 2)),
+        other => return Err(format!("gen: unknown family `{other}`")),
+    };
+    print!("{}", stg::to_g_format(&model, family));
+    Ok(false)
+}

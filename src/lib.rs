@@ -1,0 +1,42 @@
+//! Umbrella crate for the STG coding-conflict workspace.
+//!
+//! Re-exports the public APIs of the member crates so the examples and
+//! integration tests (and downstream users who want a single
+//! dependency) can reach everything through one import.
+//!
+//! The headline entry point is [`csc_core::Checker`]: build an
+//! [`stg::Stg`], wrap it in a checker and ask for USC/CSC/normalcy
+//! verdicts with execution-path witnesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use stg_coding_conflicts::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let stg = stg::gen::vme::vme_read();
+//! let checker = Checker::new(&stg)?;
+//! assert!(matches!(checker.check_csc()?, CheckOutcome::Conflict(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bdd;
+pub use csc_core;
+pub use ilp;
+pub use petri;
+pub use resolve;
+pub use stg;
+pub use symbolic;
+pub use synth;
+pub use unfolding;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use csc_core::{CheckOutcome, Checker, Engine};
+    pub use petri::{Marking, Net, NetBuilder, PlaceId, TransitionId};
+    pub use stg::{Edge, Signal, SignalKind, Stg, StgBuilder};
+    pub use unfolding::{Prefix, UnfoldOptions};
+}

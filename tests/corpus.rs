@@ -1,0 +1,99 @@
+//! Tests over the committed `.g` corpus in `assets/`: every file must
+//! parse, round-trip, and be analysable by the full battery; and the
+//! parser must never panic on arbitrary input.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use stg_coding_conflicts::csc_core::Checker;
+use stg_coding_conflicts::stg;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("assets");
+    let mut files: Vec<(String, String)> = fs::read_dir(&dir)
+        .expect("assets directory exists")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            (path.extension()? == "g").then(|| {
+                (
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    fs::read_to_string(&path).expect("readable"),
+                )
+            })
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 8, "corpus should have at least 8 models");
+    files
+}
+
+#[test]
+fn corpus_parses_and_roundtrips() {
+    for (name, source) in corpus() {
+        let model = stg::parse(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let text = stg::to_g_format(&model, "roundtrip");
+        let back = stg::parse(&text).unwrap_or_else(|e| panic!("{name} (rewrite): {e}"));
+        assert_eq!(back.num_signals(), model.num_signals(), "{name}");
+        assert_eq!(
+            back.net().num_transitions(),
+            model.net().num_transitions(),
+            "{name}"
+        );
+        assert_eq!(back.net().num_places(), model.net().num_places(), "{name}");
+    }
+}
+
+#[test]
+fn corpus_full_battery() {
+    for (name, source) in corpus() {
+        let model = stg::parse(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = Checker::analyse_stg(&model).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.consistency.is_consistent(), "{name}");
+        assert!(report.deadlock.is_none(), "{name} must be deadlock-free");
+        // Resolved/conflict-free corpus entries must pass CSC.
+        let expect_csc = name.contains("resolved") || name.contains("cf_") || name.contains("arbiter");
+        if expect_csc {
+            assert!(
+                report.csc.as_ref().is_some_and(|c| c.is_satisfied()),
+                "{name} should satisfy CSC"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser returns Ok or Err but never panics, whatever the
+    /// input.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = stg::parse(&input);
+    }
+
+    /// Same for structured-looking garbage.
+    #[test]
+    fn parser_never_panics_on_directive_soup(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just(".inputs a b".to_owned()),
+                Just(".outputs x".to_owned()),
+                Just(".graph".to_owned()),
+                Just("a+ x+".to_owned()),
+                Just("x+ a-".to_owned()),
+                Just(".marking { <a+,x+> }".to_owned()),
+                Just(".marking {".to_owned()),
+                Just(".initial_state 01".to_owned()),
+                Just(".initial_state zz".to_owned()),
+                Just(".end".to_owned()),
+                Just("p q r".to_owned()),
+                Just("<a,b> c".to_owned()),
+            ],
+            0..12,
+        )
+    ) {
+        let src = lines.join("\n");
+        let _ = stg::parse(&src);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-engine validation: the unfolding + IP checker, the explicit
+//! state graph and the symbolic BDD engine must agree on every
+//! generated model, including randomly generated consistent STGs.
+
+use stg_coding_conflicts::csc_core::{check_property, Engine, Property};
+use stg_coding_conflicts::stg::gen::arbiter::mutex_arbiter;
+use stg_coding_conflicts::stg::gen::counterflow::{counterflow_asym, counterflow_sym};
+use stg_coding_conflicts::stg::gen::duplex::{dup_4ph, dup_mod};
+use stg_coding_conflicts::stg::gen::pipeline::muller_pipeline;
+use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
+use stg_coding_conflicts::stg::gen::ring::{eager_ring, lazy_ring};
+use stg_coding_conflicts::stg::gen::vme::{vme_master, vme_read, vme_read_csc_resolved};
+use stg_coding_conflicts::stg::Stg;
+
+const ENGINES: [Engine; 3] = [
+    Engine::UnfoldingIlp,
+    Engine::ExplicitStateGraph,
+    Engine::SymbolicBdd,
+];
+
+fn assert_agreement(stg: &Stg, label: &str) {
+    for property in [Property::Usc, Property::Csc] {
+        let verdicts: Vec<bool> = ENGINES
+            .iter()
+            .map(|&e| check_property(stg, property, e).unwrap())
+            .collect();
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "{label}: engines disagree on {property:?}: {verdicts:?}"
+        );
+    }
+}
+
+#[test]
+fn generator_families_agree() {
+    let cases: Vec<(&str, Stg)> = vec![
+        ("vme", vme_read()),
+        ("vme_resolved", vme_read_csc_resolved()),
+        ("vme_master", vme_master()),
+        ("lazy_ring_2", lazy_ring(2)),
+        ("lazy_ring_4", lazy_ring(4)),
+        ("eager_ring_2", eager_ring(2)),
+        ("eager_ring_3", eager_ring(3)),
+        ("dup_1", dup_4ph(1, false)),
+        ("dup_1r", dup_4ph(1, true)),
+        ("dup_2", dup_4ph(2, false)),
+        ("dup_2r", dup_4ph(2, true)),
+        ("dup_mod_1", dup_mod(1)),
+        ("dup_mod_3", dup_mod(3)),
+        ("cf_sym_2_2", counterflow_sym(2, 2)),
+        ("cf_sym_3_2", counterflow_sym(3, 2)),
+        ("cf_asym", counterflow_asym(2, 2)),
+        ("pipeline_2", muller_pipeline(2)),
+        ("pipeline_4", muller_pipeline(4)),
+        ("arbiter_2", mutex_arbiter(2)),
+        ("arbiter_3", mutex_arbiter(3)),
+    ];
+    for (label, stg) in &cases {
+        assert_agreement(stg, label);
+    }
+}
+
+#[test]
+fn random_stgs_agree() {
+    for seed in 0..40 {
+        let config = RandomStgConfig {
+            signals: 4,
+            sync_cycles: 3,
+            max_cycle_len: 4,
+            splits: seed as usize % 3,
+            percent_high: 30,
+        };
+        let stg = random_stg(&config, seed);
+        assert_agreement(&stg, &format!("random seed {seed}"));
+    }
+}
+
+#[test]
+fn random_larger_stgs_agree_on_unfolding_vs_explicit() {
+    // Bigger instances: skip the (slow, naive) symbolic engine.
+    for seed in 0..15 {
+        let config = RandomStgConfig {
+            signals: 7,
+            sync_cycles: 5,
+            max_cycle_len: 5,
+            splits: 2,
+            percent_high: 20,
+        };
+        let stg = random_stg(&config, 1000 + seed);
+        for property in [Property::Usc, Property::Csc] {
+            let a = check_property(&stg, property, Engine::UnfoldingIlp).unwrap();
+            let b = check_property(&stg, property, Engine::ExplicitStateGraph).unwrap();
+            assert_eq!(a, b, "seed {seed}, {property:?}");
+        }
+    }
+}
+
+#[test]
+fn normalcy_agreement_on_small_models() {
+    for (label, stg) in [
+        ("vme_resolved", vme_read_csc_resolved()),
+        ("vme_master", vme_master()),
+        ("cf", counterflow_sym(2, 2)),
+        ("dup_1r", dup_4ph(1, true)),
+        ("pipeline_2", muller_pipeline(2)),
+    ] {
+        let a = check_property(&stg, Property::Normalcy, Engine::UnfoldingIlp).unwrap();
+        let b = check_property(&stg, Property::Normalcy, Engine::ExplicitStateGraph).unwrap();
+        assert_eq!(a, b, "{label}");
+    }
+}

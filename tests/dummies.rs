@@ -1,0 +1,88 @@
+//! STGs with dummy (`τ`) transitions.
+//!
+//! The paper defers the full treatment of dummies to its long
+//! version; this implementation supports them uniformly — dummies
+//! contribute nothing to codes, and all three engines apply the same
+//! literal state-based definitions — and these tests pin that
+//! behaviour down.
+
+use stg_coding_conflicts::csc_core::{check_property, CheckOutcome, Checker, Engine, Property};
+use stg_coding_conflicts::stg::{CodeVec, Edge, SignalKind, Stg, StgBuilder};
+
+/// A 4-phase handshake with a dummy "synchronisation" step between
+/// the request and the acknowledgement.
+fn handshake_with_dummy() -> Stg {
+    let mut b = StgBuilder::new();
+    let req = b.add_signal("req", SignalKind::Input);
+    let ack = b.add_signal("ack", SignalKind::Output);
+    let rp = b.edge(req, Edge::Rise);
+    let tau = b.dummy("tau");
+    let ap = b.edge(ack, Edge::Rise);
+    let rm = b.edge(req, Edge::Fall);
+    let am = b.edge(ack, Edge::Fall);
+    b.chain_cycle(&[rp, tau, ap, rm, am]).unwrap();
+    b.set_initial_code(CodeVec::zeros(2));
+    b.build().unwrap()
+}
+
+#[test]
+fn dummy_creates_literal_usc_conflict_but_not_csc() {
+    // The states before and after tau share code 10; the outputs
+    // enabled differ only through the dummy, and Out only ranges over
+    // signal edges: before tau nothing local is enabled, after tau
+    // ack+ is — a CSC conflict by the letter of the definition.
+    let stg = handshake_with_dummy();
+    assert!(stg.has_dummies());
+    let checker = Checker::new(&stg).unwrap();
+    let CheckOutcome::Conflict(w) = checker.check_usc().unwrap() else {
+        panic!("tau splits one code across two states");
+    };
+    assert!(w.replay(&stg));
+    assert_eq!(w.code.to_string(), "10");
+}
+
+#[test]
+fn engines_agree_on_dummy_models() {
+    let stg = handshake_with_dummy();
+    for property in [Property::Usc, Property::Csc] {
+        let verdicts: Vec<bool> = [
+            Engine::UnfoldingIlp,
+            Engine::ExplicitStateGraph,
+            Engine::SymbolicBdd,
+        ]
+        .iter()
+        .map(|&e| check_property(&stg, property, e).unwrap())
+        .collect();
+        assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "{property:?}: {verdicts:?}"
+        );
+    }
+}
+
+#[test]
+fn dummies_do_not_contribute_to_codes() {
+    let stg = handshake_with_dummy();
+    let t_tau = stg
+        .net()
+        .transitions()
+        .find(|&t| stg.label(t).is_dummy())
+        .unwrap();
+    let rp = stg
+        .net()
+        .transitions()
+        .find(|&t| stg.transition_name(t) == "req+")
+        .unwrap();
+    assert_eq!(
+        stg.code_after(&[rp, t_tau]),
+        stg.code_after(&[rp]),
+        "tau must not move the code"
+    );
+}
+
+#[test]
+fn dummy_consistency_checking() {
+    let stg = handshake_with_dummy();
+    let checker = Checker::new(&stg).unwrap();
+    assert!(checker.check_consistency().unwrap().is_consistent());
+}

@@ -1,0 +1,130 @@
+//! Assertions tying the implementation to the specific claims and
+//! figures of the paper (Khomenko/Koutny/Yakovlev, DATE 2002).
+
+use stg_coding_conflicts::csc_core::{CheckOutcome, Checker};
+use stg_coding_conflicts::stg::gen::vme::{vme_read, vme_read_csc_resolved};
+use stg_coding_conflicts::stg::StateGraph;
+use stg_coding_conflicts::unfolding::{Prefix, UnfoldOptions};
+
+/// Fig. 2: the VME read prefix has events e1..e12 with exactly one
+/// cut-off, labelled lds+.
+#[test]
+fn fig2_prefix_shape() {
+    let stg = vme_read();
+    let prefix = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+    assert_eq!(prefix.num_events(), 12);
+    assert_eq!(prefix.num_cutoffs(), 1);
+    let cutoff = prefix.events().find(|&e| prefix.is_cutoff(e)).unwrap();
+    assert_eq!(
+        stg.transition_name(prefix.event_transition(cutoff)),
+        "lds+",
+        "the paper's e12 is a second instance of lds+"
+    );
+}
+
+/// Fig. 1(b): the CSC conflict is between two markings coded 10110
+/// (order dsr dtack lds ldtack d) with Out = {lds} vs {d}.
+#[test]
+fn fig1_conflict_details() {
+    let stg = vme_read();
+    let checker = Checker::new(&stg).unwrap();
+    let CheckOutcome::Conflict(w) = checker.check_csc().unwrap() else {
+        panic!("vme_read conflicts");
+    };
+    assert_eq!(w.code.to_string(), "10110");
+    let names = |out: &[stg_coding_conflicts::stg::Signal]| {
+        out.iter().map(|&z| stg.signal_name(z).to_owned()).collect::<Vec<_>>()
+    };
+    let mut outs = vec![names(&w.out1), names(&w.out2)];
+    outs.sort();
+    assert_eq!(outs, vec![vec!["d".to_owned()], vec!["lds".to_owned()]]);
+    assert!(w.replay(&stg));
+}
+
+/// §3: the cut-off constraint of the example is x12 = 0 — i.e. no
+/// accepted configuration contains the cut-off event.
+#[test]
+fn cutoff_constraints_hold_in_witnesses() {
+    let stg = vme_read();
+    let checker = Checker::new(&stg).unwrap();
+    let CheckOutcome::Conflict(w) = checker.check_usc().unwrap() else {
+        panic!("vme_read conflicts");
+    };
+    let prefix = checker.prefix();
+    for e in prefix.events().filter(|&e| prefix.is_cutoff(e)) {
+        assert!(!w.config1.contains(e.index()));
+        assert!(!w.config2.contains(e.index()));
+    }
+}
+
+/// §6 / Fig. 3: the resolved model satisfies CSC but csc is neither
+/// p-normal nor n-normal; the paper's functions for the other output
+/// signals exist, so those remain implementable.
+#[test]
+fn fig3_normalcy() {
+    let stg = vme_read_csc_resolved();
+    let checker = Checker::new(&stg).unwrap();
+    assert!(checker.check_usc().unwrap().is_satisfied());
+    assert!(checker.check_csc().unwrap().is_satisfied());
+    let csc = stg.signal_by_name("csc").unwrap();
+    let outcome = checker.check_normalcy_of(csc).unwrap();
+    assert!(!outcome.p_normal && !outcome.n_normal);
+    let p = outcome.p_witness.unwrap();
+    let n = outcome.n_witness.unwrap();
+    assert!(p.replay(&stg));
+    assert!(n.replay(&stg));
+    // The two witnesses show discordance in both directions.
+    assert!(p.nxt1 && !p.nxt2);
+    assert!(!n.nxt1 && n.nxt2);
+}
+
+/// §2.1: normalcy implies CSC — observed on our whole model zoo: any
+/// normal model must satisfy CSC.
+#[test]
+fn normalcy_implies_csc() {
+    use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
+    use stg_coding_conflicts::stg::gen::duplex::dup_4ph;
+    use stg_coding_conflicts::stg::gen::ring::lazy_ring;
+    for model in [
+        vme_read(),
+        vme_read_csc_resolved(),
+        counterflow_sym(2, 2),
+        dup_4ph(1, true),
+        lazy_ring(2),
+    ] {
+        let sg = StateGraph::build(&model, Default::default()).unwrap();
+        if sg.is_normal(&model) {
+            assert!(sg.satisfies_csc(&model), "normalcy must imply CSC");
+        }
+    }
+}
+
+/// §8: the memory argument — prefixes of the benchmark roster stay
+/// in the order of the STGs themselves ("STGs usually contain a lot
+/// of concurrency but rather few conflicts").
+#[test]
+fn prefixes_stay_small() {
+    for model in bench_models_small() {
+        let prefix = Prefix::of_stg(&model, UnfoldOptions::default()).unwrap();
+        let t = model.net().num_transitions();
+        assert!(
+            prefix.num_events() <= 4 * t,
+            "prefix should stay within a small factor of |T| (got {} events for {} transitions)",
+            prefix.num_events(),
+            t
+        );
+    }
+}
+
+fn bench_models_small() -> Vec<stg_coding_conflicts::stg::Stg> {
+    use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
+    use stg_coding_conflicts::stg::gen::duplex::{dup_4ph, dup_mod};
+    use stg_coding_conflicts::stg::gen::ring::lazy_ring;
+    vec![
+        vme_read(),
+        lazy_ring(4),
+        dup_4ph(2, false),
+        dup_mod(3),
+        counterflow_sym(3, 3),
+    ]
+}

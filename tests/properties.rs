@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over random consistent STGs and
+//! random safe nets: completeness of the prefix, correctness of the
+//! solver's Unf-compatibility closure, parser round-trips, and
+//! engine agreement.
+
+use proptest::prelude::*;
+
+use stg_coding_conflicts::csc_core::{check_property, Engine, Property};
+use stg_coding_conflicts::ilp::{Problem, Solver, SolverOptions};
+use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
+use stg_coding_conflicts::stg::{self, StateGraph};
+use stg_coding_conflicts::unfolding::{
+    completeness, EventRelations, Prefix, UnfoldOptions,
+};
+
+fn arb_config() -> impl Strategy<Value = RandomStgConfig> {
+    (1usize..=5, 0usize..=4, 2usize..=5, 0usize..=2, 0u8..=100).prop_map(
+        |(signals, sync_cycles, max_cycle_len, splits, percent_high)| RandomStgConfig {
+            signals,
+            sync_cycles,
+            max_cycle_len,
+            splits,
+            percent_high,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The prefix represents exactly the reachable markings
+    /// (completeness + soundness of the unfolding engine).
+    #[test]
+    fn prefix_is_complete(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        let prefix = Prefix::of_stg(&model, UnfoldOptions::default()).unwrap();
+        prop_assume!(prefix.num_events() <= 64); // keep enumeration tractable
+        prop_assert!(completeness::verify_completeness(
+            &prefix,
+            model.net(),
+            model.initial_marking(),
+            200_000,
+        ));
+    }
+
+    /// The solver's total assignments are exactly the cut-off-free
+    /// configurations of the prefix (Theorem 1: Unf-compatible
+    /// vectors ↔ configurations).
+    #[test]
+    fn solver_enumerates_configurations(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        let prefix = Prefix::of_stg(&model, UnfoldOptions::default()).unwrap();
+        prop_assume!(prefix.num_events() <= 24);
+        let expected = completeness::cutoff_free_configurations(&prefix, 1 << 20).unwrap();
+        let relations = EventRelations::of(&prefix);
+        let mut problem = Problem::new(&relations, 1);
+        problem.fix_cutoffs(|e| prefix.is_cutoff(e));
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let mut seen = Vec::new();
+        solver.solve(|sides| {
+            seen.push(sides[0].clone());
+            false
+        });
+        prop_assert_eq!(seen.len(), expected.len());
+        for c in &seen {
+            prop_assert!(prefix.is_configuration(c));
+            prop_assert!(!c.iter().any(|e| prefix.is_cutoff(
+                stg_coding_conflicts::unfolding::EventId(e as u32)
+            )));
+        }
+    }
+
+    /// Random generated STGs are consistent by construction, and the
+    /// prefix-based consistency checker agrees.
+    #[test]
+    fn random_stgs_are_consistent(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        // Oracle: the state graph builds without consistency errors.
+        let sg = StateGraph::build(&model, Default::default());
+        prop_assert!(sg.is_ok());
+        let checker = stg_coding_conflicts::csc_core::Checker::new(&model).unwrap();
+        prop_assert!(checker.check_consistency().unwrap().is_consistent());
+    }
+
+    /// The `.g` writer/parser round-trip preserves structure and all
+    /// verdicts.
+    #[test]
+    fn g_format_roundtrip(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        let text = stg::to_g_format(&model, "roundtrip");
+        let back = stg::parse(&text).unwrap();
+        prop_assert_eq!(back.num_signals(), model.num_signals());
+        prop_assert_eq!(back.net().num_transitions(), model.net().num_transitions());
+        prop_assert_eq!(back.net().num_places(), model.net().num_places());
+        // Signals may be re-ordered by kind grouping; compare by name.
+        for z in model.signals() {
+            let name = model.signal_name(z);
+            let bz = back.signal_by_name(name).expect("signal survives");
+            prop_assert_eq!(
+                back.initial_code().bit(bz),
+                model.initial_code().bit(z),
+                "initial value of {}",
+                name
+            );
+            prop_assert_eq!(back.signal_kind(bz), model.signal_kind(z));
+        }
+        // Same verdicts through the explicit engine.
+        let a = check_property(&model, Property::Csc, Engine::ExplicitStateGraph).unwrap();
+        let b = check_property(&back, Property::Csc, Engine::ExplicitStateGraph).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Unfolding+IP and the explicit oracle agree on USC/CSC for
+    /// arbitrary random consistent STGs.
+    #[test]
+    fn engines_agree_on_random_models(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        for property in [Property::Usc, Property::Csc] {
+            let a = check_property(&model, property, Engine::UnfoldingIlp).unwrap();
+            let b = check_property(&model, property, Engine::ExplicitStateGraph).unwrap();
+            prop_assert_eq!(a, b, "{:?}", property);
+        }
+    }
+
+    /// §5 extended reachability agrees with explicit enumeration:
+    /// a random linear marking predicate is satisfiable over the
+    /// prefix iff some explicitly reachable marking satisfies it.
+    #[test]
+    fn find_marking_matches_explicit_oracle(
+        config in arb_config(),
+        seed in 0u64..10_000,
+        weights in prop::collection::vec(-2i32..=2, 12),
+        rhs in -2i64..=4,
+        op_idx in 0usize..3,
+    ) {
+        use stg_coding_conflicts::csc_core::reach::MarkingConstraint;
+        use stg_coding_conflicts::ilp::CmpOp;
+        let model = random_stg(&config, seed);
+        let net = model.net();
+        let coeffs: Vec<(petri::PlaceId, i32)> = net
+            .places()
+            .zip(weights.iter().cycle())
+            .map(|(p, &w)| (p, w))
+            .collect();
+        let op = [CmpOp::Eq, CmpOp::Le, CmpOp::Ge][op_idx];
+        let constraint = MarkingConstraint { coeffs, op, rhs };
+        let checker = stg_coding_conflicts::csc_core::Checker::new(&model).unwrap();
+        let found = checker.find_marking(std::slice::from_ref(&constraint)).unwrap();
+        let sg = StateGraph::build(&model, Default::default()).unwrap();
+        let explicit = sg.states().any(|s| constraint.holds(sg.marking(s)));
+        prop_assert_eq!(found.is_some(), explicit);
+        if let Some(w) = found {
+            prop_assert!(constraint.holds(&w.marking));
+            let m = net.fire_sequence(model.initial_marking(), &w.sequence).unwrap();
+            prop_assert_eq!(m, w.marking);
+        }
+    }
+
+    /// Deadlock detection agrees with explicit enumeration.
+    #[test]
+    fn deadlock_matches_explicit_oracle(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        let checker = stg_coding_conflicts::csc_core::Checker::new(&model).unwrap();
+        let found = checker.find_deadlock().unwrap();
+        let sg = StateGraph::build(&model, Default::default()).unwrap();
+        let explicit = sg.states().any(|s| model.net().is_deadlock(sg.marking(s)));
+        prop_assert_eq!(found.is_some(), explicit);
+    }
+
+    /// Witnesses from random models always replay.
+    #[test]
+    fn witnesses_replay(config in arb_config(), seed in 0u64..10_000) {
+        let model = random_stg(&config, seed);
+        let checker = stg_coding_conflicts::csc_core::Checker::new(&model).unwrap();
+        if let stg_coding_conflicts::csc_core::CheckOutcome::Conflict(w) =
+            checker.check_csc().unwrap()
+        {
+            prop_assert!(w.replay(&model));
+        }
+    }
+}

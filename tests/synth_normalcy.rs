@@ -1,0 +1,90 @@
+//! Cross-validation between the synthesis back-end and the normalcy
+//! checkers: for USC-satisfying STGs, a signal has a monotone
+//! nondecreasing completion of its next-state function iff it is
+//! p-normal (and nonincreasing iff n-normal) — the two sides compute
+//! the same §6 condition through completely different machinery
+//! (BDDs over codes vs. integer programs over the unfolding).
+
+use stg_coding_conflicts::csc_core::Checker;
+use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
+use stg_coding_conflicts::stg::gen::duplex::dup_4ph;
+use stg_coding_conflicts::stg::gen::vme::vme_read_csc_resolved;
+use stg_coding_conflicts::stg::{StateGraph, Stg};
+use stg_coding_conflicts::synth::NextStateFunctions;
+
+fn usc_models() -> Vec<(&'static str, Stg)> {
+    vec![
+        ("vme_resolved", vme_read_csc_resolved()),
+        ("cf_2_2", counterflow_sym(2, 2)),
+        ("cf_3_2", counterflow_sym(3, 2)),
+        ("dup_1r", dup_4ph(1, true)),
+        ("dup_2r", dup_4ph(2, true)),
+    ]
+}
+
+#[test]
+fn monotone_completions_match_normalcy_oracle() {
+    for (label, model) in usc_models() {
+        let sg = StateGraph::build(&model, Default::default()).unwrap();
+        assert!(sg.satisfies_usc(), "{label}: these models must be USC");
+        let mut fns = NextStateFunctions::derive(&model, Default::default()).unwrap();
+        let signals: Vec<_> = fns.signals().collect();
+        for z in signals {
+            let oracle = sg.normalcy_of(&model, z);
+            assert_eq!(
+                fns.has_increasing_completion(z),
+                oracle.p_normal,
+                "{label}/{}: increasing completion vs p-normalcy",
+                model.signal_name(z)
+            );
+            assert_eq!(
+                fns.has_decreasing_completion(z),
+                oracle.n_normal,
+                "{label}/{}: decreasing completion vs n-normalcy",
+                model.signal_name(z)
+            );
+        }
+    }
+}
+
+#[test]
+fn monotone_completions_match_unfolding_normalcy() {
+    for (label, model) in usc_models() {
+        let checker = Checker::new(&model).unwrap();
+        let mut fns = NextStateFunctions::derive(&model, Default::default()).unwrap();
+        let signals: Vec<_> = fns.signals().collect();
+        for z in signals {
+            let outcome = checker.check_normalcy_of(z).unwrap();
+            assert_eq!(
+                fns.is_monotonic(z),
+                outcome.is_normal(),
+                "{label}/{}",
+                model.signal_name(z)
+            );
+        }
+    }
+}
+
+#[test]
+fn derived_covers_agree_with_state_graph() {
+    // Every equation must evaluate to Nxt_z on every reachable state.
+    for (label, model) in usc_models() {
+        let sg = StateGraph::build(&model, Default::default()).unwrap();
+        let mut fns = NextStateFunctions::derive(&model, Default::default()).unwrap();
+        let signals: Vec<_> = fns.signals().collect();
+        for z in signals {
+            let eq = fns.equation(z);
+            for s in sg.states() {
+                let code = sg.code(s);
+                let bits: Vec<bool> = code.bits().collect();
+                let expected = model.next_state(sg.marking(s), code, z);
+                assert_eq!(
+                    eq.eval(&|v| bits[v as usize]),
+                    expected,
+                    "{label}/{} at state {s}",
+                    model.signal_name(z)
+                );
+            }
+        }
+    }
+}
