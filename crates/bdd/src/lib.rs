@@ -30,4 +30,4 @@
 mod manager;
 mod ops;
 
-pub use manager::{Bdd, NodeId};
+pub use manager::{Bdd, Interrupt, NodeId};

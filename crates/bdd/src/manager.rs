@@ -3,6 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use petri::{StopGuard, StopReason};
+
 /// Reference to a BDD node inside a [`Bdd`] manager.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
@@ -38,15 +40,38 @@ pub(crate) struct Node {
     pub hi: NodeId,
 }
 
+/// Why a manager stopped allocating nodes mid-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The node cap set via [`Bdd::set_node_limit`] was reached.
+    NodeLimit(usize),
+    /// The [`StopGuard`] set via [`Bdd::set_guard`] fired.
+    Stopped(StopReason),
+}
+
 /// A BDD manager: owns the node store and operation caches.
 ///
 /// Variables are `u32` indices ordered numerically (smaller = closer
 /// to the root).
+///
+/// # Interruption
+///
+/// A manager can be armed with a [`StopGuard`] and a node cap. Node
+/// allocation polls both; when either fires, an [`Interrupt`] is
+/// latched and every in-flight operation unwinds quickly, returning
+/// structurally valid but *meaningless* nodes. Callers that arm a
+/// manager must check [`Bdd::interrupt`] after each operation and
+/// discard the result if it is set. No persistent cache is populated
+/// while interrupted, so clearing the latch restores a fully
+/// consistent manager.
 #[derive(Debug, Clone)]
 pub struct Bdd {
     pub(crate) nodes: Vec<Node>,
     unique: HashMap<(u32, NodeId, NodeId), NodeId>,
     ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    guard: StopGuard,
+    node_limit: Option<usize>,
+    interrupt: Option<Interrupt>,
 }
 
 impl Default for Bdd {
@@ -73,7 +98,34 @@ impl Bdd {
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
+            guard: StopGuard::unlimited(),
+            node_limit: None,
+            interrupt: None,
         }
+    }
+
+    /// Arms the manager with a cooperative stop condition, polled on
+    /// node allocation.
+    pub fn set_guard(&mut self, guard: StopGuard) {
+        self.guard = guard;
+    }
+
+    /// Caps the number of live nodes (`None` = unlimited).
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// The latched interrupt, if allocation was stopped. While set,
+    /// operation results are meaningless and must be discarded.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.interrupt
+    }
+
+    /// Clears a latched interrupt so the manager can be reused (e.g.
+    /// with a fresh, larger budget). Safe because no cache entry is
+    /// written while interrupted.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
     }
 
     /// Number of live nodes (including the two terminals).
@@ -98,6 +150,23 @@ impl Bdd {
         }
         if let Some(&id) = self.unique.get(&(var, lo, hi)) {
             return id;
+        }
+        if self.interrupt.is_none() {
+            if let Some(cap) = self.node_limit {
+                if self.nodes.len() >= cap {
+                    self.interrupt = Some(Interrupt::NodeLimit(cap));
+                }
+            }
+        }
+        if self.interrupt.is_none() {
+            if let Err(reason) = self.guard.poll() {
+                self.interrupt = Some(Interrupt::Stopped(reason));
+            }
+        }
+        if self.interrupt.is_some() {
+            // Any structurally valid node will do: the caller is
+            // required to discard results while interrupted.
+            return lo;
         }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
@@ -133,6 +202,9 @@ impl Bdd {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
+        if self.interrupt.is_some() {
+            return NodeId::FALSE;
+        }
         let top = [f, g, h]
             .into_iter()
             .map(|n| self.node(n).var)
@@ -144,7 +216,9 @@ impl Bdd {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
-        self.ite_cache.insert((f, g, h), r);
+        if self.interrupt.is_none() {
+            self.ite_cache.insert((f, g, h), r);
+        }
         r
     }
 

@@ -67,6 +67,9 @@ impl Bdd {
             // Past the variable (or terminal): unchanged.
             return f;
         }
+        if self.interrupt().is_some() {
+            return f;
+        }
         if let Some(&r) = memo.get(&f) {
             return r;
         }
@@ -106,6 +109,9 @@ impl Bdd {
         let pos = vars.partition_point(|&v| v < n.var);
         let vars = &vars[pos..];
         if vars.is_empty() {
+            return f;
+        }
+        if self.interrupt().is_some() {
             return f;
         }
         if let Some(&r) = memo.get(&f) {
@@ -157,6 +163,11 @@ impl Bdd {
         let n = self.node(f);
         let lo = self.rename_rec(n.lo, map, memo);
         let hi = self.rename_rec(n.hi, map, memo);
+        if self.interrupt().is_some() {
+            // Children may be garbage; unwind without asserting or
+            // building on them.
+            return f;
+        }
         let nv = map(n.var);
         debug_assert!(
             self.node(lo).var > nv && self.node(hi).var > nv,

@@ -5,12 +5,16 @@
 //! the IP check grow polynomially.
 //!
 //! Usage: `cargo run --release -p bench-harness --bin scale
-//! [-- --max N] [-- --json PATH]`
+//! [-- --max N] [-- --json PATH] [-- --budget-ms MS]`
+//!
+//! With `--budget-ms` each point's unfolding + IP run gets a
+//! wall-clock allowance; aborted points are recorded, not fatal.
 
 use std::env;
 use std::fs;
+use std::time::Duration;
 
-use bench_harness::{run_scale, run_scale_counterflow};
+use bench_harness::{run_scale, run_scale_counterflow, scale_to_json, Budget};
 
 fn main() {
     let args: Vec<String> = env::args().collect();
@@ -24,38 +28,51 @@ fn main() {
         .find(|w| w[0] == "--json")
         .map(|w| w[1].clone());
     let counterflow = args.iter().any(|a| a == "--counterflow");
+    let budget = match args
+        .windows(2)
+        .find(|w| w[0] == "--budget-ms")
+        .map(|w| w[1].parse::<u64>())
+    {
+        Some(Ok(ms)) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+        Some(Err(_)) => {
+            eprintln!("--budget-ms expects a number of milliseconds");
+            std::process::exit(2);
+        }
+        None => Budget::unlimited(),
+    };
 
     let stages: Vec<usize> = (1..=max).collect();
     let points = if counterflow {
-        run_scale_counterflow(&stages, 2, 2_000_000)
+        run_scale_counterflow(&stages, 2, 2_000_000, &budget)
     } else {
-        run_scale(&stages, 2_000_000)
+        run_scale(&stages, 2_000_000, &budget)
     };
 
     println!(
-        "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12}",
+        "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12} | outcome",
         "n", "states", "|E|", "|B|", "explicit[ms]", "CLP[ms]"
     );
-    println!("{}", "-".repeat(62));
+    println!("{}", "-".repeat(72));
+    let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
     for p in &points {
         println!(
-            "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12.2}",
+            "{:>3} | {:>10} | {:>6} {:>6} | {:>12} {:>12.2} | {}",
             p.n,
             p.states
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| ">cap".to_owned()),
-            p.events,
-            p.conditions,
+            opt(p.events),
+            opt(p.conditions),
             p.explicit_ms
                 .map(|t| format!("{t:.2}"))
                 .unwrap_or_else(|| "skip".to_owned()),
             p.clp_ms,
+            p.clp_outcome,
         );
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&points).expect("points serialise");
-        fs::write(&path, json).expect("write json");
+        fs::write(&path, scale_to_json(&points)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -4,12 +4,17 @@
 //! integer-programming checker (`CLP`).
 //!
 //! Usage: `cargo run --release -p bench-harness --bin table1
-//! [-- --json PATH]`
+//! [-- --json PATH] [-- --budget-ms MS]`
+//!
+//! With `--budget-ms` each engine gets a per-model wall-clock
+//! allowance; aborted runs are recorded in the row (and the JSON)
+//! rather than crashing the harness.
 
 use std::env;
 use std::fs;
+use std::time::Duration;
 
-use bench_harness::{format_table, models, run_row};
+use bench_harness::{format_table, models, run_row, table_to_json, Budget};
 
 fn main() {
     let args: Vec<String> = env::args().collect();
@@ -17,33 +22,52 @@ fn main() {
         .windows(2)
         .find(|w| w[0] == "--json")
         .map(|w| w[1].clone());
+    let budget = match args
+        .windows(2)
+        .find(|w| w[0] == "--budget-ms")
+        .map(|w| w[1].parse::<u64>())
+    {
+        Some(Ok(ms)) => Budget::unlimited().with_deadline(Duration::from_millis(ms)),
+        Some(Err(_)) => {
+            eprintln!("--budget-ms expects a number of milliseconds");
+            std::process::exit(2);
+        }
+        None => Budget::unlimited(),
+    };
 
     eprintln!("regenerating Table 1 ({} models)...", models().len());
     let mut rows = Vec::new();
     for model in models() {
         eprintln!("  {}", model.name);
-        rows.push(run_row(&model));
+        rows.push(run_row(&model, &budget));
     }
     print!("{}", format_table(&rows));
     println!();
     println!(
         "shape check: conflict-present rows solved by CLP in ≤ {:.2} ms,",
         rows.iter()
-            .filter(|r| !r.csc)
+            .filter(|r| r.csc == Some(false))
             .map(|r| r.clp_ms)
             .fold(0.0f64, f64::max)
     );
     println!(
         "conflict-free rows need exhaustive search (max {:.2} ms).",
         rows.iter()
-            .filter(|r| r.csc)
+            .filter(|r| r.csc == Some(true))
             .map(|r| r.clp_ms)
             .fold(0.0f64, f64::max)
     );
+    let aborted = rows
+        .iter()
+        .filter(|r| r.csc.is_none())
+        .map(|r| r.name.as_str())
+        .collect::<Vec<_>>();
+    if !aborted.is_empty() {
+        println!("inconclusive under the budget: {}.", aborted.join(", "));
+    }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("rows serialise");
-        fs::write(&path, json).expect("write json");
+        fs::write(&path, table_to_json(&rows)).expect("write json");
         eprintln!("wrote {path}");
     }
     if rows.iter().any(|r| !r.verdicts_ok) {

@@ -21,15 +21,14 @@
 
 use std::time::Instant;
 
-use csc_core::{CheckOutcome, Checker};
-use serde::{Deserialize, Serialize};
+use csc_core::{CheckOutcome, Checker, CheckerOptions};
+pub use csc_core::Budget;
 use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg::gen::duplex::{dup_4ph, dup_mod};
 use stg::gen::pipeline::muller_pipeline;
 use stg::gen::ring::{eager_ring, lazy_ring};
 use stg::Stg;
-use symbolic::SymbolicChecker;
-use unfolding::{Prefix, UnfoldOptions};
+use symbolic::{SymbolicBudget, SymbolicChecker};
 
 /// A named benchmark instance.
 pub struct BenchModel {
@@ -126,8 +125,11 @@ pub fn models() -> Vec<BenchModel> {
     ]
 }
 
-/// One row of the regenerated Table 1.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// One row of the regenerated Table 1. Structural fields of an
+/// engine that exhausted its budget are `None`, with the abort
+/// recorded in the matching `*_outcome` string — an interrupted run
+/// still produces a (partial) row instead of crashing the harness.
+#[derive(Debug, Clone)]
 pub struct TableRow {
     /// Model name.
     pub name: String,
@@ -137,54 +139,128 @@ pub struct TableRow {
     pub t: usize,
     /// Signals of the STG.
     pub z: usize,
-    /// Conditions of the prefix.
-    pub b: usize,
-    /// Events of the prefix.
-    pub e: usize,
-    /// Cut-off events of the prefix.
-    pub e_cut: usize,
-    /// Reachable states (as counted by the symbolic engine).
-    pub states: f64,
-    /// Symbolic all-conflicts baseline time, milliseconds.
+    /// Conditions of the prefix (`None` if unfolding was aborted).
+    pub b: Option<usize>,
+    /// Events of the prefix (`None` if unfolding was aborted).
+    pub e: Option<usize>,
+    /// Cut-off events of the prefix (`None` if unfolding was
+    /// aborted).
+    pub e_cut: Option<usize>,
+    /// Reachable states as counted by the symbolic engine (`None` if
+    /// it was aborted).
+    pub states: Option<f64>,
+    /// Symbolic all-conflicts baseline time, milliseconds (time
+    /// spent even when aborted).
     pub pfy_ms: f64,
     /// Unfolding + IP (first conflict / absence proof) time,
-    /// milliseconds.
+    /// milliseconds (time spent even when aborted).
     pub clp_ms: f64,
-    /// Whether CSC holds.
-    pub csc: bool,
-    /// Whether the verdicts matched the expectation and each other.
+    /// `"completed"`, or `"aborted: <reason>"` for the symbolic run.
+    pub pfy_outcome: String,
+    /// `"completed"`, or `"aborted: <reason>"` for the unfolding+IP
+    /// run.
+    pub clp_outcome: String,
+    /// BDD nodes allocated by the symbolic engine (partial work on
+    /// abort).
+    pub bdd_nodes: usize,
+    /// Solver propagation steps of the IP engine (`None` when the
+    /// prefix itself was aborted).
+    pub solver_steps: Option<u64>,
+    /// The CSC verdict (`None` when both engines were inconclusive).
+    pub csc: Option<bool>,
+    /// Whether every *definite* verdict matched the expectation and
+    /// the other engine; inconclusive runs are not mismatches.
     pub verdicts_ok: bool,
 }
 
-/// Measures one model end to end.
-pub fn run_row(model: &BenchModel) -> TableRow {
+/// Per-engine checker options derived from a [`Budget`]'s discrete
+/// caps (the wall clock and cancellation travel via the guard).
+fn checker_options(budget: &Budget) -> CheckerOptions {
+    let mut options = CheckerOptions::default();
+    if let Some(cap) = budget.max_events {
+        options.unfold.max_events = cap;
+    }
+    if let Some(cap) = budget.max_solver_steps {
+        options.solver.max_steps = cap;
+    }
+    options
+}
+
+/// Measures one model end to end under `budget`. Each engine gets a
+/// fresh guard (the deadline is a per-engine allowance: the columns
+/// are compared against each other, so neither may inherit the
+/// other's leftovers).
+pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
     let stg = &model.stg;
-    let prefix = Prefix::of_stg(stg, UnfoldOptions::default()).expect("benchmark model unfolds");
 
     let t0 = Instant::now();
     let mut symbolic = SymbolicChecker::new(stg);
-    let report = symbolic.analyse();
+    let sym_budget = SymbolicBudget {
+        guard: budget.guard(),
+        max_nodes: budget.max_bdd_nodes,
+    };
+    let sym = symbolic.try_analyse(&sym_budget);
     let pfy_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (states, sym_csc, pfy_outcome) = match &sym {
+        Ok(report) => (
+            Some(report.num_states),
+            Some(report.satisfies_csc()),
+            "completed".to_owned(),
+        ),
+        Err(stop) => (None, None, format!("aborted: {stop}")),
+    };
 
     let t1 = Instant::now();
-    let checker = Checker::new(stg).expect("benchmark model checks");
-    let outcome = checker.check_csc().expect("search completes");
+    let (prefix_stats, clp_csc, solver_steps, clp_outcome) =
+        match Checker::with_options_guarded(stg, checker_options(budget), budget.guard()) {
+            Ok(checker) => {
+                let prefix = checker.prefix();
+                let stats = Some((
+                    prefix.num_conditions(),
+                    prefix.num_events(),
+                    prefix.num_cutoffs(),
+                ));
+                match checker.check_csc() {
+                    Ok(outcome) => (
+                        stats,
+                        Some(matches!(outcome, CheckOutcome::Satisfied)),
+                        Some(checker.solver_steps()),
+                        "completed".to_owned(),
+                    ),
+                    Err(e) => (
+                        stats,
+                        None,
+                        Some(checker.solver_steps()),
+                        format!("aborted: {e}"),
+                    ),
+                }
+            }
+            Err(e) => (None, None, None, format!("aborted: {e}")),
+        };
     let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    let csc = matches!(outcome, CheckOutcome::Satisfied);
+    let verdicts_ok = match (clp_csc, sym_csc) {
+        (Some(clp), Some(sym)) => clp == model.expect_csc && sym == clp,
+        (Some(v), None) | (None, Some(v)) => v == model.expect_csc,
+        (None, None) => true,
+    };
     TableRow {
         name: model.name.to_owned(),
         s: stg.net().num_places(),
         t: stg.net().num_transitions(),
         z: stg.num_signals(),
-        b: prefix.num_conditions(),
-        e: prefix.num_events(),
-        e_cut: prefix.num_cutoffs(),
-        states: report.num_states,
+        b: prefix_stats.map(|(b, _, _)| b),
+        e: prefix_stats.map(|(_, e, _)| e),
+        e_cut: prefix_stats.map(|(_, _, c)| c),
+        states,
         pfy_ms,
         clp_ms,
-        csc,
-        verdicts_ok: csc == model.expect_csc && report.satisfies_csc() == csc,
+        pfy_outcome,
+        clp_outcome,
+        bdd_nodes: symbolic.nodes_allocated(),
+        solver_steps,
+        csc: clp_csc.or(sym_csc),
+        verdicts_ok,
     }
 }
 
@@ -198,20 +274,25 @@ pub fn format_table(rows: &[TableRow]) -> String {
     ));
     out.push_str(&"-".repeat(100));
     out.push('\n');
+    let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8.0} | {:>9.2} {:>9.2} | {:>4} {:>3}\n",
+            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} | {:>4} {:>3}\n",
             r.name,
             r.s,
             r.t,
             r.z,
-            r.b,
-            r.e,
-            r.e_cut,
-            r.states,
+            opt(r.b),
+            opt(r.e),
+            opt(r.e_cut),
+            r.states.map_or_else(|| "-".to_owned(), |s| format!("{s:.0}")),
             r.pfy_ms,
             r.clp_ms,
-            if r.csc { "yes" } else { "no" },
+            match r.csc {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "?",
+            },
             if r.verdicts_ok { "ok" } else { "BAD" },
         ));
     }
@@ -219,97 +300,302 @@ pub fn format_table(rows: &[TableRow]) -> String {
 }
 
 /// One point of the scalability sweep (the "figure" series).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalePoint {
     /// Pipeline stages.
     pub n: usize,
     /// Reachable states (explicit; `None` if over the cap).
     pub states: Option<usize>,
-    /// Prefix events.
-    pub events: usize,
-    /// Prefix conditions.
-    pub conditions: usize,
+    /// Prefix events (`None` if unfolding was aborted).
+    pub events: Option<usize>,
+    /// Prefix conditions (`None` if unfolding was aborted).
+    pub conditions: Option<usize>,
     /// Explicit state-graph CSC check time, ms (`None` if skipped).
     pub explicit_ms: Option<f64>,
-    /// Unfolding + IP CSC check time, ms.
+    /// Unfolding + IP CSC check time, ms (time spent even when
+    /// aborted).
     pub clp_ms: f64,
+    /// `"completed"`, or `"aborted: <reason>"` for the unfolding+IP
+    /// run.
+    pub clp_outcome: String,
+}
+
+/// One budgeted sweep point: explicit exploration capped at
+/// `explicit_cap` states, unfolding + IP under `budget`. If
+/// `expect_satisfied` is set, a *completed* IP run must report CSC
+/// satisfied (an aborted one is recorded, not asserted on).
+fn scale_point(stg: &Stg, n: usize, explicit_cap: usize, budget: &Budget, expect_satisfied: bool) -> ScalePoint {
+    let limits = petri::ExploreLimits {
+        max_states: explicit_cap,
+        token_bound: 1,
+    };
+    let t0 = Instant::now();
+    let explicit = stg::StateGraph::build(stg, limits).ok();
+    let explicit_ms = explicit.as_ref().map(|sg| {
+        let _ = sg.csc_conflict_pairs(stg);
+        t0.elapsed().as_secs_f64() * 1e3
+    });
+    let t1 = Instant::now();
+    let (prefix_stats, clp_outcome) =
+        match Checker::with_options_guarded(stg, checker_options(budget), budget.guard()) {
+            Ok(checker) => {
+                let prefix = checker.prefix();
+                let stats = Some((prefix.num_events(), prefix.num_conditions()));
+                match checker.check_csc() {
+                    Ok(outcome) => {
+                        assert!(
+                            !expect_satisfied || matches!(outcome, CheckOutcome::Satisfied),
+                            "counterflow is conflict-free by construction"
+                        );
+                        (stats, "completed".to_owned())
+                    }
+                    Err(e) => (stats, format!("aborted: {e}")),
+                }
+            }
+            Err(e) => (None, format!("aborted: {e}")),
+        };
+    let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
+    ScalePoint {
+        n,
+        states: explicit.as_ref().map(stg::StateGraph::num_states),
+        events: prefix_stats.map(|(e, _)| e),
+        conditions: prefix_stats.map(|(_, b)| b),
+        explicit_ms,
+        clp_ms,
+        clp_outcome,
+    }
 }
 
 /// Runs the pipeline scalability sweep for `stages`, capping explicit
-/// exploration at `explicit_cap` states.
-pub fn run_scale(stages: &[usize], explicit_cap: usize) -> Vec<ScalePoint> {
+/// exploration at `explicit_cap` states and the unfolding + IP
+/// engine at `budget`.
+pub fn run_scale(stages: &[usize], explicit_cap: usize, budget: &Budget) -> Vec<ScalePoint> {
     stages
         .iter()
-        .map(|&n| {
-            let stg = muller_pipeline(n);
-            let prefix =
-                Prefix::of_stg(&stg, UnfoldOptions::default()).expect("pipeline unfolds");
-            let limits = petri::ExploreLimits {
-                max_states: explicit_cap,
-                token_bound: 1,
-            };
-            let t0 = Instant::now();
-            let explicit = stg::StateGraph::build(&stg, limits).ok();
-            let explicit_ms = explicit
-                .as_ref()
-                .map(|sg| {
-                    let _ = sg.csc_conflict_pairs(&stg);
-                    t0.elapsed().as_secs_f64() * 1e3
-                });
-            let t1 = Instant::now();
-            let checker = Checker::new(&stg).expect("pipeline checks");
-            let _ = checker.check_csc().expect("search completes");
-            let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
-            ScalePoint {
-                n,
-                states: explicit.as_ref().map(|sg| sg.num_states()),
-                events: prefix.num_events(),
-                conditions: prefix.num_conditions(),
-                explicit_ms,
-                clp_ms,
-            }
-        })
+        .map(|&n| scale_point(&muller_pipeline(n), n, explicit_cap, budget, false))
         .collect()
 }
 
 /// Runs the conflict-free absence-proof sweep: counterflow
 /// controllers of growing `width` at fixed `depth` — the hard half of
 /// the workload, where the IP engine must exhaust its search space.
-pub fn run_scale_counterflow(widths: &[usize], depth: usize, explicit_cap: usize) -> Vec<ScalePoint> {
+pub fn run_scale_counterflow(
+    widths: &[usize],
+    depth: usize,
+    explicit_cap: usize,
+    budget: &Budget,
+) -> Vec<ScalePoint> {
     widths
         .iter()
-        .map(|&w| {
-            let stg = counterflow_sym(w, depth);
-            let prefix =
-                Prefix::of_stg(&stg, UnfoldOptions::default()).expect("counterflow unfolds");
-            let limits = petri::ExploreLimits {
-                max_states: explicit_cap,
-                token_bound: 1,
-            };
-            let t0 = Instant::now();
-            let explicit = stg::StateGraph::build(&stg, limits).ok();
-            let explicit_ms = explicit.as_ref().map(|sg| {
-                let _ = sg.csc_conflict_pairs(&stg);
-                t0.elapsed().as_secs_f64() * 1e3
-            });
-            let t1 = Instant::now();
-            let checker = Checker::new(&stg).expect("counterflow checks");
-            let outcome = checker.check_csc().expect("search completes");
-            assert!(
-                matches!(outcome, CheckOutcome::Satisfied),
-                "counterflow is conflict-free by construction"
-            );
-            let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
-            ScalePoint {
-                n: w,
-                states: explicit.as_ref().map(|sg| sg.num_states()),
-                events: prefix.num_events(),
-                conditions: prefix.num_conditions(),
-                explicit_ms,
-                clp_ms,
-            }
-        })
+        .map(|&w| scale_point(&counterflow_sym(w, depth), w, explicit_cap, budget, true))
         .collect()
+}
+
+pub mod json {
+    //! Hand-rolled JSON emission for the harness artefacts
+    //! (`table1.json`, `scale.json`). The build environment has no
+    //! registry access, so the harness serialises its two flat row
+    //! types directly instead of depending on serde.
+
+    use std::fmt::Write;
+
+    /// Escapes `s` as the contents of a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// A single JSON object rendered as `"key": value` members.
+    #[derive(Debug, Default)]
+    pub struct Object {
+        members: Vec<String>,
+    }
+
+    impl Object {
+        /// An empty object.
+        pub fn new() -> Self {
+            Object::default()
+        }
+
+        /// Adds a string member.
+        pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+            self.members.push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+            self
+        }
+
+        /// Adds a numeric member (any Display-able number).
+        pub fn number(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+            self.members.push(format!("\"{}\": {}", escape(key), value));
+            self
+        }
+
+        /// Adds a float member, mapping non-finite values to `null`.
+        pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+            if value.is_finite() {
+                self.members.push(format!("\"{}\": {}", escape(key), value));
+            } else {
+                self.members.push(format!("\"{}\": null", escape(key)));
+            }
+            self
+        }
+
+        /// Adds a boolean member.
+        pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+            self.members.push(format!("\"{}\": {}", escape(key), value));
+            self
+        }
+
+        /// Adds an explicit `null` member.
+        pub fn null(&mut self, key: &str) -> &mut Self {
+            self.members.push(format!("\"{}\": null", escape(key)));
+            self
+        }
+
+        /// Adds an optional numeric member (`null` when `None`).
+        pub fn opt_number(&mut self, key: &str, value: Option<impl std::fmt::Display>) -> &mut Self {
+            match value {
+                Some(v) => self.number(key, v),
+                None => self.null(key),
+            }
+        }
+
+        /// Adds an optional float member (`null` when `None` or
+        /// non-finite).
+        pub fn opt_float(&mut self, key: &str, value: Option<f64>) -> &mut Self {
+            match value {
+                Some(v) => self.float(key, v),
+                None => self.null(key),
+            }
+        }
+
+        /// Adds an optional boolean member (`null` when `None`).
+        pub fn opt_boolean(&mut self, key: &str, value: Option<bool>) -> &mut Self {
+            match value {
+                Some(v) => self.boolean(key, v),
+                None => self.null(key),
+            }
+        }
+
+        /// Renders the object with the given indent level (two
+        /// spaces per level), pretty-printed like `serde_json`.
+        pub fn render(&self, indent: usize) -> String {
+            if self.members.is_empty() {
+                return "{}".to_owned();
+            }
+            let pad = "  ".repeat(indent + 1);
+            let close = "  ".repeat(indent);
+            let body = self
+                .members
+                .iter()
+                .map(|m| format!("{pad}{m}"))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!("{{\n{body}\n{close}}}")
+        }
+    }
+
+    /// Renders a top-level JSON array of objects.
+    pub fn array(objects: &[Object]) -> String {
+        if objects.is_empty() {
+            return "[]".to_owned();
+        }
+        let body = objects
+            .iter()
+            .map(|o| format!("  {}", o.render(1)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("[\n{body}\n]")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn escapes_specials() {
+            assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+            assert_eq!(escape("\u{1}"), "\\u0001");
+        }
+
+        #[test]
+        fn renders_members_and_nulls() {
+            let mut o = Object::new();
+            o.string("name", "x").number("n", 3).boolean("ok", true);
+            o.opt_float("t", None);
+            let text = array(std::slice::from_ref(&o));
+            assert!(text.contains("\"name\": \"x\""));
+            assert!(text.contains("\"n\": 3"));
+            assert!(text.contains("\"ok\": true"));
+            assert!(text.contains("\"t\": null"));
+            assert!(text.starts_with("[\n") && text.ends_with("\n]"));
+        }
+
+        #[test]
+        fn empty_collections_render() {
+            assert_eq!(array(&[]), "[]");
+            assert_eq!(Object::new().render(0), "{}");
+        }
+    }
+}
+
+/// Serialises Table 1 rows as a pretty-printed JSON array.
+pub fn table_to_json(rows: &[TableRow]) -> String {
+    let objects: Vec<json::Object> = rows
+        .iter()
+        .map(|r| {
+            let mut o = json::Object::new();
+            o.string("name", &r.name)
+                .number("s", r.s)
+                .number("t", r.t)
+                .number("z", r.z)
+                .opt_number("b", r.b)
+                .opt_number("e", r.e)
+                .opt_number("e_cut", r.e_cut)
+                .opt_float("states", r.states)
+                .float("pfy_ms", r.pfy_ms)
+                .float("clp_ms", r.clp_ms)
+                .string("pfy_outcome", &r.pfy_outcome)
+                .string("clp_outcome", &r.clp_outcome)
+                .number("bdd_nodes", r.bdd_nodes)
+                .opt_number("solver_steps", r.solver_steps)
+                .opt_boolean("csc", r.csc)
+                .boolean("verdicts_ok", r.verdicts_ok);
+            o
+        })
+        .collect();
+    json::array(&objects)
+}
+
+/// Serialises scale-sweep points as a pretty-printed JSON array.
+pub fn scale_to_json(points: &[ScalePoint]) -> String {
+    let objects: Vec<json::Object> = points
+        .iter()
+        .map(|p| {
+            let mut o = json::Object::new();
+            o.number("n", p.n);
+            o.opt_number("states", p.states);
+            o.opt_number("events", p.events)
+                .opt_number("conditions", p.conditions);
+            o.opt_float("explicit_ms", p.explicit_ms);
+            o.float("clp_ms", p.clp_ms);
+            o.string("clp_outcome", &p.clp_outcome);
+            o
+        })
+        .collect();
+    json::array(&objects)
 }
 
 #[cfg(test)]
@@ -331,17 +617,34 @@ mod tests {
             .into_iter()
             .filter(|m| m.name == "DUP-4PH-A" || m.name == "CF-SYM-D-CSC")
         {
-            let row = run_row(&model);
+            let row = run_row(&model, &Budget::unlimited());
             assert!(row.verdicts_ok, "{}", row.name);
-            assert!(row.e > 0 && row.b > 0);
-            assert_eq!(row.csc, model.expect_csc);
+            assert!(row.e.unwrap() > 0 && row.b.unwrap() > 0);
+            assert_eq!(row.csc, Some(model.expect_csc));
+            assert_eq!(row.pfy_outcome, "completed");
+            assert_eq!(row.clp_outcome, "completed");
         }
+    }
+
+    #[test]
+    fn exhausted_rows_record_the_abort_instead_of_crashing() {
+        let model = &models()[0]; // LAZYRING
+        let budget = Budget::unlimited().with_max_events(3).with_max_bdd_nodes(16);
+        let row = run_row(model, &budget);
+        assert!(row.pfy_outcome.starts_with("aborted:"), "{}", row.pfy_outcome);
+        assert!(row.clp_outcome.starts_with("aborted:"), "{}", row.clp_outcome);
+        assert_eq!(row.csc, None);
+        assert!(row.verdicts_ok, "inconclusive is not a mismatch");
+        assert!(row.bdd_nodes > 0, "partial symbolic work is reported");
+        let json = table_to_json(std::slice::from_ref(&row));
+        assert!(json.contains("\"clp_outcome\": \"aborted:"));
+        assert!(json.contains("\"e\": null"));
     }
 
     #[test]
     fn table_formatting_contains_all_rows() {
         let model = &models()[2];
-        let row = run_row(model);
+        let row = run_row(model, &Budget::unlimited());
         let text = format_table(std::slice::from_ref(&row));
         assert!(text.contains("DUP-4PH-A"));
         assert!(text.contains("Pfy[ms]"));
@@ -349,8 +652,9 @@ mod tests {
 
     #[test]
     fn scale_sweep_produces_monotone_prefixes() {
-        let points = run_scale(&[1, 2, 3], 100_000);
+        let points = run_scale(&[1, 2, 3], 100_000, &Budget::unlimited());
         assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.clp_outcome == "completed"));
         assert!(points.windows(2).all(|w| w[0].events <= w[1].events));
     }
 }

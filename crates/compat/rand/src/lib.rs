@@ -1,0 +1,188 @@
+//! Offline stand-in for the subset of `rand 0.9` this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors a tiny, deterministic implementation of the
+//! surface it actually consumes: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`] over integer
+//! ranges, and [`seq::IndexedRandom::choose`] on slices. The
+//! generator is a SplitMix64 stream — not cryptographic, but uniform
+//! enough for randomised tests and model generation, and fully
+//! reproducible from the seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Integer types that [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Converts back from the wide intermediate representation.
+    fn from_i128(v: i128) -> Self;
+    /// Widens to a common intermediate representation.
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range shapes accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// The inclusive `(low, high)` bounds; panics on an empty range.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample from an empty range");
+        (T::from_i128(lo), T::from_i128(hi - 1))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo.to_i128() <= hi.to_i128(), "cannot sample from an empty range");
+        (lo, hi)
+    }
+}
+
+/// The subset of the `rand` RNG interface the workspace uses.
+pub trait Rng {
+    /// The next 64 raw bits from the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (modulo-reduced; the bias is
+    /// negligible for the small ranges used in tests/generators).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi) = range.bounds_inclusive();
+        let (lo, hi) = (lo.to_i128(), hi.to_i128());
+        let span = (hi - lo + 1) as u128;
+        let offset = (self.next_u64() as u128 % span) as i128;
+        T::from_i128(lo + offset)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic SplitMix64 generator standing in for the real
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng {
+                state: state.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers (`slice.choose(&mut rng)`).
+pub mod seq {
+    use crate::Rng;
+
+    /// Random selection from indexable collections.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Output;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.random_range(-4i32..=4);
+            assert!((-4..=4).contains(&w));
+            let b: u8 = rng.random_range(0..100u8);
+            assert!(b < 100);
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_picks_existing_elements() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,7 +1,9 @@
 //! The unfolding + integer-programming checker.
 
+use std::cell::Cell;
+
 use ilp::{CmpOp, Problem, Solver, SolverOptions};
-use petri::BitSet;
+use petri::{BitSet, StopGuard};
 use stg::{Signal, Stg};
 use unfolding::{EventRelations, Prefix, UnfoldOptions};
 
@@ -100,6 +102,11 @@ pub struct Checker<'a> {
     options: CheckerOptions,
     prefix: Prefix,
     relations: EventRelations,
+    /// Stop guard installed into every solver this checker spawns.
+    guard: StopGuard,
+    /// Cumulative solver propagations across all queries, for
+    /// resource reporting.
+    solver_steps: Cell<u64>,
 }
 
 impl<'a> Checker<'a> {
@@ -119,14 +126,40 @@ impl<'a> Checker<'a> {
     ///
     /// Same conditions as [`Checker::new`].
     pub fn with_options(stg: &'a Stg, options: CheckerOptions) -> Result<Self, CheckError> {
-        let prefix = Prefix::of_stg(stg, options.unfold)?;
+        Self::with_options_guarded(stg, options, StopGuard::unlimited())
+    }
+
+    /// Builds a checker whose prefix construction and every
+    /// subsequent solver run poll `guard`, so a cancellation flag or
+    /// wall-clock deadline interrupts the work cooperatively.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Checker::new`], plus
+    /// [`unfolding::UnfoldError::Interrupted`] (wrapped in
+    /// [`CheckError::Unfold`]) when the guard fires during prefix
+    /// construction.
+    pub fn with_options_guarded(
+        stg: &'a Stg,
+        options: CheckerOptions,
+        guard: StopGuard,
+    ) -> Result<Self, CheckError> {
+        let prefix = Prefix::of_stg_guarded(stg, options.unfold, &guard)?;
         let relations = EventRelations::of(&prefix);
         Ok(Checker {
             stg,
             options,
             prefix,
             relations,
+            guard,
+            solver_steps: Cell::new(0),
         })
+    }
+
+    /// Cumulative solver propagation steps across all queries issued
+    /// through this checker (including aborted ones).
+    pub fn solver_steps(&self) -> u64 {
+        self.solver_steps.get()
     }
 
     /// The STG under analysis.
@@ -191,7 +224,11 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn make_witness(&self, kind: ConflictKind, sides: &[BitSet]) -> Box<ConflictWitness> {
+    fn make_witness(
+        &self,
+        kind: ConflictKind,
+        sides: &[BitSet],
+    ) -> Result<Box<ConflictWitness>, CheckError> {
         let prefix = &self.prefix;
         let config1 = sides[0].clone();
         let config2 = sides[1].clone();
@@ -201,10 +238,10 @@ impl<'a> Checker<'a> {
             .stg
             .initial_code()
             .apply(&prefix.change_vector(self.stg, &config1))
-            .expect("consistent STG: configuration codes are binary");
+            .ok_or(CheckError::InconsistentCodes)?;
         let out1 = self.stg.enabled_local_signals(&marking1);
         let out2 = self.stg.enabled_local_signals(&marking2);
-        Box::new(ConflictWitness {
+        Ok(Box::new(ConflictWitness {
             kind,
             sequence1: prefix.firing_sequence(&config1),
             sequence2: prefix.firing_sequence(&config2),
@@ -215,20 +252,20 @@ impl<'a> Checker<'a> {
             code,
             out1,
             out2,
-        })
+        }))
     }
 
-    fn run_pair_search(
+    pub(crate) fn run_pair_search(
         &self,
         problem: &Problem<'_>,
         mut accept: impl FnMut(&[BitSet]) -> bool,
     ) -> Result<Option<Vec<BitSet>>, CheckError> {
         let mut solver = Solver::new(problem, self.options.solver);
-        let solution = solver.solve(&mut accept);
-        if solver.stats().aborted {
-            return Err(CheckError::SearchAborted);
-        }
-        Ok(solution)
+        solver.set_guard(self.guard.clone());
+        let solution = solver.solve_checked(&mut accept);
+        self.solver_steps
+            .set(self.solver_steps.get() + solver.stats().propagations);
+        Ok(solution?)
     }
 
     /// Checks the Unique State Coding property (§3). On conflict the
@@ -237,15 +274,15 @@ impl<'a> Checker<'a> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn check_usc(&self) -> Result<CheckOutcome, CheckError> {
         let mut problem = self.base_problem(2);
         self.add_code_equality(&mut problem);
         self.add_separation(&mut problem);
         match self.run_pair_search(&problem, |_| true)? {
             Some(sides) => Ok(CheckOutcome::Conflict(
-                self.make_witness(ConflictKind::Usc, &sides),
+                self.make_witness(ConflictKind::Usc, &sides)?,
             )),
             None => Ok(CheckOutcome::Satisfied),
         }
@@ -259,8 +296,8 @@ impl<'a> Checker<'a> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn check_csc(&self) -> Result<CheckOutcome, CheckError> {
         let mut problem = self.base_problem(2);
         self.add_code_equality(&mut problem);
@@ -274,7 +311,7 @@ impl<'a> Checker<'a> {
         };
         match self.run_pair_search(&problem, accept)? {
             Some(sides) => Ok(CheckOutcome::Conflict(
-                self.make_witness(ConflictKind::Csc, &sides),
+                self.make_witness(ConflictKind::Csc, &sides)?,
             )),
             None => Ok(CheckOutcome::Satisfied),
         }
@@ -288,8 +325,8 @@ impl<'a> Checker<'a> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn enumerate_conflicts(
         &self,
         kind: ConflictKind,
@@ -306,6 +343,10 @@ impl<'a> Checker<'a> {
         let mut seen: std::collections::HashSet<(petri::Marking, petri::Marking)> =
             std::collections::HashSet::new();
         let mut witnesses = Vec::new();
+        // The accept closure must return a bool, so a witness-building
+        // failure (inconsistent codes) is latched here and re-raised
+        // after the search.
+        let mut inconsistent = false;
         let accept = |sides: &[BitSet]| {
             let m1 = prefix.marking_of(&sides[0]);
             let m2 = prefix.marking_of(&sides[1]);
@@ -322,11 +363,20 @@ impl<'a> Checker<'a> {
                 (m2, m1)
             };
             if seen.insert(key) {
-                witnesses.push(self.make_witness(kind, sides));
+                match self.make_witness(kind, sides) {
+                    Ok(w) => witnesses.push(w),
+                    Err(_) => {
+                        inconsistent = true;
+                        return true; // stop the search
+                    }
+                }
             }
             witnesses.len() >= limit // accept (stop) only at the cap
         };
         self.run_pair_search(&problem, accept)?;
+        if inconsistent {
+            return Err(CheckError::InconsistentCodes);
+        }
         Ok(witnesses.into_iter().map(|b| *b).collect())
     }
 
@@ -346,33 +396,42 @@ impl<'a> Checker<'a> {
         }
         let prefix = &self.prefix;
         let stg = self.stg;
+        // `None` from the code application means the STG is
+        // inconsistent; the accept closure latches that as an error.
         let evaluate = |sides: &[BitSet]| {
             let m1 = prefix.marking_of(&sides[0]);
             let m2 = prefix.marking_of(&sides[1]);
             let c1 = stg
                 .initial_code()
-                .apply(&prefix.change_vector(stg, &sides[0]))
-                .expect("binary codes");
+                .apply(&prefix.change_vector(stg, &sides[0]))?;
             let c2 = stg
                 .initial_code()
-                .apply(&prefix.change_vector(stg, &sides[1]))
-                .expect("binary codes");
+                .apply(&prefix.change_vector(stg, &sides[1]))?;
             let n1 = stg.next_state(&m1, &c1, z);
             let n2 = stg.next_state(&m2, &c2, z);
-            (m1, m2, c1, c2, n1, n2)
+            Some((m1, m2, c1, c2, n1, n2))
         };
+        let mut inconsistent = false;
         let accept = |sides: &[BitSet]| {
-            let (_, _, _, _, n1, n2) = evaluate(sides);
+            let Some((_, _, _, _, n1, n2)) = evaluate(sides) else {
+                inconsistent = true;
+                return true; // stop the search
+            };
             if positive {
                 n1 && !n2 // Nxt(M') > Nxt(M'') refutes p-normalcy
             } else {
                 !n1 && n2 // Nxt(M') < Nxt(M'') refutes n-normalcy
             }
         };
-        match self.run_pair_search(&problem, accept)? {
+        let found = self.run_pair_search(&problem, accept)?;
+        if inconsistent {
+            return Err(CheckError::InconsistentCodes);
+        }
+        match found {
             None => Ok(None),
             Some(sides) => {
-                let (m1, m2, c1, c2, n1, n2) = evaluate(&sides);
+                let (m1, m2, c1, c2, n1, n2) =
+                    evaluate(&sides).ok_or(CheckError::InconsistentCodes)?;
                 Ok(Some(Box::new(NormalcyWitness {
                     signal: z,
                     sequence1: prefix.firing_sequence(&sides[0]),
@@ -392,8 +451,8 @@ impl<'a> Checker<'a> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn check_normalcy_of(&self, z: Signal) -> Result<NormalcyOutcome, CheckError> {
         let p_witness = self.find_normalcy_violation(z, true)?;
         let n_witness = self.find_normalcy_violation(z, false)?;
@@ -410,8 +469,8 @@ impl<'a> Checker<'a> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn check_normalcy(&self) -> Result<NormalcyReport, CheckError> {
         let outcomes = self
             .stg
@@ -609,6 +668,39 @@ mod tests {
         let mut options = CheckerOptions::default();
         options.solver.max_steps = 2;
         let checker = Checker::with_options(&stg, options).unwrap();
-        assert_eq!(checker.check_usc(), Err(CheckError::SearchAborted));
+        match checker.check_usc() {
+            Err(CheckError::Solve(e)) => {
+                assert_eq!(e.cause, ilp::AbortCause::StepLimit(2));
+                assert!(e.stats.aborted);
+            }
+            other => panic!("expected Solve error, got {other:?}"),
+        }
+        assert!(checker.solver_steps() > 0);
+    }
+
+    #[test]
+    fn cancelled_guard_stops_queries() {
+        use petri::StopReason;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let stg = lazy_ring(3);
+        let flag = Arc::new(AtomicBool::new(false));
+        let guard = StopGuard::new(Some(flag.clone()), None);
+        let checker =
+            Checker::with_options_guarded(&stg, CheckerOptions::default(), guard).unwrap();
+        // Un-cancelled: queries work.
+        assert!(checker.check_usc().is_ok());
+        // Cancelled: the next query aborts with the stop reason.
+        flag.store(true, Ordering::Relaxed);
+        match checker.check_usc() {
+            Err(CheckError::Solve(e)) => {
+                assert_eq!(
+                    e.cause,
+                    ilp::AbortCause::Stopped(StopReason::Cancelled)
+                );
+            }
+            other => panic!("expected Solve error, got {other:?}"),
+        }
     }
 }

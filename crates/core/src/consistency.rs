@@ -13,7 +13,7 @@
 //!    stable beyond the prefix (this is what makes checks 1–2 on the
 //!    truncated prefix conclusive for the full unfolding).
 
-use ilp::{CmpOp, LinExpr, Solver};
+use ilp::{CmpOp, LinExpr};
 use petri::{Marking, TransitionId};
 use stg::Signal;
 use unfolding::{CutoffMate, EventId};
@@ -74,7 +74,8 @@ impl Checker<'_> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if a solver step budget ran out.
+    /// [`CheckError::Solve`] if a solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn check_consistency(&self) -> Result<ConsistencyOutcome, CheckError> {
         // 3. Cut-off coherence (cheap, structural).
         let prefix = self.prefix();
@@ -107,11 +108,7 @@ impl Checker<'_> {
                     p.add_linear(expr, op);
                     p
                 };
-                let mut solver = Solver::new(&problem, self.options().solver);
-                let found = solver.solve(|_| true);
-                if solver.stats().aborted {
-                    return Err(CheckError::SearchAborted);
-                }
+                let found = self.run_pair_search(&problem, |_| true)?;
                 if let Some(sides) = found {
                     return Ok(ConsistencyOutcome::Violation(
                         ConsistencyViolation::NonBinary {
@@ -145,11 +142,7 @@ impl Checker<'_> {
             .map(|z| change_expr(&problem, prefix, stg, z, 1))
             .collect();
         problem.add_not_equal(code_digits_l, code_digits_r);
-        let mut solver = Solver::new(&problem, self.options().solver);
-        let found = solver.solve(|_| true);
-        if solver.stats().aborted {
-            return Err(CheckError::SearchAborted);
-        }
+        let found = self.run_pair_search(&problem, |_| true)?;
         if let Some(sides) = found {
             return Ok(ConsistencyOutcome::Violation(
                 ConsistencyViolation::NonDeterministic {

@@ -1,16 +1,31 @@
-//! Uniform front-end over the three verification engines.
+//! Uniform, budgeted front-end over the verification engines.
 //!
 //! Used by the cross-validation tests and the benchmark harness: the
 //! same property can be decided by the paper's unfolding + integer
 //! programming method, by explicit state-graph enumeration (the
-//! ground-truth oracle), or by the BDD-based symbolic baseline (the
-//! Petrify-style comparator of Table 1).
+//! ground-truth oracle), by the BDD-based symbolic baseline (the
+//! Petrify-style comparator of Table 1), or by a [`Engine::Portfolio`]
+//! that degrades gracefully from the first to the second.
+//!
+//! Every call runs under a [`Budget`] and returns a three-valued
+//! [`Verdict`] plus a [`ResourceReport`]: an exhausted engine answers
+//! [`Verdict::Unknown`] with the [`ExhaustionReason`] — never a wrong
+//! `Holds`/`Violated`. Engine panics are contained at this boundary
+//! and surface as [`CheckError::EngineFailure`].
 
-use stg::{StateGraph, Stg};
-use symbolic::SymbolicChecker;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
-use crate::checker::Checker;
+use ilp::AbortCause;
+use petri::{ExploreLimits, ReachError, StopGuard};
+use stg::{SgError, StateGraph, Stg};
+use symbolic::{SymbolicBudget, SymbolicChecker, SymbolicStop};
+use unfolding::UnfoldError;
+
+use crate::checker::{CheckOutcome, Checker, CheckerOptions};
 use crate::error::CheckError;
+use crate::limits::{Budget, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness};
 
 /// Which engine decides the property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +37,23 @@ pub enum Engine {
     ExplicitStateGraph,
     /// Symbolic BDD traversal computing all conflicts.
     SymbolicBdd,
+    /// Unfolding + ILP under budget, falling back to the explicit
+    /// oracle when the prefix built so far suggests a small state
+    /// space; otherwise `Unknown` with partial statistics.
+    Portfolio,
+}
+
+impl Engine {
+    /// The name used in [`ResourceReport::engine`] and error
+    /// messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::UnfoldingIlp => "unfolding-ilp",
+            Engine::ExplicitStateGraph => "explicit",
+            Engine::SymbolicBdd => "symbolic",
+            Engine::Portfolio => "portfolio",
+        }
+    }
 }
 
 /// The property to decide.
@@ -35,17 +67,34 @@ pub enum Property {
     Normalcy,
 }
 
-/// Decides `property` for `stg` with `engine`; `true` means the
-/// property is satisfied.
+/// Prefixes at most this many events still count as "small" for the
+/// portfolio's explicit fallback.
+const PORTFOLIO_SMALL_PREFIX: usize = 4096;
+
+/// State cap for the portfolio's explicit fallback when the budget
+/// does not set one — keeps an event-capped run from degrading into
+/// an unbounded enumeration.
+const PORTFOLIO_FALLBACK_STATES: usize = 1 << 18;
+
+/// Decides `property` for `stg` with `engine` under `budget`.
+///
+/// The budget's deadline is anchored once, here, so a portfolio's
+/// phases share a single wall clock. The returned [`CheckRun`] pairs
+/// the three-valued [`Verdict`] with a [`ResourceReport`] of what the
+/// engine consumed — including partial work when the verdict is
+/// [`Verdict::Unknown`].
 ///
 /// # Errors
 ///
-/// Propagates engine failures ([`CheckError`]).
+/// Engine failures that are *not* budget exhaustion propagate as
+/// [`CheckError`]; a panicking engine is contained and reported as
+/// [`CheckError::EngineFailure`]. Exhaustion itself is not an error:
+/// it is the [`Verdict::Unknown`] verdict.
 ///
 /// # Examples
 ///
 /// ```
-/// use csc_core::{check_property, Engine, Property};
+/// use csc_core::{check_property, Budget, Engine, Property, Verdict};
 /// use stg::gen::vme::vme_read;
 ///
 /// # fn main() -> Result<(), csc_core::CheckError> {
@@ -54,37 +103,273 @@ pub enum Property {
 ///     Engine::UnfoldingIlp,
 ///     Engine::ExplicitStateGraph,
 ///     Engine::SymbolicBdd,
+///     Engine::Portfolio,
 /// ] {
-///     assert!(!check_property(&stg, Property::Csc, engine)?);
+///     let run = check_property(&stg, Property::Csc, engine, &Budget::unlimited())?;
+///     assert_eq!(run.verdict.holds(), Some(false)); // vme_read has a CSC conflict
 /// }
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_property(stg: &Stg, property: Property, engine: Engine) -> Result<bool, CheckError> {
-    match engine {
-        Engine::UnfoldingIlp => {
-            let checker = Checker::new(stg)?;
-            match property {
-                Property::Usc => Ok(checker.check_usc()?.is_satisfied()),
-                Property::Csc => Ok(checker.check_csc()?.is_satisfied()),
-                Property::Normalcy => Ok(checker.check_normalcy()?.is_normal()),
+pub fn check_property(
+    stg: &Stg,
+    property: Property,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<CheckRun, CheckError> {
+    let guard = budget.guard();
+    let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
+        Engine::UnfoldingIlp => run_unfolding(stg, property, budget, &guard),
+        Engine::ExplicitStateGraph => run_explicit(stg, property, budget, &guard),
+        Engine::SymbolicBdd => run_symbolic(stg, property, budget, &guard),
+        Engine::Portfolio => run_portfolio(stg, property, budget, &guard),
+    }));
+    match outcome {
+        Ok(Ok((verdict, report))) => Ok(CheckRun { verdict, report }),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err(CheckError::EngineFailure {
+            engine: engine.name(),
+            message: panic_message(&payload),
+        }),
+    }
+}
+
+/// Decides `property` with an unlimited [`Budget`], collapsing the
+/// verdict to the classic boolean: `true` means the property holds.
+///
+/// # Errors
+///
+/// Same as [`check_property`], plus [`CheckError::Exhausted`] in the
+/// rare case an engine-intrinsic cap (the default unfolding event
+/// limit) still makes the run inconclusive.
+pub fn check_property_bool(
+    stg: &Stg,
+    property: Property,
+    engine: Engine,
+) -> Result<bool, CheckError> {
+    let run = check_property(stg, property, engine, &Budget::unlimited())?;
+    match run.verdict {
+        Verdict::Holds => Ok(true),
+        Verdict::Violated(_) => Ok(false),
+        Verdict::Unknown(reason) => Err(CheckError::Exhausted(reason)),
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+type EngineOutcome = Result<(Verdict, ResourceReport), CheckError>;
+
+fn run_unfolding(
+    stg: &Stg,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
+    let start = Instant::now();
+    let mut report = ResourceReport::empty("unfolding-ilp");
+    let mut options = CheckerOptions::default();
+    if let Some(n) = budget.max_events {
+        options.unfold.max_events = n;
+    }
+    if let Some(n) = budget.max_solver_steps {
+        options.solver.max_steps = n;
+    }
+    let checker = match Checker::with_options_guarded(stg, options, guard.clone()) {
+        Ok(c) => c,
+        Err(CheckError::Unfold(UnfoldError::TooManyEvents(n))) => {
+            report.elapsed = start.elapsed();
+            report.prefix_events = Some(n);
+            return Ok((Verdict::Unknown(ExhaustionReason::EventLimit(n)), report));
+        }
+        Err(CheckError::Unfold(UnfoldError::Interrupted { reason, events })) => {
+            report.elapsed = start.elapsed();
+            report.prefix_events = Some(events);
+            return Ok((Verdict::Unknown(reason.into()), report));
+        }
+        Err(e) => return Err(e),
+    };
+    report.prefix_events = Some(checker.prefix().num_events());
+    report.prefix_conditions = Some(checker.prefix().num_conditions());
+    let result = match property {
+        Property::Usc => checker.check_usc().map(outcome_to_verdict),
+        Property::Csc => checker.check_csc().map(outcome_to_verdict),
+        Property::Normalcy => checker.check_normalcy().map(|r| {
+            if r.is_normal() {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(Witness::Normalcy(Box::new(r)))
+            }
+        }),
+    };
+    report.solver_steps = Some(checker.solver_steps());
+    report.elapsed = start.elapsed();
+    match result {
+        Ok(verdict) => Ok((verdict, report)),
+        Err(CheckError::Solve(e)) => {
+            let reason = match e.cause {
+                AbortCause::StepLimit(n) => ExhaustionReason::SolverStepLimit(n),
+                AbortCause::Stopped(r) => r.into(),
+            };
+            Ok((Verdict::Unknown(reason), report))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn outcome_to_verdict(outcome: CheckOutcome) -> Verdict {
+    match outcome {
+        CheckOutcome::Satisfied => Verdict::Holds,
+        CheckOutcome::Conflict(w) => Verdict::Violated(Witness::Conflict(w)),
+    }
+}
+
+fn run_explicit(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+    let start = Instant::now();
+    let mut report = ResourceReport::empty("explicit");
+    let mut limits = ExploreLimits::default();
+    if let Some(n) = budget.max_states {
+        limits.max_states = n;
+    }
+    let sg = match StateGraph::build_guarded(stg, limits, guard) {
+        Ok(sg) => sg,
+        Err(SgError::Reach(ReachError::Stopped { reason, states })) => {
+            report.elapsed = start.elapsed();
+            report.states = Some(states);
+            return Ok((Verdict::Unknown(reason.into()), report));
+        }
+        Err(SgError::Reach(ReachError::StateLimitExceeded(n))) => {
+            report.elapsed = start.elapsed();
+            report.states = Some(n);
+            return Ok((Verdict::Unknown(ExhaustionReason::StateLimit(n)), report));
+        }
+        Err(e) => return Err(CheckError::StateGraph(e.to_string())),
+    };
+    report.states = Some(sg.num_states());
+    let conflict_witness = |pair: Option<(petri::StateId, petri::StateId)>| {
+        pair.map_or(Witness::Unwitnessed, |(a, b)| {
+            Witness::States(Box::new((sg.marking(a).clone(), sg.marking(b).clone())))
+        })
+    };
+    let verdict = match property {
+        Property::Usc => {
+            if sg.satisfies_usc() {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(conflict_witness(sg.first_usc_conflict()))
             }
         }
-        Engine::ExplicitStateGraph => {
-            let sg = StateGraph::build(stg, Default::default())
-                .map_err(|e| CheckError::StateGraph(e.to_string()))?;
-            Ok(match property {
-                Property::Usc => sg.satisfies_usc(),
-                Property::Csc => sg.satisfies_csc(stg),
-                Property::Normalcy => sg.is_normal(stg),
-            })
+        Property::Csc => {
+            if sg.satisfies_csc(stg) {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(conflict_witness(sg.first_csc_conflict(stg)))
+            }
         }
-        Engine::SymbolicBdd => match property {
-            Property::Usc => Ok(SymbolicChecker::new(stg).analyse().satisfies_usc()),
-            Property::Csc => Ok(SymbolicChecker::new(stg).analyse().satisfies_csc()),
-            Property::Normalcy => Ok(SymbolicChecker::new(stg).is_normal()),
-        },
+        Property::Normalcy => {
+            if sg.is_normal(stg) {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(Witness::Unwitnessed)
+            }
+        }
+    };
+    report.elapsed = start.elapsed();
+    Ok((verdict, report))
+}
+
+fn run_symbolic(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+    let start = Instant::now();
+    let mut report = ResourceReport::empty("symbolic");
+    let sym_budget = SymbolicBudget {
+        guard: guard.clone(),
+        max_nodes: budget.max_bdd_nodes,
+    };
+    let mut checker = SymbolicChecker::new(stg);
+    let result = match property {
+        Property::Usc => checker.try_analyse(&sym_budget).map(|r| {
+            if r.satisfies_usc() {
+                Some(Verdict::Holds)
+            } else {
+                None // decode a witness below, after the borrow ends
+            }
+        }),
+        Property::Csc => checker.try_analyse(&sym_budget).map(|r| {
+            Some(if r.satisfies_csc() {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(Witness::Unwitnessed)
+            })
+        }),
+        Property::Normalcy => checker.try_is_normal(&sym_budget).map(|normal| {
+            Some(if normal {
+                Verdict::Holds
+            } else {
+                Verdict::Violated(Witness::Unwitnessed)
+            })
+        }),
+    };
+    report.bdd_nodes = Some(checker.nodes_allocated());
+    let verdict = match result {
+        Ok(Some(v)) => v,
+        Ok(None) => {
+            // USC violated: decode one conflicting pair of states.
+            let witness = checker.usc_witness().map_or(Witness::Unwitnessed, |w| {
+                Witness::States(Box::new((w.marking1, w.marking2)))
+            });
+            Verdict::Violated(witness)
+        }
+        Err(SymbolicStop::Stopped(reason)) => Verdict::Unknown(reason.into()),
+        Err(SymbolicStop::NodeLimit(n)) => Verdict::Unknown(ExhaustionReason::BddNodeLimit(n)),
+    };
+    report.elapsed = start.elapsed();
+    Ok((verdict, report))
+}
+
+fn run_portfolio(
+    stg: &Stg,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
+    let start = Instant::now();
+    let (verdict, mut report) = run_unfolding(stg, property, budget, guard)?;
+    report.engine = "portfolio";
+    if !verdict.is_unknown() {
+        return Ok((verdict, report));
     }
+    // Graceful degradation: if the prefix stayed small (whether or
+    // not it was completed), the state space is plausibly small too —
+    // retry with the explicit oracle under the *same* guard, capping
+    // states so an event-capped run cannot degrade into an unbounded
+    // enumeration.
+    let prefix_small = report
+        .prefix_events
+        .is_some_and(|n| n <= PORTFOLIO_SMALL_PREFIX);
+    if prefix_small {
+        let fallback_budget = Budget {
+            max_states: Some(budget.max_states.unwrap_or(PORTFOLIO_FALLBACK_STATES)),
+            ..budget.clone()
+        };
+        let (fallback_verdict, fallback_report) =
+            run_explicit(stg, property, &fallback_budget, guard)?;
+        report.states = fallback_report.states;
+        report.elapsed = start.elapsed();
+        if !fallback_verdict.is_unknown() {
+            return Ok((fallback_verdict, report));
+        }
+    }
+    report.elapsed = start.elapsed();
+    // Keep the primary engine's exhaustion reason: it describes the
+    // budget dimension the caller should raise first.
+    Ok((verdict, report))
 }
 
 #[cfg(test)]
@@ -94,10 +379,11 @@ mod tests {
     use stg::gen::duplex::dup_4ph;
     use stg::gen::vme::{vme_read, vme_read_csc_resolved};
 
-    const ENGINES: [Engine; 3] = [
+    const ENGINES: [Engine; 4] = [
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
+        Engine::Portfolio,
     ];
 
     #[test]
@@ -112,7 +398,7 @@ mod tests {
             for property in [Property::Usc, Property::Csc] {
                 let verdicts: Vec<bool> = ENGINES
                     .iter()
-                    .map(|&e| check_property(&stg, property, e).unwrap())
+                    .map(|&e| check_property_bool(&stg, property, e).unwrap())
                     .collect();
                 assert!(
                     verdicts.windows(2).all(|w| w[0] == w[1]),
@@ -127,9 +413,94 @@ mod tests {
         for stg in [vme_read_csc_resolved(), counterflow_sym(2, 2)] {
             let verdicts: Vec<bool> = ENGINES
                 .iter()
-                .map(|&e| check_property(&stg, Property::Normalcy, e).unwrap())
+                .map(|&e| check_property_bool(&stg, Property::Normalcy, e).unwrap())
                 .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
         }
+    }
+
+    #[test]
+    fn reports_carry_engine_counters() {
+        let stg = vme_read();
+        let run = check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(run.report.engine, "unfolding-ilp");
+        assert!(run.report.prefix_events.is_some_and(|n| n > 0));
+        assert!(run.report.prefix_conditions.is_some_and(|n| n > 0));
+        assert!(run.report.solver_steps.is_some_and(|n| n > 0));
+        assert_eq!(run.report.states, None);
+
+        let run = check_property(
+            &stg,
+            Property::Csc,
+            Engine::ExplicitStateGraph,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(run.report.engine, "explicit");
+        assert!(run.report.states.is_some_and(|n| n > 0));
+        assert_eq!(run.report.prefix_events, None);
+
+        let run = check_property(&stg, Property::Csc, Engine::SymbolicBdd, &Budget::unlimited())
+            .unwrap();
+        assert_eq!(run.report.engine, "symbolic");
+        assert!(run.report.bdd_nodes.is_some_and(|n| n > 0));
+    }
+
+    #[test]
+    fn explicit_and_symbolic_usc_witnesses_are_conflicting_states() {
+        let stg = vme_read();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        let code_of = |m: &petri::Marking| {
+            sg.states()
+                .find(|&s| sg.marking(s) == m)
+                .map(|s| sg.code(s).clone())
+                .expect("witness marking is reachable")
+        };
+        for engine in [Engine::ExplicitStateGraph, Engine::SymbolicBdd] {
+            let run =
+                check_property(&stg, Property::Usc, engine, &Budget::unlimited()).unwrap();
+            match run.verdict {
+                Verdict::Violated(Witness::States(pair)) => {
+                    assert_ne!(pair.0, pair.1, "{engine:?}");
+                    assert_eq!(
+                        code_of(&pair.0),
+                        code_of(&pair.1),
+                        "{engine:?}: USC conflict states must share a code"
+                    );
+                }
+                other => panic!("{engine:?}: expected a state-pair witness, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_degrades_to_explicit_on_solver_exhaustion() {
+        // A solver budget of 1 propagation makes the ILP engine give
+        // up instantly; the prefix is tiny, so the portfolio falls
+        // back to the oracle and still returns a definite verdict.
+        let stg = vme_read();
+        let budget = Budget::unlimited().with_max_solver_steps(1);
+        let ilp = check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &budget).unwrap();
+        assert_eq!(
+            ilp.verdict,
+            Verdict::Unknown(ExhaustionReason::SolverStepLimit(1))
+        );
+        let run = check_property(&stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        assert_eq!(run.verdict.holds(), Some(false));
+        assert_eq!(run.report.engine, "portfolio");
+        assert!(run.report.prefix_events.is_some(), "primary phase counted");
+        assert!(run.report.states.is_some(), "fallback phase counted");
+    }
+
+    #[test]
+    fn portfolio_stays_unknown_when_every_phase_is_exhausted() {
+        let stg = counterflow_sym(2, 2);
+        // Event cap trips the primary; the 1-state cap trips the
+        // fallback. The reported reason is the primary's.
+        let budget = Budget::unlimited().with_max_events(2).with_max_states(1);
+        let run = check_property(&stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        assert_eq!(run.verdict, Verdict::Unknown(ExhaustionReason::EventLimit(2)));
+        assert!(run.report.states.is_some(), "partial fallback stats kept");
     }
 }

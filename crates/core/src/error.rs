@@ -3,29 +3,57 @@
 use std::error::Error;
 use std::fmt;
 
+use ilp::SolveError;
 use unfolding::UnfoldError;
+
+use crate::limits::ExhaustionReason;
 
 /// An error raised by [`crate::Checker`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CheckError {
-    /// Prefix construction failed (unsafe net or event limit).
+    /// Prefix construction failed (unsafe net, event limit, or a
+    /// fired stop guard).
     Unfold(UnfoldError),
-    /// The solver ran out of its step budget before reaching a
-    /// verdict; the result would not be conclusive.
-    SearchAborted,
+    /// The solver was aborted (step budget, cancellation or
+    /// deadline) before reaching a verdict; the result would not be
+    /// conclusive.
+    Solve(SolveError),
     /// A baseline engine failed (explicit state-graph construction).
     StateGraph(String),
+    /// The configuration codes are not binary — the STG is
+    /// inconsistent, so coding-conflict witnesses are undefined. Run
+    /// [`crate::Checker::check_consistency`] for a diagnosis.
+    InconsistentCodes,
+    /// A budgeted check was inconclusive but the caller required a
+    /// definite boolean answer
+    /// ([`crate::engine::check_property_bool`]).
+    Exhausted(ExhaustionReason),
+    /// An engine panicked; the panic was contained at the
+    /// `check_property` boundary.
+    EngineFailure {
+        /// Which engine failed.
+        engine: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckError::Unfold(e) => write!(f, "unfolding failed: {e}"),
-            CheckError::SearchAborted => {
-                write!(f, "search aborted before reaching a verdict")
-            }
+            CheckError::Solve(e) => write!(f, "{e}"),
             CheckError::StateGraph(m) => write!(f, "state-graph engine failed: {m}"),
+            CheckError::InconsistentCodes => {
+                write!(f, "configuration codes are not binary: the STG is inconsistent")
+            }
+            CheckError::Exhausted(reason) => {
+                write!(f, "check inconclusive: {reason}")
+            }
+            CheckError::EngineFailure { engine, message } => {
+                write!(f, "engine '{engine}' failed: {message}")
+            }
         }
     }
 }
@@ -34,6 +62,7 @@ impl Error for CheckError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CheckError::Unfold(e) => Some(e),
+            CheckError::Solve(e) => Some(e),
             _ => None,
         }
     }
@@ -45,16 +74,36 @@ impl From<UnfoldError> for CheckError {
     }
 }
 
+impl From<SolveError> for CheckError {
+    fn from(e: SolveError) -> Self {
+        CheckError::Solve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ilp::{AbortCause, SearchStats};
 
     #[test]
     fn display_is_informative() {
-        let e = CheckError::SearchAborted;
+        let e = CheckError::Solve(SolveError {
+            cause: AbortCause::StepLimit(2),
+            stats: SearchStats::default(),
+        });
         assert!(e.to_string().contains("aborted"));
+        assert!(Error::source(&e).is_some());
         let e = CheckError::Unfold(UnfoldError::TooManyEvents(5));
         assert!(e.to_string().contains("unfolding failed"));
         assert!(Error::source(&e).is_some());
+        let e = CheckError::EngineFailure {
+            engine: "symbolic",
+            message: "boom".to_owned(),
+        };
+        assert!(e.to_string().contains("symbolic"));
+        assert!(e.to_string().contains("boom"));
+        assert!(CheckError::InconsistentCodes.to_string().contains("inconsistent"));
+        let e = CheckError::Exhausted(crate::limits::ExhaustionReason::EventLimit(9));
+        assert!(e.to_string().contains("inconclusive"));
     }
 }

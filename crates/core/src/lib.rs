@@ -48,6 +48,7 @@ mod consistency;
 pub mod engine;
 mod error;
 mod exprs;
+pub mod limits;
 pub mod reach;
 mod report;
 mod witness;
@@ -55,6 +56,9 @@ mod witness;
 pub use checker::{Checker, CheckerOptions, CheckOutcome, NormalcyOutcome, NormalcyReport};
 pub use report::AnalysisReport;
 pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
-pub use engine::{check_property, Engine, Property};
+pub use engine::{check_property, check_property_bool, Engine, Property};
 pub use error::CheckError;
+pub use limits::{
+    Budget, CancelToken, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness,
+};
 pub use witness::{ConflictKind, ConflictWitness, NormalcyWitness};

@@ -4,7 +4,7 @@
 //! success motivated the paper's approach, cf. its §1 and its
 //! reference `[8]`, the LP deadlock-checking work).
 
-use ilp::{CmpOp, Solver};
+use ilp::CmpOp;
 use petri::{Marking, PlaceId, TransitionId};
 
 use crate::checker::Checker;
@@ -82,8 +82,8 @@ impl Checker<'_> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     ///
     /// # Examples
     ///
@@ -122,11 +122,7 @@ impl Checker<'_> {
             expr.add_constant(-c.rhs);
             problem.add_linear(expr, c.op);
         }
-        let mut solver = Solver::new(&problem, self.options().solver);
-        let found = solver.solve(|_| true);
-        if solver.stats().aborted {
-            return Err(CheckError::SearchAborted);
-        }
+        let found = self.run_pair_search(&problem, |_| true)?;
         Ok(found.map(|sides| ReachWitness {
             marking: self.prefix().marking_of(&sides[0]),
             sequence: self.prefix().firing_sequence(&sides[0]),
@@ -139,8 +135,8 @@ impl Checker<'_> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     ///
     /// # Examples
     ///
@@ -177,8 +173,8 @@ impl Checker<'_> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if the solver step budget ran
-    /// out.
+    /// [`CheckError::Solve`] if the solver was aborted (step budget,
+    /// cancellation or deadline) before reaching a verdict.
     pub fn find_deadlock(&self) -> Result<Option<ReachWitness>, CheckError> {
         let constraints: Vec<MarkingConstraint> = self
             .stg()

@@ -73,7 +73,8 @@ impl Checker<'_> {
     ///
     /// # Errors
     ///
-    /// [`CheckError::SearchAborted`] if any solver budget ran out.
+    /// [`CheckError::Solve`] if any solver was aborted before its
+    /// verdict.
     ///
     /// # Examples
     ///

@@ -60,4 +60,4 @@ mod solver;
 pub use constraint::{CmpOp, Constraint};
 pub use expr::{LinExpr, Var};
 pub use problem::Problem;
-pub use solver::{SearchStats, Solver, SolverOptions, ValueOrder, VarOrder};
+pub use solver::{AbortCause, SearchStats, SolveError, Solver, SolverOptions, ValueOrder, VarOrder};

@@ -1,8 +1,10 @@
 //! The branch-and-bound search engine.
 
 use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
 
-use petri::BitSet;
+use petri::{BitSet, StopGuard, StopReason};
 
 use crate::constraint::Feasibility;
 use crate::expr::Var;
@@ -62,6 +64,24 @@ impl Default for SolverOptions {
     }
 }
 
+/// Why a search stopped before exhausting its space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCause {
+    /// The [`SolverOptions::max_steps`] propagation budget ran out.
+    StepLimit(u64),
+    /// The caller's [`StopGuard`] fired (cancellation or deadline).
+    Stopped(StopReason),
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortCause::StepLimit(n) => write!(f, "step budget of {n} propagations exhausted"),
+            AbortCause::Stopped(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
 /// Counters describing a finished (or aborted) search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
@@ -73,9 +93,34 @@ pub struct SearchStats {
     pub conflicts: u64,
     /// Total assignments reaching the leaf callback.
     pub leaves: u64,
-    /// Whether the search ran out of its step budget.
+    /// Whether the search ran out of its step budget or was stopped.
     pub aborted: bool,
+    /// Why the search stopped early, when [`SearchStats::aborted`].
+    pub abort: Option<AbortCause>,
 }
+
+/// An incomplete search: the solver stopped before the space was
+/// exhausted, so "no solution found" must not be read as "none
+/// exists". Returned by [`Solver::solve_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveError {
+    /// What cut the search short.
+    pub cause: AbortCause,
+    /// Counters at the moment the search stopped.
+    pub stats: SearchStats,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "search aborted ({}) after {} propagations",
+            self.cause, self.stats.propagations
+        )
+    }
+}
+
+impl Error for SolveError {}
 
 struct Decision {
     var: Var,
@@ -100,6 +145,7 @@ pub struct Solver<'p, 'r> {
     watch: Vec<Vec<u32>>,
     order: Vec<Var>,
     stats: SearchStats,
+    guard: StopGuard,
 }
 
 impl<'p, 'r> Solver<'p, 'r> {
@@ -126,7 +172,17 @@ impl<'p, 'r> Solver<'p, 'r> {
             watch,
             order,
             stats: SearchStats::default(),
+            guard: StopGuard::unlimited(),
         }
+    }
+
+    /// Installs a [`StopGuard`] polled once per propagation (with a
+    /// strided clock read), so a cancellation flag or deadline stops
+    /// the search mid-flight. The abort surfaces exactly like the
+    /// step budget: [`SearchStats::aborted`] with
+    /// [`AbortCause::Stopped`].
+    pub fn set_guard(&mut self, guard: StopGuard) {
+        self.guard = guard;
     }
 
     /// The statistics of the last [`Solver::solve`] run.
@@ -148,8 +204,11 @@ impl<'p, 'r> Solver<'p, 'r> {
             self.trail.push(v);
             self.stats.propagations += 1;
             if self.stats.propagations > self.options.max_steps {
-                self.stats.aborted = true;
-                self.queue.clear();
+                self.abort(AbortCause::StepLimit(self.options.max_steps));
+                return false;
+            }
+            if let Err(reason) = self.guard.poll() {
+                self.abort(AbortCause::Stopped(reason));
                 return false;
             }
 
@@ -204,9 +263,15 @@ impl<'p, 'r> Solver<'p, 'r> {
         true
     }
 
+    fn abort(&mut self, cause: AbortCause) {
+        self.stats.aborted = true;
+        self.stats.abort = Some(cause);
+        self.queue.clear();
+    }
+
     fn unwind_to(&mut self, len: usize) {
         while self.trail.len() > len {
-            let v = self.trail.pop().expect("trail length checked");
+            let Some(v) = self.trail.pop() else { break };
             self.values[v.index()] = None;
         }
     }
@@ -308,6 +373,29 @@ impl<'p, 'r> Solver<'p, 'r> {
                     return None;
                 }
             }
+        }
+    }
+
+    /// Like [`Solver::solve`], but distinguishes "space exhausted, no
+    /// accepted solution" (`Ok(None)`) from "search cut short"
+    /// (`Err`), so callers cannot mistake an aborted search for a
+    /// proof of absence.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError`] when the step budget ran out or the installed
+    /// [`StopGuard`] fired before the space was exhausted.
+    pub fn solve_checked(
+        &mut self,
+        on_leaf: impl FnMut(&[BitSet]) -> bool,
+    ) -> Result<Option<Vec<BitSet>>, SolveError> {
+        let solution = self.solve(on_leaf);
+        match (solution, self.stats.abort) {
+            (None, Some(cause)) => Err(SolveError {
+                cause,
+                stats: self.stats,
+            }),
+            (solution, _) => Ok(solution),
         }
     }
 
@@ -492,6 +580,42 @@ mod tests {
         let mut solver = Solver::new(&problem, options);
         assert!(solver.solve(|_| false).is_none());
         assert!(solver.stats().aborted);
+        assert_eq!(solver.stats().abort, Some(AbortCause::StepLimit(1)));
+    }
+
+    #[test]
+    fn solve_checked_reports_aborts_as_errors() {
+        let (_prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 2);
+        let options = SolverOptions {
+            max_steps: 1,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, options);
+        let err = solver.solve_checked(|_| false).expect_err("must abort");
+        assert_eq!(err.cause, AbortCause::StepLimit(1));
+        assert!(err.to_string().contains("aborted"));
+
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        let exhausted = solver.solve_checked(|_| false).expect("no budget in force");
+        assert!(exhausted.is_none());
+    }
+
+    #[test]
+    fn cancelled_guard_stops_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (_prefix, rel) = prefix();
+        let problem = Problem::new(&rel, 2);
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut solver = Solver::new(&problem, SolverOptions::default());
+        solver.set_guard(StopGuard::new(Some(flag.clone()), None));
+        let err = solver.solve_checked(|_| false).expect_err("pre-cancelled");
+        assert_eq!(err.cause, AbortCause::Stopped(StopReason::Cancelled));
+
+        flag.store(false, Ordering::Relaxed);
+        assert!(solver.solve_checked(|_| false).expect("cleared").is_none());
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! assignments accepted by a naive evaluator, for every constraint
 //! kind.
 
+// Integration-test helpers sit outside `#[test]` fns, so the
+// `allow-unwrap-in-tests` carve-out does not reach them.
+#![allow(clippy::unwrap_used)]
+
 use ilp::{CmpOp, LinExpr, Problem, Solver, SolverOptions, Var};
 use petri::{BitSet, Marking, NetBuilder};
 use proptest::prelude::*;

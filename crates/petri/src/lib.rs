@@ -40,6 +40,7 @@ mod error;
 mod ids;
 mod incidence;
 pub mod invariants;
+pub mod limits;
 pub mod siphons;
 mod marking;
 mod net;
@@ -49,6 +50,7 @@ pub use bitset::BitSet;
 pub use error::NetError;
 pub use ids::{PlaceId, TransitionId};
 pub use incidence::{IncidenceMatrix, ParikhVector};
+pub use limits::{StopGuard, StopReason};
 pub use marking::Marking;
 pub use net::{Net, NetBuilder};
 pub use reach::{is_safe, ExploreLimits, ReachError, ReachabilityGraph, StateId};

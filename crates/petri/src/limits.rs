@@ -1,0 +1,210 @@
+//! Cooperative stop conditions shared by every engine.
+//!
+//! A [`StopGuard`] bundles the two *externally imposed* reasons a
+//! long-running analysis must wind down — a cancellation flag flipped
+//! by another thread and a wall-clock deadline — behind one cheap
+//! [`StopGuard::poll`] call that engines place at their loop heads.
+//! Resource *quantity* limits (event, state, node and step caps) stay
+//! with the data structures that count them; the guard only answers
+//! "should I keep going at all?".
+//!
+//! The guard lives in `petri`, the bottom of the workspace dependency
+//! stack, so the unfolder, the 0-1 IP solver, the explicit
+//! reachability engine and the BDD checker can all poll the same
+//! token without depending on the orchestration crate. `csc-core`'s
+//! `Budget` composes a guard from its deadline/cancellation fields
+//! and threads it down.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a guarded loop was asked to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The shared cancellation flag was raised.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Cancelled => write!(f, "cancelled"),
+            StopReason::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+        }
+    }
+}
+
+impl Error for StopReason {}
+
+/// A cheap, clonable stop condition polled at loop heads.
+///
+/// The default guard is unlimited: [`StopGuard::poll`] always
+/// succeeds and compiles down to two branches on `None`, so guarded
+/// entry points cost nothing when no budget is in force.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use petri::{StopGuard, StopReason};
+///
+/// let flag = Arc::new(AtomicBool::new(false));
+/// let guard = StopGuard::new(Some(flag.clone()), None);
+/// assert_eq!(guard.poll(), Ok(()));
+/// flag.store(true, Ordering::Relaxed);
+/// assert_eq!(guard.poll(), Err(StopReason::Cancelled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StopGuard {
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+    /// Poll counter used to amortise `Instant::now()` in
+    /// [`StopGuard::poll`]; interior-mutable so guarded engines can
+    /// keep taking `&self`.
+    polls: Cell<u32>,
+}
+
+impl StopGuard {
+    /// How many strided polls elapse between wall-clock reads.
+    const DEADLINE_STRIDE: u32 = 16;
+
+    /// A guard over an optional cancellation flag and an optional
+    /// absolute deadline.
+    pub fn new(cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) -> Self {
+        StopGuard {
+            cancel,
+            deadline,
+            polls: Cell::new(0),
+        }
+    }
+
+    /// The always-`Ok` guard (same as `StopGuard::default()`).
+    pub fn unlimited() -> Self {
+        StopGuard::default()
+    }
+
+    /// Whether this guard can ever fire.
+    pub fn is_limited(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// Checks the stop conditions, reading the clock only every
+    /// [`Self::DEADLINE_STRIDE`] calls. Use in ultra-hot loops (e.g.
+    /// per solver propagation) where even `Instant::now()` would
+    /// show up; detection of an expired deadline is delayed by at
+    /// most the stride.
+    pub fn poll(&self) -> Result<(), StopReason> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        if self.deadline.is_some() {
+            let n = self.polls.get().wrapping_add(1);
+            self.polls.set(n);
+            if n % Self::DEADLINE_STRIDE == 1 {
+                return self.check_deadline();
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the stop conditions, always reading the clock. Use at
+    /// loop heads whose per-iteration work is substantial (an
+    /// unfolding extension, a BFS state expansion, a BDD fixpoint
+    /// step), where detection latency matters more than the ~25 ns
+    /// clock read.
+    pub fn poll_now(&self) -> Result<(), StopReason> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(StopReason::Cancelled);
+            }
+        }
+        self.check_deadline()
+    }
+
+    fn check_deadline(&self) -> Result<(), StopReason> {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Err(StopReason::DeadlineExpired),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_guard_never_fires() {
+        let guard = StopGuard::unlimited();
+        assert!(!guard.is_limited());
+        for _ in 0..1000 {
+            assert_eq!(guard.poll(), Ok(()));
+        }
+        assert_eq!(guard.poll_now(), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_fires_immediately_on_both_polls() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let guard = StopGuard::new(Some(flag.clone()), None);
+        assert_eq!(guard.poll(), Ok(()));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(guard.poll(), Err(StopReason::Cancelled));
+        assert_eq!(guard.poll_now(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_is_shared_between_clones() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let guard = StopGuard::new(Some(flag.clone()), None);
+        let clone = guard.clone();
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(clone.poll(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let guard = StopGuard::new(None, Some(Instant::now() - Duration::from_millis(1)));
+        assert!(guard.is_limited());
+        assert_eq!(guard.poll_now(), Err(StopReason::DeadlineExpired));
+        // The strided variant fires on its first call too (stride
+        // check hits on n % stride == 1).
+        let guard = StopGuard::new(None, Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(guard.poll(), Err(StopReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn strided_poll_detects_within_stride() {
+        let guard = StopGuard::new(None, Some(Instant::now() - Duration::from_millis(1)));
+        let mut fired = 0;
+        for _ in 0..(2 * StopGuard::DEADLINE_STRIDE) {
+            if guard.poll().is_err() {
+                fired += 1;
+            }
+        }
+        assert!(fired >= 2, "deadline must be noticed at least once per stride");
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let guard = StopGuard::new(None, Some(Instant::now() + Duration::from_secs(3600)));
+        assert_eq!(guard.poll_now(), Ok(()));
+        assert_eq!(guard.poll(), Ok(()));
+    }
+
+    #[test]
+    fn reasons_display() {
+        assert_eq!(StopReason::Cancelled.to_string(), "cancelled");
+        assert!(StopReason::DeadlineExpired.to_string().contains("deadline"));
+    }
+}

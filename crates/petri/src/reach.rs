@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use crate::{Marking, Net, TransitionId};
+use crate::{Marking, Net, StopGuard, StopReason, TransitionId};
 
 /// Identifier of a state (reachable marking) in a
 /// [`ReachabilityGraph`]; dense in discovery (BFS) order, so state 0 is
@@ -57,6 +57,15 @@ pub enum ReachError {
     /// [`ExploreLimits::token_bound`] tokens on the given place — the
     /// net is not `k`-bounded.
     BoundExceeded(crate::PlaceId),
+    /// Exploration was stopped by the caller's [`StopGuard`]
+    /// (cancellation or deadline); the payload carries the reason and
+    /// how many states had been discovered.
+    Stopped {
+        /// Why the guard fired.
+        reason: StopReason,
+        /// States discovered before stopping.
+        states: usize,
+    },
 }
 
 impl fmt::Display for ReachError {
@@ -67,6 +76,9 @@ impl fmt::Display for ReachError {
             }
             ReachError::BoundExceeded(p) => {
                 write!(f, "token bound exceeded on place {p}")
+            }
+            ReachError::Stopped { reason, states } => {
+                write!(f, "exploration stopped ({reason}) after {states} states")
             }
         }
     }
@@ -95,21 +107,43 @@ impl ReachabilityGraph {
     /// Fails with [`ReachError`] if the limits are hit; partial graphs
     /// are never returned.
     pub fn explore(net: &Net, m0: &Marking, limits: ExploreLimits) -> Result<Self, ReachError> {
+        Self::explore_guarded(net, m0, limits, &StopGuard::unlimited())
+    }
+
+    /// Like [`ReachabilityGraph::explore`], additionally polling
+    /// `guard` before each state expansion so a cancellation flag or
+    /// wall-clock deadline interrupts the BFS between states.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Stopped`] when the guard fires, plus everything
+    /// [`ReachabilityGraph::explore`] can return.
+    pub fn explore_guarded(
+        net: &Net,
+        m0: &Marking,
+        limits: ExploreLimits,
+        guard: &StopGuard,
+    ) -> Result<Self, ReachError> {
         let mut g = ReachabilityGraph {
             markings: vec![m0.clone()],
             index: HashMap::from([(m0.clone(), StateId(0))]),
             edges: vec![Vec::new()],
             parent: vec![None],
         };
-        if !m0.is_bounded_by(limits.token_bound) {
-            return Err(ReachError::BoundExceeded(
-                m0.marked_places()
-                    .find(|&p| m0.tokens(p) > limits.token_bound)
-                    .expect("some place exceeds the bound"),
-            ));
+        if let Some(p) = m0
+            .marked_places()
+            .find(|&p| m0.tokens(p) > limits.token_bound)
+        {
+            return Err(ReachError::BoundExceeded(p));
         }
         let mut frontier = 0usize;
         while frontier < g.markings.len() {
+            if let Err(reason) = guard.poll_now() {
+                return Err(ReachError::Stopped {
+                    reason,
+                    states: g.markings.len(),
+                });
+            }
             let sid = StateId(frontier as u32);
             let current = g.markings[frontier].clone();
             for t in net.transitions() {
@@ -310,6 +344,29 @@ mod tests {
         let dead = g.deadlocks();
         assert_eq!(dead.len(), 1);
         assert!(net.is_deadlock(g.marking(dead[0])));
+    }
+
+    #[test]
+    fn guarded_exploration_stops_on_cancel() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (net, m0, _) = parallel_net();
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = StopGuard::new(Some(flag.clone()), None);
+        let err = ReachabilityGraph::explore_guarded(&net, &m0, ExploreLimits::default(), &guard)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ReachError::Stopped {
+                reason: StopReason::Cancelled,
+                ..
+            }
+        ));
+        flag.store(false, Ordering::Relaxed);
+        let g = ReachabilityGraph::explore_guarded(&net, &m0, ExploreLimits::default(), &guard)
+            .unwrap();
+        assert_eq!(g.num_states(), 4);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod writer;
 
 pub use code::{ChangeVec, CodeVec};
 pub use error::{ParseStgError, StgError};
-pub use parser::parse;
+pub use parser::{parse, parse_bytes};
 pub use signal::{Edge, Label, Signal, SignalKind};
 pub use state_graph::{SgError, StateGraph};
 pub use stg::{Stg, StgBuilder};

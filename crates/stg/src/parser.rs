@@ -157,6 +157,12 @@ impl Parser {
     }
 
     fn marking(&mut self, body: &str, line: usize) -> Result<(), ParseStgError> {
+        if self.marking_seen {
+            return Err(ParseStgError::syntax(
+                line,
+                "duplicate .marking section (the initial marking must be given once)",
+            ));
+        }
         self.marking_seen = true;
         let body = body.trim();
         let body = body
@@ -310,6 +316,38 @@ pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
     Ok(stg)
 }
 
+/// Parses raw `.g` bytes into an [`Stg`], rejecting invalid UTF-8
+/// with a [`ParseStgError`] (pointing at the offending line) instead
+/// of forcing the caller to decode first. Use this on untrusted file
+/// contents.
+///
+/// # Errors
+///
+/// Everything [`parse`] can return, plus a syntax error when the
+/// bytes are not valid UTF-8.
+///
+/// # Examples
+///
+/// ```
+/// let err = stg::parse_bytes(b".model m\n.outputs a\xFF\n").unwrap_err();
+/// assert!(err.to_string().contains("UTF-8"));
+/// ```
+pub fn parse_bytes(source: &[u8]) -> Result<Stg, ParseStgError> {
+    match std::str::from_utf8(source) {
+        Ok(text) => parse(text),
+        Err(e) => {
+            let line = 1 + source[..e.valid_up_to()]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count();
+            Err(ParseStgError::syntax(
+                line,
+                format!("invalid UTF-8 at byte offset {}", e.valid_up_to()),
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +463,46 @@ a- a+
     fn missing_marking_rejected() {
         let src = ".model m\n.outputs a\n.graph\na+ a-\na- a+\n.end\n";
         assert!(matches!(parse(src), Err(ParseStgError::Build(_))));
+    }
+
+    #[test]
+    fn duplicate_marking_rejected() {
+        let src = "\
+.model m
+.outputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.marking { <a+,a-> }
+.end
+";
+        match parse(src) {
+            Err(ParseStgError::Syntax { line, message }) => {
+                assert_eq!(line, 7);
+                assert!(message.contains("duplicate .marking"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bytes_rejects_invalid_utf8_with_line() {
+        let mut bytes = b".model m\n.outputs a\n.graph\na+ a-\n".to_vec();
+        bytes.extend_from_slice(&[0xC3, 0x28]); // overlong/invalid sequence
+        match parse_bytes(&bytes) {
+            Err(ParseStgError::Syntax { line, message }) => {
+                assert_eq!(line, 5);
+                assert!(message.contains("UTF-8"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bytes_accepts_valid_utf8() {
+        let stg = parse_bytes(VME.as_bytes()).unwrap();
+        assert_eq!(stg.num_signals(), 5);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use petri::{ExploreLimits, Marking, ReachError, ReachabilityGraph, StateId, TransitionId};
+use petri::{
+    ExploreLimits, Marking, ReachError, ReachabilityGraph, StateId, StopGuard, TransitionId,
+};
 
 use crate::code::CodeVec;
 use crate::signal::{Label, Signal};
@@ -129,7 +131,24 @@ impl StateGraph {
     /// Returns [`SgError`] if exploration hits `limits` or the STG is
     /// inconsistent.
     pub fn build(stg: &Stg, limits: ExploreLimits) -> Result<Self, SgError> {
-        let reach = ReachabilityGraph::explore(stg.net(), stg.initial_marking(), limits)?;
+        StateGraph::build_guarded(stg, limits, &StopGuard::unlimited())
+    }
+
+    /// Like [`StateGraph::build`], additionally polling `guard` at
+    /// each BFS expansion so a cancellation flag or deadline stops
+    /// the exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`SgError::Reach`] wrapping [`ReachError::Stopped`] when the
+    /// guard fires, plus everything [`StateGraph::build`] can return.
+    pub fn build_guarded(
+        stg: &Stg,
+        limits: ExploreLimits,
+        guard: &StopGuard,
+    ) -> Result<Self, SgError> {
+        let reach =
+            ReachabilityGraph::explore_guarded(stg.net(), stg.initial_marking(), limits, guard)?;
         let n = reach.num_states();
         let mut codes: Vec<Option<CodeVec>> = vec![None; n];
         codes[0] = Some(stg.initial_code().clone());
@@ -413,6 +432,19 @@ mod tests {
         let (s1, s2) = sg.first_csc_conflict(&stg).unwrap();
         assert_eq!(sg.code(s1), sg.code(s2));
         assert_ne!(sg.marking(s1), sg.marking(s2));
+    }
+
+    #[test]
+    fn cancelled_guard_stops_build() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let stg = handshake();
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = StopGuard::new(Some(flag), None);
+        let err = StateGraph::build_guarded(&stg, Default::default(), &guard)
+            .expect_err("pre-cancelled guard must stop the build");
+        assert!(matches!(err, SgError::Reach(ReachError::Stopped { .. })));
     }
 
     #[test]

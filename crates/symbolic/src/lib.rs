@@ -36,9 +36,49 @@
 
 #![warn(missing_docs)]
 
+use std::error::Error;
+use std::fmt;
+
 use bdd::{Bdd, NodeId};
-use petri::{Marking, PlaceId};
+use petri::{Marking, PlaceId, StopGuard, StopReason};
 use stg::{CodeVec, Edge, Label, Signal, Stg};
+
+/// Resource limits of the symbolic engine: a cancellation/deadline
+/// guard polled at each fixpoint step, plus a cap on allocated BDD
+/// nodes (the quantity that actually explodes on hard instances).
+///
+/// The default budget is unlimited, so the fallible `try_*` entry
+/// points cannot fail under it.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicBudget {
+    /// Cooperative stop condition (cancellation flag or wall-clock
+    /// deadline).
+    pub guard: StopGuard,
+    /// Maximum number of BDD nodes the analysis may allocate.
+    pub max_nodes: Option<usize>,
+}
+
+/// Why a symbolic analysis stopped before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolicStop {
+    /// The caller's [`StopGuard`] fired.
+    Stopped(StopReason),
+    /// The BDD grew past [`SymbolicBudget::max_nodes`].
+    NodeLimit(usize),
+}
+
+impl fmt::Display for SymbolicStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicStop::Stopped(reason) => write!(f, "symbolic analysis stopped: {reason}"),
+            SymbolicStop::NodeLimit(cap) => {
+                write!(f, "symbolic analysis exceeded the budget of {cap} BDD nodes")
+            }
+        }
+    }
+}
+
+impl Error for SymbolicStop {}
 
 /// Counts and characteristic functions produced by
 /// [`SymbolicChecker::analyse`].
@@ -219,9 +259,54 @@ impl<'a> SymbolicChecker<'a> {
     /// Computes (and caches) the reachable state set over current
     /// variables.
     pub fn reachable(&mut self) -> NodeId {
-        if let Some(r) = self.reached {
-            return r;
+        match self.try_reachable(&SymbolicBudget::default()) {
+            Ok(r) => r,
+            Err(stop) => unreachable!("unlimited budget stopped: {stop}"),
         }
+    }
+
+    /// Arms the BDD manager with the budget's guard and node cap, so
+    /// individual BDD operations — not only the fixpoint loop heads —
+    /// stop cooperatively. Clears any interrupt latched by a previous
+    /// (smaller) budget.
+    fn arm_budget(&mut self, budget: &SymbolicBudget) {
+        self.bdd.clear_interrupt();
+        self.bdd.set_guard(budget.guard.clone());
+        self.bdd.set_node_limit(budget.max_nodes);
+    }
+
+    /// Checks the budget between fixpoint steps; cheap relative to
+    /// the image computations it brackets. Also surfaces an interrupt
+    /// latched *inside* a BDD operation (whose result is garbage and
+    /// must not be used).
+    fn check_budget(&self, budget: &SymbolicBudget) -> Result<(), SymbolicStop> {
+        if let Some(interrupt) = self.bdd.interrupt() {
+            return Err(match interrupt {
+                bdd::Interrupt::NodeLimit(cap) => SymbolicStop::NodeLimit(cap),
+                bdd::Interrupt::Stopped(reason) => SymbolicStop::Stopped(reason),
+            });
+        }
+        budget.guard.poll_now().map_err(SymbolicStop::Stopped)?;
+        match budget.max_nodes {
+            Some(cap) if self.bdd.num_nodes() > cap => Err(SymbolicStop::NodeLimit(cap)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Budgeted variant of [`SymbolicChecker::reachable`]: polls the
+    /// guard and the node cap at every fixpoint step, abandoning the
+    /// (partial, uncached) reachable set on exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicStop`] when the guard fires or the BDD outgrows the
+    /// node budget.
+    pub fn try_reachable(&mut self, budget: &SymbolicBudget) -> Result<NodeId, SymbolicStop> {
+        if let Some(r) = self.reached {
+            return Ok(r);
+        }
+        self.arm_budget(budget);
+        self.check_budget(budget)?;
         let relations: Vec<NodeId> = self
             .stg
             .net()
@@ -235,6 +320,7 @@ impl<'a> SymbolicChecker<'a> {
             // transition relation to the newly discovered states only.
             let mut frontier = reached;
             loop {
+                self.check_budget(budget)?;
                 let mut image = NodeId::FALSE;
                 for &rel in &relations {
                     let step = self.bdd.and(frontier, rel);
@@ -255,6 +341,7 @@ impl<'a> SymbolicChecker<'a> {
             // Naive monolithic relation (ablation baseline).
             let trans = self.bdd.or_all(relations);
             loop {
+                self.check_budget(budget)?;
                 let step = self.bdd.and(reached, trans);
                 let img_next = self.bdd.exists(step, &current_vars);
                 let img = self.bdd.rename_monotone(img_next, &|v| v - 1);
@@ -266,7 +353,7 @@ impl<'a> SymbolicChecker<'a> {
             }
         }
         self.reached = Some(reached);
-        reached
+        Ok(reached)
     }
 
     /// `Out(M) ∋ z` as a predicate over current place variables: some
@@ -394,6 +481,24 @@ impl<'a> SymbolicChecker<'a> {
         (p_viol == NodeId::FALSE, n_viol == NodeId::FALSE)
     }
 
+    /// Budgeted variant of [`SymbolicChecker::normalcy_of`].
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicStop`] when the budget is exhausted before the
+    /// verdict is known.
+    pub fn try_normalcy_of(
+        &mut self,
+        z: Signal,
+        budget: &SymbolicBudget,
+    ) -> Result<(bool, bool), SymbolicStop> {
+        self.try_reachable(budget)?;
+        self.arm_budget(budget);
+        let verdict = self.normalcy_of(z);
+        self.check_budget(budget)?;
+        Ok(verdict)
+    }
+
     /// Whether every circuit-driven signal is p- or n-normal.
     pub fn is_normal(&mut self) -> bool {
         let locals: Vec<Signal> = self.stg.local_signals().collect();
@@ -403,27 +508,72 @@ impl<'a> SymbolicChecker<'a> {
         })
     }
 
+    /// Budgeted variant of [`SymbolicChecker::is_normal`], checking
+    /// the budget between signals.
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicStop`] when the budget is exhausted before the
+    /// verdict is known.
+    pub fn try_is_normal(&mut self, budget: &SymbolicBudget) -> Result<bool, SymbolicStop> {
+        let locals: Vec<Signal> = self.stg.local_signals().collect();
+        for z in locals {
+            let (p, n) = self.try_normalcy_of(z, budget)?;
+            if !p && !n {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     /// Runs the full analysis: reachability plus the characteristic
     /// functions of all USC and CSC conflict pairs.
     pub fn analyse(&mut self) -> SymbolicReport {
-        let r = self.reachable();
+        match self.try_analyse(&SymbolicBudget::default()) {
+            Ok(report) => report,
+            Err(stop) => unreachable!("unlimited budget stopped: {stop}"),
+        }
+    }
+
+    /// Budgeted variant of [`SymbolicChecker::analyse`].
+    ///
+    /// # Errors
+    ///
+    /// [`SymbolicStop`] when the budget is exhausted mid-analysis;
+    /// no partial report is produced (counts would be misleading).
+    pub fn try_analyse(&mut self, budget: &SymbolicBudget) -> Result<SymbolicReport, SymbolicStop> {
+        let r = self.try_reachable(budget)?;
+        self.arm_budget(budget);
         let usc = self.conflict_pairs(false);
+        self.check_budget(budget)?;
         let csc = self.conflict_pairs(true);
+        self.check_budget(budget)?;
         let nv = (2 * self.num_bits) as u32;
         // States range over current variables only: divide the count
         // over all 2k variables by 2^k.
         let scale = 2f64.powi(self.num_bits as i32);
-        SymbolicReport {
+        Ok(SymbolicReport {
             num_states: self.bdd.sat_count(r, nv) / scale,
             usc_pairs: self.bdd.sat_count(usc, nv) / 2.0,
             csc_pairs: self.bdd.sat_count(csc, nv) / 2.0,
             bdd_nodes: self.bdd.num_nodes(),
-        }
+        })
+    }
+
+    /// BDD nodes allocated so far (partial work included), for
+    /// resource reporting after an exhausted run.
+    pub fn nodes_allocated(&self) -> usize {
+        self.bdd.num_nodes()
     }
 
     /// Decodes one conflict pair into concrete states, if any exists.
     pub fn usc_witness(&mut self) -> Option<SymbolicWitness> {
         let pairs = self.conflict_pairs(false);
+        if self.bdd.interrupt().is_some() {
+            // The pair relation was cut short by a still-armed
+            // budget; a decoded path would be meaningless.
+            return None;
+        }
         let path = self.bdd.any_sat(pairs)?;
         let value = |var: u32| -> bool {
             path.iter()
@@ -540,6 +690,37 @@ mod tests {
             }
             assert_eq!(checker.is_normal(), sg.is_normal(&stg));
         }
+    }
+
+    #[test]
+    fn node_budget_stops_analysis() {
+        let stg = counterflow_sym(2, 2);
+        let mut checker = SymbolicChecker::new(&stg);
+        let budget = SymbolicBudget {
+            max_nodes: Some(8),
+            ..Default::default()
+        };
+        let err = checker.try_analyse(&budget).expect_err("8 nodes is hopeless");
+        assert_eq!(err, SymbolicStop::NodeLimit(8));
+        assert!(checker.nodes_allocated() > 0);
+        // The same checker still completes without a budget.
+        let report = checker.analyse();
+        assert!(report.num_states > 0.0);
+    }
+
+    #[test]
+    fn cancelled_guard_stops_analysis() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let stg = vme_read();
+        let mut checker = SymbolicChecker::new(&stg);
+        let budget = SymbolicBudget {
+            guard: StopGuard::new(Some(Arc::new(AtomicBool::new(true))), None),
+            max_nodes: None,
+        };
+        let err = checker.try_analyse(&budget).expect_err("pre-cancelled");
+        assert_eq!(err, SymbolicStop::Stopped(StopReason::Cancelled));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
-use petri::{BitSet, Marking, Net, PlaceId, TransitionId};
+use petri::{BitSet, Marking, Net, PlaceId, StopGuard, StopReason, TransitionId};
 use stg::Stg;
 
 use crate::occ::{CondData, CondId, CutoffMate, EventData, EventId, Prefix};
@@ -43,6 +43,14 @@ pub enum UnfoldError {
         /// The place observed with two concurrent tokens.
         place: PlaceId,
     },
+    /// Construction was stopped by the caller's [`StopGuard`]
+    /// (cancellation or deadline) before the prefix was complete.
+    Interrupted {
+        /// Why the guard fired.
+        reason: StopReason,
+        /// Events built before stopping.
+        events: usize,
+    },
 }
 
 impl fmt::Display for UnfoldError {
@@ -53,6 +61,9 @@ impl fmt::Display for UnfoldError {
             }
             UnfoldError::UnsafeNet { place } => {
                 write!(f, "net system is not safe: place {place} can hold two tokens")
+            }
+            UnfoldError::Interrupted { reason, events } => {
+                write!(f, "unfolding stopped ({reason}) after {events} events")
             }
         }
     }
@@ -363,7 +374,7 @@ impl<'a> Builder<'a> {
         Ok(())
     }
 
-    fn run(mut self, m0: &Marking) -> Result<Prefix, UnfoldError> {
+    fn run(mut self, m0: &Marking, guard: &StopGuard) -> Result<Prefix, UnfoldError> {
         // Seed the cut-off table with the empty configuration.
         let nt = self.net.num_transitions();
         let empty_key = match self.options.order {
@@ -395,6 +406,12 @@ impl<'a> Builder<'a> {
         }
 
         while let Some(pe) = self.queue.pop() {
+            if let Err(reason) = guard.poll_now() {
+                return Err(UnfoldError::Interrupted {
+                    reason,
+                    events: self.events.len(),
+                });
+            }
             if self.events.len() >= self.options.max_events {
                 return Err(UnfoldError::TooManyEvents(self.options.max_events));
             }
@@ -501,7 +518,25 @@ impl Prefix {
     /// # }
     /// ```
     pub fn unfold(net: &Net, m0: &Marking, options: UnfoldOptions) -> Result<Prefix, UnfoldError> {
-        Builder::new(net, options).run(m0)
+        Builder::new(net, options).run(m0, &StopGuard::unlimited())
+    }
+
+    /// Like [`Prefix::unfold`], additionally polling `guard` before
+    /// each possible extension is processed, so a cancellation flag
+    /// or wall-clock deadline interrupts construction between
+    /// events.
+    ///
+    /// # Errors
+    ///
+    /// [`UnfoldError::Interrupted`] when the guard fires, plus
+    /// everything [`Prefix::unfold`] can return.
+    pub fn unfold_guarded(
+        net: &Net,
+        m0: &Marking,
+        options: UnfoldOptions,
+        guard: &StopGuard,
+    ) -> Result<Prefix, UnfoldError> {
+        Builder::new(net, options).run(m0, guard)
     }
 
     /// Unfolds the net system underlying an STG.
@@ -511,6 +546,20 @@ impl Prefix {
     /// Same conditions as [`Prefix::unfold`].
     pub fn of_stg(stg: &Stg, options: UnfoldOptions) -> Result<Prefix, UnfoldError> {
         Prefix::unfold(stg.net(), stg.initial_marking(), options)
+    }
+
+    /// Guarded variant of [`Prefix::of_stg`]; see
+    /// [`Prefix::unfold_guarded`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Prefix::unfold_guarded`].
+    pub fn of_stg_guarded(
+        stg: &Stg,
+        options: UnfoldOptions,
+        guard: &StopGuard,
+    ) -> Result<Prefix, UnfoldError> {
+        Prefix::unfold_guarded(stg.net(), stg.initial_marking(), options, guard)
     }
 }
 
@@ -633,6 +682,29 @@ mod tests {
                 None => {}
             }
         }
+    }
+
+    #[test]
+    fn cancelled_guard_interrupts_unfolding() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let (net, m0) = parallel();
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = StopGuard::new(Some(flag.clone()), None);
+        let err = Prefix::unfold_guarded(&net, &m0, UnfoldOptions::default(), &guard)
+            .expect_err("pre-cancelled guard must interrupt");
+        match err {
+            UnfoldError::Interrupted { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+
+        flag.store(false, Ordering::Relaxed);
+        let prefix = Prefix::unfold_guarded(&net, &m0, UnfoldOptions::default(), &guard)
+            .expect("cleared guard must not interrupt");
+        assert!(prefix.num_events() > 0);
     }
 
     #[test]

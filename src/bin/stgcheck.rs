@@ -15,27 +15,27 @@
 //! stgcheck gen <family> [params] [--to-g]    emit a benchmark model
 //! ```
 //!
-//! Engines: `unfolding` (default), `explicit`, `symbolic`.
+//! Engines: `unfolding` (default), `explicit`, `symbolic`,
+//! `portfolio`. The `usc`/`csc` commands also accept budget flags:
+//! `--timeout-ms N` (wall-clock deadline) and `--max-events N`
+//! (unfolding cap); an exhausted budget yields exit code 3.
 //! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
-//! or processing error.
+//! or processing error, 3 = inconclusive (budget exhausted).
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use stg_coding_conflicts::csc_core::{check_property, CheckOutcome, Checker, Engine, Property};
+use stg_coding_conflicts::csc_core::{
+    check_property, Budget, CheckOutcome, Checker, Engine, Property, Verdict,
+};
 use stg_coding_conflicts::stg::{self, Stg};
 use stg_coding_conflicts::unfolding::{self, OrderStrategy, Prefix, UnfoldOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(conflict) => {
-            if conflict {
-                ExitCode::from(1)
-            } else {
-                ExitCode::SUCCESS
-            }
-        }
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("stgcheck: {msg}");
             ExitCode::from(2)
@@ -44,46 +44,51 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: stgcheck <info|unfold|usc|csc|normalcy|deadlock|report|synth|dot|gen> ... (see --help)"
+    "usage: stgcheck <info|unfold|usc|csc|normalcy|deadlock|report|synth|dot|gen> ... \
+     [--engine unfolding|explicit|symbolic|portfolio] [--timeout-ms N] [--max-events N]"
         .to_owned()
 }
 
-/// Returns `Ok(true)` when a conflict/violation was found.
-fn run(args: &[String]) -> Result<bool, String> {
+/// Returns the process exit code (0 ok, 1 conflict, 3 inconclusive).
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
     if command == "--help" || command == "-h" {
         println!("{}", usage());
-        return Ok(false);
+        return Ok(0);
     }
     if command == "gen" {
-        return generate(&args[1..]);
+        return generate(&args[1..]).map(exit_code);
     }
     let path = args.get(1).ok_or_else(usage)?;
-    let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let model = stg::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let source = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let model = stg::parse_bytes(&source).map_err(|e| format!("{path}: {e}"))?;
     let flags = &args[2..];
     match command.as_str() {
-        "info" => info(&model),
-        "unfold" => unfold(&model, flags),
+        "info" => info(&model).map(exit_code),
+        "unfold" => unfold(&model, flags).map(exit_code),
         "usc" => coding(&model, Property::Usc, flags),
         "csc" => coding(&model, Property::Csc, flags),
-        "normalcy" => normalcy(&model),
-        "deadlock" => deadlock(&model),
+        "normalcy" => normalcy(&model).map(exit_code),
+        "deadlock" => deadlock(&model).map(exit_code),
         "report" => {
             let report = Checker::analyse_stg(&model).map_err(|e| e.to_string())?;
             print!("{report}");
-            Ok(!report.is_implementable_with_monotonic_gates())
+            Ok(exit_code(!report.is_implementable_with_monotonic_gates()))
         }
-        "synth" => synthesize(&model),
-        "resolve" => resolve_cmd(&model, flags),
+        "synth" => synthesize(&model).map(exit_code),
+        "resolve" => resolve_cmd(&model, flags).map(exit_code),
         "dot" => {
             print!("{}", stg::dot::to_dot(&model, "stg"));
-            Ok(false)
+            Ok(0)
         }
         other => Err(format!("unknown command `{other}`; {}", usage())),
     }
+}
+
+fn exit_code(conflict: bool) -> u8 {
+    u8::from(conflict)
 }
 
 fn engine_flag(flags: &[String]) -> Result<Engine, String> {
@@ -93,9 +98,35 @@ fn engine_flag(flags: &[String]) -> Result<Engine, String> {
             Some("unfolding") => Ok(Engine::UnfoldingIlp),
             Some("explicit") => Ok(Engine::ExplicitStateGraph),
             Some("symbolic") => Ok(Engine::SymbolicBdd),
-            other => Err(format!("bad --engine {other:?} (unfolding|explicit|symbolic)")),
+            Some("portfolio") => Ok(Engine::Portfolio),
+            other => Err(format!(
+                "bad --engine {} (unfolding|explicit|symbolic|portfolio)",
+                other.unwrap_or("<missing>")
+            )),
         },
     }
+}
+
+/// Parses `--timeout-ms N` / `--max-events N` into a [`Budget`].
+fn budget_flags(flags: &[String]) -> Result<Budget, String> {
+    let numeric = |name: &str| -> Result<Option<u64>, String> {
+        match flags.iter().position(|f| f == name) {
+            None => Ok(None),
+            Some(i) => flags
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| format!("{name} needs a numeric argument")),
+        }
+    };
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = numeric("--timeout-ms")? {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = numeric("--max-events")? {
+        budget = budget.with_max_events(n as usize);
+    }
+    Ok(budget)
 }
 
 fn info(model: &Stg) -> Result<bool, String> {
@@ -142,9 +173,11 @@ fn unfold(model: &Stg, flags: &[String]) -> Result<bool, String> {
     Ok(false)
 }
 
-fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<bool, String> {
+fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, String> {
     let engine = engine_flag(flags)?;
-    if engine == Engine::UnfoldingIlp {
+    let budget = budget_flags(flags)?;
+    let unbudgeted = budget.deadline.is_none() && budget.max_events.is_none();
+    if engine == Engine::UnfoldingIlp && unbudgeted {
         // Use the full checker so we can print witnesses.
         let checker = Checker::new(model).map_err(|e| e.to_string())?;
         let outcome = match property {
@@ -156,17 +189,32 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<bool, Str
         match outcome {
             CheckOutcome::Satisfied => {
                 println!("{property:?}: satisfied");
-                Ok(false)
+                Ok(0)
             }
             CheckOutcome::Conflict(w) => {
                 println!("{}", w.describe(model));
-                Ok(true)
+                Ok(1)
             }
         }
     } else {
-        let ok = check_property(model, property, engine).map_err(|e| e.to_string())?;
-        println!("{property:?}: {}", if ok { "satisfied" } else { "CONFLICT" });
-        Ok(!ok)
+        let run = check_property(model, property, engine, &budget).map_err(|e| e.to_string())?;
+        match run.verdict {
+            Verdict::Holds => {
+                println!("{property:?}: satisfied");
+                Ok(0)
+            }
+            Verdict::Violated(_) => {
+                println!("{property:?}: CONFLICT");
+                Ok(1)
+            }
+            Verdict::Unknown(reason) => {
+                println!(
+                    "{property:?}: UNKNOWN ({reason}) after {:?} [engine {}]",
+                    run.report.elapsed, run.report.engine
+                );
+                Ok(3)
+            }
+        }
     }
 }
 

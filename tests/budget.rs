@@ -1,0 +1,139 @@
+//! Budget semantics: exhausted engines must answer `Unknown` — never
+//! a wrong `Holds`/`Violated` — within the wall-clock allowance, and
+//! the portfolio must still match the explicit oracle when resources
+//! are plentiful.
+
+use std::time::{Duration, Instant};
+
+use bench_harness::models;
+use stg_coding_conflicts::csc_core::{
+    check_property, Budget, CancelToken, Engine, ExhaustionReason, Property, Verdict,
+};
+use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
+
+const ALL_ENGINES: [Engine; 4] = [
+    Engine::UnfoldingIlp,
+    Engine::ExplicitStateGraph,
+    Engine::SymbolicBdd,
+    Engine::Portfolio,
+];
+
+type ReasonCheck = fn(&ExhaustionReason) -> bool;
+
+/// Each resource cap trips its own engine into the matching
+/// `ExhaustionReason` on a model the engine could otherwise decide.
+#[test]
+fn tiny_budgets_yield_unknown_with_the_right_reason() {
+    let stg = counterflow_sym(3, 3);
+    let cases: [(Engine, Budget, ReasonCheck); 4] = [
+        (
+            Engine::UnfoldingIlp,
+            Budget::unlimited().with_max_events(4),
+            |r| matches!(r, ExhaustionReason::EventLimit(4)),
+        ),
+        (
+            Engine::UnfoldingIlp,
+            Budget::unlimited().with_max_solver_steps(1),
+            |r| matches!(r, ExhaustionReason::SolverStepLimit(1)),
+        ),
+        (
+            Engine::ExplicitStateGraph,
+            Budget::unlimited().with_max_states(4),
+            |r| matches!(r, ExhaustionReason::StateLimit(4)),
+        ),
+        (
+            Engine::SymbolicBdd,
+            Budget::unlimited().with_max_bdd_nodes(64),
+            |r| matches!(r, ExhaustionReason::BddNodeLimit(64)),
+        ),
+    ];
+    for (engine, budget, expected) in cases {
+        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        match &run.verdict {
+            Verdict::Unknown(reason) => {
+                assert!(expected(reason), "{engine:?}: wrong reason {reason:?}")
+            }
+            other => panic!("{engine:?}: expected Unknown, got {other:?}"),
+        }
+        assert_eq!(run.report.engine, engine.name());
+    }
+}
+
+/// A token cancelled before the call starts stops every engine at its
+/// first poll.
+#[test]
+fn pre_cancelled_token_stops_every_engine() {
+    let stg = counterflow_sym(3, 3);
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(token);
+    for engine in ALL_ENGINES {
+        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        assert_eq!(
+            run.verdict,
+            Verdict::Unknown(ExhaustionReason::Cancelled),
+            "{engine:?}"
+        );
+    }
+}
+
+/// An already-expired deadline yields `Unknown(DeadlineExpired)` from
+/// every engine, near-instantly, with the report naming the engine.
+#[test]
+fn expired_deadline_yields_unknown_for_every_engine() {
+    let stg = counterflow_sym(3, 3);
+    let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+    for engine in ALL_ENGINES {
+        let start = Instant::now();
+        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(
+            run.verdict,
+            Verdict::Unknown(ExhaustionReason::DeadlineExpired),
+            "{engine:?}"
+        );
+        assert_eq!(run.report.engine, engine.name());
+        assert!(elapsed < Duration::from_secs(1), "{engine:?}: {elapsed:?}");
+    }
+}
+
+/// The acceptance-criterion scenario: the symbolic engine — whose
+/// single BDD operations can run for minutes on this input — must
+/// come back within ~2× a 100 ms deadline, inconclusive but with its
+/// partial node count reported.
+#[test]
+fn symbolic_respects_deadline_on_adversarial_input() {
+    let stg = counterflow_sym(4, 4);
+    let deadline = Duration::from_millis(100);
+    let budget = Budget::unlimited().with_deadline(deadline);
+    let start = Instant::now();
+    let run = check_property(&stg, Property::Csc, Engine::SymbolicBdd, &budget).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(
+        run.verdict,
+        Verdict::Unknown(ExhaustionReason::DeadlineExpired)
+    );
+    // ~2× the allowance (plus scheduler slack); without manager-level
+    // interruption this input takes minutes.
+    assert!(elapsed < deadline * 2 + Duration::from_millis(100), "{elapsed:?}");
+    assert_eq!(run.report.engine, "symbolic");
+    assert!(run.report.bdd_nodes.unwrap() > 2, "partial work reported");
+    assert!(run.report.elapsed >= deadline);
+}
+
+/// With a generous budget, the portfolio reproduces the explicit
+/// oracle's CSC verdict on every Table 1 roster model.
+#[test]
+fn portfolio_matches_expected_csc_on_table1_roster() {
+    let budget = Budget::unlimited().with_deadline(Duration::from_secs(120));
+    for model in models() {
+        let run = check_property(&model.stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        assert_eq!(
+            run.verdict.holds(),
+            Some(model.expect_csc),
+            "{}: {:?}",
+            model.name,
+            run.verdict
+        );
+    }
+}

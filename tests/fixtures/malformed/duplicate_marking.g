@@ -1,0 +1,8 @@
+.model dupmark
+.outputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.marking { <a+,a-> }
+.end

@@ -1,0 +1,7 @@
+.model nonutf8
+.outputs aÿþ
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end

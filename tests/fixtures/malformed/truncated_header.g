@@ -1,0 +1,3 @@
+.model truncated
+.inputs dsr ldtack
+.outputs lds d dt

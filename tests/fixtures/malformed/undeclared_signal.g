@@ -1,0 +1,11 @@
+.model undeclared
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ ghost+
+ghost+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

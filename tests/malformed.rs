@@ -1,0 +1,47 @@
+//! The parser must reject every file in `tests/fixtures/malformed/`
+//! with a typed error — and must never panic, which is checked by
+//! running each parse under `catch_unwind`.
+
+use std::fs;
+use std::panic::catch_unwind;
+use std::path::PathBuf;
+
+use stg_coding_conflicts::stg;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/malformed")
+}
+
+#[test]
+fn every_malformed_fixture_is_rejected_without_panic() {
+    let mut seen = 0;
+    for entry in fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "g") {
+            continue;
+        }
+        seen += 1;
+        let bytes = fs::read(&path).unwrap();
+        let result = catch_unwind(|| stg::parse_bytes(&bytes));
+        match result {
+            Ok(parsed) => assert!(
+                parsed.is_err(),
+                "{}: malformed fixture parsed successfully",
+                path.display()
+            ),
+            Err(_) => panic!("{}: parser panicked", path.display()),
+        }
+    }
+    assert!(seen >= 4, "expected the full corpus, found {seen} fixtures");
+}
+
+#[test]
+fn rejections_are_specific() {
+    let read = |name: &str| fs::read(fixture_dir().join(name)).unwrap();
+    let err = |name: &str| stg::parse_bytes(&read(name)).unwrap_err().to_string();
+    assert!(err("undeclared_signal.g").contains("undeclared signal"));
+    assert!(err("duplicate_marking.g").contains("duplicate .marking"));
+    assert!(err("non_utf8.g").contains("UTF-8"));
+    // The truncated header never reaches a marking section.
+    assert!(err("truncated_header.g").contains("marking"));
+}

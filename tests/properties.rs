@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use stg_coding_conflicts::csc_core::{check_property, Engine, Property};
+use stg_coding_conflicts::csc_core::{check_property_bool, Engine, Property};
 use stg_coding_conflicts::ilp::{Problem, Solver, SolverOptions};
 use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
 use stg_coding_conflicts::stg::{self, StateGraph};
@@ -105,8 +105,8 @@ proptest! {
             prop_assert_eq!(back.signal_kind(bz), model.signal_kind(z));
         }
         // Same verdicts through the explicit engine.
-        let a = check_property(&model, Property::Csc, Engine::ExplicitStateGraph).unwrap();
-        let b = check_property(&back, Property::Csc, Engine::ExplicitStateGraph).unwrap();
+        let a = check_property_bool(&model, Property::Csc, Engine::ExplicitStateGraph).unwrap();
+        let b = check_property_bool(&back, Property::Csc, Engine::ExplicitStateGraph).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -116,8 +116,8 @@ proptest! {
     fn engines_agree_on_random_models(config in arb_config(), seed in 0u64..10_000) {
         let model = random_stg(&config, seed);
         for property in [Property::Usc, Property::Csc] {
-            let a = check_property(&model, property, Engine::UnfoldingIlp).unwrap();
-            let b = check_property(&model, property, Engine::ExplicitStateGraph).unwrap();
+            let a = check_property_bool(&model, property, Engine::UnfoldingIlp).unwrap();
+            let b = check_property_bool(&model, property, Engine::ExplicitStateGraph).unwrap();
             prop_assert_eq!(a, b, "{:?}", property);
         }
     }
