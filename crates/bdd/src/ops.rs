@@ -39,14 +39,12 @@ impl Bdd {
 
     /// Conjunction of many functions.
     pub fn and_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
-        fs.into_iter()
-            .fold(NodeId::TRUE, |acc, f| self.and(acc, f))
+        fs.into_iter().fold(NodeId::TRUE, |acc, f| self.and(acc, f))
     }
 
     /// Disjunction of many functions.
     pub fn or_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
-        fs.into_iter()
-            .fold(NodeId::FALSE, |acc, f| self.or(acc, f))
+        fs.into_iter().fold(NodeId::FALSE, |acc, f| self.or(acc, f))
     }
 
     /// Restriction `f[var := value]`.

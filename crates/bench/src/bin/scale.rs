@@ -5,16 +5,28 @@
 //! the IP check grow polynomially.
 //!
 //! Usage: `cargo run --release -p bench-harness --bin scale
-//! [-- --max N] [-- --json PATH] [-- --budget-ms MS]`
+//! [-- --max N] [-- --json PATH] [-- --budget-ms MS]
+//! [-- --server-bench] [-- --workers N]`
 //!
 //! With `--budget-ms` each point's unfolding + IP run gets a
 //! wall-clock allowance; aborted points are recorded, not fatal.
+//!
+//! With `--server-bench` the counterflow suite is additionally pushed
+//! through an in-process `stgd` worker pool twice — sequential
+//! portfolio vs racing portfolio — and the wall-clock comparison is
+//! recorded in the JSON artifact under `"server_bench"`. The per-job
+//! budget for those batches comes from `--budget-ms` and
+//! `--budget-solver-steps`; a solver-step cap that the larger widths
+//! exceed is what separates the two portfolios (the sequential one
+//! pays for the exhausted unfolding+IP phase serially).
 
 use std::env;
 use std::fs;
 use std::time::Duration;
 
-use bench_harness::{run_scale, run_scale_counterflow, scale_to_json, Budget};
+use bench_harness::{
+    run_scale, run_scale_counterflow, run_server_bench, scale_artifact_json, Budget,
+};
 
 fn main() {
     let args: Vec<String> = env::args().collect();
@@ -40,6 +52,13 @@ fn main() {
         }
         None => Budget::unlimited(),
     };
+
+    let server_bench = args.iter().any(|a| a == "--server-bench");
+    let workers: usize = args
+        .windows(2)
+        .find(|w| w[0] == "--workers")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(4);
 
     let stages: Vec<usize> = (1..=max).collect();
     let points = if counterflow {
@@ -71,8 +90,56 @@ fn main() {
         );
     }
 
+    let sb_points = if server_bench {
+        let widths: Vec<usize> = (1..=max).collect();
+        let spec = server::protocol::BudgetSpec {
+            timeout_ms: args
+                .windows(2)
+                .find(|w| w[0] == "--budget-ms")
+                .and_then(|w| w[1].parse().ok()),
+            max_solver_steps: args
+                .windows(2)
+                .find(|w| w[0] == "--budget-solver-steps")
+                .and_then(|w| w[1].parse().ok()),
+            ..Default::default()
+        };
+        let sb = run_server_bench(&widths, 2, workers, 2 * workers, spec);
+        println!();
+        println!(
+            "{:>3} | {:>4} {:>7} | {:>13} {:>9} | {:>7} | winners",
+            "n", "jobs", "workers", "portfolio[ms]", "race[ms]", "speedup"
+        );
+        println!("{}", "-".repeat(72));
+        for p in &sb {
+            let winners = p
+                .race_winners
+                .iter()
+                .map(|(name, count)| format!("{name}:{count}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            println!(
+                "{:>3} | {:>4} {:>7} | {:>13.2} {:>9.2} | {:>6.2}x | {}{}",
+                p.n,
+                p.jobs,
+                p.workers,
+                p.portfolio_ms,
+                p.race_ms,
+                p.speedup,
+                winners,
+                if p.verdicts_ok {
+                    ""
+                } else {
+                    " VERDICT MISMATCH"
+                },
+            );
+        }
+        sb
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = json_path {
-        fs::write(&path, scale_to_json(&points)).expect("write json");
+        fs::write(&path, scale_artifact_json(&points, &sb_points)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -15,14 +15,17 @@
 //!
 //! * `table1` — prints the table and writes `table1.json`;
 //! * `scale`  — the scalability sweep (pipeline width vs state count,
-//!   prefix size, engine times).
+//!   prefix size, engine times); with `--server-bench` it also
+//!   batches the counterflow suite through an in-process `stgd`
+//!   twice — sequential portfolio vs racing portfolio — and records
+//!   the wall-clock comparison.
 
 #![warn(missing_docs)]
 
 use std::time::Instant;
 
-use csc_core::{CheckOutcome, Checker, CheckerOptions};
 pub use csc_core::Budget;
+use csc_core::{CheckOutcome, Checker, CheckerOptions, Engine, Property};
 use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg::gen::duplex::{dup_4ph, dup_mod};
 use stg::gen::pipeline::muller_pipeline;
@@ -324,7 +327,13 @@ pub struct ScalePoint {
 /// `explicit_cap` states, unfolding + IP under `budget`. If
 /// `expect_satisfied` is set, a *completed* IP run must report CSC
 /// satisfied (an aborted one is recorded, not asserted on).
-fn scale_point(stg: &Stg, n: usize, explicit_cap: usize, budget: &Budget, expect_satisfied: bool) -> ScalePoint {
+fn scale_point(
+    stg: &Stg,
+    n: usize,
+    explicit_cap: usize,
+    budget: &Budget,
+    expect_satisfied: bool,
+) -> ScalePoint {
     let limits = petri::ExploreLimits {
         max_states: explicit_cap,
         token_bound: 1,
@@ -391,6 +400,125 @@ pub fn run_scale_counterflow(
         .collect()
 }
 
+/// One width of the server-bench comparison: the same counterflow
+/// batch pushed through one `stgd` worker pool twice, once with the
+/// sequential portfolio and once with the racing portfolio.
+///
+/// The interesting regime is a *bounded* per-job budget (say a
+/// solver-step cap): widths whose absence proof exceeds the cap make
+/// the sequential portfolio pay for the failed unfolding+IP phase
+/// before the explicit fallback even starts, while the race runs
+/// both concurrently and adopts whichever concludes first.
+#[derive(Debug, Clone)]
+pub struct ServerBenchPoint {
+    /// Counterflow width.
+    pub n: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Worker threads of the pool.
+    pub workers: usize,
+    /// Per-job wall-clock allowance, milliseconds (`None` =
+    /// unlimited).
+    pub budget_ms: Option<u64>,
+    /// Per-job IP solver propagation cap (`None` = unlimited).
+    pub budget_solver_steps: Option<u64>,
+    /// Batch wall-clock with `engine = portfolio`, milliseconds.
+    pub portfolio_ms: f64,
+    /// Batch wall-clock with `engine = race`, milliseconds.
+    pub race_ms: f64,
+    /// `portfolio_ms / race_ms` (> 1 means the race won).
+    pub speedup: f64,
+    /// Engines that won races in this batch, with win counts.
+    pub race_winners: Vec<(String, usize)>,
+    /// Whether every job of both batches came back conclusive with
+    /// the expected verdict (counterflow is conflict-free).
+    pub verdicts_ok: bool,
+}
+
+/// Times one batch (`reps` identical CSC jobs on the counterflow
+/// model of width `n`) against a running server, returning the batch
+/// wall-clock, per-engine race-win counts and whether every verdict
+/// was the expected `holds`.
+fn server_batch(
+    addr: std::net::SocketAddr,
+    g_text: &str,
+    n: usize,
+    reps: usize,
+    engine: Engine,
+    budget: server::protocol::BudgetSpec,
+) -> (f64, Vec<(String, usize)>, bool) {
+    use server::protocol::CheckRequest;
+    let mut client = server::Client::connect(addr).expect("connect to in-process stgd");
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        client
+            .submit(&CheckRequest {
+                id: format!("cf{n}-{}-{rep}", engine.name()),
+                stg_g: g_text.to_owned(),
+                property: Property::Csc,
+                engine: Some(engine),
+                budget,
+            })
+            .expect("submit job");
+    }
+    let mut ok = true;
+    let mut winners: Vec<(String, usize)> = Vec::new();
+    for _ in 0..reps {
+        let response = client.read_response().expect("read verdict");
+        ok &= response.verdict.as_deref() == Some("holds");
+        if let Some(winner) = response.winner {
+            match winners.iter_mut().find(|(name, _)| *name == winner) {
+                Some((_, count)) => *count += 1,
+                None => winners.push((winner, 1)),
+            }
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, winners, ok)
+}
+
+/// Runs the server-bench comparison over counterflow `widths` at
+/// fixed `depth`: each width's batch of `reps` CSC jobs is served by
+/// one in-process `stgd` pool of `workers` threads, first with the
+/// sequential portfolio, then with the racing portfolio, every job
+/// under the same per-job `budget`.
+pub fn run_server_bench(
+    widths: &[usize],
+    depth: usize,
+    workers: usize,
+    reps: usize,
+    budget: server::protocol::BudgetSpec,
+) -> Vec<ServerBenchPoint> {
+    let handle = server::spawn(server::ServerConfig {
+        workers,
+        ..Default::default()
+    })
+    .expect("bind in-process stgd on an ephemeral port");
+    let points = widths
+        .iter()
+        .map(|&n| {
+            let g_text = stg::to_g_format(&counterflow_sym(n, depth), "counterflow");
+            let (portfolio_ms, _, portfolio_ok) =
+                server_batch(handle.addr(), &g_text, n, reps, Engine::Portfolio, budget);
+            let (race_ms, race_winners, race_ok) =
+                server_batch(handle.addr(), &g_text, n, reps, Engine::Race, budget);
+            ServerBenchPoint {
+                n,
+                jobs: reps,
+                workers,
+                budget_ms: budget.timeout_ms,
+                budget_solver_steps: budget.max_solver_steps,
+                portfolio_ms,
+                race_ms,
+                speedup: portfolio_ms / race_ms,
+                race_winners,
+                verdicts_ok: portfolio_ok && race_ok,
+            }
+        })
+        .collect();
+    handle.shutdown();
+    points
+}
+
 pub mod json {
     //! Hand-rolled JSON emission for the harness artefacts
     //! (`table1.json`, `scale.json`). The build environment has no
@@ -432,7 +560,8 @@ pub mod json {
 
         /// Adds a string member.
         pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
-            self.members.push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
+            self.members
+                .push(format!("\"{}\": \"{}\"", escape(key), escape(value)));
             self
         }
 
@@ -465,7 +594,11 @@ pub mod json {
         }
 
         /// Adds an optional numeric member (`null` when `None`).
-        pub fn opt_number(&mut self, key: &str, value: Option<impl std::fmt::Display>) -> &mut Self {
+        pub fn opt_number(
+            &mut self,
+            key: &str,
+            value: Option<impl std::fmt::Display>,
+        ) -> &mut Self {
             match value {
                 Some(v) => self.number(key, v),
                 None => self.null(key),
@@ -579,6 +712,49 @@ pub fn table_to_json(rows: &[TableRow]) -> String {
     json::array(&objects)
 }
 
+/// Serialises server-bench points as a pretty-printed JSON array.
+pub fn server_bench_to_json(points: &[ServerBenchPoint]) -> String {
+    let objects: Vec<json::Object> = points
+        .iter()
+        .map(|p| {
+            let winners = p
+                .race_winners
+                .iter()
+                .map(|(name, count)| format!("{name}:{count}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            let mut o = json::Object::new();
+            o.number("n", p.n)
+                .number("jobs", p.jobs)
+                .number("workers", p.workers)
+                .opt_number("budget_ms", p.budget_ms)
+                .opt_number("budget_solver_steps", p.budget_solver_steps)
+                .float("portfolio_ms", p.portfolio_ms)
+                .float("race_ms", p.race_ms)
+                .float("speedup", p.speedup)
+                .string("race_winners", &winners)
+                .boolean("verdicts_ok", p.verdicts_ok);
+            o
+        })
+        .collect();
+    json::array(&objects)
+}
+
+/// Renders the full `scale.json` artifact: the sweep under `"sweep"`,
+/// plus — when the server-bench comparison ran — its points under
+/// `"server_bench"`.
+pub fn scale_artifact_json(points: &[ScalePoint], server_bench: &[ServerBenchPoint]) -> String {
+    let indent = |text: String| text.replace('\n', "\n  ");
+    let mut out = String::from("{\n  \"sweep\": ");
+    out.push_str(&indent(scale_to_json(points)));
+    if !server_bench.is_empty() {
+        out.push_str(",\n  \"server_bench\": ");
+        out.push_str(&indent(server_bench_to_json(server_bench)));
+    }
+    out.push_str("\n}");
+    out
+}
+
 /// Serialises scale-sweep points as a pretty-printed JSON array.
 pub fn scale_to_json(points: &[ScalePoint]) -> String {
     let objects: Vec<json::Object> = points
@@ -629,10 +805,20 @@ mod tests {
     #[test]
     fn exhausted_rows_record_the_abort_instead_of_crashing() {
         let model = &models()[0]; // LAZYRING
-        let budget = Budget::unlimited().with_max_events(3).with_max_bdd_nodes(16);
+        let budget = Budget::unlimited()
+            .with_max_events(3)
+            .with_max_bdd_nodes(16);
         let row = run_row(model, &budget);
-        assert!(row.pfy_outcome.starts_with("aborted:"), "{}", row.pfy_outcome);
-        assert!(row.clp_outcome.starts_with("aborted:"), "{}", row.clp_outcome);
+        assert!(
+            row.pfy_outcome.starts_with("aborted:"),
+            "{}",
+            row.pfy_outcome
+        );
+        assert!(
+            row.clp_outcome.starts_with("aborted:"),
+            "{}",
+            row.clp_outcome
+        );
         assert_eq!(row.csc, None);
         assert!(row.verdicts_ok, "inconclusive is not a mismatch");
         assert!(row.bdd_nodes > 0, "partial symbolic work is reported");

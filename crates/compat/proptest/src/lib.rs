@@ -385,7 +385,9 @@ pub mod prelude {
 
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of the `prop` module path (`prop::collection::vec`).
     pub mod prop {
@@ -533,12 +535,15 @@ mod tests {
     }
 
     fn arb_tree() -> BoxedStrategy<Tree> {
-        (0u32..8).prop_map(Tree::Leaf).boxed().prop_recursive(3, 16, 2, |inner| {
-            prop_oneof![
-                inner.clone(),
-                (inner.clone(), inner).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
-            ]
-        })
+        (0u32..8)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    inner.clone(),
+                    (inner.clone(), inner).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+                ]
+            })
     }
 
     proptest! {

@@ -51,7 +51,10 @@ impl<T: SampleUniform> SampleRange<T> for Range<T> {
 impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
     fn bounds_inclusive(self) -> (T, T) {
         let (lo, hi) = self.into_inner();
-        assert!(lo.to_i128() <= hi.to_i128(), "cannot sample from an empty range");
+        assert!(
+            lo.to_i128() <= hi.to_i128(),
+            "cannot sample from an empty range"
+        );
         (lo, hi)
     }
 }

@@ -357,11 +357,7 @@ impl<'a> Checker<'a> {
                     return false;
                 }
             }
-            let key = if m1 <= m2 {
-                (m1, m2)
-            } else {
-                (m2, m1)
-            };
+            let key = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
             if seen.insert(key) {
                 match self.make_witness(kind, sides) {
                     Ok(w) => witnesses.push(w),
@@ -613,8 +609,12 @@ mod tests {
         for stg in [vme_read(), lazy_ring(2), dup_4ph(1, false), dup_mod(2)] {
             let sg = StateGraph::build(&stg, Default::default()).unwrap();
             let checker = Checker::new(&stg).unwrap();
-            let usc = checker.enumerate_conflicts(ConflictKind::Usc, 10_000).unwrap();
-            let csc = checker.enumerate_conflicts(ConflictKind::Csc, 10_000).unwrap();
+            let usc = checker
+                .enumerate_conflicts(ConflictKind::Usc, 10_000)
+                .unwrap();
+            let csc = checker
+                .enumerate_conflicts(ConflictKind::Csc, 10_000)
+                .unwrap();
             assert_eq!(usc.len(), sg.usc_conflict_pairs().len());
             assert_eq!(csc.len(), sg.csc_conflict_pairs(&stg).len());
             for w in usc.iter().chain(&csc) {
@@ -642,7 +642,11 @@ mod tests {
         use ilp::{ValueOrder, VarOrder};
         let cases = [vme_read(), counterflow_sym(2, 2), dup_4ph(1, true)];
         for stg in &cases {
-            let expected = Checker::new(stg).unwrap().check_csc().unwrap().is_satisfied();
+            let expected = Checker::new(stg)
+                .unwrap()
+                .check_csc()
+                .unwrap()
+                .is_satisfied();
             for value_order in [ValueOrder::OneFirst, ValueOrder::ZeroFirst] {
                 for var_order in [VarOrder::DescendingEvents, VarOrder::AscendingEvents] {
                     for cf_opt in [true, false] {
@@ -695,10 +699,7 @@ mod tests {
         flag.store(true, Ordering::Relaxed);
         match checker.check_usc() {
             Err(CheckError::Solve(e)) => {
-                assert_eq!(
-                    e.cause,
-                    ilp::AbortCause::Stopped(StopReason::Cancelled)
-                );
+                assert_eq!(e.cause, ilp::AbortCause::Stopped(StopReason::Cancelled));
             }
             other => panic!("expected Solve error, got {other:?}"),
         }

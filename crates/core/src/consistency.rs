@@ -90,7 +90,10 @@ impl Checker<'_> {
                 for z in stg.signals() {
                     if ours.get(z) != theirs.get(z) {
                         return Ok(ConsistencyOutcome::Violation(
-                            ConsistencyViolation::CutoffMismatch { event: e, signal: z },
+                            ConsistencyViolation::CutoffMismatch {
+                                event: e,
+                                signal: z,
+                            },
                         ));
                     }
                 }
@@ -185,10 +188,7 @@ mod tests {
         let stg = b.build().unwrap();
         let checker = Checker::new(&stg).unwrap();
         match checker.check_consistency().unwrap() {
-            ConsistencyOutcome::Violation(ConsistencyViolation::NonBinary {
-                signal,
-                sequence,
-            }) => {
+            ConsistencyOutcome::Violation(ConsistencyViolation::NonBinary { signal, sequence }) => {
                 assert_eq!(signal, a);
                 // The sequence indeed leaves binary codes.
                 assert_eq!(stg.code_after(&sequence), None);

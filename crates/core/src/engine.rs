@@ -4,8 +4,11 @@
 //! same property can be decided by the paper's unfolding + integer
 //! programming method, by explicit state-graph enumeration (the
 //! ground-truth oracle), by the BDD-based symbolic baseline (the
-//! Petrify-style comparator of Table 1), or by a [`Engine::Portfolio`]
-//! that degrades gracefully from the first to the second.
+//! Petrify-style comparator of Table 1), by a [`Engine::Portfolio`]
+//! that degrades gracefully from the first to the second, or by a
+//! [`Engine::Race`] that runs all three concurrently under one
+//! absolute deadline and cancels the losers as soon as any engine is
+//! conclusive.
 //!
 //! Every call runs under a [`Budget`] and returns a three-valued
 //! [`Verdict`] plus a [`ResourceReport`]: an exhausted engine answers
@@ -15,6 +18,8 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ilp::AbortCause;
@@ -41,6 +46,10 @@ pub enum Engine {
     /// oracle when the prefix built so far suggests a small state
     /// space; otherwise `Unknown` with partial statistics.
     Portfolio,
+    /// Racing parallel portfolio: all three engines on separate
+    /// threads sharing one absolute deadline; the first conclusive
+    /// verdict wins and the losers are cancelled.
+    Race,
 }
 
 impl Engine {
@@ -52,6 +61,7 @@ impl Engine {
             Engine::ExplicitStateGraph => "explicit",
             Engine::SymbolicBdd => "symbolic",
             Engine::Portfolio => "portfolio",
+            Engine::Race => "race",
         }
     }
 }
@@ -104,6 +114,7 @@ const PORTFOLIO_FALLBACK_STATES: usize = 1 << 18;
 ///     Engine::ExplicitStateGraph,
 ///     Engine::SymbolicBdd,
 ///     Engine::Portfolio,
+///     Engine::Race,
 /// ] {
 ///     let run = check_property(&stg, Property::Csc, engine, &Budget::unlimited())?;
 ///     assert_eq!(run.verdict.holds(), Some(false)); // vme_read has a CSC conflict
@@ -123,6 +134,7 @@ pub fn check_property(
         Engine::ExplicitStateGraph => run_explicit(stg, property, budget, &guard),
         Engine::SymbolicBdd => run_symbolic(stg, property, budget, &guard),
         Engine::Portfolio => run_portfolio(stg, property, budget, &guard),
+        Engine::Race => run_race(stg, property, budget, &guard),
     }));
     match outcome {
         Ok(Ok((verdict, report))) => Ok(CheckRun { verdict, report }),
@@ -231,7 +243,12 @@ fn outcome_to_verdict(outcome: CheckOutcome) -> Verdict {
     }
 }
 
-fn run_explicit(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+fn run_explicit(
+    stg: &Stg,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
     let start = Instant::now();
     let mut report = ResourceReport::empty("explicit");
     let mut limits = ExploreLimits::default();
@@ -285,7 +302,12 @@ fn run_explicit(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuar
     Ok((verdict, report))
 }
 
-fn run_symbolic(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+fn run_symbolic(
+    stg: &Stg,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
     let start = Instant::now();
     let mut report = ResourceReport::empty("symbolic");
     let sym_budget = SymbolicBudget {
@@ -293,21 +315,15 @@ fn run_symbolic(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuar
         max_nodes: budget.max_bdd_nodes,
     };
     let mut checker = SymbolicChecker::new(stg);
+    // `Ok(None)` defers witness decoding to below, after the
+    // `try_analyse` borrow ends.
     let result = match property {
-        Property::Usc => checker.try_analyse(&sym_budget).map(|r| {
-            if r.satisfies_usc() {
-                Some(Verdict::Holds)
-            } else {
-                None // decode a witness below, after the borrow ends
-            }
-        }),
-        Property::Csc => checker.try_analyse(&sym_budget).map(|r| {
-            Some(if r.satisfies_csc() {
-                Verdict::Holds
-            } else {
-                Verdict::Violated(Witness::Unwitnessed)
-            })
-        }),
+        Property::Usc => checker
+            .try_analyse(&sym_budget)
+            .map(|r| r.satisfies_usc().then_some(Verdict::Holds)),
+        Property::Csc => checker
+            .try_analyse(&sym_budget)
+            .map(|r| r.satisfies_csc().then_some(Verdict::Holds)),
         Property::Normalcy => checker.try_is_normal(&sym_budget).map(|normal| {
             Some(if normal {
                 Verdict::Holds
@@ -316,12 +332,17 @@ fn run_symbolic(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuar
             })
         }),
     };
-    report.bdd_nodes = Some(checker.nodes_allocated());
     let verdict = match result {
         Ok(Some(v)) => v,
         Ok(None) => {
-            // USC violated: decode one conflicting pair of states.
-            let witness = checker.usc_witness().map_or(Witness::Unwitnessed, |w| {
+            // USC/CSC violated: decode one conflicting pair of
+            // states of the matching kind.
+            let decoded = match property {
+                Property::Usc => checker.usc_witness(),
+                Property::Csc => checker.csc_witness(),
+                Property::Normalcy => None,
+            };
+            let witness = decoded.map_or(Witness::Unwitnessed, |w| {
                 Witness::States(Box::new((w.marking1, w.marking2)))
             });
             Verdict::Violated(witness)
@@ -329,6 +350,7 @@ fn run_symbolic(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuar
         Err(SymbolicStop::Stopped(reason)) => Verdict::Unknown(reason.into()),
         Err(SymbolicStop::NodeLimit(n)) => Verdict::Unknown(ExhaustionReason::BddNodeLimit(n)),
     };
+    report.bdd_nodes = Some(checker.nodes_allocated());
     report.elapsed = start.elapsed();
     Ok((verdict, report))
 }
@@ -343,6 +365,7 @@ fn run_portfolio(
     let (verdict, mut report) = run_unfolding(stg, property, budget, guard)?;
     report.engine = "portfolio";
     if !verdict.is_unknown() {
+        report.winner = Some("unfolding-ilp");
         return Ok((verdict, report));
     }
     // Graceful degradation: if the prefix stayed small (whether or
@@ -363,6 +386,7 @@ fn run_portfolio(
         report.states = fallback_report.states;
         report.elapsed = start.elapsed();
         if !fallback_verdict.is_unknown() {
+            report.winner = Some("explicit");
             return Ok((fallback_verdict, report));
         }
     }
@@ -372,6 +396,157 @@ fn run_portfolio(
     Ok((verdict, report))
 }
 
+/// The three engines a [`Engine::Race`] runs concurrently.
+const RACERS: [Engine; 3] = [
+    Engine::UnfoldingIlp,
+    Engine::ExplicitStateGraph,
+    Engine::SymbolicBdd,
+];
+
+/// Derives the guard one racing engine polls: the job-level
+/// cancellation flag and the *already anchored* absolute deadline of
+/// `base`, plus a private loser flag the race supervisor raises when
+/// another engine wins. Crucially the deadline is copied, not
+/// re-anchored — every racer shares the single wall clock
+/// `check_property` started.
+fn derive_race_guard(base: &StopGuard, loser: Arc<AtomicBool>) -> StopGuard {
+    StopGuard::new(base.cancel_flag(), base.deadline()).with_extra_cancel(loser)
+}
+
+/// Compile-time audit that the types crossing the race's thread
+/// boundary are sendable, and that one `Stg` may be shared by
+/// reference across the racing threads.
+#[allow(dead_code)]
+fn assert_race_send_bounds() {
+    fn send<T: Send>() {}
+    fn sync<T: Sync>() {}
+    sync::<Stg>();
+    send::<Budget>();
+    send::<StopGuard>();
+    send::<Verdict>();
+    send::<ResourceReport>();
+    send::<CheckError>();
+    send::<CheckRun>();
+}
+
+fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+    use std::sync::mpsc;
+
+    let start = Instant::now();
+    let loser_flags: Vec<Arc<AtomicBool>> = RACERS
+        .iter()
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
+    // The explicit racer gets the portfolio's default state cap so an
+    // uncapped race cannot degrade into an unbounded enumeration
+    // while the other engines are still working.
+    let explicit_budget = Budget {
+        max_states: Some(budget.max_states.unwrap_or(PORTFOLIO_FALLBACK_STATES)),
+        ..budget.clone()
+    };
+    let (tx, rx) = mpsc::channel::<(usize, Result<EngineOutcome, String>)>();
+    let results = std::thread::scope(|scope| {
+        for (i, &engine) in RACERS.iter().enumerate() {
+            let racer_guard = derive_race_guard(guard, Arc::clone(&loser_flags[i]));
+            let tx = tx.clone();
+            let race_budget = match engine {
+                Engine::ExplicitStateGraph => &explicit_budget,
+                _ => budget,
+            };
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
+                    Engine::UnfoldingIlp => run_unfolding(stg, property, race_budget, &racer_guard),
+                    Engine::ExplicitStateGraph => {
+                        run_explicit(stg, property, race_budget, &racer_guard)
+                    }
+                    _ => run_symbolic(stg, property, race_budget, &racer_guard),
+                }));
+                let _ = tx.send((i, outcome.map_err(|p| panic_message(p.as_ref()))));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<Result<EngineOutcome, String>>> =
+            RACERS.iter().map(|_| None).collect();
+        let mut won = false;
+        while let Ok((i, outcome)) = rx.recv() {
+            let conclusive = matches!(&outcome, Ok(Ok((verdict, _))) if !verdict.is_unknown());
+            slots[i] = Some(outcome);
+            if conclusive && !won {
+                won = true;
+                // Retire the losers; they answer `Unknown(Cancelled)`
+                // at their next poll and the scope joins promptly.
+                for (j, flag) in loser_flags.iter().enumerate() {
+                    if j != i {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        slots
+    });
+
+    let mut report = ResourceReport::empty("race");
+    let mut winner: Option<(Verdict, &'static str)> = None;
+    let mut first_unknown: Option<Verdict> = None;
+    let mut first_error: Option<CheckError> = None;
+    for (i, slot) in results.into_iter().enumerate() {
+        let engine = RACERS[i];
+        match slot {
+            Some(Ok(Ok((verdict, engine_report)))) => {
+                merge_racer_report(&mut report, &engine_report);
+                if !verdict.is_unknown() {
+                    // At most one racer is conclusive before the
+                    // losers are cancelled; if two finish in the same
+                    // instant their verdicts agree (engines are
+                    // cross-validated), so first-in-engine-order is a
+                    // sound tie-break.
+                    if winner.is_none() {
+                        winner = Some((verdict, engine.name()));
+                    }
+                } else if first_unknown.is_none()
+                    && !matches!(verdict, Verdict::Unknown(ExhaustionReason::Cancelled))
+                {
+                    first_unknown = Some(verdict);
+                }
+            }
+            Some(Ok(Err(e))) if first_error.is_none() => first_error = Some(e),
+            Some(Err(message)) if first_error.is_none() => {
+                first_error = Some(CheckError::EngineFailure {
+                    engine: engine.name(),
+                    message,
+                });
+            }
+            _ => {}
+        }
+    }
+    report.elapsed = start.elapsed();
+    if let Some((verdict, name)) = winner {
+        report.winner = Some(name);
+        return Ok((verdict, report));
+    }
+    // Nothing conclusive: prefer a non-cancellation exhaustion reason
+    // (it names the budget dimension to raise); a bare cancellation
+    // means the job itself was cancelled.
+    if let Some(verdict) = first_unknown {
+        return Ok((verdict, report));
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok((Verdict::Unknown(ExhaustionReason::Cancelled), report))
+}
+
+/// Folds one racer's counters into the aggregate race report. Each
+/// counter belongs to exactly one engine, so the merge is a
+/// field-wise union.
+fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
+    aggregate.prefix_events = aggregate.prefix_events.or(racer.prefix_events);
+    aggregate.prefix_conditions = aggregate.prefix_conditions.or(racer.prefix_conditions);
+    aggregate.solver_steps = aggregate.solver_steps.or(racer.solver_steps);
+    aggregate.states = aggregate.states.or(racer.states);
+    aggregate.bdd_nodes = aggregate.bdd_nodes.or(racer.bdd_nodes);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,11 +554,12 @@ mod tests {
     use stg::gen::duplex::dup_4ph;
     use stg::gen::vme::{vme_read, vme_read_csc_resolved};
 
-    const ENGINES: [Engine; 4] = [
+    const ENGINES: [Engine; 5] = [
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
         Engine::Portfolio,
+        Engine::Race,
     ];
 
     #[test]
@@ -422,8 +598,13 @@ mod tests {
     #[test]
     fn reports_carry_engine_counters() {
         let stg = vme_read();
-        let run = check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &Budget::unlimited())
-            .unwrap();
+        let run = check_property(
+            &stg,
+            Property::Csc,
+            Engine::UnfoldingIlp,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(run.report.engine, "unfolding-ilp");
         assert!(run.report.prefix_events.is_some_and(|n| n > 0));
         assert!(run.report.prefix_conditions.is_some_and(|n| n > 0));
@@ -441,8 +622,13 @@ mod tests {
         assert!(run.report.states.is_some_and(|n| n > 0));
         assert_eq!(run.report.prefix_events, None);
 
-        let run = check_property(&stg, Property::Csc, Engine::SymbolicBdd, &Budget::unlimited())
-            .unwrap();
+        let run = check_property(
+            &stg,
+            Property::Csc,
+            Engine::SymbolicBdd,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(run.report.engine, "symbolic");
         assert!(run.report.bdd_nodes.is_some_and(|n| n > 0));
     }
@@ -458,18 +644,30 @@ mod tests {
                 .expect("witness marking is reachable")
         };
         for engine in [Engine::ExplicitStateGraph, Engine::SymbolicBdd] {
-            let run =
-                check_property(&stg, Property::Usc, engine, &Budget::unlimited()).unwrap();
-            match run.verdict {
-                Verdict::Violated(Witness::States(pair)) => {
-                    assert_ne!(pair.0, pair.1, "{engine:?}");
-                    assert_eq!(
-                        code_of(&pair.0),
-                        code_of(&pair.1),
-                        "{engine:?}: USC conflict states must share a code"
-                    );
+            for property in [Property::Usc, Property::Csc] {
+                let run = check_property(&stg, property, engine, &Budget::unlimited()).unwrap();
+                match run.verdict {
+                    Verdict::Violated(Witness::States(pair)) => {
+                        assert_ne!(pair.0, pair.1, "{engine:?} {property:?}");
+                        assert_eq!(
+                            code_of(&pair.0),
+                            code_of(&pair.1),
+                            "{engine:?} {property:?}: conflict states must share a code"
+                        );
+                        if property == Property::Csc {
+                            assert_ne!(
+                                stg.enabled_local_signals(&pair.0),
+                                stg.enabled_local_signals(&pair.1),
+                                "{engine:?}: CSC states must differ in enabled outputs"
+                            );
+                        }
+                    }
+                    other => {
+                        panic!(
+                            "{engine:?} {property:?}: expected a state-pair witness, got {other:?}"
+                        )
+                    }
                 }
-                other => panic!("{engine:?}: expected a state-pair witness, got {other:?}"),
             }
         }
     }
@@ -494,13 +692,82 @@ mod tests {
     }
 
     #[test]
+    fn race_is_conclusive_and_reports_a_winner() {
+        assert_race_send_bounds();
+        for (stg, expected) in [(vme_read(), false), (counterflow_sym(2, 2), true)] {
+            let run =
+                check_property(&stg, Property::Csc, Engine::Race, &Budget::unlimited()).unwrap();
+            assert_eq!(run.verdict.holds(), Some(expected));
+            assert_eq!(run.report.engine, "race");
+            let winner = run.report.winner.expect("conclusive race names its winner");
+            assert!(
+                ["unfolding-ilp", "explicit", "symbolic"].contains(&winner),
+                "{winner}"
+            );
+        }
+    }
+
+    #[test]
+    fn race_merges_per_engine_counters() {
+        // Unlimited budget on a small model: every racer finishes (or
+        // is cancelled late enough to have done real work); the
+        // aggregate report unions their counters.
+        let run = check_property(
+            &vme_read(),
+            Property::Csc,
+            Engine::Race,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(run.verdict.holds(), Some(false));
+        // The winner's counters are present at minimum; each counter
+        // column belongs to exactly one racer.
+        let populated = [
+            run.report.prefix_events.is_some(),
+            run.report.states.is_some(),
+            run.report.bdd_nodes.is_some(),
+        ];
+        assert!(populated.iter().any(|&p| p), "{:?}", run.report);
+    }
+
+    #[test]
+    fn race_guards_share_one_absolute_deadline() {
+        use std::time::Duration;
+        // The base guard anchors the deadline once; every derived
+        // racer guard must carry the *same* instant, not re-anchor.
+        let budget = Budget::unlimited().with_deadline(Duration::from_secs(3600));
+        let base = budget.guard();
+        let anchored = base.deadline().expect("deadline set");
+        std::thread::sleep(Duration::from_millis(5));
+        for _ in 0..3 {
+            let derived = derive_race_guard(&base, Arc::new(AtomicBool::new(false)));
+            assert_eq!(derived.deadline(), Some(anchored));
+        }
+    }
+
+    #[test]
+    fn race_with_expired_deadline_is_unknown_not_cancelled() {
+        let stg = counterflow_sym(3, 3);
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let run = check_property(&stg, Property::Csc, Engine::Race, &budget).unwrap();
+        assert_eq!(
+            run.verdict,
+            Verdict::Unknown(ExhaustionReason::DeadlineExpired)
+        );
+        assert_eq!(run.report.winner, None);
+    }
+
+    #[test]
     fn portfolio_stays_unknown_when_every_phase_is_exhausted() {
         let stg = counterflow_sym(2, 2);
         // Event cap trips the primary; the 1-state cap trips the
         // fallback. The reported reason is the primary's.
         let budget = Budget::unlimited().with_max_events(2).with_max_states(1);
         let run = check_property(&stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
-        assert_eq!(run.verdict, Verdict::Unknown(ExhaustionReason::EventLimit(2)));
+        assert_eq!(
+            run.verdict,
+            Verdict::Unknown(ExhaustionReason::EventLimit(2))
+        );
         assert!(run.report.states.is_some(), "partial fallback stats kept");
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for CheckError {
             CheckError::Solve(e) => write!(f, "{e}"),
             CheckError::StateGraph(m) => write!(f, "state-graph engine failed: {m}"),
             CheckError::InconsistentCodes => {
-                write!(f, "configuration codes are not binary: the STG is inconsistent")
+                write!(
+                    f,
+                    "configuration codes are not binary: the STG is inconsistent"
+                )
             }
             CheckError::Exhausted(reason) => {
                 write!(f, "check inconclusive: {reason}")
@@ -102,7 +105,9 @@ mod tests {
         };
         assert!(e.to_string().contains("symbolic"));
         assert!(e.to_string().contains("boom"));
-        assert!(CheckError::InconsistentCodes.to_string().contains("inconsistent"));
+        assert!(CheckError::InconsistentCodes
+            .to_string()
+            .contains("inconsistent"));
         let e = CheckError::Exhausted(crate::limits::ExhaustionReason::EventLimit(9));
         assert!(e.to_string().contains("inconclusive"));
     }

@@ -53,12 +53,12 @@ pub mod reach;
 mod report;
 mod witness;
 
-pub use checker::{Checker, CheckerOptions, CheckOutcome, NormalcyOutcome, NormalcyReport};
-pub use report::AnalysisReport;
+pub use checker::{CheckOutcome, Checker, CheckerOptions, NormalcyOutcome, NormalcyReport};
 pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
 pub use engine::{check_property, check_property_bool, Engine, Property};
 pub use error::CheckError;
 pub use limits::{
     Budget, CancelToken, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness,
 };
+pub use report::AnalysisReport;
 pub use witness::{ConflictKind, ConflictWitness, NormalcyWitness};

@@ -62,6 +62,12 @@ impl CancelToken {
     pub(crate) fn flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.0)
     }
+
+    /// Whether `other` is a clone of this token (observes the same
+    /// flag). Useful for registries that track live tokens.
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 /// Resource limits for one [`crate::check_property`] call. The
@@ -264,8 +270,12 @@ impl fmt::Display for Verdict {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResourceReport {
     /// Engine that produced the verdict (`"unfolding-ilp"`,
-    /// `"explicit"`, `"symbolic"`, `"portfolio"`).
+    /// `"explicit"`, `"symbolic"`, `"portfolio"`, `"race"`).
     pub engine: &'static str,
+    /// For composite engines (`"portfolio"`, `"race"`): the member
+    /// engine whose verdict was adopted, `None` when no member was
+    /// conclusive. Single engines leave it `None`.
+    pub winner: Option<&'static str>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// Unfolding events built.
@@ -287,6 +297,7 @@ impl ResourceReport {
     pub fn empty(engine: &'static str) -> Self {
         ResourceReport {
             engine,
+            winner: None,
             elapsed: Duration::ZERO,
             prefix_events: None,
             prefix_conditions: None,

@@ -241,7 +241,10 @@ mod tests {
             .iter()
             .map(|&p| MarkingConstraint::tokens_eq(p, 1))
             .collect();
-        let w = checker.find_marking(&constraints).unwrap().expect("reachable");
+        let w = checker
+            .find_marking(&constraints)
+            .unwrap()
+            .expect("reachable");
         assert!(stg.net().is_enabled(&w.marking, d_plus));
         // Unreachable: 3 tokens in a 2-token-invariant net.
         let all: Vec<_> = stg.net().places().collect();

@@ -35,7 +35,10 @@ impl AnalysisReport {
     pub fn is_implementable_with_monotonic_gates(&self) -> bool {
         self.consistency.is_consistent()
             && self.csc.as_ref().is_some_and(CheckOutcome::is_satisfied)
-            && self.normalcy.as_ref().is_some_and(NormalcyReport::is_normal)
+            && self
+                .normalcy
+                .as_ref()
+                .is_some_and(NormalcyReport::is_normal)
     }
 }
 
@@ -56,13 +59,21 @@ impl fmt::Display for AnalysisReport {
             Some(r) => writeln!(
                 f,
                 "normalcy: {}",
-                if r.is_normal() { "all signals normal" } else { "VIOLATED" }
+                if r.is_normal() {
+                    "all signals normal"
+                } else {
+                    "VIOLATED"
+                }
             )?,
         }
         writeln!(
             f,
             "deadlock: {}",
-            if self.deadlock.is_some() { "FOUND" } else { "none" }
+            if self.deadlock.is_some() {
+                "FOUND"
+            } else {
+                "none"
+            }
         )
     }
 }

@@ -123,9 +123,13 @@ impl NormalcyWitness {
     /// componentwise and the next-state values are discordant.
     pub fn replay(&self, stg: &Stg) -> bool {
         let net = stg.net();
-        let ok1 = net.fire_sequence(stg.initial_marking(), &self.sequence1).as_ref()
+        let ok1 = net
+            .fire_sequence(stg.initial_marking(), &self.sequence1)
+            .as_ref()
             == Some(&self.marking1);
-        let ok2 = net.fire_sequence(stg.initial_marking(), &self.sequence2).as_ref()
+        let ok2 = net
+            .fire_sequence(stg.initial_marking(), &self.sequence2)
+            .as_ref()
             == Some(&self.marking2);
         ok1 && ok2
             && self.code1.componentwise_le(&self.code2)

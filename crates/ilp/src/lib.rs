@@ -60,4 +60,6 @@ mod solver;
 pub use constraint::{CmpOp, Constraint};
 pub use expr::{LinExpr, Var};
 pub use problem::Problem;
-pub use solver::{AbortCause, SearchStats, SolveError, Solver, SolverOptions, ValueOrder, VarOrder};
+pub use solver::{
+    AbortCause, SearchStats, SolveError, Solver, SolverOptions, ValueOrder, VarOrder,
+};

@@ -49,7 +49,10 @@ impl<'a> Problem<'a> {
     /// Panics if `side` or `event` is out of range.
     pub fn var(&self, side: usize, event: EventId) -> Var {
         assert!(side < self.sides, "side out of range");
-        assert!(event.index() < self.relations.num_events(), "event out of range");
+        assert!(
+            event.index() < self.relations.num_events(),
+            "event out of range"
+        );
         Var((side * self.relations.num_events() + event.index()) as u32)
     }
 

@@ -249,10 +249,10 @@ impl<'p, 'r> Solver<'p, 'r> {
                 let ci = self.watch[v.index()][wi] as usize;
                 let constraint = &self.problem.constraints()[ci];
                 let values = &self.values;
-                let feasibility = constraint.check_partial(
-                    &|u: Var| values[u.index()],
-                    &mut |u, val| forced.push((u, val)),
-                );
+                let feasibility = constraint
+                    .check_partial(&|u: Var| values[u.index()], &mut |u, val| {
+                        forced.push((u, val))
+                    });
                 if feasibility == Feasibility::Conflict {
                     self.queue.clear();
                     return false;
@@ -489,7 +489,10 @@ mod tests {
         let mut solver = Solver::new(&problem, SolverOptions::default());
         let sol = solver.solve(|_| true).expect("b is executable");
         assert!(sol[0].contains(eb.index()));
-        assert!(sol[0].contains(ea.index()), "a must be pulled in by closure");
+        assert!(
+            sol[0].contains(ea.index()),
+            "a must be pulled in by closure"
+        );
         assert!(!sol[0].contains(ec.index()), "c conflicts with a");
     }
 

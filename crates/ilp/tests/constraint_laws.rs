@@ -43,12 +43,13 @@ struct RandLinear {
 }
 
 fn arb_linear(n: usize) -> impl Strategy<Value = RandLinear> {
-    (
-        prop::collection::vec(-3i32..=3, n),
-        -4i64..=4,
-        0usize..3,
+    (prop::collection::vec(-3i32..=3, n), -4i64..=4, 0usize..3).prop_map(
+        |(coeffs, constant, op)| RandLinear {
+            coeffs,
+            constant,
+            op,
+        },
     )
-        .prop_map(|(coeffs, constant, op)| RandLinear { coeffs, constant, op })
 }
 
 fn eval_linear(c: &RandLinear, bits: u32) -> bool {

@@ -148,7 +148,10 @@ impl BitSet {
     /// Returns whether `self ⊆ other`.
     pub fn is_subset(&self, other: &Self) -> bool {
         self.assert_compatible(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

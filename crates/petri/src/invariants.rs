@@ -42,7 +42,11 @@ fn gcd(a: i64, b: i64) -> i64 {
 /// Runs the Farkas algorithm on matrix `m` (rows = items the
 /// semiflow weights, columns = constraints to cancel). Returns the
 /// non-negative integer row combinations annihilating all columns.
-fn farkas(mut rows: Vec<(Vec<i64>, Vec<i64>)>, num_cols: usize, limits: FarkasLimits) -> Option<Vec<Vec<i64>>> {
+fn farkas(
+    mut rows: Vec<(Vec<i64>, Vec<i64>)>,
+    num_cols: usize,
+    limits: FarkasLimits,
+) -> Option<Vec<Vec<i64>>> {
     // Each entry: (constraint row, identity/weight part).
     for col in 0..num_cols {
         let mut next: Vec<(Vec<i64>, Vec<i64>)> = Vec::new();
@@ -61,18 +65,9 @@ fn farkas(mut rows: Vec<(Vec<i64>, Vec<i64>)>, num_cols: usize, limits: FarkasLi
                 let b = -n.0[col];
                 let l = a / gcd(a, b) * b; // lcm
                 let (fa, fb) = (l / a, l / b);
-                let constraint: Vec<i64> = p
-                    .0
-                    .iter()
-                    .zip(&n.0)
-                    .map(|(x, y)| fa * x + fb * y)
-                    .collect();
-                let weight: Vec<i64> = p
-                    .1
-                    .iter()
-                    .zip(&n.1)
-                    .map(|(x, y)| fa * x + fb * y)
-                    .collect();
+                let constraint: Vec<i64> =
+                    p.0.iter().zip(&n.0).map(|(x, y)| fa * x + fb * y).collect();
+                let weight: Vec<i64> = p.1.iter().zip(&n.1).map(|(x, y)| fa * x + fb * y).collect();
                 next.push((constraint, weight));
                 if next.len() > limits.max_rows {
                     return None;
@@ -245,7 +240,10 @@ mod tests {
         b.arc_pt(p, t).unwrap();
         b.arc_tp(t, q).unwrap();
         let net = b.build().unwrap();
-        assert_eq!(t_semiflows(&net, Default::default()).unwrap(), Vec::<Vec<i64>>::new());
+        assert_eq!(
+            t_semiflows(&net, Default::default()).unwrap(),
+            Vec::<Vec<i64>>::new()
+        );
         // But p + q is conserved.
         let flows = p_semiflows(&net, Default::default()).unwrap();
         assert_eq!(flows, vec![vec![1, 1]]);

@@ -41,10 +41,10 @@ mod ids;
 mod incidence;
 pub mod invariants;
 pub mod limits;
-pub mod siphons;
 mod marking;
 mod net;
 mod reach;
+pub mod siphons;
 
 pub use bitset::BitSet;
 pub use error::NetError;

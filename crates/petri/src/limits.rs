@@ -64,6 +64,10 @@ impl Error for StopReason {}
 #[derive(Debug, Clone, Default)]
 pub struct StopGuard {
     cancel: Option<Arc<AtomicBool>>,
+    /// Secondary cancellation flag, used by racing portfolios: the
+    /// primary flag belongs to the caller's job-level token, this one
+    /// to the race supervisor that cancels losing engines.
+    extra_cancel: Option<Arc<AtomicBool>>,
     deadline: Option<Instant>,
     /// Poll counter used to amortise `Instant::now()` in
     /// [`StopGuard::poll`]; interior-mutable so guarded engines can
@@ -80,6 +84,7 @@ impl StopGuard {
     pub fn new(cancel: Option<Arc<AtomicBool>>, deadline: Option<Instant>) -> Self {
         StopGuard {
             cancel,
+            extra_cancel: None,
             deadline,
             polls: Cell::new(0),
         }
@@ -90,9 +95,32 @@ impl StopGuard {
         StopGuard::default()
     }
 
+    /// Adds a second cancellation flag; the guard fires when *either*
+    /// flag is raised. A racing portfolio gives every engine the
+    /// job-level flag plus a private loser flag this way, so winners
+    /// can retire losers without cancelling the whole job.
+    #[must_use]
+    pub fn with_extra_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.extra_cancel = Some(flag);
+        self
+    }
+
+    /// The absolute deadline this guard enforces, if any. Lets a
+    /// caller derive further guards that share the *same* anchored
+    /// wall clock instead of re-anchoring a duration.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The primary cancellation flag, if any (shared with every
+    /// clone).
+    pub fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.clone()
+    }
+
     /// Whether this guard can ever fire.
     pub fn is_limited(&self) -> bool {
-        self.cancel.is_some() || self.deadline.is_some()
+        self.cancel.is_some() || self.extra_cancel.is_some() || self.deadline.is_some()
     }
 
     /// Checks the stop conditions, reading the clock only every
@@ -101,11 +129,7 @@ impl StopGuard {
     /// show up; detection of an expired deadline is delayed by at
     /// most the stride.
     pub fn poll(&self) -> Result<(), StopReason> {
-        if let Some(flag) = &self.cancel {
-            if flag.load(Ordering::Relaxed) {
-                return Err(StopReason::Cancelled);
-            }
-        }
+        self.check_cancel()?;
         if self.deadline.is_some() {
             let n = self.polls.get().wrapping_add(1);
             self.polls.set(n);
@@ -122,12 +146,17 @@ impl StopGuard {
     /// step), where detection latency matters more than the ~25 ns
     /// clock read.
     pub fn poll_now(&self) -> Result<(), StopReason> {
-        if let Some(flag) = &self.cancel {
+        self.check_cancel()?;
+        self.check_deadline()
+    }
+
+    fn check_cancel(&self) -> Result<(), StopReason> {
+        for flag in [&self.cancel, &self.extra_cancel].into_iter().flatten() {
             if flag.load(Ordering::Relaxed) {
                 return Err(StopReason::Cancelled);
             }
         }
-        self.check_deadline()
+        Ok(())
     }
 
     fn check_deadline(&self) -> Result<(), StopReason> {
@@ -192,7 +221,10 @@ mod tests {
                 fired += 1;
             }
         }
-        assert!(fired >= 2, "deadline must be noticed at least once per stride");
+        assert!(
+            fired >= 2,
+            "deadline must be noticed at least once per stride"
+        );
     }
 
     #[test]
@@ -200,6 +232,34 @@ mod tests {
         let guard = StopGuard::new(None, Some(Instant::now() + Duration::from_secs(3600)));
         assert_eq!(guard.poll_now(), Ok(()));
         assert_eq!(guard.poll(), Ok(()));
+    }
+
+    #[test]
+    fn extra_cancel_flag_fires_independently() {
+        let job = Arc::new(AtomicBool::new(false));
+        let loser = Arc::new(AtomicBool::new(false));
+        let guard = StopGuard::new(Some(job.clone()), None).with_extra_cancel(loser.clone());
+        assert!(guard.is_limited());
+        assert_eq!(guard.poll_now(), Ok(()));
+        loser.store(true, Ordering::Relaxed);
+        assert_eq!(guard.poll_now(), Err(StopReason::Cancelled));
+        assert_eq!(guard.poll(), Err(StopReason::Cancelled));
+        loser.store(false, Ordering::Relaxed);
+        job.store(true, Ordering::Relaxed);
+        assert_eq!(guard.poll_now(), Err(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn accessors_expose_deadline_and_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let at = Instant::now() + Duration::from_secs(10);
+        let guard = StopGuard::new(Some(flag.clone()), Some(at));
+        assert_eq!(guard.deadline(), Some(at));
+        assert!(Arc::ptr_eq(&guard.cancel_flag().unwrap(), &flag));
+        let derived = StopGuard::new(guard.cancel_flag(), guard.deadline());
+        // A derived guard shares the *same* absolute deadline: no
+        // re-anchoring.
+        assert_eq!(derived.deadline(), Some(at));
     }
 
     #[test]

@@ -107,7 +107,9 @@ impl Net {
 
     /// Returns the transitions enabled at `m`, in id order.
     pub fn enabled(&self, m: &Marking) -> Vec<TransitionId> {
-        self.transitions().filter(|&t| self.is_enabled(m, t)).collect()
+        self.transitions()
+            .filter(|&t| self.is_enabled(m, t))
+            .collect()
     }
 
     /// Fires `t` at `m`, returning the successor marking
@@ -161,7 +163,11 @@ impl fmt::Display for Net {
         )?;
         for t in self.transitions() {
             let pre: Vec<_> = self.preset(t).iter().map(|&p| self.place_name(p)).collect();
-            let post: Vec<_> = self.postset(t).iter().map(|&p| self.place_name(p)).collect();
+            let post: Vec<_> = self
+                .postset(t)
+                .iter()
+                .map(|&p| self.place_name(p))
+                .collect();
             writeln!(
                 f,
                 "  {} : {{{}}} -> {{{}}}",
@@ -242,7 +248,10 @@ impl NetBuilder {
     pub fn arc_pt(&mut self, p: PlaceId, t: TransitionId) -> Result<(), NetError> {
         self.check_ids(p, t)?;
         if self.transitions[t.index()].pre.contains(&p) {
-            return Err(NetError::DuplicateArc { place: p, transition: t });
+            return Err(NetError::DuplicateArc {
+                place: p,
+                transition: t,
+            });
         }
         self.transitions[t.index()].pre.push(p);
         self.places[p.index()].post.push(t);
@@ -257,7 +266,10 @@ impl NetBuilder {
     pub fn arc_tp(&mut self, t: TransitionId, p: PlaceId) -> Result<(), NetError> {
         self.check_ids(p, t)?;
         if self.transitions[t.index()].post.contains(&p) {
-            return Err(NetError::DuplicateArc { place: p, transition: t });
+            return Err(NetError::DuplicateArc {
+                place: p,
+                transition: t,
+            });
         }
         self.transitions[t.index()].post.push(p);
         self.places[p.index()].pre.push(t);
@@ -266,11 +278,7 @@ impl NetBuilder {
 
     /// Convenience: adds a fresh, unnamed place connecting `from` to
     /// `to` (an "implicit place" in STG parlance) and returns it.
-    pub fn connect(
-        &mut self,
-        from: TransitionId,
-        to: TransitionId,
-    ) -> Result<PlaceId, NetError> {
+    pub fn connect(&mut self, from: TransitionId, to: TransitionId) -> Result<PlaceId, NetError> {
         let name = format!(
             "<{},{}>",
             self.transitions
@@ -388,7 +396,10 @@ mod tests {
         b.arc_pt(p, t).unwrap();
         assert_eq!(
             b.arc_pt(p, t),
-            Err(NetError::DuplicateArc { place: p, transition: t })
+            Err(NetError::DuplicateArc {
+                place: p,
+                transition: t
+            })
         );
     }
 
@@ -416,7 +427,10 @@ mod tests {
         let mut b = NetBuilder::new();
         let p = b.add_place("p");
         let t = b.add_transition("t");
-        assert_eq!(b.arc_pt(PlaceId::new(5), t), Err(NetError::UnknownPlace(PlaceId::new(5))));
+        assert_eq!(
+            b.arc_pt(PlaceId::new(5), t),
+            Err(NetError::UnknownPlace(PlaceId::new(5)))
+        );
         assert_eq!(
             b.arc_tp(TransitionId::new(9), p),
             Err(NetError::UnknownTransition(TransitionId::new(9)))

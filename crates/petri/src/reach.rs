@@ -150,7 +150,9 @@ impl ReachabilityGraph {
                 let Some(next) = net.fire(&current, t) else {
                     continue;
                 };
-                if let Some(p) = next.marked_places().find(|&p| next.tokens(p) > limits.token_bound)
+                if let Some(p) = next
+                    .marked_places()
+                    .find(|&p| next.tokens(p) > limits.token_bound)
                 {
                     return Err(ReachError::BoundExceeded(p));
                 }

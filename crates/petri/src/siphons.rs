@@ -27,9 +27,9 @@ fn from_set(set: &BitSet) -> Vec<PlaceId> {
 pub fn is_siphon(net: &Net, places: &[PlaceId]) -> bool {
     let set = to_set(net, places);
     places.iter().all(|&p| {
-        net.place_preset(p).iter().all(|&t| {
-            net.preset(t).iter().any(|&q| set.contains(q.index()))
-        })
+        net.place_preset(p)
+            .iter()
+            .all(|&t| net.preset(t).iter().any(|&q| set.contains(q.index())))
     })
 }
 
@@ -38,9 +38,9 @@ pub fn is_siphon(net: &Net, places: &[PlaceId]) -> bool {
 pub fn is_trap(net: &Net, places: &[PlaceId]) -> bool {
     let set = to_set(net, places);
     places.iter().all(|&p| {
-        net.place_postset(p).iter().all(|&t| {
-            net.postset(t).iter().any(|&q| set.contains(q.index()))
-        })
+        net.place_postset(p)
+            .iter()
+            .all(|&t| net.postset(t).iter().any(|&q| set.contains(q.index())))
     })
 }
 

@@ -64,8 +64,11 @@ proptest! {
 /// transitions (always safe by construction — every place belongs to
 /// exactly one single-token cycle).
 fn arb_net() -> impl Strategy<Value = (Net, Marking)> {
-    (2usize..8, prop::collection::vec((0usize..8, 0usize..8, 0usize..6), 1..6)).prop_map(
-        |(num_transitions, cycles)| {
+    (
+        2usize..8,
+        prop::collection::vec((0usize..8, 0usize..8, 0usize..6), 1..6),
+    )
+        .prop_map(|(num_transitions, cycles)| {
             let mut b = NetBuilder::new();
             let ts: Vec<TransitionId> = (0..num_transitions)
                 .map(|i| b.add_transition(format!("t{i}")))
@@ -102,8 +105,7 @@ fn arb_net() -> impl Strategy<Value = (Net, Marking)> {
             let net = b.build().unwrap();
             let m0 = Marking::with_tokens(net.num_places(), &tokens);
             (net, m0)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -113,7 +113,10 @@ mod tests {
             stg.net().num_transitions() + 2
         );
         assert_eq!(fixed.net().num_places(), stg.net().num_places() + 2);
-        assert_eq!(fixed.initial_marking().total(), stg.initial_marking().total());
+        assert_eq!(
+            fixed.initial_marking().total(),
+            stg.initial_marking().total()
+        );
     }
 
     #[test]
@@ -125,7 +128,10 @@ mod tests {
         let p_minus = place_named(&stg, "<dsr-,d->");
         let fixed = insert_state_signal(&stg, "csc0", p_plus, p_minus).unwrap();
         let sg = StateGraph::build(&fixed, Default::default()).unwrap();
-        assert!(sg.satisfies_csc(&fixed), "the Fig. 3 insertion resolves CSC");
+        assert!(
+            sg.satisfies_csc(&fixed),
+            "the Fig. 3 insertion resolves CSC"
+        );
     }
 
     #[test]

@@ -189,7 +189,10 @@ mod tests {
 
     fn assert_resolved(stg: &Stg, label: &str) -> Stg {
         match resolve_csc(stg, ResolverOptions::default()).unwrap() {
-            ResolveOutcome::Resolved { stg: fixed, inserted } => {
+            ResolveOutcome::Resolved {
+                stg: fixed,
+                inserted,
+            } => {
                 assert!(!inserted.is_empty(), "{label}");
                 let sg = StateGraph::build(&fixed, Default::default()).unwrap();
                 assert!(sg.satisfies_csc(&fixed), "{label}");

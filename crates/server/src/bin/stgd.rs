@@ -1,0 +1,134 @@
+//! `stgd` — the STG verification service daemon.
+//!
+//! ```text
+//! stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]
+//! ```
+//!
+//! Prints `listening on ADDR` once the socket is bound (port 0 is
+//! resolved, so scripts can parse the line), then serves until a
+//! client sends `{"op":"shutdown"}` or the process receives
+//! SIGTERM/SIGINT, at which point in-flight jobs are drained and
+//! answered before exit.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use server::protocol::engine_from_str;
+use server::{spawn, ServerConfig};
+
+/// Set from the signal handler; polled by the main loop.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled signal(2) binding: the handler only flips an
+    // AtomicBool, which is async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATE.store(true, Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_terminate);
+        signal(SIGINT, on_terminate);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]\n\
+         \n\
+         --addr HOST:PORT  listen address (default 127.0.0.1:7570; port 0 = ephemeral)\n\
+         --workers N       worker threads (default 4)\n\
+         --engine NAME     default engine: unfolding|explicit|symbolic|portfolio|race\n\
+         \u{20}                 (default race)\n\
+         --timeout-ms MS   default per-job wall-clock budget when a job sets none"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7570".to_owned(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("stgd: {name} needs a value");
+                usage();
+            }
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse::<usize>() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("stgd: --workers needs a positive integer");
+                    usage();
+                }
+            },
+            "--engine" => {
+                let name = value("--engine");
+                match engine_from_str(&name) {
+                    Some(engine) => config.default_engine = engine,
+                    None => {
+                        eprintln!("stgd: unknown engine `{name}`");
+                        usage();
+                    }
+                }
+            }
+            "--timeout-ms" => match value("--timeout-ms").parse::<u64>() {
+                Ok(ms) => config.default_timeout_ms = Some(ms),
+                Err(_) => {
+                    eprintln!("stgd: --timeout-ms needs an integer");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("stgd: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    install_signal_handlers();
+    let config = parse_args();
+    let workers = config.workers;
+    let engine = config.default_engine.name();
+    let handle = match spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("stgd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    println!("workers {workers}, default engine {engine}");
+    let _ = std::io::stdout().flush();
+    while !handle.is_shutting_down() {
+        if TERMINATE.load(Ordering::Relaxed) {
+            eprintln!("stgd: termination signal, draining in-flight jobs");
+            handle.trigger_shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    eprintln!("stgd: drained, exiting");
+    ExitCode::SUCCESS
+}

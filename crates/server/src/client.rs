@@ -1,0 +1,210 @@
+//! A blocking NDJSON client for `stgd`, used by `stgcheck --server`,
+//! the bench harness's `server-bench` mode and the integration tests.
+//!
+//! The client is deliberately thin: it frames request lines, parses
+//! response lines, and surfaces the protocol's `id` correlation so a
+//! caller pipelining a batch can match completion-order responses
+//! back to its jobs.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use csc_core::{Engine, Property};
+
+use crate::json::{self, Value};
+use crate::protocol::{encode_check_request, BudgetSpec, CheckRequest};
+
+/// A failure talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP transport failed (connect, read or write).
+    Io(io::Error),
+    /// The server's line was not a valid response object, or the
+    /// connection closed while a response was still expected.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One decoded response to a `check` request.
+#[derive(Debug, Clone)]
+pub struct CheckResponse {
+    /// The correlation id echoed by the server (absent only for
+    /// errors on requests whose id never parsed).
+    pub id: Option<String>,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// `"holds"`, `"violated"` or `"unknown"` when `status == "ok"`.
+    pub verdict: Option<String>,
+    /// Machine-readable exhaustion code when the verdict is unknown.
+    pub reason: Option<String>,
+    /// The engine that ran the job.
+    pub engine: Option<String>,
+    /// For composite engines, the member whose verdict was adopted.
+    pub winner: Option<String>,
+    /// The error message when `status == "error"`.
+    pub error: Option<String>,
+    /// Worker-side wall-clock of the check itself.
+    pub elapsed_ms: Option<f64>,
+    /// The complete response object (witness, resource report, …).
+    pub raw: Value,
+}
+
+impl CheckResponse {
+    fn from_value(raw: Value) -> Result<Self, ClientError> {
+        let status = raw
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("response without `status`".to_owned()))?
+            .to_owned();
+        let text = |key: &str| raw.get(key).and_then(Value::as_str).map(str::to_owned);
+        Ok(CheckResponse {
+            id: text("id"),
+            status,
+            verdict: text("verdict"),
+            reason: text("reason"),
+            engine: text("engine"),
+            winner: text("winner"),
+            error: text("error"),
+            elapsed_ms: raw
+                .get("report")
+                .and_then(|r| r.get("elapsed_ms"))
+                .and_then(Value::as_f64),
+            raw,
+        })
+    }
+
+    /// Whether the server decided the property (`holds`/`violated`).
+    pub fn is_conclusive(&self) -> bool {
+        matches!(self.verdict.as_deref(), Some("holds" | "violated"))
+    }
+}
+
+/// A blocking connection to one `stgd` server.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures as [`ClientError::Io`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+        })
+    }
+
+    /// Sends one raw request line and reads one response line —
+    /// only valid while no pipelined responses are pending.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and unparsable response lines.
+    pub fn round_trip(&mut self, line: &str) -> Result<Value, ClientError> {
+        self.send_line(line)?;
+        self.read_value()
+    }
+
+    /// Queues a `check` without waiting; pair with
+    /// [`Self::read_response`], matching responses by id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn submit(&mut self, request: &CheckRequest) -> Result<(), ClientError> {
+        self.send_line(&encode_check_request(request))
+    }
+
+    /// Reads the next response line as a [`CheckResponse`]. With
+    /// pipelined submissions these arrive in *completion* order.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, EOF, or an unparsable response.
+    pub fn read_response(&mut self) -> Result<CheckResponse, ClientError> {
+        CheckResponse::from_value(self.read_value()?)
+    }
+
+    /// Convenience single-job check: submit and wait for its verdict.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparsable response.
+    pub fn check(
+        &mut self,
+        id: &str,
+        stg_g: &str,
+        property: Property,
+        engine: Option<Engine>,
+        budget: BudgetSpec,
+    ) -> Result<CheckResponse, ClientError> {
+        self.submit(&CheckRequest {
+            id: id.to_owned(),
+            stg_g: stg_g.to_owned(),
+            property,
+            engine,
+            budget,
+        })?;
+        self.read_response()
+    }
+
+    /// Fetches the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparsable response.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.round_trip(r#"{"op":"stats"}"#)
+    }
+
+    /// Requests graceful shutdown and returns the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparsable response.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.round_trip(r#"{"op":"shutdown"}"#)
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_value(&mut self) -> Result<Value, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed while awaiting a response".to_owned(),
+            ));
+        }
+        json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparsable response line: {e}")))
+    }
+}

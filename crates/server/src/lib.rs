@@ -1,0 +1,41 @@
+//! `stgd`: a concurrent STG verification service.
+//!
+//! This crate turns the library-level checkers of [`csc_core`] into a
+//! long-running network service. Clients connect over TCP and speak a
+//! newline-delimited JSON protocol ([`protocol`], specified in
+//! `docs/SERVER.md`): each line is a `check`, `stats` or `shutdown`
+//! request; each response line carries a three-valued verdict with a
+//! full resource report. Jobs are scheduled onto a fixed worker pool
+//! ([`server`]), and by default each worker decides its job with the
+//! racing parallel portfolio (`Engine::Race`) — the unfolding+ILP,
+//! explicit and symbolic engines on separate threads sharing one
+//! absolute deadline, first conclusive verdict wins, losers
+//! cancelled.
+//!
+//! The [`client`] module is the matching blocking client, used by
+//! `stgcheck --server`, the bench harness and the integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use server::{spawn, Client, ServerConfig};
+//! use server::protocol::BudgetSpec;
+//! use csc_core::Property;
+//!
+//! let handle = spawn(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let g = stg::to_g_format(&stg::gen::vme::vme_read(), "vme");
+//! let response = client
+//!     .check("job-0", &g, Property::Csc, None, BudgetSpec::default())
+//!     .unwrap();
+//! assert_eq!(response.verdict.as_deref(), Some("violated"));
+//! handle.shutdown();
+//! ```
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{CheckResponse, Client, ClientError};
+pub use server::{spawn, ServerConfig, ServerHandle};

@@ -1,0 +1,470 @@
+//! The `stgd` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every line the client sends is one request object; every line the
+//! server sends back is one response object. Responses to `check`
+//! requests arrive in *completion* order (the worker pool races jobs
+//! concurrently), so clients correlate them by the `id` they chose.
+//! The full schema is specified in `docs/SERVER.md`.
+
+use std::fmt;
+use std::time::Duration;
+
+use csc_core::{
+    Budget, CheckRun, Engine, ExhaustionReason, Property, ResourceReport, Verdict, Witness,
+};
+use stg::Stg;
+
+use crate::json::{self, opt, Value};
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Decide a property of one STG under a budget.
+    Check(CheckRequest),
+    /// Report service counters.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight jobs, then exit.
+    Shutdown,
+}
+
+/// The payload of a `check` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The STG in `.g` format.
+    pub stg_g: String,
+    /// The property to decide.
+    pub property: Property,
+    /// Engine override; `None` uses the server default (the racing
+    /// portfolio).
+    pub engine: Option<Engine>,
+    /// Per-job resource budget.
+    pub budget: BudgetSpec,
+}
+
+/// The declarative budget of one job (a [`Budget`] without the
+/// cancellation token, which the server attaches per job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSpec {
+    /// Wall-clock allowance in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Unfolding event cap.
+    pub max_events: Option<usize>,
+    /// Explicit state cap.
+    pub max_states: Option<usize>,
+    /// Solver propagation cap.
+    pub max_solver_steps: Option<u64>,
+    /// BDD node cap.
+    pub max_bdd_nodes: Option<usize>,
+}
+
+impl BudgetSpec {
+    /// Materialises the spec as an engine [`Budget`] (without a
+    /// cancellation token).
+    pub fn to_budget(self) -> Budget {
+        Budget {
+            deadline: self.timeout_ms.map(Duration::from_millis),
+            max_events: self.max_events,
+            max_solver_steps: self.max_solver_steps,
+            max_states: self.max_states,
+            max_bdd_nodes: self.max_bdd_nodes,
+            cancel: None,
+        }
+    }
+}
+
+/// A protocol-level decoding failure (malformed JSON, unknown op,
+/// missing field). The offending request — when it carried an id —
+/// still gets an error *response*, not a dropped connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The client-supplied id, when one could be recovered.
+    pub id: Option<String>,
+    /// What was wrong with the request.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parses the engine name used on the wire and in `stgcheck
+/// --engine`.
+pub fn engine_from_str(name: &str) -> Option<Engine> {
+    match name {
+        "unfolding" | "unfolding-ilp" => Some(Engine::UnfoldingIlp),
+        "explicit" => Some(Engine::ExplicitStateGraph),
+        "symbolic" => Some(Engine::SymbolicBdd),
+        "portfolio" => Some(Engine::Portfolio),
+        "race" => Some(Engine::Race),
+        _ => None,
+    }
+}
+
+/// Parses the property name used on the wire.
+pub fn property_from_str(name: &str) -> Option<Property> {
+    match name {
+        "usc" => Some(Property::Usc),
+        "csc" => Some(Property::Csc),
+        "normalcy" => Some(Property::Normalcy),
+        _ => None,
+    }
+}
+
+/// The wire name of a property.
+pub fn property_name(property: Property) -> &'static str {
+    match property {
+        Property::Usc => "usc",
+        Property::Csc => "csc",
+        Property::Normalcy => "normalcy",
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on malformed JSON, an unknown `op`, or a missing
+/// or ill-typed field; the error carries the request id when one was
+/// present so the server can still address the response.
+pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
+    let value = json::parse(line).map_err(|e| ProtocolError {
+        id: None,
+        message: format!("malformed JSON: {e}"),
+    })?;
+    let id = value.get("id").and_then(Value::as_str).map(str::to_owned);
+    let fail = |message: String| ProtocolError {
+        id: id.clone(),
+        message,
+    };
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing `op`".to_owned()))?;
+    match op {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "check" => {
+            let id = id
+                .clone()
+                .ok_or_else(|| fail("check: missing `id`".to_owned()))?;
+            let stg_g = value
+                .get("stg")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("check: missing `stg` (.g text)".to_owned()))?
+                .to_owned();
+            let property = value
+                .get("property")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("check: missing `property`".to_owned()))
+                .and_then(|p| {
+                    property_from_str(p)
+                        .ok_or_else(|| fail(format!("check: unknown property `{p}`")))
+                })?;
+            let engine = match value.get("engine").filter(|v| !v.is_null()) {
+                None => None,
+                Some(v) => {
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| fail("check: `engine` must be a string".to_owned()))?;
+                    Some(engine_from_str(name).ok_or_else(|| {
+                        fail(format!(
+                            "check: unknown engine `{name}` \
+                             (unfolding|explicit|symbolic|portfolio|race)"
+                        ))
+                    })?)
+                }
+            };
+            let budget = decode_budget(value.get("budget"), &fail)?;
+            Ok(Request::Check(CheckRequest {
+                id,
+                stg_g,
+                property,
+                engine,
+                budget,
+            }))
+        }
+        other => Err(fail(format!("unknown op `{other}`"))),
+    }
+}
+
+fn decode_budget(
+    value: Option<&Value>,
+    fail: &dyn Fn(String) -> ProtocolError,
+) -> Result<BudgetSpec, ProtocolError> {
+    let mut spec = BudgetSpec::default();
+    let Some(value) = value.filter(|v| !v.is_null()) else {
+        return Ok(spec);
+    };
+    if !matches!(value, Value::Obj(_)) {
+        return Err(fail("check: `budget` must be an object".to_owned()));
+    }
+    let field = |key: &str| -> Result<Option<u64>, ProtocolError> {
+        match value.get(key).filter(|v| !v.is_null()) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                fail(format!(
+                    "check: `budget.{key}` must be a non-negative integer"
+                ))
+            }),
+        }
+    };
+    spec.timeout_ms = field("timeout_ms")?;
+    spec.max_events = field("max_events")?.map(|n| n as usize);
+    spec.max_states = field("max_states")?.map(|n| n as usize);
+    spec.max_solver_steps = field("max_solver_steps")?;
+    spec.max_bdd_nodes = field("max_bdd_nodes")?.map(|n| n as usize);
+    Ok(spec)
+}
+
+/// Encodes a `check` request line (the client side of
+/// [`decode_request`]).
+pub fn encode_check_request(request: &CheckRequest) -> String {
+    let mut members = vec![
+        ("op".to_owned(), Value::from("check")),
+        ("id".to_owned(), Value::from(request.id.as_str())),
+        ("stg".to_owned(), Value::from(request.stg_g.as_str())),
+        (
+            "property".to_owned(),
+            Value::from(property_name(request.property)),
+        ),
+    ];
+    if let Some(engine) = request.engine {
+        members.push(("engine".to_owned(), Value::from(engine.name())));
+    }
+    let b = request.budget;
+    if b != BudgetSpec::default() {
+        members.push((
+            "budget".to_owned(),
+            Value::Obj(
+                [
+                    ("timeout_ms", b.timeout_ms),
+                    ("max_events", b.max_events.map(|n| n as u64)),
+                    ("max_states", b.max_states.map(|n| n as u64)),
+                    ("max_solver_steps", b.max_solver_steps),
+                    ("max_bdd_nodes", b.max_bdd_nodes.map(|n| n as u64)),
+                ]
+                .into_iter()
+                .filter_map(|(k, v)| v.map(|n| (k.to_owned(), Value::from(n))))
+                .collect(),
+            ),
+        ));
+    }
+    Value::Obj(members).render()
+}
+
+/// Encodes the verdict response for a completed check.
+pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
+    let (verdict, reason, witness) = match &run.verdict {
+        Verdict::Holds => ("holds", Value::Null, Value::Null),
+        Verdict::Violated(w) => ("violated", Value::Null, encode_witness(stg, w)),
+        Verdict::Unknown(reason) => ("unknown", Value::from(reason_code(reason)), Value::Null),
+    };
+    Value::Obj(vec![
+        ("id".to_owned(), Value::from(id)),
+        ("status".to_owned(), Value::from("ok")),
+        ("verdict".to_owned(), Value::from(verdict)),
+        ("reason".to_owned(), reason),
+        ("witness".to_owned(), witness),
+        ("engine".to_owned(), Value::from(run.report.engine)),
+        ("winner".to_owned(), opt(run.report.winner)),
+        ("report".to_owned(), encode_report(&run.report)),
+    ])
+    .render()
+}
+
+/// Encodes an error response (parse failure, engine failure, protocol
+/// violation). `id` is `null` when the request never yielded one.
+pub fn encode_error_response(id: Option<&str>, message: &str) -> String {
+    Value::Obj(vec![
+        ("id".to_owned(), opt(id)),
+        ("status".to_owned(), Value::from("error")),
+        ("error".to_owned(), Value::from(message)),
+    ])
+    .render()
+}
+
+/// The stable machine-readable code of an exhaustion reason (the
+/// human-readable sentence is available via `Display`).
+pub fn reason_code(reason: &ExhaustionReason) -> &'static str {
+    match reason {
+        ExhaustionReason::Cancelled => "cancelled",
+        ExhaustionReason::DeadlineExpired => "deadline-expired",
+        ExhaustionReason::EventLimit(_) => "event-limit",
+        ExhaustionReason::SolverStepLimit(_) => "solver-step-limit",
+        ExhaustionReason::StateLimit(_) => "state-limit",
+        ExhaustionReason::BddNodeLimit(_) => "bdd-node-limit",
+    }
+}
+
+fn encode_report(report: &ResourceReport) -> Value {
+    Value::Obj(vec![
+        (
+            "elapsed_ms".to_owned(),
+            Value::from(report.elapsed.as_secs_f64() * 1e3),
+        ),
+        ("prefix_events".to_owned(), opt(report.prefix_events)),
+        (
+            "prefix_conditions".to_owned(),
+            opt(report.prefix_conditions),
+        ),
+        ("solver_steps".to_owned(), opt(report.solver_steps)),
+        ("states".to_owned(), opt(report.states)),
+        ("bdd_nodes".to_owned(), opt(report.bdd_nodes)),
+    ])
+}
+
+/// Serialises a witness uniformly across engines: every violated
+/// verdict carries a `kind` plus kind-specific evidence.
+fn encode_witness(stg: &Stg, witness: &Witness) -> Value {
+    let names = |seq: &[petri::TransitionId]| {
+        Value::Arr(
+            seq.iter()
+                .map(|&t| Value::from(stg.transition_name(t)))
+                .collect(),
+        )
+    };
+    match witness {
+        Witness::Conflict(w) => Value::Obj(vec![
+            (
+                "kind".to_owned(),
+                Value::from(match w.kind {
+                    csc_core::ConflictKind::Usc => "usc-conflict",
+                    csc_core::ConflictKind::Csc => "csc-conflict",
+                }),
+            ),
+            ("code".to_owned(), Value::from(w.code.to_string())),
+            ("path1".to_owned(), names(&w.sequence1)),
+            ("path2".to_owned(), names(&w.sequence2)),
+            ("marking1".to_owned(), Value::from(w.marking1.to_string())),
+            ("marking2".to_owned(), Value::from(w.marking2.to_string())),
+        ]),
+        Witness::Normalcy(report) => Value::Obj(vec![
+            ("kind".to_owned(), Value::from("normalcy")),
+            (
+                "violations".to_owned(),
+                Value::Arr(
+                    report
+                        .outcomes
+                        .iter()
+                        .filter(|o| !o.is_normal())
+                        .map(|o| Value::from(stg.signal_name(o.signal)))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Witness::States(pair) => Value::Obj(vec![
+            ("kind".to_owned(), Value::from("states")),
+            ("marking1".to_owned(), Value::from(pair.0.to_string())),
+            ("marking2".to_owned(), Value::from(pair.1.to_string())),
+        ]),
+        Witness::Unwitnessed => Value::Obj(vec![("kind".to_owned(), Value::from("unwitnessed"))]),
+        // `Witness` is non_exhaustive upstream.
+        _ => Value::Obj(vec![("kind".to_owned(), Value::from("other"))]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::vme::vme_read;
+
+    #[test]
+    fn check_request_round_trips() {
+        let request = CheckRequest {
+            id: "job-1".to_owned(),
+            stg_g: stg::to_g_format(&vme_read(), "vme"),
+            property: Property::Csc,
+            engine: Some(Engine::Race),
+            budget: BudgetSpec {
+                timeout_ms: Some(250),
+                max_events: Some(1000),
+                ..Default::default()
+            },
+        };
+        let line = encode_check_request(&request);
+        assert!(!line.contains('\n'), "NDJSON framing");
+        let decoded = decode_request(&line).unwrap();
+        assert_eq!(decoded, Request::Check(request));
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops_decode() {
+        assert_eq!(decode_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            decode_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_keep_the_id_when_present() {
+        let err = decode_request(r#"{"op":"check","id":"j7"}"#).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("j7"));
+        assert!(err.message.contains("stg"));
+        let err = decode_request("not json").unwrap_err();
+        assert_eq!(err.id, None);
+        let err = decode_request(r#"{"op":"fly"}"#).unwrap_err();
+        assert!(err.message.contains("unknown op"));
+        let err = decode_request(r#"{"op":"check","id":"x","stg":"","property":"csc","budget":3}"#)
+            .unwrap_err();
+        assert!(err.message.contains("budget"));
+    }
+
+    #[test]
+    fn responses_carry_verdict_and_report() {
+        let stg = vme_read();
+        let run = csc_core::check_property(
+            &stg,
+            Property::Csc,
+            Engine::UnfoldingIlp,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let line = encode_check_response("j1", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("j1"));
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("violated"));
+        let witness = v.get("witness").expect("witness present");
+        assert_eq!(
+            witness.get("kind").and_then(Value::as_str),
+            Some("csc-conflict")
+        );
+        assert_eq!(witness.get("code").and_then(Value::as_str), Some("10110"));
+        assert!(v
+            .get("report")
+            .and_then(|r| r.get("prefix_events"))
+            .and_then(Value::as_u64)
+            .is_some());
+    }
+
+    #[test]
+    fn unknown_verdicts_carry_a_reason_code() {
+        let stg = vme_read();
+        let budget = Budget::unlimited().with_max_events(1);
+        let run =
+            csc_core::check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &budget).unwrap();
+        let line = encode_check_response("j2", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("unknown"));
+        assert_eq!(v.get("reason").and_then(Value::as_str), Some("event-limit"));
+        assert!(v.get("witness").is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn error_responses_echo_the_id() {
+        let line = encode_error_response(Some("j3"), "boom: \"quoted\"");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("j3"));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("boom: \"quoted\"")
+        );
+    }
+}

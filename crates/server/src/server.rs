@@ -1,0 +1,582 @@
+//! The `stgd` service: a TCP listener, a fixed worker pool, and the
+//! shared job queue between them.
+//!
+//! Every accepted connection gets a reader thread (decoding request
+//! lines) and a writer thread (serialising response lines); `check`
+//! jobs flow through one process-wide queue onto the worker pool, so
+//! a single slow connection cannot starve the others. Workers decide
+//! each job with [`csc_core::check_property`] — by default the racing
+//! parallel portfolio — under the job's own [`Budget`] plus a per-job
+//! [`CancelToken`] the shutdown path flips. Graceful shutdown drains:
+//! queued and in-flight jobs still produce responses (cancelled ones
+//! answer `unknown`/`cancelled`), then threads are joined and the
+//! listener closes.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use csc_core::{check_property, CancelToken, Engine};
+
+use crate::json::Value;
+use crate::protocol::{
+    decode_request, encode_check_response, encode_error_response, CheckRequest, Request,
+};
+
+/// Tuning knobs of one [`spawn`]ed service.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 for an ephemeral port (the bound
+    /// address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads deciding jobs concurrently.
+    pub workers: usize,
+    /// Engine used when a request does not name one.
+    pub default_engine: Engine,
+    /// Wall-clock allowance applied to jobs that do not set their
+    /// own `timeout_ms`; `None` leaves such jobs unlimited.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            default_engine: Engine::Race,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// Aggregated service counters, snapshot by the `stats` op.
+#[derive(Debug, Clone, Default)]
+struct Stats {
+    jobs_received: u64,
+    jobs_completed: u64,
+    jobs_errored: u64,
+    in_flight: u64,
+    max_queue_depth: u64,
+    holds: u64,
+    violated: u64,
+    unknown: u64,
+    /// Race outcomes keyed like [`RACER_NAMES`].
+    race_wins: [u64; 3],
+    /// Races some *other* engine won while this one was retired.
+    race_cancelled: [u64; 3],
+    race_inconclusive: u64,
+    latency_total_ms: f64,
+    latency_max_ms: f64,
+}
+
+/// Engine-name order of the per-racer stats arrays.
+const RACER_NAMES: [&str; 3] = ["unfolding-ilp", "explicit", "symbolic"];
+
+/// One queued verification job.
+struct Job {
+    request: CheckRequest,
+    cancel: CancelToken,
+    enqueued: Instant,
+    reply: Sender<String>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    stats: Mutex<Stats>,
+    /// Cancellation tokens of all live (queued or executing) jobs,
+    /// flipped together on shutdown so the drain is prompt.
+    live_tokens: Mutex<Vec<CancelToken>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Ok(tokens) = self.live_tokens.lock() {
+            for token in tokens.iter() {
+                token.cancel();
+            }
+        }
+        self.available.notify_all();
+    }
+
+    fn stats_response(&self) -> String {
+        let queue_depth = self.queue.lock().map(|q| q.len()).unwrap_or(0);
+        let stats = match self.stats.lock() {
+            Ok(s) => s.clone(),
+            Err(_) => Stats::default(),
+        };
+        let mean = if stats.jobs_completed > 0 {
+            stats.latency_total_ms / stats.jobs_completed as f64
+        } else {
+            0.0
+        };
+        let per_racer = |values: [u64; 3]| {
+            Value::Obj(
+                RACER_NAMES
+                    .iter()
+                    .zip(values)
+                    .map(|(name, v)| ((*name).to_owned(), Value::from(v)))
+                    .collect(),
+            )
+        };
+        Value::Obj(vec![
+            ("status".to_owned(), Value::from("ok")),
+            (
+                "stats".to_owned(),
+                Value::Obj(vec![
+                    ("workers".to_owned(), Value::from(self.config.workers)),
+                    (
+                        "default_engine".to_owned(),
+                        Value::from(self.config.default_engine.name()),
+                    ),
+                    ("queue_depth".to_owned(), Value::from(queue_depth)),
+                    (
+                        "max_queue_depth".to_owned(),
+                        Value::from(stats.max_queue_depth),
+                    ),
+                    ("in_flight".to_owned(), Value::from(stats.in_flight)),
+                    ("jobs_received".to_owned(), Value::from(stats.jobs_received)),
+                    (
+                        "jobs_completed".to_owned(),
+                        Value::from(stats.jobs_completed),
+                    ),
+                    ("jobs_errored".to_owned(), Value::from(stats.jobs_errored)),
+                    (
+                        "verdicts".to_owned(),
+                        Value::Obj(vec![
+                            ("holds".to_owned(), Value::from(stats.holds)),
+                            ("violated".to_owned(), Value::from(stats.violated)),
+                            ("unknown".to_owned(), Value::from(stats.unknown)),
+                        ]),
+                    ),
+                    (
+                        "race".to_owned(),
+                        Value::Obj(vec![
+                            ("wins".to_owned(), per_racer(stats.race_wins)),
+                            ("cancelled".to_owned(), per_racer(stats.race_cancelled)),
+                            (
+                                "inconclusive".to_owned(),
+                                Value::from(stats.race_inconclusive),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "latency_ms".to_owned(),
+                        Value::Obj(vec![
+                            ("mean".to_owned(), Value::from(mean)),
+                            ("max".to_owned(), Value::from(stats.latency_max_ms)),
+                            ("total".to_owned(), Value::from(stats.latency_total_ms)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// A running service. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown without waiting: stop accepting,
+    /// cancel live jobs, let workers drain.
+    pub fn trigger_shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Whether shutdown has been requested (by this handle, a client
+    /// `shutdown` op, or a signal).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Triggers shutdown and joins every service thread, returning
+    /// once all in-flight jobs have produced responses.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down by another path (client
+    /// `shutdown` op or signal-triggered [`Self::trigger_shutdown`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle of an already-stopping server still joins,
+        // so tests cannot leak threads; an active server is left
+        // running (detached) as documented.
+        if self.shared.shutting_down() {
+            self.join_threads();
+        }
+    }
+}
+
+/// Binds the listener and starts the accept loop plus the worker
+/// pool.
+///
+/// # Errors
+///
+/// Propagates the `bind` failure; everything after binding runs on
+/// background threads.
+pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        config: config.clone(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stats: Mutex::new(Stats::default()),
+        live_tokens: Mutex::new(Vec::new()),
+    });
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::spawn(move || accept_loop(&listener, &accept_shared));
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                connections.push(thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+        connections.retain(|c| !c.is_finished());
+    }
+    for c in connections {
+        let _ = c.join();
+    }
+}
+
+/// Reads request lines until EOF or shutdown; responses are funnelled
+/// through a dedicated writer thread so worker replies and inline
+/// replies (stats, protocol errors) never interleave mid-line.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // Short read timeout so the reader notices shutdown while idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || writer_loop(write_half, &reply_rx));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: client is done.
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                handle_request_line(trimmed, shared, &reply_tx);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(stream: TcpStream, replies: &mpsc::Receiver<String>) {
+    let mut out = io::BufWriter::new(stream);
+    while let Ok(response) = replies.recv() {
+        if out
+            .write_all(response.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            // Client hung up; drain remaining replies so job senders
+            // never block (they use an unbounded channel anyway).
+            break;
+        }
+    }
+}
+
+fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) {
+    match decode_request(line) {
+        Err(e) => {
+            if let Ok(mut stats) = shared.stats.lock() {
+                stats.jobs_errored += 1;
+            }
+            let _ = reply.send(encode_error_response(e.id.as_deref(), &e.message));
+        }
+        Ok(Request::Stats) => {
+            let _ = reply.send(shared.stats_response());
+        }
+        Ok(Request::Shutdown) => {
+            let _ = reply.send(
+                Value::Obj(vec![
+                    ("status".to_owned(), Value::from("ok")),
+                    ("shutting_down".to_owned(), Value::from(true)),
+                ])
+                .render(),
+            );
+            shared.trigger_shutdown();
+        }
+        Ok(Request::Check(request)) => {
+            if shared.shutting_down() {
+                let _ = reply.send(encode_error_response(
+                    Some(&request.id),
+                    "server is shutting down",
+                ));
+                return;
+            }
+            let cancel = CancelToken::new();
+            if let Ok(mut tokens) = shared.live_tokens.lock() {
+                tokens.push(cancel.clone());
+            }
+            let job = Job {
+                request,
+                cancel,
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            };
+            let depth = {
+                let Ok(mut queue) = shared.queue.lock() else {
+                    return;
+                };
+                queue.push_back(job);
+                queue.len() as u64
+            };
+            if let Ok(mut stats) = shared.stats.lock() {
+                stats.jobs_received += 1;
+                stats.max_queue_depth = stats.max_queue_depth.max(depth);
+            }
+            shared.available.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let Ok(mut queue) = shared.queue.lock() else {
+                return;
+            };
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutting_down() {
+                    break None; // Queue drained, shutdown requested.
+                }
+                match shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                {
+                    Ok((q, _)) => queue = q,
+                    Err(_) => return,
+                }
+            }
+        };
+        let Some(job) = job else { return };
+        if let Ok(mut stats) = shared.stats.lock() {
+            stats.in_flight += 1;
+        }
+        process_job(&job, shared);
+        if let Ok(mut stats) = shared.stats.lock() {
+            stats.in_flight -= 1;
+        }
+        // Completed jobs no longer need their shutdown hook.
+        if let Ok(mut tokens) = shared.live_tokens.lock() {
+            tokens.retain(|t| !t.same_token(&job.cancel));
+        }
+    }
+}
+
+fn process_job(job: &Job, shared: &Arc<Shared>) {
+    let request = &job.request;
+    let stg = match stg::parse_bytes(request.stg_g.as_bytes()) {
+        Ok(stg) => stg,
+        Err(e) => {
+            if let Ok(mut stats) = shared.stats.lock() {
+                stats.jobs_errored += 1;
+            }
+            let _ = job.reply.send(encode_error_response(
+                Some(&request.id),
+                &format!("invalid .g input: {e}"),
+            ));
+            return;
+        }
+    };
+    let mut budget = request.budget.to_budget();
+    if budget.deadline.is_none() {
+        budget.deadline = shared.config.default_timeout_ms.map(Duration::from_millis);
+    }
+    budget.cancel = Some(job.cancel.clone());
+    let engine = request.engine.unwrap_or(shared.config.default_engine);
+    let property = request.property;
+    let response = match check_property(&stg, property, engine, &budget) {
+        Ok(run) => {
+            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            if let Ok(mut stats) = shared.stats.lock() {
+                stats.jobs_completed += 1;
+                stats.latency_total_ms += latency_ms;
+                stats.latency_max_ms = stats.latency_max_ms.max(latency_ms);
+                match run.verdict.holds() {
+                    Some(true) => stats.holds += 1,
+                    Some(false) => stats.violated += 1,
+                    None => stats.unknown += 1,
+                }
+                if run.report.engine == "race" {
+                    match run.report.winner {
+                        Some(winner) => {
+                            for (i, name) in RACER_NAMES.iter().enumerate() {
+                                if *name == winner {
+                                    stats.race_wins[i] += 1;
+                                } else {
+                                    stats.race_cancelled[i] += 1;
+                                }
+                            }
+                        }
+                        None => stats.race_inconclusive += 1,
+                    }
+                }
+            }
+            encode_check_response(&request.id, &stg, &run)
+        }
+        Err(e) => {
+            if let Ok(mut stats) = shared.stats.lock() {
+                stats.jobs_errored += 1;
+            }
+            encode_error_response(Some(&request.id), &e.to_string())
+        }
+    };
+    let _ = job.reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::protocol::BudgetSpec;
+    use csc_core::Property;
+    use stg::gen::vme::vme_read;
+
+    fn local_server(workers: usize) -> ServerHandle {
+        spawn(ServerConfig {
+            workers,
+            ..Default::default()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_a_check_and_stats_round_trip() {
+        let server = local_server(2);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        let response = client
+            .check("j1", &g, Property::Csc, None, BudgetSpec::default())
+            .expect("check");
+        assert_eq!(response.verdict.as_deref(), Some("violated"));
+        assert_eq!(response.engine.as_deref(), Some("race"));
+        assert!(response.winner.is_some());
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("jobs_completed"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_not_disconnects() {
+        let server = local_server(1);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let v = client
+            .round_trip("{\"op\":\"check\",\"id\":\"bad\"}")
+            .expect("reply");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("bad"));
+        // The connection survives and serves the next request.
+        let stats = client.stats().expect("stats after error");
+        assert_eq!(stats.get("status").and_then(Value::as_str), Some("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_op_stops_the_server() {
+        let server = local_server(1);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let ack = client.shutdown().expect("ack");
+        assert_eq!(
+            ack.get("shutting_down").and_then(Value::as_bool),
+            Some(true)
+        );
+        server.join(); // Returns because the client op triggered shutdown.
+    }
+}

@@ -168,7 +168,9 @@ pub fn parallel_compose(left: &Stg, right: &Stg) -> Result<Stg, ComposeError> {
                 .filter(|&t| right.label(t).edge() == Some(edge))
                 .collect();
             if lts.len() != rts.len() {
-                return Err(ComposeError::InstanceMismatch { signal: name.clone() });
+                return Err(ComposeError::InstanceMismatch {
+                    signal: name.clone(),
+                });
             }
             for (lt, rt) in lts.iter().zip(&rts) {
                 let t = b.edge(signals[name], edge);
@@ -277,7 +279,12 @@ mod tests {
     #[test]
     fn two_drivers_rejected() {
         let err = parallel_compose(&half(true), &half(true)).unwrap_err();
-        assert_eq!(err, ComposeError::TwoDrivers { signal: "req".to_owned() });
+        assert_eq!(
+            err,
+            ComposeError::TwoDrivers {
+                signal: "req".to_owned()
+            }
+        );
     }
 
     #[test]

@@ -77,10 +77,20 @@ pub fn to_dot(stg: &Stg, name: &str) -> String {
             );
         } else {
             for &t in stg.net().place_preset(p) {
-                let _ = writeln!(out, "  \"{}\" -> \"p{}\";", stg.transition_name(t), p.index());
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"p{}\";",
+                    stg.transition_name(t),
+                    p.index()
+                );
             }
             for &t in stg.net().place_postset(p) {
-                let _ = writeln!(out, "  \"p{}\" -> \"{}\";", p.index(), stg.transition_name(t));
+                let _ = writeln!(
+                    out,
+                    "  \"p{}\" -> \"{}\";",
+                    p.index(),
+                    stg.transition_name(t)
+                );
             }
         }
     }
@@ -89,7 +99,9 @@ pub fn to_dot(stg: &Stg, name: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('"', "\\\"").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('"', "\\\"")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = StgError::CodeLengthMismatch { expected: 3, got: 2 };
+        let e = StgError::CodeLengthMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert_eq!(e.to_string(), "initial code has 2 bits, expected 3");
         let p = ParseStgError::syntax(4, "unexpected token");
         assert_eq!(p.to_string(), "line 4: unexpected token");

@@ -40,7 +40,11 @@ pub fn muller_pipeline(n: usize) -> Stg {
     let mut b = StgBuilder::new();
     let signals: Vec<_> = (0..=n)
         .map(|i| {
-            let kind = if i == 0 { SignalKind::Input } else { SignalKind::Output };
+            let kind = if i == 0 {
+                SignalKind::Input
+            } else {
+                SignalKind::Output
+            };
             b.add_signal(format!("s{i}"), kind)
         })
         .collect();

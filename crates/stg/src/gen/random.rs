@@ -139,7 +139,8 @@ pub fn random_stg(config: &RandomStgConfig, seed: u64) -> Stg {
     }
 
     b.set_initial_code(CodeVec::from_bits(bits));
-    b.build().expect("random stg construction preserves invariants")
+    b.build()
+        .expect("random stg construction preserves invariants")
 }
 
 #[cfg(test)]

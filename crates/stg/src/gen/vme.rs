@@ -38,7 +38,8 @@ pub fn vme_read() -> Stg {
     let d_p = b.edge(d, Edge::Rise);
     let d_m = b.edge(d, Edge::Fall);
 
-    b.chain(&[dsr_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, d_m]).expect("valid chain");
+    b.chain(&[dsr_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, d_m])
+        .expect("valid chain");
     b.connect(d_m, dtack_m).expect("valid arc");
     b.connect(d_m, lds_m).expect("valid arc");
     b.connect(lds_m, ldtack_m).expect("valid arc");
@@ -91,8 +92,10 @@ pub fn vme_read_csc_resolved() -> Stg {
     let csc_p = b.edge(csc, Edge::Rise);
     let csc_m = b.edge(csc, Edge::Fall);
 
-    b.chain(&[dsr_p, csc_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, csc_m, d_m])
-        .expect("valid chain");
+    b.chain(&[
+        dsr_p, csc_p, lds_p, ldtack_p, d_p, dtack_p, dsr_m, csc_m, d_m,
+    ])
+    .expect("valid chain");
     b.connect(d_m, dtack_m).expect("valid arc");
     b.connect(d_m, lds_m).expect("valid arc");
     b.connect(lds_m, ldtack_m).expect("valid arc");
@@ -202,13 +205,11 @@ mod tests {
         let lds = stg.signal_by_name("lds").unwrap();
         let d = stg.signal_by_name("d").unwrap();
         let found = pairs.iter().any(|&(s1, s2)| {
-            sg.code(s1).to_string() == "10110"
-                && sg.code(s2) == sg.code(s1)
-                && {
-                    let o1 = stg.enabled_local_signals(sg.marking(s1));
-                    let o2 = stg.enabled_local_signals(sg.marking(s2));
-                    (o1 == vec![lds] && o2 == vec![d]) || (o1 == vec![d] && o2 == vec![lds])
-                }
+            sg.code(s1).to_string() == "10110" && sg.code(s2) == sg.code(s1) && {
+                let o1 = stg.enabled_local_signals(sg.marking(s1));
+                let o2 = stg.enabled_local_signals(sg.marking(s2));
+                (o1 == vec![lds] && o2 == vec![d]) || (o1 == vec![d] && o2 == vec![lds])
+            }
         });
         assert!(found, "the Fig. 1(b) conflict pair must be present");
     }

@@ -99,7 +99,11 @@ impl Parser {
         let stem = token.split('/').next().unwrap_or(token);
         if let Some(base) = stem.strip_suffix('+').or_else(|| stem.strip_suffix('-')) {
             if let Some(&z) = self.signals.get(base) {
-                let edge = if stem.ends_with('+') { Edge::Rise } else { Edge::Fall };
+                let edge = if stem.ends_with('+') {
+                    Edge::Rise
+                } else {
+                    Edge::Fall
+                };
                 let t = self.builder.edge_named(z, edge, token);
                 self.transitions.insert(token.to_owned(), t);
                 self.trans_names.push(token.to_owned());
@@ -133,21 +137,22 @@ impl Parser {
         for &tok in &tokens[1..] {
             let dst = self.node(tok, line)?;
             let result = match (src, dst) {
-                (Node::Transition(a), Node::Transition(b)) => {
-                    match self.builder.connect(a, b) {
-                        Ok(p) => {
-                            self.implicit.insert((a, b), p);
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
+                (Node::Transition(a), Node::Transition(b)) => match self.builder.connect(a, b) {
+                    Ok(p) => {
+                        self.implicit.insert((a, b), p);
+                        Ok(())
                     }
-                }
+                    Err(e) => Err(e),
+                },
                 (Node::Transition(a), Node::Place(p)) => self.builder.arc_tp(a, p),
                 (Node::Place(p), Node::Transition(b)) => self.builder.arc_pt(p, b),
                 (Node::Place(_), Node::Place(_)) => {
                     return Err(ParseStgError::syntax(
                         line,
-                        format!("arc from place `{}` to place `{tok}` is not allowed", tokens[0]),
+                        format!(
+                            "arc from place `{}` to place `{tok}` is not allowed",
+                            tokens[0]
+                        ),
                     ));
                 }
             };
@@ -304,14 +309,18 @@ pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
         }
     }
     if !p.marking_seen {
-        return Err(ParseStgError::Build(crate::error::StgError::MissingInitialMarking));
+        return Err(ParseStgError::Build(
+            crate::error::StgError::MissingInitialMarking,
+        ));
     }
     let stg = match p.initial_state {
         Some(code) => {
             p.builder.set_initial_code(code);
             p.builder.build()?
         }
-        None => p.builder.build_with_inferred_code(ExploreLimits::default())?,
+        None => p
+            .builder
+            .build_with_inferred_code(ExploreLimits::default())?,
     };
     Ok(stg)
 }

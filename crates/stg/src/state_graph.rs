@@ -177,7 +177,10 @@ impl StateGraph {
         }
         Ok(StateGraph {
             reach,
-            codes: codes.into_iter().map(|c| c.expect("all reachable")).collect(),
+            codes: codes
+                .into_iter()
+                .map(|c| c.expect("all reachable"))
+                .collect(),
         })
     }
 
@@ -332,7 +335,9 @@ impl StateGraph {
             let m = self.marking(s);
             for t in stg.net().transitions() {
                 // Only local (circuit-driven) signal edges must persist.
-                let Some(z) = stg.label(t).signal() else { continue };
+                let Some(z) = stg.label(t).signal() else {
+                    continue;
+                };
                 if !stg.signal_kind(z).is_local() || !stg.net().is_enabled(m, t) {
                     continue;
                 }
@@ -359,12 +364,16 @@ impl StateGraph {
 
     /// Normalcy verdicts for every circuit-driven signal.
     pub fn normalcy_report(&self, stg: &Stg) -> Vec<NormalcyVerdict> {
-        stg.local_signals().map(|z| self.normalcy_of(stg, z)).collect()
+        stg.local_signals()
+            .map(|z| self.normalcy_of(stg, z))
+            .collect()
     }
 
     /// Whether every circuit-driven signal is normal.
     pub fn is_normal(&self, stg: &Stg) -> bool {
-        self.normalcy_report(stg).iter().all(NormalcyVerdict::is_normal)
+        self.normalcy_report(stg)
+            .iter()
+            .all(NormalcyVerdict::is_normal)
     }
 }
 

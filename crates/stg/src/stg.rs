@@ -249,11 +249,7 @@ impl StgBuilder {
             .and_modify(|c| *c += 1)
             .or_insert(1);
         let base = format!("{}{}", self.signals[z.index()].name, e.suffix());
-        let name = if *n == 1 {
-            base
-        } else {
-            format!("{base}/{n}")
-        };
+        let name = if *n == 1 { base } else { format!("{base}/{n}") };
         let t = self.net.add_transition(name);
         self.labels.push(Label::SignalEdge(z, e));
         t
@@ -340,10 +336,13 @@ impl StgBuilder {
     /// the signal count, or no code was provided (use
     /// [`StgBuilder::build_with_inferred_code`] in that case).
     pub fn build(self) -> Result<Stg, StgError> {
-        let code = self.initial_code.clone().ok_or(StgError::CodeLengthMismatch {
-            expected: self.signals.len(),
-            got: 0,
-        })?;
+        let code = self
+            .initial_code
+            .clone()
+            .ok_or(StgError::CodeLengthMismatch {
+                expected: self.signals.len(),
+                got: 0,
+            })?;
         self.build_inner(code)
     }
 
@@ -398,7 +397,9 @@ fn infer_initial_code(stg: &Stg, limits: ExploreLimits) -> Result<CodeVec, StgEr
     let mut deltas: Vec<Option<ChangeVec>> = vec![None; graph.num_states()];
     deltas[0] = Some(ChangeVec::zero(nz));
     for s in graph.states() {
-        let current = deltas[s.index()].clone().expect("BFS order fills parents first");
+        let current = deltas[s.index()]
+            .clone()
+            .expect("BFS order fills parents first");
         for z in 0..nz {
             lo[z] = lo[z].min(current.as_slice()[z]);
             hi[z] = hi[z].max(current.as_slice()[z]);
@@ -416,9 +417,9 @@ fn infer_initial_code(stg: &Stg, limits: ExploreLimits) -> Result<CodeVec, StgEr
     let mut bits = Vec::with_capacity(nz);
     for z in 0..nz {
         let bit = match (lo[z], hi[z]) {
-            (0, 0) => false,           // never switches: default 0
-            (0, 1) => false,           // first edge rising
-            (-1, 0) => true,           // first edge falling
+            (0, 0) => false, // never switches: default 0
+            (0, 1) => false, // first edge rising
+            (-1, 0) => true, // first edge falling
             _ => return Err(StgError::InferenceInconsistent(Signal::new(z))),
         };
         bits.push(bit);
@@ -515,7 +516,9 @@ mod tests {
         let ap = b.edge(a, Edge::Rise);
         let bm = b.edge(bsig, Edge::Fall);
         b.chain_cycle(&[am, bp, ap, bm]).unwrap();
-        let stg = b.build_with_inferred_code(ExploreLimits::default()).unwrap();
+        let stg = b
+            .build_with_inferred_code(ExploreLimits::default())
+            .unwrap();
         assert_eq!(stg.initial_code().to_string(), "10");
     }
 
@@ -529,7 +532,10 @@ mod tests {
         b.set_initial_code(CodeVec::zeros(3));
         assert!(matches!(
             b.build(),
-            Err(StgError::CodeLengthMismatch { expected: 1, got: 3 })
+            Err(StgError::CodeLengthMismatch {
+                expected: 1,
+                got: 3
+            })
         ));
     }
 

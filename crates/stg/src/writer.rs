@@ -103,8 +103,10 @@ pub fn to_g_format(stg: &Stg, model_name: &str) -> String {
         let mut targets = Vec::new();
         for &p in stg.net().postset(t) {
             match plan.get(p) {
-                None => targets
-                    .push(stg.transition_name(stg.net().place_postset(p)[0]).to_owned()),
+                None => targets.push(
+                    stg.transition_name(stg.net().place_postset(p)[0])
+                        .to_owned(),
+                ),
                 Some(name) => targets.push(name.to_owned()),
             }
         }

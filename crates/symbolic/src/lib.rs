@@ -72,7 +72,10 @@ impl fmt::Display for SymbolicStop {
         match self {
             SymbolicStop::Stopped(reason) => write!(f, "symbolic analysis stopped: {reason}"),
             SymbolicStop::NodeLimit(cap) => {
-                write!(f, "symbolic analysis exceeded the budget of {cap} BDD nodes")
+                write!(
+                    f,
+                    "symbolic analysis exceeded the budget of {cap} BDD nodes"
+                )
             }
         }
     }
@@ -566,9 +569,21 @@ impl<'a> SymbolicChecker<'a> {
         self.bdd.num_nodes()
     }
 
-    /// Decodes one conflict pair into concrete states, if any exists.
+    /// Decodes one USC conflict pair into concrete states, if any
+    /// exists.
     pub fn usc_witness(&mut self) -> Option<SymbolicWitness> {
-        let pairs = self.conflict_pairs(false);
+        self.decode_witness(false)
+    }
+
+    /// Decodes one CSC conflict pair into concrete states, if any
+    /// exists: two reachable markings with equal codes but different
+    /// enabled local-output sets.
+    pub fn csc_witness(&mut self) -> Option<SymbolicWitness> {
+        self.decode_witness(true)
+    }
+
+    fn decode_witness(&mut self, csc: bool) -> Option<SymbolicWitness> {
+        let pairs = self.conflict_pairs(csc);
         if self.bdd.interrupt().is_some() {
             // The pair relation was cut short by a still-armed
             // budget; a decoded path would be meaningless.
@@ -670,6 +685,26 @@ mod tests {
         let stg = counterflow_sym(2, 2);
         let mut checker = SymbolicChecker::new(&stg);
         assert!(checker.usc_witness().is_none());
+        assert!(checker.csc_witness().is_none());
+    }
+
+    #[test]
+    fn csc_witness_states_differ_in_enabled_outputs() {
+        let stg = vme_read();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        let mut checker = SymbolicChecker::new(&stg);
+        let w = checker.csc_witness().expect("vme has a CSC conflict");
+        assert_ne!(w.marking1, w.marking2);
+        let s1 = sg.reachability().state_of(&w.marking1).expect("reachable");
+        let s2 = sg.reachability().state_of(&w.marking2).expect("reachable");
+        assert_eq!(sg.code(s1), sg.code(s2));
+        assert_eq!(sg.code(s1), &w.code);
+        // CSC (not just USC): the enabled local-output sets differ.
+        assert_ne!(
+            stg.enabled_local_signals(&w.marking1),
+            stg.enabled_local_signals(&w.marking2),
+            "CSC witness states must differ in enabled outputs"
+        );
     }
 
     #[test]
@@ -700,7 +735,9 @@ mod tests {
             max_nodes: Some(8),
             ..Default::default()
         };
-        let err = checker.try_analyse(&budget).expect_err("8 nodes is hopeless");
+        let err = checker
+            .try_analyse(&budget)
+            .expect_err("8 nodes is hopeless");
         assert_eq!(err, SymbolicStop::NodeLimit(8));
         assert!(checker.nodes_allocated() > 0);
         // The same checker still completes without a budget.
@@ -727,9 +764,8 @@ mod tests {
     fn partitioned_and_monolithic_agree() {
         for stg in [vme_read(), lazy_ring(3), counterflow_sym(2, 2)] {
             let fast = SymbolicChecker::new(&stg).analyse();
-            let naive =
-                SymbolicChecker::with_options(&stg, SymbolicOptions { partitioned: false })
-                    .analyse();
+            let naive = SymbolicChecker::with_options(&stg, SymbolicOptions { partitioned: false })
+                .analyse();
             assert_eq!(fast.num_states, naive.num_states);
             assert_eq!(fast.usc_pairs, naive.usc_pairs);
             assert_eq!(fast.csc_pairs, naive.csc_pairs);

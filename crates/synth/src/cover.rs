@@ -130,14 +130,22 @@ mod tests {
             stg: &stg,
             signal: Signal::new(1),
             cubes: vec![
-                Cube { literals: vec![(0, true)] },
-                Cube { literals: vec![(0, false), (1, true)] },
+                Cube {
+                    literals: vec![(0, true)],
+                },
+                Cube {
+                    literals: vec![(0, false), (1, true)],
+                },
             ],
         };
         assert_eq!(eq.to_string(), "c = a + a' c");
         assert_eq!(eq.literal_count(), 3);
         assert!(eq.eval(&|v| v == 0));
-        let empty = Equation { stg: &stg, signal: Signal::new(1), cubes: vec![] };
+        let empty = Equation {
+            stg: &stg,
+            signal: Signal::new(1),
+            cubes: vec![],
+        };
         assert_eq!(empty.to_string(), "c = 0");
     }
 }

@@ -26,7 +26,10 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::StateGraph(m) => write!(f, "state graph unavailable: {m}"),
             SynthError::CodingConflict { signal } => {
-                write!(f, "no next-state function for signal {signal}: coding conflict")
+                write!(
+                    f,
+                    "no next-state function for signal {signal}: coding conflict"
+                )
             }
         }
     }
@@ -40,8 +43,12 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = SynthError::CodingConflict { signal: Signal::new(2) };
+        let e = SynthError::CodingConflict {
+            signal: Signal::new(2),
+        };
         assert!(e.to_string().contains("coding conflict"));
-        assert!(SynthError::StateGraph("boom".into()).to_string().contains("boom"));
+        assert!(SynthError::StateGraph("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

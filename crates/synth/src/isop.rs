@@ -21,17 +21,14 @@ pub(crate) fn isop(m: &mut Bdd, l: NodeId, u: NodeId) -> (Vec<Cube>, NodeId) {
     (cubes, f)
 }
 
-fn isop_rec(
-    m: &mut Bdd,
-    l: NodeId,
-    u: NodeId,
-    path: &mut Vec<Lit>,
-    out: &mut Vec<Cube>,
-) -> NodeId {
-    debug_assert!({
-        let nl = m.not(l);
-        m.or(nl, u) == NodeId::TRUE
-    }, "ISOP requires l ⊆ u");
+fn isop_rec(m: &mut Bdd, l: NodeId, u: NodeId, path: &mut Vec<Lit>, out: &mut Vec<Cube>) -> NodeId {
+    debug_assert!(
+        {
+            let nl = m.not(l);
+            m.or(nl, u) == NodeId::TRUE
+        },
+        "ISOP requires l ⊆ u"
+    );
     if l == NodeId::FALSE {
         return NodeId::FALSE;
     }

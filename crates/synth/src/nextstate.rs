@@ -33,7 +33,8 @@ impl<'a> NextStateFunctions<'a> {
     /// * [`SynthError::CodingConflict`] if two states share a code
     ///   but disagree on some `Nxt_z` — i.e. CSC is violated for `z`.
     pub fn derive(stg: &'a Stg, limits: ExploreLimits) -> Result<Self, SynthError> {
-        let sg = StateGraph::build(stg, limits).map_err(|e| SynthError::StateGraph(e.to_string()))?;
+        let sg =
+            StateGraph::build(stg, limits).map_err(|e| SynthError::StateGraph(e.to_string()))?;
         let mut manager = Bdd::new();
         let locals: Vec<Signal> = stg.local_signals().collect();
         let mut care = NodeId::FALSE;
@@ -307,7 +308,10 @@ mod tests {
         }
         let lhs = m.and(cover, care);
         let rhs = m.and(paper, care);
-        assert_eq!(lhs, rhs, "csc function matches the paper on reachable codes");
+        assert_eq!(
+            lhs, rhs,
+            "csc function matches the paper on reachable codes"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl fmt::Display for UnfoldError {
                 write!(f, "prefix exceeded the limit of {n} events")
             }
             UnfoldError::UnsafeNet { place } => {
-                write!(f, "net system is not safe: place {place} can hold two tokens")
+                write!(
+                    f,
+                    "net system is not safe: place {place} can hold two tokens"
+                )
             }
             UnfoldError::Interrupted { reason, events } => {
                 write!(f, "unfolding stopped ({reason}) after {events} events")
@@ -175,11 +178,7 @@ impl<'a> Builder<'a> {
     /// The key of the local configuration a new event `(t, preset)`
     /// would have, together with its depth and history bit set
     /// (excluding the event itself).
-    fn extension_key(
-        &self,
-        t: TransitionId,
-        preset: &[CondId],
-    ) -> (OrderKey, u32, BitSet) {
+    fn extension_key(&self, t: TransitionId, preset: &[CondId]) -> (OrderKey, u32, BitSet) {
         let mut history = BitSet::new(self.events.len().max(1));
         let mut depth = 0u32;
         for &b in preset {
@@ -214,7 +213,15 @@ impl<'a> Builder<'a> {
                 (parikh, levels)
             }
         };
-        (OrderKey { size, parikh, foata }, depth, history)
+        (
+            OrderKey {
+                size,
+                parikh,
+                foata,
+            },
+            depth,
+            history,
+        )
     }
 
     /// The marking `Mark([e])` for a new event `(t, preset)` whose
@@ -657,10 +664,7 @@ mod tests {
         let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
         for e in prefix.events() {
             assert!(prefix.is_configuration(prefix.local_config(e)));
-            assert_eq!(
-                prefix.local_size(e) as usize,
-                prefix.local_config(e).len()
-            );
+            assert_eq!(prefix.local_size(e) as usize, prefix.local_config(e).len());
         }
     }
 

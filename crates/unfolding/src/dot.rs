@@ -44,7 +44,13 @@ pub fn to_dot(prefix: &Prefix, stg: &Stg, name: &str) -> String {
         } else {
             ""
         };
-        let _ = writeln!(out, "  \"e{}\" [shape=box, label=\"{}\"{}];", e.index(), label, extras);
+        let _ = writeln!(
+            out,
+            "  \"e{}\" [shape=box, label=\"{}\"{}];",
+            e.index(),
+            label,
+            extras
+        );
     }
     for b in prefix.conditions() {
         let marked = prefix.cond_producer(b).is_none();
@@ -83,10 +89,7 @@ mod tests {
         assert_eq!(dot.matches("shape=circle").count(), prefix.num_conditions());
         assert_eq!(dot.matches("peripheries=2").count(), prefix.num_cutoffs());
         // Minimal conditions carry the initial tokens.
-        assert_eq!(
-            dot.matches("&bull;").count(),
-            prefix.min_conditions().len()
-        );
+        assert_eq!(dot.matches("&bull;").count(), prefix.min_conditions().len());
     }
 
     #[test]

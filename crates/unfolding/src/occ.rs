@@ -238,10 +238,7 @@ impl Prefix {
             if !produced {
                 continue;
             }
-            let consumed = self
-                .cond_consumers(b)
-                .iter()
-                .any(|e| c.contains(e.index()));
+            let consumed = self.cond_consumers(b).iter().any(|e| c.contains(e.index()));
             if !consumed {
                 cut.push(b);
             }

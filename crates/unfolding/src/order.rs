@@ -68,7 +68,11 @@ mod tests {
     use super::*;
 
     fn key(size: u32, parikh: Vec<u16>, foata: Vec<Vec<u16>>) -> OrderKey {
-        OrderKey { size, parikh, foata }
+        OrderKey {
+            size,
+            parikh,
+            foata,
+        }
     }
 
     #[test]

@@ -159,8 +159,10 @@ mod tests {
                 let after = rel.predecessors(a).contains(b.index());
                 let conflict = rel.conflicts(a).contains(b.index());
                 let co = rel.concurrent(a, b);
-                let count =
-                    usize::from(before) + usize::from(after) + usize::from(conflict) + usize::from(co);
+                let count = usize::from(before)
+                    + usize::from(after)
+                    + usize::from(conflict)
+                    + usize::from(co);
                 assert_eq!(count, 1, "exactly one relation must hold for {a:?},{b:?}");
             }
         }

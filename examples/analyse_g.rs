@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             model.signal_name(o.signal),
             o.p_normal,
             o.n_normal,
-            if o.is_normal() { "normal" } else { "NOT normal" }
+            if o.is_normal() {
+                "normal"
+            } else {
+                "NOT normal"
+            }
         );
     }
 

@@ -22,11 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let CheckOutcome::Conflict(witness) = checker.check_csc()? else {
         unreachable!("the VME read controller has a CSC conflict");
     };
-    println!("step (a) — conflict detected:\n{}\n", witness.describe(&spec));
+    println!(
+        "step (a) — conflict detected:\n{}\n",
+        witness.describe(&spec)
+    );
 
     // Step (b): resolution.
-    let ResolveOutcome::Resolved { stg: fixed, inserted } =
-        resolve_csc(&spec, Default::default())?
+    let ResolveOutcome::Resolved {
+        stg: fixed,
+        inserted,
+    } = resolve_csc(&spec, Default::default())?
     else {
         unreachable!("vme is resolvable with one state signal");
     };
@@ -44,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let signals: Vec<_> = fns.signals().collect();
     for z in signals {
         let eq = fns.equation(z);
-        let note = if fns.is_monotonic(z) { "" } else { "  (not monotonic)" };
+        let note = if fns.is_monotonic(z) {
+            ""
+        } else {
+            "  (not monotonic)"
+        };
         println!("  {eq}{note}");
     }
     Ok(())

@@ -10,7 +10,10 @@ use stg_coding_conflicts::stg::gen::pipeline::muller_pipeline;
 use stg_coding_conflicts::stg::StateGraph;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>3} {:>10} {:>6} {:>12} {:>12}", "n", "states", "|E|", "explicit[ms]", "unf+ip[ms]");
+    println!(
+        "{:>3} {:>10} {:>6} {:>12} {:>12}",
+        "n", "states", "|E|", "explicit[ms]", "unf+ip[ms]"
+    );
     for n in 1..=9 {
         let stg = muller_pipeline(n);
 

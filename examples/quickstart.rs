@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.chain_cycle(&[a_plus, a_minus, c_plus, c_minus])?;
     let stg = b.build_with_inferred_code(Default::default())?;
 
-    println!("STG: {} signals, {} transitions", stg.num_signals(), stg.net().num_transitions());
+    println!(
+        "STG: {} signals, {} transitions",
+        stg.num_signals(),
+        stg.net().num_transitions()
+    );
 
     // The checker unfolds the STG once...
     let checker = Checker::new(&stg)?;

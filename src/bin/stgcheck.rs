@@ -16,9 +16,16 @@
 //! ```
 //!
 //! Engines: `unfolding` (default), `explicit`, `symbolic`,
-//! `portfolio`. The `usc`/`csc` commands also accept budget flags:
-//! `--timeout-ms N` (wall-clock deadline) and `--max-events N`
-//! (unfolding cap); an exhausted budget yields exit code 3.
+//! `portfolio` (sequential phases), `race` (parallel, first
+//! conclusive engine wins). The `usc`/`csc` commands also accept
+//! budget flags: `--timeout-ms N` (wall-clock deadline) and
+//! `--max-events N` (unfolding cap); an exhausted budget yields exit
+//! code 3.
+//!
+//! With `--server HOST:PORT` the `usc`/`csc` commands ship the job to
+//! a running `stgd` instead of checking in-process; the engine
+//! default is then the server's (the racing portfolio).
+//!
 //! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
 //! or processing error, 3 = inconclusive (budget exhausted).
 
@@ -29,6 +36,8 @@ use std::time::Duration;
 use stg_coding_conflicts::csc_core::{
     check_property, Budget, CheckOutcome, Checker, Engine, Property, Verdict,
 };
+use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
+use stg_coding_conflicts::server::Client;
 use stg_coding_conflicts::stg::{self, Stg};
 use stg_coding_conflicts::unfolding::{self, OrderStrategy, Prefix, UnfoldOptions};
 
@@ -45,7 +54,8 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: stgcheck <info|unfold|usc|csc|normalcy|deadlock|report|synth|dot|gen> ... \
-     [--engine unfolding|explicit|symbolic|portfolio] [--timeout-ms N] [--max-events N]"
+     [--engine unfolding|explicit|symbolic|portfolio|race] [--timeout-ms N] [--max-events N] \
+     [--server HOST:PORT]"
         .to_owned()
 }
 
@@ -91,19 +101,32 @@ fn exit_code(conflict: bool) -> u8 {
     u8::from(conflict)
 }
 
-fn engine_flag(flags: &[String]) -> Result<Engine, String> {
+/// Parses `--engine NAME`; `None` when the flag is absent (the local
+/// default is unfolding, the server default is the racing portfolio).
+fn engine_flag(flags: &[String]) -> Result<Option<Engine>, String> {
     match flags.iter().position(|f| f == "--engine") {
-        None => Ok(Engine::UnfoldingIlp),
-        Some(i) => match flags.get(i + 1).map(String::as_str) {
-            Some("unfolding") => Ok(Engine::UnfoldingIlp),
-            Some("explicit") => Ok(Engine::ExplicitStateGraph),
-            Some("symbolic") => Ok(Engine::SymbolicBdd),
-            Some("portfolio") => Ok(Engine::Portfolio),
-            other => Err(format!(
-                "bad --engine {} (unfolding|explicit|symbolic|portfolio)",
-                other.unwrap_or("<missing>")
-            )),
-        },
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .and_then(|name| engine_from_str(name))
+            .map(Some)
+            .ok_or_else(|| {
+                format!(
+                    "bad --engine {} (unfolding|explicit|symbolic|portfolio|race)",
+                    flags.get(i + 1).map_or("<missing>", String::as_str)
+                )
+            }),
+    }
+}
+
+/// Parses `--server HOST:PORT`.
+fn server_flag(flags: &[String]) -> Result<Option<String>, String> {
+    match flags.iter().position(|f| f == "--server") {
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .map(|a| Some(a.clone()))
+            .ok_or_else(|| "--server needs a HOST:PORT argument".to_owned()),
     }
 }
 
@@ -158,8 +181,14 @@ fn unfold(model: &Stg, flags: &[String]) -> Result<bool, String> {
     } else {
         OrderStrategy::ErvTotal
     };
-    let prefix = Prefix::of_stg(model, UnfoldOptions { order, ..Default::default() })
-        .map_err(|e| e.to_string())?;
+    let prefix = Prefix::of_stg(
+        model,
+        UnfoldOptions {
+            order,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
     if flags.iter().any(|f| f == "--dot") {
         print!("{}", unfolding::dot::to_dot(&prefix, model, "prefix"));
     } else {
@@ -174,7 +203,10 @@ fn unfold(model: &Stg, flags: &[String]) -> Result<bool, String> {
 }
 
 fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, String> {
-    let engine = engine_flag(flags)?;
+    if let Some(addr) = server_flag(flags)? {
+        return remote_coding(&addr, model, property, flags);
+    }
+    let engine = engine_flag(flags)?.unwrap_or(Engine::UnfoldingIlp);
     let budget = budget_flags(flags)?;
     let unbudgeted = budget.deadline.is_none() && budget.max_events.is_none();
     if engine == Engine::UnfoldingIlp && unbudgeted {
@@ -218,6 +250,64 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
     }
 }
 
+/// Ships the check to a running `stgd` and reports its verdict with
+/// the usual exit-code mapping.
+fn remote_coding(
+    addr: &str,
+    model: &Stg,
+    property: Property,
+    flags: &[String],
+) -> Result<u8, String> {
+    let engine = engine_flag(flags)?;
+    let budget = budget_flags(flags)?;
+    let spec = BudgetSpec {
+        timeout_ms: budget.deadline.map(|d| d.as_millis() as u64),
+        max_events: budget.max_events,
+        ..Default::default()
+    };
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let response = client
+        .check(
+            "stgcheck",
+            &stg::to_g_format(model, "stgcheck"),
+            property,
+            engine,
+            spec,
+        )
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if response.status == "error" {
+        return Err(response
+            .error
+            .unwrap_or_else(|| "unspecified server error".to_owned()));
+    }
+    let ran = match (response.engine.as_deref(), response.winner.as_deref()) {
+        (Some(engine), Some(winner)) => format!("engine {engine}, won by {winner}"),
+        (Some(engine), None) => format!("engine {engine}"),
+        _ => "engine ?".to_owned(),
+    };
+    match response.verdict.as_deref() {
+        Some("holds") => {
+            println!("{property:?}: satisfied [server {addr}, {ran}]");
+            Ok(0)
+        }
+        Some("violated") => {
+            println!("{property:?}: CONFLICT [server {addr}, {ran}]");
+            Ok(1)
+        }
+        Some("unknown") => {
+            println!(
+                "{property:?}: UNKNOWN ({}) [server {addr}, {ran}]",
+                response.reason.as_deref().unwrap_or("unspecified")
+            );
+            Ok(3)
+        }
+        other => Err(format!(
+            "malformed server verdict {:?} in response",
+            other.unwrap_or("<missing>")
+        )),
+    }
+}
+
 fn normalcy(model: &Stg) -> Result<bool, String> {
     let checker = Checker::new(model).map_err(|e| e.to_string())?;
     let report = checker.check_normalcy().map_err(|e| e.to_string())?;
@@ -227,7 +317,11 @@ fn normalcy(model: &Stg) -> Result<bool, String> {
             model.signal_name(o.signal),
             o.p_normal,
             o.n_normal,
-            if o.is_normal() { "normal" } else { "NOT normal" }
+            if o.is_normal() {
+                "normal"
+            } else {
+                "NOT normal"
+            }
         );
     }
     Ok(!report.is_normal())
@@ -241,7 +335,11 @@ fn deadlock(model: &Stg) -> Result<bool, String> {
             Ok(false)
         }
         Some(w) => {
-            let names: Vec<&str> = w.sequence.iter().map(|&t| model.transition_name(t)).collect();
+            let names: Vec<&str> = w
+                .sequence
+                .iter()
+                .map(|&t| model.transition_name(t))
+                .collect();
             println!("deadlock after: {}", names.join(" "));
             Ok(true)
         }
@@ -250,7 +348,8 @@ fn deadlock(model: &Stg) -> Result<bool, String> {
 
 fn synthesize(model: &Stg) -> Result<bool, String> {
     use stg_coding_conflicts::synth::NextStateFunctions;
-    let mut fns = NextStateFunctions::derive(model, Default::default()).map_err(|e| e.to_string())?;
+    let mut fns =
+        NextStateFunctions::derive(model, Default::default()).map_err(|e| e.to_string())?;
     let signals: Vec<_> = fns.signals().collect();
     let mut all_monotonic = true;
     for z in signals {
@@ -259,7 +358,11 @@ fn synthesize(model: &Stg) -> Result<bool, String> {
         all_monotonic &= monotonic;
         println!(
             "{eq}{}",
-            if monotonic { "" } else { "   # not monotonic (needs input inverter)" }
+            if monotonic {
+                ""
+            } else {
+                "   # not monotonic (needs input inverter)"
+            }
         );
     }
     Ok(!all_monotonic)
@@ -272,11 +375,18 @@ fn resolve_cmd(model: &Stg, flags: &[String]) -> Result<bool, String> {
             println!("CSC already holds; nothing to do");
             Ok(false)
         }
-        ResolveOutcome::Resolved { stg: fixed, inserted } => {
+        ResolveOutcome::Resolved {
+            stg: fixed,
+            inserted,
+        } => {
             if flags.iter().any(|f| f == "--to-g") {
                 print!("{}", stg::to_g_format(&fixed, "resolved"));
             } else {
-                println!("resolved with {} state signal(s): {}", inserted.len(), inserted.join(", "));
+                println!(
+                    "resolved with {} state signal(s): {}",
+                    inserted.len(),
+                    inserted.join(", ")
+                );
             }
             Ok(false)
         }

@@ -28,6 +28,7 @@ pub use csc_core;
 pub use ilp;
 pub use petri;
 pub use resolve;
+pub use server;
 pub use stg;
 pub use symbolic;
 pub use synth;

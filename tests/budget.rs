@@ -11,11 +11,12 @@ use stg_coding_conflicts::csc_core::{
 };
 use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
 
-const ALL_ENGINES: [Engine; 4] = [
+const ALL_ENGINES: [Engine; 5] = [
     Engine::UnfoldingIlp,
     Engine::ExplicitStateGraph,
     Engine::SymbolicBdd,
     Engine::Portfolio,
+    Engine::Race,
 ];
 
 type ReasonCheck = fn(&ExhaustionReason) -> bool;
@@ -115,7 +116,10 @@ fn symbolic_respects_deadline_on_adversarial_input() {
     );
     // ~2× the allowance (plus scheduler slack); without manager-level
     // interruption this input takes minutes.
-    assert!(elapsed < deadline * 2 + Duration::from_millis(100), "{elapsed:?}");
+    assert!(
+        elapsed < deadline * 2 + Duration::from_millis(100),
+        "{elapsed:?}"
+    );
     assert_eq!(run.report.engine, "symbolic");
     assert!(run.report.bdd_nodes.unwrap() > 2, "partial work reported");
     assert!(run.report.elapsed >= deadline);

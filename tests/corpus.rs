@@ -52,7 +52,8 @@ fn corpus_full_battery() {
         assert!(report.consistency.is_consistent(), "{name}");
         assert!(report.deadlock.is_none(), "{name} must be deadlock-free");
         // Resolved/conflict-free corpus entries must pass CSC.
-        let expect_csc = name.contains("resolved") || name.contains("cf_") || name.contains("arbiter");
+        let expect_csc =
+            name.contains("resolved") || name.contains("cf_") || name.contains("arbiter");
         if expect_csc {
             assert!(
                 report.csc.as_ref().is_some_and(|c| c.is_satisfied()),

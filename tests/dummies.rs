@@ -6,7 +6,9 @@
 //! literal state-based definitions — and these tests pin that
 //! behaviour down.
 
-use stg_coding_conflicts::csc_core::{check_property_bool, CheckOutcome, Checker, Engine, Property};
+use stg_coding_conflicts::csc_core::{
+    check_property_bool, CheckOutcome, Checker, Engine, Property,
+};
 use stg_coding_conflicts::stg::{CodeVec, Edge, SignalKind, Stg, StgBuilder};
 
 /// A 4-phase handshake with a dummy "synchronisation" step between

@@ -15,8 +15,12 @@ use stg_coding_conflicts::symbolic::SymbolicChecker;
 fn assert_counts_agree(stg: &Stg, label: &str) {
     let sg = StateGraph::build(stg, Default::default()).unwrap();
     let checker = Checker::new(stg).unwrap();
-    let usc_ip = checker.enumerate_conflicts(ConflictKind::Usc, 100_000).unwrap();
-    let csc_ip = checker.enumerate_conflicts(ConflictKind::Csc, 100_000).unwrap();
+    let usc_ip = checker
+        .enumerate_conflicts(ConflictKind::Usc, 100_000)
+        .unwrap();
+    let csc_ip = checker
+        .enumerate_conflicts(ConflictKind::Csc, 100_000)
+        .unwrap();
     let report = SymbolicChecker::new(stg).analyse();
     let usc_explicit = sg.usc_conflict_pairs().len();
     let csc_explicit = sg.csc_conflict_pairs(stg).len();
@@ -70,7 +74,9 @@ fn master_controller_exercises_the_continue_search_path() {
     let checker = Checker::new(&stg).unwrap();
     assert!(!checker.check_usc().unwrap().is_satisfied());
     assert!(checker.check_csc().unwrap().is_satisfied());
-    let usc_pairs = checker.enumerate_conflicts(ConflictKind::Usc, 1_000).unwrap();
+    let usc_pairs = checker
+        .enumerate_conflicts(ConflictKind::Usc, 1_000)
+        .unwrap();
     assert!(!usc_pairs.is_empty());
     for w in &usc_pairs {
         assert_eq!(w.out1, w.out2, "every USC conflict here is Out-equal");

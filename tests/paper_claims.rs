@@ -33,7 +33,9 @@ fn fig1_conflict_details() {
     };
     assert_eq!(w.code.to_string(), "10110");
     let names = |out: &[stg_coding_conflicts::stg::Signal]| {
-        out.iter().map(|&z| stg.signal_name(z).to_owned()).collect::<Vec<_>>()
+        out.iter()
+            .map(|&z| stg.signal_name(z).to_owned())
+            .collect::<Vec<_>>()
     };
     let mut outs = vec![names(&w.out1), names(&w.out2)];
     outs.sort();

@@ -9,9 +9,7 @@ use stg_coding_conflicts::csc_core::{check_property_bool, Engine, Property};
 use stg_coding_conflicts::ilp::{Problem, Solver, SolverOptions};
 use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
 use stg_coding_conflicts::stg::{self, StateGraph};
-use stg_coding_conflicts::unfolding::{
-    completeness, EventRelations, Prefix, UnfoldOptions,
-};
+use stg_coding_conflicts::unfolding::{completeness, EventRelations, Prefix, UnfoldOptions};
 
 fn arb_config() -> impl Strategy<Value = RandomStgConfig> {
     (1usize..=5, 0usize..=4, 2usize..=5, 0usize..=2, 0u8..=100).prop_map(

@@ -1,0 +1,146 @@
+//! In-process integration test of the `stgd` service: a mixed batch
+//! with a malformed `.g` and a budget-exhausting job, every job
+//! answered per id, and a clean draining shutdown.
+
+use std::collections::HashMap;
+
+use stg_coding_conflicts::csc_core::{Engine, Property};
+use stg_coding_conflicts::server::json::Value;
+use stg_coding_conflicts::server::protocol::{BudgetSpec, CheckRequest};
+use stg_coding_conflicts::server::{spawn, Client, ServerConfig};
+use stg_coding_conflicts::stg;
+
+fn check_request(id: &str, g: &str, budget: BudgetSpec) -> CheckRequest {
+    CheckRequest {
+        id: id.to_owned(),
+        stg_g: g.to_owned(),
+        property: Property::Csc,
+        engine: None,
+        budget,
+    }
+}
+
+#[test]
+fn mixed_batch_gets_per_job_verdicts_and_a_clean_shutdown() {
+    let handle = spawn(ServerConfig {
+        workers: 4,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let vme = stg::to_g_format(&stg::gen::vme::vme_read(), "vme");
+    let clean = stg::to_g_format(&stg::gen::counterflow::counterflow_sym(2, 2), "cf");
+    // A violated model, a satisfied model, a malformed input, and a
+    // job whose event budget cannot reach a verdict.
+    client
+        .submit(&check_request("violated", &vme, BudgetSpec::default()))
+        .expect("submit");
+    client
+        .submit(&check_request("holds", &clean, BudgetSpec::default()))
+        .expect("submit");
+    client
+        .submit(&check_request(
+            "malformed",
+            ".inputs a\nthis is not a .g file",
+            BudgetSpec::default(),
+        ))
+        .expect("submit");
+    // The starved job pins the unfolding engine: under the racing
+    // default, an event cap starves only one racer and the others
+    // would still decide this tiny model.
+    client
+        .submit(&CheckRequest {
+            id: "starved".to_owned(),
+            stg_g: vme.clone(),
+            property: Property::Csc,
+            engine: Some(Engine::UnfoldingIlp),
+            budget: BudgetSpec {
+                max_events: Some(1),
+                ..Default::default()
+            },
+        })
+        .expect("submit");
+
+    let mut responses = HashMap::new();
+    for _ in 0..4 {
+        let response = client.read_response().expect("read verdict");
+        let id = response.id.clone().expect("response carries its id");
+        responses.insert(id, response);
+    }
+
+    let violated = &responses["violated"];
+    assert_eq!(violated.verdict.as_deref(), Some("violated"));
+    assert_eq!(violated.engine.as_deref(), Some("race"));
+    assert!(violated.winner.is_some(), "race reports its winner");
+    assert!(violated.elapsed_ms.is_some(), "resource report attached");
+    assert!(
+        violated.raw.get("witness").is_some_and(|w| !w.is_null()),
+        "violated verdicts carry a witness"
+    );
+
+    assert_eq!(responses["holds"].verdict.as_deref(), Some("holds"));
+
+    let malformed = &responses["malformed"];
+    assert_eq!(malformed.status, "error");
+    assert!(
+        malformed.error.as_deref().is_some_and(|e| e.contains(".g")),
+        "parse failure is reported: {:?}",
+        malformed.error
+    );
+
+    let starved = &responses["starved"];
+    assert_eq!(starved.verdict.as_deref(), Some("unknown"));
+    assert_eq!(starved.reason.as_deref(), Some("event-limit"));
+
+    let stats = client.stats().expect("stats");
+    let stat = |key: &str| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_u64)
+    };
+    assert_eq!(stat("jobs_received"), Some(4));
+    assert_eq!(stat("jobs_completed"), Some(3));
+    assert_eq!(stat("jobs_errored"), Some(1));
+
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(
+        ack.get("shutting_down").and_then(Value::as_bool),
+        Some(true)
+    );
+    handle.join();
+}
+
+/// Responses are correlated by id, not order: a heavy job submitted
+/// first must not block the verdict of a light job on a multi-worker
+/// pool.
+#[test]
+fn completion_order_is_not_submission_order() {
+    let handle = spawn(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let heavy = stg::to_g_format(&stg::gen::counterflow::counterflow_sym(7, 2), "heavy");
+    let light = stg::to_g_format(&stg::gen::vme::vme_read(), "light");
+    client
+        .submit(&check_request("heavy", &heavy, BudgetSpec::default()))
+        .expect("submit");
+    client
+        .submit(&check_request("light", &light, BudgetSpec::default()))
+        .expect("submit");
+
+    let first = client.read_response().expect("first verdict");
+    let second = client.read_response().expect("second verdict");
+    assert_eq!(
+        first.id.as_deref(),
+        Some("light"),
+        "light job finishes first on a 2-worker pool"
+    );
+    assert_eq!(second.id.as_deref(), Some("heavy"));
+    assert_eq!(second.verdict.as_deref(), Some("holds"));
+    handle.shutdown();
+}

@@ -16,10 +16,14 @@ fn roster_verdicts_match_the_oracle() {
             max_states: 2_000_000,
             token_bound: 1,
         };
-        let sg = StateGraph::build(&model.stg, limits)
-            .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+        let sg =
+            StateGraph::build(&model.stg, limits).unwrap_or_else(|e| panic!("{}: {e}", model.name));
         let truth = sg.satisfies_csc(&model.stg);
-        assert_eq!(truth, model.expect_csc, "{}: roster expectation", model.name);
+        assert_eq!(
+            truth, model.expect_csc,
+            "{}: roster expectation",
+            model.name
+        );
         let checker = Checker::new(&model.stg).unwrap();
         assert_eq!(
             checker.check_csc().unwrap().is_satisfied(),
