@@ -445,7 +445,7 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
         ..budget.clone()
     };
     let (tx, rx) = mpsc::channel::<(usize, Result<EngineOutcome, String>)>();
-    let results = std::thread::scope(|scope| {
+    let (results, first_conclusive) = std::thread::scope(|scope| {
         for (i, &engine) in RACERS.iter().enumerate() {
             let racer_guard = derive_race_guard(guard, Arc::clone(&loser_flags[i]));
             let tx = tx.clone();
@@ -467,12 +467,12 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
         drop(tx);
         let mut slots: Vec<Option<Result<EngineOutcome, String>>> =
             RACERS.iter().map(|_| None).collect();
-        let mut won = false;
+        let mut first_conclusive: Option<usize> = None;
         while let Ok((i, outcome)) = rx.recv() {
             let conclusive = matches!(&outcome, Ok(Ok((verdict, _))) if !verdict.is_unknown());
             slots[i] = Some(outcome);
-            if conclusive && !won {
-                won = true;
+            if conclusive && first_conclusive.is_none() {
+                first_conclusive = Some(i);
                 // Retire the losers; they answer `Unknown(Cancelled)`
                 // at their next poll and the scope joins promptly.
                 for (j, flag) in loser_flags.iter().enumerate() {
@@ -482,7 +482,7 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
                 }
             }
         }
-        slots
+        (slots, first_conclusive)
     });
 
     let mut report = ResourceReport::empty("race");
@@ -494,16 +494,17 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
         match slot {
             Some(Ok(Ok((verdict, engine_report)))) => {
                 merge_racer_report(&mut report, &engine_report);
-                if !verdict.is_unknown() {
-                    // At most one racer is conclusive before the
-                    // losers are cancelled; if two finish in the same
-                    // instant their verdicts agree (engines are
-                    // cross-validated), so first-in-engine-order is a
-                    // sound tie-break.
-                    if winner.is_none() {
-                        winner = Some((verdict, engine.name()));
-                    }
-                } else if first_unknown.is_none()
+                if first_conclusive == Some(i) {
+                    // The recv loop recorded whose conclusive verdict
+                    // arrived first, so the win (and the per-engine
+                    // stats built on it) reflects actual completion
+                    // order; a near-simultaneous second conclusive
+                    // racer agrees on the verdict (engines are
+                    // cross-validated) and is only merged into the
+                    // resource report.
+                    winner = Some((verdict, engine.name()));
+                } else if verdict.is_unknown()
+                    && first_unknown.is_none()
                     && !matches!(verdict, Verdict::Unknown(ExhaustionReason::Cancelled))
                 {
                     first_unknown = Some(verdict);
@@ -755,6 +756,41 @@ mod tests {
             Verdict::Unknown(ExhaustionReason::DeadlineExpired)
         );
         assert_eq!(run.report.winner, None);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_stops_every_engine() {
+        use crate::limits::CancelToken;
+        use std::time::Duration;
+        // Big enough that no engine concludes before the flip lands,
+        // in debug or release builds.
+        let stg = counterflow_sym(10, 3);
+        for engine in ENGINES {
+            let token = CancelToken::new();
+            let budget = Budget::unlimited().with_cancel(token.clone());
+            let flipper = {
+                let token = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(25));
+                    token.cancel();
+                })
+            };
+            let start = Instant::now();
+            let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+            let waited = start.elapsed();
+            flipper.join().expect("flipper joins");
+            assert_eq!(
+                run.verdict,
+                Verdict::Unknown(ExhaustionReason::Cancelled),
+                "{}",
+                engine.name()
+            );
+            assert!(
+                waited < Duration::from_secs(10),
+                "{}: cancellation honoured within a bounded delay, took {waited:?}",
+                engine.name()
+            );
+        }
     }
 
     #[test]

@@ -117,9 +117,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("listening on {}", handle.addr());
-    println!("workers {workers}, default engine {engine}");
-    let _ = std::io::stdout().flush();
+    // Scripts commonly parse the first banner line and close the
+    // pipe; `println!` would panic the main thread on the resulting
+    // EPIPE and take the whole daemon down, so ignore write errors.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "listening on {}", handle.addr());
+    let _ = writeln!(stdout, "workers {workers}, default engine {engine}");
+    let _ = stdout.flush();
     while !handle.is_shutting_down() {
         if TERMINATE.load(Ordering::Relaxed) {
             eprintln!("stgd: termination signal, draining in-flight jobs");

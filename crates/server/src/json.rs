@@ -52,12 +52,14 @@ impl Value {
         }
     }
 
-    /// The numeric payload as a non-negative integer, if it is one.
+    /// The numeric payload as a non-negative integer, if it is one
+    /// and exactly representable. Numbers round-trip through `f64`,
+    /// so integers of 2^53 or more may have been rounded during
+    /// parsing; they are rejected here rather than silently altered.
     pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < MAX_EXACT => Some(*n as u64),
             _ => None,
         }
     }
@@ -502,6 +504,20 @@ mod tests {
         let v = parse("\"héllo — 世界\"").unwrap();
         assert_eq!(v.as_str(), Some("héllo — 世界"));
         assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn as_u64_rejects_integers_that_lost_precision() {
+        assert_eq!(
+            parse("9007199254740991").unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+        // 2^53 and above may have been rounded by the f64 parse, so
+        // they must not silently decode to a nearby integer.
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), None);
+        assert_eq!(parse("18446744073709551615").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
     }
 
     #[test]

@@ -209,7 +209,7 @@ fn decode_budget(
             None => Ok(None),
             Some(v) => v.as_u64().map(Some).ok_or_else(|| {
                 fail(format!(
-                    "check: `budget.{key}` must be a non-negative integer"
+                    "check: `budget.{key}` must be a non-negative integer below 2^53"
                 ))
             }),
         }

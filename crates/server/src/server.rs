@@ -319,15 +319,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client is done.
             Ok(_) => {
                 let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+                if !trimmed.is_empty() {
+                    handle_request_line(trimmed, shared, &reply_tx);
                 }
-                handle_request_line(trimmed, shared, &reply_tx);
+                line.clear();
             }
             Err(e)
                 if matches!(
@@ -335,6 +334,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                // A timeout may land mid-line; `read_line` has already
+                // appended the bytes it got, so keep `line` and let the
+                // next iteration append the rest of the request.
                 if shared.shutting_down() {
                     break;
                 }
@@ -394,6 +396,13 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
             let cancel = CancelToken::new();
             if let Ok(mut tokens) = shared.live_tokens.lock() {
                 tokens.push(cancel.clone());
+            }
+            // trigger_shutdown() may have swept live_tokens between
+            // the shutting_down() check above and the push; re-check
+            // so a job slipping through that window is still cancelled
+            // and cannot stall the drain.
+            if shared.shutting_down() {
+                cancel.cancel();
             }
             let job = Job {
                 request,
@@ -550,6 +559,28 @@ mod tests {
                 .and_then(Value::as_u64),
             Some(1)
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_lines_spanning_read_timeouts_are_not_lost() {
+        let server = local_server(1);
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        // Deliver one request in two writes separated by well over the
+        // 100ms reader timeout: the partial head must survive the
+        // timed-out read_line instead of being cleared.
+        let request = "{\"op\":\"stats\"}\n";
+        let (head, tail) = request.split_at(7);
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.flush().expect("flush head");
+        thread::sleep(Duration::from_millis(300));
+        stream.write_all(tail.as_bytes()).expect("write tail");
+        stream.flush().expect("flush tail");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read reply");
+        let v = crate::json::parse(reply.trim()).expect("valid NDJSON reply");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
         server.shutdown();
     }
 
