@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p bench-harness --bin scale
 //! [-- --max N] [-- --json PATH] [-- --budget-ms MS]
-//! [-- --server-bench] [-- --workers N]`
+//! [-- --server-bench] [-- --workers N] [-- --cache-bench]`
 //!
 //! With `--budget-ms` each point's unfolding + IP run gets a
 //! wall-clock allowance; aborted points are recorded, not fatal.
@@ -19,13 +19,20 @@
 //! `--budget-solver-steps`; a solver-step cap that the larger widths
 //! exceed is what separates the two portfolios (the sequential one
 //! pays for the exhausted unfolding+IP phase serially).
+//!
+//! With `--cache-bench` every counterflow width's CSC check is run
+//! twice against one artifact cache — cold (set built) and warm (set
+//! reused). The warm run of a completed width performs *zero*
+//! unfolding work (`warm_events_built = 0`); the comparison lands in
+//! the JSON artifact under `"cache_bench"`.
 
 use std::env;
 use std::fs;
 use std::time::Duration;
 
 use bench_harness::{
-    run_scale, run_scale_counterflow, run_server_bench, scale_artifact_json, Budget,
+    run_cache_bench, run_scale, run_scale_counterflow, run_server_bench, scale_artifact_json,
+    Budget,
 };
 
 fn main() {
@@ -138,8 +145,39 @@ fn main() {
         Vec::new()
     };
 
+    let cb_points = if args.iter().any(|a| a == "--cache-bench") {
+        let widths: Vec<usize> = (1..=max).collect();
+        let cb = run_cache_bench(&widths, 2, &budget);
+        println!();
+        println!(
+            "{:>3} | {:>9} {:>9} | {:>7} | {:>10} {:>10}",
+            "n", "cold[ms]", "warm[ms]", "speedup", "cold-built", "warm-built"
+        );
+        println!("{}", "-".repeat(64));
+        let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
+        for p in &cb {
+            println!(
+                "{:>3} | {:>9.2} {:>9.2} | {:>6.2}x | {:>10} {:>10}{}",
+                p.n,
+                p.cold_ms,
+                p.warm_ms,
+                p.speedup,
+                opt(p.cold_events_built),
+                opt(p.warm_events_built),
+                if p.verdicts_ok {
+                    ""
+                } else {
+                    " VERDICT MISMATCH"
+                },
+            );
+        }
+        cb
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = json_path {
-        fs::write(&path, scale_artifact_json(&points, &sb_points)).expect("write json");
+        fs::write(&path, scale_artifact_json(&points, &sb_points, &cb_points)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -18,14 +18,16 @@
 //!   prefix size, engine times); with `--server-bench` it also
 //!   batches the counterflow suite through an in-process `stgd`
 //!   twice — sequential portfolio vs racing portfolio — and records
-//!   the wall-clock comparison.
+//!   the wall-clock comparison; with `--cache-bench` it measures the
+//!   artifact cache (cold check vs warm check on a cached artifact
+//!   set, the warm one performing zero unfolding work).
 
 #![warn(missing_docs)]
 
 use std::time::Instant;
 
 pub use csc_core::Budget;
-use csc_core::{CheckOutcome, Checker, CheckerOptions, Engine, Property};
+use csc_core::{check_property_with, CheckOutcome, Checker, CheckerOptions, Engine, Property};
 use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg::gen::duplex::{dup_4ph, dup_mod};
 use stg::gen::pipeline::muller_pipeline;
@@ -519,6 +521,77 @@ pub fn run_server_bench(
     points
 }
 
+/// One width of the artifact-cache comparison: the same counterflow
+/// CSC job decided twice against one [`server::ArtifactCache`] —
+/// first cold (the artifact set is built), then warm (the cached set
+/// is reused, so the check performs zero unfolding work).
+#[derive(Debug, Clone)]
+pub struct CacheBenchPoint {
+    /// Counterflow width.
+    pub n: usize,
+    /// Cold check wall-clock, milliseconds (includes unfolding).
+    pub cold_ms: f64,
+    /// Warm check wall-clock, milliseconds (prefix reused).
+    pub warm_ms: f64,
+    /// `cold_ms / warm_ms` (> 1 means the cache paid off).
+    pub speedup: f64,
+    /// Prefix events *built* by the cold run (`None` if the engine
+    /// never reached the unfolding stage).
+    pub cold_events_built: Option<usize>,
+    /// Prefix events *built* by the warm run — `Some(0)` whenever the
+    /// cold run completed its prefix.
+    pub warm_events_built: Option<usize>,
+    /// Whether both runs returned the same, conclusive verdict.
+    pub verdicts_ok: bool,
+}
+
+/// Runs the artifact-cache comparison over counterflow `widths` at
+/// fixed `depth`: every width's CSC check is run cold (artifact set
+/// freshly built and cached) and then warm (set fetched back from the
+/// cache), both with the unfolding + IP engine under `budget`.
+///
+/// # Panics
+///
+/// Panics if a warm run whose cold counterpart completed reports any
+/// unfolding work — that would mean the cache failed to share the
+/// prefix.
+pub fn run_cache_bench(widths: &[usize], depth: usize, budget: &Budget) -> Vec<CacheBenchPoint> {
+    let cache = server::ArtifactCache::new(widths.len().max(1));
+    widths
+        .iter()
+        .map(|&w| {
+            let stg = counterflow_sym(w, depth);
+            let run = |label: &str| {
+                let (artifacts, _) = cache.get_or_insert(&stg);
+                let t0 = Instant::now();
+                let run =
+                    check_property_with(&artifacts, Property::Csc, Engine::UnfoldingIlp, budget)
+                        .unwrap_or_else(|e| panic!("cf({w},{depth}) {label} check failed: {e}"));
+                (t0.elapsed().as_secs_f64() * 1e3, run)
+            };
+            let (cold_ms, cold) = run("cold");
+            let (warm_ms, warm) = run("warm");
+            if cold.verdict.holds() == Some(true) {
+                assert_eq!(
+                    warm.report.prefix_events_built,
+                    Some(0),
+                    "warm check of cf({w},{depth}) must reuse the cached prefix"
+                );
+            }
+            CacheBenchPoint {
+                n: w,
+                cold_ms,
+                warm_ms,
+                speedup: cold_ms / warm_ms,
+                cold_events_built: cold.report.prefix_events_built,
+                warm_events_built: warm.report.prefix_events_built,
+                verdicts_ok: cold.verdict.holds() == Some(true)
+                    && warm.verdict.holds() == Some(true),
+            }
+        })
+        .collect()
+}
+
 pub mod json {
     //! Hand-rolled JSON emission for the harness artefacts
     //! (`table1.json`, `scale.json`). The build environment has no
@@ -740,16 +813,44 @@ pub fn server_bench_to_json(points: &[ServerBenchPoint]) -> String {
     json::array(&objects)
 }
 
+/// Serialises cache-bench points as a pretty-printed JSON array.
+pub fn cache_bench_to_json(points: &[CacheBenchPoint]) -> String {
+    let objects: Vec<json::Object> = points
+        .iter()
+        .map(|p| {
+            let mut o = json::Object::new();
+            o.number("n", p.n)
+                .float("cold_ms", p.cold_ms)
+                .float("warm_ms", p.warm_ms)
+                .float("speedup", p.speedup)
+                .opt_number("cold_events_built", p.cold_events_built)
+                .opt_number("warm_events_built", p.warm_events_built)
+                .boolean("verdicts_ok", p.verdicts_ok);
+            o
+        })
+        .collect();
+    json::array(&objects)
+}
+
 /// Renders the full `scale.json` artifact: the sweep under `"sweep"`,
-/// plus — when the server-bench comparison ran — its points under
-/// `"server_bench"`.
-pub fn scale_artifact_json(points: &[ScalePoint], server_bench: &[ServerBenchPoint]) -> String {
+/// plus — when they ran — the server-bench comparison under
+/// `"server_bench"` and the artifact-cache comparison under
+/// `"cache_bench"`.
+pub fn scale_artifact_json(
+    points: &[ScalePoint],
+    server_bench: &[ServerBenchPoint],
+    cache_bench: &[CacheBenchPoint],
+) -> String {
     let indent = |text: String| text.replace('\n', "\n  ");
     let mut out = String::from("{\n  \"sweep\": ");
     out.push_str(&indent(scale_to_json(points)));
     if !server_bench.is_empty() {
         out.push_str(",\n  \"server_bench\": ");
         out.push_str(&indent(server_bench_to_json(server_bench)));
+    }
+    if !cache_bench.is_empty() {
+        out.push_str(",\n  \"cache_bench\": ");
+        out.push_str(&indent(cache_bench_to_json(cache_bench)));
     }
     out.push_str("\n}");
     out
@@ -834,6 +935,19 @@ mod tests {
         let text = format_table(std::slice::from_ref(&row));
         assert!(text.contains("DUP-4PH-A"));
         assert!(text.contains("Pfy[ms]"));
+    }
+
+    #[test]
+    fn cache_bench_warm_runs_do_no_unfolding_work() {
+        let points = run_cache_bench(&[1, 2], 2, &Budget::unlimited());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.verdicts_ok, "cf({},2) must hold CSC both ways", p.n);
+            assert!(p.cold_events_built.unwrap() > 0, "cold run builds");
+            assert_eq!(p.warm_events_built, Some(0), "warm run reuses");
+        }
+        let json = cache_bench_to_json(&points);
+        assert!(json.contains("\"warm_events_built\": 0"));
     }
 
     #[test]

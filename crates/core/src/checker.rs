@@ -1,6 +1,7 @@
 //! The unfolding + integer-programming checker.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use ilp::{CmpOp, Problem, Solver, SolverOptions};
 use petri::{BitSet, StopGuard};
@@ -95,13 +96,19 @@ impl NormalcyReport {
 /// The unfolding-based coding-conflict checker. Builds the prefix
 /// once; each query assembles and solves an integer program over it.
 ///
+/// The prefix and its event relations live behind [`Arc`]s, so a
+/// checker can also be constructed from a shared
+/// [`crate::artifact::Artifacts`] stage ([`Checker::from_artifact`])
+/// without re-unfolding — `check_usc` followed by `check_csc`, or the
+/// same STG checked by several threads, pay for one prefix.
+///
 /// See the crate-level example.
 #[derive(Debug)]
 pub struct Checker<'a> {
     stg: &'a Stg,
     options: CheckerOptions,
-    prefix: Prefix,
-    relations: EventRelations,
+    prefix: Arc<Prefix>,
+    relations: Arc<EventRelations>,
     /// Stop guard installed into every solver this checker spawns.
     guard: StopGuard,
     /// Cumulative solver propagations across all queries, for
@@ -144,16 +151,32 @@ impl<'a> Checker<'a> {
         options: CheckerOptions,
         guard: StopGuard,
     ) -> Result<Self, CheckError> {
-        let prefix = Prefix::of_stg_guarded(stg, options.unfold, &guard)?;
-        let relations = EventRelations::of(&prefix);
-        Ok(Checker {
+        let prefix = Prefix::of_stg_shared(stg, options.unfold, &guard)?;
+        let relations = Arc::new(EventRelations::of(&prefix));
+        Ok(Self::from_artifact(stg, prefix, relations, options, guard))
+    }
+
+    /// Builds a checker over an *already built* shared prefix and its
+    /// event relations — the warm path of the artifact pipeline: no
+    /// unfolding happens here. The caller is responsible for the
+    /// artifact actually belonging to `stg` (the
+    /// [`crate::artifact::Artifacts`] container maintains that
+    /// invariant).
+    pub fn from_artifact(
+        stg: &'a Stg,
+        prefix: Arc<Prefix>,
+        relations: Arc<EventRelations>,
+        options: CheckerOptions,
+        guard: StopGuard,
+    ) -> Self {
+        Checker {
             stg,
             options,
             prefix,
             relations,
             guard,
             solver_steps: Cell::new(0),
-        })
+        }
     }
 
     /// Cumulative solver propagation steps across all queries issued

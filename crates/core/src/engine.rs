@@ -24,10 +24,11 @@ use std::time::Instant;
 
 use ilp::AbortCause;
 use petri::{ExploreLimits, ReachError, StopGuard};
-use stg::{SgError, StateGraph, Stg};
+use stg::{SgError, Signal, Stg};
 use symbolic::{SymbolicBudget, SymbolicChecker, SymbolicStop};
 use unfolding::UnfoldError;
 
+use crate::artifact::Artifacts;
 use crate::checker::{CheckOutcome, Checker, CheckerOptions};
 use crate::error::CheckError;
 use crate::limits::{Budget, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness};
@@ -128,13 +129,51 @@ pub fn check_property(
     engine: Engine,
     budget: &Budget,
 ) -> Result<CheckRun, CheckError> {
+    check_property_with(&Artifacts::of(stg), property, engine, budget)
+}
+
+/// Decides `property` with `engine` over a shared [`Artifacts`] set.
+///
+/// This is [`check_property`] minus the per-call artifact set: every
+/// derived structure (unfolding prefix, state graph, symbolic
+/// encoding) the check builds is cached in `artifacts` and reused by
+/// later checks on the same set — checking USC then CSC unfolds once,
+/// and [`Engine::Race`] hands all racers one artifact set. See the
+/// [`crate::artifact`] module docs for the reuse soundness argument.
+///
+/// # Errors
+///
+/// Same as [`check_property`].
+///
+/// # Examples
+///
+/// ```
+/// use csc_core::{check_property_with, Artifacts, Budget, Engine, Property};
+/// use stg::gen::vme::vme_read;
+///
+/// # fn main() -> Result<(), csc_core::CheckError> {
+/// let artifacts = Artifacts::of(&vme_read());
+/// let budget = Budget::unlimited();
+/// for property in [Property::Usc, Property::Csc] {
+///     let run = check_property_with(&artifacts, property, Engine::UnfoldingIlp, &budget)?;
+///     assert_eq!(run.verdict.holds(), Some(false));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_property_with(
+    artifacts: &Artifacts,
+    property: Property,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<CheckRun, CheckError> {
     let guard = budget.guard();
     let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
-        Engine::UnfoldingIlp => run_unfolding(stg, property, budget, &guard),
-        Engine::ExplicitStateGraph => run_explicit(stg, property, budget, &guard),
-        Engine::SymbolicBdd => run_symbolic(stg, property, budget, &guard),
-        Engine::Portfolio => run_portfolio(stg, property, budget, &guard),
-        Engine::Race => run_race(stg, property, budget, &guard),
+        Engine::UnfoldingIlp => run_unfolding(artifacts, property, budget, &guard),
+        Engine::ExplicitStateGraph => run_explicit(artifacts, property, budget, &guard),
+        Engine::SymbolicBdd => run_symbolic(artifacts, property, budget, &guard),
+        Engine::Portfolio => run_portfolio(artifacts, property, budget, &guard),
+        Engine::Race => run_race(artifacts, property, budget, &guard),
     }));
     match outcome {
         Ok(Ok((verdict, report))) => Ok(CheckRun { verdict, report }),
@@ -180,7 +219,7 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 type EngineOutcome = Result<(Verdict, ResourceReport), CheckError>;
 
 fn run_unfolding(
-    stg: &Stg,
+    artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
     guard: &StopGuard,
@@ -194,22 +233,32 @@ fn run_unfolding(
     if let Some(n) = budget.max_solver_steps {
         options.solver.max_steps = n;
     }
-    let checker = match Checker::with_options_guarded(stg, options, guard.clone()) {
-        Ok(c) => c,
-        Err(CheckError::Unfold(UnfoldError::TooManyEvents(n))) => {
+    let (artifact, built) = match artifacts.prefix(options.unfold, guard) {
+        Ok(pair) => pair,
+        Err(UnfoldError::TooManyEvents(n)) => {
             report.elapsed = start.elapsed();
             report.prefix_events = Some(n);
+            report.prefix_events_built = Some(n);
             return Ok((Verdict::Unknown(ExhaustionReason::EventLimit(n)), report));
         }
-        Err(CheckError::Unfold(UnfoldError::Interrupted { reason, events })) => {
+        Err(UnfoldError::Interrupted { reason, events }) => {
             report.elapsed = start.elapsed();
             report.prefix_events = Some(events);
+            report.prefix_events_built = Some(events);
             return Ok((Verdict::Unknown(reason.into()), report));
         }
-        Err(e) => return Err(e),
+        Err(e) => return Err(CheckError::Unfold(e)),
     };
-    report.prefix_events = Some(checker.prefix().num_events());
-    report.prefix_conditions = Some(checker.prefix().num_conditions());
+    report.prefix_events = Some(artifact.prefix.num_events());
+    report.prefix_conditions = Some(artifact.prefix.num_conditions());
+    report.prefix_events_built = Some(built);
+    let checker = Checker::from_artifact(
+        artifacts.stg(),
+        Arc::clone(&artifact.prefix),
+        Arc::clone(&artifact.relations),
+        options,
+        guard.clone(),
+    );
     let result = match property {
         Property::Usc => checker.check_usc().map(outcome_to_verdict),
         Property::Csc => checker.check_csc().map(outcome_to_verdict),
@@ -244,18 +293,19 @@ fn outcome_to_verdict(outcome: CheckOutcome) -> Verdict {
 }
 
 fn run_explicit(
-    stg: &Stg,
+    artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
     guard: &StopGuard,
 ) -> EngineOutcome {
     let start = Instant::now();
+    let stg = artifacts.stg();
     let mut report = ResourceReport::empty("explicit");
     let mut limits = ExploreLimits::default();
     if let Some(n) = budget.max_states {
         limits.max_states = n;
     }
-    let sg = match StateGraph::build_guarded(stg, limits, guard) {
+    let sg = match artifacts.state_graph(limits, guard) {
         Ok(sg) => sg,
         Err(SgError::Reach(ReachError::Stopped { reason, states })) => {
             report.elapsed = start.elapsed();
@@ -303,7 +353,7 @@ fn run_explicit(
 }
 
 fn run_symbolic(
-    stg: &Stg,
+    artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
     guard: &StopGuard,
@@ -314,55 +364,75 @@ fn run_symbolic(
         guard: guard.clone(),
         max_nodes: budget.max_bdd_nodes,
     };
-    let mut checker = SymbolicChecker::new(stg);
-    // `Ok(None)` defers witness decoding to below, after the
-    // `try_analyse` borrow ends.
-    let result = match property {
-        Property::Usc => checker
-            .try_analyse(&sym_budget)
-            .map(|r| r.satisfies_usc().then_some(Verdict::Holds)),
-        Property::Csc => checker
-            .try_analyse(&sym_budget)
-            .map(|r| r.satisfies_csc().then_some(Verdict::Holds)),
-        Property::Normalcy => checker.try_is_normal(&sym_budget).map(|normal| {
-            Some(if normal {
-                Verdict::Holds
-            } else {
-                Verdict::Violated(Witness::Unwitnessed)
-            })
-        }),
-    };
-    let verdict = match result {
-        Ok(Some(v)) => v,
-        Ok(None) => {
-            // USC/CSC violated: decode one conflicting pair of
-            // states of the matching kind.
-            let decoded = match property {
-                Property::Usc => checker.usc_witness(),
-                Property::Csc => checker.csc_witness(),
-                Property::Normalcy => None,
-            };
-            let witness = decoded.map_or(Witness::Unwitnessed, |w| {
-                Witness::States(Box::new((w.marking1, w.marking2)))
-            });
-            Verdict::Violated(witness)
-        }
-        Err(SymbolicStop::Stopped(reason)) => Verdict::Unknown(reason.into()),
-        Err(SymbolicStop::NodeLimit(n)) => Verdict::Unknown(ExhaustionReason::BddNodeLimit(n)),
-    };
-    report.bdd_nodes = Some(checker.nodes_allocated());
+    let stg = artifacts.stg();
+    let (verdict, nodes) = artifacts.with_symbolic(|checker| {
+        // `Ok(None)` defers witness decoding to below, after the
+        // `try_analyse` borrow ends.
+        let result = match property {
+            Property::Usc => checker
+                .try_analyse(&sym_budget)
+                .map(|r| r.satisfies_usc().then_some(Verdict::Holds)),
+            Property::Csc => checker
+                .try_analyse(&sym_budget)
+                .map(|r| r.satisfies_csc().then_some(Verdict::Holds)),
+            Property::Normalcy => symbolic_normalcy(stg, checker, &sym_budget),
+        };
+        let verdict = match result {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                // USC/CSC violated: decode one conflicting pair of
+                // states of the matching kind.
+                let decoded = match property {
+                    Property::Usc => checker.usc_witness(),
+                    Property::Csc => checker.csc_witness(),
+                    Property::Normalcy => None,
+                };
+                let witness = decoded.map_or(Witness::Unwitnessed, |w| {
+                    Witness::States(Box::new((w.marking1, w.marking2)))
+                });
+                Verdict::Violated(witness)
+            }
+            Err(SymbolicStop::Stopped(reason)) => Verdict::Unknown(reason.into()),
+            Err(SymbolicStop::NodeLimit(n)) => Verdict::Unknown(ExhaustionReason::BddNodeLimit(n)),
+        };
+        (verdict, checker.nodes_allocated())
+    });
+    report.bdd_nodes = Some(nodes);
     report.elapsed = start.elapsed();
     Ok((verdict, report))
 }
 
-fn run_portfolio(
+/// Symbolic normalcy signal by signal, decoding a concrete violating
+/// state pair for the first abnormal signal.
+fn symbolic_normalcy(
     stg: &Stg,
+    checker: &mut SymbolicChecker,
+    budget: &SymbolicBudget,
+) -> Result<Option<Verdict>, SymbolicStop> {
+    let locals: Vec<Signal> = stg.local_signals().collect();
+    for z in locals {
+        let (p, n) = checker.try_normalcy_of(z, budget)?;
+        if p || n {
+            continue;
+        }
+        let witness = checker
+            .normalcy_witness(z)
+            .map_or(Witness::Unwitnessed, |w| {
+                Witness::States(Box::new((w.marking1, w.marking2)))
+            });
+        return Ok(Some(Verdict::Violated(witness)));
+    }
+    Ok(Some(Verdict::Holds))
+}
+
+fn run_portfolio(
+    artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
     guard: &StopGuard,
 ) -> EngineOutcome {
     let start = Instant::now();
-    let (verdict, mut report) = run_unfolding(stg, property, budget, guard)?;
+    let (verdict, mut report) = run_unfolding(artifacts, property, budget, guard)?;
     report.engine = "portfolio";
     if !verdict.is_unknown() {
         report.winner = Some("unfolding-ilp");
@@ -382,7 +452,7 @@ fn run_portfolio(
             ..budget.clone()
         };
         let (fallback_verdict, fallback_report) =
-            run_explicit(stg, property, &fallback_budget, guard)?;
+            run_explicit(artifacts, property, &fallback_budget, guard)?;
         report.states = fallback_report.states;
         report.elapsed = start.elapsed();
         if !fallback_verdict.is_unknown() {
@@ -414,13 +484,14 @@ fn derive_race_guard(base: &StopGuard, loser: Arc<AtomicBool>) -> StopGuard {
 }
 
 /// Compile-time audit that the types crossing the race's thread
-/// boundary are sendable, and that one `Stg` may be shared by
+/// boundary are sendable, and that one artifact set may be shared by
 /// reference across the racing threads.
 #[allow(dead_code)]
 fn assert_race_send_bounds() {
     fn send<T: Send>() {}
     fn sync<T: Sync>() {}
     sync::<Stg>();
+    sync::<Artifacts>();
     send::<Budget>();
     send::<StopGuard>();
     send::<Verdict>();
@@ -429,7 +500,12 @@ fn assert_race_send_bounds() {
     send::<CheckRun>();
 }
 
-fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -> EngineOutcome {
+fn run_race(
+    artifacts: &Artifacts,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
     use std::sync::mpsc;
 
     let start = Instant::now();
@@ -455,11 +531,13 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
             };
             scope.spawn(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
-                    Engine::UnfoldingIlp => run_unfolding(stg, property, race_budget, &racer_guard),
-                    Engine::ExplicitStateGraph => {
-                        run_explicit(stg, property, race_budget, &racer_guard)
+                    Engine::UnfoldingIlp => {
+                        run_unfolding(artifacts, property, race_budget, &racer_guard)
                     }
-                    _ => run_symbolic(stg, property, race_budget, &racer_guard),
+                    Engine::ExplicitStateGraph => {
+                        run_explicit(artifacts, property, race_budget, &racer_guard)
+                    }
+                    _ => run_symbolic(artifacts, property, race_budget, &racer_guard),
                 }));
                 let _ = tx.send((i, outcome.map_err(|p| panic_message(p.as_ref()))));
             });
@@ -542,6 +620,7 @@ fn run_race(stg: &Stg, property: Property, budget: &Budget, guard: &StopGuard) -
 /// field-wise union.
 fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
     aggregate.prefix_events = aggregate.prefix_events.or(racer.prefix_events);
+    aggregate.prefix_events_built = aggregate.prefix_events_built.or(racer.prefix_events_built);
     aggregate.prefix_conditions = aggregate.prefix_conditions.or(racer.prefix_conditions);
     aggregate.solver_steps = aggregate.solver_steps.or(racer.solver_steps);
     aggregate.states = aggregate.states.or(racer.states);
@@ -554,6 +633,7 @@ mod tests {
     use stg::gen::counterflow::counterflow_sym;
     use stg::gen::duplex::dup_4ph;
     use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+    use stg::StateGraph;
 
     const ENGINES: [Engine; 5] = [
         Engine::UnfoldingIlp,

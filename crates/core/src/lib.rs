@@ -18,7 +18,12 @@
 //!   technique in the paper's introduction);
 //! * [`engine`] — a uniform front-end over this checker and the two
 //!   baseline engines (explicit state graph, symbolic BDD) for
-//!   cross-validation and benchmarking.
+//!   cross-validation and benchmarking;
+//! * [`artifact`] — lazily-built, content-addressed artifact sets
+//!   (prefix + relations, state graph, symbolic encoding) shared
+//!   across engines, properties and threads, so checking USC then CSC
+//!   unfolds once and a racing portfolio hands all racers one
+//!   artifact set.
 //!
 //! # Examples
 //!
@@ -43,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod checker;
 mod consistency;
 pub mod engine;
@@ -53,9 +59,10 @@ pub mod reach;
 mod report;
 mod witness;
 
+pub use artifact::{Artifacts, PrefixArtifact};
 pub use checker::{CheckOutcome, Checker, CheckerOptions, NormalcyOutcome, NormalcyReport};
 pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
-pub use engine::{check_property, check_property_bool, Engine, Property};
+pub use engine::{check_property, check_property_bool, check_property_with, Engine, Property};
 pub use error::CheckError;
 pub use limits::{
     Budget, CancelToken, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness,

@@ -278,10 +278,17 @@ pub struct ResourceReport {
     pub winner: Option<&'static str>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
-    /// Unfolding events built.
+    /// Unfolding events in the prefix the check ran on (its size,
+    /// whether freshly built or reused from an artifact cache).
     pub prefix_events: Option<usize>,
     /// Unfolding conditions built.
     pub prefix_conditions: Option<usize>,
+    /// Unfolding events constructed *by this call*: equals
+    /// `prefix_events` on a cold run, `0` when a shared
+    /// [`crate::artifact::Artifacts`] prefix was reused, and the
+    /// partial count when construction was cut short. `None` when the
+    /// engine never touched the unfolding stage.
+    pub prefix_events_built: Option<usize>,
     /// Solver propagation steps across all integer programs of the
     /// call.
     pub solver_steps: Option<u64>,
@@ -301,6 +308,7 @@ impl ResourceReport {
             elapsed: Duration::ZERO,
             prefix_events: None,
             prefix_conditions: None,
+            prefix_events_built: None,
             solver_steps: None,
             states: None,
             bdd_nodes: None,

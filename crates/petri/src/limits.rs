@@ -124,7 +124,7 @@ impl StopGuard {
     }
 
     /// Checks the stop conditions, reading the clock only every
-    /// [`Self::DEADLINE_STRIDE`] calls. Use in ultra-hot loops (e.g.
+    /// `Self::DEADLINE_STRIDE` calls. Use in ultra-hot loops (e.g.
     /// per solver propagation) where even `Instant::now()` would
     /// show up; detection of an expired deadline is delayed by at
     /// most the stride.

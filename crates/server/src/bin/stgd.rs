@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]
+//!      [--max-queue N] [--cache-entries N]
 //! ```
 //!
 //! Prints `listening on ADDR` once the socket is bound (port 0 is
@@ -45,12 +46,17 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]\n\
+         \u{20}           [--max-queue N] [--cache-entries N]\n\
          \n\
          --addr HOST:PORT  listen address (default 127.0.0.1:7570; port 0 = ephemeral)\n\
          --workers N       worker threads (default 4)\n\
          --engine NAME     default engine: unfolding|explicit|symbolic|portfolio|race\n\
          \u{20}                 (default race)\n\
-         --timeout-ms MS   default per-job wall-clock budget when a job sets none"
+         --timeout-ms MS   default per-job wall-clock budget when a job sets none\n\
+         --max-queue N     reject checks beyond N queued jobs with the `queue_full`\n\
+         \u{20}                 error code (default unbounded; 0 also means unbounded)\n\
+         --cache-entries N artifact-cache capacity in resident STGs (default 64;\n\
+         \u{20}                 0 disables caching)"
     );
     std::process::exit(2);
 }
@@ -92,6 +98,21 @@ fn parse_args() -> ServerConfig {
                 Ok(ms) => config.default_timeout_ms = Some(ms),
                 Err(_) => {
                     eprintln!("stgd: --timeout-ms needs an integer");
+                    usage();
+                }
+            },
+            "--max-queue" => match value("--max-queue").parse::<usize>() {
+                Ok(0) => config.max_queue = None,
+                Ok(n) => config.max_queue = Some(n),
+                Err(_) => {
+                    eprintln!("stgd: --max-queue needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--cache-entries" => match value("--cache-entries").parse::<usize>() {
+                Ok(n) => config.cache_entries = n,
+                Err(_) => {
+                    eprintln!("stgd: --cache-entries needs a non-negative integer");
                     usage();
                 }
             },

@@ -1,0 +1,199 @@
+//! A content-addressed LRU cache of verification artifact sets.
+//!
+//! The server keys each [`Artifacts`] set by the STG's canonical
+//! content hash ([`stg::Stg::canonical_hash`]), so two jobs that ship
+//! the same net — even with reordered declarations, different
+//! whitespace or renamed implicit places — share one prefix, one
+//! state graph and one symbolic encoding. A warm `check` on a cached
+//! net performs *zero* unfolding work (its report shows
+//! `prefix_events_built = 0`).
+//!
+//! Eviction is least-recently-used over a fixed entry capacity. The
+//! cache stores `Arc`s, so an evicted set stays alive until the jobs
+//! currently using it finish; eviction only stops *future* jobs from
+//! reusing it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use csc_core::Artifacts;
+use stg::Stg;
+
+/// Monotonic counters and occupancy of one [`ArtifactCache`],
+/// reported by the server's `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a resident artifact set.
+    pub hits: u64,
+    /// Lookups that had to create a fresh set.
+    pub misses: u64,
+    /// Resident sets displaced to admit a new one.
+    pub evictions: u64,
+    /// Currently resident sets.
+    pub entries: usize,
+    /// Maximum resident sets (`0` disables caching).
+    pub capacity: usize,
+}
+
+struct Entry {
+    artifacts: Arc<Artifacts>,
+    /// Logical timestamp of the last lookup that returned this entry.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u128, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache of [`Artifacts`] keyed by canonical STG
+/// hash.
+pub struct ArtifactCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("capacity", &self.capacity)
+            .field("entries", &stats.entries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding up to `capacity` artifact sets. A
+    /// capacity of `0` disables retention: every lookup is a miss and
+    /// returns a fresh, uncached set.
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Looks up the artifact set of `stg` by canonical hash, creating
+    /// (and caching) it on a miss. Returns the set and whether the
+    /// lookup was a hit.
+    pub fn get_or_insert(&self, stg: &Stg) -> (Arc<Artifacts>, bool) {
+        let key = stg.canonical_hash().as_u128();
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            entry.last_used = tick;
+            let artifacts = Arc::clone(&entry.artifacts);
+            inner.hits += 1;
+            return (artifacts, true);
+        }
+        inner.misses += 1;
+        let artifacts = Arc::new(Artifacts::of(stg));
+        if self.capacity == 0 {
+            return (artifacts, false);
+        }
+        if inner.map.len() >= self.capacity {
+            // Evict the least-recently-used resident set.
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                artifacts: Arc::clone(&artifacts),
+                last_used: tick,
+            },
+        );
+        (artifacts, false)
+    }
+
+    /// A consistent snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stg::gen::counterflow::counterflow_sym;
+    use stg::gen::vme::{vme_read, vme_read_csc_resolved};
+
+    #[test]
+    fn hits_share_one_artifact_set() {
+        let cache = ArtifactCache::new(4);
+        let (a, hit_a) = cache.get_or_insert(&vme_read());
+        assert!(!hit_a);
+        // Same net through a `.g` round-trip: same canonical hash.
+        let text = stg::to_g_format(&vme_read(), "other_name");
+        let reparsed = stg::parse(&text).unwrap();
+        let (b, hit_b) = cache.get_or_insert(&reparsed);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_is_counted_and_displaces_the_oldest() {
+        let cache = ArtifactCache::new(2);
+        let (first, _) = cache.get_or_insert(&vme_read());
+        cache.get_or_insert(&vme_read_csc_resolved());
+        // Touch the first so the second becomes LRU.
+        cache.get_or_insert(&vme_read());
+        // A third distinct net evicts the resolved VME.
+        cache.get_or_insert(&counterflow_sym(2, 2));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // The touched entry survived …
+        let (again, hit) = cache.get_or_insert(&vme_read());
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &again));
+        // … and the LRU one was displaced: re-inserting is a miss.
+        let (_, hit) = cache.get_or_insert(&vme_read_csc_resolved());
+        assert!(!hit, "evicted entry must be rebuilt");
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = ArtifactCache::new(0);
+        let (a, hit) = cache.get_or_insert(&vme_read());
+        assert!(!hit);
+        let (b, hit) = cache.get_or_insert(&vme_read());
+        assert!(!hit, "nothing is retained at capacity 0");
+        assert!(!Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.entries), (2, 0));
+    }
+}

@@ -60,6 +60,9 @@ pub struct CheckResponse {
     pub winner: Option<String>,
     /// The error message when `status == "error"`.
     pub error: Option<String>,
+    /// Stable machine-readable error code when `status == "error"`
+    /// and the server classified the failure (e.g. `queue_full`).
+    pub code: Option<String>,
     /// Worker-side wall-clock of the check itself.
     pub elapsed_ms: Option<f64>,
     /// The complete response object (witness, resource report, …).
@@ -82,6 +85,7 @@ impl CheckResponse {
             engine: text("engine"),
             winner: text("winner"),
             error: text("error"),
+            code: text("code"),
             elapsed_ms: raw
                 .get("report")
                 .and_then(|r| r.get("elapsed_ms"))

@@ -32,10 +32,12 @@
 //! handle.shutdown();
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
+pub use cache::{ArtifactCache, CacheStats};
 pub use client::{CheckResponse, Client, ClientError};
 pub use server::{spawn, ServerConfig, ServerHandle};

@@ -289,6 +289,19 @@ pub fn encode_error_response(id: Option<&str>, message: &str) -> String {
     .render()
 }
 
+/// Encodes an error response carrying a stable machine-readable
+/// `code` (e.g. `queue_full`) alongside the human-readable message,
+/// so clients can branch on the code without parsing prose.
+pub fn encode_error_response_with_code(id: Option<&str>, code: &str, message: &str) -> String {
+    Value::Obj(vec![
+        ("id".to_owned(), opt(id)),
+        ("status".to_owned(), Value::from("error")),
+        ("code".to_owned(), Value::from(code)),
+        ("error".to_owned(), Value::from(message)),
+    ])
+    .render()
+}
+
 /// The stable machine-readable code of an exhaustion reason (the
 /// human-readable sentence is available via `Display`).
 pub fn reason_code(reason: &ExhaustionReason) -> &'static str {
@@ -309,6 +322,10 @@ fn encode_report(report: &ResourceReport) -> Value {
             Value::from(report.elapsed.as_secs_f64() * 1e3),
         ),
         ("prefix_events".to_owned(), opt(report.prefix_events)),
+        (
+            "prefix_events_built".to_owned(),
+            opt(report.prefix_events_built),
+        ),
         (
             "prefix_conditions".to_owned(),
             opt(report.prefix_conditions),

@@ -3,14 +3,18 @@
 //!
 //! Every accepted connection gets a reader thread (decoding request
 //! lines) and a writer thread (serialising response lines); `check`
-//! jobs flow through one process-wide queue onto the worker pool, so
-//! a single slow connection cannot starve the others. Workers decide
-//! each job with [`csc_core::check_property`] — by default the racing
-//! parallel portfolio — under the job's own [`Budget`] plus a per-job
-//! [`CancelToken`] the shutdown path flips. Graceful shutdown drains:
-//! queued and in-flight jobs still produce responses (cancelled ones
-//! answer `unknown`/`cancelled`), then threads are joined and the
-//! listener closes.
+//! jobs flow through one process-wide queue — optionally bounded by
+//! [`ServerConfig::max_queue`], rejecting overflow with the
+//! `queue_full` error code — onto the worker pool, so a single slow
+//! connection cannot starve the others. Workers decide each job with
+//! [`csc_core::check_property_with`] over an [`ArtifactCache`] keyed
+//! by canonical STG hash, so repeated nets skip prefix construction
+//! entirely — by default with the racing parallel portfolio — under
+//! the job's own [`csc_core::Budget`] plus a per-job [`CancelToken`] the
+//! shutdown path flips. Graceful shutdown drains: queued and
+//! in-flight jobs still produce responses (cancelled ones answer
+//! `unknown`/`cancelled`), then threads are joined and the listener
+//! closes.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
@@ -21,11 +25,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use csc_core::{check_property, CancelToken, Engine};
+use csc_core::{check_property_with, CancelToken, Engine};
 
+use crate::cache::ArtifactCache;
 use crate::json::Value;
 use crate::protocol::{
-    decode_request, encode_check_response, encode_error_response, CheckRequest, Request,
+    decode_request, encode_check_response, encode_error_response, encode_error_response_with_code,
+    CheckRequest, Request,
 };
 
 /// Tuning knobs of one [`spawn`]ed service.
@@ -41,6 +47,13 @@ pub struct ServerConfig {
     /// Wall-clock allowance applied to jobs that do not set their
     /// own `timeout_ms`; `None` leaves such jobs unlimited.
     pub default_timeout_ms: Option<u64>,
+    /// Maximum queued (not yet executing) jobs; further `check`
+    /// requests are rejected with the `queue_full` error code.
+    /// `None` leaves the queue unbounded.
+    pub max_queue: Option<usize>,
+    /// Artifact-cache capacity in resident STGs (keyed by canonical
+    /// content hash); `0` disables caching.
+    pub cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +63,8 @@ impl Default for ServerConfig {
             workers: 4,
             default_engine: Engine::Race,
             default_timeout_ms: None,
+            max_queue: None,
+            cache_entries: 64,
         }
     }
 }
@@ -60,6 +75,7 @@ struct Stats {
     jobs_received: u64,
     jobs_completed: u64,
     jobs_errored: u64,
+    jobs_rejected: u64,
     in_flight: u64,
     max_queue_depth: u64,
     holds: u64,
@@ -94,6 +110,9 @@ struct Shared {
     /// Cancellation tokens of all live (queued or executing) jobs,
     /// flipped together on shutdown so the drain is prompt.
     live_tokens: Mutex<Vec<CancelToken>>,
+    /// Verification artifacts keyed by canonical STG hash, shared
+    /// across jobs, workers and engines.
+    cache: ArtifactCache,
 }
 
 impl Shared {
@@ -153,6 +172,7 @@ impl Shared {
                         Value::from(stats.jobs_completed),
                     ),
                     ("jobs_errored".to_owned(), Value::from(stats.jobs_errored)),
+                    ("jobs_rejected".to_owned(), Value::from(stats.jobs_rejected)),
                     (
                         "verdicts".to_owned(),
                         Value::Obj(vec![
@@ -180,6 +200,16 @@ impl Shared {
                             ("total".to_owned(), Value::from(stats.latency_total_ms)),
                         ]),
                     ),
+                    ("cache".to_owned(), {
+                        let cache = self.cache.stats();
+                        Value::Obj(vec![
+                            ("hits".to_owned(), Value::from(cache.hits)),
+                            ("misses".to_owned(), Value::from(cache.misses)),
+                            ("evictions".to_owned(), Value::from(cache.evictions)),
+                            ("entries".to_owned(), Value::from(cache.entries)),
+                            ("capacity".to_owned(), Value::from(cache.capacity)),
+                        ])
+                    }),
                 ]),
             ),
         ])
@@ -260,12 +290,13 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let shared = Arc::new(Shared {
-        config: config.clone(),
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         stats: Mutex::new(Stats::default()),
         live_tokens: Mutex::new(Vec::new()),
+        cache: ArtifactCache::new(config.cache_entries),
+        config: config.clone(),
     });
     let workers = (0..config.workers.max(1))
         .map(|_| {
@@ -410,10 +441,30 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
                 enqueued: Instant::now(),
                 reply: reply.clone(),
             };
+            // Admission and the bound check happen under one queue
+            // lock, so the bound is exact even with many connection
+            // readers racing.
             let depth = {
                 let Ok(mut queue) = shared.queue.lock() else {
                     return;
                 };
+                if let Some(max) = shared.config.max_queue {
+                    if queue.len() >= max {
+                        drop(queue);
+                        if let Ok(mut tokens) = shared.live_tokens.lock() {
+                            tokens.retain(|t| !t.same_token(&job.cancel));
+                        }
+                        if let Ok(mut stats) = shared.stats.lock() {
+                            stats.jobs_rejected += 1;
+                        }
+                        let _ = job.reply.send(encode_error_response_with_code(
+                            Some(&job.request.id),
+                            "queue_full",
+                            &format!("job queue is full ({max} queued jobs); retry later"),
+                        ));
+                        return;
+                    }
+                }
                 queue.push_back(job);
                 queue.len() as u64
             };
@@ -485,7 +536,10 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
     budget.cancel = Some(job.cancel.clone());
     let engine = request.engine.unwrap_or(shared.config.default_engine);
     let property = request.property;
-    let response = match check_property(&stg, property, engine, &budget) {
+    // Content-addressed reuse: a repeat of a cached net skips prefix
+    // construction, state-graph exploration and BDD re-encoding.
+    let (artifacts, _cache_hit) = shared.cache.get_or_insert(&stg);
+    let response = match check_property_with(&artifacts, property, engine, &budget) {
         Ok(run) => {
             let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
             if let Ok(mut stats) = shared.stats.lock() {
@@ -596,6 +650,96 @@ mod tests {
         // The connection survives and serves the next request.
         let stats = client.stats().expect("stats after error");
         assert_eq!(stats.get("status").and_then(Value::as_str), Some("ok"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeat_jobs_hit_the_artifact_cache() {
+        let server = local_server(2);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        for (i, property) in ["usc", "csc"].iter().enumerate() {
+            let property = crate::protocol::property_from_str(property).unwrap();
+            let response = client
+                .check(&format!("j{i}"), &g, property, None, BudgetSpec::default())
+                .expect("check");
+            assert_eq!(response.verdict.as_deref(), Some("violated"));
+        }
+        let stats = client.stats().expect("stats");
+        let cache = stats
+            .get("stats")
+            .and_then(|s| s.get("cache"))
+            .expect("cache stats present");
+        assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("entries").and_then(Value::as_u64), Some(1));
+        assert_eq!(cache.get("evictions").and_then(Value::as_u64), Some(0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn warm_checks_report_zero_prefix_events_built() {
+        let server = spawn(ServerConfig {
+            default_engine: Engine::UnfoldingIlp,
+            ..Default::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        let built = |response: &crate::client::CheckResponse| {
+            response
+                .raw
+                .get("report")
+                .and_then(|r| r.get("prefix_events_built"))
+                .and_then(Value::as_u64)
+        };
+        let cold = client
+            .check("cold", &g, Property::Csc, None, BudgetSpec::default())
+            .expect("cold check");
+        assert!(built(&cold).is_some_and(|n| n > 0), "{:?}", cold.raw);
+        let warm = client
+            .check("warm", &g, Property::Csc, None, BudgetSpec::default())
+            .expect("warm check");
+        assert_eq!(built(&warm), Some(0), "{:?}", warm.raw);
+        assert_eq!(cold.verdict, warm.verdict);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_checks_with_a_stable_code() {
+        // No workers ever pop: zero capacity means every check is
+        // rejected at admission.
+        let server = spawn(ServerConfig {
+            workers: 1,
+            max_queue: Some(0),
+            ..Default::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        let response = client
+            .check("jq", &g, Property::Csc, None, BudgetSpec::default())
+            .expect("transport ok");
+        assert_eq!(response.status, "error");
+        assert_eq!(response.code.as_deref(), Some("queue_full"));
+        assert_eq!(response.id.as_deref(), Some("jq"));
+        // The connection survives; stats counted the rejection.
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("jobs_rejected"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("jobs_received"))
+                .and_then(Value::as_u64),
+            Some(0),
+            "rejected jobs are not received jobs"
+        );
         server.shutdown();
     }
 

@@ -1,0 +1,265 @@
+//! Content-addressed identity of an STG.
+//!
+//! [`Stg::canonical_hash`] digests a *canonical form* of the STG —
+//! signals sorted by name, transitions sorted by name, places reduced
+//! to structural (preset, postset, tokens) records — so the hash is
+//! stable under place/transition reordering, `.g` whitespace and
+//! comment differences, and a `.g` write/parse round-trip. Place
+//! *names* are deliberately excluded: implicit places are auto-named
+//! differently by the builder and the parser, yet describe the same
+//! net.
+//!
+//! The hash keys the verification-artifact cache (see
+//! `docs/ARTIFACTS.md`): two STGs with equal canonical forms have
+//! identical reachable behaviour, so prefixes, state graphs and BDD
+//! encodings built for one are valid for the other.
+//!
+//! The digest is a hand-rolled 128-bit FNV-1a variant (two
+//! independently seeded 64-bit lanes). It is collision-resistant
+//! enough for cache keying but **not cryptographic**; an adversary
+//! who controls the input could construct collisions.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::signal::Label;
+use crate::stg::Stg;
+
+/// A 128-bit content hash of an STG's canonical form.
+///
+/// Displays as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalHash {
+    hi: u64,
+    lo: u64,
+}
+
+impl CanonicalHash {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        ((self.hi as u128) << 64) | self.lo as u128
+    }
+}
+
+impl fmt::Display for CanonicalHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The standard FNV-1a 64-bit offset basis.
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, arbitrary basis for the high lane; FNV mixes the basis
+/// into every step, so the two lanes diverge on all inputs.
+const FNV_OFFSET_B: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Stg {
+    /// The canonical textual form the hash digests. Deterministic and
+    /// independent of element declaration order; exposed for tests
+    /// and debugging rather than for interchange (use
+    /// [`crate::to_g_format`] for that).
+    pub fn canonical_form(&self) -> String {
+        let mut out = String::from("stg-canonical-v1\n");
+        // Signals, sorted by name, with kind and initial code bit.
+        let mut signals: Vec<_> = self
+            .signals()
+            .map(|z| {
+                (
+                    self.signal_name(z).to_owned(),
+                    self.signal_kind(z).to_string(),
+                    self.initial_code().bit(z),
+                )
+            })
+            .collect();
+        signals.sort();
+        for (name, kind, bit) in signals {
+            let _ = writeln!(out, "signal {name} {kind} {}", u8::from(bit));
+        }
+        // Transitions, sorted by name, with their labels. Names
+        // (including `z+/2`-style instance suffixes) survive a `.g`
+        // round-trip, so they are a stable identity — and the place
+        // records below lean on them.
+        let net = self.net();
+        let mut transitions: Vec<_> = net
+            .transitions()
+            .map(|t| {
+                let label = match self.label(t) {
+                    Label::SignalEdge(z, e) => {
+                        format!("{}{}", self.signal_name(z), e.suffix())
+                    }
+                    Label::Dummy => "tau".to_owned(),
+                };
+                (net.transition_name(t).to_owned(), label)
+            })
+            .collect();
+        transitions.sort();
+        for (name, label) in transitions {
+            let _ = writeln!(out, "transition {name} {label}");
+        }
+        // Places as structural records: sorted preset / postset
+        // transition names plus the initial token count. Place names
+        // are excluded — builder- and parser-generated implicit
+        // places get different auto-names for the same structure.
+        let mut places: Vec<String> = net
+            .places()
+            .map(|p| {
+                let mut pre: Vec<&str> = net
+                    .place_preset(p)
+                    .iter()
+                    .map(|&t| net.transition_name(t))
+                    .collect();
+                let mut post: Vec<&str> = net
+                    .place_postset(p)
+                    .iter()
+                    .map(|&t| net.transition_name(t))
+                    .collect();
+                pre.sort_unstable();
+                post.sort_unstable();
+                format!(
+                    "place {} | {} -> {}",
+                    self.initial_marking().tokens(p),
+                    pre.join(","),
+                    post.join(",")
+                )
+            })
+            .collect();
+        places.sort();
+        for record in places {
+            out.push_str(&record);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A 128-bit content hash of [`Stg::canonical_form`], stable
+    /// under place/transition reordering and `.g` whitespace (see the
+    /// module docs).
+    pub fn canonical_hash(&self) -> CanonicalHash {
+        let form = self.canonical_form();
+        let bytes = form.as_bytes();
+        CanonicalHash {
+            hi: fnv1a(FNV_OFFSET_B, bytes),
+            lo: fnv1a(FNV_OFFSET_A, bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gen::counterflow::counterflow_sym;
+    use crate::gen::vme::{vme_read, vme_read_csc_resolved};
+    use crate::parser::parse;
+    use crate::writer::to_g_format;
+
+    #[test]
+    fn hash_survives_g_round_trip() {
+        for stg in [vme_read(), vme_read_csc_resolved(), counterflow_sym(2, 2)] {
+            let text = to_g_format(&stg, "m");
+            let back = parse(&text).unwrap();
+            assert_eq!(stg.canonical_hash(), back.canonical_hash());
+            assert_eq!(stg.canonical_form(), back.canonical_form());
+        }
+    }
+
+    #[test]
+    fn hash_ignores_whitespace_and_line_order() {
+        // The same 4-phase handshake twice: signal lists permuted,
+        // graph lines shuffled, gratuitous blank lines and indent.
+        let a = "\
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.initial_state 00
+.end
+";
+        let b = "
+.model renamed_model
+
+
+.outputs   ack
+.inputs    req
+.graph
+  ack- req+
+  req- ack-
+  req+   ack+
+  ack+ req-
+
+.marking {  <ack-,req+>  }
+.initial_state 00
+.end
+";
+        let sa = parse(a).unwrap();
+        let sb = parse(b).unwrap();
+        assert_eq!(sa.canonical_hash(), sb.canonical_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_different_nets() {
+        let hashes = [
+            vme_read().canonical_hash(),
+            vme_read_csc_resolved().canonical_hash(),
+            counterflow_sym(2, 2).canonical_hash(),
+            counterflow_sym(2, 3).canonical_hash(),
+        ];
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_sees_marking_code_and_kind_changes() {
+        let base = parse(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+             .marking { <b-,a+> }\n.initial_state 00\n.end\n",
+        )
+        .unwrap();
+        // Different initial marking position.
+        let moved = parse(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+             .marking { <a+,b+> }\n.initial_state 00\n.end\n",
+        )
+        .unwrap();
+        assert_ne!(base.canonical_hash(), moved.canonical_hash());
+        // Different initial code.
+        let recoded = parse(
+            ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+             .marking { <b-,a+> }\n.initial_state 10\n.end\n",
+        )
+        .unwrap();
+        assert_ne!(base.canonical_hash(), recoded.canonical_hash());
+        // Same shape, different signal kind.
+        let rekinded = parse(
+            ".model m\n.inputs a b\n.graph\na+ b+\nb+ a-\na- b-\nb- a+\n\
+             .marking { <b-,a+> }\n.initial_state 00\n.end\n",
+        )
+        .unwrap();
+        assert_ne!(base.canonical_hash(), rekinded.canonical_hash());
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let h = vme_read().canonical_hash();
+        let s = h.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(u128::from_str_radix(&s, 16).unwrap(), h.as_u128());
+    }
+}

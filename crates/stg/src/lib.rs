@@ -47,6 +47,7 @@ pub mod compose;
 pub mod dot;
 mod error;
 pub mod gen;
+pub mod hash;
 pub mod parser;
 mod signal;
 pub mod sim;
@@ -56,6 +57,7 @@ pub mod writer;
 
 pub use code::{ChangeVec, CodeVec};
 pub use error::{ParseStgError, StgError};
+pub use hash::CanonicalHash;
 pub use parser::{parse, parse_bytes};
 pub use signal::{Edge, Label, Signal, SignalKind};
 pub use state_graph::{SgError, StateGraph};

@@ -38,6 +38,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use bdd::{Bdd, NodeId};
 use petri::{Marking, PlaceId, StopGuard, StopReason};
@@ -121,6 +122,27 @@ pub struct SymbolicWitness {
     pub code: CodeVec,
 }
 
+/// A decoded normalcy-violation witness (§6): two reachable states
+/// with componentwise-ordered codes (`code1 ≤ code2`) whose next-state
+/// functions for [`NormalcyPairWitness::signal`] are discordant with
+/// that order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalcyPairWitness {
+    /// The signal whose normalcy the pair violates.
+    pub signal: Signal,
+    /// The state carrying the smaller code.
+    pub marking1: Marking,
+    /// The state carrying the larger (or equal) code.
+    pub marking2: Marking,
+    /// `marking1`'s code.
+    pub code1: CodeVec,
+    /// `marking2`'s code; componentwise ≥ `code1`.
+    pub code2: CodeVec,
+    /// `true` for a p-normalcy violation (`Nxt_z` falls along the
+    /// code order), `false` for an n-normalcy violation (it rises).
+    pub positive: bool,
+}
+
 /// Options of the symbolic engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SymbolicOptions {
@@ -138,23 +160,42 @@ impl Default for SymbolicOptions {
 }
 
 /// Symbolic state-space engine for one STG.
-pub struct SymbolicChecker<'a> {
-    stg: &'a Stg,
+///
+/// Owns its STG behind an [`Arc`], so a checker built with
+/// [`SymbolicChecker::from_shared`] can live inside a shared artifact
+/// set and be reused (keeping its cached reachable set and BDD unique
+/// tables warm) across calls and threads.
+pub struct SymbolicChecker {
+    stg: Arc<Stg>,
     bdd: Bdd,
     num_bits: usize,
     reached: Option<NodeId>,
     options: SymbolicOptions,
 }
 
-impl<'a> SymbolicChecker<'a> {
+impl SymbolicChecker {
     /// Prepares the encoder for `stg` (which must be safe and
-    /// consistent for the analysis to be meaningful).
-    pub fn new(stg: &'a Stg) -> Self {
+    /// consistent for the analysis to be meaningful). Clones the STG
+    /// into shared ownership; use [`SymbolicChecker::from_shared`] to
+    /// avoid the clone.
+    pub fn new(stg: &Stg) -> Self {
         Self::with_options(stg, SymbolicOptions::default())
     }
 
     /// Prepares the encoder with explicit options.
-    pub fn with_options(stg: &'a Stg, options: SymbolicOptions) -> Self {
+    pub fn with_options(stg: &Stg, options: SymbolicOptions) -> Self {
+        Self::from_shared_with_options(Arc::new(stg.clone()), options)
+    }
+
+    /// Prepares the encoder over an already-shared STG (default
+    /// options) without cloning it.
+    pub fn from_shared(stg: Arc<Stg>) -> Self {
+        Self::from_shared_with_options(stg, SymbolicOptions::default())
+    }
+
+    /// Prepares the encoder over an already-shared STG with explicit
+    /// options.
+    pub fn from_shared_with_options(stg: Arc<Stg>, options: SymbolicOptions) -> Self {
         let num_bits = stg.net().num_places() + stg.num_signals();
         SymbolicChecker {
             stg,
@@ -194,16 +235,17 @@ impl<'a> SymbolicChecker<'a> {
     /// The cube of the initial (marking, code) state over current
     /// variables.
     fn initial_cube(&mut self) -> NodeId {
+        let stg = Arc::clone(&self.stg);
         let mut cube = NodeId::TRUE;
-        for p in self.stg.net().places() {
-            let marked = self.stg.initial_marking().tokens(p) > 0;
+        for p in stg.net().places() {
+            let marked = stg.initial_marking().tokens(p) > 0;
             let bit = self.place_bit(p);
             let lit = self.literal(Self::cur(bit), marked);
             cube = self.bdd.and(cube, lit);
         }
-        for z in self.stg.signals() {
+        for z in stg.signals() {
             let bit = self.signal_bit(z);
-            let value = self.stg.initial_code().bit(z);
+            let value = stg.initial_code().bit(z);
             let lit = self.literal(Self::cur(bit), value);
             cube = self.bdd.and(cube, lit);
         }
@@ -212,7 +254,8 @@ impl<'a> SymbolicChecker<'a> {
 
     /// The relation of one transition over (current, next) variables.
     fn transition_relation(&mut self, t: petri::TransitionId) -> NodeId {
-        let net = self.stg.net();
+        let stg = Arc::clone(&self.stg);
+        let net = stg.net();
         let mut rel = NodeId::TRUE;
         let pre = net.preset(t).to_vec();
         let post = net.postset(t).to_vec();
@@ -235,9 +278,9 @@ impl<'a> SymbolicChecker<'a> {
             };
             rel = self.bdd.and(rel, term);
         }
-        for z in self.stg.signals() {
+        for z in stg.signals() {
             let bit = self.signal_bit(z);
-            let term = match self.stg.label(t) {
+            let term = match stg.label(t) {
                 Label::SignalEdge(zz, Edge::Rise) if zz == z => {
                     let c = self.literal(Self::cur(bit), false);
                     let n = self.literal(Self::next(bit), true);
@@ -310,10 +353,9 @@ impl<'a> SymbolicChecker<'a> {
         }
         self.arm_budget(budget);
         self.check_budget(budget)?;
-        let relations: Vec<NodeId> = self
-            .stg
-            .net()
-            .transitions()
+        let transitions: Vec<petri::TransitionId> = self.stg.net().transitions().collect();
+        let relations: Vec<NodeId> = transitions
+            .into_iter()
             .map(|t| self.transition_relation(t))
             .collect();
         let current_vars: Vec<u32> = (0..self.num_bits).map(Self::cur).collect();
@@ -382,12 +424,13 @@ impl<'a> SymbolicChecker<'a> {
     /// local-output sets. The second state lives on the next-variable
     /// block.
     fn conflict_pairs(&mut self, csc: bool) -> NodeId {
+        let stg = Arc::clone(&self.stg);
         let r = self.reachable();
         // Second copy of the state space on the odd variables.
         let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
         let mut pairs = self.bdd.and(r, r2);
         // Equal codes.
-        for z in self.stg.signals() {
+        for z in stg.signals() {
             let bit = self.signal_bit(z);
             let c = self.bdd.var(Self::cur(bit));
             let n = self.bdd.var(Self::next(bit));
@@ -396,7 +439,7 @@ impl<'a> SymbolicChecker<'a> {
         }
         // Different markings.
         let mut same_marking = NodeId::TRUE;
-        for p in self.stg.net().places() {
+        for p in stg.net().places() {
             let bit = self.place_bit(p);
             let c = self.bdd.var(Self::cur(bit));
             let n = self.bdd.var(Self::next(bit));
@@ -453,18 +496,18 @@ impl<'a> SymbolicChecker<'a> {
         self.bdd.ite(zbit, not_fall, rise_en)
     }
 
-    /// Symbolic normalcy check for signal `z` (§6): searches for
-    /// reachable pairs with componentwise-ordered codes and
-    /// discordant `Nxt_z` in each direction. Returns
-    /// `(p_normal, n_normal)`.
-    pub fn normalcy_of(&mut self, z: Signal) -> (bool, bool) {
+    /// The characteristic functions of normalcy-violating pairs for
+    /// signal `z` (§6): `(p_viol, n_viol)` over reachable pairs with
+    /// componentwise-ordered codes and discordant `Nxt_z`.
+    fn normalcy_violation_sets(&mut self, z: Signal) -> (NodeId, NodeId) {
+        let stg = Arc::clone(&self.stg);
         let r = self.reachable();
         let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
         let both = self.bdd.and(r, r2);
         // Code(x) ≤ Code(y) componentwise (x = current block, y =
         // next block).
         let mut leq = NodeId::TRUE;
-        for zz in self.stg.signals() {
+        for zz in stg.signals() {
             let bit = self.signal_bit(zz);
             let a = self.bdd.nvar(Self::cur(bit));
             let b = self.bdd.var(Self::next(bit));
@@ -481,7 +524,66 @@ impl<'a> SymbolicChecker<'a> {
         let not1 = self.bdd.not(nxt1);
         let n_viol_pred = self.bdd.and(not1, nxt2);
         let n_viol = self.bdd.and(ordered, n_viol_pred);
+        (p_viol, n_viol)
+    }
+
+    /// Symbolic normalcy check for signal `z` (§6): searches for
+    /// reachable pairs with componentwise-ordered codes and
+    /// discordant `Nxt_z` in each direction. Returns
+    /// `(p_normal, n_normal)`.
+    pub fn normalcy_of(&mut self, z: Signal) -> (bool, bool) {
+        let (p_viol, n_viol) = self.normalcy_violation_sets(z);
         (p_viol == NodeId::FALSE, n_viol == NodeId::FALSE)
+    }
+
+    /// Decodes one concrete pair of reachable states violating the
+    /// normalcy of `z`, if any exists. Prefers a p-normalcy violation
+    /// when both directions are violated.
+    pub fn normalcy_witness(&mut self, z: Signal) -> Option<NormalcyPairWitness> {
+        let (p_viol, n_viol) = self.normalcy_violation_sets(z);
+        if self.bdd.interrupt().is_some() {
+            // The violation sets were cut short by a still-armed
+            // budget; a decoded path would be meaningless.
+            return None;
+        }
+        let (set, positive) = if p_viol != NodeId::FALSE {
+            (p_viol, true)
+        } else {
+            (n_viol, false)
+        };
+        let path = self.bdd.any_sat(set)?;
+        let value = |var: u32| -> bool {
+            path.iter()
+                .find(|&&(v, _)| v == var)
+                .map(|&(_, b)| b)
+                .unwrap_or(false)
+        };
+        let np = self.stg.net().num_places();
+        let mut m1 = Marking::empty(np);
+        let mut m2 = Marking::empty(np);
+        for p in self.stg.net().places() {
+            let bit = self.place_bit(p);
+            if value(Self::cur(bit)) {
+                m1.add_token(p);
+            }
+            if value(Self::next(bit)) {
+                m2.add_token(p);
+            }
+        }
+        let bits = |block: fn(usize) -> u32| -> Vec<bool> {
+            self.stg
+                .signals()
+                .map(|zz| value(block(self.signal_bit(zz))))
+                .collect()
+        };
+        Some(NormalcyPairWitness {
+            signal: z,
+            marking1: m1,
+            marking2: m2,
+            code1: CodeVec::from_bits(bits(Self::cur)),
+            code2: CodeVec::from_bits(bits(Self::next)),
+            positive,
+        })
     }
 
     /// Budgeted variant of [`SymbolicChecker::normalcy_of`].
@@ -724,6 +826,45 @@ mod tests {
                 assert_eq!(n, oracle.n_normal, "{}", stg.signal_name(z));
             }
             assert_eq!(checker.is_normal(), sg.is_normal(&stg));
+        }
+    }
+
+    #[test]
+    fn normalcy_witness_decodes_a_discordant_reachable_pair() {
+        let stg = vme_read_csc_resolved();
+        let sg = StateGraph::build(&stg, Default::default()).unwrap();
+        let csc = stg.signal_by_name("csc").unwrap();
+        let mut checker = SymbolicChecker::new(&stg);
+        let (p, n) = checker.normalcy_of(csc);
+        assert!(!p && !n, "csc is neither p- nor n-normal");
+        let w = checker.normalcy_witness(csc).expect("violated ⇒ witness");
+        assert_eq!(w.signal, csc);
+        // Both states are reachable and carry the decoded codes.
+        let s1 = sg.reachability().state_of(&w.marking1).expect("reachable");
+        let s2 = sg.reachability().state_of(&w.marking2).expect("reachable");
+        assert_eq!(sg.code(s1), &w.code1);
+        assert_eq!(sg.code(s2), &w.code2);
+        // The pair is ordered and Nxt_z is discordant in the claimed
+        // direction (§6).
+        assert!(w.code1.componentwise_le(&w.code2));
+        let nxt1 = stg.next_state(&w.marking1, &w.code1, csc);
+        let nxt2 = stg.next_state(&w.marking2, &w.code2, csc);
+        if w.positive {
+            assert!(nxt1 && !nxt2, "p-violation: Nxt falls along the order");
+        } else {
+            assert!(!nxt1 && nxt2, "n-violation: Nxt rises along the order");
+        }
+    }
+
+    #[test]
+    fn fully_normal_signal_has_no_normalcy_witness() {
+        let stg = counterflow_sym(2, 2);
+        let mut checker = SymbolicChecker::new(&stg);
+        for z in stg.local_signals().collect::<Vec<_>>() {
+            let (p, n) = checker.normalcy_of(z);
+            if p && n {
+                assert!(checker.normalcy_witness(z).is_none());
+            }
         }
     }
 

@@ -568,6 +568,22 @@ impl Prefix {
     ) -> Result<Prefix, UnfoldError> {
         Prefix::unfold_guarded(stg.net(), stg.initial_marking(), options, guard)
     }
+
+    /// Like [`Prefix::of_stg_guarded`], but hands the finished prefix
+    /// out behind an [`Arc`](std::sync::Arc) — the form consumed by artifact
+    /// pipelines that share one prefix across engines, properties and
+    /// threads instead of re-unfolding per call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Prefix::of_stg_guarded`].
+    pub fn of_stg_shared(
+        stg: &Stg,
+        options: UnfoldOptions,
+        guard: &StopGuard,
+    ) -> Result<std::sync::Arc<Prefix>, UnfoldError> {
+        Prefix::of_stg_guarded(stg, options, guard).map(std::sync::Arc::new)
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! stgcheck unfold <file.g> [--dot] [--mcmillan]   prefix stats (optionally DOT)
 //! stgcheck usc <file.g> [--engine E]         Unique State Coding check
 //! stgcheck csc <file.g> [--engine E]         Complete State Coding check
+//! stgcheck check <file.g> [--engine E]       usc + csc + normalcy, shared artifacts
 //! stgcheck normalcy <file.g>                 p/n-normalcy per output signal
 //! stgcheck deadlock <file.g>                 deadlock search (§5)
 //! stgcheck report <file.g>                   full battery, one summary
@@ -26,6 +27,12 @@
 //! a running `stgd` instead of checking in-process; the engine
 //! default is then the server's (the racing portfolio).
 //!
+//! The `check` command runs all three coding properties (USC, CSC,
+//! normalcy) over *one* shared artifact set: the unfolding prefix,
+//! state graph and symbolic encoding are built at most once and
+//! reused by every property, so the second and third checks report
+//! `prefix built` work of 0.
+//!
 //! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
 //! or processing error, 3 = inconclusive (budget exhausted).
 
@@ -34,7 +41,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use stg_coding_conflicts::csc_core::{
-    check_property, Budget, CheckOutcome, Checker, Engine, Property, Verdict,
+    check_property, check_property_with, Artifacts, Budget, CheckOutcome, Checker, Engine,
+    Property, Verdict,
 };
 use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
 use stg_coding_conflicts::server::Client;
@@ -53,7 +61,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: stgcheck <info|unfold|usc|csc|normalcy|deadlock|report|synth|dot|gen> ... \
+    "usage: stgcheck <info|unfold|usc|csc|check|normalcy|deadlock|report|synth|dot|gen> ... \
      [--engine unfolding|explicit|symbolic|portfolio|race] [--timeout-ms N] [--max-events N] \
      [--server HOST:PORT]"
         .to_owned()
@@ -80,6 +88,7 @@ fn run(args: &[String]) -> Result<u8, String> {
         "unfold" => unfold(&model, flags).map(exit_code),
         "usc" => coding(&model, Property::Usc, flags),
         "csc" => coding(&model, Property::Csc, flags),
+        "check" => check_all(&model, flags),
         "normalcy" => normalcy(&model).map(exit_code),
         "deadlock" => deadlock(&model).map(exit_code),
         "report" => {
@@ -248,6 +257,48 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
             }
         }
     }
+}
+
+/// Checks USC, CSC and normalcy over one shared [`Artifacts`] set, so
+/// the unfolding prefix / state graph / symbolic encoding are each
+/// built at most once across all three properties.
+fn check_all(model: &Stg, flags: &[String]) -> Result<u8, String> {
+    let engine = engine_flag(flags)?.unwrap_or(Engine::UnfoldingIlp);
+    let budget = budget_flags(flags)?;
+    let artifacts = Artifacts::of(model);
+    let mut worst = 0u8;
+    for property in [Property::Usc, Property::Csc, Property::Normalcy] {
+        let run = check_property_with(&artifacts, property, engine, &budget)
+            .map_err(|e| e.to_string())?;
+        let built = run
+            .report
+            .prefix_events_built
+            .map_or(String::new(), |n| format!(", prefix built {n}"));
+        let code = match run.verdict {
+            Verdict::Holds => {
+                println!("{property:?}: satisfied [{:?}{built}]", run.report.elapsed);
+                0
+            }
+            Verdict::Violated(_) => {
+                println!("{property:?}: CONFLICT [{:?}{built}]", run.report.elapsed);
+                1
+            }
+            Verdict::Unknown(reason) => {
+                println!(
+                    "{property:?}: UNKNOWN ({reason}) [{:?}{built}]",
+                    run.report.elapsed
+                );
+                3
+            }
+        };
+        // Conflicts dominate inconclusive results, which dominate ok.
+        worst = match (worst, code) {
+            (1, _) | (_, 1) => 1,
+            (3, _) | (_, 3) => 3,
+            _ => worst.max(code),
+        };
+    }
+    Ok(worst)
 }
 
 /// Ships the check to a running `stgd` and reports its verdict with

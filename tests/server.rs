@@ -48,11 +48,16 @@ fn mixed_batch_gets_per_job_verdicts_and_a_clean_shutdown() {
         .expect("submit");
     // The starved job pins the unfolding engine: under the racing
     // default, an event cap starves only one racer and the others
-    // would still decide this tiny model.
+    // would still decide this tiny model. It must ship a net no other
+    // job uses — a repeated net would hit the artifact cache, and a
+    // *completed* cached prefix is legitimately reused under any
+    // smaller event cap (see docs/ARTIFACTS.md), yielding a real
+    // verdict instead of the exhaustion this job exists to provoke.
+    let starved_g = stg::to_g_format(&stg::gen::ring::lazy_ring(2), "starved");
     client
         .submit(&CheckRequest {
             id: "starved".to_owned(),
-            stg_g: vme.clone(),
+            stg_g: starved_g,
             property: Property::Csc,
             engine: Some(Engine::UnfoldingIlp),
             budget: BudgetSpec {
