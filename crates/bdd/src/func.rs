@@ -1,0 +1,164 @@
+//! RAII root-protected handles to BDD functions.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::manager::NodeId;
+
+/// External-root registry shared between a [`Bdd`](crate::Bdd) manager
+/// and the [`Func`] handles it has issued.
+///
+/// Each entry counts how many live handles reference a node. Garbage
+/// collection and reordering treat every node with a positive count as
+/// a root.
+#[derive(Debug, Default)]
+pub(crate) struct Roots {
+    counts: Vec<u32>,
+}
+
+impl Roots {
+    fn inc(&mut self, id: u32) {
+        let i = id as usize;
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    fn dec(&mut self, id: u32) {
+        if let Some(c) = self.counts.get_mut(id as usize) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Calls `f` once for every currently rooted node index.
+    pub(crate) fn for_each_root(&self, mut f: impl FnMut(u32)) {
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                f(i as u32);
+            }
+        }
+    }
+}
+
+/// Locks a roots registry, recovering from poisoning: the registry is
+/// a plain counter table, so it is never left in a torn state by a
+/// panicking holder.
+pub(crate) fn lock_roots(roots: &Mutex<Roots>) -> MutexGuard<'_, Roots> {
+    roots
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A root-protected handle to a boolean function inside a
+/// [`Bdd`](crate::Bdd) manager.
+///
+/// While a `Func` is alive, the node it denotes (and everything
+/// reachable from it) survives garbage collection, and dynamic
+/// variable reordering preserves the function it denotes. Cloning a
+/// handle increments the root count; dropping it decrements the count
+/// — there is no way to obtain an unprotected reference.
+///
+/// Handles are only meaningful with the manager that created them;
+/// passing a handle to a different manager yields unspecified (but
+/// memory-safe) results. Two handles compare equal iff they denote the
+/// same function in the same manager.
+pub struct Func {
+    id: NodeId,
+    roots: Arc<Mutex<Roots>>,
+}
+
+impl Func {
+    pub(crate) fn new(id: NodeId, roots: Arc<Mutex<Roots>>) -> Self {
+        lock_roots(&roots).inc(id.0);
+        Func { id, roots }
+    }
+
+    pub(crate) fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this is the constant `true` function.
+    pub fn is_true(&self) -> bool {
+        self.id == NodeId::TRUE
+    }
+
+    /// Whether this is the constant `false` function.
+    pub fn is_false(&self) -> bool {
+        self.id == NodeId::FALSE
+    }
+
+    /// Whether this is one of the two constant functions.
+    pub fn is_terminal(&self) -> bool {
+        self.id.is_terminal()
+    }
+}
+
+impl Clone for Func {
+    fn clone(&self) -> Self {
+        Func::new(self.id, Arc::clone(&self.roots))
+    }
+}
+
+impl Drop for Func {
+    fn drop(&mut self) {
+        lock_roots(&self.roots).dec(self.id.0);
+    }
+}
+
+impl PartialEq for Func {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && Arc::ptr_eq(&self.roots, &other.roots)
+    }
+}
+
+impl Eq for Func {}
+
+impl Hash for Func {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Func({:?})", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bdd;
+
+    use super::*;
+
+    #[test]
+    fn clone_and_drop_track_root_counts() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = x.clone();
+        assert_eq!(x, y);
+        drop(x);
+        // The clone still protects the node: a collection must not
+        // free it.
+        m.collect_garbage();
+        assert!(m.eval(&y, &|_| true));
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Func>();
+    }
+
+    #[test]
+    fn terminal_predicates() {
+        let m = Bdd::new();
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert!(t.is_true() && t.is_terminal() && !t.is_false());
+        assert!(f.is_false() && f.is_terminal() && !f.is_true());
+        assert_ne!(t, f);
+    }
+}

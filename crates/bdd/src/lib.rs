@@ -5,11 +5,18 @@
 //! BDD-based tool). Features: hash-consed unique table, ITE with a
 //! computed cache, boolean connectives, existential/universal
 //! quantification, monotone variable renaming, restriction,
-//! satisfying-assignment extraction and model counting.
+//! satisfying-assignment extraction and model counting — plus a real
+//! node manager: mark-and-sweep garbage collection with root
+//! protection, and dynamic variable reordering via Rudell's sifting
+//! with variable groups.
 //!
-//! Nodes live in a [`Bdd`] manager and are referenced by [`NodeId`];
-//! the manager grows monotonically (no garbage collection — the
-//! symbolic reachability workloads here are bounded and short-lived).
+//! Nodes live in a [`Bdd`] manager and are referenced by RAII [`Func`]
+//! handles: cloning a handle increments its root count, dropping it
+//! decrements it. Garbage collection frees exactly the nodes
+//! unreachable from live handles, and reordering rewrites the table in
+//! place so every handle keeps denoting the same boolean function.
+//! Raw node indices are never exposed — they would be invalidated by
+//! both features.
 //!
 //! # Examples
 //!
@@ -19,15 +26,29 @@
 //! let mut m = Bdd::new();
 //! let x = m.var(0);
 //! let y = m.var(1);
-//! let xor = m.xor(x, y);
-//! assert!(m.eval(xor, &|v| v == 0));
-//! assert!(!m.eval(xor, &|_| true));
-//! assert_eq!(m.sat_count(xor, 2), 2.0);
+//! let xor = m.xor(&x, &y);
+//! assert!(m.eval(&xor, &|v| v == 0));
+//! assert!(!m.eval(&xor, &|_| true));
+//! assert_eq!(m.sat_count(&xor, 2), 2.0);
+//!
+//! // Dead nodes are reclaimed; live handles always survive.
+//! drop(x);
+//! drop(y);
+//! m.collect_garbage();
+//! assert_eq!(m.sat_count(&xor, 2), 2.0);
+//!
+//! // Sifting may permute levels, but handles keep their meaning.
+//! m.reorder();
+//! assert!(m.eval(&xor, &|v| v == 0));
 //! ```
 
 #![warn(missing_docs)]
 
+mod func;
+mod gc;
 mod manager;
 mod ops;
+mod reorder;
 
-pub use manager::{Bdd, Interrupt, NodeId};
+pub use func::Func;
+pub use manager::{Bdd, BddStats, Interrupt};

@@ -1,22 +1,30 @@
-//! The node manager: unique table and ITE core.
+//! The node manager: unique table, ITE core, interruption and stats.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use petri::{StopGuard, StopReason};
 
-/// Reference to a BDD node inside a [`Bdd`] manager.
+use crate::func::{Func, Roots};
+
+/// Internal index of a BDD node inside a [`Bdd`] manager.
+///
+/// Raw indices are deliberately not public: garbage collection reuses
+/// the slots of dead nodes, so an unprotected index can silently come
+/// to denote a different function. External code holds root-protected
+/// [`Func`] handles instead.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub(crate) u32);
+pub(crate) struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// The constant `false` function.
-    pub const FALSE: NodeId = NodeId(0);
+    pub(crate) const FALSE: NodeId = NodeId(0);
     /// The constant `true` function.
-    pub const TRUE: NodeId = NodeId(1);
+    pub(crate) const TRUE: NodeId = NodeId(1);
 
     /// Whether this is one of the two terminal nodes.
-    pub fn is_terminal(self) -> bool {
+    pub(crate) fn is_terminal(self) -> bool {
         self.0 <= 1
     }
 }
@@ -31,7 +39,13 @@ impl fmt::Debug for NodeId {
     }
 }
 
+/// Variable tag of the two terminal nodes.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+/// Variable tag of a node slot currently on the free list.
+pub(crate) const FREE_VAR: u32 = u32::MAX - 1;
+
+/// Live nodes before the first growth-triggered collection attempt.
+const DEFAULT_GC_THRESHOLD: usize = 1 << 13;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Node {
@@ -43,35 +57,81 @@ pub(crate) struct Node {
 /// Why a manager stopped allocating nodes mid-operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Interrupt {
-    /// The node cap set via [`Bdd::set_node_limit`] was reached.
+    /// The live-node cap set via [`Bdd::set_node_limit`] was reached.
     NodeLimit(usize),
     /// The [`StopGuard`] set via [`Bdd::set_guard`] fired.
     Stopped(StopReason),
 }
 
-/// A BDD manager: owns the node store and operation caches.
+/// A snapshot of a manager's resource counters, taken with
+/// [`Bdd::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BddStats {
+    /// Nodes currently alive (including the two terminals).
+    pub live_nodes: usize,
+    /// High-water mark of live nodes over the manager's lifetime.
+    pub peak_live_nodes: usize,
+    /// Completed mark-and-sweep collections.
+    pub gc_runs: usize,
+    /// Completed sifting passes (explicit or automatic).
+    pub reorder_passes: usize,
+    /// The variable order, root-most level first.
+    pub order: Vec<u32>,
+}
+
+/// A BDD manager: owns the node store, variable order and operation
+/// caches.
 ///
-/// Variables are `u32` indices ordered numerically (smaller = closer
-/// to the root).
+/// Variables are `u32` indices. The *initial* order is numeric
+/// (smaller index = closer to the root); dynamic reordering
+/// ([`Bdd::reorder`], [`Bdd::set_auto_reorder`]) may permute levels
+/// afterwards. [`Bdd::group`] pins a run of variables to adjacent
+/// levels so reordering moves them as one block.
+///
+/// # Memory management
+///
+/// Node slots are recycled by a mark-and-sweep collector
+/// ([`Bdd::collect_garbage`]) whose roots are the live [`Func`]
+/// handles. Collection and reordering run only *between* operations
+/// (at public entry points), never while a recursion is in flight, so
+/// intermediate results inside one operation need no protection.
 ///
 /// # Interruption
 ///
-/// A manager can be armed with a [`StopGuard`] and a node cap. Node
-/// allocation polls both; when either fires, an [`Interrupt`] is
+/// A manager can be armed with a [`StopGuard`] and a live-node cap.
+/// Node allocation polls both; when either fires, an [`Interrupt`] is
 /// latched and every in-flight operation unwinds quickly, returning
-/// structurally valid but *meaningless* nodes. Callers that arm a
+/// structurally valid but *meaningless* handles. Callers that arm a
 /// manager must check [`Bdd::interrupt`] after each operation and
 /// discard the result if it is set. No persistent cache is populated
 /// while interrupted, so clearing the latch restores a fully
 /// consistent manager.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Bdd {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<(u32, NodeId, NodeId), NodeId>,
-    ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    /// Slots of freed nodes, available for reuse.
+    pub(crate) free: Vec<u32>,
+    pub(crate) unique: HashMap<(u32, NodeId, NodeId), NodeId>,
+    pub(crate) ite_cache: HashMap<(NodeId, NodeId, NodeId), NodeId>,
+    /// External roots: shared with every issued [`Func`].
+    pub(crate) roots: Arc<Mutex<Roots>>,
+    /// Level occupied by each variable (indexed by variable).
+    pub(crate) level_of: Vec<u32>,
+    /// Variable sitting at each level (indexed by level).
+    pub(crate) var_at: Vec<u32>,
+    /// Reorder-group leader of each variable (indexed by variable).
+    pub(crate) group_of: Vec<u32>,
     guard: StopGuard,
     node_limit: Option<usize>,
-    interrupt: Option<Interrupt>,
+    pub(crate) interrupt: Option<Interrupt>,
+    gc_enabled: bool,
+    gc_threshold: usize,
+    gc_every: Option<usize>,
+    allocs_since_gc: usize,
+    auto_reorder_threshold: Option<usize>,
+    pub(crate) gc_runs: usize,
+    pub(crate) reorder_passes: usize,
+    peak_live: usize,
 }
 
 impl Default for Bdd {
@@ -81,7 +141,8 @@ impl Default for Bdd {
 }
 
 impl Bdd {
-    /// Creates an empty manager (containing only the terminals).
+    /// Creates an empty manager (containing only the terminals), with
+    /// garbage collection enabled and automatic reordering off.
     pub fn new() -> Self {
         Bdd {
             nodes: vec![
@@ -96,23 +157,64 @@ impl Bdd {
                     hi: NodeId::TRUE,
                 },
             ],
+            free: Vec::new(),
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
+            roots: Arc::new(Mutex::new(Roots::default())),
+            level_of: Vec::new(),
+            var_at: Vec::new(),
+            group_of: Vec::new(),
             guard: StopGuard::unlimited(),
             node_limit: None,
             interrupt: None,
+            gc_enabled: true,
+            gc_threshold: DEFAULT_GC_THRESHOLD,
+            gc_every: None,
+            allocs_since_gc: 0,
+            auto_reorder_threshold: None,
+            gc_runs: 0,
+            reorder_passes: 0,
+            peak_live: 2,
         }
     }
 
     /// Arms the manager with a cooperative stop condition, polled on
-    /// node allocation.
+    /// node allocation, during marking and between level swaps.
     pub fn set_guard(&mut self, guard: StopGuard) {
         self.guard = guard;
     }
 
-    /// Caps the number of live nodes (`None` = unlimited).
+    /// Caps the number of *live* nodes (`None` = unlimited). With
+    /// garbage collection on, dead nodes do not count against the cap.
     pub fn set_node_limit(&mut self, limit: Option<usize>) {
         self.node_limit = limit;
+    }
+
+    /// Enables or disables growth-triggered garbage collection.
+    /// Explicit [`Bdd::collect_garbage`] calls work either way.
+    pub fn set_gc(&mut self, enabled: bool) {
+        self.gc_enabled = enabled;
+    }
+
+    /// Sets the live-node count at which the next growth-triggered
+    /// collection is attempted.
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_threshold = threshold.max(2);
+    }
+
+    /// Test knob: forces a full collection every `n` allocations,
+    /// regardless of the dead-node ratio (`None` = off). Used by the
+    /// differential test suites to shake out premature frees.
+    pub fn set_gc_every(&mut self, n: Option<usize>) {
+        self.gc_every = n;
+    }
+
+    /// Enables automatic sifting: when the live-node count reaches
+    /// `threshold`, the next operation entry runs a reordering pass
+    /// first (`None` = off). After each pass the threshold doubles
+    /// relative to the surviving table so reordering stays rare.
+    pub fn set_auto_reorder(&mut self, threshold: Option<usize>) {
+        self.auto_reorder_threshold = threshold.map(|t| t.max(4));
     }
 
     /// The latched interrupt, if allocation was stopped. While set,
@@ -130,20 +232,186 @@ impl Bdd {
 
     /// Number of live nodes (including the two terminals).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.live_nodes()
+    }
+
+    /// High-water mark of live nodes over the manager's lifetime.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
+    }
+
+    /// The current variable order, root-most level first.
+    pub fn current_order(&self) -> Vec<u32> {
+        self.var_at.clone()
+    }
+
+    /// Snapshot of the manager's resource counters.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            live_nodes: self.live_nodes(),
+            peak_live_nodes: self.peak_live,
+            gc_runs: self.gc_runs,
+            reorder_passes: self.reorder_passes,
+            order: self.var_at.clone(),
+        }
+    }
+
+    pub(crate) fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 
     pub(crate) fn node(&self, id: NodeId) -> Node {
         self.nodes[id.0 as usize]
     }
 
-    /// The variable a node tests (`None` for terminals).
-    pub fn node_var(&self, id: NodeId) -> Option<u32> {
-        let v = self.node(id).var;
+    /// The level a variable sits at.
+    pub(crate) fn level(&self, var: u32) -> u32 {
+        self.level_of[var as usize]
+    }
+
+    /// The level of a node's variable (`u32::MAX` for terminals, so
+    /// terminals sort below everything).
+    pub(crate) fn node_level(&self, id: NodeId) -> u32 {
+        match self.node(id).var {
+            TERMINAL_VAR => u32::MAX,
+            v => self.level_of[v as usize],
+        }
+    }
+
+    /// Registers every variable up to and including `v`, appending new
+    /// ones at the bottom of the order in numeric sequence (each new
+    /// variable starts as its own reorder group).
+    pub(crate) fn ensure_var(&mut self, v: u32) {
+        while self.level_of.len() <= v as usize {
+            let nv = self.level_of.len() as u32;
+            self.level_of.push(self.var_at.len() as u32);
+            self.var_at.push(nv);
+            self.group_of.push(nv);
+        }
+    }
+
+    /// Pins a run of variables to move as one block during
+    /// reordering. The variables must currently sit on adjacent
+    /// levels, in the listed order (true for freshly created
+    /// variables, which is when groups should be declared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variables are not on adjacent levels.
+    pub fn group(&mut self, vars: &[u32]) {
+        let Some(&first) = vars.first() else {
+            return;
+        };
+        for &v in vars {
+            self.ensure_var(v);
+        }
+        let base = self.level_of[first as usize];
+        for (k, &v) in vars.iter().enumerate() {
+            assert_eq!(
+                self.level_of[v as usize],
+                base + k as u32,
+                "grouped variables must sit on adjacent levels"
+            );
+        }
+        let leader = self.group_of[first as usize];
+        for &v in vars {
+            self.group_of[v as usize] = leader;
+        }
+    }
+
+    /// Wraps an internal node index in a root-protecting handle.
+    pub(crate) fn protect(&self, id: NodeId) -> Func {
+        Func::new(id, Arc::clone(&self.roots))
+    }
+
+    /// One of the two constant functions.
+    pub fn constant(&self, value: bool) -> Func {
+        self.protect(if value { NodeId::TRUE } else { NodeId::FALSE })
+    }
+
+    /// The function of a single positive literal.
+    pub fn var(&mut self, v: u32) -> Func {
+        self.prepare_op();
+        self.ensure_var(v);
+        let r = self.mk(v, NodeId::FALSE, NodeId::TRUE);
+        self.protect(r)
+    }
+
+    /// The function of a single negative literal.
+    pub fn nvar(&mut self, v: u32) -> Func {
+        self.prepare_op();
+        self.ensure_var(v);
+        let r = self.mk(v, NodeId::TRUE, NodeId::FALSE);
+        self.protect(r)
+    }
+
+    /// The variable a function tests at its root (`None` for
+    /// constants).
+    pub fn node_var(&self, f: &Func) -> Option<u32> {
+        let v = self.node(f.id()).var;
         (v != TERMINAL_VAR).then_some(v)
     }
 
-    /// Hash-consed node constructor (the "mk" operation).
+    /// The root-most variable (by the current order) tested by any of
+    /// the given functions, or `None` if all are constant.
+    pub fn top_var<'a>(&self, fs: impl IntoIterator<Item = &'a Func>) -> Option<u32> {
+        fs.into_iter()
+            .map(|f| self.node_level(f.id()))
+            .min()
+            .filter(|&l| l != u32::MAX)
+            .map(|l| self.var_at[l as usize])
+    }
+
+    /// Runs housekeeping that is only safe *between* operations:
+    /// growth- or knob-triggered garbage collection, then automatic
+    /// reordering. Every public operation entry point calls this
+    /// before touching raw node indices.
+    pub(crate) fn prepare_op(&mut self) {
+        if self.interrupt.is_some() {
+            return;
+        }
+        self.maybe_collect();
+        if self.interrupt.is_some() {
+            return;
+        }
+        if let Some(threshold) = self.auto_reorder_threshold {
+            if self.live_nodes() >= threshold {
+                self.reorder();
+                self.auto_reorder_threshold = Some((self.live_nodes() * 2).max(threshold));
+            }
+        }
+    }
+
+    /// Growth- or knob-triggered collection attempt (see
+    /// [`Bdd::collect_garbage`] for the unconditional form). A
+    /// growth-triggered mark only sweeps when at least 20% of the live
+    /// table is dead; otherwise the threshold backs off so marking
+    /// stays amortised.
+    fn maybe_collect(&mut self) {
+        let forced = self
+            .gc_every
+            .is_some_and(|n| self.allocs_since_gc >= n.max(1));
+        let grown = self.gc_enabled && self.live_nodes() >= self.gc_threshold;
+        if !forced && !grown {
+            return;
+        }
+        let Some(marks) = self.mark() else {
+            return;
+        };
+        let live = self.live_nodes();
+        let marked = marks.iter().filter(|&&m| m).count();
+        let dead = live.saturating_sub(marked);
+        if forced || dead * 5 >= live {
+            self.sweep(&marks);
+            self.gc_threshold = self.gc_threshold.max(self.live_nodes() * 2);
+        } else if grown {
+            self.gc_threshold = self.gc_threshold.saturating_mul(2);
+        }
+        self.allocs_since_gc = 0;
+    }
+
+    /// Hash-consed node constructor (the "mk" operation), with cap and
+    /// guard polling.
     pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
         if lo == hi {
             return lo;
@@ -153,7 +421,7 @@ impl Bdd {
         }
         if self.interrupt.is_none() {
             if let Some(cap) = self.node_limit {
-                if self.nodes.len() >= cap {
+                if self.live_nodes() >= cap {
                     self.interrupt = Some(Interrupt::NodeLimit(cap));
                 }
             }
@@ -168,25 +436,66 @@ impl Bdd {
             // required to discard results while interrupted.
             return lo;
         }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { var, lo, hi });
+        self.alloc(var, lo, hi)
+    }
+
+    /// Unchecked allocation off the free list: no cap or guard
+    /// polling, no reduction checks. Reordering uses this directly so
+    /// an armed cap cannot corrupt an in-place level swap.
+    pub(crate) fn alloc(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Node { var, lo, hi };
+                NodeId(slot)
+            }
+            None => {
+                let id = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node { var, lo, hi });
+                id
+            }
+        };
         self.unique.insert((var, lo, hi), id);
+        self.allocs_since_gc += 1;
+        let live = self.live_nodes();
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
         id
     }
 
-    /// The function of a single positive literal.
-    pub fn var(&mut self, v: u32) -> NodeId {
-        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+    /// Frees one node: drops its unique-table entry and recycles the
+    /// slot. The caller is responsible for it being dead.
+    pub(crate) fn release(&mut self, id: NodeId) {
+        debug_assert!(!id.is_terminal());
+        let n = self.nodes[id.0 as usize];
+        debug_assert_ne!(n.var, FREE_VAR, "double free of a BDD node");
+        self.unique.remove(&(n.var, n.lo, n.hi));
+        self.nodes[id.0 as usize].var = FREE_VAR;
+        self.free.push(id.0);
     }
 
-    /// The function of a single negative literal.
-    pub fn nvar(&mut self, v: u32) -> NodeId {
-        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+    /// Polls the guard outside an allocation (marking, level swaps),
+    /// latching an interrupt on failure.
+    pub(crate) fn poll_guard(&mut self) -> Result<(), ()> {
+        if self.interrupt.is_some() {
+            return Err(());
+        }
+        if let Err(reason) = self.guard.poll() {
+            self.interrupt = Some(Interrupt::Stopped(reason));
+            return Err(());
+        }
+        Ok(())
     }
 
     /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)` — the workhorse all binary
     /// connectives reduce to.
-    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+    pub fn ite(&mut self, f: &Func, g: &Func, h: &Func) -> Func {
+        self.prepare_op();
+        let r = self.ite_raw(f.id(), g.id(), h.id());
+        self.protect(r)
+    }
+
+    pub(crate) fn ite_raw(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
         if f == NodeId::TRUE {
             return g;
         }
@@ -207,15 +516,16 @@ impl Bdd {
         }
         let top = [f, g, h]
             .into_iter()
-            .map(|n| self.node(n).var)
+            .map(|n| self.node_level(n))
             .min()
             .expect("non-empty");
-        let (f0, f1) = self.cofactors(f, top);
-        let (g0, g1) = self.cofactors(g, top);
-        let (h0, h1) = self.cofactors(h, top);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
-        let r = self.mk(top, lo, hi);
+        let var = self.var_at[top as usize];
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite_raw(f0, g0, h0);
+        let hi = self.ite_raw(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
         if self.interrupt.is_none() {
             self.ite_cache.insert((f, g, h), r);
         }
@@ -241,8 +551,9 @@ mod tests {
         let mut m = Bdd::new();
         assert_eq!(m.num_nodes(), 2);
         let x = m.var(3);
-        assert_eq!(m.node_var(x), Some(3));
-        assert_eq!(m.node_var(NodeId::TRUE), None);
+        assert_eq!(m.node_var(&x), Some(3));
+        let t = m.constant(true);
+        assert_eq!(m.node_var(&t), None);
         // Hash-consing: same literal, same node.
         assert_eq!(m.var(3), x);
         let nx = m.nvar(3);
@@ -254,17 +565,19 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        assert_eq!(m.ite(NodeId::TRUE, x, y), x);
-        assert_eq!(m.ite(NodeId::FALSE, x, y), y);
-        assert_eq!(m.ite(x, y, y), y);
-        assert_eq!(m.ite(x, NodeId::TRUE, NodeId::FALSE), x);
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_eq!(m.ite(&t, &x, &y), x);
+        assert_eq!(m.ite(&f, &x, &y), y);
+        assert_eq!(m.ite(&x, &y, &y), y);
+        assert_eq!(m.ite(&x, &t, &f), x);
     }
 
     #[test]
     fn mk_eliminates_redundant_tests() {
         let mut m = Bdd::new();
         let x = m.var(0);
-        assert_eq!(m.mk(1, x, x), x);
+        assert_eq!(m.mk(1, x.id(), x.id()), x.id());
     }
 
     #[test]
@@ -272,9 +585,21 @@ mod tests {
         let mut m = Bdd::new();
         let y = m.var(5);
         let x = m.var(2);
-        let f = m.ite(x, y, NodeId::FALSE); // x ∧ y
-        assert_eq!(m.node_var(f), Some(2));
-        let n = m.node(f);
-        assert_eq!(m.node_var(n.hi), Some(5));
+        let fls = m.constant(false);
+        let f = m.ite(&x, &y, &fls); // x ∧ y
+        assert_eq!(m.node_var(&f), Some(2));
+        let n = m.node(f.id());
+        assert_eq!(m.node(n.hi).var, 5);
+    }
+
+    #[test]
+    fn top_var_follows_the_order() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let t = m.constant(true);
+        assert_eq!(m.top_var([&x, &y]), Some(0));
+        assert_eq!(m.top_var([&y]), Some(1));
+        assert_eq!(m.top_var([&t]), None);
     }
 }

@@ -1,68 +1,107 @@
-//! Boolean connectives, quantification, renaming and model queries.
+//! Boolean connectives, quantification, renaming and model queries,
+//! surfaced over root-protected [`Func`] handles.
 
 use std::collections::HashMap;
 
+use crate::func::Func;
 use crate::manager::{Bdd, NodeId, TERMINAL_VAR};
 
 impl Bdd {
     /// Conjunction.
-    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, g, NodeId::FALSE)
+    pub fn and(&mut self, f: &Func, g: &Func) -> Func {
+        self.prepare_op();
+        let r = self.and_raw(f.id(), g.id());
+        self.protect(r)
     }
 
     /// Disjunction.
-    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, NodeId::TRUE, g)
+    pub fn or(&mut self, f: &Func, g: &Func) -> Func {
+        self.prepare_op();
+        let r = self.or_raw(f.id(), g.id());
+        self.protect(r)
     }
 
     /// Negation.
-    pub fn not(&mut self, f: NodeId) -> NodeId {
-        self.ite(f, NodeId::FALSE, NodeId::TRUE)
+    pub fn not(&mut self, f: &Func) -> Func {
+        self.prepare_op();
+        let r = self.not_raw(f.id());
+        self.protect(r)
     }
 
     /// Exclusive or.
-    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+    pub fn xor(&mut self, f: &Func, g: &Func) -> Func {
+        self.prepare_op();
+        let ng = self.not_raw(g.id());
+        let r = self.ite_raw(f.id(), ng, g.id());
+        self.protect(r)
     }
 
     /// Biconditional (`f ↔ g`).
-    pub fn iff(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+    pub fn iff(&mut self, f: &Func, g: &Func) -> Func {
+        self.prepare_op();
+        let ng = self.not_raw(g.id());
+        let r = self.ite_raw(f.id(), g.id(), ng);
+        self.protect(r)
     }
 
     /// Implication (`f → g`).
-    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
-        self.ite(f, g, NodeId::TRUE)
+    pub fn implies(&mut self, f: &Func, g: &Func) -> Func {
+        self.prepare_op();
+        let r = self.ite_raw(f.id(), g.id(), NodeId::TRUE);
+        self.protect(r)
     }
 
     /// Conjunction of many functions.
-    pub fn and_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
-        fs.into_iter().fold(NodeId::TRUE, |acc, f| self.and(acc, f))
+    pub fn and_all<'a>(&mut self, fs: impl IntoIterator<Item = &'a Func>) -> Func {
+        self.prepare_op();
+        let r = fs
+            .into_iter()
+            .fold(NodeId::TRUE, |acc, f| self.and_raw(acc, f.id()));
+        self.protect(r)
     }
 
     /// Disjunction of many functions.
-    pub fn or_all(&mut self, fs: impl IntoIterator<Item = NodeId>) -> NodeId {
-        fs.into_iter().fold(NodeId::FALSE, |acc, f| self.or(acc, f))
+    pub fn or_all<'a>(&mut self, fs: impl IntoIterator<Item = &'a Func>) -> Func {
+        self.prepare_op();
+        let r = fs
+            .into_iter()
+            .fold(NodeId::FALSE, |acc, f| self.or_raw(acc, f.id()));
+        self.protect(r)
+    }
+
+    pub(crate) fn and_raw(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite_raw(f, g, NodeId::FALSE)
+    }
+
+    pub(crate) fn or_raw(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.ite_raw(f, NodeId::TRUE, g)
+    }
+
+    pub(crate) fn not_raw(&mut self, f: NodeId) -> NodeId {
+        self.ite_raw(f, NodeId::FALSE, NodeId::TRUE)
     }
 
     /// Restriction `f[var := value]`.
-    pub fn restrict(&mut self, f: NodeId, var: u32, value: bool) -> NodeId {
+    pub fn restrict(&mut self, f: &Func, var: u32, value: bool) -> Func {
+        self.prepare_op();
+        self.ensure_var(var);
+        let lvl = self.level(var);
         let mut memo = HashMap::new();
-        self.restrict_rec(f, var, value, &mut memo)
+        let r = self.restrict_rec(f.id(), var, lvl, value, &mut memo);
+        self.protect(r)
     }
 
     fn restrict_rec(
         &mut self,
         f: NodeId,
         var: u32,
+        lvl: u32,
         value: bool,
         memo: &mut HashMap<NodeId, NodeId>,
     ) -> NodeId {
         let n = self.node(f);
-        if n.var > var {
-            // Past the variable (or terminal): unchanged.
+        if n.var == TERMINAL_VAR || self.level(n.var) > lvl {
+            // Past the variable's level (or terminal): unchanged.
             return f;
         }
         if self.interrupt().is_some() {
@@ -78,8 +117,8 @@ impl Bdd {
                 n.lo
             }
         } else {
-            let lo = self.restrict_rec(n.lo, var, value, memo);
-            let hi = self.restrict_rec(n.hi, var, value, memo);
+            let lo = self.restrict_rec(n.lo, var, lvl, value, memo);
+            let hi = self.restrict_rec(n.hi, var, lvl, value, memo);
             self.mk(n.var, lo, hi)
         };
         memo.insert(f, r);
@@ -87,12 +126,36 @@ impl Bdd {
     }
 
     /// Existential quantification over a set of variables
-    /// (`∃ vars. f`). `vars` must be sorted ascending.
-    pub fn exists(&mut self, f: NodeId, vars: &[u32]) -> NodeId {
+    /// (`∃ vars. f`), in any order.
+    pub fn exists(&mut self, f: &Func, vars: &[u32]) -> Func {
+        self.prepare_op();
+        let by_level = self.sort_by_level(vars);
         let mut memo = HashMap::new();
-        self.exists_rec(f, vars, &mut memo)
+        let r = self.exists_rec(f.id(), &by_level, &mut memo);
+        self.protect(r)
     }
 
+    /// Universal quantification (`∀ vars. f`).
+    pub fn forall(&mut self, f: &Func, vars: &[u32]) -> Func {
+        self.prepare_op();
+        let by_level = self.sort_by_level(vars);
+        let nf = self.not_raw(f.id());
+        let mut memo = HashMap::new();
+        let e = self.exists_rec(nf, &by_level, &mut memo);
+        let r = self.not_raw(e);
+        self.protect(r)
+    }
+
+    fn sort_by_level(&mut self, vars: &[u32]) -> Vec<u32> {
+        for &v in vars {
+            self.ensure_var(v);
+        }
+        let mut sorted = vars.to_vec();
+        sorted.sort_by_key(|&v| self.level(v));
+        sorted
+    }
+
+    /// `vars` is sorted by level, root-most first.
     fn exists_rec(
         &mut self,
         f: NodeId,
@@ -103,8 +166,9 @@ impl Bdd {
         if n.var == TERMINAL_VAR {
             return f;
         }
-        // Drop quantified variables above the node's top variable.
-        let pos = vars.partition_point(|&v| v < n.var);
+        // Drop quantified variables above the node's top level.
+        let nl = self.level(n.var);
+        let pos = vars.partition_point(|&v| self.level(v) < nl);
         let vars = &vars[pos..];
         if vars.is_empty() {
             return f;
@@ -118,7 +182,7 @@ impl Bdd {
         let lo = self.exists_rec(n.lo, vars, memo);
         let hi = self.exists_rec(n.hi, vars, memo);
         let r = if vars.first() == Some(&n.var) {
-            self.or(lo, hi)
+            self.or_raw(lo, hi)
         } else {
             self.mk(n.var, lo, hi)
         };
@@ -126,24 +190,21 @@ impl Bdd {
         r
     }
 
-    /// Universal quantification (`∀ vars. f`).
-    pub fn forall(&mut self, f: NodeId, vars: &[u32]) -> NodeId {
-        let nf = self.not(f);
-        let e = self.exists(nf, vars);
-        self.not(e)
-    }
-
-    /// Renames variables through a *strictly increasing-compatible*
-    /// map (i.e. `a < b ⟹ map(a) < map(b)` on the variables actually
-    /// occurring in `f`), preserving the ordering invariant.
+    /// Renames variables through a map that is *strictly increasing by
+    /// level* on the variables actually occurring in `f` (i.e. if `a`
+    /// sits above `b` then `map(a)` must sit above `map(b)`),
+    /// preserving the ordering invariant. Unregistered target
+    /// variables are appended at the bottom of the order.
     ///
     /// # Panics
     ///
     /// Panics (debug assertion) if the map is not monotone on the
     /// encountered variables.
-    pub fn rename_monotone(&mut self, f: NodeId, map: &dyn Fn(u32) -> u32) -> NodeId {
+    pub fn rename_monotone(&mut self, f: &Func, map: &dyn Fn(u32) -> u32) -> Func {
+        self.prepare_op();
         let mut memo = HashMap::new();
-        self.rename_rec(f, map, &mut memo)
+        let r = self.rename_rec(f.id(), map, &mut memo);
+        self.protect(r)
     }
 
     fn rename_rec(
@@ -167,8 +228,9 @@ impl Bdd {
             return f;
         }
         let nv = map(n.var);
+        self.ensure_var(nv);
         debug_assert!(
-            self.node(lo).var > nv && self.node(hi).var > nv,
+            self.node_level(lo) > self.level(nv) && self.node_level(hi) > self.level(nv),
             "rename map must be monotone"
         );
         let r = self.mk(nv, lo, hi);
@@ -177,8 +239,8 @@ impl Bdd {
     }
 
     /// Evaluates `f` under a total assignment.
-    pub fn eval(&self, f: NodeId, assignment: &dyn Fn(u32) -> bool) -> bool {
-        let mut cur = f;
+    pub fn eval(&self, f: &Func, assignment: &dyn Fn(u32) -> bool) -> bool {
+        let mut cur = f.id();
         loop {
             match cur {
                 NodeId::FALSE => return false,
@@ -192,22 +254,37 @@ impl Bdd {
     }
 
     /// Number of satisfying assignments over `num_vars` variables
-    /// `0..num_vars` (as `f64`; exact for counts below 2⁵³).
+    /// `0..num_vars` (as `f64`; exact for counts below 2⁵³, and
+    /// independent of the current variable order).
     ///
     /// # Panics
     ///
     /// Panics (debug assertion) if `f` tests a variable `≥ num_vars`.
-    pub fn sat_count(&self, f: NodeId, num_vars: u32) -> f64 {
-        // c(f) = models of f over variables var(f)..num_vars-1, with
-        // var(terminal) treated as num_vars.
-        fn effective_var(bdd: &Bdd, f: NodeId, num_vars: u32) -> u32 {
+    pub fn sat_count(&self, f: &Func, num_vars: u32) -> f64 {
+        // Rank the counting variables by their current level so gaps
+        // are measured along the order actually used in the diagram.
+        let mut by_level: Vec<u32> = (0..num_vars).collect();
+        by_level.sort_by_key(|&v| self.level_of.get(v as usize).copied().unwrap_or(u32::MAX));
+        let mut rank = vec![0u32; num_vars as usize];
+        for (i, &v) in by_level.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        // c(f) = models of f over the ranks rank(var(f))..num_vars-1,
+        // with rank(terminal) treated as num_vars.
+        fn effective_rank(bdd: &Bdd, f: NodeId, rank: &[u32], num_vars: u32) -> u32 {
             if f.is_terminal() {
                 num_vars
             } else {
-                bdd.node(f).var
+                rank[bdd.node(f).var as usize]
             }
         }
-        fn rec(bdd: &Bdd, f: NodeId, num_vars: u32, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        fn rec(
+            bdd: &Bdd,
+            f: NodeId,
+            rank: &[u32],
+            num_vars: u32,
+            memo: &mut HashMap<NodeId, f64>,
+        ) -> f64 {
             match f {
                 NodeId::FALSE => 0.0,
                 NodeId::TRUE => 1.0,
@@ -217,29 +294,32 @@ impl Bdd {
                     }
                     let n = bdd.node(f);
                     debug_assert!(n.var < num_vars, "variable outside the counting range");
-                    let lo_gap = effective_var(bdd, n.lo, num_vars) - n.var - 1;
-                    let hi_gap = effective_var(bdd, n.hi, num_vars) - n.var - 1;
-                    let c = rec(bdd, n.lo, num_vars, memo) * 2f64.powi(lo_gap as i32)
-                        + rec(bdd, n.hi, num_vars, memo) * 2f64.powi(hi_gap as i32);
+                    let here = rank[n.var as usize];
+                    let lo_gap = effective_rank(bdd, n.lo, rank, num_vars) - here - 1;
+                    let hi_gap = effective_rank(bdd, n.hi, rank, num_vars) - here - 1;
+                    let c = rec(bdd, n.lo, rank, num_vars, memo) * 2f64.powi(lo_gap as i32)
+                        + rec(bdd, n.hi, rank, num_vars, memo) * 2f64.powi(hi_gap as i32);
                     memo.insert(f, c);
                     c
                 }
             }
         }
         let mut memo = HashMap::new();
-        let root_gap = effective_var(self, f, num_vars);
-        rec(self, f, num_vars, &mut memo) * 2f64.powi(root_gap as i32)
+        let root_gap = effective_rank(self, f.id(), &rank, num_vars);
+        rec(self, f.id(), &rank, num_vars, &mut memo) * 2f64.powi(root_gap as i32)
     }
 
     /// One satisfying assignment as `(var, value)` pairs for the
     /// variables on the chosen path (unlisted variables are don't-
-    /// cares), or `None` if unsatisfiable.
-    pub fn any_sat(&self, f: NodeId) -> Option<Vec<(u32, bool)>> {
-        if f == NodeId::FALSE {
+    /// cares), or `None` if unsatisfiable. The path depends on the
+    /// current variable order; for an order-independent witness use
+    /// [`Bdd::first_sat`].
+    pub fn any_sat(&self, f: &Func) -> Option<Vec<(u32, bool)>> {
+        if f.is_false() {
             return None;
         }
         let mut path = Vec::new();
-        let mut cur = f;
+        let mut cur = f.id();
         while cur != NodeId::TRUE {
             let n = self.node(cur);
             if n.hi != NodeId::FALSE {
@@ -252,6 +332,43 @@ impl Bdd {
         }
         Some(path)
     }
+
+    /// The lexicographically smallest satisfying *total* assignment
+    /// over variables `0..num_vars` (preferring `false`, lowest
+    /// variable index first), or `None` if unsatisfiable.
+    ///
+    /// Unlike [`Bdd::any_sat`] the result is canonical: it depends
+    /// only on the function, not on the current variable order — which
+    /// is what makes witnesses reproducible across GC and reordering
+    /// configurations. Returns `None` if the manager is (or becomes)
+    /// interrupted.
+    pub fn first_sat(&mut self, f: &Func, num_vars: u32) -> Option<Vec<bool>> {
+        self.prepare_op();
+        if f.is_false() || self.interrupt().is_some() {
+            return None;
+        }
+        let mut cur = f.id();
+        let mut bits = Vec::with_capacity(num_vars as usize);
+        for v in 0..num_vars {
+            self.ensure_var(v);
+            let lvl = self.level(v);
+            let mut memo = HashMap::new();
+            let f0 = self.restrict_rec(cur, v, lvl, false, &mut memo);
+            if f0 != NodeId::FALSE {
+                bits.push(false);
+                cur = f0;
+            } else {
+                let mut memo = HashMap::new();
+                cur = self.restrict_rec(cur, v, lvl, true, &mut memo);
+                bits.push(true);
+            }
+        }
+        if self.interrupt().is_some() {
+            return None;
+        }
+        debug_assert_eq!(cur, NodeId::TRUE, "first_sat left residual variables");
+        Some(bits)
+    }
 }
 
 #[cfg(test)]
@@ -263,18 +380,18 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let and = m.and(x, y);
-        let or = m.or(x, y);
-        let xor = m.xor(x, y);
-        let iff = m.iff(x, y);
-        let imp = m.implies(x, y);
+        let and = m.and(&x, &y);
+        let or = m.or(&x, &y);
+        let xor = m.xor(&x, &y);
+        let iff = m.iff(&x, &y);
+        let imp = m.implies(&x, &y);
         for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
             let env = |v: u32| if v == 0 { a } else { b };
-            assert_eq!(m.eval(and, &env), a && b);
-            assert_eq!(m.eval(or, &env), a || b);
-            assert_eq!(m.eval(xor, &env), a ^ b);
-            assert_eq!(m.eval(iff, &env), a == b);
-            assert_eq!(m.eval(imp, &env), !a || b);
+            assert_eq!(m.eval(&and, &env), a && b);
+            assert_eq!(m.eval(&or, &env), a || b);
+            assert_eq!(m.eval(&xor, &env), a ^ b);
+            assert_eq!(m.eval(&iff, &env), a == b);
+            assert_eq!(m.eval(&imp, &env), !a || b);
         }
     }
 
@@ -283,13 +400,15 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let and = m.and(x, y);
+        let and = m.and(&x, &y);
         // ∃x. x∧y = y ; ∀x. x∧y = ⊥ ; ∃x∃y. x∧y = ⊤.
-        assert_eq!(m.exists(and, &[0]), y);
-        assert_eq!(m.forall(and, &[0]), NodeId::FALSE);
-        assert_eq!(m.exists(and, &[0, 1]), NodeId::TRUE);
-        let or = m.or(x, y);
-        assert_eq!(m.forall(or, &[0]), y);
+        assert_eq!(m.exists(&and, &[0]), y);
+        let fa = m.forall(&and, &[0]);
+        assert!(fa.is_false());
+        let both = m.exists(&and, &[0, 1]);
+        assert!(both.is_true());
+        let or = m.or(&x, &y);
+        assert_eq!(m.forall(&or, &[0]), y);
     }
 
     #[test]
@@ -297,12 +416,12 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let f = m.xor(x, y);
-        let f1 = m.restrict(f, 0, true);
-        let ny = m.not(y);
+        let f = m.xor(&x, &y);
+        let f1 = m.restrict(&f, 0, true);
+        let ny = m.not(&y);
         assert_eq!(f1, ny);
-        assert_eq!(m.restrict(f, 0, false), y);
-        assert_eq!(m.restrict(y, 0, true), y);
+        assert_eq!(m.restrict(&f, 0, false), y);
+        assert_eq!(m.restrict(&y, 0, true), y);
     }
 
     #[test]
@@ -310,11 +429,11 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(2);
-        let f = m.and(x, y);
-        let g = m.rename_monotone(f, &|v| v + 1);
+        let f = m.and(&x, &y);
+        let g = m.rename_monotone(&f, &|v| v + 1);
         let x1 = m.var(1);
         let y3 = m.var(3);
-        let expect = m.and(x1, y3);
+        let expect = m.and(&x1, &y3);
         assert_eq!(g, expect);
     }
 
@@ -324,15 +443,28 @@ mod tests {
         let x = m.var(0);
         let y = m.var(1);
         let z = m.var(2);
-        assert_eq!(m.sat_count(NodeId::TRUE, 3), 8.0);
-        assert_eq!(m.sat_count(NodeId::FALSE, 3), 0.0);
-        assert_eq!(m.sat_count(x, 3), 4.0);
-        let and = m.and(x, z); // skips variable 1
-        assert_eq!(m.sat_count(and, 3), 2.0);
-        let or3 = m.or_all([x, y, z]);
-        assert_eq!(m.sat_count(or3, 3), 7.0);
-        let xor = m.xor(y, z); // root at var 1
-        assert_eq!(m.sat_count(xor, 3), 4.0);
+        let t = m.constant(true);
+        let f = m.constant(false);
+        assert_eq!(m.sat_count(&t, 3), 8.0);
+        assert_eq!(m.sat_count(&f, 3), 0.0);
+        assert_eq!(m.sat_count(&x, 3), 4.0);
+        let and = m.and(&x, &z); // skips variable 1
+        assert_eq!(m.sat_count(&and, 3), 2.0);
+        let or3 = m.or_all([&x, &y, &z]);
+        assert_eq!(m.sat_count(&or3, 3), 7.0);
+        let xor = m.xor(&y, &z); // root at var 1
+        assert_eq!(m.sat_count(&xor, 3), 4.0);
+    }
+
+    #[test]
+    fn sat_count_is_order_independent() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let z = m.var(3);
+        let f = m.and(&x, &z);
+        assert_eq!(m.sat_count(&f, 4), 4.0);
+        m.reorder();
+        assert_eq!(m.sat_count(&f, 4), 4.0);
     }
 
     #[test]
@@ -340,11 +472,32 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let ny = m.nvar(1);
-        let f = m.and(x, ny);
-        let sat = m.any_sat(f).unwrap();
+        let f = m.and(&x, &ny);
+        let sat = m.any_sat(&f).expect("satisfiable");
         assert!(sat.contains(&(0, true)));
         assert!(sat.contains(&(1, false)));
-        assert_eq!(m.any_sat(NodeId::FALSE), None);
-        assert_eq!(m.any_sat(NodeId::TRUE), Some(vec![]));
+        let fls = m.constant(false);
+        let tru = m.constant(true);
+        assert_eq!(m.any_sat(&fls), None);
+        assert_eq!(m.any_sat(&tru), Some(vec![]));
+    }
+
+    #[test]
+    fn first_sat_is_lexicographically_minimal() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let ny = m.nvar(1);
+        let z = m.var(2);
+        let a = m.and(&x, &ny);
+        let f = m.or(&a, &z); // (x∧¬y) ∨ z
+                              // Smallest model: x=0, y=0, z=1.
+        assert_eq!(m.first_sat(&f, 3), Some(vec![false, false, true]));
+        // Canonical across reordering.
+        m.reorder();
+        assert_eq!(m.first_sat(&f, 3), Some(vec![false, false, true]));
+        let fls = m.constant(false);
+        assert_eq!(m.first_sat(&fls, 3), None);
+        let tru = m.constant(true);
+        assert_eq!(m.first_sat(&tru, 2), Some(vec![false, false]));
     }
 }

@@ -1,0 +1,403 @@
+//! Dynamic variable reordering via Rudell's sifting.
+//!
+//! The primitive is an in-place swap of two adjacent levels: every
+//! node of the upper variable `x` whose children test the lower
+//! variable `y` is rewritten, *at the same slot*, from
+//! `x ? (y ? f11 : f10) : (y ? f01 : f00)` to
+//! `y ? (x ? f11 : f01) : (x ? f10 : f00)`. Because each slot keeps
+//! denoting the same boolean function, outstanding
+//! [`Func`](crate::Func) handles remain valid across reordering.
+//!
+//! Sifting moves one variable *block* (a [`Bdd::group`] of adjacent
+//! variables, e.g. a signal's current/next-state pair) through the
+//! whole order, then parks it at the position that minimised the live
+//! node count. Blocks are sifted largest-first, with the classic 2×
+//! growth cut-off per direction.
+//!
+//! During a pass the manager keeps exact *internal* reference counts
+//! so nodes orphaned by a swap are freed eagerly — the live-node count
+//! steered by is real, not inflated by swap garbage. Like garbage
+//! collection, reordering runs only between operations, and polls the
+//! armed [`StopGuard`](petri::StopGuard) between swaps: if it fires,
+//! the pass stops after the current swap with the table fully
+//! consistent (just partially resorted).
+
+use std::mem;
+use std::sync::Arc;
+
+use crate::func::lock_roots;
+use crate::manager::{Bdd, Node, NodeId, FREE_VAR};
+
+/// Working state of one sifting pass: internal reference counts and
+/// per-variable node lists (lazy — entries are filtered against the
+/// node store, since swaps strand stale entries).
+struct Pass {
+    /// `rc[i]` = internal parents of node `i`, plus 1 if externally
+    /// rooted. Terminals start at 1 and are never freed.
+    rc: Vec<u32>,
+    /// Node slots last seen holding each variable.
+    var_nodes: Vec<Vec<u32>>,
+}
+
+impl Bdd {
+    /// Runs one sifting pass over all variable blocks, largest block
+    /// first. Also usable as an explicit optimisation point between
+    /// phases of a computation.
+    ///
+    /// A no-op while an interrupt is latched. If the armed guard fires
+    /// mid-pass, the pass stops early with the table consistent.
+    pub fn reorder(&mut self) {
+        if self.interrupt.is_some() || self.var_at.len() < 2 {
+            return;
+        }
+        // Sifting steers by live-node counts, so start garbage-free.
+        let Some(marks) = self.mark() else {
+            return;
+        };
+        self.sweep(&marks);
+        self.ite_cache.clear();
+        let mut pass = self.begin_pass();
+        let blocks = self.blocks();
+        let mut sized: Vec<(usize, u32)> = blocks
+            .iter()
+            .map(|b| (self.block_size(b, &pass), b[0]))
+            .collect();
+        sized.sort_by(|a, b| b.cmp(a));
+        for (_, leader) in sized {
+            if self.poll_guard().is_err() {
+                break;
+            }
+            self.sift_block(leader, &mut pass);
+        }
+        // Swaps free nodes in place; cached entries may mention them.
+        self.ite_cache.clear();
+        self.reorder_passes += 1;
+    }
+
+    /// Builds exact reference counts and per-variable node lists for a
+    /// garbage-free table.
+    fn begin_pass(&mut self) -> Pass {
+        let mut rc = vec![0u32; self.nodes.len()];
+        rc[0] = 1;
+        rc[1] = 1;
+        let mut var_nodes: Vec<Vec<u32>> = vec![Vec::new(); self.level_of.len()];
+        for (i, n) in self.nodes.iter().enumerate().skip(2) {
+            if n.var == FREE_VAR {
+                continue;
+            }
+            var_nodes[n.var as usize].push(i as u32);
+            rc[n.lo.0 as usize] += 1;
+            rc[n.hi.0 as usize] += 1;
+        }
+        let roots = Arc::clone(&self.roots);
+        lock_roots(&roots).for_each_root(|id| {
+            if let Some(c) = rc.get_mut(id as usize) {
+                *c += 1;
+            }
+        });
+        Pass { rc, var_nodes }
+    }
+
+    /// The current blocks, top level first: maximal runs of adjacent
+    /// variables sharing a group leader.
+    fn blocks(&self) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for &v in &self.var_at {
+            match out.last_mut() {
+                Some(b) if self.group_of[b[0] as usize] == self.group_of[v as usize] => b.push(v),
+                _ => out.push(vec![v]),
+            }
+        }
+        out
+    }
+
+    fn block_size(&self, block: &[u32], pass: &Pass) -> usize {
+        block
+            .iter()
+            .map(|&v| {
+                pass.var_nodes[v as usize]
+                    .iter()
+                    .filter(|&&id| self.nodes[id as usize].var == v)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Sifts one block through the order and parks it where the live
+    /// node count was smallest.
+    fn sift_block(&mut self, leader: u32, pass: &mut Pass) {
+        let mut blocks = self.blocks();
+        let nb = blocks.len();
+        let Some(mut cur) = blocks.iter().position(|b| b.contains(&leader)) else {
+            return;
+        };
+        if nb < 2 {
+            return;
+        }
+        let mut best_live = self.live_nodes();
+        let mut best_pos = cur;
+        // Down to the bottom…
+        while cur + 1 < nb {
+            if self.poll_guard().is_err() {
+                return;
+            }
+            self.swap_adjacent_blocks(&mut blocks, cur, pass);
+            cur += 1;
+            let live = self.live_nodes();
+            if live < best_live {
+                best_live = live;
+                best_pos = cur;
+            }
+            if live > best_live.saturating_mul(2) {
+                break;
+            }
+        }
+        // …up to the top…
+        while cur > 0 {
+            if self.poll_guard().is_err() {
+                return;
+            }
+            self.swap_adjacent_blocks(&mut blocks, cur - 1, pass);
+            cur -= 1;
+            let live = self.live_nodes();
+            if live < best_live {
+                best_live = live;
+                best_pos = cur;
+            }
+            if live > best_live.saturating_mul(2) {
+                break;
+            }
+        }
+        // …and back down to the best position seen (which is ≥ cur:
+        // every visited position is).
+        while cur < best_pos {
+            if self.poll_guard().is_err() {
+                return;
+            }
+            self.swap_adjacent_blocks(&mut blocks, cur, pass);
+            cur += 1;
+        }
+    }
+
+    /// Swaps the adjacent blocks at positions `i` and `i + 1` by
+    /// bubbling each variable of the lower block through the upper
+    /// block one level swap at a time.
+    fn swap_adjacent_blocks(&mut self, blocks: &mut [Vec<u32>], i: usize, pass: &mut Pass) {
+        let a: usize = blocks[..i].iter().map(Vec::len).sum();
+        let m = blocks[i].len();
+        let n = blocks[i + 1].len();
+        for k in 0..n {
+            for l in ((a + k)..(a + m + k)).rev() {
+                self.swap_levels(l, pass);
+            }
+        }
+        blocks.swap(i, i + 1);
+    }
+
+    /// The in-place adjacent-level swap. After the call the variable
+    /// previously at level `l + 1` sits at level `l` and vice versa;
+    /// every node slot keeps denoting the same function.
+    fn swap_levels(&mut self, l: usize, pass: &mut Pass) {
+        let x = self.var_at[l];
+        let y = self.var_at[l + 1];
+        let xs = mem::take(&mut pass.var_nodes[x as usize]);
+        let mut keep = Vec::with_capacity(xs.len());
+        for raw in xs {
+            let n = self.nodes[raw as usize];
+            if n.var != x {
+                continue; // stale entry: slot freed or rewritten
+            }
+            let (f0, f1) = (n.lo, n.hi);
+            let f0y = self.nodes[f0.0 as usize].var == y;
+            let f1y = self.nodes[f1.0 as usize].var == y;
+            if !f0y && !f1y {
+                // Independent of y: unaffected by the swap.
+                keep.push(raw);
+                continue;
+            }
+            self.unique.remove(&(x, f0, f1));
+            let (f00, f01) = if f0y {
+                let c = self.nodes[f0.0 as usize];
+                (c.lo, c.hi)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if f1y {
+                let c = self.nodes[f1.0 as usize];
+                (c.lo, c.hi)
+            } else {
+                (f1, f1)
+            };
+            // Build the new cofactors *before* releasing the old ones
+            // so shared nodes never transiently hit refcount zero.
+            let new_lo = self.swap_mk(x, f00, f10, pass);
+            let new_hi = self.swap_mk(x, f01, f11, pass);
+            debug_assert_ne!(new_lo, new_hi, "swap produced a redundant test");
+            self.nodes[raw as usize] = Node {
+                var: y,
+                lo: new_lo,
+                hi: new_hi,
+            };
+            self.unique.insert((y, new_lo, new_hi), NodeId(raw));
+            pass.var_nodes[y as usize].push(raw);
+            self.swap_deref(f0, pass);
+            self.swap_deref(f1, pass);
+        }
+        pass.var_nodes[x as usize].extend(keep);
+        self.var_at[l] = y;
+        self.var_at[l + 1] = x;
+        self.level_of[x as usize] = (l + 1) as u32;
+        self.level_of[y as usize] = l as u32;
+    }
+
+    /// Hash-consed constructor used inside a level swap: bypasses cap
+    /// and guard polling (a half-applied swap is unrecoverable) and
+    /// maintains the pass reference counts.
+    fn swap_mk(&mut self, var: u32, lo: NodeId, hi: NodeId, pass: &mut Pass) -> NodeId {
+        if lo == hi {
+            pass.rc[lo.0 as usize] += 1;
+            return lo;
+        }
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            pass.rc[id.0 as usize] += 1;
+            return id;
+        }
+        let id = self.alloc(var, lo, hi);
+        let i = id.0 as usize;
+        if i >= pass.rc.len() {
+            pass.rc.resize(i + 1, 0);
+        }
+        pass.rc[i] = 1;
+        pass.rc[lo.0 as usize] += 1;
+        pass.rc[hi.0 as usize] += 1;
+        pass.var_nodes[var as usize].push(id.0);
+        id
+    }
+
+    /// Drops one reference to `id`, freeing it (and cascading into its
+    /// children) when the count reaches zero. Recursion depth is
+    /// bounded by the number of levels.
+    fn swap_deref(&mut self, id: NodeId, pass: &mut Pass) {
+        let i = id.0 as usize;
+        pass.rc[i] = pass.rc[i].saturating_sub(1);
+        if pass.rc[i] > 0 || id.is_terminal() {
+            return;
+        }
+        let n = self.nodes[i];
+        self.release(id);
+        self.swap_deref(n.lo, pass);
+        self.swap_deref(n.hi, pass);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Func;
+
+    use super::*;
+
+    /// f = (x0∧x3) ∨ (x1∧x4) ∨ (x2∧x5): quadratic in the numeric
+    /// order, linear when the pairs are adjacent.
+    fn pairs_function(m: &mut Bdd) -> Func {
+        let mut acc = m.constant(false);
+        for i in 0..3 {
+            let a = m.var(i);
+            let b = m.var(i + 3);
+            let both = m.and(&a, &b);
+            acc = m.or(&acc, &both);
+        }
+        acc
+    }
+
+    fn eval_all(m: &Bdd, f: &Func, vars: u32) -> Vec<bool> {
+        (0..1u32 << vars)
+            .map(|bits| m.eval(f, &|v| bits & (1 << v) != 0))
+            .collect()
+    }
+
+    #[test]
+    fn sifting_shrinks_a_bad_order_and_preserves_semantics() {
+        let mut m = Bdd::new();
+        let f = pairs_function(&mut m);
+        let truth = eval_all(&m, &f, 6);
+        m.collect_garbage();
+        let before = m.num_nodes();
+        m.reorder();
+        assert!(m.stats().reorder_passes == 1);
+        assert!(
+            m.num_nodes() < before,
+            "sifting should shrink {before} nodes, got {}",
+            m.num_nodes()
+        );
+        assert_eq!(eval_all(&m, &f, 6), truth);
+        // The manager stays fully usable after the pass.
+        let x0 = m.var(0);
+        let g = m.and(&f, &x0);
+        assert!(m.eval(&g, &|v| [0, 3].contains(&v)));
+    }
+
+    #[test]
+    fn grouped_pairs_stay_adjacent() {
+        let mut m = Bdd::new();
+        for i in 0..3 {
+            m.ensure_var(2 * i);
+            m.ensure_var(2 * i + 1);
+            m.group(&[2 * i, 2 * i + 1]);
+        }
+        // Entangle the pairs so sifting has something to move.
+        let mut acc = m.constant(false);
+        for i in 0..3 {
+            let a = m.var(2 * ((i + 1) % 3));
+            let b = m.var(2 * i + 1);
+            let both = m.and(&a, &b);
+            acc = m.or(&acc, &both);
+        }
+        let truth = eval_all(&m, &acc, 6);
+        m.reorder();
+        let order = m.current_order();
+        for i in 0..3u32 {
+            let cur = order.iter().position(|&v| v == 2 * i).expect("present");
+            let nxt = order.iter().position(|&v| v == 2 * i + 1).expect("present");
+            assert_eq!(nxt, cur + 1, "pair {i} split in {order:?}");
+        }
+        assert_eq!(eval_all(&m, &acc, 6), truth);
+    }
+
+    #[test]
+    fn auto_reorder_triggers_and_keeps_semantics() {
+        let mut m = Bdd::new();
+        m.set_auto_reorder(Some(16));
+        let f = pairs_function(&mut m);
+        // Enough operations to cross the threshold at an entry point.
+        let g = m.not(&f);
+        let h = m.or(&f, &g);
+        assert!(h.is_true());
+        assert!(m.stats().reorder_passes >= 1);
+        let truth = eval_all(&m, &f, 6);
+        let mut fresh = Bdd::new();
+        let expect = pairs_function(&mut fresh);
+        assert_eq!(truth, eval_all(&fresh, &expect, 6));
+    }
+
+    #[test]
+    fn reorder_is_interruptible_and_leaves_a_consistent_table() {
+        use petri::StopGuard;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let mut m = Bdd::new();
+        let f = pairs_function(&mut m);
+        let truth = eval_all(&m, &f, 6);
+        let cancel = Arc::new(AtomicBool::new(true));
+        m.set_guard(StopGuard::new(Some(Arc::clone(&cancel)), None));
+        m.reorder();
+        // The pass aborted (guard was already cancelled) but the
+        // table must still be consistent.
+        m.set_guard(StopGuard::unlimited());
+        m.clear_interrupt();
+        cancel.store(false, Ordering::SeqCst);
+        assert_eq!(eval_all(&m, &f, 6), truth);
+        m.reorder();
+        assert_eq!(eval_all(&m, &f, 6), truth);
+    }
+}

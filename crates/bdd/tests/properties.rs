@@ -1,7 +1,8 @@
 //! Property-based tests of the BDD package against a brute-force
-//! truth-table oracle.
+//! truth-table oracle — including differential checks that forced
+//! garbage collection and sifting never change function semantics.
 
-use bdd::{Bdd, NodeId};
+use bdd::{Bdd, Func};
 use proptest::prelude::*;
 
 /// A random boolean expression over variables 0..NVARS.
@@ -34,28 +35,28 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     })
 }
 
-fn build(m: &mut Bdd, e: &Expr) -> NodeId {
+fn build(m: &mut Bdd, e: &Expr) -> Func {
     match e {
         Expr::Var(v) => m.var(*v),
         Expr::Not(a) => {
             let fa = build(m, a);
-            m.not(fa)
+            m.not(&fa)
         }
         Expr::And(a, b) => {
             let (fa, fb) = (build(m, a), build(m, b));
-            m.and(fa, fb)
+            m.and(&fa, &fb)
         }
         Expr::Or(a, b) => {
             let (fa, fb) = (build(m, a), build(m, b));
-            m.or(fa, fb)
+            m.or(&fa, &fb)
         }
         Expr::Xor(a, b) => {
             let (fa, fb) = (build(m, a), build(m, b));
-            m.xor(fa, fb)
+            m.xor(&fa, &fb)
         }
         Expr::Ite(a, b, c) => {
             let (fa, fb, fc) = (build(m, a), build(m, b), build(m, c));
-            m.ite(fa, fb, fc)
+            m.ite(&fa, &fb, &fc)
         }
     }
 }
@@ -86,7 +87,7 @@ proptest! {
         let f = build(&mut m, &e);
         for env in 0..(1u32 << NVARS) {
             let bit = |v: u32| env & (1 << v) != 0;
-            prop_assert_eq!(m.eval(f, &bit), truth(&e, env));
+            prop_assert_eq!(m.eval(&f, &bit), truth(&e, env));
         }
     }
 
@@ -95,15 +96,15 @@ proptest! {
         let mut m = Bdd::new();
         let f = build(&mut m, &e);
         let expected = (0..(1u32 << NVARS)).filter(|&env| truth(&e, env)).count();
-        prop_assert_eq!(m.sat_count(f, NVARS), expected as f64);
+        prop_assert_eq!(m.sat_count(&f, NVARS), expected as f64);
     }
 
     #[test]
     fn any_sat_is_a_model(e in arb_expr()) {
         let mut m = Bdd::new();
         let f = build(&mut m, &e);
-        match m.any_sat(f) {
-            None => prop_assert_eq!(f, NodeId::FALSE),
+        match m.any_sat(&f) {
+            None => prop_assert!(f.is_false()),
             Some(path) => {
                 // Fill don't-cares with false.
                 let env: u32 = path
@@ -117,38 +118,87 @@ proptest! {
     }
 
     #[test]
+    fn first_sat_is_the_minimal_model(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        // Lexicographic order reading variable 0 first: v0 is the
+        // most significant position.
+        let lex_key = |env: u32| (0..NVARS).fold(0u32, |k, v| (k << 1) | (env >> v & 1));
+        let minimal = (0..(1u32 << NVARS))
+            .filter(|&env| truth(&e, env))
+            .min_by_key(|&env| lex_key(env));
+        match m.first_sat(&f, NVARS) {
+            None => prop_assert_eq!(minimal, None),
+            Some(bits) => {
+                let env: u32 = bits
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(v, _)| 1u32 << v)
+                    .sum();
+                prop_assert_eq!(Some(env), minimal, "first_sat must be lexicographically minimal");
+            }
+        }
+    }
+
+    #[test]
     fn quantification_laws(e in arb_expr(), v in 0..NVARS) {
         let mut m = Bdd::new();
         let f = build(&mut m, &e);
         // ∃v.f = f[v:=0] ∨ f[v:=1], ∀v.f = f[v:=0] ∧ f[v:=1].
-        let f0 = m.restrict(f, v, false);
-        let f1 = m.restrict(f, v, true);
-        let or = m.or(f0, f1);
-        let and = m.and(f0, f1);
-        prop_assert_eq!(m.exists(f, &[v]), or);
-        prop_assert_eq!(m.forall(f, &[v]), and);
+        let f0 = m.restrict(&f, v, false);
+        let f1 = m.restrict(&f, v, true);
+        let or = m.or(&f0, &f1);
+        let and = m.and(&f0, &f1);
+        prop_assert_eq!(m.exists(&f, &[v]), or);
+        prop_assert_eq!(m.forall(&f, &[v]), and);
     }
 
     #[test]
     fn double_negation_and_canonicity(e in arb_expr()) {
         let mut m = Bdd::new();
         let f = build(&mut m, &e);
-        let nf = m.not(f);
-        prop_assert_eq!(m.not(nf), f, "hash-consing gives canonical nodes");
-        let self_xor = m.xor(f, f);
-        prop_assert_eq!(self_xor, NodeId::FALSE);
-        let self_iff = m.iff(f, f);
-        prop_assert_eq!(self_iff, NodeId::TRUE);
+        let nf = m.not(&f);
+        prop_assert_eq!(m.not(&nf), f.clone(), "hash-consing gives canonical nodes");
+        let self_xor = m.xor(&f, &f);
+        prop_assert!(self_xor.is_false());
+        let self_iff = m.iff(&f, &f);
+        prop_assert!(self_iff.is_true());
     }
 
     #[test]
     fn rename_shift_preserves_semantics(e in arb_expr(), shift in 1u32..4) {
         let mut m = Bdd::new();
         let f = build(&mut m, &e);
-        let g = m.rename_monotone(f, &|v| v + shift);
+        let g = m.rename_monotone(&f, &|v| v + shift);
         for env in 0..(1u32 << NVARS) {
             let shifted = |v: u32| v >= shift && (env & (1 << (v - shift))) != 0;
-            prop_assert_eq!(m.eval(g, &shifted), truth(&e, env));
+            prop_assert_eq!(m.eval(&g, &shifted), truth(&e, env));
         }
+    }
+
+    #[test]
+    fn forced_gc_is_semantically_invisible(e in arb_expr()) {
+        let mut m = Bdd::new();
+        m.set_gc_every(Some(4));
+        let f = build(&mut m, &e);
+        for env in 0..(1u32 << NVARS) {
+            let bit = |v: u32| env & (1 << v) != 0;
+            prop_assert_eq!(m.eval(&f, &bit), truth(&e, env));
+        }
+        prop_assert_eq!(m.first_sat(&f, NVARS).is_none(), f.is_false());
+    }
+
+    #[test]
+    fn reordering_is_semantically_invisible(e in arb_expr()) {
+        let mut m = Bdd::new();
+        let f = build(&mut m, &e);
+        m.reorder();
+        for env in 0..(1u32 << NVARS) {
+            let bit = |v: u32| env & (1 << v) != 0;
+            prop_assert_eq!(m.eval(&f, &bit), truth(&e, env));
+        }
+        let expected = (0..(1u32 << NVARS)).filter(|&env| truth(&e, env)).count();
+        prop_assert_eq!(m.sat_count(&f, NVARS), expected as f64);
     }
 }

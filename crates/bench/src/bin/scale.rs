@@ -6,7 +6,8 @@
 //!
 //! Usage: `cargo run --release -p bench-harness --bin scale
 //! [-- --max N] [-- --json PATH] [-- --budget-ms MS]
-//! [-- --server-bench] [-- --workers N] [-- --cache-bench]`
+//! [-- --budget-bdd-nodes N] [-- --server-bench] [-- --workers N]
+//! [-- --cache-bench]`
 //!
 //! With `--budget-ms` each point's unfolding + IP run gets a
 //! wall-clock allowance; aborted points are recorded, not fatal.
@@ -25,14 +26,21 @@
 //! reused). The warm run of a completed width performs *zero*
 //! unfolding work (`warm_events_built = 0`); the comparison lands in
 //! the JSON artifact under `"cache_bench"`.
+//!
+//! With `--counterflow` the sweep also runs the BDD
+//! memory-management comparison (symbolic CSC with GC + auto-reorder
+//! on vs off, peak live nodes and gc/reorder counters), recorded
+//! under `"bdd_bench"`. `--budget-bdd-nodes` caps the live nodes of
+//! those runs — under a cap the managed run may complete where the
+//! unmanaged one aborts.
 
 use std::env;
 use std::fs;
 use std::time::Duration;
 
 use bench_harness::{
-    run_cache_bench, run_scale, run_scale_counterflow, run_server_bench, scale_artifact_json,
-    Budget,
+    run_bdd_bench, run_cache_bench, run_scale, run_scale_counterflow, run_server_bench,
+    scale_artifact_json, Budget,
 };
 
 fn main() {
@@ -47,7 +55,7 @@ fn main() {
         .find(|w| w[0] == "--json")
         .map(|w| w[1].clone());
     let counterflow = args.iter().any(|a| a == "--counterflow");
-    let budget = match args
+    let mut budget = match args
         .windows(2)
         .find(|w| w[0] == "--budget-ms")
         .map(|w| w[1].parse::<u64>())
@@ -59,6 +67,18 @@ fn main() {
         }
         None => Budget::unlimited(),
     };
+    match args
+        .windows(2)
+        .find(|w| w[0] == "--budget-bdd-nodes")
+        .map(|w| w[1].parse::<usize>())
+    {
+        Some(Ok(cap)) => budget = budget.with_max_bdd_nodes(cap),
+        Some(Err(_)) => {
+            eprintln!("--budget-bdd-nodes expects a number of live BDD nodes");
+            std::process::exit(2);
+        }
+        None => {}
+    }
 
     let server_bench = args.iter().any(|a| a == "--server-bench");
     let workers: usize = args
@@ -176,8 +196,52 @@ fn main() {
         Vec::new()
     };
 
+    // The counterflow sweep doubles as the BDD memory-management
+    // benchmark: the symbolic engine's peak live nodes with GC +
+    // auto-reorder on vs off, verdicts and witnesses identical.
+    let bdd_points = if counterflow {
+        let bb = run_bdd_bench(&stages, 2, &budget);
+        println!();
+        println!(
+            "{:>3} | {:>12} {:>14} | {:>9} | {:>7} {:>8} | outcome",
+            "n", "managed-peak", "unmanaged-peak", "reduction", "gc-runs", "reorders"
+        );
+        println!("{}", "-".repeat(80));
+        let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
+        for p in &bb {
+            println!(
+                "{:>3} | {:>12} {:>14} | {:>8} | {:>7} {:>8} | {}{}",
+                p.n,
+                opt(p.managed_peak),
+                opt(p.unmanaged_peak),
+                p.reduction
+                    .map(|r| format!("{r:.2}x"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                p.gc_runs,
+                p.reorder_passes,
+                if p.managed_outcome == "completed" && p.unmanaged_outcome == "completed" {
+                    "completed"
+                } else {
+                    "aborted"
+                },
+                if p.verdicts_ok {
+                    ""
+                } else {
+                    " VERDICT MISMATCH"
+                },
+            );
+        }
+        bb
+    } else {
+        Vec::new()
+    };
+
     if let Some(path) = json_path {
-        fs::write(&path, scale_artifact_json(&points, &sb_points, &cb_points)).expect("write json");
+        fs::write(
+            &path,
+            scale_artifact_json(&points, &sb_points, &cb_points, &bdd_points),
+        )
+        .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -27,13 +27,13 @@
 use std::time::Instant;
 
 pub use csc_core::Budget;
-use csc_core::{check_property_with, CheckOutcome, Checker, CheckerOptions, Engine, Property};
+use csc_core::{CheckOutcome, CheckRequest, Checker, CheckerOptions, Engine, Property};
 use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg::gen::duplex::{dup_4ph, dup_mod};
 use stg::gen::pipeline::muller_pipeline;
 use stg::gen::ring::{eager_ring, lazy_ring};
 use stg::Stg;
-use symbolic::{SymbolicBudget, SymbolicChecker};
+use symbolic::{SymbolicBudget, SymbolicChecker, SymbolicOptions};
 
 /// A named benchmark instance.
 pub struct BenchModel {
@@ -564,9 +564,12 @@ pub fn run_cache_bench(widths: &[usize], depth: usize, budget: &Budget) -> Vec<C
             let run = |label: &str| {
                 let (artifacts, _) = cache.get_or_insert(&stg);
                 let t0 = Instant::now();
-                let run =
-                    check_property_with(&artifacts, Property::Csc, Engine::UnfoldingIlp, budget)
-                        .unwrap_or_else(|e| panic!("cf({w},{depth}) {label} check failed: {e}"));
+                let run = CheckRequest::new(&stg, Property::Csc)
+                    .engine(Engine::UnfoldingIlp)
+                    .budget(budget.clone())
+                    .artifacts(&artifacts)
+                    .run()
+                    .unwrap_or_else(|e| panic!("cf({w},{depth}) {label} check failed: {e}"));
                 (t0.elapsed().as_secs_f64() * 1e3, run)
             };
             let (cold_ms, cold) = run("cold");
@@ -587,6 +590,106 @@ pub fn run_cache_bench(widths: &[usize], depth: usize, budget: &Budget) -> Vec<C
                 warm_events_built: warm.report.prefix_events_built,
                 verdicts_ok: cold.verdict.holds() == Some(true)
                     && warm.verdict.holds() == Some(true),
+            }
+        })
+        .collect()
+}
+
+/// One width of the BDD memory-management comparison: the symbolic
+/// CSC analysis of a counterflow controller run twice — once with the
+/// managed BDD engine (mark-and-sweep GC plus automatic sifting
+/// reordering, the default) and once with both knobs off — so the
+/// peak-live-node reduction bought by the manager is measurable.
+#[derive(Debug, Clone)]
+pub struct BddBenchPoint {
+    /// Counterflow width.
+    pub n: usize,
+    /// Reachable states (sanity: both runs must agree; `None` when
+    /// the managed run aborted).
+    pub states: Option<f64>,
+    /// Peak live BDD nodes with GC + auto-reorder on (`None` on
+    /// abort).
+    pub managed_peak: Option<usize>,
+    /// Peak live BDD nodes with GC + auto-reorder off (`None` on
+    /// abort).
+    pub unmanaged_peak: Option<usize>,
+    /// `unmanaged_peak / managed_peak` (> 1 means the manager paid
+    /// off); `None` unless both runs completed.
+    pub reduction: Option<f64>,
+    /// Mark-and-sweep collections of the managed run.
+    pub gc_runs: usize,
+    /// Sifting passes of the managed run.
+    pub reorder_passes: usize,
+    /// `"completed"`, or `"aborted: <reason>"` for the managed run.
+    pub managed_outcome: String,
+    /// `"completed"`, or `"aborted: <reason>"` for the unmanaged run.
+    pub unmanaged_outcome: String,
+    /// Whether both completed runs agreed on state count, conflict
+    /// counts and (absence of) witnesses. Counterflow is
+    /// conflict-free, so both witness decoders must return `None`.
+    pub verdicts_ok: bool,
+}
+
+/// Runs the BDD memory-management comparison over counterflow
+/// `widths` at fixed `depth`: each width's symbolic CSC analysis is
+/// run with the managed engine (GC + auto-reorder) and with both off,
+/// under the same `budget` (fresh guard per run). Verdicts and
+/// witnesses must be identical — the manager changes memory
+/// behaviour, never answers.
+pub fn run_bdd_bench(widths: &[usize], depth: usize, budget: &Budget) -> Vec<BddBenchPoint> {
+    widths
+        .iter()
+        .map(|&w| {
+            let stg = counterflow_sym(w, depth);
+            let run = |options: SymbolicOptions| {
+                let mut checker = SymbolicChecker::with_options(&stg, options);
+                let sym_budget = SymbolicBudget {
+                    guard: budget.guard(),
+                    max_nodes: budget.max_bdd_nodes,
+                };
+                let report = checker.try_analyse(&sym_budget);
+                let usc_witness = checker.usc_witness();
+                let csc_witness = checker.csc_witness();
+                let stats = checker.bdd_stats();
+                (report, usc_witness, csc_witness, stats)
+            };
+            let (m_report, m_usc, m_csc, m_stats) = run(SymbolicOptions::default());
+            let (u_report, u_usc, u_csc, _u_stats) = run(SymbolicOptions {
+                gc: false,
+                auto_reorder: false,
+                ..SymbolicOptions::default()
+            });
+            let outcome = |r: &Result<symbolic::SymbolicReport, symbolic::SymbolicStop>| match r {
+                Ok(_) => "completed".to_owned(),
+                Err(stop) => format!("aborted: {stop}"),
+            };
+            let verdicts_ok = match (&m_report, &u_report) {
+                (Ok(m), Ok(u)) => {
+                    m.num_states == u.num_states
+                        && m.usc_pairs == u.usc_pairs
+                        && m.csc_pairs == u.csc_pairs
+                        && m_usc == u_usc
+                        && m_csc == u_csc
+                }
+                // An aborted run is inconclusive, not a mismatch.
+                _ => true,
+            };
+            let managed_peak = m_report.as_ref().ok().map(|r| r.bdd_nodes);
+            let unmanaged_peak = u_report.as_ref().ok().map(|r| r.bdd_nodes);
+            BddBenchPoint {
+                n: w,
+                states: m_report.as_ref().ok().map(|r| r.num_states),
+                managed_peak,
+                unmanaged_peak,
+                reduction: match (managed_peak, unmanaged_peak) {
+                    (Some(m), Some(u)) if m > 0 => Some(u as f64 / m as f64),
+                    _ => None,
+                },
+                gc_runs: m_stats.gc_runs,
+                reorder_passes: m_stats.reorder_passes,
+                managed_outcome: outcome(&m_report),
+                unmanaged_outcome: outcome(&u_report),
+                verdicts_ok,
             }
         })
         .collect()
@@ -832,14 +935,38 @@ pub fn cache_bench_to_json(points: &[CacheBenchPoint]) -> String {
     json::array(&objects)
 }
 
+/// Serialises BDD-bench points as a pretty-printed JSON array.
+pub fn bdd_bench_to_json(points: &[BddBenchPoint]) -> String {
+    let objects: Vec<json::Object> = points
+        .iter()
+        .map(|p| {
+            let mut o = json::Object::new();
+            o.number("n", p.n)
+                .opt_float("states", p.states)
+                .opt_number("managed_peak", p.managed_peak)
+                .opt_number("unmanaged_peak", p.unmanaged_peak)
+                .opt_float("reduction", p.reduction)
+                .number("gc_runs", p.gc_runs)
+                .number("reorder_passes", p.reorder_passes)
+                .string("managed_outcome", &p.managed_outcome)
+                .string("unmanaged_outcome", &p.unmanaged_outcome)
+                .boolean("verdicts_ok", p.verdicts_ok);
+            o
+        })
+        .collect();
+    json::array(&objects)
+}
+
 /// Renders the full `scale.json` artifact: the sweep under `"sweep"`,
 /// plus — when they ran — the server-bench comparison under
-/// `"server_bench"` and the artifact-cache comparison under
-/// `"cache_bench"`.
+/// `"server_bench"`, the artifact-cache comparison under
+/// `"cache_bench"` and the BDD memory-management comparison under
+/// `"bdd_bench"`.
 pub fn scale_artifact_json(
     points: &[ScalePoint],
     server_bench: &[ServerBenchPoint],
     cache_bench: &[CacheBenchPoint],
+    bdd_bench: &[BddBenchPoint],
 ) -> String {
     let indent = |text: String| text.replace('\n', "\n  ");
     let mut out = String::from("{\n  \"sweep\": ");
@@ -851,6 +978,10 @@ pub fn scale_artifact_json(
     if !cache_bench.is_empty() {
         out.push_str(",\n  \"cache_bench\": ");
         out.push_str(&indent(cache_bench_to_json(cache_bench)));
+    }
+    if !bdd_bench.is_empty() {
+        out.push_str(",\n  \"bdd_bench\": ");
+        out.push_str(&indent(bdd_bench_to_json(bdd_bench)));
     }
     out.push_str("\n}");
     out
@@ -948,6 +1079,29 @@ mod tests {
         }
         let json = cache_bench_to_json(&points);
         assert!(json.contains("\"warm_events_built\": 0"));
+    }
+
+    #[test]
+    fn bdd_bench_manages_memory_without_changing_answers() {
+        let points = run_bdd_bench(&[2, 3], 2, &Budget::unlimited());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.verdicts_ok, "cf({},2) managed/unmanaged mismatch", p.n);
+            assert_eq!(p.managed_outcome, "completed");
+            assert_eq!(p.unmanaged_outcome, "completed");
+            assert!(
+                p.managed_peak.unwrap() <= p.unmanaged_peak.unwrap(),
+                "the manager must never make the peak worse: {p:?}"
+            );
+        }
+        let widest = points.last().unwrap();
+        assert!(
+            widest.gc_runs > 0,
+            "the widest instance must trigger collections: {widest:?}"
+        );
+        let json = bdd_bench_to_json(&points);
+        assert!(json.contains("\"managed_peak\""));
+        assert!(json.contains("\"gc_runs\""));
     }
 
     #[test]

@@ -60,14 +60,20 @@ pub struct PrefixArtifact {
 /// # Examples
 ///
 /// ```
-/// use csc_core::{check_property_with, Artifacts, Budget, Engine, Property};
+/// use csc_core::{Artifacts, CheckRequest, Engine, Property};
 /// use stg::gen::vme::vme_read;
 ///
 /// # fn main() -> Result<(), csc_core::CheckError> {
-/// let artifacts = Artifacts::of(&vme_read());
-/// let budget = Budget::unlimited();
-/// let usc = check_property_with(&artifacts, Property::Usc, Engine::UnfoldingIlp, &budget)?;
-/// let csc = check_property_with(&artifacts, Property::Csc, Engine::UnfoldingIlp, &budget)?;
+/// let stg = vme_read();
+/// let artifacts = Artifacts::of(&stg);
+/// let check = |property| {
+///     CheckRequest::new(&stg, property)
+///         .engine(Engine::UnfoldingIlp)
+///         .artifacts(&artifacts)
+///         .run()
+/// };
+/// let usc = check(Property::Usc)?;
+/// let csc = check(Property::Csc)?;
 /// // The second check reused the first check's prefix: no new events.
 /// assert!(usc.report.prefix_events_built.is_some_and(|n| n > 0));
 /// assert_eq!(csc.report.prefix_events_built, Some(0));
@@ -200,6 +206,14 @@ impl Artifacts {
     /// If a previous caller panicked mid-mutation the checker's
     /// internal state is untrusted: the slot is reset and a fresh
     /// checker built.
+    ///
+    /// The truncated-builds-never-cached rule extends to the BDD
+    /// manager itself: when `f` both triggered an automatic variable
+    /// reorder *and* was cut short by its budget, the manager holds a
+    /// permuted order chosen for a build that never completed —
+    /// without the completed build that would justify it. Such a
+    /// checker is dropped rather than cached, so the next caller
+    /// starts from a clean manager.
     pub fn with_symbolic<R>(&self, f: impl FnOnce(&mut SymbolicChecker) -> R) -> R {
         let mut slot = self.symbolic.lock().unwrap_or_else(|poisoned| {
             let mut guard = poisoned.into_inner();
@@ -207,7 +221,12 @@ impl Artifacts {
             guard
         });
         let checker = slot.get_or_insert_with(|| SymbolicChecker::from_shared(self.shared_stg()));
-        f(checker)
+        let reorders_before = checker.bdd_stats().reorder_passes;
+        let result = f(checker);
+        if checker.interrupted() && checker.bdd_stats().reorder_passes > reorders_before {
+            *slot = None;
+        }
+        result
     }
 
     /// Whether the unfolding stage has been built (and cached).
@@ -324,6 +343,53 @@ mod tests {
         let second = artifacts.with_symbolic(|c| c.analyse());
         assert_eq!(first, second);
         assert!(artifacts.has_symbolic());
+    }
+
+    #[test]
+    fn truncated_build_that_reordered_is_not_cached() {
+        use symbolic::SymbolicBudget;
+
+        let artifacts = Artifacts::of(&counterflow_sym(2, 2));
+        // A hair-trigger reorder threshold plus a node cap the build
+        // cannot fit under: the manager reorders, then truncates.
+        let (truncated, reordered) = artifacts.with_symbolic(|c| {
+            c.set_auto_reorder_threshold(Some(4));
+            let budget = SymbolicBudget {
+                max_nodes: Some(64),
+                ..Default::default()
+            };
+            let truncated = c.try_analyse(&budget).is_err();
+            (truncated, c.bdd_stats().reorder_passes > 0)
+        });
+        assert!(truncated, "64 nodes cannot fit the analysis");
+        assert!(reordered, "a threshold of 4 forces sifting");
+        assert!(
+            !artifacts.has_symbolic(),
+            "a mid-reorder truncated manager must not be cached"
+        );
+        // The next caller starts clean and completes.
+        let report = artifacts.with_symbolic(|c| c.analyse());
+        assert!(report.num_states > 0.0);
+        assert!(artifacts.has_symbolic());
+    }
+
+    #[test]
+    fn truncated_build_without_reorder_keeps_the_warm_manager() {
+        use symbolic::SymbolicBudget;
+
+        let artifacts = Artifacts::of(&counterflow_sym(2, 2));
+        // Cap far below the default auto-reorder threshold: the build
+        // truncates before any sifting pass, so the manager's order is
+        // untouched and the warm checker may stay cached.
+        let truncated = artifacts.with_symbolic(|c| {
+            let budget = SymbolicBudget {
+                max_nodes: Some(8),
+                ..Default::default()
+            };
+            c.try_analyse(&budget).is_err()
+        });
+        assert!(truncated);
+        assert!(artifacts.has_symbolic(), "order unchanged: keep the cache");
     }
 
     #[test]

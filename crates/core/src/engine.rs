@@ -87,25 +87,24 @@ const PORTFOLIO_SMALL_PREFIX: usize = 4096;
 /// an unbounded enumeration.
 const PORTFOLIO_FALLBACK_STATES: usize = 1 << 18;
 
-/// Decides `property` for `stg` with `engine` under `budget`.
+/// One property check, assembled with a builder and dispatched by
+/// [`CheckRequest::run`].
 ///
-/// The budget's deadline is anchored once, here, so a portfolio's
-/// phases share a single wall clock. The returned [`CheckRun`] pairs
-/// the three-valued [`Verdict`] with a [`ResourceReport`] of what the
-/// engine consumed — including partial work when the verdict is
-/// [`Verdict::Unknown`].
+/// This is the single entry point into the engines. Defaults:
+/// [`Engine::Portfolio`], an unlimited [`Budget`], and a private
+/// per-call [`Artifacts`] set; each can be overridden before
+/// dispatch. Attach a shared artifact set with
+/// [`CheckRequest::artifacts`] when several checks run on the same
+/// STG — derived structures (unfolding prefix, state graph, symbolic
+/// encoding) are then built once and reused.
 ///
-/// # Errors
-///
-/// Engine failures that are *not* budget exhaustion propagate as
-/// [`CheckError`]; a panicking engine is contained and reported as
-/// [`CheckError::EngineFailure`]. Exhaustion itself is not an error:
-/// it is the [`Verdict::Unknown`] verdict.
+/// The budget's deadline is anchored once, inside [`CheckRequest::run`],
+/// so a portfolio's phases share a single wall clock.
 ///
 /// # Examples
 ///
 /// ```
-/// use csc_core::{check_property, Budget, Engine, Property, Verdict};
+/// use csc_core::{Budget, CheckRequest, Engine, Property};
 /// use stg::gen::vme::vme_read;
 ///
 /// # fn main() -> Result<(), csc_core::CheckError> {
@@ -117,51 +116,120 @@ const PORTFOLIO_FALLBACK_STATES: usize = 1 << 18;
 ///     Engine::Portfolio,
 ///     Engine::Race,
 /// ] {
-///     let run = check_property(&stg, Property::Csc, engine, &Budget::unlimited())?;
+///     let run = CheckRequest::new(&stg, Property::Csc)
+///         .engine(engine)
+///         .budget(Budget::unlimited())
+///         .run()?;
 ///     assert_eq!(run.verdict.holds(), Some(false)); // vme_read has a CSC conflict
 /// }
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_property(
-    stg: &Stg,
-    property: Property,
-    engine: Engine,
-    budget: &Budget,
-) -> Result<CheckRun, CheckError> {
-    check_property_with(&Artifacts::of(stg), property, engine, budget)
-}
-
-/// Decides `property` with `engine` over a shared [`Artifacts`] set.
 ///
-/// This is [`check_property`] minus the per-call artifact set: every
-/// derived structure (unfolding prefix, state graph, symbolic
-/// encoding) the check builds is cached in `artifacts` and reused by
-/// later checks on the same set — checking USC then CSC unfolds once,
-/// and [`Engine::Race`] hands all racers one artifact set. See the
-/// [`crate::artifact`] module docs for the reuse soundness argument.
-///
-/// # Errors
-///
-/// Same as [`check_property`].
-///
-/// # Examples
+/// Sharing artifacts across checks:
 ///
 /// ```
-/// use csc_core::{check_property_with, Artifacts, Budget, Engine, Property};
+/// use csc_core::{Artifacts, CheckRequest, Engine, Property};
 /// use stg::gen::vme::vme_read;
 ///
 /// # fn main() -> Result<(), csc_core::CheckError> {
-/// let artifacts = Artifacts::of(&vme_read());
-/// let budget = Budget::unlimited();
+/// let stg = vme_read();
+/// let artifacts = Artifacts::of(&stg);
 /// for property in [Property::Usc, Property::Csc] {
-///     let run = check_property_with(&artifacts, property, Engine::UnfoldingIlp, &budget)?;
+///     let run = CheckRequest::new(&stg, property)
+///         .engine(Engine::UnfoldingIlp)
+///         .artifacts(&artifacts)
+///         .run()?;
 ///     assert_eq!(run.verdict.holds(), Some(false));
 /// }
 /// # Ok(())
 /// # }
 /// ```
-pub fn check_property_with(
+#[derive(Debug)]
+#[must_use = "a CheckRequest does nothing until `.run()`"]
+pub struct CheckRequest<'a> {
+    stg: &'a Stg,
+    artifacts: Option<&'a Artifacts>,
+    property: Property,
+    engine: Engine,
+    budget: Budget,
+}
+
+impl<'a> CheckRequest<'a> {
+    /// A request to decide `property` for `stg` with the default
+    /// engine ([`Engine::Portfolio`]) and an unlimited budget.
+    pub fn new(stg: &'a Stg, property: Property) -> Self {
+        CheckRequest {
+            stg,
+            artifacts: None,
+            property,
+            engine: Engine::Portfolio,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Selects the deciding engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a shared [`Artifacts`] set (which must wrap the same
+    /// STG); derived structures are cached there and reused by later
+    /// checks on the same set. See the [`crate::artifact`] module docs
+    /// for the reuse soundness argument.
+    pub fn artifacts(mut self, artifacts: &'a Artifacts) -> Self {
+        self.artifacts = Some(artifacts);
+        self
+    }
+
+    /// Dispatches the check. The returned [`CheckRun`] pairs the
+    /// three-valued [`Verdict`] with a [`ResourceReport`] of what the
+    /// engine consumed — including partial work when the verdict is
+    /// [`Verdict::Unknown`].
+    ///
+    /// # Errors
+    ///
+    /// Engine failures that are *not* budget exhaustion propagate as
+    /// [`CheckError`]; a panicking engine is contained and reported as
+    /// [`CheckError::EngineFailure`]. Exhaustion itself is not an
+    /// error: it is the [`Verdict::Unknown`] verdict.
+    pub fn run(self) -> Result<CheckRun, CheckError> {
+        match self.artifacts {
+            Some(artifacts) => dispatch(artifacts, self.property, self.engine, &self.budget),
+            None => dispatch(
+                &Artifacts::of(self.stg),
+                self.property,
+                self.engine,
+                &self.budget,
+            ),
+        }
+    }
+
+    /// Dispatches the check and collapses the verdict to the classic
+    /// boolean: `true` means the property holds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CheckRequest::run`], plus [`CheckError::Exhausted`]
+    /// when the budget (or an engine-intrinsic cap, like the default
+    /// unfolding event limit) makes the run inconclusive.
+    pub fn run_bool(self) -> Result<bool, CheckError> {
+        match self.run()?.verdict {
+            Verdict::Holds => Ok(true),
+            Verdict::Violated(_) => Ok(false),
+            Verdict::Unknown(reason) => Err(CheckError::Exhausted(reason)),
+        }
+    }
+}
+
+fn dispatch(
     artifacts: &Artifacts,
     property: Property,
     engine: Engine,
@@ -185,25 +253,54 @@ pub fn check_property_with(
     }
 }
 
+/// Decides `property` for `stg` with `engine` under `budget`.
+///
+/// # Errors
+///
+/// Same as [`CheckRequest::run`].
+#[deprecated(note = "use `CheckRequest::new(stg, property).engine(..).budget(..).run()`")]
+pub fn check_property(
+    stg: &Stg,
+    property: Property,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<CheckRun, CheckError> {
+    CheckRequest::new(stg, property)
+        .engine(engine)
+        .budget(budget.clone())
+        .run()
+}
+
+/// Decides `property` with `engine` over a shared [`Artifacts`] set.
+///
+/// # Errors
+///
+/// Same as [`CheckRequest::run`].
+#[deprecated(
+    note = "use `CheckRequest::new(stg, property).engine(..).budget(..).artifacts(..).run()`"
+)]
+pub fn check_property_with(
+    artifacts: &Artifacts,
+    property: Property,
+    engine: Engine,
+    budget: &Budget,
+) -> Result<CheckRun, CheckError> {
+    dispatch(artifacts, property, engine, budget)
+}
+
 /// Decides `property` with an unlimited [`Budget`], collapsing the
 /// verdict to the classic boolean: `true` means the property holds.
 ///
 /// # Errors
 ///
-/// Same as [`check_property`], plus [`CheckError::Exhausted`] in the
-/// rare case an engine-intrinsic cap (the default unfolding event
-/// limit) still makes the run inconclusive.
+/// Same as [`CheckRequest::run_bool`].
+#[deprecated(note = "use `CheckRequest::new(stg, property).engine(..).run_bool()`")]
 pub fn check_property_bool(
     stg: &Stg,
     property: Property,
     engine: Engine,
 ) -> Result<bool, CheckError> {
-    let run = check_property(stg, property, engine, &Budget::unlimited())?;
-    match run.verdict {
-        Verdict::Holds => Ok(true),
-        Verdict::Violated(_) => Ok(false),
-        Verdict::Unknown(reason) => Err(CheckError::Exhausted(reason)),
-    }
+    CheckRequest::new(stg, property).engine(engine).run_bool()
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -365,7 +462,7 @@ fn run_symbolic(
         max_nodes: budget.max_bdd_nodes,
     };
     let stg = artifacts.stg();
-    let (verdict, nodes) = artifacts.with_symbolic(|checker| {
+    let (verdict, nodes, stats) = artifacts.with_symbolic(|checker| {
         // `Ok(None)` defers witness decoding to below, after the
         // `try_analyse` borrow ends.
         let result = match property {
@@ -395,9 +492,10 @@ fn run_symbolic(
             Err(SymbolicStop::Stopped(reason)) => Verdict::Unknown(reason.into()),
             Err(SymbolicStop::NodeLimit(n)) => Verdict::Unknown(ExhaustionReason::BddNodeLimit(n)),
         };
-        (verdict, checker.nodes_allocated())
+        (verdict, checker.nodes_allocated(), checker.bdd_stats())
     });
     report.bdd_nodes = Some(nodes);
+    report.bdd = Some(stats);
     report.elapsed = start.elapsed();
     Ok((verdict, report))
 }
@@ -625,6 +723,9 @@ fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
     aggregate.solver_steps = aggregate.solver_steps.or(racer.solver_steps);
     aggregate.states = aggregate.states.or(racer.states);
     aggregate.bdd_nodes = aggregate.bdd_nodes.or(racer.bdd_nodes);
+    if aggregate.bdd.is_none() {
+        aggregate.bdd = racer.bdd.clone();
+    }
 }
 
 #[cfg(test)]
@@ -655,7 +756,12 @@ mod tests {
             for property in [Property::Usc, Property::Csc] {
                 let verdicts: Vec<bool> = ENGINES
                     .iter()
-                    .map(|&e| check_property_bool(&stg, property, e).unwrap())
+                    .map(|&e| {
+                        CheckRequest::new(&stg, property)
+                            .engine(e)
+                            .run_bool()
+                            .unwrap()
+                    })
                     .collect();
                 assert!(
                     verdicts.windows(2).all(|w| w[0] == w[1]),
@@ -670,7 +776,12 @@ mod tests {
         for stg in [vme_read_csc_resolved(), counterflow_sym(2, 2)] {
             let verdicts: Vec<bool> = ENGINES
                 .iter()
-                .map(|&e| check_property_bool(&stg, Property::Normalcy, e).unwrap())
+                .map(|&e| {
+                    CheckRequest::new(&stg, Property::Normalcy)
+                        .engine(e)
+                        .run_bool()
+                        .unwrap()
+                })
                 .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
         }
@@ -679,6 +790,41 @@ mod tests {
     #[test]
     fn reports_carry_engine_counters() {
         let stg = vme_read();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .run()
+            .unwrap();
+        assert_eq!(run.report.engine, "unfolding-ilp");
+        assert!(run.report.prefix_events.is_some_and(|n| n > 0));
+        assert!(run.report.prefix_conditions.is_some_and(|n| n > 0));
+        assert!(run.report.solver_steps.is_some_and(|n| n > 0));
+        assert_eq!(run.report.states, None);
+        assert_eq!(run.report.bdd, None);
+
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::ExplicitStateGraph)
+            .run()
+            .unwrap();
+        assert_eq!(run.report.engine, "explicit");
+        assert!(run.report.states.is_some_and(|n| n > 0));
+        assert_eq!(run.report.prefix_events, None);
+
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::SymbolicBdd)
+            .run()
+            .unwrap();
+        assert_eq!(run.report.engine, "symbolic");
+        assert!(run.report.bdd_nodes.is_some_and(|n| n > 0));
+        let stats = run.report.bdd.expect("symbolic runs report BDD stats");
+        assert!(stats.peak_live_nodes > 0);
+        assert!(stats.live_nodes > 0);
+        assert!(!stats.order.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        let stg = vme_read();
         let run = check_property(
             &stg,
             Property::Csc,
@@ -686,32 +832,17 @@ mod tests {
             &Budget::unlimited(),
         )
         .unwrap();
-        assert_eq!(run.report.engine, "unfolding-ilp");
-        assert!(run.report.prefix_events.is_some_and(|n| n > 0));
-        assert!(run.report.prefix_conditions.is_some_and(|n| n > 0));
-        assert!(run.report.solver_steps.is_some_and(|n| n > 0));
-        assert_eq!(run.report.states, None);
-
-        let run = check_property(
-            &stg,
-            Property::Csc,
-            Engine::ExplicitStateGraph,
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        assert_eq!(run.report.engine, "explicit");
-        assert!(run.report.states.is_some_and(|n| n > 0));
-        assert_eq!(run.report.prefix_events, None);
-
-        let run = check_property(
-            &stg,
+        assert_eq!(run.verdict.holds(), Some(false));
+        let artifacts = Artifacts::of(&stg);
+        let run = check_property_with(
+            &artifacts,
             Property::Csc,
             Engine::SymbolicBdd,
             &Budget::unlimited(),
         )
         .unwrap();
-        assert_eq!(run.report.engine, "symbolic");
-        assert!(run.report.bdd_nodes.is_some_and(|n| n > 0));
+        assert_eq!(run.verdict.holds(), Some(false));
+        assert!(!check_property_bool(&stg, Property::Csc, Engine::ExplicitStateGraph).unwrap());
     }
 
     #[test]
@@ -726,7 +857,10 @@ mod tests {
         };
         for engine in [Engine::ExplicitStateGraph, Engine::SymbolicBdd] {
             for property in [Property::Usc, Property::Csc] {
-                let run = check_property(&stg, property, engine, &Budget::unlimited()).unwrap();
+                let run = CheckRequest::new(&stg, property)
+                    .engine(engine)
+                    .run()
+                    .unwrap();
                 match run.verdict {
                     Verdict::Violated(Witness::States(pair)) => {
                         assert_ne!(pair.0, pair.1, "{engine:?} {property:?}");
@@ -760,12 +894,20 @@ mod tests {
         // back to the oracle and still returns a definite verdict.
         let stg = vme_read();
         let budget = Budget::unlimited().with_max_solver_steps(1);
-        let ilp = check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &budget).unwrap();
+        let ilp = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
         assert_eq!(
             ilp.verdict,
             Verdict::Unknown(ExhaustionReason::SolverStepLimit(1))
         );
-        let run = check_property(&stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::Portfolio)
+            .budget(budget)
+            .run()
+            .unwrap();
         assert_eq!(run.verdict.holds(), Some(false));
         assert_eq!(run.report.engine, "portfolio");
         assert!(run.report.prefix_events.is_some(), "primary phase counted");
@@ -776,8 +918,10 @@ mod tests {
     fn race_is_conclusive_and_reports_a_winner() {
         assert_race_send_bounds();
         for (stg, expected) in [(vme_read(), false), (counterflow_sym(2, 2), true)] {
-            let run =
-                check_property(&stg, Property::Csc, Engine::Race, &Budget::unlimited()).unwrap();
+            let run = CheckRequest::new(&stg, Property::Csc)
+                .engine(Engine::Race)
+                .run()
+                .unwrap();
             assert_eq!(run.verdict.holds(), Some(expected));
             assert_eq!(run.report.engine, "race");
             let winner = run.report.winner.expect("conclusive race names its winner");
@@ -793,13 +937,11 @@ mod tests {
         // Unlimited budget on a small model: every racer finishes (or
         // is cancelled late enough to have done real work); the
         // aggregate report unions their counters.
-        let run = check_property(
-            &vme_read(),
-            Property::Csc,
-            Engine::Race,
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let stg = vme_read();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::Race)
+            .run()
+            .unwrap();
         assert_eq!(run.verdict.holds(), Some(false));
         // The winner's counters are present at minimum; each counter
         // column belongs to exactly one racer.
@@ -830,7 +972,11 @@ mod tests {
     fn race_with_expired_deadline_is_unknown_not_cancelled() {
         let stg = counterflow_sym(3, 3);
         let budget = Budget::unlimited().with_deadline(std::time::Duration::ZERO);
-        let run = check_property(&stg, Property::Csc, Engine::Race, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::Race)
+            .budget(budget)
+            .run()
+            .unwrap();
         assert_eq!(
             run.verdict,
             Verdict::Unknown(ExhaustionReason::DeadlineExpired)
@@ -856,7 +1002,11 @@ mod tests {
                 })
             };
             let start = Instant::now();
-            let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+            let run = CheckRequest::new(&stg, Property::Csc)
+                .engine(engine)
+                .budget(budget)
+                .run()
+                .unwrap();
             let waited = start.elapsed();
             flipper.join().expect("flipper joins");
             assert_eq!(
@@ -879,7 +1029,11 @@ mod tests {
         // Event cap trips the primary; the 1-state cap trips the
         // fallback. The reported reason is the primary's.
         let budget = Budget::unlimited().with_max_events(2).with_max_states(1);
-        let run = check_property(&stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::Portfolio)
+            .budget(budget)
+            .run()
+            .unwrap();
         assert_eq!(
             run.verdict,
             Verdict::Unknown(ExhaustionReason::EventLimit(2))

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use petri::{Marking, StopGuard, StopReason};
+use symbolic::BddStats;
 
 use crate::checker::NormalcyReport;
 use crate::witness::ConflictWitness;
@@ -294,8 +295,13 @@ pub struct ResourceReport {
     pub solver_steps: Option<u64>,
     /// Explicit states enumerated.
     pub states: Option<usize>,
-    /// BDD nodes allocated.
+    /// Peak live BDD nodes over the symbolic run.
     pub bdd_nodes: Option<usize>,
+    /// Detailed BDD manager counters of the symbolic run (live/peak
+    /// nodes, garbage collections, reordering passes, final variable
+    /// order). `None` for engines that never touched the symbolic
+    /// stage.
+    pub bdd: Option<BddStats>,
 }
 
 impl ResourceReport {
@@ -312,6 +318,7 @@ impl ResourceReport {
             solver_steps: None,
             states: None,
             bdd_nodes: None,
+            bdd: None,
         }
     }
 }

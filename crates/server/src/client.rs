@@ -48,6 +48,11 @@ pub struct CheckResponse {
     /// The correlation id echoed by the server (absent only for
     /// errors on requests whose id never parsed).
     pub id: Option<String>,
+    /// Protocol revision of the response. Revision-1 servers did not
+    /// stamp the field, so an absent `proto` decodes as `1`; revision
+    /// 2 added the optional `report.bdd` stats object (see
+    /// [`Self::bdd_stats`]).
+    pub proto: u64,
     /// `"ok"` or `"error"`.
     pub status: String,
     /// `"holds"`, `"violated"` or `"unknown"` when `status == "ok"`.
@@ -79,6 +84,7 @@ impl CheckResponse {
         let text = |key: &str| raw.get(key).and_then(Value::as_str).map(str::to_owned);
         Ok(CheckResponse {
             id: text("id"),
+            proto: raw.get("proto").and_then(Value::as_u64).unwrap_or(1),
             status,
             verdict: text("verdict"),
             reason: text("reason"),
@@ -97,6 +103,17 @@ impl CheckResponse {
     /// Whether the server decided the property (`holds`/`violated`).
     pub fn is_conclusive(&self) -> bool {
         matches!(self.verdict.as_deref(), Some("holds" | "violated"))
+    }
+
+    /// The revision-2 `report.bdd` stats object, when the job's
+    /// engine touched the symbolic stage. `None` on revision-1
+    /// responses and for engines that never built a BDD, so callers
+    /// need no protocol-version branch of their own.
+    pub fn bdd_stats(&self) -> Option<&Value> {
+        self.raw
+            .get("report")
+            .and_then(|r| r.get("bdd"))
+            .filter(|v| !v.is_null())
     }
 }
 
@@ -210,5 +227,51 @@ impl Client {
         }
         json::parse(line.trim())
             .map_err(|e| ClientError::Protocol(format!("unparsable response line: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revision_1_responses_without_proto_still_decode() {
+        let raw = json::parse(
+            r#"{"id":"a","status":"ok","verdict":"holds",
+                "report":{"elapsed_ms":1.0,"bdd_nodes":null}}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert_eq!(response.proto, 1);
+        assert_eq!(response.verdict.as_deref(), Some("holds"));
+        assert!(response.bdd_stats().is_none());
+    }
+
+    #[test]
+    fn revision_2_responses_surface_the_bdd_stats() {
+        let raw = json::parse(
+            r#"{"id":"b","proto":2,"status":"ok","verdict":"violated",
+                "report":{"elapsed_ms":1.0,
+                          "bdd":{"live_nodes":10,"peak_live_nodes":20,
+                                 "gc_runs":1,"reorder_passes":0,
+                                 "order":[0,1]}}}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert_eq!(response.proto, 2);
+        let bdd = response.bdd_stats().expect("bdd stats");
+        assert_eq!(bdd.get("peak_live_nodes").and_then(Value::as_u64), Some(20));
+    }
+
+    #[test]
+    fn revision_2_null_bdd_reads_as_absent() {
+        let raw = json::parse(
+            r#"{"id":"c","proto":2,"status":"ok","verdict":"holds",
+                "report":{"elapsed_ms":1.0,"bdd":null}}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert_eq!(response.proto, 2);
+        assert!(response.bdd_stats().is_none());
     }
 }

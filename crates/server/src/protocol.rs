@@ -258,6 +258,12 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
     Value::Obj(members).render()
 }
 
+/// The protocol revision stamped on check responses. Revision 2
+/// added the `proto` field itself and the optional `report.bdd`
+/// stats object; revision-1 responses carry neither, so clients
+/// treat an absent `proto` as 1.
+pub const PROTO_VERSION: u64 = 2;
+
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
     let (verdict, reason, witness) = match &run.verdict {
@@ -267,6 +273,7 @@ pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
     };
     Value::Obj(vec![
         ("id".to_owned(), Value::from(id)),
+        ("proto".to_owned(), Value::from(PROTO_VERSION)),
         ("status".to_owned(), Value::from("ok")),
         ("verdict".to_owned(), Value::from(verdict)),
         ("reason".to_owned(), reason),
@@ -333,6 +340,34 @@ fn encode_report(report: &ResourceReport) -> Value {
         ("solver_steps".to_owned(), opt(report.solver_steps)),
         ("states".to_owned(), opt(report.states)),
         ("bdd_nodes".to_owned(), opt(report.bdd_nodes)),
+        (
+            "bdd".to_owned(),
+            match &report.bdd {
+                None => Value::Null,
+                Some(stats) => Value::Obj(vec![
+                    ("live_nodes".to_owned(), Value::from(stats.live_nodes)),
+                    (
+                        "peak_live_nodes".to_owned(),
+                        Value::from(stats.peak_live_nodes),
+                    ),
+                    ("gc_runs".to_owned(), Value::from(stats.gc_runs)),
+                    (
+                        "reorder_passes".to_owned(),
+                        Value::from(stats.reorder_passes),
+                    ),
+                    (
+                        "order".to_owned(),
+                        Value::Arr(
+                            stats
+                                .order
+                                .iter()
+                                .map(|&v| Value::from(u64::from(v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            },
+        ),
     ])
 }
 
@@ -436,16 +471,14 @@ mod tests {
     #[test]
     fn responses_carry_verdict_and_report() {
         let stg = vme_read();
-        let run = csc_core::check_property(
-            &stg,
-            Property::Csc,
-            Engine::UnfoldingIlp,
-            &Budget::unlimited(),
-        )
-        .unwrap();
+        let run = csc_core::CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .run()
+            .unwrap();
         let line = encode_check_response("j1", &stg, &run);
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("id").and_then(Value::as_str), Some("j1"));
+        assert_eq!(v.get("proto").and_then(Value::as_u64), Some(PROTO_VERSION));
         assert_eq!(v.get("verdict").and_then(Value::as_str), Some("violated"));
         let witness = v.get("witness").expect("witness present");
         assert_eq!(
@@ -458,14 +491,50 @@ mod tests {
             .and_then(|r| r.get("prefix_events"))
             .and_then(Value::as_u64)
             .is_some());
+        // The unfolding engine never touched the symbolic stage, so
+        // the revision-2 `bdd` member is present but null.
+        assert!(v
+            .get("report")
+            .and_then(|r| r.get("bdd"))
+            .is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn symbolic_responses_carry_bdd_manager_stats() {
+        let stg = vme_read();
+        let run = csc_core::CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::SymbolicBdd)
+            .run()
+            .unwrap();
+        let line = encode_check_response("j9", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        let bdd = v
+            .get("report")
+            .and_then(|r| r.get("bdd"))
+            .expect("bdd stats present");
+        assert!(bdd
+            .get("peak_live_nodes")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
+        assert!(bdd
+            .get("live_nodes")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
+        assert!(bdd.get("gc_runs").and_then(Value::as_u64).is_some());
+        assert!(bdd.get("reorder_passes").and_then(Value::as_u64).is_some());
+        let order = bdd.get("order").expect("final variable order present");
+        assert!(matches!(order, Value::Arr(vars) if !vars.is_empty()));
     }
 
     #[test]
     fn unknown_verdicts_carry_a_reason_code() {
         let stg = vme_read();
         let budget = Budget::unlimited().with_max_events(1);
-        let run =
-            csc_core::check_property(&stg, Property::Csc, Engine::UnfoldingIlp, &budget).unwrap();
+        let run = csc_core::CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .budget(budget)
+            .run()
+            .unwrap();
         let line = encode_check_response("j2", &stg, &run);
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("verdict").and_then(Value::as_str), Some("unknown"));

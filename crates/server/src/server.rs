@@ -7,7 +7,7 @@
 //! [`ServerConfig::max_queue`], rejecting overflow with the
 //! `queue_full` error code — onto the worker pool, so a single slow
 //! connection cannot starve the others. Workers decide each job with
-//! [`csc_core::check_property_with`] over an [`ArtifactCache`] keyed
+//! [`csc_core::CheckRequest`] over an [`ArtifactCache`] keyed
 //! by canonical STG hash, so repeated nets skip prefix construction
 //! entirely — by default with the racing parallel portfolio — under
 //! the job's own [`csc_core::Budget`] plus a per-job [`CancelToken`] the
@@ -25,7 +25,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use csc_core::{check_property_with, CancelToken, Engine};
+use csc_core::{CancelToken, Engine};
 
 use crate::cache::ArtifactCache;
 use crate::json::Value;
@@ -539,7 +539,14 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
     // Content-addressed reuse: a repeat of a cached net skips prefix
     // construction, state-graph exploration and BDD re-encoding.
     let (artifacts, _cache_hit) = shared.cache.get_or_insert(&stg);
-    let response = match check_property_with(&artifacts, property, engine, &budget) {
+    // The wire `CheckRequest` above describes the job; this one runs
+    // it (`csc_core`'s builder shares the name).
+    let result = csc_core::CheckRequest::new(&stg, property)
+        .engine(engine)
+        .budget(budget)
+        .artifacts(&artifacts)
+        .run();
+    let response = match result {
         Ok(run) => {
             let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
             if let Ok(mut stats) = shared.stats.lock() {

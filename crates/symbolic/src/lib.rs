@@ -20,6 +20,14 @@
 //! this engine always characterises *all* conflicts, preserving the
 //! workload asymmetry the paper's timing columns reflect.
 //!
+//! State sets and relations are held as root-protected [`bdd::Func`]
+//! handles, so the manager's mark-and-sweep garbage collector can
+//! reclaim intermediate results between fixpoint steps, and Rudell
+//! sifting (each bit's current/next pair grouped so the interleaving
+//! survives) can shrink the working set mid-traversal. Witnesses are
+//! decoded with the order-independent [`bdd::Bdd::first_sat`], so they
+//! are bit-identical across GC and reordering configurations.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,13 +48,18 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
-use bdd::{Bdd, NodeId};
+pub use bdd::BddStats;
+use bdd::{Bdd, Func};
 use petri::{Marking, PlaceId, StopGuard, StopReason};
 use stg::{CodeVec, Edge, Label, Signal, Stg};
 
+/// Live-node count at which automatic sifting first kicks in (when
+/// [`SymbolicOptions::auto_reorder`] is on).
+const AUTO_REORDER_THRESHOLD: usize = 1 << 14;
+
 /// Resource limits of the symbolic engine: a cancellation/deadline
-/// guard polled at each fixpoint step, plus a cap on allocated BDD
-/// nodes (the quantity that actually explodes on hard instances).
+/// guard polled at each fixpoint step, plus a cap on live BDD nodes
+/// (the quantity that actually explodes on hard instances).
 ///
 /// The default budget is unlimited, so the fallible `try_*` entry
 /// points cannot fail under it.
@@ -55,7 +68,7 @@ pub struct SymbolicBudget {
     /// Cooperative stop condition (cancellation flag or wall-clock
     /// deadline).
     pub guard: StopGuard,
-    /// Maximum number of BDD nodes the analysis may allocate.
+    /// Maximum number of live BDD nodes the analysis may hold.
     pub max_nodes: Option<usize>,
 }
 
@@ -94,7 +107,7 @@ pub struct SymbolicReport {
     pub usc_pairs: f64,
     /// Number of unordered CSC conflict pairs.
     pub csc_pairs: f64,
-    /// BDD nodes allocated by the analysis.
+    /// Peak live BDD nodes over the analysis.
     pub bdd_nodes: usize,
 }
 
@@ -151,11 +164,25 @@ pub struct SymbolicOptions {
     /// relation — the standard optimisation; turn off for the
     /// naive-baseline ablation.
     pub partitioned: bool,
+    /// Growth-triggered mark-and-sweep garbage collection in the BDD
+    /// manager.
+    pub gc: bool,
+    /// Automatic variable reordering (Rudell sifting with each bit's
+    /// current/next pair grouped) once the table outgrows a threshold.
+    pub auto_reorder: bool,
+    /// Test knob: force a full collection every `n` BDD allocations,
+    /// regardless of the dead-node ratio (`None` = off).
+    pub gc_every: Option<usize>,
 }
 
 impl Default for SymbolicOptions {
     fn default() -> Self {
-        SymbolicOptions { partitioned: true }
+        SymbolicOptions {
+            partitioned: true,
+            gc: true,
+            auto_reorder: true,
+            gc_every: None,
+        }
     }
 }
 
@@ -169,7 +196,7 @@ pub struct SymbolicChecker {
     stg: Arc<Stg>,
     bdd: Bdd,
     num_bits: usize,
-    reached: Option<NodeId>,
+    reached: Option<Func>,
     options: SymbolicOptions,
 }
 
@@ -197,9 +224,22 @@ impl SymbolicChecker {
     /// options.
     pub fn from_shared_with_options(stg: Arc<Stg>, options: SymbolicOptions) -> Self {
         let num_bits = stg.net().num_places() + stg.num_signals();
+        let mut bdd = Bdd::new();
+        bdd.set_gc(options.gc);
+        bdd.set_gc_every(options.gc_every);
+        if options.auto_reorder {
+            bdd.set_auto_reorder(Some(AUTO_REORDER_THRESHOLD));
+        }
+        // Register the interleaved order up front and pin each state
+        // bit's (current, next) pair so reordering moves them as one
+        // block — the ±1 renames between the variable blocks depend on
+        // the pair staying adjacent.
+        for i in 0..num_bits {
+            bdd.group(&[Self::cur(i), Self::next(i)]);
+        }
         SymbolicChecker {
             stg,
-            bdd: Bdd::new(),
+            bdd,
             num_bits,
             reached: None,
             options,
@@ -224,7 +264,7 @@ impl SymbolicChecker {
         self.stg.net().num_places() + z.index()
     }
 
-    fn literal(&mut self, var: u32, value: bool) -> NodeId {
+    fn literal(&mut self, var: u32, value: bool) -> Func {
         if value {
             self.bdd.var(var)
         } else {
@@ -234,29 +274,29 @@ impl SymbolicChecker {
 
     /// The cube of the initial (marking, code) state over current
     /// variables.
-    fn initial_cube(&mut self) -> NodeId {
+    fn initial_cube(&mut self) -> Func {
         let stg = Arc::clone(&self.stg);
-        let mut cube = NodeId::TRUE;
+        let mut cube = self.bdd.constant(true);
         for p in stg.net().places() {
             let marked = stg.initial_marking().tokens(p) > 0;
             let bit = self.place_bit(p);
             let lit = self.literal(Self::cur(bit), marked);
-            cube = self.bdd.and(cube, lit);
+            cube = self.bdd.and(&cube, &lit);
         }
         for z in stg.signals() {
             let bit = self.signal_bit(z);
             let value = stg.initial_code().bit(z);
             let lit = self.literal(Self::cur(bit), value);
-            cube = self.bdd.and(cube, lit);
+            cube = self.bdd.and(&cube, &lit);
         }
         cube
     }
 
     /// The relation of one transition over (current, next) variables.
-    fn transition_relation(&mut self, t: petri::TransitionId) -> NodeId {
+    fn transition_relation(&mut self, t: petri::TransitionId) -> Func {
         let stg = Arc::clone(&self.stg);
         let net = stg.net();
-        let mut rel = NodeId::TRUE;
+        let mut rel = self.bdd.constant(true);
         let pre = net.preset(t).to_vec();
         let post = net.postset(t).to_vec();
         for p in net.places() {
@@ -265,18 +305,18 @@ impl SymbolicChecker {
                 // Consumed: 1 → 0.
                 let c = self.literal(Self::cur(bit), true);
                 let n = self.literal(Self::next(bit), false);
-                self.bdd.and(c, n)
+                self.bdd.and(&c, &n)
             } else if post.contains(&p) {
                 // Produced: 0 → 1 (safe nets: target must be empty).
                 let c = self.literal(Self::cur(bit), false);
                 let n = self.literal(Self::next(bit), true);
-                self.bdd.and(c, n)
+                self.bdd.and(&c, &n)
             } else {
                 let c = self.bdd.var(Self::cur(bit));
                 let n = self.bdd.var(Self::next(bit));
-                self.bdd.iff(c, n)
+                self.bdd.iff(&c, &n)
             };
-            rel = self.bdd.and(rel, term);
+            rel = self.bdd.and(&rel, &term);
         }
         for z in stg.signals() {
             let bit = self.signal_bit(z);
@@ -284,27 +324,27 @@ impl SymbolicChecker {
                 Label::SignalEdge(zz, Edge::Rise) if zz == z => {
                     let c = self.literal(Self::cur(bit), false);
                     let n = self.literal(Self::next(bit), true);
-                    self.bdd.and(c, n)
+                    self.bdd.and(&c, &n)
                 }
                 Label::SignalEdge(zz, Edge::Fall) if zz == z => {
                     let c = self.literal(Self::cur(bit), true);
                     let n = self.literal(Self::next(bit), false);
-                    self.bdd.and(c, n)
+                    self.bdd.and(&c, &n)
                 }
                 _ => {
                     let c = self.bdd.var(Self::cur(bit));
                     let n = self.bdd.var(Self::next(bit));
-                    self.bdd.iff(c, n)
+                    self.bdd.iff(&c, &n)
                 }
             };
-            rel = self.bdd.and(rel, term);
+            rel = self.bdd.and(&rel, &term);
         }
         rel
     }
 
     /// Computes (and caches) the reachable state set over current
     /// variables.
-    pub fn reachable(&mut self) -> NodeId {
+    pub fn reachable(&mut self) -> Func {
         match self.try_reachable(&SymbolicBudget::default()) {
             Ok(r) => r,
             Err(stop) => unreachable!("unlimited budget stopped: {stop}"),
@@ -347,14 +387,14 @@ impl SymbolicChecker {
     ///
     /// [`SymbolicStop`] when the guard fires or the BDD outgrows the
     /// node budget.
-    pub fn try_reachable(&mut self, budget: &SymbolicBudget) -> Result<NodeId, SymbolicStop> {
-        if let Some(r) = self.reached {
-            return Ok(r);
+    pub fn try_reachable(&mut self, budget: &SymbolicBudget) -> Result<Func, SymbolicStop> {
+        if let Some(r) = &self.reached {
+            return Ok(r.clone());
         }
         self.arm_budget(budget);
         self.check_budget(budget)?;
         let transitions: Vec<petri::TransitionId> = self.stg.net().transitions().collect();
-        let relations: Vec<NodeId> = transitions
+        let relations: Vec<Func> = transitions
             .into_iter()
             .map(|t| self.transition_relation(t))
             .collect();
@@ -363,58 +403,59 @@ impl SymbolicChecker {
         if self.options.partitioned {
             // Frontier BFS with a partitioned image: apply each
             // transition relation to the newly discovered states only.
-            let mut frontier = reached;
+            let mut frontier = reached.clone();
             loop {
                 self.check_budget(budget)?;
-                let mut image = NodeId::FALSE;
-                for &rel in &relations {
-                    let step = self.bdd.and(frontier, rel);
-                    let img_next = self.bdd.exists(step, &current_vars);
-                    // next → current: 2i+1 ↦ 2i is monotone.
-                    let img = self.bdd.rename_monotone(img_next, &|v| v - 1);
-                    image = self.bdd.or(image, img);
+                let mut image = self.bdd.constant(false);
+                for rel in &relations {
+                    let step = self.bdd.and(&frontier, rel);
+                    let img_next = self.bdd.exists(&step, &current_vars);
+                    // next → current: 2i+1 ↦ 2i is monotone (the pair
+                    // stays adjacent under reordering via its group).
+                    let img = self.bdd.rename_monotone(&img_next, &|v| v - 1);
+                    image = self.bdd.or(&image, &img);
                 }
-                let not_reached = self.bdd.not(reached);
-                let fresh = self.bdd.and(image, not_reached);
-                if fresh == NodeId::FALSE {
+                let not_reached = self.bdd.not(&reached);
+                let fresh = self.bdd.and(&image, &not_reached);
+                if fresh.is_false() {
                     break;
                 }
-                reached = self.bdd.or(reached, fresh);
+                reached = self.bdd.or(&reached, &fresh);
                 frontier = fresh;
             }
         } else {
             // Naive monolithic relation (ablation baseline).
-            let trans = self.bdd.or_all(relations);
+            let trans = self.bdd.or_all(&relations);
             loop {
                 self.check_budget(budget)?;
-                let step = self.bdd.and(reached, trans);
-                let img_next = self.bdd.exists(step, &current_vars);
-                let img = self.bdd.rename_monotone(img_next, &|v| v - 1);
-                let new_reached = self.bdd.or(reached, img);
+                let step = self.bdd.and(&reached, &trans);
+                let img_next = self.bdd.exists(&step, &current_vars);
+                let img = self.bdd.rename_monotone(&img_next, &|v| v - 1);
+                let new_reached = self.bdd.or(&reached, &img);
                 if new_reached == reached {
                     break;
                 }
                 reached = new_reached;
             }
         }
-        self.reached = Some(reached);
+        self.reached = Some(reached.clone());
         Ok(reached)
     }
 
     /// `Out(M) ∋ z` as a predicate over current place variables: some
     /// `z±`-labelled transition is enabled.
-    fn output_enabled(&mut self, z: Signal) -> NodeId {
+    fn output_enabled(&mut self, z: Signal) -> Func {
         let transitions: Vec<_> = self.stg.transitions_of(z).collect();
-        let mut any = NodeId::FALSE;
+        let mut any = self.bdd.constant(false);
         for t in transitions {
             let pre = self.stg.net().preset(t).to_vec();
-            let mut cube = NodeId::TRUE;
+            let mut cube = self.bdd.constant(true);
             for p in pre {
                 let bit = self.place_bit(p);
                 let lit = self.bdd.var(Self::cur(bit));
-                cube = self.bdd.and(cube, lit);
+                cube = self.bdd.and(&cube, &lit);
             }
-            any = self.bdd.or(any, cube);
+            any = self.bdd.or(&any, &cube);
         }
         any
     }
@@ -423,41 +464,41 @@ impl SymbolicChecker {
     /// codes, different markings; with `csc` also different enabled
     /// local-output sets. The second state lives on the next-variable
     /// block.
-    fn conflict_pairs(&mut self, csc: bool) -> NodeId {
+    fn conflict_pairs(&mut self, csc: bool) -> Func {
         let stg = Arc::clone(&self.stg);
         let r = self.reachable();
         // Second copy of the state space on the odd variables.
-        let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
-        let mut pairs = self.bdd.and(r, r2);
+        let r2 = self.bdd.rename_monotone(&r, &|v| v + 1);
+        let mut pairs = self.bdd.and(&r, &r2);
         // Equal codes.
         for z in stg.signals() {
             let bit = self.signal_bit(z);
             let c = self.bdd.var(Self::cur(bit));
             let n = self.bdd.var(Self::next(bit));
-            let eq = self.bdd.iff(c, n);
-            pairs = self.bdd.and(pairs, eq);
+            let eq = self.bdd.iff(&c, &n);
+            pairs = self.bdd.and(&pairs, &eq);
         }
         // Different markings.
-        let mut same_marking = NodeId::TRUE;
+        let mut same_marking = self.bdd.constant(true);
         for p in stg.net().places() {
             let bit = self.place_bit(p);
             let c = self.bdd.var(Self::cur(bit));
             let n = self.bdd.var(Self::next(bit));
-            let eq = self.bdd.iff(c, n);
-            same_marking = self.bdd.and(same_marking, eq);
+            let eq = self.bdd.iff(&c, &n);
+            same_marking = self.bdd.and(&same_marking, &eq);
         }
-        let diff = self.bdd.not(same_marking);
-        pairs = self.bdd.and(pairs, diff);
+        let diff = self.bdd.not(&same_marking);
+        pairs = self.bdd.and(&pairs, &diff);
         if csc {
-            let mut out_diff = NodeId::FALSE;
+            let mut out_diff = self.bdd.constant(false);
             let locals: Vec<Signal> = self.stg.local_signals().collect();
             for z in locals {
                 let e1 = self.output_enabled(z);
-                let e2 = self.bdd.rename_monotone(e1, &|v| v + 1);
-                let d = self.bdd.xor(e1, e2);
-                out_diff = self.bdd.or(out_diff, d);
+                let e2 = self.bdd.rename_monotone(&e1, &|v| v + 1);
+                let d = self.bdd.xor(&e1, &e2);
+                out_diff = self.bdd.or(&out_diff, &d);
             }
-            pairs = self.bdd.and(pairs, out_diff);
+            pairs = self.bdd.and(&pairs, &out_diff);
         }
         pairs
     }
@@ -465,7 +506,7 @@ impl SymbolicChecker {
     /// `Nxt_z` as a predicate over current (place, code) variables:
     /// if the code bit is 0, true iff some `z+` is enabled; if 1,
     /// true iff no `z-` is enabled (§6).
-    fn next_state_fn(&mut self, z: Signal) -> NodeId {
+    fn next_state_fn(&mut self, z: Signal) -> Func {
         let rising: Vec<_> = self
             .stg
             .transitions_of(z)
@@ -477,53 +518,53 @@ impl SymbolicChecker {
             .filter(|&t| self.stg.label(t).edge() == Some(Edge::Fall))
             .collect();
         let enabled = |this: &mut Self, ts: &[petri::TransitionId]| {
-            let mut any = NodeId::FALSE;
+            let mut any = this.bdd.constant(false);
             for &t in ts {
                 let pre = this.stg.net().preset(t).to_vec();
-                let mut cube = NodeId::TRUE;
+                let mut cube = this.bdd.constant(true);
                 for p in pre {
                     let lit = this.bdd.var(Self::cur(this.place_bit(p)));
-                    cube = this.bdd.and(cube, lit);
+                    cube = this.bdd.and(&cube, &lit);
                 }
-                any = this.bdd.or(any, cube);
+                any = this.bdd.or(&any, &cube);
             }
             any
         };
         let rise_en = enabled(self, &rising);
         let fall_en = enabled(self, &falling);
         let zbit = self.bdd.var(Self::cur(self.signal_bit(z)));
-        let not_fall = self.bdd.not(fall_en);
-        self.bdd.ite(zbit, not_fall, rise_en)
+        let not_fall = self.bdd.not(&fall_en);
+        self.bdd.ite(&zbit, &not_fall, &rise_en)
     }
 
     /// The characteristic functions of normalcy-violating pairs for
     /// signal `z` (§6): `(p_viol, n_viol)` over reachable pairs with
     /// componentwise-ordered codes and discordant `Nxt_z`.
-    fn normalcy_violation_sets(&mut self, z: Signal) -> (NodeId, NodeId) {
+    fn normalcy_violation_sets(&mut self, z: Signal) -> (Func, Func) {
         let stg = Arc::clone(&self.stg);
         let r = self.reachable();
-        let r2 = self.bdd.rename_monotone(r, &|v| v + 1);
-        let both = self.bdd.and(r, r2);
+        let r2 = self.bdd.rename_monotone(&r, &|v| v + 1);
+        let both = self.bdd.and(&r, &r2);
         // Code(x) ≤ Code(y) componentwise (x = current block, y =
         // next block).
-        let mut leq = NodeId::TRUE;
+        let mut leq = self.bdd.constant(true);
         for zz in stg.signals() {
             let bit = self.signal_bit(zz);
             let a = self.bdd.nvar(Self::cur(bit));
             let b = self.bdd.var(Self::next(bit));
-            let clause = self.bdd.or(a, b);
-            leq = self.bdd.and(leq, clause);
+            let clause = self.bdd.or(&a, &b);
+            leq = self.bdd.and(&leq, &clause);
         }
-        let ordered = self.bdd.and(both, leq);
+        let ordered = self.bdd.and(&both, &leq);
         let nxt1 = self.next_state_fn(z);
-        let nxt2 = self.bdd.rename_monotone(nxt1, &|v| v + 1);
+        let nxt2 = self.bdd.rename_monotone(&nxt1, &|v| v + 1);
         // p-violation: Nxt(x) > Nxt(y); n-violation: Nxt(x) < Nxt(y).
-        let not2 = self.bdd.not(nxt2);
-        let p_viol_pred = self.bdd.and(nxt1, not2);
-        let p_viol = self.bdd.and(ordered, p_viol_pred);
-        let not1 = self.bdd.not(nxt1);
-        let n_viol_pred = self.bdd.and(not1, nxt2);
-        let n_viol = self.bdd.and(ordered, n_viol_pred);
+        let not2 = self.bdd.not(&nxt2);
+        let p_viol_pred = self.bdd.and(&nxt1, &not2);
+        let p_viol = self.bdd.and(&ordered, &p_viol_pred);
+        let not1 = self.bdd.not(&nxt1);
+        let n_viol_pred = self.bdd.and(&not1, &nxt2);
+        let n_viol = self.bdd.and(&ordered, &n_viol_pred);
         (p_viol, n_viol)
     }
 
@@ -533,7 +574,7 @@ impl SymbolicChecker {
     /// `(p_normal, n_normal)`.
     pub fn normalcy_of(&mut self, z: Signal) -> (bool, bool) {
         let (p_viol, n_viol) = self.normalcy_violation_sets(z);
-        (p_viol == NodeId::FALSE, n_viol == NodeId::FALSE)
+        (p_viol.is_false(), n_viol.is_false())
     }
 
     /// Decodes one concrete pair of reachable states violating the
@@ -543,21 +584,17 @@ impl SymbolicChecker {
         let (p_viol, n_viol) = self.normalcy_violation_sets(z);
         if self.bdd.interrupt().is_some() {
             // The violation sets were cut short by a still-armed
-            // budget; a decoded path would be meaningless.
+            // budget; a decoded assignment would be meaningless.
             return None;
         }
-        let (set, positive) = if p_viol != NodeId::FALSE {
+        let (set, positive) = if !p_viol.is_false() {
             (p_viol, true)
         } else {
             (n_viol, false)
         };
-        let path = self.bdd.any_sat(set)?;
-        let value = |var: u32| -> bool {
-            path.iter()
-                .find(|&&(v, _)| v == var)
-                .map(|&(_, b)| b)
-                .unwrap_or(false)
-        };
+        let nv = (2 * self.num_bits) as u32;
+        let bits = self.bdd.first_sat(&set, nv)?;
+        let value = |var: u32| -> bool { bits[var as usize] };
         let np = self.stg.net().num_places();
         let mut m1 = Marking::empty(np);
         let mut m2 = Marking::empty(np);
@@ -570,7 +607,7 @@ impl SymbolicChecker {
                 m2.add_token(p);
             }
         }
-        let bits = |block: fn(usize) -> u32| -> Vec<bool> {
+        let code_bits = |block: fn(usize) -> u32| -> Vec<bool> {
             self.stg
                 .signals()
                 .map(|zz| value(block(self.signal_bit(zz))))
@@ -580,8 +617,8 @@ impl SymbolicChecker {
             signal: z,
             marking1: m1,
             marking2: m2,
-            code1: CodeVec::from_bits(bits(Self::cur)),
-            code2: CodeVec::from_bits(bits(Self::next)),
+            code1: CodeVec::from_bits(code_bits(Self::cur)),
+            code2: CodeVec::from_bits(code_bits(Self::next)),
             positive,
         })
     }
@@ -658,17 +695,35 @@ impl SymbolicChecker {
         // over all 2k variables by 2^k.
         let scale = 2f64.powi(self.num_bits as i32);
         Ok(SymbolicReport {
-            num_states: self.bdd.sat_count(r, nv) / scale,
-            usc_pairs: self.bdd.sat_count(usc, nv) / 2.0,
-            csc_pairs: self.bdd.sat_count(csc, nv) / 2.0,
-            bdd_nodes: self.bdd.num_nodes(),
+            num_states: self.bdd.sat_count(&r, nv) / scale,
+            usc_pairs: self.bdd.sat_count(&usc, nv) / 2.0,
+            csc_pairs: self.bdd.sat_count(&csc, nv) / 2.0,
+            bdd_nodes: self.bdd.peak_live_nodes(),
         })
     }
 
-    /// BDD nodes allocated so far (partial work included), for
+    /// Peak live BDD nodes so far (partial work included), for
     /// resource reporting after an exhausted run.
     pub fn nodes_allocated(&self) -> usize {
-        self.bdd.num_nodes()
+        self.bdd.peak_live_nodes()
+    }
+
+    /// Snapshot of the underlying manager's resource counters
+    /// (live/peak nodes, GC runs, reorder passes, current order).
+    pub fn bdd_stats(&self) -> BddStats {
+        self.bdd.stats()
+    }
+
+    /// Whether the underlying manager currently has a latched
+    /// interrupt (i.e. the last budgeted run was truncated).
+    pub fn interrupted(&self) -> bool {
+        self.bdd.interrupt().is_some()
+    }
+
+    /// Overrides the automatic-reorder threshold (`None` disables
+    /// auto-reorder). Test/bench knob.
+    pub fn set_auto_reorder_threshold(&mut self, threshold: Option<usize>) {
+        self.bdd.set_auto_reorder(threshold);
     }
 
     /// Decodes one USC conflict pair into concrete states, if any
@@ -688,16 +743,14 @@ impl SymbolicChecker {
         let pairs = self.conflict_pairs(csc);
         if self.bdd.interrupt().is_some() {
             // The pair relation was cut short by a still-armed
-            // budget; a decoded path would be meaningless.
+            // budget; a decoded assignment would be meaningless.
             return None;
         }
-        let path = self.bdd.any_sat(pairs)?;
-        let value = |var: u32| -> bool {
-            path.iter()
-                .find(|&&(v, _)| v == var)
-                .map(|&(_, b)| b)
-                .unwrap_or(false)
-        };
+        // first_sat is canonical in the variable *names*, so the
+        // witness is identical whatever the GC/reordering history.
+        let nv = (2 * self.num_bits) as u32;
+        let bits = self.bdd.first_sat(&pairs, nv)?;
+        let value = |var: u32| -> bool { bits[var as usize] };
         let np = self.stg.net().num_places();
         let mut m1 = Marking::empty(np);
         let mut m2 = Marking::empty(np);
@@ -905,11 +958,50 @@ mod tests {
     fn partitioned_and_monolithic_agree() {
         for stg in [vme_read(), lazy_ring(3), counterflow_sym(2, 2)] {
             let fast = SymbolicChecker::new(&stg).analyse();
-            let naive = SymbolicChecker::with_options(&stg, SymbolicOptions { partitioned: false })
-                .analyse();
+            let naive = SymbolicChecker::with_options(
+                &stg,
+                SymbolicOptions {
+                    partitioned: false,
+                    ..SymbolicOptions::default()
+                },
+            )
+            .analyse();
             assert_eq!(fast.num_states, naive.num_states);
             assert_eq!(fast.usc_pairs, naive.usc_pairs);
             assert_eq!(fast.csc_pairs, naive.csc_pairs);
+        }
+    }
+
+    #[test]
+    fn forced_gc_and_sifting_match_the_default_run() {
+        for stg in [vme_read(), counterflow_sym(2, 2)] {
+            let mut plain = SymbolicChecker::with_options(
+                &stg,
+                SymbolicOptions {
+                    gc: false,
+                    auto_reorder: false,
+                    ..SymbolicOptions::default()
+                },
+            );
+            let base_report = plain.analyse();
+            let base_usc = plain.usc_witness();
+            let base_csc = plain.csc_witness();
+
+            let mut stressed = SymbolicChecker::with_options(
+                &stg,
+                SymbolicOptions {
+                    gc_every: Some(64),
+                    ..SymbolicOptions::default()
+                },
+            );
+            stressed.set_auto_reorder_threshold(Some(64));
+            let report = stressed.analyse();
+            assert_eq!(report.num_states, base_report.num_states);
+            assert_eq!(report.usc_pairs, base_report.usc_pairs);
+            assert_eq!(report.csc_pairs, base_report.csc_pairs);
+            assert_eq!(stressed.usc_witness(), base_usc);
+            assert_eq!(stressed.csc_witness(), base_csc);
+            assert!(stressed.bdd_stats().gc_runs > 0, "forced GC must run");
         }
     }
 }

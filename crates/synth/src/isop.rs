@@ -1,7 +1,7 @@
 //! The Minato-Morreale ISOP procedure: an irredundant sum-of-products
 //! cover `F` with `L ⊆ F ⊆ U` extracted directly from BDDs.
 
-use bdd::{Bdd, NodeId};
+use bdd::{Bdd, Func};
 
 use crate::cover::Cube;
 
@@ -15,65 +15,61 @@ enum Lit {
 /// Computes an irredundant SOP between lower bound `l` and upper
 /// bound `u` (requires `l → u`). Returns the cube list and the BDD of
 /// the cover.
-pub(crate) fn isop(m: &mut Bdd, l: NodeId, u: NodeId) -> (Vec<Cube>, NodeId) {
+pub(crate) fn isop(m: &mut Bdd, l: &Func, u: &Func) -> (Vec<Cube>, Func) {
     let mut cubes = Vec::new();
-    let f = isop_rec(m, l, u, &mut Vec::new(), &mut cubes);
+    let f = isop_rec(m, l.clone(), u.clone(), &mut Vec::new(), &mut cubes);
     (cubes, f)
 }
 
-fn isop_rec(m: &mut Bdd, l: NodeId, u: NodeId, path: &mut Vec<Lit>, out: &mut Vec<Cube>) -> NodeId {
+fn isop_rec(m: &mut Bdd, l: Func, u: Func, path: &mut Vec<Lit>, out: &mut Vec<Cube>) -> Func {
     debug_assert!(
         {
-            let nl = m.not(l);
-            m.or(nl, u) == NodeId::TRUE
+            let nl = m.not(&l);
+            m.or(&nl, &u).is_true()
         },
         "ISOP requires l ⊆ u"
     );
-    if l == NodeId::FALSE {
-        return NodeId::FALSE;
+    if l.is_false() {
+        return m.constant(false);
     }
-    if u == NodeId::TRUE {
+    if u.is_true() {
         // Emit the cube accumulated on the path.
         out.push(cube_of(path));
-        return NodeId::TRUE;
+        return m.constant(true);
     }
-    // Top variable of l and u.
-    let x = [l, u]
-        .into_iter()
-        .filter_map(|f| m.node_var(f))
-        .min()
-        .expect("non-terminal");
-    let l0 = m.restrict(l, x, false);
-    let l1 = m.restrict(l, x, true);
-    let u0 = m.restrict(u, x, false);
-    let u1 = m.restrict(u, x, true);
+    // Top variable of l and u (in the manager's current order).
+    let x = m.top_var([&l, &u]).expect("non-terminal");
+    let l0 = m.restrict(&l, x, false);
+    let l1 = m.restrict(&l, x, true);
+    let u0 = m.restrict(&u, x, false);
+    let u1 = m.restrict(&u, x, true);
 
     // Minterms of l0 not coverable without the literal ¬x.
-    let not_u1 = m.not(u1);
-    let l0_only = m.and(l0, not_u1);
+    let not_u1 = m.not(&u1);
+    let l0_only = m.and(&l0, &not_u1);
     path.push(Lit::Neg(x));
-    let g0 = isop_rec(m, l0_only, u0, path, out);
+    let g0 = isop_rec(m, l0_only, u0.clone(), path, out);
     path.pop();
 
-    let not_u0 = m.not(u0);
-    let l1_only = m.and(l1, not_u0);
+    let not_u0 = m.not(&u0);
+    let l1_only = m.and(&l1, &not_u0);
     path.push(Lit::Pos(x));
-    let g1 = isop_rec(m, l1_only, u1, path, out);
+    let g1 = isop_rec(m, l1_only, u1.clone(), path, out);
     path.pop();
 
     // What remains must be covered x-independently.
-    let ng0 = m.not(g0);
-    let ng1 = m.not(g1);
-    let h0 = m.and(l0, ng0);
-    let h1 = m.and(l1, ng1);
-    let l_star = m.or(h0, h1);
-    let u_star = m.and(u0, u1);
+    let ng0 = m.not(&g0);
+    let ng1 = m.not(&g1);
+    let h0 = m.and(&l0, &ng0);
+    let h1 = m.and(&l1, &ng1);
+    let l_star = m.or(&h0, &h1);
+    let u_star = m.and(&u0, &u1);
     let g_star = isop_rec(m, l_star, u_star, path, out);
 
     // Assemble the BDD of the cover: ¬x·g0 ∨ x·g1 ∨ g*.
     let vx = m.var(x);
-    let branch = m.ite(vx, g1, g0);
-    m.or(branch, g_star)
+    let branch = m.ite(&vx, &g1, &g0);
+    m.or(&branch, &g_star)
 }
 
 fn cube_of(path: &[Lit]) -> Cube {
@@ -92,15 +88,15 @@ fn cube_of(path: &[Lit]) -> Cube {
 mod tests {
     use super::*;
 
-    fn cover_bdd(m: &mut Bdd, cubes: &[Cube]) -> NodeId {
-        let mut f = NodeId::FALSE;
+    fn cover_bdd(m: &mut Bdd, cubes: &[Cube]) -> Func {
+        let mut f = m.constant(false);
         for c in cubes {
-            let mut cube = NodeId::TRUE;
+            let mut cube = m.constant(true);
             for &(v, pos) in &c.literals {
                 let lit = if pos { m.var(v) } else { m.nvar(v) };
-                cube = m.and(cube, lit);
+                cube = m.and(&cube, &lit);
             }
-            f = m.or(f, cube);
+            f = m.or(&f, &cube);
         }
         f
     }
@@ -110,8 +106,8 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let f = m.xor(x, y);
-        let (cubes, g) = isop(&mut m, f, f);
+        let f = m.xor(&x, &y);
+        let (cubes, g) = isop(&mut m, &f, &f);
         assert_eq!(g, f, "cover function equals the target");
         assert_eq!(cubes.len(), 2, "xor needs two cubes");
         assert_eq!(cover_bdd(&mut m, &cubes), f);
@@ -123,8 +119,8 @@ mod tests {
         let x = m.var(0);
         let y = m.var(1);
         // on-set = x∧y, dc = x∧¬y: upper bound is x.
-        let on = m.and(x, y);
-        let (cubes, g) = isop(&mut m, on, x);
+        let on = m.and(&x, &y);
+        let (cubes, g) = isop(&mut m, &on, &x);
         assert_eq!(cubes.len(), 1);
         assert_eq!(cubes[0].literals, vec![(0, true)], "collapses to x");
         assert_eq!(g, x);
@@ -133,13 +129,15 @@ mod tests {
     #[test]
     fn constants() {
         let mut m = Bdd::new();
-        let (cubes, g) = isop(&mut m, NodeId::FALSE, NodeId::FALSE);
+        let fls = m.constant(false);
+        let (cubes, g) = isop(&mut m, &fls, &fls);
         assert!(cubes.is_empty());
-        assert_eq!(g, NodeId::FALSE);
-        let (cubes, g) = isop(&mut m, NodeId::TRUE, NodeId::TRUE);
+        assert!(g.is_false());
+        let tru = m.constant(true);
+        let (cubes, g) = isop(&mut m, &tru, &tru);
         assert_eq!(cubes.len(), 1);
         assert!(cubes[0].literals.is_empty(), "the tautology cube");
-        assert_eq!(g, NodeId::TRUE);
+        assert!(g.is_true());
     }
 
     #[test]
@@ -149,22 +147,22 @@ mod tests {
         let vars = [m.var(0), m.var(1), m.var(2)];
         for bits in 0u32..256 {
             // Build the function with on-set given by `bits`.
-            let mut f = NodeId::FALSE;
+            let mut f = m.constant(false);
             for minterm in 0..8 {
                 if bits & (1 << minterm) != 0 {
-                    let mut cube = NodeId::TRUE;
-                    for (v, &var) in vars.iter().enumerate() {
+                    let mut cube = m.constant(true);
+                    for (v, var) in vars.iter().enumerate() {
                         let lit = if minterm & (1 << v) != 0 {
-                            var
+                            var.clone()
                         } else {
                             m.not(var)
                         };
-                        cube = m.and(cube, lit);
+                        cube = m.and(&cube, &lit);
                     }
-                    f = m.or(f, cube);
+                    f = m.or(&f, &cube);
                 }
             }
-            let (cubes, g) = isop(&mut m, f, f);
+            let (cubes, g) = isop(&mut m, &f, &f);
             assert_eq!(g, f, "bits={bits:#010b}");
             assert_eq!(cover_bdd(&mut m, &cubes), f);
         }

@@ -1,6 +1,6 @@
 //! Deriving next-state functions from the state graph.
 
-use bdd::{Bdd, NodeId};
+use bdd::{Bdd, Func};
 use petri::ExploreLimits;
 use stg::{Signal, StateGraph, Stg};
 
@@ -18,9 +18,9 @@ pub struct NextStateFunctions<'a> {
     stg: &'a Stg,
     manager: Bdd,
     /// Per local signal: (on-set over reachable codes, signal).
-    on_sets: Vec<(Signal, NodeId)>,
+    on_sets: Vec<(Signal, Func)>,
     /// Characteristic function of the reachable codes (the care set).
-    care: NodeId,
+    care: Func,
 }
 
 impl<'a> NextStateFunctions<'a> {
@@ -37,33 +37,34 @@ impl<'a> NextStateFunctions<'a> {
             StateGraph::build(stg, limits).map_err(|e| SynthError::StateGraph(e.to_string()))?;
         let mut manager = Bdd::new();
         let locals: Vec<Signal> = stg.local_signals().collect();
-        let mut care = NodeId::FALSE;
-        let mut on: Vec<NodeId> = vec![NodeId::FALSE; locals.len()];
-        let mut off: Vec<NodeId> = vec![NodeId::FALSE; locals.len()];
+        let mut care = manager.constant(false);
+        let mut on: Vec<Func> = vec![manager.constant(false); locals.len()];
+        let mut off: Vec<Func> = vec![manager.constant(false); locals.len()];
         for s in sg.states() {
             let code = sg.code(s);
             // Minterm of this state's code.
-            let mut minterm = NodeId::TRUE;
+            let mut minterm = manager.constant(true);
             for z in stg.signals() {
                 let lit = if code.bit(z) {
                     manager.var(z.index() as u32)
                 } else {
                     manager.nvar(z.index() as u32)
                 };
-                minterm = manager.and(minterm, lit);
+                minterm = manager.and(&minterm, &lit);
             }
-            care = manager.or(care, minterm);
+            care = manager.or(&care, &minterm);
             for (i, &z) in locals.iter().enumerate() {
                 if stg.next_state(sg.marking(s), code, z) {
-                    on[i] = manager.or(on[i], minterm);
+                    on[i] = manager.or(&on[i], &minterm);
                 } else {
-                    off[i] = manager.or(off[i], minterm);
+                    off[i] = manager.or(&off[i], &minterm);
                 }
             }
         }
         // Well-definedness: on and off sets must be disjoint.
         for (i, &z) in locals.iter().enumerate() {
-            if manager.and(on[i], off[i]) != NodeId::FALSE {
+            let overlap = manager.and(&on[i], &off[i]);
+            if !overlap.is_false() {
                 return Err(SynthError::CodingConflict { signal: z });
             }
         }
@@ -80,11 +81,11 @@ impl<'a> NextStateFunctions<'a> {
         self.on_sets.iter().map(|&(z, _)| z)
     }
 
-    fn entry(&self, z: Signal) -> (Signal, NodeId) {
-        *self
-            .on_sets
+    fn entry(&self, z: Signal) -> (Signal, Func) {
+        self.on_sets
             .iter()
             .find(|&&(s, _)| s == z)
+            .map(|(s, f)| (*s, f.clone()))
             .unwrap_or_else(|| panic!("signal {z} is not circuit-driven"))
     }
 
@@ -93,13 +94,13 @@ impl<'a> NextStateFunctions<'a> {
     /// # Panics
     ///
     /// Panics if `z` is an input signal.
-    pub fn on_set(&self, z: Signal) -> NodeId {
+    pub fn on_set(&self, z: Signal) -> Func {
         self.entry(z).1
     }
 
     /// The characteristic function of reachable codes (care set).
-    pub fn care_set(&self) -> NodeId {
-        self.care
+    pub fn care_set(&self) -> Func {
+        self.care.clone()
     }
 
     /// Access to the shared BDD manager.
@@ -116,11 +117,12 @@ impl<'a> NextStateFunctions<'a> {
     /// Panics if `z` is an input signal.
     pub fn equation(&mut self, z: Signal) -> Equation<'a> {
         let (_, on) = self.entry(z);
-        let not_care = self.manager.not(self.care);
-        let upper = self.manager.or(on, not_care);
-        let (cubes, cover) = isop(&mut self.manager, on, upper);
+        let care = self.care.clone();
+        let not_care = self.manager.not(&care);
+        let upper = self.manager.or(&on, &not_care);
+        let (cubes, cover) = isop(&mut self.manager, &on, &upper);
         // The cover must agree with the on-set on the care space.
-        debug_assert_eq!(self.manager.and(cover, self.care), on);
+        debug_assert_eq!(self.manager.and(&cover, &care), on);
         Equation {
             stg: self.stg,
             signal: z,
@@ -136,10 +138,11 @@ impl<'a> NextStateFunctions<'a> {
     /// Panics if `z` is an input signal.
     pub fn unateness(&mut self, z: Signal) -> Unateness {
         let (_, on) = self.entry(z);
-        let not_care = self.manager.not(self.care);
-        let upper = self.manager.or(on, not_care);
-        let (_, cover) = isop(&mut self.manager, on, upper);
-        Unateness::of(&mut self.manager, cover, self.stg.num_signals() as u32)
+        let care = self.care.clone();
+        let not_care = self.manager.not(&care);
+        let upper = self.manager.or(&on, &not_care);
+        let (_, cover) = isop(&mut self.manager, &on, &upper);
+        Unateness::of(&mut self.manager, &cover, self.stg.num_signals() as u32)
     }
 
     /// Set/reset covers for a generalized C-element (gC)
@@ -155,26 +158,27 @@ impl<'a> NextStateFunctions<'a> {
     /// Panics if `z` is an input signal.
     pub fn gc_covers(&mut self, z: Signal) -> (Equation<'a>, Equation<'a>) {
         let (_, on) = self.entry(z);
+        let care = self.care.clone();
         let zvar = z.index() as u32;
         let m = &mut self.manager;
         let z_low = m.nvar(zvar);
         let z_high = m.var(zvar);
-        let not_on = m.not(on);
-        let off = m.and(self.care, not_on);
+        let not_on = m.not(&on);
+        let off = m.and(&care, &not_on);
         // Set: must cover (z=0 ∧ Nxt=1); must avoid (z=0 ∧ Nxt=0).
-        let set_lower = m.and(z_low, on);
-        let set_forbidden = m.and(z_low, off);
-        let set_upper = m.not(set_forbidden);
-        let (set_cubes, set_cover) = isop(m, set_lower, set_upper);
-        debug_assert_eq!(m.and(set_cover, set_lower), set_lower);
-        debug_assert_eq!(m.and(set_cover, set_forbidden), NodeId::FALSE);
+        let set_lower = m.and(&z_low, &on);
+        let set_forbidden = m.and(&z_low, &off);
+        let set_upper = m.not(&set_forbidden);
+        let (set_cubes, set_cover) = isop(m, &set_lower, &set_upper);
+        debug_assert_eq!(m.and(&set_cover, &set_lower), set_lower);
+        debug_assert!(m.and(&set_cover, &set_forbidden).is_false());
         // Reset: must cover (z=1 ∧ Nxt=0); must avoid (z=1 ∧ Nxt=1).
-        let reset_lower = m.and(z_high, off);
-        let reset_forbidden = m.and(z_high, on);
-        let reset_upper = m.not(reset_forbidden);
-        let (reset_cubes, reset_cover) = isop(m, reset_lower, reset_upper);
-        debug_assert_eq!(m.and(reset_cover, reset_lower), reset_lower);
-        debug_assert_eq!(m.and(reset_cover, reset_forbidden), NodeId::FALSE);
+        let reset_lower = m.and(&z_high, &off);
+        let reset_forbidden = m.and(&z_high, &on);
+        let reset_upper = m.not(&reset_forbidden);
+        let (reset_cubes, reset_cover) = isop(m, &reset_lower, &reset_upper);
+        debug_assert_eq!(m.and(&reset_cover, &reset_lower), reset_lower);
+        debug_assert!(m.and(&reset_cover, &reset_forbidden).is_false());
         (
             Equation {
                 stg: self.stg,
@@ -213,25 +217,26 @@ impl<'a> NextStateFunctions<'a> {
 
     fn has_monotone_completion(&mut self, z: Signal, increasing: bool) -> bool {
         let (_, on) = self.entry(z);
+        let care = self.care.clone();
         let n = self.stg.num_signals() as u32;
         let m = &mut self.manager;
-        let not_on = m.not(on);
-        let off = m.and(self.care, not_on);
+        let not_on = m.not(&on);
+        let off = m.and(&care, &not_on);
         // Second code block on variables n..2n.
-        let off_shifted = m.rename_monotone(off, &|v| v + n);
+        let off_shifted = m.rename_monotone(&off, &|v| v + n);
         // x ≤ y componentwise (x = block 0, y = block 1).
-        let mut leq = NodeId::TRUE;
+        let mut leq = m.constant(true);
         for v in 0..n {
             let (a, b) = if increasing { (v, v + n) } else { (v + n, v) };
             let na = m.nvar(a);
             let vb = m.var(b);
-            let clause = m.or(na, vb);
-            leq = m.and(leq, clause);
+            let clause = m.or(&na, &vb);
+            leq = m.and(&leq, &clause);
         }
         // A violating pair: on(x) ∧ off(y) ∧ x ≤ y (increasing case).
-        let pair = m.and(on, off_shifted);
-        let violation = m.and(pair, leq);
-        violation == NodeId::FALSE
+        let pair = m.and(&on, &off_shifted);
+        let violation = m.and(&pair, &leq);
+        violation.is_false()
     }
 
     /// Whether `Nxt_z` is implementable with monotonic gates in the
@@ -293,21 +298,21 @@ mod tests {
             let vd = m.var(dsr);
             let vc = m.var(csc_v);
             let nl = m.nvar(ldtack);
-            let or = m.or(vc, nl);
-            m.and(vd, or)
+            let or = m.or(&vc, &nl);
+            m.and(&vd, &or)
         };
         // Compare on the reachable codes only.
-        let mut cover = NodeId::FALSE;
+        let mut cover = m.constant(false);
         for cube in &equation.cubes {
-            let mut c = NodeId::TRUE;
+            let mut c = m.constant(true);
             for &(v, pos) in &cube.literals {
                 let lit = if pos { m.var(v) } else { m.nvar(v) };
-                c = m.and(c, lit);
+                c = m.and(&c, &lit);
             }
-            cover = m.or(cover, c);
+            cover = m.or(&cover, &c);
         }
-        let lhs = m.and(cover, care);
-        let rhs = m.and(paper, care);
+        let lhs = m.and(&cover, &care);
+        let rhs = m.and(&paper, &care);
         assert_eq!(
             lhs, rhs,
             "csc function matches the paper on reachable codes"

@@ -9,7 +9,7 @@
 //! n-normalcy ends up with a binate next-state function (like `csc`
 //! in the paper's Fig. 3 example).
 
-use bdd::{Bdd, NodeId};
+use bdd::{Bdd, Func};
 
 /// How a function depends on one variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +32,7 @@ pub struct Unateness {
 
 impl Unateness {
     /// Analyses `f` over variables `0..num_vars`.
-    pub fn of(m: &mut Bdd, f: NodeId, num_vars: u32) -> Self {
+    pub fn of(m: &mut Bdd, f: &Func, num_vars: u32) -> Self {
         let polarities = (0..num_vars)
             .map(|v| {
                 let f0 = m.restrict(f, v, false);
@@ -40,10 +40,10 @@ impl Unateness {
                 if f0 == f1 {
                     return VarPolarity::Independent;
                 }
-                let nf0 = m.not(f0);
-                let up = m.or(nf0, f1) == NodeId::TRUE; // f0 → f1
-                let nf1 = m.not(f1);
-                let down = m.or(nf1, f0) == NodeId::TRUE; // f1 → f0
+                let nf0 = m.not(&f0);
+                let up = m.or(&nf0, &f1).is_true(); // f0 → f1
+                let nf1 = m.not(&f1);
+                let down = m.or(&nf1, &f0).is_true(); // f1 → f0
                 match (up, down) {
                     (true, false) => VarPolarity::Positive,
                     (false, true) => VarPolarity::Negative,
@@ -110,10 +110,10 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let ny = m.not(y);
+        let ny = m.not(&y);
         // f = x ∧ ¬y: positive in x, negative in y.
-        let f = m.and(x, ny);
-        let u = Unateness::of(&mut m, f, 3);
+        let f = m.and(&x, &ny);
+        let u = Unateness::of(&mut m, &f, 3);
         assert_eq!(u.polarity(0), VarPolarity::Positive);
         assert_eq!(u.polarity(1), VarPolarity::Negative);
         assert_eq!(u.polarity(2), VarPolarity::Independent);
@@ -129,8 +129,8 @@ mod tests {
         let mut m = Bdd::new();
         let x = m.var(0);
         let y = m.var(1);
-        let f = m.xor(x, y);
-        let u = Unateness::of(&mut m, f, 2);
+        let f = m.xor(&x, &y);
+        let u = Unateness::of(&mut m, &f, 2);
         assert_eq!(u.polarity(0), VarPolarity::Binate);
         assert_eq!(u.polarity(1), VarPolarity::Binate);
         assert!(!u.is_unate());
@@ -140,7 +140,8 @@ mod tests {
     #[test]
     fn constants_have_empty_support() {
         let mut m = Bdd::new();
-        let u = Unateness::of(&mut m, NodeId::TRUE, 4);
+        let t = m.constant(true);
+        let u = Unateness::of(&mut m, &t, 4);
         assert_eq!(u.support().count(), 0);
         assert!(u.is_monotonic());
     }
@@ -151,12 +152,12 @@ mod tests {
         let x = m.var(0);
         let y = m.var(1);
         let z = m.var(2);
-        let xy = m.and(x, y);
-        let yz = m.and(y, z);
-        let xz = m.and(x, z);
-        let t = m.or(xy, yz);
-        let maj = m.or(t, xz);
-        let u = Unateness::of(&mut m, maj, 3);
+        let xy = m.and(&x, &y);
+        let yz = m.and(&y, &z);
+        let xz = m.and(&x, &z);
+        let t = m.or(&xy, &yz);
+        let maj = m.or(&t, &xz);
+        let u = Unateness::of(&mut m, &maj, 3);
         for v in 0..3 {
             assert_eq!(u.polarity(v), VarPolarity::Positive);
         }

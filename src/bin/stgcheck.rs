@@ -41,8 +41,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use stg_coding_conflicts::csc_core::{
-    check_property, check_property_with, Artifacts, Budget, CheckOutcome, Checker, Engine,
-    Property, Verdict,
+    Artifacts, Budget, CheckOutcome, CheckRequest, Checker, Engine, Property, ResourceReport,
+    Verdict,
 };
 use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
 use stg_coding_conflicts::server::Client;
@@ -238,24 +238,41 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
             }
         }
     } else {
-        let run = check_property(model, property, engine, &budget).map_err(|e| e.to_string())?;
-        match run.verdict {
+        let run = CheckRequest::new(model, property)
+            .engine(engine)
+            .budget(budget)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let code = match run.verdict {
             Verdict::Holds => {
                 println!("{property:?}: satisfied");
-                Ok(0)
+                0
             }
             Verdict::Violated(_) => {
                 println!("{property:?}: CONFLICT");
-                Ok(1)
+                1
             }
             Verdict::Unknown(reason) => {
                 println!(
                     "{property:?}: UNKNOWN ({reason}) after {:?} [engine {}]",
                     run.report.elapsed, run.report.engine
                 );
-                Ok(3)
+                3
             }
-        }
+        };
+        print_bdd_stats(&run.report);
+        Ok(code)
+    }
+}
+
+/// Prints the BDD manager counters when the run touched the symbolic
+/// stage (peak/live nodes, collections, sifting passes).
+fn print_bdd_stats(report: &ResourceReport) {
+    if let Some(stats) = &report.bdd {
+        println!(
+            "  bdd: {} peak live nodes ({} live at end), {} gc run(s), {} reorder pass(es)",
+            stats.peak_live_nodes, stats.live_nodes, stats.gc_runs, stats.reorder_passes
+        );
     }
 }
 
@@ -268,7 +285,11 @@ fn check_all(model: &Stg, flags: &[String]) -> Result<u8, String> {
     let artifacts = Artifacts::of(model);
     let mut worst = 0u8;
     for property in [Property::Usc, Property::Csc, Property::Normalcy] {
-        let run = check_property_with(&artifacts, property, engine, &budget)
+        let run = CheckRequest::new(model, property)
+            .engine(engine)
+            .budget(budget.clone())
+            .artifacts(&artifacts)
+            .run()
             .map_err(|e| e.to_string())?;
         let built = run
             .report
@@ -291,6 +312,7 @@ fn check_all(model: &Stg, flags: &[String]) -> Result<u8, String> {
                 3
             }
         };
+        print_bdd_stats(&run.report);
         // Conflicts dominate inconclusive results, which dominate ok.
         worst = match (worst, code) {
             (1, _) | (_, 1) => 1,

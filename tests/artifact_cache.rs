@@ -5,9 +5,7 @@
 //! prefixes, state graphs and symbolic encodings must never change an
 //! answer, only skip work.
 
-use stg_coding_conflicts::csc_core::{
-    check_property, check_property_with, Artifacts, Budget, Engine, Property, Verdict,
-};
+use stg_coding_conflicts::csc_core::{Artifacts, Budget, CheckRequest, Engine, Property, Verdict};
 use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
 use stg_coding_conflicts::stg::gen::vme::{vme_read, vme_read_csc_resolved};
 use stg_coding_conflicts::stg::Stg;
@@ -39,13 +37,22 @@ fn assert_cold_equals_warm(stg: &Stg, label: &str) {
     for engine in ENGINES {
         let artifacts = Artifacts::of(stg);
         for property in PROPERTIES {
-            let cold = check_property(stg, property, engine, &budget)
+            let cold = CheckRequest::new(stg, property)
+                .engine(engine)
+                .budget(budget.clone())
+                .run()
                 .unwrap_or_else(|e| panic!("{label}/{engine:?}/{property:?} cold: {e}"));
             // First call warms the stages, second is the pure-reuse run.
-            let _ = check_property_with(&artifacts, property, engine, &budget)
-                .unwrap_or_else(|e| panic!("{label}/{engine:?}/{property:?} warmup: {e}"));
-            let warm = check_property_with(&artifacts, property, engine, &budget)
-                .unwrap_or_else(|e| panic!("{label}/{engine:?}/{property:?} warm: {e}"));
+            let shared = |tag: &str| {
+                CheckRequest::new(stg, property)
+                    .engine(engine)
+                    .budget(budget.clone())
+                    .artifacts(&artifacts)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}/{engine:?}/{property:?} {tag}: {e}"))
+            };
+            let _ = shared("warmup");
+            let warm = shared("warm");
             if engine == Engine::Race {
                 // The race adopts whichever member concludes first, so
                 // only the three-valued outcome is deterministic.

@@ -1,0 +1,168 @@
+//! Differential validation of the BDD node manager: garbage
+//! collection (forced every N allocations vs off) and sifting
+//! reordering (on vs off) must never change a symbolic answer — state
+//! counts, conflict-pair counts, USC/CSC witnesses, per-signal
+//! normalcy verdicts and normalcy witnesses all have to come back
+//! bit-identical across manager configurations, on every Table 1
+//! family and for all three properties.
+//!
+//! Witness identity across configurations is only possible because
+//! the symbolic engine decodes witnesses through the manager's
+//! order-independent `first_sat` (the lexicographically minimal
+//! satisfying assignment reading variable 0 first), so a reordered or
+//! collected manager still picks the same concrete state pair.
+
+use stg_coding_conflicts::stg::gen::counterflow::{counterflow_asym, counterflow_sym};
+use stg_coding_conflicts::stg::gen::duplex::{dup_4ph, dup_mod};
+use stg_coding_conflicts::stg::gen::ring::{eager_ring, lazy_ring};
+use stg_coding_conflicts::stg::{Signal, Stg};
+use stg_coding_conflicts::symbolic::{
+    NormalcyPairWitness, SymbolicChecker, SymbolicOptions, SymbolicWitness,
+};
+
+/// One Table 1 family at a size the debug-mode symbolic engine
+/// finishes quickly; the benchmark harness covers the full-size rows.
+fn families() -> Vec<(&'static str, Stg)> {
+    vec![
+        ("LAZYRING", lazy_ring(4)),
+        ("RING", eager_ring(3)),
+        ("DUP-4PH", dup_4ph(1, false)),
+        ("DUP-MOD", dup_mod(2)),
+        ("CF-SYM", counterflow_sym(2, 3)),
+        ("CF-ASYM", counterflow_asym(3, 2)),
+    ]
+}
+
+/// Everything a symbolic run can answer, collected under one manager
+/// configuration. `bdd_nodes` is deliberately absent: peak memory is
+/// exactly what the configurations are allowed to change.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    num_states: f64,
+    usc_pairs: f64,
+    csc_pairs: f64,
+    usc_witness: Option<SymbolicWitness>,
+    csc_witness: Option<SymbolicWitness>,
+    /// `(signal, p_normal, n_normal)` per circuit-driven signal.
+    normalcy: Vec<(Signal, bool, bool)>,
+    /// Witness of the first non-normal signal, when one exists.
+    normalcy_witness: Option<NormalcyPairWitness>,
+}
+
+/// Runs the full battery (USC + CSC + normalcy, with witnesses) under
+/// `options`, optionally forcing an aggressive sifting threshold.
+fn answers(stg: &Stg, options: SymbolicOptions, reorder_threshold: Option<usize>) -> Answers {
+    let mut checker = SymbolicChecker::with_options(stg, options);
+    if reorder_threshold.is_some() {
+        checker.set_auto_reorder_threshold(reorder_threshold);
+    }
+    let report = checker.analyse();
+    let usc_witness = checker.usc_witness();
+    let csc_witness = checker.csc_witness();
+    let locals: Vec<Signal> = stg.local_signals().collect();
+    let normalcy: Vec<(Signal, bool, bool)> = locals
+        .iter()
+        .map(|&z| {
+            let (p, n) = checker.normalcy_of(z);
+            (z, p, n)
+        })
+        .collect();
+    let normalcy_witness = normalcy
+        .iter()
+        .find(|(_, p, n)| !p && !n)
+        .and_then(|&(z, _, _)| checker.normalcy_witness(z));
+    Answers {
+        num_states: report.num_states,
+        usc_pairs: report.usc_pairs,
+        csc_pairs: report.csc_pairs,
+        usc_witness,
+        csc_witness,
+        normalcy,
+        normalcy_witness,
+    }
+}
+
+const UNMANAGED: SymbolicOptions = SymbolicOptions {
+    partitioned: true,
+    gc: false,
+    auto_reorder: false,
+    gc_every: None,
+};
+
+#[test]
+fn forced_gc_never_changes_an_answer() {
+    for (name, stg) in families() {
+        let baseline = answers(&stg, UNMANAGED, None);
+        // GC forced at every 512th allocation: collections land in
+        // the middle of fixpoint iterations and conflict-pair
+        // constructions, not just at tidy boundaries.
+        let collected = answers(
+            &stg,
+            SymbolicOptions {
+                gc: true,
+                gc_every: Some(512),
+                ..UNMANAGED
+            },
+            None,
+        );
+        assert_eq!(baseline, collected, "{name}: GC changed an answer");
+    }
+}
+
+#[test]
+fn sifting_never_changes_an_answer() {
+    for (name, stg) in families() {
+        let baseline = answers(&stg, UNMANAGED, None);
+        // Sifting triggered from 256 live nodes: every family except
+        // the most trivial reorders at least once mid-analysis.
+        let sifted = answers(
+            &stg,
+            SymbolicOptions {
+                auto_reorder: true,
+                ..UNMANAGED
+            },
+            Some(256),
+        );
+        assert_eq!(baseline, sifted, "{name}: sifting changed an answer");
+    }
+}
+
+#[test]
+fn gc_and_sifting_together_never_change_an_answer() {
+    for (name, stg) in families() {
+        let baseline = answers(&stg, UNMANAGED, None);
+        let managed = answers(
+            &stg,
+            SymbolicOptions {
+                gc: true,
+                gc_every: Some(512),
+                auto_reorder: true,
+                ..UNMANAGED
+            },
+            Some(256),
+        );
+        assert_eq!(baseline, managed, "{name}: GC + sifting changed an answer");
+    }
+}
+
+/// The aggressive configurations above must actually exercise the
+/// manager — a differential suite whose stressed leg never collects
+/// or reorders proves nothing.
+#[test]
+fn the_stressed_configurations_really_collect_and_reorder() {
+    let stg = counterflow_asym(3, 2);
+    let mut checker = SymbolicChecker::with_options(
+        &stg,
+        SymbolicOptions {
+            gc: true,
+            gc_every: Some(512),
+            auto_reorder: true,
+            ..UNMANAGED
+        },
+    );
+    checker.set_auto_reorder_threshold(Some(256));
+    let _ = checker.analyse();
+    let stats = checker.bdd_stats();
+    assert!(stats.gc_runs > 0, "no collection ran: {stats:?}");
+    assert!(stats.reorder_passes > 0, "no sifting pass ran: {stats:?}");
+}

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use bench_harness::models;
 use stg_coding_conflicts::csc_core::{
-    check_property, Budget, CancelToken, Engine, ExhaustionReason, Property, Verdict,
+    Budget, CancelToken, CheckRequest, Engine, ExhaustionReason, Property, Verdict,
 };
 use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
 
@@ -49,7 +49,11 @@ fn tiny_budgets_yield_unknown_with_the_right_reason() {
         ),
     ];
     for (engine, budget, expected) in cases {
-        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(engine)
+            .budget(budget)
+            .run()
+            .unwrap();
         match &run.verdict {
             Verdict::Unknown(reason) => {
                 assert!(expected(reason), "{engine:?}: wrong reason {reason:?}")
@@ -69,7 +73,11 @@ fn pre_cancelled_token_stops_every_engine() {
     token.cancel();
     let budget = Budget::unlimited().with_cancel(token);
     for engine in ALL_ENGINES {
-        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(engine)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
         assert_eq!(
             run.verdict,
             Verdict::Unknown(ExhaustionReason::Cancelled),
@@ -86,7 +94,11 @@ fn expired_deadline_yields_unknown_for_every_engine() {
     let budget = Budget::unlimited().with_deadline(Duration::ZERO);
     for engine in ALL_ENGINES {
         let start = Instant::now();
-        let run = check_property(&stg, Property::Csc, engine, &budget).unwrap();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(engine)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(
             run.verdict,
@@ -108,7 +120,11 @@ fn symbolic_respects_deadline_on_adversarial_input() {
     let deadline = Duration::from_millis(100);
     let budget = Budget::unlimited().with_deadline(deadline);
     let start = Instant::now();
-    let run = check_property(&stg, Property::Csc, Engine::SymbolicBdd, &budget).unwrap();
+    let run = CheckRequest::new(&stg, Property::Csc)
+        .engine(Engine::SymbolicBdd)
+        .budget(budget)
+        .run()
+        .unwrap();
     let elapsed = start.elapsed();
     assert_eq!(
         run.verdict,
@@ -131,7 +147,11 @@ fn symbolic_respects_deadline_on_adversarial_input() {
 fn portfolio_matches_expected_csc_on_table1_roster() {
     let budget = Budget::unlimited().with_deadline(Duration::from_secs(120));
     for model in models() {
-        let run = check_property(&model.stg, Property::Csc, Engine::Portfolio, &budget).unwrap();
+        let run = CheckRequest::new(&model.stg, Property::Csc)
+            .engine(Engine::Portfolio)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
         assert_eq!(
             run.verdict.holds(),
             Some(model.expect_csc),

@@ -12,7 +12,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use stg_coding_conflicts::csc_core::{
-    check_property, Budget, CancelToken, Engine, ExhaustionReason, Property, Verdict,
+    Budget, CancelToken, CheckRequest, Engine, ExhaustionReason, Property, Verdict,
 };
 use stg_coding_conflicts::stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg_coding_conflicts::stg::Stg;
@@ -49,7 +49,11 @@ fn cancelled_run(engine: Engine) -> (Verdict, Duration) {
         token.cancel();
     });
     let start = Instant::now();
-    let run = check_property(&stg, Property::Csc, engine, &budget).expect("engine ran");
+    let run = CheckRequest::new(&stg, Property::Csc)
+        .engine(engine)
+        .budget(budget)
+        .run()
+        .expect("engine ran");
     let elapsed = start.elapsed();
     canceller.join().expect("canceller thread");
     (run.verdict, elapsed)

@@ -2,7 +2,7 @@
 //! state graph and the symbolic BDD engine must agree on every
 //! generated model, including randomly generated consistent STGs.
 
-use stg_coding_conflicts::csc_core::{check_property_bool, Engine, Property};
+use stg_coding_conflicts::csc_core::{CheckRequest, Engine, Property};
 use stg_coding_conflicts::stg::gen::arbiter::mutex_arbiter;
 use stg_coding_conflicts::stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg_coding_conflicts::stg::gen::duplex::{dup_4ph, dup_mod};
@@ -22,7 +22,12 @@ fn assert_agreement(stg: &Stg, label: &str) {
     for property in [Property::Usc, Property::Csc] {
         let verdicts: Vec<bool> = ENGINES
             .iter()
-            .map(|&e| check_property_bool(stg, property, e).unwrap())
+            .map(|&e| {
+                CheckRequest::new(stg, property)
+                    .engine(e)
+                    .run_bool()
+                    .unwrap()
+            })
             .collect();
         assert!(
             verdicts.windows(2).all(|w| w[0] == w[1]),
@@ -88,8 +93,9 @@ fn random_larger_stgs_agree_on_unfolding_vs_explicit() {
         };
         let stg = random_stg(&config, 1000 + seed);
         for property in [Property::Usc, Property::Csc] {
-            let a = check_property_bool(&stg, property, Engine::UnfoldingIlp).unwrap();
-            let b = check_property_bool(&stg, property, Engine::ExplicitStateGraph).unwrap();
+            let check = |e| CheckRequest::new(&stg, property).engine(e).run_bool();
+            let a = check(Engine::UnfoldingIlp).unwrap();
+            let b = check(Engine::ExplicitStateGraph).unwrap();
             assert_eq!(a, b, "seed {seed}, {property:?}");
         }
     }
@@ -104,8 +110,13 @@ fn normalcy_agreement_on_small_models() {
         ("dup_1r", dup_4ph(1, true)),
         ("pipeline_2", muller_pipeline(2)),
     ] {
-        let a = check_property_bool(&stg, Property::Normalcy, Engine::UnfoldingIlp).unwrap();
-        let b = check_property_bool(&stg, Property::Normalcy, Engine::ExplicitStateGraph).unwrap();
+        let check = |e| {
+            CheckRequest::new(&stg, Property::Normalcy)
+                .engine(e)
+                .run_bool()
+        };
+        let a = check(Engine::UnfoldingIlp).unwrap();
+        let b = check(Engine::ExplicitStateGraph).unwrap();
         assert_eq!(a, b, "{label}");
     }
 }

@@ -6,9 +6,7 @@
 //! literal state-based definitions — and these tests pin that
 //! behaviour down.
 
-use stg_coding_conflicts::csc_core::{
-    check_property_bool, CheckOutcome, Checker, Engine, Property,
-};
+use stg_coding_conflicts::csc_core::{CheckOutcome, CheckRequest, Checker, Engine, Property};
 use stg_coding_conflicts::stg::{CodeVec, Edge, SignalKind, Stg, StgBuilder};
 
 /// A 4-phase handshake with a dummy "synchronisation" step between
@@ -53,7 +51,12 @@ fn engines_agree_on_dummy_models() {
             Engine::SymbolicBdd,
         ]
         .iter()
-        .map(|&e| check_property_bool(&stg, property, e).unwrap())
+        .map(|&e| {
+            CheckRequest::new(&stg, property)
+                .engine(e)
+                .run_bool()
+                .unwrap()
+        })
         .collect();
         assert!(
             verdicts.windows(2).all(|w| w[0] == w[1]),

@@ -2,7 +2,7 @@
 //! state signal of a resolved model re-introduces the conflict it
 //! resolved, and deadlock structure obeys the classical siphon lemma.
 
-use stg_coding_conflicts::csc_core::{check_property_bool, Engine, Property};
+use stg_coding_conflicts::csc_core::{CheckRequest, Engine, Property};
 use stg_coding_conflicts::petri::siphons;
 use stg_coding_conflicts::resolve::{resolve_csc, ResolveOutcome};
 use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
@@ -35,7 +35,12 @@ fn engines_agree_on_hidden_signal_models() {
             Engine::SymbolicBdd,
         ]
         .iter()
-        .map(|&e| check_property_bool(&hidden, property, e).unwrap())
+        .map(|&e| {
+            CheckRequest::new(&hidden, property)
+                .engine(e)
+                .run_bool()
+                .unwrap()
+        })
         .collect();
         assert!(
             verdicts.windows(2).all(|w| w[0] == w[1]),

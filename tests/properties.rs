@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use stg_coding_conflicts::csc_core::{check_property_bool, Engine, Property};
+use stg_coding_conflicts::csc_core::{CheckRequest, Engine, Property};
 use stg_coding_conflicts::ilp::{Problem, Solver, SolverOptions};
 use stg_coding_conflicts::stg::gen::random::{random_stg, RandomStgConfig};
 use stg_coding_conflicts::stg::{self, StateGraph};
@@ -103,8 +103,13 @@ proptest! {
             prop_assert_eq!(back.signal_kind(bz), model.signal_kind(z));
         }
         // Same verdicts through the explicit engine.
-        let a = check_property_bool(&model, Property::Csc, Engine::ExplicitStateGraph).unwrap();
-        let b = check_property_bool(&back, Property::Csc, Engine::ExplicitStateGraph).unwrap();
+        let explicit = |stg| {
+            CheckRequest::new(stg, Property::Csc)
+                .engine(Engine::ExplicitStateGraph)
+                .run_bool()
+        };
+        let a = explicit(&model).unwrap();
+        let b = explicit(&back).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -114,8 +119,9 @@ proptest! {
     fn engines_agree_on_random_models(config in arb_config(), seed in 0u64..10_000) {
         let model = random_stg(&config, seed);
         for property in [Property::Usc, Property::Csc] {
-            let a = check_property_bool(&model, property, Engine::UnfoldingIlp).unwrap();
-            let b = check_property_bool(&model, property, Engine::ExplicitStateGraph).unwrap();
+            let check = |e| CheckRequest::new(&model, property).engine(e).run_bool();
+            let a = check(Engine::UnfoldingIlp).unwrap();
+            let b = check(Engine::ExplicitStateGraph).unwrap();
             prop_assert_eq!(a, b, "{:?}", property);
         }
     }
