@@ -35,7 +35,9 @@ impl Bdd {
         let Some(marks) = self.mark() else {
             return 0;
         };
-        self.sweep(&marks)
+        let freed = self.sweep(&marks);
+        self.gc_runs += 1;
+        freed
     }
 
     /// Computes reachability from the external roots. Returns `None`
@@ -74,7 +76,10 @@ impl Bdd {
     }
 
     /// Frees every unmarked, non-free slot and invalidates the
-    /// operation cache. Returns the number of nodes freed.
+    /// operation cache. Returns the number of nodes freed. Does not
+    /// bump `gc_runs`: only the collection entry points count as GC
+    /// runs, not the garbage-free sweep at the start of a reorder
+    /// pass.
     pub(crate) fn sweep(&mut self, marks: &[bool]) -> usize {
         let mut freed = 0;
         for (i, &marked) in marks.iter().enumerate().take(self.nodes.len()).skip(2) {
@@ -91,7 +96,6 @@ impl Bdd {
             // Cache entries may mention freed (soon recycled) slots.
             self.ite_cache.clear();
         }
-        self.gc_runs += 1;
         freed
     }
 }

@@ -403,6 +403,7 @@ impl Bdd {
         let dead = live.saturating_sub(marked);
         if forced || dead * 5 >= live {
             self.sweep(&marks);
+            self.gc_runs += 1;
             self.gc_threshold = self.gc_threshold.max(self.live_nodes() * 2);
         } else if grown {
             self.gc_threshold = self.gc_threshold.saturating_mul(2);

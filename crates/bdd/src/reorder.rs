@@ -364,6 +364,20 @@ mod tests {
     }
 
     #[test]
+    fn reorder_passes_do_not_count_as_gc_runs() {
+        let mut m = Bdd::new();
+        let f = pairs_function(&mut m);
+        m.reorder();
+        assert_eq!(m.stats().reorder_passes, 1);
+        // The garbage-free sweep at the start of the pass is not a
+        // GC run.
+        assert_eq!(m.stats().gc_runs, 0);
+        drop(f);
+        assert!(m.collect_garbage() > 0);
+        assert_eq!(m.stats().gc_runs, 1);
+    }
+
+    #[test]
     fn auto_reorder_triggers_and_keeps_semantics() {
         let mut m = Bdd::new();
         m.set_auto_reorder(Some(16));

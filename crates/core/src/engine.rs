@@ -181,9 +181,11 @@ impl<'a> CheckRequest<'a> {
     }
 
     /// Attaches a shared [`Artifacts`] set (which must wrap the same
-    /// STG); derived structures are cached there and reused by later
-    /// checks on the same set. See the [`crate::artifact`] module docs
-    /// for the reuse soundness argument.
+    /// STG — debug builds assert this, by canonical hash, in
+    /// [`CheckRequest::run`]); derived structures are cached there and
+    /// reused by later checks on the same set. See the
+    /// [`crate::artifact`] module docs for the reuse soundness
+    /// argument.
     pub fn artifacts(mut self, artifacts: &'a Artifacts) -> Self {
         self.artifacts = Some(artifacts);
         self
@@ -202,7 +204,20 @@ impl<'a> CheckRequest<'a> {
     /// error: it is the [`Verdict::Unknown`] verdict.
     pub fn run(self) -> Result<CheckRun, CheckError> {
         match self.artifacts {
-            Some(artifacts) => dispatch(artifacts, self.property, self.engine, &self.budget),
+            Some(artifacts) => {
+                // An Artifacts set built from a different STG would
+                // silently check the wrong net: the request's `stg` is
+                // ignored in favour of the set's. Catch the mismatch
+                // cheaply (pointer identity, then cached canonical
+                // hashes) in debug builds.
+                debug_assert!(
+                    std::ptr::eq(artifacts.stg(), self.stg)
+                        || artifacts.hash() == self.stg.canonical_hash(),
+                    "CheckRequest::artifacts: the attached Artifacts set wraps a \
+                     different STG than the one the request was built from"
+                );
+                dispatch(artifacts, self.property, self.engine, &self.budget)
+            }
             None => dispatch(
                 &Artifacts::of(self.stg),
                 self.property,
@@ -785,6 +800,18 @@ mod tests {
                 .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "different STG")]
+    fn mismatched_artifacts_are_rejected_in_debug_builds() {
+        let stg = vme_read();
+        let other = counterflow_sym(2, 2);
+        let artifacts = Artifacts::of(&other);
+        let _ = CheckRequest::new(&stg, Property::Usc)
+            .artifacts(&artifacts)
+            .run();
     }
 
     #[test]

@@ -438,6 +438,11 @@ impl SymbolicChecker {
                 reached = new_reached;
             }
         }
+        // An interrupt latched *inside* a BDD operation makes its
+        // result the FALSE handle, which the loops above read as
+        // convergence — re-check before caching so a partial set is
+        // never cached or returned as complete.
+        self.check_budget(budget)?;
         self.reached = Some(reached.clone());
         Ok(reached)
     }
@@ -937,6 +942,46 @@ mod tests {
         // The same checker still completes without a budget.
         let report = checker.analyse();
         assert!(report.num_states > 0.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_never_poisons_the_reached_cache() {
+        // An interrupt latched mid-fixpoint makes the interrupted
+        // operation return FALSE, which the loop used to read as
+        // convergence — caching a *partial* reachable set that a later
+        // unlimited run on the same (warm) checker would then trust.
+        // Sweep node caps across the fixpoint's working range (the
+        // loop starts at ~2.7k nodes and peaks at ~8.4k on this
+        // instance) so some run trips mid-iteration — caps below the
+        // loop entry are caught by the loop-head check and never
+        // exercise the window. Insist every failed budgeted run leaves
+        // the checker able to produce the exact ground-truth report
+        // afterwards.
+        let stg = counterflow_sym(2, 2);
+        let truth = SymbolicChecker::new(&stg).analyse();
+        assert!(truth.num_states > 0.0);
+        for partitioned in [true, false] {
+            for cap in (2500..8600).step_by(211) {
+                let mut checker = SymbolicChecker::with_options(
+                    &stg,
+                    SymbolicOptions {
+                        partitioned,
+                        ..SymbolicOptions::default()
+                    },
+                );
+                let budget = SymbolicBudget {
+                    max_nodes: Some(cap),
+                    ..Default::default()
+                };
+                if checker.try_analyse(&budget).is_err() {
+                    let report = checker.analyse();
+                    let ctx = format!("cap {cap}, partitioned {partitioned}");
+                    assert_eq!(report.num_states, truth.num_states, "{ctx}");
+                    assert_eq!(report.usc_pairs, truth.usc_pairs, "{ctx}");
+                    assert_eq!(report.csc_pairs, truth.csc_pairs, "{ctx}");
+                }
+            }
+        }
     }
 
     #[test]
