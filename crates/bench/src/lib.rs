@@ -173,6 +173,14 @@ pub struct TableRow {
     pub solver_steps: Option<u64>,
     /// The CSC verdict (`None` when both engines were inconclusive).
     pub csc: Option<bool>,
+    /// Static lint pass time (structural checks, semiflow proofs and
+    /// the LP-relaxation proofs), milliseconds.
+    pub lint_ms: f64,
+    /// Whether the lint LP relaxation proved USC/CSC outright — a
+    /// verdict obtained with zero state-space exploration. Must only
+    /// ever be `true` on conflict-free rows (checked by
+    /// `verdicts_ok`).
+    pub lint_proved: bool,
     /// Whether every *definite* verdict matched the expectation and
     /// the other engine; inconclusive runs are not mismatches.
     pub verdicts_ok: bool,
@@ -197,6 +205,14 @@ fn checker_options(budget: &Budget) -> CheckerOptions {
 /// other's leftovers).
 pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
     let stg = &model.stg;
+
+    // The static pass first: no state-space exploration, so its time
+    // is comparable against both engines' columns. On the
+    // conflict-free half the LP proof alone decides the row.
+    let t_lint = Instant::now();
+    let lint_report = lint::lint_stg(stg, &lint::LintOptions::default());
+    let lint_ms = t_lint.elapsed().as_secs_f64() * 1e3;
+    let lint_proved = lint_report.proofs.usc_proved;
 
     let t0 = Instant::now();
     let mut symbolic = SymbolicChecker::new(stg);
@@ -248,7 +264,11 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
         (Some(clp), Some(sym)) => clp == model.expect_csc && sym == clp,
         (Some(v), None) | (None, Some(v)) => v == model.expect_csc,
         (None, None) => true,
-    };
+    }
+    // The LP proof is sound: claiming USC/CSC on a conflicted row
+    // (or erroring on a Table 1 family) would be a lint bug.
+    && (!lint_proved || model.expect_csc)
+        && !lint_report.has_errors();
     TableRow {
         name: model.name.to_owned(),
         s: stg.net().num_places(),
@@ -265,6 +285,8 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
         bdd_nodes: symbolic.nodes_allocated(),
         solver_steps,
         csc: clp_csc.or(sym_csc),
+        lint_ms,
+        lint_proved,
         verdicts_ok,
     }
 }
@@ -274,15 +296,15 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
 pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} | {:>4} {:>3}\n",
-        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "CSC", "ok"
+        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} {:>8} | {:>4} {:>3} {:>3}\n",
+        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "Lnt[ms]", "CSC", "LP", "ok"
     ));
-    out.push_str(&"-".repeat(100));
+    out.push_str(&"-".repeat(112));
     out.push('\n');
     let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} | {:>4} {:>3}\n",
+            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} {:>8.2} | {:>4} {:>3} {:>3}\n",
             r.name,
             r.s,
             r.t,
@@ -293,11 +315,13 @@ pub fn format_table(rows: &[TableRow]) -> String {
             r.states.map_or_else(|| "-".to_owned(), |s| format!("{s:.0}")),
             r.pfy_ms,
             r.clp_ms,
+            r.lint_ms,
             match r.csc {
                 Some(true) => "yes",
                 Some(false) => "no",
                 None => "?",
             },
+            if r.lint_proved { "yes" } else { "-" },
             if r.verdicts_ok { "ok" } else { "BAD" },
         ));
     }
@@ -881,6 +905,8 @@ pub fn table_to_json(rows: &[TableRow]) -> String {
                 .number("bdd_nodes", r.bdd_nodes)
                 .opt_number("solver_steps", r.solver_steps)
                 .opt_boolean("csc", r.csc)
+                .float("lint_ms", r.lint_ms)
+                .boolean("lint_proved", r.lint_proved)
                 .boolean("verdicts_ok", r.verdicts_ok);
             o
         })
@@ -1031,6 +1057,9 @@ mod tests {
             assert_eq!(row.csc, Some(model.expect_csc));
             assert_eq!(row.pfy_outcome, "completed");
             assert_eq!(row.clp_outcome, "completed");
+            // The static LP proof decides exactly the conflict-free
+            // half of the roster, with no exploration at all.
+            assert_eq!(row.lint_proved, model.expect_csc, "{}", row.name);
         }
     }
 

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of `loom` this workspace uses.
+//!
+//! The build environment has no crate registry, so the workspace
+//! vendors a compact schedule-perturbation harness with the same
+//! surface syntax as the real crate: [`model`], `loom::thread`
+//! (`spawn` / `yield_now`), `loom::sync::Arc`, `loom::sync::Mutex`
+//! and the instrumented atomics under `loom::sync::atomic`.
+//!
+//! Differences from the real crate, deliberate for this environment:
+//!
+//! * **not exhaustive** — real loom enumerates every interleaving of
+//!   the instrumented operations under a DPOR-pruned model checker;
+//!   this stand-in reruns the closure under [`SCHEDULES`] distinct
+//!   pseudo-random schedules, injecting OS-level yields before each
+//!   instrumented atomic access so the threads genuinely interleave
+//!   differently from run to run;
+//! * schedules are deterministic (SplitMix64 streams seeded per
+//!   iteration and per thread), so a failure reproduces on re-run
+//!   even though the OS scheduler has the final word;
+//! * there is no `UnsafeCell` instrumentation and no C11 memory-model
+//!   simulation: on the x86_64 test hosts the perturbed real
+//!   execution is the model.
+//!
+//! The covered tests therefore still run their assertions under many
+//! genuinely different thread orders — enough to pin a handshake
+//! protocol regression — while keeping the `loom::` source syntax so
+//! the real checker can be swapped in where a registry exists.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// How many distinct schedules [`model`] runs the closure under.
+pub const SCHEDULES: usize = 64;
+
+/// Per-iteration base seed; every thread folds its own id into this
+/// so sibling threads follow decorrelated yield streams.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A schedule perturbation point: every instrumented operation calls
+/// this, and roughly every other call yields the time slice so the
+/// interleaving depends on the per-thread pseudo-random stream.
+fn perturb() {
+    let roll = LOCAL_RNG.with(|cell| {
+        let mut state = cell.get();
+        if state == 0 {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut hasher);
+            state = (SCHEDULE_SEED.load(StdOrdering::Relaxed) ^ hasher.finish()) | 1;
+        }
+        let roll = splitmix(&mut state);
+        cell.set(state);
+        roll
+    });
+    if roll % 2 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` under [`SCHEDULES`] deterministic pseudo-random schedules
+/// (the real crate's entry point runs it under *every* schedule).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for iteration in 0..SCHEDULES as u64 {
+        let mut seed = iteration;
+        SCHEDULE_SEED.store(splitmix(&mut seed), StdOrdering::Relaxed);
+        // Re-seed the driving thread so it too changes schedule
+        // between iterations; worker threads are fresh each time.
+        LOCAL_RNG.with(|cell| cell.set(0));
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns an OS thread whose instrumented operations follow a
+    /// schedule stream of its own.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::perturb();
+            f()
+        })
+    }
+
+    /// An explicit scheduling point inside spin loops.
+    pub fn yield_now() {
+        super::perturb();
+        std::thread::yield_now();
+    }
+}
+
+/// Mirror of `loom::sync`: shared-state primitives. `Arc` and
+/// `Mutex` are the std types (lock acquisition already reaches the
+/// OS scheduler); the atomics are instrumented wrappers.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+    /// Instrumented atomics: each access is a perturbation point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// `loom::sync::atomic::AtomicBool`: a [`std::sync::atomic::AtomicBool`]
+        /// whose every access first yields to the schedule stream.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// A new flag with the given initial value.
+            pub fn new(value: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(value))
+            }
+
+            /// Instrumented load.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::perturb();
+                self.0.load(order)
+            }
+
+            /// Instrumented store.
+            pub fn store(&self, value: bool, order: Ordering) {
+                crate::perturb();
+                self.0.store(value, order);
+            }
+        }
+
+        /// `loom::sync::atomic::AtomicUsize`, instrumented like
+        /// [`AtomicBool`].
+        #[derive(Debug, Default)]
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// A new counter with the given initial value.
+            pub fn new(value: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(value))
+            }
+
+            /// Instrumented load.
+            pub fn load(&self, order: Ordering) -> usize {
+                crate::perturb();
+                self.0.load(order)
+            }
+
+            /// Instrumented store.
+            pub fn store(&self, value: usize, order: Ordering) {
+                crate::perturb();
+                self.0.store(value, order);
+            }
+
+            /// Instrumented fetch-add.
+            pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+                crate::perturb();
+                self.0.fetch_add(value, order)
+            }
+
+            /// Instrumented compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: usize,
+                new: usize,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<usize, usize> {
+                crate::perturb();
+                self.0.compare_exchange(current, new, success, failure)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_every_schedule() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&runs);
+        super::model(move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), super::SCHEDULES);
+    }
+
+    #[test]
+    fn instrumented_atomics_cross_threads() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let setter = Arc::clone(&flag);
+            let handle = super::thread::spawn(move || setter.store(true, Ordering::Release));
+            handle.join().expect("setter thread");
+            assert!(flag.load(Ordering::Acquire));
+        });
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/crates/compat/loom/target/debug/deps/loom-4e35c4219cc59be5.d: src/lib.rs
+
+/root/repo/crates/compat/loom/target/debug/deps/libloom-4e35c4219cc59be5.rlib: src/lib.rs
+
+/root/repo/crates/compat/loom/target/debug/deps/libloom-4e35c4219cc59be5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/crates/compat/loom/target/debug/deps/loom-a59a79ecbf9a2d7d.d: src/lib.rs
+
+/root/repo/crates/compat/loom/target/debug/deps/loom-a59a79ecbf9a2d7d: src/lib.rs
+
+src/lib.rs:

@@ -86,6 +86,7 @@ pub struct Artifacts {
     prefix: Mutex<Option<PrefixArtifact>>,
     state_graph: Mutex<Option<Arc<StateGraph>>>,
     symbolic: Mutex<Option<SymbolicChecker>>,
+    lint: Mutex<Option<Arc<lint::LintReport>>>,
 }
 
 impl std::fmt::Debug for Artifacts {
@@ -114,6 +115,7 @@ impl Artifacts {
             prefix: Mutex::new(None),
             state_graph: Mutex::new(None),
             symbolic: Mutex::new(None),
+            lint: Mutex::new(None),
         }
     }
 
@@ -227,6 +229,50 @@ impl Artifacts {
             *slot = None;
         }
         result
+    }
+
+    /// The lint stage, running it if absent: the full static
+    /// analysis of [`lint::lint_stg`] with default options (structural
+    /// checks, semiflow proofs, LP-relaxation proofs). Like every
+    /// other stage it is computed once per artifact set — and the set
+    /// is keyed by [`Artifacts::hash`] in the server's cache, so a
+    /// cache hit reuses the lint verdicts along with the prefix.
+    ///
+    /// Lint never enumerates states; the LP solver bounds itself by
+    /// pivots and abstains rather than overrunning.
+    pub fn lint(&self) -> Arc<lint::LintReport> {
+        self.lint_with(&lint::LintOptions::default())
+    }
+
+    /// The lint stage under explicit options (deadline-bounded LP,
+    /// LP disabled, …). A cached report is returned regardless of the
+    /// options it was computed under; a freshly computed report is
+    /// cached **only when complete** (no LP abstention), so a
+    /// tightly-budgeted job cannot poison the shared slot with a
+    /// half-done proof set that later unbudgeted jobs would reuse.
+    pub fn lint_with(&self, options: &lint::LintOptions) -> Arc<lint::LintReport> {
+        {
+            let slot = relock(&self.lint);
+            if let Some(report) = slot.as_ref() {
+                return Arc::clone(report);
+            }
+        }
+        // Computed outside the lock: a deadline-bounded pass may take
+        // a while, and a concurrent full pass must not queue behind it.
+        let report = Arc::new(lint::lint_stg(&self.stg, options));
+        let mut slot = relock(&self.lint);
+        if let Some(cached) = slot.as_ref() {
+            return Arc::clone(cached);
+        }
+        if !report.proofs.lp_abstained {
+            *slot = Some(Arc::clone(&report));
+        }
+        report
+    }
+
+    /// Whether the lint stage has run (and is cached).
+    pub fn has_lint(&self) -> bool {
+        relock(&self.lint).is_some()
     }
 
     /// Whether the unfolding stage has been built (and cached).
@@ -390,6 +436,20 @@ mod tests {
         });
         assert!(truncated);
         assert!(artifacts.has_symbolic(), "order unchanged: keep the cache");
+    }
+
+    #[test]
+    fn lint_stage_is_computed_once_and_shared() {
+        let artifacts = Artifacts::of(&vme_read());
+        assert!(!artifacts.has_lint());
+        let first = artifacts.lint();
+        assert!(artifacts.has_lint());
+        let second = artifacts.lint();
+        assert!(Arc::ptr_eq(&first, &second), "lint runs once per set");
+        assert!(!first.has_errors());
+        // vme_read has a real USC/CSC conflict: the LP relaxation must
+        // not prove it away.
+        assert!(!first.proofs.usc_proved);
     }
 
     #[test]

@@ -31,7 +31,9 @@ use unfolding::UnfoldError;
 use crate::artifact::Artifacts;
 use crate::checker::{CheckOutcome, Checker, CheckerOptions};
 use crate::error::CheckError;
-use crate::limits::{Budget, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness};
+use crate::limits::{
+    Budget, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
+};
 
 /// Which engine decides the property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +155,7 @@ pub struct CheckRequest<'a> {
     property: Property,
     engine: Engine,
     budget: Budget,
+    prelint: bool,
 }
 
 impl<'a> CheckRequest<'a> {
@@ -165,6 +168,7 @@ impl<'a> CheckRequest<'a> {
             property,
             engine: Engine::Portfolio,
             budget: Budget::unlimited(),
+            prelint: false,
         }
     }
 
@@ -177,6 +181,20 @@ impl<'a> CheckRequest<'a> {
     /// Sets the resource budget.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Enables the static prelint stage (off by default). Before any
+    /// engine runs, the lint layer's LP-relaxation proofs
+    /// ([`lint::lint_stg`], cached in the [`Artifacts`] set) are
+    /// consulted: when they prove the property outright the engines
+    /// are short-circuited and the run returns [`Verdict::Holds`]
+    /// with [`ResourceReport::lint`] marked `proved` and
+    /// `prefix_events_built` = 0 — a verdict with no state-space
+    /// exploration at all. Otherwise the requested engine runs
+    /// normally and the report carries the (unproved) lint summary.
+    pub fn prelint(mut self, enabled: bool) -> Self {
+        self.prelint = enabled;
         self
     }
 
@@ -216,15 +234,57 @@ impl<'a> CheckRequest<'a> {
                     "CheckRequest::artifacts: the attached Artifacts set wraps a \
                      different STG than the one the request was built from"
                 );
-                dispatch(artifacts, self.property, self.engine, &self.budget)
+                self.run_on(artifacts)
             }
-            None => dispatch(
-                &Artifacts::of(self.stg),
-                self.property,
-                self.engine,
-                &self.budget,
-            ),
+            None => {
+                let artifacts = Artifacts::of(self.stg);
+                self.run_on(&artifacts)
+            }
         }
+    }
+
+    fn run_on(&self, artifacts: &Artifacts) -> Result<CheckRun, CheckError> {
+        if !self.prelint {
+            return dispatch(artifacts, self.property, self.engine, &self.budget);
+        }
+        let start = Instant::now();
+        // The lint stage runs under the same wall-clock allowance as
+        // the engines: a tightly budgeted job gets an immediate LP
+        // abstention instead of a lint pass that outlives its
+        // deadline (and such partial reports are never cached).
+        let mut options = lint::LintOptions::default();
+        options.lp_options.deadline = self.budget.deadline.map(|d| start + d);
+        let report = artifacts.lint_with(&options);
+        let summary = LintSummary {
+            proved: false,
+            errors: report.errors() as u64,
+            warnings: report.warnings() as u64,
+            usc_proved: report.proofs.usc_proved,
+            all_consistent: report.proofs.all_consistent,
+        };
+        // USC ⊇ CSC conflicts: a USC proof covers both properties.
+        // Normalcy has no LP relaxation yet.
+        let proved = match self.property {
+            Property::Usc | Property::Csc => report.proofs.usc_proved,
+            Property::Normalcy => false,
+        };
+        if proved {
+            let mut rr = ResourceReport::empty(self.engine.name());
+            rr.winner = Some("lint");
+            rr.elapsed = start.elapsed();
+            rr.prefix_events_built = Some(0);
+            rr.lint = Some(LintSummary {
+                proved: true,
+                ..summary
+            });
+            return Ok(CheckRun {
+                verdict: Verdict::Holds,
+                report: rr,
+            });
+        }
+        let mut run = dispatch(artifacts, self.property, self.engine, &self.budget)?;
+        run.report.lint = Some(summary);
+        Ok(run)
     }
 
     /// Dispatches the check and collapses the verdict to the classic
@@ -266,56 +326,6 @@ fn dispatch(
             message: panic_message(&payload),
         }),
     }
-}
-
-/// Decides `property` for `stg` with `engine` under `budget`.
-///
-/// # Errors
-///
-/// Same as [`CheckRequest::run`].
-#[deprecated(note = "use `CheckRequest::new(stg, property).engine(..).budget(..).run()`")]
-pub fn check_property(
-    stg: &Stg,
-    property: Property,
-    engine: Engine,
-    budget: &Budget,
-) -> Result<CheckRun, CheckError> {
-    CheckRequest::new(stg, property)
-        .engine(engine)
-        .budget(budget.clone())
-        .run()
-}
-
-/// Decides `property` with `engine` over a shared [`Artifacts`] set.
-///
-/// # Errors
-///
-/// Same as [`CheckRequest::run`].
-#[deprecated(
-    note = "use `CheckRequest::new(stg, property).engine(..).budget(..).artifacts(..).run()`"
-)]
-pub fn check_property_with(
-    artifacts: &Artifacts,
-    property: Property,
-    engine: Engine,
-    budget: &Budget,
-) -> Result<CheckRun, CheckError> {
-    dispatch(artifacts, property, engine, budget)
-}
-
-/// Decides `property` with an unlimited [`Budget`], collapsing the
-/// verdict to the classic boolean: `true` means the property holds.
-///
-/// # Errors
-///
-/// Same as [`CheckRequest::run_bool`].
-#[deprecated(note = "use `CheckRequest::new(stg, property).engine(..).run_bool()`")]
-pub fn check_property_bool(
-    stg: &Stg,
-    property: Property,
-    engine: Engine,
-) -> Result<bool, CheckError> {
-    CheckRequest::new(stg, property).engine(engine).run_bool()
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -849,30 +859,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_answer() {
-        let stg = vme_read();
-        let run = check_property(
-            &stg,
-            Property::Csc,
-            Engine::UnfoldingIlp,
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        assert_eq!(run.verdict.holds(), Some(false));
-        let artifacts = Artifacts::of(&stg);
-        let run = check_property_with(
-            &artifacts,
-            Property::Csc,
-            Engine::SymbolicBdd,
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        assert_eq!(run.verdict.holds(), Some(false));
-        assert!(!check_property_bool(&stg, Property::Csc, Engine::ExplicitStateGraph).unwrap());
-    }
-
-    #[test]
     fn explicit_and_symbolic_usc_witnesses_are_conflicting_states() {
         let stg = vme_read();
         let sg = StateGraph::build(&stg, Default::default()).unwrap();
@@ -1066,5 +1052,73 @@ mod tests {
             Verdict::Unknown(ExhaustionReason::EventLimit(2))
         );
         assert!(run.report.states.is_some(), "partial fallback stats kept");
+    }
+
+    #[test]
+    fn prelint_short_circuits_all_engines_on_a_proved_family() {
+        use stg::gen::counterflow::counterflow_sym;
+
+        // CF-SYM-A: conflict-free, and the lint LP relaxation proves
+        // it. Every engine must short-circuit identically.
+        let stg = counterflow_sym(2, 3);
+        let artifacts = Artifacts::of(&stg);
+        for engine in [
+            Engine::UnfoldingIlp,
+            Engine::ExplicitStateGraph,
+            Engine::SymbolicBdd,
+            Engine::Portfolio,
+            Engine::Race,
+        ] {
+            for property in [Property::Usc, Property::Csc] {
+                let run = CheckRequest::new(&stg, property)
+                    .engine(engine)
+                    .artifacts(&artifacts)
+                    .prelint(true)
+                    .run()
+                    .unwrap();
+                assert_eq!(run.verdict, Verdict::Holds, "{engine:?}/{property:?}");
+                assert_eq!(run.report.winner, Some("lint"));
+                assert_eq!(run.report.prefix_events_built, Some(0));
+                let lint = run.report.lint.expect("prelint report block");
+                assert!(lint.proved);
+                assert!(lint.usc_proved);
+                assert_eq!(lint.errors, 0);
+            }
+        }
+        // The engines were never consulted: no stage was built.
+        assert!(!artifacts.has_prefix());
+        assert!(!artifacts.has_state_graph());
+        assert!(!artifacts.has_symbolic());
+    }
+
+    #[test]
+    fn prelint_defers_to_engines_on_real_conflicts() {
+        let stg = vme_read();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .prelint(true)
+            .run()
+            .unwrap();
+        assert_eq!(run.verdict.holds(), Some(false));
+        let lint = run.report.lint.expect("unproved lint summary attached");
+        assert!(!lint.proved);
+        assert!(!lint.usc_proved);
+        assert!(lint.all_consistent);
+        assert!(run.report.prefix_events_built.is_some_and(|n| n > 0));
+    }
+
+    #[test]
+    fn prelint_never_claims_normalcy() {
+        use stg::gen::counterflow::counterflow_sym;
+
+        let stg = counterflow_sym(2, 3);
+        let run = CheckRequest::new(&stg, Property::Normalcy)
+            .engine(Engine::ExplicitStateGraph)
+            .prelint(true)
+            .run()
+            .unwrap();
+        // The lint layer has no normalcy relaxation: an engine decides.
+        assert_ne!(run.report.winner, Some("lint"));
+        assert!(run.report.lint.is_some());
     }
 }

@@ -27,10 +27,10 @@ pub enum CheckError {
     InconsistentCodes,
     /// A budgeted check was inconclusive but the caller required a
     /// definite boolean answer
-    /// ([`crate::engine::check_property_bool`]).
+    /// ([`crate::CheckRequest::run_bool`]).
     Exhausted(ExhaustionReason),
     /// An engine panicked; the panic was contained at the
-    /// `check_property` boundary.
+    /// `CheckRequest` boundary.
     EngineFailure {
         /// Which engine failed.
         engine: &'static str,

@@ -62,12 +62,10 @@ mod witness;
 pub use artifact::{Artifacts, PrefixArtifact};
 pub use checker::{CheckOutcome, Checker, CheckerOptions, NormalcyOutcome, NormalcyReport};
 pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
-#[allow(deprecated)]
-pub use engine::{check_property, check_property_bool, check_property_with};
 pub use engine::{CheckRequest, Engine, Property};
 pub use error::CheckError;
 pub use limits::{
-    Budget, CancelToken, CheckRun, ExhaustionReason, ResourceReport, Verdict, Witness,
+    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
 };
 pub use report::AnalysisReport;
 pub use symbolic::BddStats;

@@ -1,6 +1,6 @@
 //! Budgets, cancellation and three-valued verdicts.
 //!
-//! Every engine behind [`crate::check_property`] can be told to give
+//! Every engine behind [`crate::CheckRequest`] can be told to give
 //! up: a [`Budget`] caps wall-clock time, unfolding events, solver
 //! propagations, explicit states and BDD nodes, and carries an
 //! optional [`CancelToken`] another thread may flip at any moment.
@@ -71,7 +71,7 @@ impl CancelToken {
     }
 }
 
-/// Resource limits for one [`crate::check_property`] call. The
+/// Resource limits for one [`crate::CheckRequest`] run. The
 /// default budget is unlimited; every field is an independent cap.
 ///
 /// The wall-clock `deadline` is a *duration*, anchored to the moment
@@ -154,7 +154,7 @@ impl Budget {
     }
 
     /// Builds the [`StopGuard`] engines poll, anchoring the deadline
-    /// to *now*. `check_property` calls this exactly once per
+    /// to *now*. `CheckRequest::run` calls this exactly once per
     /// invocation, so a portfolio's phases share one deadline.
     pub fn guard(&self) -> StopGuard {
         StopGuard::new(
@@ -302,6 +302,28 @@ pub struct ResourceReport {
     /// order). `None` for engines that never touched the symbolic
     /// stage.
     pub bdd: Option<BddStats>,
+    /// Result of the static prelint stage, when one ran (see
+    /// [`crate::CheckRequest::prelint`]). `lint.proved` marks a
+    /// verdict produced by the lint layer alone — no engine ran and
+    /// no state space was explored.
+    pub lint: Option<LintSummary>,
+}
+
+/// Summary of a prelint pass attached to a [`ResourceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintSummary {
+    /// The verdict of this run was proved by the lint layer's
+    /// LP-relaxation alone (`lint_proved` on the wire): the engines
+    /// were short-circuited and `prefix_events_built` is 0.
+    pub proved: bool,
+    /// Error diagnostics found.
+    pub errors: u64,
+    /// Warning diagnostics found.
+    pub warnings: u64,
+    /// The USC (hence CSC) LP relaxation was infeasible everywhere.
+    pub usc_proved: bool,
+    /// Every signal was proved consistent by the LP relaxation.
+    pub all_consistent: bool,
 }
 
 impl ResourceReport {
@@ -319,11 +341,12 @@ impl ResourceReport {
             states: None,
             bdd_nodes: None,
             bdd: None,
+            lint: None,
         }
     }
 }
 
-/// A completed [`crate::check_property`] call: the verdict plus what
+/// A completed [`crate::CheckRequest`] run: the verdict plus what
 /// it cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckRun {

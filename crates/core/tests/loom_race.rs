@@ -1,0 +1,154 @@
+//! Schedule-exploration models of the race supervisor's
+//! cancel-token / winner-attribution handshake (`engine::run_race`),
+//! pinning the shutdown-vs-enqueue race class the concurrent service
+//! work exposed: a racer that observes its loser flag answers
+//! `Cancelled` and must never be attributed the win; a job-level
+//! cancel retires every racer without electing a winner.
+//!
+//! Run with `cargo test -p csc-core --features loom`.
+#![cfg(feature = "loom")]
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+const RACERS: usize = 3;
+const NO_WINNER: usize = usize::MAX;
+
+/// A racer's terminal state, mirroring the two ways a racing engine
+/// returns in `run_race`: with a conclusive verdict, or with
+/// `Unknown(Cancelled)` after its loser flag was raised.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Outcome {
+    Conclusive,
+    Cancelled,
+}
+
+/// The handshake under test, one racer's side: poll the job-level
+/// cancel and the private loser flag at the loop head (the
+/// `StopGuard::poll` contract), then either conclude or keep
+/// spinning. The first conclusive racer raises every *other* loser
+/// flag — the supervisor's attribution step, serialised here by the
+/// winner CAS exactly as the mpsc receive order serialises it in
+/// `run_race`.
+#[allow(clippy::needless_range_loop)]
+fn race(concludes: [bool; RACERS], job_cancelled: bool) -> (usize, Vec<Outcome>) {
+    let job_cancel = Arc::new(AtomicBool::new(false));
+    let losers: Arc<Vec<AtomicBool>> =
+        Arc::new((0..RACERS).map(|_| AtomicBool::new(false)).collect());
+    let winner = Arc::new(AtomicUsize::new(NO_WINNER));
+    let outcomes: Arc<Mutex<Vec<Option<Outcome>>>> = Arc::new(Mutex::new(vec![None; RACERS]));
+
+    let handles: Vec<_> = (0..RACERS)
+        .map(|i| {
+            let job_cancel = Arc::clone(&job_cancel);
+            let losers = Arc::clone(&losers);
+            let winner = Arc::clone(&winner);
+            let outcomes = Arc::clone(&outcomes);
+            thread::spawn(move || {
+                loop {
+                    // Loop-head poll: job cancel and loser flag are
+                    // both grounds for `Unknown(Cancelled)`.
+                    if job_cancel.load(Ordering::Relaxed) || losers[i].load(Ordering::Relaxed) {
+                        outcomes.lock().expect("outcomes lock")[i] = Some(Outcome::Cancelled);
+                        return;
+                    }
+                    if concludes[i] {
+                        let first = winner
+                            .compare_exchange(NO_WINNER, i, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok();
+                        if first {
+                            for (j, flag) in losers.iter().enumerate() {
+                                if j != i {
+                                    flag.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        outcomes.lock().expect("outcomes lock")[i] = Some(Outcome::Conclusive);
+                        return;
+                    }
+                    thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    if job_cancelled {
+        job_cancel.store(true, Ordering::Relaxed);
+    }
+    for handle in handles {
+        handle.join().expect("racer thread");
+    }
+    let outcomes = outcomes
+        .lock()
+        .expect("outcomes lock")
+        .iter()
+        .map(|o| o.expect("every racer terminated"))
+        .collect();
+    (winner.load(Ordering::Acquire), outcomes)
+}
+
+#[test]
+fn winner_attribution_is_unique_and_losers_are_retired() {
+    loom::model(|| {
+        // Racers 0 and 1 can conclude; racer 2 spins until retired —
+        // the shape of a hard instance where only some engines finish.
+        let (winner, outcomes) = race([true, true, false], false);
+        assert!(
+            winner == 0 || winner == 1,
+            "exactly one conclusive racer is attributed, got {winner}"
+        );
+        assert_eq!(
+            outcomes[winner],
+            Outcome::Conclusive,
+            "the attributed winner actually concluded"
+        );
+        assert_eq!(
+            outcomes[2],
+            Outcome::Cancelled,
+            "the spinning racer observed its loser flag and retired"
+        );
+        // The near-simultaneous second conclusive racer either also
+        // concluded (merged into the report, not attributed) or saw
+        // its loser flag first; both are legal, a second *attribution*
+        // is not — which the CAS excludes by construction.
+    });
+}
+
+#[test]
+fn job_level_cancel_retires_every_racer_without_a_winner() {
+    loom::model(|| {
+        // No racer can conclude; the job-level cancel (the service's
+        // shutdown path) must still retire all three promptly.
+        let (winner, outcomes) = race([false, false, false], true);
+        assert_eq!(winner, NO_WINNER, "no verdict may be attributed");
+        assert!(
+            outcomes.iter().all(|&o| o == Outcome::Cancelled),
+            "every racer answers Unknown(Cancelled): {outcomes:?}"
+        );
+    });
+}
+
+#[test]
+fn cancelled_conclusive_race_still_elects_at_most_one_winner() {
+    loom::model(|| {
+        // All three can conclude while the job is being cancelled —
+        // the enqueue-vs-shutdown shape: whichever of {cancel poll,
+        // conclusion} each racer reaches first decides its outcome,
+        // but attribution stays unique and never lands on a racer
+        // that reported Cancelled.
+        let (winner, outcomes) = race([true, true, true], true);
+        if winner == NO_WINNER {
+            assert!(
+                outcomes.iter().all(|&o| o == Outcome::Cancelled),
+                "winnerless races are fully cancelled: {outcomes:?}"
+            );
+        } else {
+            assert_eq!(
+                outcomes[winner],
+                Outcome::Conclusive,
+                "an attributed winner must have concluded"
+            );
+        }
+    });
+}

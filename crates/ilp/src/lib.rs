@@ -54,11 +54,13 @@
 
 mod constraint;
 mod expr;
+pub mod lp;
 mod problem;
 mod solver;
 
 pub use constraint::{CmpOp, Constraint};
 pub use expr::{LinExpr, Var};
+pub use lp::{LpFeasibility, LpOptions, LpProblem};
 pub use problem::Problem;
 pub use solver::{
     AbortCause, SearchStats, SolveError, Solver, SolverOptions, ValueOrder, VarOrder,

@@ -1,0 +1,532 @@
+//! Exact rational linear-programming feasibility.
+//!
+//! A phase-1 simplex over exact rationals (checked `i128` fractions)
+//! with Bland's anti-cycling rule. The lint layer uses it to decide
+//! *relaxations* of the paper's USC/CSC integer programs over the
+//! marking equation: when the rational relaxation of a necessary
+//! condition for a conflict is infeasible, the property is proved
+//! without building a prefix or a BDD (the CEGAR-style pruning of
+//! Wimmel & Wolf, "Applying CEGAR to the Petri Net State Equation").
+//!
+//! Soundness over speed: every arithmetic step is overflow-checked,
+//! and on overflow (or when the pivot budget runs out) the solver
+//! returns [`LpFeasibility::Abstain`] instead of guessing. An
+//! `Abstain` answer is never turned into a verdict by callers.
+//!
+//! All variables are implicitly constrained to be ≥ 0, which matches
+//! the marking-equation use case (Parikh vectors and markings are
+//! non-negative).
+
+use crate::CmpOp;
+
+/// Outcome of an exact LP feasibility query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpFeasibility {
+    /// A rational solution with all variables ≥ 0 exists.
+    Feasible,
+    /// No rational solution exists. Because the LP is a relaxation of
+    /// an integer system, this *proves* the integer system infeasible.
+    Infeasible,
+    /// The solver could not decide within its arithmetic or pivot
+    /// budget. Callers must treat this as "unknown".
+    Abstain,
+}
+
+/// Tunables for [`LpProblem::feasibility`].
+#[derive(Debug, Clone, Copy)]
+pub struct LpOptions {
+    /// Maximum number of simplex pivots before abstaining. Bland's
+    /// rule guarantees termination, but the bound keeps worst-case
+    /// degenerate instances from stalling a lint pass.
+    pub max_pivots: usize,
+    /// Wall-clock cutoff: the solver abstains once this instant has
+    /// passed (checked every few pivots, so overshoot is small). Lets
+    /// a budgeted verification job bound its lint stage the same way
+    /// it bounds an engine.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for LpOptions {
+    fn default() -> Self {
+        LpOptions {
+            max_pivots: 50_000,
+            deadline: None,
+        }
+    }
+}
+
+impl LpOptions {
+    /// True once the configured deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+}
+
+/// A system of linear constraints over non-negative rational
+/// variables, checked for feasibility with exact arithmetic.
+///
+/// Each constraint is `Σ aᵢ·xᵢ + c  OP  0` with integer coefficients,
+/// mirroring the [`crate::LinExpr`] convention of the 0-1 solver.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    vars: usize,
+    rows: Vec<LpRow>,
+}
+
+#[derive(Debug, Clone)]
+struct LpRow {
+    coeffs: Vec<(usize, i64)>,
+    op: CmpOp,
+    constant: i64,
+}
+
+impl LpProblem {
+    /// Creates an empty system over `vars` non-negative variables.
+    pub fn new(vars: usize) -> Self {
+        LpProblem {
+            vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables in the system.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of constraints in the system.
+    pub fn constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the constraint `Σ coeffs + constant OP 0`. Terms may
+    /// repeat a variable; they are summed. Variables out of range
+    /// panic (programming error, as in [`crate::Problem`]).
+    pub fn add(&mut self, coeffs: &[(usize, i64)], op: CmpOp, constant: i64) {
+        for &(v, _) in coeffs {
+            assert!(v < self.vars, "LP variable {v} out of range");
+        }
+        self.rows.push(LpRow {
+            coeffs: coeffs.to_vec(),
+            op,
+            constant,
+        });
+    }
+
+    /// Decides feasibility with a phase-1 simplex. Exact: a
+    /// `Feasible`/`Infeasible` answer is certain; `Abstain` means the
+    /// arithmetic or pivot budget ran out.
+    pub fn feasibility(&self, options: &LpOptions) -> LpFeasibility {
+        match self.solve_phase1(options) {
+            Some(outcome) => outcome,
+            None => LpFeasibility::Abstain,
+        }
+    }
+
+    /// Phase-1 simplex; `None` signals arithmetic overflow.
+    fn solve_phase1(&self, options: &LpOptions) -> Option<LpFeasibility> {
+        let n = self.vars;
+        // Standard form: Σ a x  {≤,=,≥}  b  with b = -constant, then
+        // flip rows so b ≥ 0, add slack/surplus columns, and give
+        // every row without a usable slack an artificial variable.
+        let m = self.rows.len();
+        if m == 0 {
+            return Some(LpFeasibility::Feasible);
+        }
+        // Column layout: [structural 0..n | slack/surplus | artificial], rhs kept apart.
+        let mut slack_cols = 0usize;
+        let mut artificial_rows: Vec<usize> = Vec::new();
+        #[derive(Clone, Copy)]
+        enum RowSlack {
+            Plus(usize),
+            Minus(usize),
+            None,
+        }
+        let mut row_forms: Vec<(bool, RowSlack)> = Vec::with_capacity(m); // (negated, slack)
+        for row in &self.rows {
+            let b = (row.constant as i128).checked_neg()?;
+            let negate = b < 0;
+            let op = if negate { flip(row.op) } else { row.op };
+            let slack = match op {
+                CmpOp::Le => {
+                    let c = slack_cols;
+                    slack_cols += 1;
+                    RowSlack::Plus(c)
+                }
+                CmpOp::Ge => {
+                    let c = slack_cols;
+                    slack_cols += 1;
+                    RowSlack::Minus(c)
+                }
+                CmpOp::Eq => RowSlack::None,
+            };
+            row_forms.push((negate, slack));
+        }
+        let total = n + slack_cols; // artificials appended after
+        let mut tableau: Vec<Vec<Rat>> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rat> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        let mut art_cols = 0usize;
+        for (i, row) in self.rows.iter().enumerate() {
+            let (negate, slack) = row_forms[i];
+            let sign: i128 = if negate { -1 } else { 1 };
+            let mut dense = vec![Rat::ZERO; total];
+            for &(v, a) in &row.coeffs {
+                let add = Rat::int((a as i128).checked_mul(sign)?);
+                dense[v] = dense[v].add(add)?;
+            }
+            let b = Rat::int((row.constant as i128).checked_neg()?.checked_mul(sign)?);
+            debug_assert!(!b.is_neg());
+            let mut basic = None;
+            match slack {
+                RowSlack::Plus(c) => {
+                    dense[n + c] = Rat::ONE;
+                    // Slack starts basic at value b ≥ 0.
+                    basic = Some(n + c);
+                }
+                RowSlack::Minus(c) => {
+                    dense[n + c] = Rat::int(-1);
+                }
+                RowSlack::None => {}
+            }
+            if basic.is_none() {
+                // Needs an artificial variable; its column is appended later.
+                artificial_rows.push(i);
+                basic = Some(total + art_cols);
+                art_cols += 1;
+            }
+            basis.push(basic.unwrap_or(0));
+            tableau.push(dense);
+            rhs.push(b);
+        }
+        // Append artificial identity columns.
+        let width = total + art_cols;
+        for dense in &mut tableau {
+            dense.resize(width, Rat::ZERO);
+        }
+        for (k, &i) in artificial_rows.iter().enumerate() {
+            tableau[i][total + k] = Rat::ONE;
+        }
+        // Phase-1 objective: minimize Σ artificials. Reduced-cost row
+        // d_j = c_j − Σ_{i basic artificial} T[i][j]; objective value
+        // w = Σ_{i basic artificial} rhs_i.
+        let mut dcost = vec![Rat::ZERO; width];
+        let mut w = Rat::ZERO;
+        for d in dcost.iter_mut().skip(total) {
+            *d = Rat::ONE;
+        }
+        for &i in &artificial_rows {
+            for j in 0..width {
+                dcost[j] = dcost[j].sub(tableau[i][j])?;
+            }
+            w = w.add(rhs[i])?;
+        }
+        for pivot in 0..options.max_pivots {
+            // Deadline check amortised over a handful of pivots.
+            if pivot % 16 == 0 && options.expired() {
+                return None;
+            }
+            // Bland's rule: entering column = smallest index with
+            // negative reduced cost.
+            let mut enter = None;
+            for (j, d) in dcost.iter().enumerate() {
+                if d.is_neg() {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            let Some(enter) = enter else {
+                // Optimal. Feasible iff the artificial sum is zero.
+                return Some(if w.is_zero() {
+                    LpFeasibility::Feasible
+                } else {
+                    LpFeasibility::Infeasible
+                });
+            };
+            // Ratio test; Bland tie-break on the smallest basic index.
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..m {
+                let t = tableau[i][enter];
+                if !t.is_pos() {
+                    continue;
+                }
+                let ratio = rhs[i].div(t)?;
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        let c = ratio.cmp_to(lr)?;
+                        if c == std::cmp::Ordering::Less
+                            || (c == std::cmp::Ordering::Equal && basis[i] < basis[li])
+                        {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+            // Phase-1 objectives are bounded below by 0, so an
+            // unbounded ray here would be a logic error; abstain.
+            let (leave, _) = leave?;
+            // Pivot on (leave, enter). The leave row is moved out of
+            // the tableau so the elimination loops can read it while
+            // mutating the other rows; an abstaining `?` exit may
+            // leave the hole behind, but the tableau is local.
+            let mut leave_row = std::mem::take(&mut tableau[leave]);
+            let piv = leave_row[enter];
+            for cell in &mut leave_row {
+                *cell = cell.div(piv)?;
+            }
+            rhs[leave] = rhs[leave].div(piv)?;
+            for (i, row) in tableau.iter_mut().enumerate() {
+                if i == leave {
+                    continue;
+                }
+                let f = row[enter];
+                if f.is_zero() {
+                    continue;
+                }
+                for (cell, &l) in row.iter_mut().zip(&leave_row) {
+                    *cell = cell.sub(f.mul(l)?)?;
+                }
+                rhs[i] = rhs[i].sub(f.mul(rhs[leave])?)?;
+            }
+            let f = dcost[enter];
+            if !f.is_zero() {
+                for (d, &l) in dcost.iter_mut().zip(&leave_row) {
+                    *d = d.sub(f.mul(l)?)?;
+                }
+                // The objective row's rhs carries −w, so eliminating
+                // the entering column *adds* d_e·rhs here.
+                w = w.add(f.mul(rhs[leave])?)?;
+            }
+            tableau[leave] = leave_row;
+            basis[leave] = enter;
+        }
+        None // pivot budget exhausted
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+    }
+}
+
+/// Exact rational with checked `i128` arithmetic. Denominator is
+/// always positive and the fraction is kept reduced; any overflow
+/// propagates as `None` to the solver, which abstains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    const ZERO: Rat = Rat { num: 0, den: 1 };
+    const ONE: Rat = Rat { num: 1, den: 1 };
+
+    fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    fn normalized(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let (num, den) = if den < 0 {
+            (num.checked_neg()?, den.checked_neg()?)
+        } else {
+            (num, den)
+        };
+        if num == 0 {
+            return Some(Rat::ZERO);
+        }
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        let g = i128::try_from(g).ok()?;
+        Some(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn is_neg(self) -> bool {
+        self.num < 0
+    }
+
+    fn is_pos(self) -> bool {
+        self.num > 0
+    }
+
+    fn add(self, o: Rat) -> Option<Rat> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::normalized(num, self.den.checked_mul(o.den)?)
+    }
+
+    fn sub(self, o: Rat) -> Option<Rat> {
+        self.add(Rat {
+            num: o.num.checked_neg()?,
+            den: o.den,
+        })
+    }
+
+    fn mul(self, o: Rat) -> Option<Rat> {
+        Rat::normalized(self.num.checked_mul(o.num)?, self.den.checked_mul(o.den)?)
+    }
+
+    fn div(self, o: Rat) -> Option<Rat> {
+        if o.num == 0 {
+            return None;
+        }
+        Rat::normalized(self.num.checked_mul(o.den)?, self.den.checked_mul(o.num)?)
+    }
+
+    fn cmp_to(self, o: Rat) -> Option<std::cmp::Ordering> {
+        let l = self.num.checked_mul(o.den)?;
+        let r = o.num.checked_mul(self.den)?;
+        Some(l.cmp(&r))
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(p: &LpProblem) -> LpFeasibility {
+        p.feasibility(&LpOptions::default())
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let p = LpProblem::new(3);
+        assert_eq!(solve(&p), LpFeasibility::Feasible);
+    }
+
+    #[test]
+    fn simple_feasible_inequalities() {
+        // x0 + x1 ≥ 1, x0 ≤ 4 — satisfied by x0 = 1.
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Ge, -1);
+        p.add(&[(0, 1)], CmpOp::Le, -4);
+        assert_eq!(solve(&p), LpFeasibility::Feasible);
+    }
+
+    #[test]
+    fn contradictory_bounds_are_infeasible() {
+        // x0 ≥ 2 and x0 ≤ 1.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Ge, -2);
+        p.add(&[(0, 1)], CmpOp::Le, -1);
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn equality_mixed_with_inequalities() {
+        // x0 + x1 = 1, x0 − x1 = 1 ⇒ x0 = 1, x1 = 0 (feasible, on the
+        // boundary of the x ≥ 0 cone).
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Eq, -1);
+        p.add(&[(0, 1), (1, -1)], CmpOp::Eq, -1);
+        assert_eq!(solve(&p), LpFeasibility::Feasible);
+        // Adding x1 ≥ 1 breaks it.
+        p.add(&[(1, 1)], CmpOp::Ge, -1);
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn nonnegativity_is_implicit() {
+        // x0 ≤ −1 is infeasible because x0 ≥ 0 is implicit.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Le, 1);
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn fractional_solutions_count_as_feasible() {
+        // 2·x0 = 1 has the rational solution x0 = 1/2 — the LP
+        // relaxation must report Feasible even though no integer works.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 2)], CmpOp::Eq, -1);
+        assert_eq!(solve(&p), LpFeasibility::Feasible);
+    }
+
+    #[test]
+    fn degenerate_system_terminates() {
+        // Classic degeneracy: several redundant tight rows. Bland's
+        // rule must still terminate with the right answer.
+        let mut p = LpProblem::new(3);
+        p.add(&[(0, 1), (1, 1), (2, 1)], CmpOp::Eq, 0);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Le, 0);
+        p.add(&[(1, 1), (2, 1)], CmpOp::Le, 0);
+        p.add(&[(0, 1), (2, 1)], CmpOp::Le, 0);
+        p.add(&[(0, 1)], CmpOp::Ge, -1);
+        // Only x = 0 satisfies the first four rows, so x0 ≥ 1 fails.
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn pivot_budget_exhaustion_abstains() {
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Ge, -1);
+        let out = p.feasibility(&LpOptions {
+            max_pivots: 0,
+            ..Default::default()
+        });
+        assert_eq!(out, LpFeasibility::Abstain);
+    }
+
+    #[test]
+    fn expired_deadline_abstains() {
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Ge, -1);
+        let out = p.feasibility(&LpOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        });
+        assert_eq!(out, LpFeasibility::Abstain);
+    }
+
+    #[test]
+    fn redundant_terms_are_summed() {
+        // (x0 + x0) ≥ 3 with x0 ≤ 1 ⇒ 2·x0 ≥ 3 contradicts x0 ≤ 1.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1), (0, 1)], CmpOp::Ge, -3);
+        p.add(&[(0, 1)], CmpOp::Le, -1);
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+    }
+
+    #[test]
+    fn marking_equation_style_system() {
+        // A 2-place, 2-transition cycle: I = [[-1, 1], [1, -1]],
+        // M0 = (1, 0). Ask: can both places be simultaneously ≥ 1?
+        // M(p) = M0(p) + Σ I(p,t)·x(t); total tokens are invariant at
+        // 1, so M(p0) ≥ 1 ∧ M(p1) ≥ 1 must be infeasible.
+        let mut p = LpProblem::new(2);
+        // M(p0) = 1 − x0 + x1 ≥ 1
+        p.add(&[(0, -1), (1, 1)], CmpOp::Ge, 0);
+        // M(p1) = 0 + x0 − x1 ≥ 1
+        p.add(&[(0, 1), (1, -1)], CmpOp::Ge, -1);
+        assert_eq!(solve(&p), LpFeasibility::Infeasible);
+        // A single place at ≥ 1 is fine.
+        let mut q = LpProblem::new(2);
+        q.add(&[(0, 1), (1, -1)], CmpOp::Ge, -1);
+        assert_eq!(solve(&q), LpFeasibility::Feasible);
+    }
+}

@@ -1,0 +1,245 @@
+//! The diagnostic framework: stable codes, severities, source spans,
+//! and human/JSON rendering.
+
+use std::fmt;
+
+use stg::{ParseStgError, SyntaxKind};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The input is usable but suspicious; verification still runs.
+    Warning,
+    /// The input is broken; verification is refused.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A stable diagnostic code. The numeric part never changes meaning
+/// across releases: tools may match on the rendered `L0xx`/`W0xx`
+/// string. The registry lives in `docs/LINT.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Code {
+    /// `L001` — syntax error without a more specific class.
+    SyntaxError,
+    /// `L002` — the file is not valid UTF-8.
+    InvalidUtf8,
+    /// `L003` — a transition references an undeclared signal.
+    UndeclaredSignal,
+    /// `L004` — more than one `.marking` section.
+    DuplicateMarking,
+    /// `L005` — malformed `.marking` body.
+    BadMarking,
+    /// `L006` — a signal or dummy declared more than once.
+    DuplicateSignal,
+    /// `L007` — unknown `.directive`.
+    UnknownDirective,
+    /// `L008` — non-directive content outside `.graph`.
+    UnexpectedContent,
+    /// `L009` — an arc connects two places directly.
+    PlaceToPlaceArc,
+    /// `L020` — the parsed net could not be assembled into an STG
+    /// (missing initial marking, inconsistent initial code, …).
+    BuildError,
+    /// `L021` — a transition that no token flow can ever fire.
+    DeadTransition,
+    /// `L022` — a place with no arcs at all.
+    DisconnectedPlace,
+    /// `W001` — a declared signal with no transitions.
+    UnusedSignal,
+    /// `W002` — a choice place mixing input- and non-input-signal
+    /// transitions (the circuit would race its environment).
+    MixedChoice,
+    /// `W003` — a non-empty siphon with no initial tokens: its output
+    /// transitions are dead and the net risks structural deadlock.
+    UnmarkedSiphon,
+}
+
+impl Code {
+    /// The stable rendered form, e.g. `"L003"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::SyntaxError => "L001",
+            Code::InvalidUtf8 => "L002",
+            Code::UndeclaredSignal => "L003",
+            Code::DuplicateMarking => "L004",
+            Code::BadMarking => "L005",
+            Code::DuplicateSignal => "L006",
+            Code::UnknownDirective => "L007",
+            Code::UnexpectedContent => "L008",
+            Code::PlaceToPlaceArc => "L009",
+            Code::BuildError => "L020",
+            Code::DeadTransition => "L021",
+            Code::DisconnectedPlace => "L022",
+            Code::UnusedSignal => "W001",
+            Code::MixedChoice => "W002",
+            Code::UnmarkedSiphon => "W003",
+        }
+    }
+
+    /// Severity implied by the code (`L` = error, `W` = warning).
+    pub fn severity(self) -> Severity {
+        if self.as_str().starts_with('L') {
+            Severity::Error
+        } else {
+            Severity::Warning
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A 1-based (line, byte-column) position in the `.g` source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Source line, starting at 1.
+    pub line: usize,
+    /// Byte column within the line, starting at 1.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One finding: a coded, optionally located, message about the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (see [`Code`]).
+    pub code: Code,
+    /// Source location, when the finding maps to a source token.
+    /// Structural findings about the built net carry `None`.
+    pub span: Option<Span>,
+    /// The net object concerned (signal, place or transition name).
+    pub object: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a source span.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            span: None,
+            object: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, line: usize, col: usize) -> Self {
+        self.span = Some(Span { line, col });
+        self
+    }
+
+    /// Names the net object the finding is about.
+    pub fn with_object(mut self, name: impl Into<String>) -> Self {
+        self.object = Some(name.into());
+        self
+    }
+
+    /// Severity of this diagnostic (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.code)?;
+        if let Some(span) = self.span {
+            write!(f, " {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Classifies a parse failure into a coded diagnostic.
+///
+/// `total_lines` anchors diagnostics that only materialise at
+/// end-of-input (e.g. a missing `.marking` section) to the last line
+/// of the file so every rejection carries a span.
+pub fn classify_parse_error(err: &ParseStgError, total_lines: usize) -> Diagnostic {
+    match err {
+        ParseStgError::Syntax {
+            line,
+            col,
+            kind,
+            message,
+        } => {
+            let code = match kind {
+                SyntaxKind::InvalidUtf8 => Code::InvalidUtf8,
+                SyntaxKind::UndeclaredSignal => Code::UndeclaredSignal,
+                SyntaxKind::DuplicateMarking => Code::DuplicateMarking,
+                SyntaxKind::BadMarking => Code::BadMarking,
+                SyntaxKind::DuplicateSignal => Code::DuplicateSignal,
+                SyntaxKind::UnknownDirective => Code::UnknownDirective,
+                SyntaxKind::UnexpectedContent => Code::UnexpectedContent,
+                SyntaxKind::PlaceToPlace => Code::PlaceToPlaceArc,
+                _ => Code::SyntaxError,
+            };
+            Diagnostic::new(code, message.clone()).with_span(*line, *col)
+        }
+        // Build failures are end-of-input findings; point at the last
+        // line so the span is still actionable.
+        ParseStgError::Build(e) => {
+            Diagnostic::new(Code::BuildError, e.to_string()).with_span(total_lines.max(1), 1)
+        }
+        _ => Diagnostic::new(Code::SyntaxError, err.to_string()).with_span(total_lines.max(1), 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_render_stably() {
+        assert_eq!(Code::UndeclaredSignal.as_str(), "L003");
+        assert_eq!(Code::UnusedSignal.as_str(), "W001");
+        assert_eq!(Code::UndeclaredSignal.severity(), Severity::Error);
+        assert_eq!(Code::UnusedSignal.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn display_includes_code_span_and_message() {
+        let d = Diagnostic::new(Code::DeadTransition, "transition `a+` can never fire")
+            .with_object("a+")
+            .with_span(7, 3);
+        assert_eq!(
+            d.to_string(),
+            "error[L021] 7:3: transition `a+` can never fire"
+        );
+    }
+
+    #[test]
+    fn parse_errors_classify_to_codes_with_spans() {
+        let err = stg::parse(".model m\n.outputs a\n.graph\nb+ a+\n.marking { }\n.end\n")
+            .expect_err("undeclared signal");
+        let d = classify_parse_error(&err, 6);
+        assert_eq!(d.code, Code::UndeclaredSignal);
+        assert_eq!(d.span, Some(Span { line: 4, col: 1 }));
+
+        let err = stg::parse(".model m\n.outputs a\n.graph\na+ a-\na- a+\n.end\n")
+            .expect_err("missing marking");
+        let d = classify_parse_error(&err, 6);
+        assert_eq!(d.code, Code::BuildError);
+        assert_eq!(d.span, Some(Span { line: 6, col: 1 }));
+    }
+}

@@ -1,0 +1,260 @@
+//! Structural well-formedness analyses over the built STG.
+//!
+//! Everything here is a pure graph or fixpoint computation on the
+//! underlying Petri net — no state enumeration, no unfolding.
+
+use petri::siphons::{maximal_siphon_within, unmarked_places};
+use stg::{Label, SignalKind, Stg};
+
+use crate::diag::{Code, Diagnostic};
+
+/// Runs every structural check, appending findings to `out`.
+pub fn check(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    unused_signals(stg, out);
+    mixed_choice(stg, out);
+    disconnected_places(stg, out);
+    dead_transitions(stg, out);
+    unmarked_siphons(stg, out);
+}
+
+/// `W001`: a declared signal with no transitions can never change, so
+/// either the declaration or the graph is incomplete.
+fn unused_signals(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    for z in stg.signals() {
+        if stg.transitions_of(z).next().is_none() {
+            let name = stg.signal_name(z);
+            out.push(
+                Diagnostic::new(
+                    Code::UnusedSignal,
+                    format!("signal `{name}` is declared but has no transitions"),
+                )
+                .with_object(name),
+            );
+        }
+    }
+}
+
+/// `W002`: a choice place whose alternatives mix input-signal
+/// transitions with output/internal ones — the circuit would be
+/// racing its environment for the token, which speed-independent
+/// synthesis cannot implement.
+fn mixed_choice(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    let net = stg.net();
+    for p in net.places() {
+        let post = net.place_postset(p);
+        if post.len() < 2 {
+            continue;
+        }
+        let mut inputs = 0usize;
+        let mut locals = 0usize;
+        for &t in post {
+            match stg.label(t) {
+                Label::SignalEdge(z, _) => {
+                    if stg.signal_kind(z) == SignalKind::Input {
+                        inputs += 1;
+                    } else {
+                        locals += 1;
+                    }
+                }
+                Label::Dummy => {}
+            }
+        }
+        if inputs > 0 && locals > 0 {
+            let name = net.place_name(p);
+            out.push(
+                Diagnostic::new(
+                    Code::MixedChoice,
+                    format!(
+                        "choice place `{name}` mixes input and non-input transitions \
+                         ({inputs} input, {locals} local)"
+                    ),
+                )
+                .with_object(name),
+            );
+        }
+    }
+}
+
+/// `L022`: a place with no arcs at all cannot influence behaviour;
+/// its presence means the `.g` source names a node that never got
+/// connected (usually a typo).
+fn disconnected_places(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    let net = stg.net();
+    for p in net.places() {
+        if net.place_preset(p).is_empty() && net.place_postset(p).is_empty() {
+            let name = net.place_name(p);
+            out.push(
+                Diagnostic::new(
+                    Code::DisconnectedPlace,
+                    format!("place `{name}` has no arcs"),
+                )
+                .with_object(name),
+            );
+        }
+    }
+}
+
+/// `L021`: transitions that cannot fire in *any* token flow.
+///
+/// The over-approximating fixpoint: a place is potentially marked if
+/// it starts marked or some potentially-fireable transition feeds it;
+/// a transition is potentially fireable if its whole preset is
+/// potentially marked. Anything not fireable at the fixpoint is dead
+/// in every reachable marking (the approximation ignores token
+/// counts, so it never flags a live transition).
+fn dead_transitions(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    let net = stg.net();
+    let m0 = stg.initial_marking();
+    let mut marked: Vec<bool> = net.places().map(|p| m0.tokens(p) > 0).collect();
+    let mut fireable: Vec<bool> = vec![false; net.num_transitions()];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for t in net.transitions() {
+            if fireable[t.index()] {
+                continue;
+            }
+            if net.preset(t).iter().all(|&p| marked[p.index()]) {
+                fireable[t.index()] = true;
+                changed = true;
+                for &p in net.postset(t) {
+                    if !marked[p.index()] {
+                        marked[p.index()] = true;
+                    }
+                }
+            }
+        }
+    }
+    for t in net.transitions() {
+        if !fireable[t.index()] {
+            let name = net.transition_name(t);
+            out.push(
+                Diagnostic::new(
+                    Code::DeadTransition,
+                    format!("transition `{name}` can never fire (structurally unreachable)"),
+                )
+                .with_object(name),
+            );
+        }
+    }
+}
+
+/// `W003`: the maximal siphon inside the initially-unmarked places.
+/// A siphon that starts empty stays empty forever, so every
+/// transition it feeds is dead and the net risks deadlock.
+fn unmarked_siphons(stg: &Stg, out: &mut Vec<Diagnostic>) {
+    let net = stg.net();
+    let empty = unmarked_places(net, stg.initial_marking());
+    let siphon = maximal_siphon_within(net, &empty);
+    if siphon.is_empty() {
+        return;
+    }
+    let mut names: Vec<&str> = siphon.iter().map(|&p| net.place_name(p)).collect();
+    names.sort_unstable();
+    let shown = names.iter().take(4).cloned().collect::<Vec<_>>().join(", ");
+    let suffix = if names.len() > 4 { ", …" } else { "" };
+    out.push(Diagnostic::new(
+        Code::UnmarkedSiphon,
+        format!(
+            "{} initially token-free place(s) form a siphon ({shown}{suffix}); \
+             they can never be marked and their output transitions are dead",
+            siphon.len()
+        ),
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let stg = stg::parse(src).unwrap();
+        let mut out = Vec::new();
+        check(&stg, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_net_has_no_findings() {
+        let src = "\
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+";
+        assert!(diags(src).is_empty(), "{:?}", diags(src));
+    }
+
+    #[test]
+    fn unused_signal_warns() {
+        let src = "\
+.model m
+.inputs ghost
+.outputs a
+.graph
+a+ a-
+a- a+
+.marking { <a-,a+> }
+.end
+";
+        let out = diags(src);
+        assert!(out.iter().any(|d| d.code == Code::UnusedSignal));
+    }
+
+    #[test]
+    fn dead_transitions_flagged_by_fixpoint() {
+        // b's transitions hang off a place that is never marked and
+        // never fed: structurally dead.
+        let src = "\
+.model m
+.outputs a b
+.graph
+a+ a-
+a- a+
+limbo b+
+b+ limbo2
+limbo2 b-
+b- limbo
+.marking { <a-,a+> }
+.initial_state 00
+.end
+";
+        let out = diags(src);
+        let dead: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == Code::DeadTransition)
+            .collect();
+        assert_eq!(dead.len(), 2, "{out:?}");
+        assert!(dead.iter().any(|d| d.object.as_deref() == Some("b+")));
+        // The same structure is an unmarked siphon.
+        assert!(out.iter().any(|d| d.code == Code::UnmarkedSiphon));
+    }
+
+    #[test]
+    fn mixed_choice_place_warns() {
+        // Free place feeding both an input and an output transition.
+        let src = "\
+.model m
+.inputs i
+.outputs o
+.graph
+p i+
+p o+
+i+ q
+o+ q
+q o-
+o- p
+.marking { p }
+.initial_state 00
+.end
+";
+        let out = diags(src);
+        assert!(out.iter().any(|d| d.code == Code::MixedChoice), "{out:?}");
+    }
+}

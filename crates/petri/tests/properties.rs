@@ -83,10 +83,10 @@ fn arb_net() -> impl Strategy<Value = (Net, Marking)> {
                 }
                 let p = b.add_place(format!("c{ci}a"));
                 let q = b.add_place(format!("c{ci}b"));
-                b.arc_tp(a, p).unwrap();
-                b.arc_pt(p, c).unwrap();
-                b.arc_tp(c, q).unwrap();
-                b.arc_pt(q, a).unwrap();
+                b.arc_tp(a, p).expect("fresh cycle arc");
+                b.arc_pt(p, c).expect("fresh cycle arc");
+                b.arc_tp(c, q).expect("fresh cycle arc");
+                b.arc_pt(q, a).expect("fresh cycle arc");
                 tokens.push((if token_at % 2 == 0 { p } else { q }, 1));
             }
             // Give every transition a self-cycle through two places so
@@ -94,15 +94,15 @@ fn arb_net() -> impl Strategy<Value = (Net, Marking)> {
             for (i, &t) in ts.iter().enumerate() {
                 let p = b.add_place(format!("s{i}p"));
                 let q = b.add_place(format!("s{i}q"));
-                b.arc_pt(p, t).unwrap();
-                b.arc_tp(t, q).unwrap();
+                b.arc_pt(p, t).expect("fresh self-cycle arc");
+                b.arc_tp(t, q).expect("fresh self-cycle arc");
                 // A partner transition to recycle the token.
                 let r = b.add_transition(format!("r{i}"));
-                b.arc_pt(q, r).unwrap();
-                b.arc_tp(r, p).unwrap();
+                b.arc_pt(q, r).expect("fresh partner arc");
+                b.arc_tp(r, p).expect("fresh partner arc");
                 tokens.push((p, 1));
             }
-            let net = b.build().unwrap();
+            let net = b.build().expect("generated net is well-formed");
             let m0 = Marking::with_tokens(net.num_places(), &tokens);
             (net, m0)
         })

@@ -115,6 +115,24 @@ impl CheckResponse {
             .and_then(|r| r.get("bdd"))
             .filter(|v| !v.is_null())
     }
+
+    /// The revision-3 `report.lint` summary object, when the server
+    /// ran the pre-engine lint stage for the job. `None` on older
+    /// revisions and on servers with prelint disabled, so callers
+    /// need no protocol-version branch of their own.
+    pub fn lint_summary(&self) -> Option<&Value> {
+        self.raw
+            .get("report")
+            .and_then(|r| r.get("lint"))
+            .filter(|v| !v.is_null())
+    }
+
+    /// The revision-3 `diagnostics` array of a `lint_rejected`
+    /// admission error: one object per finding with `code`,
+    /// `severity`, `line`/`col` span and `message`.
+    pub fn diagnostics(&self) -> Option<&Value> {
+        self.raw.get("diagnostics").filter(|v| !v.is_null())
+    }
 }
 
 /// A blocking connection to one `stgd` server.

@@ -261,8 +261,12 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
 /// The protocol revision stamped on check responses. Revision 2
 /// added the `proto` field itself and the optional `report.bdd`
 /// stats object; revision-1 responses carry neither, so clients
-/// treat an absent `proto` as 1.
-pub const PROTO_VERSION: u64 = 2;
+/// treat an absent `proto` as 1. Revision 3 added the optional
+/// `report.lint` summary object and the `lint_rejected` admission
+/// error (a `status: error` response with `code: "lint_rejected"`
+/// and a `diagnostics` array); older clients that ignore unknown
+/// members keep working unchanged.
+pub const PROTO_VERSION: u64 = 3;
 
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
@@ -309,6 +313,54 @@ pub fn encode_error_response_with_code(id: Option<&str>, code: &str, message: &s
     .render()
 }
 
+/// Encodes the revision-3 admission rejection: an error response
+/// with the stable `lint_rejected` code plus the lint diagnostics
+/// as structured objects, so clients can surface line/column spans
+/// without re-linting locally.
+pub fn encode_lint_rejected(id: Option<&str>, report: &lint::LintReport) -> String {
+    Value::Obj(vec![
+        ("id".to_owned(), opt(id)),
+        ("status".to_owned(), Value::from("error")),
+        ("code".to_owned(), Value::from("lint_rejected")),
+        (
+            "error".to_owned(),
+            Value::from(
+                format!(
+                    "input rejected by lint: {} error(s), {} warning(s)",
+                    report.errors(),
+                    report.warnings()
+                )
+                .as_str(),
+            ),
+        ),
+        (
+            "diagnostics".to_owned(),
+            Value::Arr(report.diagnostics.iter().map(encode_diagnostic).collect()),
+        ),
+    ])
+    .render()
+}
+
+fn encode_diagnostic(d: &lint::Diagnostic) -> Value {
+    Value::Obj(vec![
+        ("code".to_owned(), Value::from(d.code.to_string().as_str())),
+        (
+            "severity".to_owned(),
+            Value::from(d.severity().to_string().as_str()),
+        ),
+        (
+            "line".to_owned(),
+            d.span.map_or(Value::Null, |s| Value::from(s.line as u64)),
+        ),
+        (
+            "col".to_owned(),
+            d.span.map_or(Value::Null, |s| Value::from(s.col as u64)),
+        ),
+        ("object".to_owned(), opt(d.object.as_deref())),
+        ("message".to_owned(), Value::from(d.message.as_str())),
+    ])
+}
+
 /// The stable machine-readable code of an exhaustion reason (the
 /// human-readable sentence is available via `Display`).
 pub fn reason_code(reason: &ExhaustionReason) -> &'static str {
@@ -340,6 +392,22 @@ fn encode_report(report: &ResourceReport) -> Value {
         ("solver_steps".to_owned(), opt(report.solver_steps)),
         ("states".to_owned(), opt(report.states)),
         ("bdd_nodes".to_owned(), opt(report.bdd_nodes)),
+        (
+            "lint".to_owned(),
+            match &report.lint {
+                None => Value::Null,
+                Some(summary) => Value::Obj(vec![
+                    ("proved".to_owned(), Value::from(summary.proved)),
+                    ("errors".to_owned(), Value::from(summary.errors)),
+                    ("warnings".to_owned(), Value::from(summary.warnings)),
+                    ("usc_proved".to_owned(), Value::from(summary.usc_proved)),
+                    (
+                        "all_consistent".to_owned(),
+                        Value::from(summary.all_consistent),
+                    ),
+                ]),
+            },
+        ),
         (
             "bdd".to_owned(),
             match &report.bdd {
@@ -540,6 +608,29 @@ mod tests {
         assert_eq!(v.get("verdict").and_then(Value::as_str), Some("unknown"));
         assert_eq!(v.get("reason").and_then(Value::as_str), Some("event-limit"));
         assert!(v.get("witness").is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn lint_rejections_carry_coded_diagnostics() {
+        let outcome = lint::lint_bytes(
+            b".model m\n.outputs a\n.graph\nb+ a+\n",
+            &lint::LintOptions::default(),
+        );
+        let line = encode_lint_rejected(Some("j4"), &outcome.report);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("lint_rejected"));
+        let diags = v.get("diagnostics").expect("diagnostics present");
+        let Value::Arr(items) = diags else {
+            panic!("not an array: {diags:?}")
+        };
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("code").and_then(Value::as_str), Some("L003"));
+        assert_eq!(items[0].get("line").and_then(Value::as_u64), Some(4));
+        assert!(items[0]
+            .get("message")
+            .and_then(Value::as_str)
+            .is_some_and(|m| m.contains('b')));
     }
 
     #[test]

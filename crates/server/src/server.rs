@@ -26,12 +26,13 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use csc_core::{CancelToken, Engine};
+use stg::Stg;
 
 use crate::cache::ArtifactCache;
 use crate::json::Value;
 use crate::protocol::{
     decode_request, encode_check_response, encode_error_response, encode_error_response_with_code,
-    CheckRequest, Request,
+    encode_lint_rejected, CheckRequest, Request,
 };
 
 /// Tuning knobs of one [`spawn`]ed service.
@@ -81,6 +82,8 @@ struct Stats {
     holds: u64,
     violated: u64,
     unknown: u64,
+    /// Jobs answered by the lint LP proof alone — no engine ran.
+    lint_proved: u64,
     /// Race outcomes keyed like [`RACER_NAMES`].
     race_wins: [u64; 3],
     /// Races some *other* engine won while this one was retired.
@@ -93,9 +96,11 @@ struct Stats {
 /// Engine-name order of the per-racer stats arrays.
 const RACER_NAMES: [&str; 3] = ["unfolding-ilp", "explicit", "symbolic"];
 
-/// One queued verification job.
+/// One queued verification job. The STG was already parsed (and
+/// structurally linted) at admission, so workers never re-parse.
 struct Job {
     request: CheckRequest,
+    stg: Stg,
     cancel: CancelToken,
     enqueued: Instant,
     reply: Sender<String>,
@@ -181,6 +186,7 @@ impl Shared {
                             ("unknown".to_owned(), Value::from(stats.unknown)),
                         ]),
                     ),
+                    ("lint_proved".to_owned(), Value::from(stats.lint_proved)),
                     (
                         "race".to_owned(),
                         Value::Obj(vec![
@@ -424,6 +430,26 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
                 ));
                 return;
             }
+            // Admission lint: parse failures and structurally broken
+            // nets are rejected here on the reader thread — cheap
+            // graph checks only (no LP) — so garbage never consumes a
+            // queue slot or a worker. The job carries the parsed STG
+            // so workers never re-parse.
+            let options = lint::LintOptions {
+                lp: false,
+                ..Default::default()
+            };
+            let outcome = lint::lint_bytes(request.stg_g.as_bytes(), &options);
+            let stg = match outcome.stg {
+                Some(stg) if !outcome.report.has_errors() => stg,
+                _ => {
+                    if let Ok(mut stats) = shared.stats.lock() {
+                        stats.jobs_rejected += 1;
+                    }
+                    let _ = reply.send(encode_lint_rejected(Some(&request.id), &outcome.report));
+                    return;
+                }
+            };
             let cancel = CancelToken::new();
             if let Ok(mut tokens) = shared.live_tokens.lock() {
                 tokens.push(cancel.clone());
@@ -437,6 +463,7 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
             }
             let job = Job {
                 request,
+                stg,
                 cancel,
                 enqueued: Instant::now(),
                 reply: reply.clone(),
@@ -516,19 +543,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn process_job(job: &Job, shared: &Arc<Shared>) {
     let request = &job.request;
-    let stg = match stg::parse_bytes(request.stg_g.as_bytes()) {
-        Ok(stg) => stg,
-        Err(e) => {
-            if let Ok(mut stats) = shared.stats.lock() {
-                stats.jobs_errored += 1;
-            }
-            let _ = job.reply.send(encode_error_response(
-                Some(&request.id),
-                &format!("invalid .g input: {e}"),
-            ));
-            return;
-        }
-    };
+    let stg = &job.stg;
     let mut budget = request.budget.to_budget();
     if budget.deadline.is_none() {
         budget.deadline = shared.config.default_timeout_ms.map(Duration::from_millis);
@@ -538,13 +553,17 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
     let property = request.property;
     // Content-addressed reuse: a repeat of a cached net skips prefix
     // construction, state-graph exploration and BDD re-encoding.
-    let (artifacts, _cache_hit) = shared.cache.get_or_insert(&stg);
+    let (artifacts, _cache_hit) = shared.cache.get_or_insert(stg);
     // The wire `CheckRequest` above describes the job; this one runs
-    // it (`csc_core`'s builder shares the name).
-    let result = csc_core::CheckRequest::new(&stg, property)
+    // it (`csc_core`'s builder shares the name). Prelint is on: a
+    // family whose property the LP relaxation proves answers without
+    // any engine touching the state space, and the proof is cached in
+    // the shared artifacts for repeat nets.
+    let result = csc_core::CheckRequest::new(stg, property)
         .engine(engine)
         .budget(budget)
         .artifacts(&artifacts)
+        .prelint(true)
         .run();
     let response = match result {
         Ok(run) => {
@@ -558,7 +577,14 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
                     Some(false) => stats.violated += 1,
                     None => stats.unknown += 1,
                 }
-                if run.report.engine == "race" {
+                let lint_proved = run.report.lint.is_some_and(|l| l.proved);
+                if lint_proved {
+                    stats.lint_proved += 1;
+                }
+                // Race attribution only applies when the racers
+                // actually started; a lint-proved job never spawned
+                // them.
+                if run.report.engine == "race" && !lint_proved {
                     match run.report.winner {
                         Some(winner) => {
                             for (i, name) in RACER_NAMES.iter().enumerate() {
@@ -573,7 +599,7 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
                     }
                 }
             }
-            encode_check_response(&request.id, &stg, &run)
+            encode_check_response(&request.id, stg, &run)
         }
         Err(e) => {
             if let Ok(mut stats) = shared.stats.lock() {
@@ -747,6 +773,80 @@ mod tests {
             Some(0),
             "rejected jobs are not received jobs"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn ill_formed_inputs_are_rejected_at_admission() {
+        // Zero queue capacity would reject anything that reaches the
+        // queue, so a lint_rejected response here proves the bad net
+        // was turned away *before* admission — no queue slot, no
+        // worker.
+        let server = spawn(ServerConfig {
+            workers: 1,
+            max_queue: Some(0),
+            ..Default::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let bad = ".model m\n.outputs a\n.graph\nb+ a+\n.marking { }\n.end\n";
+        let response = client
+            .check("jl", bad, Property::Csc, None, BudgetSpec::default())
+            .expect("transport ok");
+        assert_eq!(response.status, "error");
+        assert_eq!(response.code.as_deref(), Some("lint_rejected"));
+        assert_eq!(response.id.as_deref(), Some("jl"));
+        let diags = response.diagnostics().expect("diagnostics array");
+        let Value::Arr(items) = diags else {
+            panic!("diagnostics is not an array: {diags:?}")
+        };
+        let first = items.first().expect("at least one diagnostic");
+        assert_eq!(first.get("code").and_then(Value::as_str), Some("L003"));
+        assert_eq!(first.get("severity").and_then(Value::as_str), Some("error"));
+        assert_eq!(first.get("line").and_then(Value::as_u64), Some(4));
+        assert_eq!(first.get("col").and_then(Value::as_u64), Some(1));
+        // The rejection consumed neither a queue slot nor a worker.
+        let stats = client.stats().expect("stats");
+        let counter = |key: &str| {
+            stats
+                .get("stats")
+                .and_then(|s| s.get(key))
+                .and_then(Value::as_u64)
+        };
+        assert_eq!(counter("jobs_received"), Some(0));
+        assert_eq!(counter("jobs_rejected"), Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn lint_proved_families_short_circuit_without_engines() {
+        let server = spawn(ServerConfig {
+            default_engine: Engine::UnfoldingIlp,
+            ..Default::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&stg::gen::counterflow::counterflow_sym(2, 3), "cf");
+        let response = client
+            .check("jp", &g, Property::Usc, None, BudgetSpec::default())
+            .expect("check");
+        assert_eq!(
+            response.verdict.as_deref(),
+            Some("holds"),
+            "{:?}",
+            response.raw
+        );
+        assert_eq!(response.winner.as_deref(), Some("lint"));
+        let report = response.raw.get("report").expect("report");
+        assert_eq!(
+            report.get("prefix_events_built").and_then(Value::as_u64),
+            Some(0),
+            "no engine may touch the state space"
+        );
+        let lint = response.lint_summary().expect("lint summary present");
+        assert_eq!(lint.get("proved").and_then(Value::as_bool), Some(true));
+        assert_eq!(lint.get("usc_proved").and_then(Value::as_bool), Some(true));
+        assert_eq!(lint.get("errors").and_then(Value::as_u64), Some(0));
         server.shutdown();
     }
 

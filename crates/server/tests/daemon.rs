@@ -112,7 +112,13 @@ fn fifty_job_mixed_batch_on_a_four_worker_pool() {
     for (id, want) in &expected {
         let got = &seen[id];
         match *want {
-            "error" => assert_eq!(got.status, "error", "{id}"),
+            "error" => {
+                assert_eq!(got.status, "error", "{id}");
+                // Garbage is turned away at admission with the
+                // stable lint code and structured diagnostics.
+                assert_eq!(got.code.as_deref(), Some("lint_rejected"), "{id}");
+                assert!(got.diagnostics().is_some(), "{id}");
+            }
             verdict => {
                 assert_eq!(got.status, "ok", "{id}");
                 assert_eq!(got.verdict.as_deref(), Some(verdict), "{id}");
@@ -132,11 +138,13 @@ fn fifty_job_mixed_batch_on_a_four_worker_pool() {
             .and_then(|s| s.get(key))
             .and_then(Value::as_u64)
     };
-    // The malformed job is queued too (its .g only fails worker-side
-    // parsing), so it counts as received and errored, not completed.
-    assert_eq!(stat("jobs_received"), Some(50));
+    // The malformed job never reaches the queue: admission lint
+    // rejects it on the reader thread, so it is neither received nor
+    // errored.
+    assert_eq!(stat("jobs_received"), Some(49));
     assert_eq!(stat("jobs_completed"), Some(49));
-    assert_eq!(stat("jobs_errored"), Some(1));
+    assert_eq!(stat("jobs_errored"), Some(0));
+    assert_eq!(stat("jobs_rejected"), Some(1));
     assert_eq!(stat("queue_depth"), Some(0));
     let race_wins: u64 = ["unfolding-ilp", "explicit", "symbolic"]
         .iter()
@@ -149,7 +157,17 @@ fn fifty_job_mixed_batch_on_a_four_worker_pool() {
                 .and_then(Value::as_u64)
         })
         .sum();
-    assert_eq!(race_wins, 48, "every conclusive job was won by a racer");
+    let lint_proved = stat("lint_proved").expect("lint_proved counter");
+    assert!(
+        lint_proved >= 15,
+        "every conflict-free counterflow job is answered by the LP proof alone \
+         (got {lint_proved})"
+    );
+    assert_eq!(
+        race_wins + lint_proved,
+        48,
+        "every conclusive job was won by a racer or proved by lint"
+    );
 
     let ack = client.shutdown().expect("shutdown ack");
     assert_eq!(

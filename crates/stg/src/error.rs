@@ -71,14 +71,45 @@ impl From<NetError> for StgError {
     }
 }
 
+/// A machine-readable classification of a `.g` syntax error, stable
+/// across releases so diagnostic tooling (the lint layer) can map
+/// each failure to a fixed code without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SyntaxKind {
+    /// Any syntax error without a more specific classification.
+    Generic,
+    /// The input bytes are not valid UTF-8.
+    InvalidUtf8,
+    /// A signal (or dummy) was declared more than once.
+    DuplicateSignal,
+    /// A transition references a signal that was never declared.
+    UndeclaredSignal,
+    /// An arc connects two places directly.
+    PlaceToPlace,
+    /// More than one `.marking` section.
+    DuplicateMarking,
+    /// A malformed `.marking` body (bad token, unknown place, …).
+    BadMarking,
+    /// An unrecognised `.directive`.
+    UnknownDirective,
+    /// Non-directive content outside a `.graph` section.
+    UnexpectedContent,
+}
+
 /// An error raised while parsing a `.g` (astg) file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ParseStgError {
-    /// A syntax error with line number (1-based) and message.
+    /// A syntax error with a source span and message.
     Syntax {
-        /// Line where the error occurred.
+        /// Line where the error occurred (1-based).
         line: usize,
+        /// Column where the offending token starts (1-based; 1 when
+        /// the error concerns the whole line).
+        col: usize,
+        /// Stable machine-readable classification.
+        kind: SyntaxKind,
         /// Human-readable description.
         message: String,
     },
@@ -90,6 +121,22 @@ impl ParseStgError {
     pub(crate) fn syntax(line: usize, message: impl Into<String>) -> Self {
         ParseStgError::Syntax {
             line,
+            col: 1,
+            kind: SyntaxKind::Generic,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn syntax_at(
+        line: usize,
+        col: usize,
+        kind: SyntaxKind,
+        message: impl Into<String>,
+    ) -> Self {
+        ParseStgError::Syntax {
+            line,
+            col,
+            kind,
             message: message.into(),
         }
     }
@@ -98,8 +145,14 @@ impl ParseStgError {
 impl fmt::Display for ParseStgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseStgError::Syntax { line, message } => {
-                write!(f, "line {line}: {message}")
+            ParseStgError::Syntax {
+                line, col, message, ..
+            } => {
+                if *col > 1 {
+                    write!(f, "line {line}:{col}: {message}")
+                } else {
+                    write!(f, "line {line}: {message}")
+                }
             }
             ParseStgError::Build(e) => write!(f, "invalid stg: {e}"),
         }

@@ -56,7 +56,7 @@ mod stg;
 pub mod writer;
 
 pub use code::{ChangeVec, CodeVec};
-pub use error::{ParseStgError, StgError};
+pub use error::{ParseStgError, StgError, SyntaxKind};
 pub use hash::CanonicalHash;
 pub use parser::{parse, parse_bytes};
 pub use signal::{Edge, Label, Signal, SignalKind};

@@ -30,9 +30,32 @@ use std::collections::HashMap;
 use petri::{ExploreLimits, PlaceId, TransitionId};
 
 use crate::code::CodeVec;
-use crate::error::ParseStgError;
+use crate::error::{ParseStgError, SyntaxKind};
 use crate::signal::{Edge, Signal, SignalKind};
 use crate::stg::{Stg, StgBuilder};
+
+/// Span context for one raw source line: used to attach 1-based
+/// line/column positions (byte columns) to every syntax error.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    raw: &'a str,
+    line: usize,
+}
+
+impl Ctx<'_> {
+    fn col_of(&self, token: &str) -> usize {
+        self.raw.find(token).map_or(1, |i| i + 1)
+    }
+
+    fn err(&self, kind: SyntaxKind, message: impl Into<String>) -> ParseStgError {
+        let col = self.raw.len() - self.raw.trim_start().len() + 1;
+        ParseStgError::syntax_at(self.line, col, kind, message)
+    }
+
+    fn err_at(&self, token: &str, kind: SyntaxKind, message: impl Into<String>) -> ParseStgError {
+        ParseStgError::syntax_at(self.line, self.col_of(token), kind, message)
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Node {
@@ -72,12 +95,13 @@ impl Parser {
         &mut self,
         names: &[&str],
         kind: SignalKind,
-        line: usize,
+        ctx: Ctx<'_>,
     ) -> Result<(), ParseStgError> {
         for &name in names {
             if self.signals.contains_key(name) || self.dummies.contains_key(name) {
-                return Err(ParseStgError::syntax(
-                    line,
+                return Err(ctx.err_at(
+                    name,
+                    SyntaxKind::DuplicateSignal,
                     format!("signal `{name}` declared twice"),
                 ));
             }
@@ -88,7 +112,7 @@ impl Parser {
     }
 
     /// Splits `lds+/2` into (`lds`, `+`, `/2` suffix kept in the name).
-    fn node(&mut self, token: &str, line: usize) -> Result<Node, ParseStgError> {
+    fn node(&mut self, token: &str, ctx: Ctx<'_>) -> Result<Node, ParseStgError> {
         if let Some(&t) = self.transitions.get(token) {
             return Ok(Node::Transition(t));
         }
@@ -110,13 +134,15 @@ impl Parser {
                 return Ok(Node::Transition(t));
             }
             if self.dummies.contains_key(base) {
-                return Err(ParseStgError::syntax(
-                    line,
+                return Err(ctx.err_at(
+                    token,
+                    SyntaxKind::Generic,
                     format!("dummy `{base}` cannot carry a +/- suffix"),
                 ));
             }
-            return Err(ParseStgError::syntax(
-                line,
+            return Err(ctx.err_at(
+                token,
+                SyntaxKind::UndeclaredSignal,
                 format!("transition `{token}` references undeclared signal `{base}`"),
             ));
         }
@@ -132,10 +158,10 @@ impl Parser {
         Ok(Node::Place(p))
     }
 
-    fn graph_line(&mut self, tokens: &[&str], line: usize) -> Result<(), ParseStgError> {
-        let src = self.node(tokens[0], line)?;
+    fn graph_line(&mut self, tokens: &[&str], ctx: Ctx<'_>) -> Result<(), ParseStgError> {
+        let src = self.node(tokens[0], ctx)?;
         for &tok in &tokens[1..] {
-            let dst = self.node(tok, line)?;
+            let dst = self.node(tok, ctx)?;
             let result = match (src, dst) {
                 (Node::Transition(a), Node::Transition(b)) => match self.builder.connect(a, b) {
                     Ok(p) => {
@@ -147,8 +173,9 @@ impl Parser {
                 (Node::Transition(a), Node::Place(p)) => self.builder.arc_tp(a, p),
                 (Node::Place(p), Node::Transition(b)) => self.builder.arc_pt(p, b),
                 (Node::Place(_), Node::Place(_)) => {
-                    return Err(ParseStgError::syntax(
-                        line,
+                    return Err(ctx.err_at(
+                        tok,
+                        SyntaxKind::PlaceToPlace,
                         format!(
                             "arc from place `{}` to place `{tok}` is not allowed",
                             tokens[0]
@@ -156,15 +183,15 @@ impl Parser {
                     ));
                 }
             };
-            result.map_err(|e| ParseStgError::syntax(line, e.to_string()))?;
+            result.map_err(|e| ctx.err_at(tok, SyntaxKind::Generic, e.to_string()))?;
         }
         Ok(())
     }
 
-    fn marking(&mut self, body: &str, line: usize) -> Result<(), ParseStgError> {
+    fn marking(&mut self, body: &str, ctx: Ctx<'_>) -> Result<(), ParseStgError> {
         if self.marking_seen {
-            return Err(ParseStgError::syntax(
-                line,
+            return Err(ctx.err(
+                SyntaxKind::DuplicateMarking,
                 "duplicate .marking section (the initial marking must be given once)",
             ));
         }
@@ -173,7 +200,7 @@ impl Parser {
         let body = body
             .strip_prefix('{')
             .and_then(|b| b.strip_suffix('}'))
-            .ok_or_else(|| ParseStgError::syntax(line, "expected `.marking { ... }`"))?;
+            .ok_or_else(|| ctx.err(SyntaxKind::BadMarking, "expected `.marking { ... }`"))?;
         // Tokens are either `name[=k]` or `<t,u>[=k]`.
         let mut rest = body.trim();
         while !rest.is_empty() {
@@ -188,7 +215,7 @@ impl Parser {
                         }
                         end
                     })
-                    .ok_or_else(|| ParseStgError::syntax(line, "unterminated `<...>`"))?
+                    .ok_or_else(|| ctx.err(SyntaxKind::BadMarking, "unterminated `<...>`"))?
             } else {
                 rest.find(char::is_whitespace).unwrap_or(rest.len())
             };
@@ -198,7 +225,11 @@ impl Parser {
                 Some((n, k)) => (
                     n,
                     k.parse::<u32>().map_err(|_| {
-                        ParseStgError::syntax(line, format!("bad token count in `{token}`"))
+                        ctx.err_at(
+                            token,
+                            SyntaxKind::BadMarking,
+                            format!("bad token count in `{token}`"),
+                        )
                     })?,
                 ),
                 None => (token, 1),
@@ -206,20 +237,40 @@ impl Parser {
             let place = if let Some(pair) = name.strip_prefix('<').and_then(|n| n.strip_suffix('>'))
             {
                 let (a, b) = pair.split_once(',').ok_or_else(|| {
-                    ParseStgError::syntax(line, format!("bad implicit place `{name}`"))
+                    ctx.err_at(
+                        name,
+                        SyntaxKind::BadMarking,
+                        format!("bad implicit place `{name}`"),
+                    )
                 })?;
                 let ta = *self.transitions.get(a.trim()).ok_or_else(|| {
-                    ParseStgError::syntax(line, format!("unknown transition `{a}` in marking"))
+                    ctx.err_at(
+                        name,
+                        SyntaxKind::BadMarking,
+                        format!("unknown transition `{a}` in marking"),
+                    )
                 })?;
                 let tb = *self.transitions.get(b.trim()).ok_or_else(|| {
-                    ParseStgError::syntax(line, format!("unknown transition `{b}` in marking"))
+                    ctx.err_at(
+                        name,
+                        SyntaxKind::BadMarking,
+                        format!("unknown transition `{b}` in marking"),
+                    )
                 })?;
                 *self.implicit.get(&(ta, tb)).ok_or_else(|| {
-                    ParseStgError::syntax(line, format!("no implicit place `{name}`"))
+                    ctx.err_at(
+                        name,
+                        SyntaxKind::BadMarking,
+                        format!("no implicit place `{name}`"),
+                    )
                 })?
             } else {
                 *self.places.get(name).ok_or_else(|| {
-                    ParseStgError::syntax(line, format!("unknown place `{name}` in marking"))
+                    ctx.err_at(
+                        name,
+                        SyntaxKind::BadMarking,
+                        format!("unknown place `{name}` in marking"),
+                    )
                 })?
             };
             self.builder.mark(place, count);
@@ -261,6 +312,7 @@ pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
     let mut in_graph = false;
     let mut ended = false;
     for (i, raw) in source.lines().enumerate() {
+        let ctx = Ctx { raw, line: i + 1 };
         let line_no = i + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() || ended {
@@ -272,16 +324,16 @@ pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
             let tokens: Vec<&str> = body.split_whitespace().collect();
             match keyword {
                 "model" | "name" | "version" | "capacity" | "slowenv" => {}
-                "inputs" => p.declare_signals(&tokens, SignalKind::Input, line_no)?,
-                "outputs" => p.declare_signals(&tokens, SignalKind::Output, line_no)?,
-                "internal" => p.declare_signals(&tokens, SignalKind::Internal, line_no)?,
+                "inputs" => p.declare_signals(&tokens, SignalKind::Input, ctx)?,
+                "outputs" => p.declare_signals(&tokens, SignalKind::Output, ctx)?,
+                "internal" => p.declare_signals(&tokens, SignalKind::Internal, ctx)?,
                 "dummy" => {
                     for &d in &tokens {
                         p.dummies.insert(d.to_owned(), ());
                     }
                 }
                 "graph" => in_graph = true,
-                "marking" => p.marking(body, line_no)?,
+                "marking" => p.marking(body, ctx)?,
                 "initial_state" => {
                     let bits = tokens.first().ok_or_else(|| {
                         ParseStgError::syntax(line_no, "expected bits after .initial_state")
@@ -292,18 +344,18 @@ pub fn parse(source: &str) -> Result<Stg, ParseStgError> {
                 }
                 "end" => ended = true,
                 other => {
-                    return Err(ParseStgError::syntax(
-                        line_no,
+                    return Err(ctx.err(
+                        SyntaxKind::UnknownDirective,
                         format!("unknown directive `.{other}`"),
                     ));
                 }
             }
         } else if in_graph {
             let tokens: Vec<&str> = line.split_whitespace().collect();
-            p.graph_line(&tokens, line_no)?;
+            p.graph_line(&tokens, ctx)?;
         } else {
-            return Err(ParseStgError::syntax(
-                line_no,
+            return Err(ctx.err(
+                SyntaxKind::UnexpectedContent,
                 format!("unexpected content `{line}` outside .graph"),
             ));
         }
@@ -345,12 +397,16 @@ pub fn parse_bytes(source: &[u8]) -> Result<Stg, ParseStgError> {
     match std::str::from_utf8(source) {
         Ok(text) => parse(text),
         Err(e) => {
-            let line = 1 + source[..e.valid_up_to()]
+            let prefix = &source[..e.valid_up_to()];
+            let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+            let col = 1 + prefix
                 .iter()
-                .filter(|&&b| b == b'\n')
-                .count();
-            Err(ParseStgError::syntax(
+                .rposition(|&b| b == b'\n')
+                .map_or(prefix.len(), |nl| prefix.len() - nl - 1);
+            Err(ParseStgError::syntax_at(
                 line,
+                col,
+                SyntaxKind::InvalidUtf8,
                 format!("invalid UTF-8 at byte offset {}", e.valid_up_to()),
             ))
         }
@@ -460,8 +516,14 @@ a- a+
     fn errors_carry_line_numbers() {
         let src = ".model m\n.outputs a\n.graph\nb+ a+\n.marking { }\n.end\n";
         match parse(src) {
-            Err(ParseStgError::Syntax { line, message }) => {
-                assert_eq!(line, 4);
+            Err(ParseStgError::Syntax {
+                line,
+                col,
+                kind,
+                message,
+            }) => {
+                assert_eq!((line, col), (4, 1));
+                assert_eq!(kind, SyntaxKind::UndeclaredSignal);
                 assert!(message.contains("undeclared signal"), "{message}");
             }
             other => panic!("expected syntax error, got {other:?}"),
@@ -487,8 +549,14 @@ a- a+
 .end
 ";
         match parse(src) {
-            Err(ParseStgError::Syntax { line, message }) => {
+            Err(ParseStgError::Syntax {
+                line,
+                kind,
+                message,
+                ..
+            }) => {
                 assert_eq!(line, 7);
+                assert_eq!(kind, SyntaxKind::DuplicateMarking);
                 assert!(message.contains("duplicate .marking"), "{message}");
             }
             other => panic!("expected syntax error, got {other:?}"),
@@ -500,8 +568,14 @@ a- a+
         let mut bytes = b".model m\n.outputs a\n.graph\na+ a-\n".to_vec();
         bytes.extend_from_slice(&[0xC3, 0x28]); // overlong/invalid sequence
         match parse_bytes(&bytes) {
-            Err(ParseStgError::Syntax { line, message }) => {
+            Err(ParseStgError::Syntax {
+                line,
+                kind,
+                message,
+                ..
+            }) => {
                 assert_eq!(line, 5);
+                assert_eq!(kind, SyntaxKind::InvalidUtf8);
                 assert!(message.contains("UTF-8"), "{message}");
             }
             other => panic!("expected syntax error, got {other:?}"),

@@ -2,6 +2,7 @@
 //! checker.
 //!
 //! ```text
+//! stgcheck lint <file.g> [--format json] [--no-lp]   static analysis + LP proofs
 //! stgcheck info <file.g>                     structural stats + consistency
 //! stgcheck unfold <file.g> [--dot] [--mcmillan]   prefix stats (optionally DOT)
 //! stgcheck usc <file.g> [--engine E]         Unique State Coding check
@@ -33,6 +34,12 @@
 //! reused by every property, so the second and third checks report
 //! `prefix built` work of 0.
 //!
+//! The `lint` command never explores the state space: it classifies
+//! parse failures into stable coded diagnostics with line:col spans,
+//! runs the structural well-formedness checks, and attempts the
+//! semiflow and LP-relaxation proofs (`--no-lp` skips the LPs). Exit
+//! code 2 when any error-severity diagnostic fires, 0 otherwise.
+//!
 //! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
 //! or processing error, 3 = inconclusive (budget exhausted).
 
@@ -44,6 +51,7 @@ use stg_coding_conflicts::csc_core::{
     Artifacts, Budget, CheckOutcome, CheckRequest, Checker, Engine, Property, ResourceReport,
     Verdict,
 };
+use stg_coding_conflicts::lint;
 use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
 use stg_coding_conflicts::server::Client;
 use stg_coding_conflicts::stg::{self, Stg};
@@ -61,9 +69,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: stgcheck <info|unfold|usc|csc|check|normalcy|deadlock|report|synth|dot|gen> ... \
+    "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|dot|gen> ... \
      [--engine unfolding|explicit|symbolic|portfolio|race] [--timeout-ms N] [--max-events N] \
-     [--server HOST:PORT]"
+     [--server HOST:PORT] [--format human|json] [--no-lp]"
         .to_owned()
 }
 
@@ -81,6 +89,11 @@ fn run(args: &[String]) -> Result<u8, String> {
     }
     let path = args.get(1).ok_or_else(usage)?;
     let source = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if command == "lint" {
+        // Lint consumes the raw bytes itself so even unparsable input
+        // gets a coded, spanned diagnostic instead of a bare error.
+        return lint_cmd(path, &source, &args[2..]);
+    }
     let model = stg::parse_bytes(&source).map_err(|e| format!("{path}: {e}"))?;
     let flags = &args[2..];
     match command.as_str() {
@@ -108,6 +121,34 @@ fn run(args: &[String]) -> Result<u8, String> {
 
 fn exit_code(conflict: bool) -> u8 {
     u8::from(conflict)
+}
+
+/// `stgcheck lint`: the full static pass, no state-space exploration.
+fn lint_cmd(path: &str, source: &[u8], flags: &[String]) -> Result<u8, String> {
+    let json = match flags.iter().position(|f| f == "--format") {
+        None => false,
+        Some(i) => match flags.get(i + 1).map(String::as_str) {
+            Some("json") => true,
+            Some("human") => false,
+            other => {
+                return Err(format!(
+                    "bad --format {} (human|json)",
+                    other.unwrap_or("<missing>")
+                ))
+            }
+        },
+    };
+    let options = lint::LintOptions {
+        lp: !flags.iter().any(|f| f == "--no-lp"),
+        ..Default::default()
+    };
+    let outcome = lint::lint_bytes(source, &options);
+    if json {
+        print!("{}", outcome.report.to_json());
+    } else {
+        print!("{}", outcome.report.render_human(path));
+    }
+    Ok(if outcome.report.has_errors() { 2 } else { 0 })
 }
 
 /// Parses `--engine NAME`; `None` when the flag is absent (the local

@@ -26,6 +26,7 @@
 pub use bdd;
 pub use csc_core;
 pub use ilp;
+pub use lint;
 pub use petri;
 pub use resolve;
 pub use server;

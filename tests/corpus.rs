@@ -17,7 +17,10 @@ fn corpus() -> Vec<(String, String)> {
             let path = e.ok()?.path();
             (path.extension()? == "g").then(|| {
                 (
-                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    path.file_name()
+                        .expect("files read from a directory are named")
+                        .to_string_lossy()
+                        .into_owned(),
                     fs::read_to_string(&path).expect("readable"),
                 )
             })

@@ -26,7 +26,7 @@ fn assert_agreement(stg: &Stg, label: &str) {
                 CheckRequest::new(stg, property)
                     .engine(e)
                     .run_bool()
-                    .unwrap()
+                    .expect("engine run succeeds")
             })
             .collect();
         assert!(

@@ -20,9 +20,10 @@ fn handshake_with_dummy() -> Stg {
     let ap = b.edge(ack, Edge::Rise);
     let rm = b.edge(req, Edge::Fall);
     let am = b.edge(ack, Edge::Fall);
-    b.chain_cycle(&[rp, tau, ap, rm, am]).unwrap();
+    b.chain_cycle(&[rp, tau, ap, rm, am])
+        .expect("handshake cycle is well-formed");
     b.set_initial_code(CodeVec::zeros(2));
-    b.build().unwrap()
+    b.build().expect("handshake STG builds")
 }
 
 #[test]

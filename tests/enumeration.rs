@@ -13,14 +13,14 @@ use stg_coding_conflicts::stg::{StateGraph, Stg};
 use stg_coding_conflicts::symbolic::SymbolicChecker;
 
 fn assert_counts_agree(stg: &Stg, label: &str) {
-    let sg = StateGraph::build(stg, Default::default()).unwrap();
-    let checker = Checker::new(stg).unwrap();
+    let sg = StateGraph::build(stg, Default::default()).expect("state graph builds");
+    let checker = Checker::new(stg).expect("checker builds");
     let usc_ip = checker
         .enumerate_conflicts(ConflictKind::Usc, 100_000)
-        .unwrap();
+        .expect("usc enumeration");
     let csc_ip = checker
         .enumerate_conflicts(ConflictKind::Csc, 100_000)
-        .unwrap();
+        .expect("csc enumeration");
     let report = SymbolicChecker::new(stg).analyse();
     let usc_explicit = sg.usc_conflict_pairs().len();
     let csc_explicit = sg.csc_conflict_pairs(stg).len();

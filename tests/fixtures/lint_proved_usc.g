@@ -1,0 +1,21 @@
+.model cf-sym-a
+.outputs x0_0 x0_1 x0_2 x1_0 x1_1 x1_2
+.internal s
+.graph
+s+ x0_0- x1_0-
+s- x0_0+ x1_0+
+x0_0+ x0_1+
+x0_1+ x0_2+
+x0_2+ s+
+x0_0- x0_1-
+x0_1- x0_2-
+x0_2- s-
+x1_0+ x1_1+
+x1_1+ x1_2+
+x1_2+ s+
+x1_0- x1_1-
+x1_1- x1_2-
+x1_2- s-
+.marking { <s-,x0_0+> <s-,x1_0+> }
+.initial_state 0000000
+.end

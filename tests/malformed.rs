@@ -1,11 +1,17 @@
 //! The parser must reject every file in `tests/fixtures/malformed/`
 //! with a typed error — and must never panic, which is checked by
-//! running each parse under `catch_unwind`.
+//! running each parse under `catch_unwind`. The lint pass must turn
+//! each rejection into a stable diagnostic code with a source span,
+//! and — the flip side — must *prove* USC on the conflict-free
+//! fixture so every engine short-circuits without exploring a single
+//! state.
 
 use std::fs;
 use std::panic::catch_unwind;
 use std::path::PathBuf;
 
+use stg_coding_conflicts::csc_core::{CheckRequest, Engine, Property, Verdict};
+use stg_coding_conflicts::lint::{self, Code, Severity};
 use stg_coding_conflicts::stg;
 
 fn fixture_dir() -> PathBuf {
@@ -44,4 +50,87 @@ fn rejections_are_specific() {
     assert!(err("non_utf8.g").contains("UTF-8"));
     // The truncated header never reaches a marking section.
     assert!(err("truncated_header.g").contains("marking"));
+}
+
+/// Every malformed fixture maps to one *stable* lint code with a
+/// source span — the contract the CLI's exit code 2, the server's
+/// `lint_rejected` error and this table all share.
+#[test]
+fn every_malformed_fixture_has_a_stable_code_and_span() {
+    let expected: &[(&str, Code, usize, usize)] = &[
+        ("duplicate_marking.g", Code::DuplicateMarking, 7, 1),
+        ("non_utf8.g", Code::InvalidUtf8, 2, 11),
+        ("truncated_header.g", Code::BuildError, 3, 1),
+        ("undeclared_signal.g", Code::UndeclaredSignal, 6, 6),
+    ];
+    for &(name, code, line, col) in expected {
+        let bytes = fs::read(fixture_dir().join(name)).unwrap();
+        let outcome = lint::lint_bytes(&bytes, &lint::LintOptions::default());
+        assert!(outcome.report.has_errors(), "{name}: must be rejected");
+        let first = outcome
+            .report
+            .diagnostics
+            .iter()
+            .find(|d| d.severity() == Severity::Error)
+            .unwrap_or_else(|| panic!("{name}: no error diagnostic"));
+        assert_eq!(first.code, code, "{name}: code");
+        let span = first
+            .span
+            .unwrap_or_else(|| panic!("{name}: diagnostic carries no span"));
+        assert_eq!((span.line, span.col), (line, col), "{name}: span");
+    }
+}
+
+/// The conflict-free fixture is the other half of the contract: the
+/// LP relaxation proves USC from the file alone, all five engines
+/// short-circuit with the `lint_proved` marker, and the proved
+/// verdict is differentially identical to what the explicit engine
+/// computes by exhaustive enumeration with the prelint stage off.
+#[test]
+fn lint_proved_fixture_short_circuits_all_five_engines() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint_proved_usc.g");
+    let bytes = fs::read(path).unwrap();
+    let outcome = lint::lint_bytes(&bytes, &lint::LintOptions::default());
+    assert!(!outcome.report.has_errors());
+    assert!(outcome.report.proofs.usc_proved, "LP proves USC statically");
+    let stg = outcome.stg.expect("clean fixture parses");
+
+    for engine in [
+        Engine::UnfoldingIlp,
+        Engine::ExplicitStateGraph,
+        Engine::SymbolicBdd,
+        Engine::Portfolio,
+        Engine::Race,
+    ] {
+        let run = CheckRequest::new(&stg, Property::Usc)
+            .engine(engine)
+            .prelint(true)
+            .run()
+            .unwrap();
+        assert_eq!(run.verdict, Verdict::Holds, "{engine:?}");
+        assert_eq!(run.report.winner, Some("lint"), "{engine:?}");
+        assert_eq!(
+            run.report.prefix_events_built,
+            Some(0),
+            "{engine:?}: no exploration behind a lint proof"
+        );
+        let summary = run.report.lint.expect("lint summary block");
+        assert!(summary.proved && summary.usc_proved, "{engine:?}");
+    }
+
+    // Differential: the explicit engine, prelint off, enumerates the
+    // full state space and must land on the same verdict.
+    let explicit = CheckRequest::new(&stg, Property::Usc)
+        .engine(Engine::ExplicitStateGraph)
+        .run()
+        .unwrap();
+    assert_eq!(explicit.verdict, Verdict::Holds);
+    assert!(
+        explicit.report.lint.is_none(),
+        "prelint is off in the reference run"
+    );
+    assert!(
+        explicit.report.states.is_some_and(|s| s > 0),
+        "the reference run actually explored"
+    );
 }

@@ -88,9 +88,12 @@ fn mixed_batch_gets_per_job_verdicts_and_a_clean_shutdown() {
 
     let malformed = &responses["malformed"];
     assert_eq!(malformed.status, "error");
+    // Admission lint rejects the input on the reader thread with the
+    // stable code and structured diagnostics (protocol revision 3).
+    assert_eq!(malformed.code.as_deref(), Some("lint_rejected"));
     assert!(
-        malformed.error.as_deref().is_some_and(|e| e.contains(".g")),
-        "parse failure is reported: {:?}",
+        malformed.diagnostics().is_some(),
+        "lint rejection carries diagnostics: {:?}",
         malformed.error
     );
 
@@ -105,9 +108,12 @@ fn mixed_batch_gets_per_job_verdicts_and_a_clean_shutdown() {
             .and_then(|s| s.get(key))
             .and_then(Value::as_u64)
     };
-    assert_eq!(stat("jobs_received"), Some(4));
+    // The malformed job never reached the queue: admission lint
+    // rejected it, so it counts as rejected rather than errored.
+    assert_eq!(stat("jobs_received"), Some(3));
     assert_eq!(stat("jobs_completed"), Some(3));
-    assert_eq!(stat("jobs_errored"), Some(1));
+    assert_eq!(stat("jobs_errored"), Some(0));
+    assert_eq!(stat("jobs_rejected"), Some(1));
 
     let ack = client.shutdown().expect("shutdown ack");
     assert_eq!(
