@@ -133,10 +133,10 @@ fn main() {
         let sb = run_server_bench(&widths, 2, workers, 2 * workers, spec);
         println!();
         println!(
-            "{:>3} | {:>4} {:>7} | {:>13} {:>9} | {:>7} | winners",
-            "n", "jobs", "workers", "portfolio[ms]", "race[ms]", "speedup"
+            "{:>3} | {:>4} {:>7} | {:>13} {:>9} | {:>7} | {:>5} {:>7} | winners",
+            "n", "jobs", "workers", "portfolio[ms]", "race[ms]", "speedup", "sheds", "retries"
         );
-        println!("{}", "-".repeat(72));
+        println!("{}", "-".repeat(88));
         for p in &sb {
             let winners = p
                 .race_winners
@@ -145,13 +145,15 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(",");
             println!(
-                "{:>3} | {:>4} {:>7} | {:>13.2} {:>9.2} | {:>6.2}x | {}{}",
+                "{:>3} | {:>4} {:>7} | {:>13.2} {:>9.2} | {:>6.2}x | {:>5} {:>7} | {}{}",
                 p.n,
                 p.jobs,
                 p.workers,
                 p.portfolio_ms,
                 p.race_ms,
                 p.speedup,
+                p.sheds,
+                p.retries,
                 winners,
                 if p.verdicts_ok {
                     ""

@@ -456,6 +456,13 @@ pub struct ServerBenchPoint {
     pub speedup: f64,
     /// Engines that won races in this batch, with win counts.
     pub race_winners: Vec<(String, usize)>,
+    /// Load-shedding responses (`queue_full`/`over_quota`) received
+    /// across both batches; each shed job was resubmitted after the
+    /// server's `retry_after_ms` hint.
+    pub sheds: u64,
+    /// Client-side resubmissions across both batches (sheds plus
+    /// `worker_crashed` retries).
+    pub retries: u64,
     /// Whether every job of both batches came back conclusive with
     /// the expected verdict (counterflow is conflict-free).
     pub verdicts_ok: bool,
@@ -463,8 +470,14 @@ pub struct ServerBenchPoint {
 
 /// Times one batch (`reps` identical CSC jobs on the counterflow
 /// model of width `n`) against a running server, returning the batch
-/// wall-clock, per-engine race-win counts and whether every verdict
-/// was the expected `holds`.
+/// wall-clock, per-engine race-win counts, whether every verdict was
+/// the expected `holds`, and the shed/retry counts of the run.
+///
+/// The batch is pipelined, so a bounded server may shed some of it
+/// with `queue_full`; shed jobs are resubmitted after the server's
+/// `retry_after_ms` hint until every job has a terminal verdict —
+/// the measured wall-clock therefore includes the retry traffic, as
+/// a real overloaded client would experience it.
 fn server_batch(
     addr: std::net::SocketAddr,
     g_text: &str,
@@ -472,25 +485,43 @@ fn server_batch(
     reps: usize,
     engine: Engine,
     budget: server::protocol::BudgetSpec,
-) -> (f64, Vec<(String, usize)>, bool) {
+) -> (f64, Vec<(String, usize)>, bool, u64, u64) {
     use server::protocol::CheckRequest;
+    let request = |id: String| CheckRequest {
+        id,
+        stg_g: g_text.to_owned(),
+        property: Property::Csc,
+        engine: Some(engine),
+        budget,
+    };
     let mut client = server::Client::connect(addr).expect("connect to in-process stgd");
     let t0 = Instant::now();
     for rep in 0..reps {
         client
-            .submit(&CheckRequest {
-                id: format!("cf{n}-{}-{rep}", engine.name()),
-                stg_g: g_text.to_owned(),
-                property: Property::Csc,
-                engine: Some(engine),
-                budget,
-            })
+            .submit(&request(format!("cf{n}-{}-{rep}", engine.name())))
             .expect("submit job");
     }
     let mut ok = true;
     let mut winners: Vec<(String, usize)> = Vec::new();
-    for _ in 0..reps {
+    let (mut sheds, mut retries) = (0u64, 0u64);
+    let mut outstanding = reps;
+    while outstanding > 0 {
         let response = client.read_response().expect("read verdict");
+        if response.is_retryable() {
+            // Shed or crashed: resubmit the same id after the
+            // server's hint (idempotent job, same verdict).
+            if response.code.as_deref() != Some("worker_crashed") {
+                sheds += 1;
+            }
+            retries += 1;
+            if let Some(ms) = response.retry_after_ms {
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(250)));
+            }
+            let id = response.id.expect("shed response echoes the id");
+            client.submit(&request(id)).expect("resubmit shed job");
+            continue;
+        }
+        outstanding -= 1;
         ok &= response.verdict.as_deref() == Some("holds");
         if let Some(winner) = response.winner {
             match winners.iter_mut().find(|(name, _)| *name == winner) {
@@ -499,7 +530,13 @@ fn server_batch(
             }
         }
     }
-    (t0.elapsed().as_secs_f64() * 1e3, winners, ok)
+    (
+        t0.elapsed().as_secs_f64() * 1e3,
+        winners,
+        ok,
+        sheds,
+        retries,
+    )
 }
 
 /// Runs the server-bench comparison over counterflow `widths` at
@@ -523,9 +560,9 @@ pub fn run_server_bench(
         .iter()
         .map(|&n| {
             let g_text = stg::to_g_format(&counterflow_sym(n, depth), "counterflow");
-            let (portfolio_ms, _, portfolio_ok) =
+            let (portfolio_ms, _, portfolio_ok, p_sheds, p_retries) =
                 server_batch(handle.addr(), &g_text, n, reps, Engine::Portfolio, budget);
-            let (race_ms, race_winners, race_ok) =
+            let (race_ms, race_winners, race_ok, r_sheds, r_retries) =
                 server_batch(handle.addr(), &g_text, n, reps, Engine::Race, budget);
             ServerBenchPoint {
                 n,
@@ -537,6 +574,8 @@ pub fn run_server_bench(
                 race_ms,
                 speedup: portfolio_ms / race_ms,
                 race_winners,
+                sheds: p_sheds + r_sheds,
+                retries: p_retries + r_retries,
                 verdicts_ok: portfolio_ok && race_ok,
             }
         })
@@ -935,6 +974,8 @@ pub fn server_bench_to_json(points: &[ServerBenchPoint]) -> String {
                 .float("race_ms", p.race_ms)
                 .float("speedup", p.speedup)
                 .string("race_winners", &winners)
+                .number("sheds", p.sheds)
+                .number("retries", p.retries)
                 .boolean("verdicts_ok", p.verdicts_ok);
             o
         })

@@ -32,7 +32,7 @@ use crate::artifact::Artifacts;
 use crate::checker::{CheckOutcome, Checker, CheckerOptions};
 use crate::error::CheckError;
 use crate::limits::{
-    Budget, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
+    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
 };
 
 /// Which engine decides the property.
@@ -248,12 +248,16 @@ impl<'a> CheckRequest<'a> {
             return dispatch(artifacts, self.property, self.engine, &self.budget);
         }
         let start = Instant::now();
-        // The lint stage runs under the same wall-clock allowance as
-        // the engines: a tightly budgeted job gets an immediate LP
-        // abstention instead of a lint pass that outlives its
-        // deadline (and such partial reports are never cached).
+        // The lint stage runs under the same wall-clock allowance
+        // and cancellation flag as the engines: a tightly budgeted
+        // job gets an immediate LP abstention instead of a lint pass
+        // that outlives its deadline, and a cancellation (a hung-job
+        // watchdog, a shutdown sweep) interrupts a long exact-
+        // arithmetic solve mid-flight. Partial reports are never
+        // cached either way.
         let mut options = lint::LintOptions::default();
         options.lp_options.deadline = self.budget.deadline.map(|d| start + d);
+        options.lp_options.cancel = self.budget.cancel.as_ref().map(CancelToken::flag);
         let report = artifacts.lint_with(&options);
         let summary = LintSummary {
             proved: false,

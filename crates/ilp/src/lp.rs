@@ -33,7 +33,7 @@ pub enum LpFeasibility {
 }
 
 /// Tunables for [`LpProblem::feasibility`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LpOptions {
     /// Maximum number of simplex pivots before abstaining. Bland's
     /// rule guarantees termination, but the bound keeps worst-case
@@ -44,6 +44,14 @@ pub struct LpOptions {
     /// a budgeted verification job bound its lint stage the same way
     /// it bounds an engine.
     pub deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation flag, polled at the same cadence as
+    /// the deadline. When another thread raises it — a hung-job
+    /// watchdog, a race loser sweep — the solver abstains at the
+    /// next poll instead of finishing the solve. The flag makes a
+    /// multi-second exact-arithmetic solve interruptible without any
+    /// caller-visible partial state: an interrupted solve is just an
+    /// [`LpFeasibility::Abstain`].
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for LpOptions {
@@ -51,6 +59,7 @@ impl Default for LpOptions {
         LpOptions {
             max_pivots: 50_000,
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -60,6 +69,15 @@ impl LpOptions {
     pub fn expired(&self) -> bool {
         self.deadline
             .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// True once the solver should abandon the solve: the deadline
+    /// passed or the cancellation flag was raised.
+    pub fn stopped(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            || self.expired()
     }
 }
 
@@ -223,8 +241,9 @@ impl LpProblem {
             w = w.add(rhs[i])?;
         }
         for pivot in 0..options.max_pivots {
-            // Deadline check amortised over a handful of pivots.
-            if pivot % 16 == 0 && options.expired() {
+            // Deadline/cancellation check amortised over a handful
+            // of pivots.
+            if pivot % 16 == 0 && options.stopped() {
                 return None;
             }
             // Bland's rule: entering column = smallest index with
@@ -498,6 +517,20 @@ mod tests {
         p.add(&[(0, 1), (1, 1)], CmpOp::Ge, -1);
         let out = p.feasibility(&LpOptions {
             deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        });
+        assert_eq!(out, LpFeasibility::Abstain);
+    }
+
+    #[test]
+    fn raised_cancel_flag_abstains() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Ge, -1);
+        let flag = Arc::new(AtomicBool::new(true));
+        let out = p.feasibility(&LpOptions {
+            cancel: Some(flag),
             ..Default::default()
         });
         assert_eq!(out, LpFeasibility::Abstain);

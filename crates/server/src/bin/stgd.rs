@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]
-//!      [--max-queue N] [--cache-entries N]
+//!      [--max-queue N] [--client-quota N] [--write-timeout-ms MS]
+//!      [--response-buffer N] [--hung-job-ms MS] [--cache-entries N]
 //! ```
 //!
 //! Prints `listening on ADDR` once the socket is bound (port 0 is
@@ -46,17 +47,26 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: stgd [--addr HOST:PORT] [--workers N] [--engine NAME] [--timeout-ms MS]\n\
-         \u{20}           [--max-queue N] [--cache-entries N]\n\
+         \u{20}           [--max-queue N] [--client-quota N] [--write-timeout-ms MS]\n\
+         \u{20}           [--response-buffer N] [--hung-job-ms MS] [--cache-entries N]\n\
          \n\
-         --addr HOST:PORT  listen address (default 127.0.0.1:7570; port 0 = ephemeral)\n\
-         --workers N       worker threads (default 4)\n\
-         --engine NAME     default engine: unfolding|explicit|symbolic|portfolio|race\n\
-         \u{20}                 (default race)\n\
-         --timeout-ms MS   default per-job wall-clock budget when a job sets none\n\
-         --max-queue N     reject checks beyond N queued jobs with the `queue_full`\n\
-         \u{20}                 error code (default unbounded; 0 also means unbounded)\n\
-         --cache-entries N artifact-cache capacity in resident STGs (default 64;\n\
-         \u{20}                 0 disables caching)"
+         --addr HOST:PORT      listen address (default 127.0.0.1:7570; port 0 = ephemeral)\n\
+         --workers N           worker threads (default 4)\n\
+         --engine NAME         default engine: unfolding|explicit|symbolic|portfolio|race\n\
+         \u{20}                     (default race)\n\
+         --timeout-ms MS       default per-job wall-clock budget when a job sets none\n\
+         --max-queue N         reject checks beyond N queued jobs with the `queue_full`\n\
+         \u{20}                     error code (default 1024; 0 means unbounded)\n\
+         --client-quota N      reject checks beyond N queued jobs per client with the\n\
+         \u{20}                     `over_quota` error code (default none; 0 means none)\n\
+         --write-timeout-ms MS patience for a stalled client before its connection is\n\
+         \u{20}                     dropped (default 10000; 0 disables the timeout)\n\
+         --response-buffer N   per-connection response lines buffered for the writer\n\
+         \u{20}                     (default 1024)\n\
+         --hung-job-ms MS      watchdog bound: cancel any job executing longer than MS\n\
+         \u{20}                     (default off; 0 also means off)\n\
+         --cache-entries N     artifact-cache capacity in resident STGs (default 64;\n\
+         \u{20}                     0 disables caching)"
     );
     std::process::exit(2);
 }
@@ -106,6 +116,37 @@ fn parse_args() -> ServerConfig {
                 Ok(n) => config.max_queue = Some(n),
                 Err(_) => {
                     eprintln!("stgd: --max-queue needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--client-quota" => match value("--client-quota").parse::<usize>() {
+                Ok(0) => config.client_quota = None,
+                Ok(n) => config.client_quota = Some(n),
+                Err(_) => {
+                    eprintln!("stgd: --client-quota needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--write-timeout-ms" => match value("--write-timeout-ms").parse::<u64>() {
+                Ok(0) => config.write_timeout_ms = None,
+                Ok(ms) => config.write_timeout_ms = Some(ms),
+                Err(_) => {
+                    eprintln!("stgd: --write-timeout-ms needs a non-negative integer");
+                    usage();
+                }
+            },
+            "--response-buffer" => match value("--response-buffer").parse::<usize>() {
+                Ok(n) if n > 0 => config.response_buffer = n,
+                _ => {
+                    eprintln!("stgd: --response-buffer needs a positive integer");
+                    usage();
+                }
+            },
+            "--hung-job-ms" => match value("--hung-job-ms").parse::<u64>() {
+                Ok(0) => config.hung_job_ms = None,
+                Ok(ms) => config.hung_job_ms = Some(ms),
+                Err(_) => {
+                    eprintln!("stgd: --hung-job-ms needs a non-negative integer");
                     usage();
                 }
             },

@@ -4,13 +4,29 @@
 //! The client is deliberately thin: it frames request lines, parses
 //! response lines, and surfaces the protocol's `id` correlation so a
 //! caller pipelining a batch can match completion-order responses
-//! back to its jobs.
+//! back to its jobs. Two robustness layers sit on top:
+//!
+//! - **Read timeouts.** The socket has a default read timeout
+//!   ([`Client::DEFAULT_READ_TIMEOUT_MS`]), so a dead or wedged
+//!   server yields [`ClientError::Timeout`] instead of blocking the
+//!   caller forever.
+//! - **Retry with backoff.** [`Client::check_with_retry`] resubmits a
+//!   job across transport failures (reconnecting first) and across
+//!   the server's revision-4 load-shedding responses (`queue_full`,
+//!   `over_quota`) and `worker_crashed` errors, waiting out the
+//!   server's `retry_after_ms` hint when one is present and
+//!   exponential backoff with jitter otherwise. Resubmission is safe
+//!   because `check` jobs are idempotent: the verdict is a pure
+//!   function of the net and property, and server-side artifacts are
+//!   content-addressed by canonical STG hash.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use csc_core::{Engine, Property};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::json::{self, Value};
 use crate::protocol::{encode_check_request, BudgetSpec, CheckRequest};
@@ -20,6 +36,11 @@ use crate::protocol::{encode_check_request, BudgetSpec, CheckRequest};
 pub enum ClientError {
     /// The TCP transport failed (connect, read or write).
     Io(io::Error),
+    /// The socket read timeout expired while a response was still
+    /// expected: the server is dead, wedged, or slower than the
+    /// configured timeout. The connection may have lost a partial
+    /// line and should be re-established before reuse.
+    Timeout,
     /// The server's line was not a valid response object, or the
     /// connection closed while a response was still expected.
     Protocol(String),
@@ -29,6 +50,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout => write!(f, "timed out awaiting a response"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -38,7 +60,14 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -51,7 +80,8 @@ pub struct CheckResponse {
     /// Protocol revision of the response. Revision-1 servers did not
     /// stamp the field, so an absent `proto` decodes as `1`; revision
     /// 2 added the optional `report.bdd` stats object (see
-    /// [`Self::bdd_stats`]).
+    /// [`Self::bdd_stats`]); revision 4 added `retry_after_ms` on
+    /// load-shedding errors.
     pub proto: u64,
     /// `"ok"` or `"error"`.
     pub status: String,
@@ -68,6 +98,9 @@ pub struct CheckResponse {
     /// Stable machine-readable error code when `status == "error"`
     /// and the server classified the failure (e.g. `queue_full`).
     pub code: Option<String>,
+    /// The revision-4 backoff hint on load-shedding errors: how long
+    /// the server expects to need before it can admit the job.
+    pub retry_after_ms: Option<u64>,
     /// Worker-side wall-clock of the check itself.
     pub elapsed_ms: Option<f64>,
     /// The complete response object (witness, resource report, …).
@@ -92,6 +125,7 @@ impl CheckResponse {
             winner: text("winner"),
             error: text("error"),
             code: text("code"),
+            retry_after_ms: raw.get("retry_after_ms").and_then(Value::as_u64),
             elapsed_ms: raw
                 .get("report")
                 .and_then(|r| r.get("elapsed_ms"))
@@ -103,6 +137,19 @@ impl CheckResponse {
     /// Whether the server decided the property (`holds`/`violated`).
     pub fn is_conclusive(&self) -> bool {
         matches!(self.verdict.as_deref(), Some("holds" | "violated"))
+    }
+
+    /// Whether this is a transient error a client may safely retry:
+    /// the revision-4 load-shedding codes (`queue_full`,
+    /// `over_quota`) and `worker_crashed`. Permanent rejections
+    /// (`lint_rejected`, protocol errors) are not retryable — the
+    /// same input will fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        self.status == "error"
+            && matches!(
+                self.code.as_deref(),
+                Some("queue_full" | "over_quota" | "worker_crashed")
+            )
     }
 
     /// The revision-2 `report.bdd` stats object, when the job's
@@ -135,25 +182,140 @@ impl CheckResponse {
     }
 }
 
+/// How [`Client::check_with_retry`] paces its attempts.
+///
+/// Delays follow truncated exponential backoff with jitter: attempt
+/// `n` (counting retries from 0) waits around `base_delay_ms * 2^n`,
+/// capped at `max_delay_ms`, with up to ±25% random jitter so a fleet
+/// of shed clients does not retry in lockstep. When the server's
+/// response carried a `retry_after_ms` hint, the hint (plus jitter)
+/// replaces the exponential term for that attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Base delay of the exponential schedule.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 25,
+            max_delay_ms: 2_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), honouring the
+    /// server's hint when present.
+    fn delay_ms(&self, retry: u32, hint: Option<u64>, rng: &mut StdRng) -> u64 {
+        let nominal = match hint {
+            Some(ms) => ms.max(1),
+            None => self
+                .base_delay_ms
+                .max(1)
+                .saturating_mul(1u64 << retry.min(16)),
+        }
+        .min(self.max_delay_ms.max(1));
+        // ±25% jitter, never below 1ms.
+        let spread = (nominal / 2).max(1);
+        (nominal.saturating_sub(nominal / 4) + rng.random_range(0..spread)).max(1)
+    }
+}
+
+/// Counters describing how one retried operation actually went, for
+/// harnesses (the bench's `server-bench` mode) that report resilience
+/// behaviour alongside throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Attempts performed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Load-shedding responses received (`queue_full`/`over_quota`).
+    pub sheds: u32,
+    /// `worker_crashed` responses received.
+    pub worker_crashes: u32,
+    /// Times the connection was re-established after a transport
+    /// failure or timeout.
+    pub reconnects: u32,
+}
+
 /// A blocking connection to one `stgd` server.
 pub struct Client {
     writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
+    /// The server's resolved address, kept for reconnects.
+    addr: SocketAddr,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Default socket read timeout: long enough for real
+    /// verification workloads, short enough that a dead server is an
+    /// error rather than a hang.
+    pub const DEFAULT_READ_TIMEOUT_MS: u64 = 30_000;
+
+    /// Connects to a running server with the default read timeout.
     ///
     /// # Errors
     ///
     /// Propagates connect/clone failures as [`ClientError::Io`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(
+            addr,
+            Some(Duration::from_millis(Self::DEFAULT_READ_TIMEOUT_MS)),
+        )
+    }
+
+    /// Connects with an explicit read timeout (`None` = block
+    /// forever, the pre-revision-4 behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures as [`ClientError::Io`].
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
+        stream.set_read_timeout(read_timeout)?;
         let read_half = stream.try_clone()?;
         Ok(Client {
             writer: BufWriter::new(stream),
             reader: BufReader::new(read_half),
+            addr,
+            read_timeout,
         })
+    }
+
+    /// Replaces the socket read timeout (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure as [`ClientError::Io`].
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drops the current connection and establishes a fresh one to
+    /// the same server. Any pipelined responses still in flight on
+    /// the old connection are lost — callers resubmit (safe: `check`
+    /// jobs are idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures as [`ClientError::Io`].
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let fresh = Self::connect_with_timeout(self.addr, self.read_timeout)?;
+        *self = fresh;
+        Ok(())
     }
 
     /// Sends one raw request line and reads one response line —
@@ -182,7 +344,7 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport failures, EOF, or an unparsable response.
+    /// Transport failures, timeout, EOF, or an unparsable response.
     pub fn read_response(&mut self) -> Result<CheckResponse, ClientError> {
         CheckResponse::from_value(self.read_value()?)
     }
@@ -208,6 +370,108 @@ impl Client {
             budget,
         })?;
         self.read_response()
+    }
+
+    /// A single-job check that rides out transient failures: on a
+    /// transport error or timeout the connection is re-established
+    /// and the job resubmitted; on a retryable server error
+    /// (`queue_full`, `over_quota`, `worker_crashed`) the client
+    /// waits — the server's `retry_after_ms` hint when present,
+    /// exponential backoff with jitter otherwise — and resubmits.
+    /// Safe because `check` jobs are idempotent.
+    ///
+    /// Returns the first non-retryable response, or — when every
+    /// attempt was shed — the last shed response (`status: "error"`
+    /// with its code), so callers always see the server's verdict on
+    /// the final attempt.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once attempts are exhausted without
+    /// any server response.
+    pub fn check_with_retry(
+        &mut self,
+        id: &str,
+        stg_g: &str,
+        property: Property,
+        engine: Option<Engine>,
+        budget: BudgetSpec,
+        policy: &RetryPolicy,
+    ) -> Result<CheckResponse, ClientError> {
+        self.check_with_retry_stats(id, stg_g, property, engine, budget, policy)
+            .map(|(response, _)| response)
+    }
+
+    /// [`Self::check_with_retry`] with the resilience counters of the
+    /// run ([`RetryStats`]) alongside the response.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once attempts are exhausted without
+    /// any server response.
+    pub fn check_with_retry_stats(
+        &mut self,
+        id: &str,
+        stg_g: &str,
+        property: Property,
+        engine: Option<Engine>,
+        budget: BudgetSpec,
+        policy: &RetryPolicy,
+    ) -> Result<(CheckResponse, RetryStats), ClientError> {
+        let seed = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
+        let mut rng = StdRng::seed_from_u64(seed ^ self.addr.port() as u64);
+        let mut stats = RetryStats::default();
+        let mut broken = false;
+        let mut last_shed: Option<CheckResponse> = None;
+        let mut last_error: Option<ClientError> = None;
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let hint = last_shed.as_ref().and_then(|r| r.retry_after_ms);
+                let delay = policy.delay_ms(attempt - 1, hint, &mut rng);
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            if broken {
+                match self.reconnect() {
+                    Ok(()) => {
+                        stats.reconnects += 1;
+                        broken = false;
+                    }
+                    Err(e) => {
+                        last_error = Some(e);
+                        continue;
+                    }
+                }
+            }
+            stats.attempts += 1;
+            match self.check(id, stg_g, property, engine, budget) {
+                Ok(response) if response.is_retryable() => {
+                    match response.code.as_deref() {
+                        Some("worker_crashed") => stats.worker_crashes += 1,
+                        _ => stats.sheds += 1,
+                    }
+                    last_shed = Some(response);
+                    last_error = None;
+                }
+                Ok(response) => return Ok((response, stats)),
+                Err(e) => {
+                    // The stream may hold a half-read response; never
+                    // reuse it.
+                    broken = true;
+                    last_error = Some(e);
+                    last_shed = None;
+                }
+            }
+        }
+        match (last_error, last_shed) {
+            (None, Some(shed)) => Ok((shed, stats)),
+            (Some(e), _) => Err(e),
+            (None, None) => Err(ClientError::Protocol(
+                "retry loop made no attempts".to_owned(),
+            )),
+        }
     }
 
     /// Fetches the service counters.
@@ -263,6 +527,7 @@ mod tests {
         assert_eq!(response.proto, 1);
         assert_eq!(response.verdict.as_deref(), Some("holds"));
         assert!(response.bdd_stats().is_none());
+        assert!(!response.is_retryable());
     }
 
     #[test]
@@ -291,5 +556,68 @@ mod tests {
         let response = CheckResponse::from_value(raw).unwrap();
         assert_eq!(response.proto, 2);
         assert!(response.bdd_stats().is_none());
+    }
+
+    #[test]
+    fn revision_4_shed_responses_decode_as_retryable() {
+        let raw = json::parse(
+            r#"{"id":"d","proto":4,"status":"error","code":"queue_full",
+                "error":"job queue is full","retry_after_ms":120}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert!(response.is_retryable());
+        assert_eq!(response.retry_after_ms, Some(120));
+        // A lint rejection is permanent, never retryable.
+        let raw = json::parse(
+            r#"{"id":"e","status":"error","code":"lint_rejected",
+                "error":"input rejected","diagnostics":[]}"#,
+        )
+        .unwrap();
+        assert!(!CheckResponse::from_value(raw).unwrap().is_retryable());
+        // worker_crashed is retryable even without a hint.
+        let raw = json::parse(
+            r#"{"id":"f","status":"error","code":"worker_crashed",
+                "error":"the worker deciding this job crashed"}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert!(response.is_retryable());
+        assert_eq!(response.retry_after_ms, None);
+    }
+
+    #[test]
+    fn retry_delays_honour_hints_and_stay_bounded() {
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for retry in 0..10 {
+            let free = policy.delay_ms(retry, None, &mut rng);
+            assert!(free >= 1);
+            assert!(
+                free <= policy.max_delay_ms + policy.max_delay_ms / 2,
+                "{free}"
+            );
+            let hinted = policy.delay_ms(retry, Some(100), &mut rng);
+            // Hint of 100ms with ±25% jitter band.
+            assert!((75..=150).contains(&hinted), "{hinted}");
+        }
+        // The exponential term grows between early retries.
+        let mut rng = StdRng::seed_from_u64(7);
+        let d0 = policy.delay_ms(0, None, &mut rng);
+        let d4 = policy.delay_ms(4, None, &mut rng);
+        assert!(d4 > d0, "{d0} -> {d4}");
+    }
+
+    #[test]
+    fn timeouts_map_to_the_typed_variant() {
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "slow");
+        assert!(matches!(ClientError::from(timeout), ClientError::Timeout));
+        let wouldblock = io::Error::new(io::ErrorKind::WouldBlock, "slow");
+        assert!(matches!(
+            ClientError::from(wouldblock),
+            ClientError::Timeout
+        ));
+        let refused = io::Error::new(io::ErrorKind::ConnectionRefused, "no");
+        assert!(matches!(ClientError::from(refused), ClientError::Io(_)));
     }
 }

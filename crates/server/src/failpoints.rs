@@ -1,0 +1,344 @@
+//! A `failpoints`-style fault-injection facility for the chaos test
+//! suite.
+//!
+//! Production builds compile the whole module down to nothing: with
+//! the `failpoints` cargo feature disabled every entry point is an
+//! empty `#[inline(always)]` function, so the injection sites in the
+//! server hot paths cost zero instructions. With the feature enabled
+//! (`cargo test -p server --features failpoints`) tests configure
+//! named sites at runtime:
+//!
+//! ```text
+//! failpoints::configure("worker/run", Action::panic().times(3));
+//! failpoints::configure("writer/send", Action::sleep_ms(50));
+//! failpoints::configure("writer/short_write", Action::trigger());
+//! ```
+//!
+//! Sites registered by the server:
+//!
+//! | site                 | effect when armed                           |
+//! |----------------------|---------------------------------------------|
+//! | `worker/run`         | fires on a worker thread as it starts a job: `panic` kills the worker (exercising the supervisor), `sleep` injects queue latency |
+//! | `writer/send`        | fires on a connection's writer thread before each response line: `sleep` stalls the socket |
+//! | `writer/short_write` | when armed (`trigger`), each response line is written in two short writes with a flush and a delay between them |
+//!
+//! Every evaluation — firing or not — increments the site's hit
+//! counter ([`hits`]), so tests can assert an injection point was
+//! actually reached. [`reset`] disarms everything between tests;
+//! because the registry is process-global, chaos tests that arm
+//! failpoints serialise themselves around a mutex (see
+//! `tests/chaos.rs`).
+
+#[cfg(feature = "failpoints")]
+pub use enabled::{configure, fire, hits, is_triggered, remove, reset, Action};
+
+#[cfg(not(feature = "failpoints"))]
+pub use disabled::{configure, fire, hits, is_triggered, remove, reset, Action};
+
+/// The real registry, compiled only under `--features failpoints`.
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// What an armed failpoint does when it fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Effect {
+        /// Panic the evaluating thread.
+        Panic,
+        /// Sleep the evaluating thread.
+        Sleep(Duration),
+        /// No side effect in [`fire`]; the site's behaviour switch is
+        /// queried with [`is_triggered`] instead (e.g. short writes).
+        Trigger,
+    }
+
+    /// A configured injection: an effect plus firing discipline.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Action {
+        effect: Effect,
+        /// Fire on every `period`-th evaluation (1 = every time).
+        period: u64,
+        /// Stop firing after this many firings (`None` = forever).
+        times: Option<u64>,
+    }
+
+    impl Action {
+        /// Panic the thread that evaluates the site.
+        pub fn panic() -> Self {
+            Action {
+                effect: Effect::Panic,
+                period: 1,
+                times: None,
+            }
+        }
+
+        /// Sleep `ms` milliseconds at the site.
+        pub fn sleep_ms(ms: u64) -> Self {
+            Action {
+                effect: Effect::Sleep(Duration::from_millis(ms)),
+                period: 1,
+                times: None,
+            }
+        }
+
+        /// Arm the site as a pure behaviour switch for
+        /// [`is_triggered`].
+        pub fn trigger() -> Self {
+            Action {
+                effect: Effect::Trigger,
+                period: 1,
+                times: None,
+            }
+        }
+
+        /// Fire only every `period`-th evaluation (1 = every time).
+        #[must_use]
+        pub fn every(mut self, period: u64) -> Self {
+            self.period = period.max(1);
+            self
+        }
+
+        /// Disarm after `times` firings.
+        #[must_use]
+        pub fn times(mut self, times: u64) -> Self {
+            self.times = Some(times);
+            self
+        }
+    }
+
+    #[derive(Debug)]
+    struct Site {
+        action: Option<Action>,
+        evals: u64,
+        fired: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Site>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn with_registry<T>(f: impl FnOnce(&mut HashMap<String, Site>) -> T) -> T {
+        // A panicking failpoint poisons this mutex by design; the
+        // registry state is always consistent (updates complete
+        // before the panic), so recover the guard.
+        let mut guard = registry()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Arms `name` with `action`, replacing any previous arming and
+    /// resetting its counters.
+    pub fn configure(name: &str, action: Action) {
+        with_registry(|sites| {
+            sites.insert(
+                name.to_owned(),
+                Site {
+                    action: Some(action),
+                    evals: 0,
+                    fired: 0,
+                },
+            );
+        });
+    }
+
+    /// Disarms `name` (its hit counter survives until [`reset`]).
+    pub fn remove(name: &str) {
+        with_registry(|sites| {
+            if let Some(site) = sites.get_mut(name) {
+                site.action = None;
+            }
+        });
+    }
+
+    /// Disarms every site and clears all counters.
+    pub fn reset() {
+        with_registry(HashMap::clear);
+    }
+
+    /// Times the site was evaluated (fired or not) since [`reset`].
+    pub fn hits(name: &str) -> u64 {
+        with_registry(|sites| sites.get(name).map_or(0, |s| s.evals))
+    }
+
+    /// Decides whether the site fires this evaluation and updates its
+    /// counters; returns the effect to apply.
+    fn evaluate(name: &str) -> Option<Effect> {
+        with_registry(|sites| {
+            let site = sites.entry(name.to_owned()).or_insert(Site {
+                action: None,
+                evals: 0,
+                fired: 0,
+            });
+            site.evals += 1;
+            let action = site.action?;
+            if site.evals % action.period != 0 {
+                return None;
+            }
+            if let Some(times) = action.times {
+                if site.fired >= times {
+                    return None;
+                }
+            }
+            site.fired += 1;
+            Some(action.effect)
+        })
+    }
+
+    /// Evaluates the site, applying `panic`/`sleep` effects in place.
+    ///
+    /// # Panics
+    ///
+    /// Deliberately, when the site is armed with [`Action::panic`] —
+    /// that is the injected fault.
+    pub fn fire(name: &str) {
+        match evaluate(name) {
+            Some(Effect::Panic) => panic!("failpoint `{name}` fired: injected panic"),
+            Some(Effect::Sleep(d)) => std::thread::sleep(d),
+            Some(Effect::Trigger) | None => {}
+        }
+    }
+
+    /// Evaluates the site as a behaviour switch: `true` when it fired
+    /// this evaluation (used for e.g. short-write injection).
+    pub fn is_triggered(name: &str) -> bool {
+        evaluate(name).is_some()
+    }
+}
+
+/// Zero-cost stubs compiled when the `failpoints` feature is off.
+#[cfg(not(feature = "failpoints"))]
+mod disabled {
+    /// Stub of the enabled-mode action builder; constructible so code
+    /// can be written feature-independently, but never applied.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Action;
+
+    impl Action {
+        /// No-op stand-in for the enabled-mode constructor.
+        pub fn panic() -> Self {
+            Action
+        }
+
+        /// No-op stand-in for the enabled-mode constructor.
+        pub fn sleep_ms(_ms: u64) -> Self {
+            Action
+        }
+
+        /// No-op stand-in for the enabled-mode constructor.
+        pub fn trigger() -> Self {
+            Action
+        }
+
+        /// No-op stand-in for the enabled-mode modifier.
+        #[must_use]
+        pub fn every(self, _period: u64) -> Self {
+            self
+        }
+
+        /// No-op stand-in for the enabled-mode modifier.
+        #[must_use]
+        pub fn times(self, _times: u64) -> Self {
+            self
+        }
+    }
+
+    /// No-op: fault injection is compiled out.
+    #[inline(always)]
+    pub fn configure(_name: &str, _action: Action) {}
+
+    /// No-op: fault injection is compiled out.
+    #[inline(always)]
+    pub fn remove(_name: &str) {}
+
+    /// No-op: fault injection is compiled out.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always zero: fault injection is compiled out.
+    #[inline(always)]
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+
+    /// Injection site that can never fire in production builds.
+    #[inline(always)]
+    pub fn fire(_name: &str) {}
+
+    /// Behaviour switch that is always off in production builds.
+    #[inline(always)]
+    pub fn is_triggered(_name: &str) -> bool {
+        false
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The registry is process-global; serialise tests that arm it.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn unarmed_sites_count_evaluations_but_never_fire() {
+        let _guard = guard();
+        reset();
+        fire("t/unarmed");
+        assert!(!is_triggered("t/unarmed"));
+        assert_eq!(hits("t/unarmed"), 2);
+        reset();
+        assert_eq!(hits("t/unarmed"), 0);
+    }
+
+    #[test]
+    fn times_bounds_the_firing_count() {
+        let _guard = guard();
+        reset();
+        configure("t/bounded", Action::trigger().times(2));
+        let fired: Vec<bool> = (0..4).map(|_| is_triggered("t/bounded")).collect();
+        assert_eq!(fired, [true, true, false, false]);
+        reset();
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let _guard = guard();
+        reset();
+        configure("t/periodic", Action::trigger().every(3));
+        let fired: Vec<bool> = (0..6).map(|_| is_triggered("t/periodic")).collect();
+        assert_eq!(fired, [false, false, true, false, false, true]);
+        reset();
+    }
+
+    #[test]
+    fn panic_action_panics_the_evaluating_thread() {
+        let _guard = guard();
+        reset();
+        configure("t/panic", Action::panic().times(1));
+        let result = std::panic::catch_unwind(|| fire("t/panic"));
+        assert!(result.is_err());
+        fire("t/panic"); // Exhausted: must not panic again.
+        reset();
+    }
+
+    #[test]
+    fn remove_disarms_but_keeps_counters() {
+        let _guard = guard();
+        reset();
+        configure("t/removed", Action::trigger());
+        assert!(is_triggered("t/removed"));
+        remove("t/removed");
+        assert!(!is_triggered("t/removed"));
+        assert_eq!(hits("t/removed"), 2);
+        reset();
+    }
+}

@@ -15,6 +15,17 @@
 //! The [`client`] module is the matching blocking client, used by
 //! `stgcheck --server`, the bench harness and the integration tests.
 //!
+//! The service is built to stay up under abuse and partial failure:
+//! admission is bounded globally and per client with load-shedding
+//! responses that carry a `retry_after_ms` hint, panicked workers are
+//! supervised and replaced (the in-flight job fails with the stable
+//! `worker_crashed` code), stalled readers are disconnected instead
+//! of wedging workers, and the client retries idempotent jobs with
+//! exponential backoff ([`client::RetryPolicy`]). The [`failpoints`]
+//! module is the matching fault-injection facility: compiled to
+//! no-ops by default, and enabled with `--features failpoints` for
+//! the chaos test suite.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,10 +45,11 @@
 
 pub mod cache;
 pub mod client;
+pub mod failpoints;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use client::{CheckResponse, Client, ClientError};
+pub use client::{CheckResponse, Client, ClientError, RetryPolicy, RetryStats};
 pub use server::{spawn, ServerConfig, ServerHandle};

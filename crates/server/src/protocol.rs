@@ -264,9 +264,13 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
 /// treat an absent `proto` as 1. Revision 3 added the optional
 /// `report.lint` summary object and the `lint_rejected` admission
 /// error (a `status: error` response with `code: "lint_rejected"`
-/// and a `diagnostics` array); older clients that ignore unknown
-/// members keep working unchanged.
-pub const PROTO_VERSION: u64 = 3;
+/// and a `diagnostics` array). Revision 4 added load-shedding
+/// responses (`code: "queue_full"` / `"over_quota"` carrying a
+/// `retry_after_ms` backoff hint), the `worker_crashed` error code
+/// for jobs whose worker panicked (safe to resubmit — jobs are
+/// idempotent), and the `overload`/`supervisor` blocks in `stats`;
+/// older clients that ignore unknown members keep working unchanged.
+pub const PROTO_VERSION: u64 = 4;
 
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
@@ -309,6 +313,28 @@ pub fn encode_error_response_with_code(id: Option<&str>, code: &str, message: &s
         ("status".to_owned(), Value::from("error")),
         ("code".to_owned(), Value::from(code)),
         ("error".to_owned(), Value::from(message)),
+    ])
+    .render()
+}
+
+/// Encodes the revision-4 load-shedding rejection: an error response
+/// with a stable code (`queue_full` or `over_quota`) plus a
+/// `retry_after_ms` hint sized from the server's observed latency,
+/// so backoff-aware clients wait roughly one drain interval instead
+/// of guessing.
+pub fn encode_overload_response(
+    id: Option<&str>,
+    code: &str,
+    message: &str,
+    retry_after_ms: u64,
+) -> String {
+    Value::Obj(vec![
+        ("id".to_owned(), opt(id)),
+        ("proto".to_owned(), Value::from(PROTO_VERSION)),
+        ("status".to_owned(), Value::from("error")),
+        ("code".to_owned(), Value::from(code)),
+        ("error".to_owned(), Value::from(message)),
+        ("retry_after_ms".to_owned(), Value::from(retry_after_ms)),
     ])
     .render()
 }
@@ -631,6 +657,17 @@ mod tests {
             .get("message")
             .and_then(Value::as_str)
             .is_some_and(|m| m.contains('b')));
+    }
+
+    #[test]
+    fn overload_responses_carry_code_and_retry_hint() {
+        let line = encode_overload_response(Some("j8"), "queue_full", "queue is full", 120);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("j8"));
+        assert_eq!(v.get("proto").and_then(Value::as_u64), Some(PROTO_VERSION));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("queue_full"));
+        assert_eq!(v.get("retry_after_ms").and_then(Value::as_u64), Some(120));
     }
 
     #[test]

@@ -1,27 +1,45 @@
-//! The `stgd` service: a TCP listener, a fixed worker pool, and the
-//! shared job queue between them.
+//! The `stgd` service: a TCP listener, a supervised worker pool, and
+//! the shared fair job queue between them.
 //!
 //! Every accepted connection gets a reader thread (decoding request
 //! lines) and a writer thread (serialising response lines); `check`
-//! jobs flow through one process-wide queue — optionally bounded by
-//! [`ServerConfig::max_queue`], rejecting overflow with the
-//! `queue_full` error code — onto the worker pool, so a single slow
-//! connection cannot starve the others. Workers decide each job with
-//! [`csc_core::CheckRequest`] over an [`ArtifactCache`] keyed
-//! by canonical STG hash, so repeated nets skip prefix construction
-//! entirely — by default with the racing parallel portfolio — under
-//! the job's own [`csc_core::Budget`] plus a per-job [`CancelToken`] the
-//! shutdown path flips. Graceful shutdown drains: queued and
-//! in-flight jobs still produce responses (cancelled ones answer
-//! `unknown`/`cancelled`), then threads are joined and the listener
-//! closes.
+//! jobs flow through one process-wide queue onto the worker pool, so
+//! a single slow connection cannot starve the others. The queue is
+//! *fair*: each connection has its own sub-queue and workers dequeue
+//! round-robin across connections, so one client pipelining a huge
+//! batch cannot monopolise the pool. Admission is bounded twice —
+//! globally by [`ServerConfig::max_queue`] (the `queue_full` error
+//! code) and per client by [`ServerConfig::client_quota`] (the
+//! `over_quota` code); both load-shedding responses carry a
+//! `retry_after_ms` hint sized from the pool's observed latency.
+//!
+//! Workers decide each job with [`csc_core::CheckRequest`] over an
+//! [`ArtifactCache`] keyed by canonical STG hash, so repeated nets
+//! skip prefix construction entirely — by default with the racing
+//! parallel portfolio — under the job's own [`csc_core::Budget`] plus
+//! a per-job [`CancelToken`] the shutdown path flips. A worker that
+//! *panics* (engine panics are already contained by `catch_unwind`
+//! inside `csc_core`; this guards everything else, including injected
+//! faults) is supervised: the in-flight job is failed with the stable
+//! `worker_crashed` error code, a replacement worker is spawned, and
+//! the restart is counted in `stats`. A watchdog thread additionally
+//! cancels jobs that exceed [`ServerConfig::hung_job_ms`].
+//!
+//! Slow clients cannot wedge the pool either: response lines flow
+//! through a *bounded* per-connection buffer and the socket has a
+//! write timeout, so a stalled reader eventually poisons its own
+//! connection (counted in `stats`) instead of blocking a worker.
+//!
+//! Graceful shutdown drains: queued and in-flight jobs still produce
+//! responses (cancelled ones answer `unknown`/`cancelled`), then
+//! threads are joined and the listener closes.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -29,10 +47,11 @@ use csc_core::{CancelToken, Engine};
 use stg::Stg;
 
 use crate::cache::ArtifactCache;
+use crate::failpoints;
 use crate::json::Value;
 use crate::protocol::{
     decode_request, encode_check_response, encode_error_response, encode_error_response_with_code,
-    encode_lint_rejected, CheckRequest, Request,
+    encode_lint_rejected, encode_overload_response, CheckRequest, Request,
 };
 
 /// Tuning knobs of one [`spawn`]ed service.
@@ -50,11 +69,32 @@ pub struct ServerConfig {
     pub default_timeout_ms: Option<u64>,
     /// Maximum queued (not yet executing) jobs; further `check`
     /// requests are rejected with the `queue_full` error code.
-    /// `None` leaves the queue unbounded.
+    /// `None` leaves the queue unbounded (the `stgd` binary maps
+    /// `--max-queue 0` to `None`; the library default is bounded at
+    /// 1024 so an unattended server cannot grow without limit).
     pub max_queue: Option<usize>,
+    /// Maximum queued jobs *per client connection*; a client already
+    /// at its quota has further `check` requests rejected with the
+    /// `over_quota` error code. `None` disables the quota.
+    pub client_quota: Option<usize>,
     /// Artifact-cache capacity in resident STGs (keyed by canonical
     /// content hash); `0` disables caching.
     pub cache_entries: usize,
+    /// Socket write timeout per response line; combined with the
+    /// bounded response buffer this bounds how long a stalled reader
+    /// can hold server resources. `None` disables the timeout.
+    pub write_timeout_ms: Option<u64>,
+    /// Capacity of each connection's response buffer (lines). A
+    /// client that stops reading fills it; once senders have waited
+    /// out the write timeout the connection is poisoned and dropped
+    /// rather than wedging a worker.
+    pub response_buffer: usize,
+    /// Watchdog bound on a single job's in-flight wall-clock; a job
+    /// executing longer has its cancel token flipped (the engines
+    /// poll it and return `unknown`/`cancelled`). `None` disables
+    /// the watchdog. This is a backstop for jobs submitted without a
+    /// budget — budgeted jobs are bounded by their own deadline.
+    pub hung_job_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -64,9 +104,21 @@ impl Default for ServerConfig {
             workers: 4,
             default_engine: Engine::Race,
             default_timeout_ms: None,
-            max_queue: None,
+            max_queue: Some(1024),
+            client_quota: None,
             cache_entries: 64,
+            write_timeout_ms: Some(10_000),
+            response_buffer: 1024,
+            hung_job_ms: None,
         }
+    }
+}
+
+impl ServerConfig {
+    fn write_timeout(&self) -> Option<Duration> {
+        self.write_timeout_ms
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
     }
 }
 
@@ -91,10 +143,50 @@ struct Stats {
     race_inconclusive: u64,
     latency_total_ms: f64,
     latency_max_ms: f64,
+    /// `check` requests shed by the global `max_queue` bound.
+    shed_queue_full: u64,
+    /// `check` requests shed by the per-client quota.
+    shed_over_quota: u64,
+    /// Worker threads that died to a panic (each also restarts).
+    worker_panics: u64,
+    /// Replacement workers spawned by the supervisor.
+    worker_restarts: u64,
+    /// In-flight jobs cancelled by the hung-job watchdog.
+    hung_jobs_cancelled: u64,
+    /// Connections poisoned because their reader stalled past the
+    /// write timeout with a full response buffer.
+    slow_client_disconnects: u64,
+    /// Response lines that could not be delivered (poisoned or
+    /// closed connection). The job still *produced* its terminal
+    /// response; only delivery failed.
+    responses_dropped: u64,
+    /// Socket-option failures (`set_read_timeout` /
+    /// `set_write_timeout`) surfaced instead of silently ignored.
+    socket_config_errors: u64,
 }
 
 /// Engine-name order of the per-racer stats arrays.
 const RACER_NAMES: [&str; 3] = ["unfolding-ilp", "explicit", "symbolic"];
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every critical section in this module only moves queue entries or
+/// bumps counters — none runs engine code — so state is consistent
+/// even when a panic (e.g. an injected failpoint) poisons the lock,
+/// and recovery is sound. Without this, one worker panic would make
+/// every other thread treat the shared state as lost.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why admission shed a job instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shed {
+    /// The global queue bound was reached.
+    QueueFull(usize),
+    /// The submitting client reached its per-client quota.
+    OverQuota(usize),
+}
 
 /// One queued verification job. The STG was already parsed (and
 /// structurally linted) at admission, so workers never re-parse.
@@ -103,13 +195,177 @@ struct Job {
     stg: Stg,
     cancel: CancelToken,
     enqueued: Instant,
-    reply: Sender<String>,
+    client: u64,
+    reply: ReplySender,
+}
+
+/// The process-wide job queue: one FIFO sub-queue per client
+/// connection, dequeued round-robin so every client with pending work
+/// gets an equal share of worker dequeues regardless of how deeply
+/// any single client pipelines.
+#[derive(Default)]
+struct FairQueue {
+    /// Pending jobs per client id.
+    per_client: HashMap<u64, VecDeque<Job>>,
+    /// Round-robin rotation over clients with pending jobs.
+    rotation: VecDeque<u64>,
+    /// Total queued jobs across all clients.
+    len: usize,
+}
+
+impl FairQueue {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn client_depth(&self, client: u64) -> usize {
+        self.per_client.get(&client).map_or(0, VecDeque::len)
+    }
+
+    /// Admits `job` unless a bound is hit; on success returns the new
+    /// total depth, on shed returns the job back for the rejection
+    /// response.
+    fn try_push(
+        &mut self,
+        job: Job,
+        max_total: Option<usize>,
+        quota: Option<usize>,
+    ) -> Result<usize, Box<(Job, Shed)>> {
+        if let Some(max) = max_total {
+            if self.len >= max {
+                return Err(Box::new((job, Shed::QueueFull(max))));
+            }
+        }
+        if let Some(quota) = quota {
+            if self.client_depth(job.client) >= quota {
+                return Err(Box::new((job, Shed::OverQuota(quota))));
+            }
+        }
+        let client = job.client;
+        let slot = self.per_client.entry(client).or_default();
+        if slot.is_empty() {
+            self.rotation.push_back(client);
+        }
+        slot.push_back(job);
+        self.len += 1;
+        Ok(self.len)
+    }
+
+    /// Dequeues the next job fairly: the client at the head of the
+    /// rotation yields one job and rotates to the back.
+    fn pop(&mut self) -> Option<Job> {
+        let client = self.rotation.pop_front()?;
+        let slot = self.per_client.get_mut(&client)?;
+        let job = slot.pop_front()?;
+        if slot.is_empty() {
+            self.per_client.remove(&client);
+        } else {
+            self.rotation.push_back(client);
+        }
+        self.len -= 1;
+        Some(job)
+    }
+}
+
+/// Per-connection state shared by the reader, writer and every job
+/// reply path of one connection.
+struct ConnShared {
+    /// A clone of the connection's stream, used only to force a
+    /// close when the connection is poisoned.
+    stream: TcpStream,
+    /// Set when the connection is declared dead (stalled reader or
+    /// write failure); all further sends fail fast.
+    poisoned: AtomicBool,
+}
+
+impl ConnShared {
+    /// Marks the connection dead and shuts the socket so the reader
+    /// and writer threads unblock promptly. Returns whether this call
+    /// performed the transition (for one-shot accounting).
+    fn poison(&self) -> bool {
+        let first = !self.poisoned.swap(true, Ordering::SeqCst);
+        if first {
+            let _ = self.stream.shutdown(Shutdown::Both);
+        }
+        first
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+/// How a reply delivery attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    /// Queued into the connection's response buffer.
+    Sent,
+    /// Undeliverable: the connection was already dead.
+    Dropped,
+    /// Undeliverable, and *this* send made the call: the buffer
+    /// stayed full past the sender's patience, so the connection was
+    /// poisoned now (count a slow-client disconnect).
+    PoisonedNow,
+}
+
+/// A bounded, poison-aware handle for queueing response lines onto a
+/// connection's writer thread. Cloned into every job, so workers and
+/// the reader thread share one buffer and one failure policy.
+#[derive(Clone)]
+struct ReplySender {
+    tx: SyncSender<String>,
+    conn: Arc<ConnShared>,
+    /// How long a sender tolerates a full buffer before declaring
+    /// the client stalled; mirrors the socket write timeout.
+    patience: Duration,
+}
+
+impl ReplySender {
+    /// Tries to queue `line`, waiting out `patience` on a full buffer
+    /// and poisoning the connection if the client never drains it.
+    /// This bounds how long one stalled reader can block a worker.
+    fn send(&self, line: String) -> SendOutcome {
+        let mut line = line;
+        let deadline = Instant::now() + self.patience;
+        loop {
+            if self.conn.is_poisoned() {
+                return SendOutcome::Dropped;
+            }
+            match self.tx.try_send(line) {
+                Ok(()) => return SendOutcome::Sent,
+                Err(TrySendError::Disconnected(_)) => return SendOutcome::Dropped,
+                Err(TrySendError::Full(l)) => {
+                    if Instant::now() >= deadline {
+                        return if self.conn.poison() {
+                            SendOutcome::PoisonedNow
+                        } else {
+                            SendOutcome::Dropped
+                        };
+                    }
+                    line = l;
+                    thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+}
+
+/// The job a worker is currently executing, registered so the
+/// supervisor can fail it on a worker panic and the watchdog can
+/// cancel it when it runs too long.
+struct InFlight {
+    job_id: String,
+    reply: ReplySender,
+    cancel: CancelToken,
+    started: Instant,
+    /// Whether the watchdog already cancelled this job (one-shot).
+    hung_flagged: bool,
 }
 
 struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<FairQueue>,
     available: Condvar,
     stats: Mutex<Stats>,
     /// Cancellation tokens of all live (queued or executing) jobs,
@@ -118,6 +374,13 @@ struct Shared {
     /// Verification artifacts keyed by canonical STG hash, shared
     /// across jobs, workers and engines.
     cache: ArtifactCache,
+    /// Currently-executing job per worker id, for supervision.
+    in_flight_jobs: Mutex<HashMap<usize, InFlight>>,
+    /// Every worker thread ever spawned (including supervisor
+    /// replacements); drained and joined at shutdown.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    next_worker_id: AtomicUsize,
+    next_client_id: AtomicU64,
 }
 
 impl Shared {
@@ -126,21 +389,59 @@ impl Shared {
     }
 
     fn trigger_shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Ok(tokens) = self.live_tokens.lock() {
-            for token in tokens.iter() {
-                token.cancel();
-            }
+        // The flag flips under the queue lock so it is sequenced
+        // against admission: a reader that saw it unset inside its
+        // own critical section has already pushed its job, and the
+        // workers (which exit only on flag-set *and* queue-empty,
+        // re-checked under the same lock) are guaranteed to drain
+        // that job. Without the lock a job could slip into the queue
+        // after the last worker exited and hang its client forever.
+        {
+            let _queue = lock(&self.queue);
+            self.shutdown.store(true, Ordering::Relaxed);
+        }
+        for token in lock(&self.live_tokens).iter() {
+            token.cancel();
         }
         self.available.notify_all();
     }
 
-    fn stats_response(&self) -> String {
-        let queue_depth = self.queue.lock().map(|q| q.len()).unwrap_or(0);
-        let stats = match self.stats.lock() {
-            Ok(s) => s.clone(),
-            Err(_) => Stats::default(),
+    /// Sizes the `retry_after_ms` hint on a load-shed response: the
+    /// expected time for the pool to make room, from the observed
+    /// mean job latency and the current backlog, clamped to a sane
+    /// band so a cold server still suggests *something*.
+    fn retry_after_hint_ms(&self, queue_depth: usize) -> u64 {
+        let (mean_ms, completed) = {
+            let stats = lock(&self.stats);
+            let mean = if stats.jobs_completed > 0 {
+                stats.latency_total_ms / stats.jobs_completed as f64
+            } else {
+                0.0
+            };
+            (mean, stats.jobs_completed)
         };
+        let mean_ms = if completed > 0 {
+            mean_ms.max(1.0)
+        } else {
+            10.0
+        };
+        let workers = self.config.workers.max(1) as f64;
+        let estimate = mean_ms * (queue_depth as f64 + 1.0) / workers;
+        (estimate.ceil() as u64).clamp(10, 5_000)
+    }
+
+    /// Count of worker threads that are still running.
+    fn live_workers(&self) -> usize {
+        lock(&self.worker_handles)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    fn stats_response(&self) -> String {
+        let queue_depth = lock(&self.queue).len();
+        let live_workers = self.live_workers();
+        let stats = lock(&self.stats).clone();
         let mean = if stats.jobs_completed > 0 {
             stats.latency_total_ms / stats.jobs_completed as f64
         } else {
@@ -154,6 +455,10 @@ impl Shared {
                     .map(|(name, v)| ((*name).to_owned(), Value::from(v)))
                     .collect(),
             )
+        };
+        let opt_bound = |bound: Option<usize>| match bound {
+            None => Value::Null,
+            Some(n) => Value::from(n),
         };
         Value::Obj(vec![
             ("status".to_owned(), Value::from("ok")),
@@ -206,6 +511,45 @@ impl Shared {
                             ("total".to_owned(), Value::from(stats.latency_total_ms)),
                         ]),
                     ),
+                    (
+                        "overload".to_owned(),
+                        Value::Obj(vec![
+                            ("max_queue".to_owned(), opt_bound(self.config.max_queue)),
+                            (
+                                "client_quota".to_owned(),
+                                opt_bound(self.config.client_quota),
+                            ),
+                            ("queue_full".to_owned(), Value::from(stats.shed_queue_full)),
+                            ("over_quota".to_owned(), Value::from(stats.shed_over_quota)),
+                            (
+                                "slow_client_disconnects".to_owned(),
+                                Value::from(stats.slow_client_disconnects),
+                            ),
+                            (
+                                "responses_dropped".to_owned(),
+                                Value::from(stats.responses_dropped),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "supervisor".to_owned(),
+                        Value::Obj(vec![
+                            ("live_workers".to_owned(), Value::from(live_workers)),
+                            ("worker_panics".to_owned(), Value::from(stats.worker_panics)),
+                            (
+                                "worker_restarts".to_owned(),
+                                Value::from(stats.worker_restarts),
+                            ),
+                            (
+                                "hung_jobs_cancelled".to_owned(),
+                                Value::from(stats.hung_jobs_cancelled),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "socket_config_errors".to_owned(),
+                        Value::from(stats.socket_config_errors),
+                    ),
                     ("cache".to_owned(), {
                         let cache = self.cache.stats();
                         Value::Obj(vec![
@@ -229,7 +573,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -267,8 +611,24 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Workers may be *replaced* while we drain (a panicking
+        // worker's guard spawns its successor before the thread
+        // dies), so keep draining the handle list until it stays
+        // empty. A replacement is always pushed before its
+        // predecessor terminates, so joining the predecessor
+        // guarantees the successor is visible on the next pass.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                lock(&self.shared.worker_handles).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        if let Some(t) = self.supervisor_thread.take() {
+            let _ = t.join();
         }
     }
 }
@@ -284,8 +644,8 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds the listener and starts the accept loop plus the worker
-/// pool.
+/// Binds the listener and starts the accept loop plus the supervised
+/// worker pool.
 ///
 /// # Errors
 ///
@@ -297,27 +657,127 @@ pub fn spawn(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let shared = Arc::new(Shared {
         shutdown: AtomicBool::new(false),
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(FairQueue::default()),
         available: Condvar::new(),
         stats: Mutex::new(Stats::default()),
         live_tokens: Mutex::new(Vec::new()),
         cache: ArtifactCache::new(config.cache_entries),
+        in_flight_jobs: Mutex::new(HashMap::new()),
+        worker_handles: Mutex::new(Vec::new()),
+        next_worker_id: AtomicUsize::new(0),
+        next_client_id: AtomicU64::new(0),
         config: config.clone(),
     });
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || worker_loop(&shared))
-        })
-        .collect();
+    for _ in 0..config.workers.max(1) {
+        spawn_worker(&shared);
+    }
+    let supervisor_shared = Arc::clone(&shared);
+    let supervisor_thread = thread::Builder::new()
+        .name("stgd-supervisor".to_owned())
+        .spawn(move || supervisor_loop(&supervisor_shared))
+        .ok();
     let accept_shared = Arc::clone(&shared);
     let accept_thread = thread::spawn(move || accept_loop(&listener, &accept_shared));
     Ok(ServerHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
-        workers,
+        supervisor_thread,
     })
+}
+
+/// Spawns one worker thread and registers its handle for joining.
+/// Used both at startup and by the supervisor to replace a panicked
+/// worker.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    let worker_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("stgd-worker-{worker_id}"))
+        .spawn(move || {
+            // The guard runs on *any* exit; it acts only when the
+            // thread is panicking (see `WorkerGuard::drop`).
+            let _guard = WorkerGuard {
+                shared: Arc::clone(&worker_shared),
+                worker_id,
+            };
+            worker_loop(&worker_shared, worker_id);
+        });
+    match spawned {
+        Ok(handle) => lock(&shared.worker_handles).push(handle),
+        Err(e) => eprintln!("stgd: failed to spawn worker thread: {e}"),
+    }
+}
+
+/// Detects a panicking worker from its drop during unwind: fails the
+/// in-flight job with the stable `worker_crashed` code, counts the
+/// panic, and spawns a replacement so the pool never shrinks.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+    worker_id: usize,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if !thread::panicking() {
+            return;
+        }
+        let crashed = lock(&self.shared.in_flight_jobs).remove(&self.worker_id);
+        {
+            let mut stats = lock(&self.shared.stats);
+            stats.worker_panics += 1;
+            if crashed.is_some() {
+                stats.in_flight = stats.in_flight.saturating_sub(1);
+                stats.jobs_errored += 1;
+            }
+        }
+        if let Some(in_flight) = crashed {
+            lock(&self.shared.live_tokens).retain(|t| !t.same_token(&in_flight.cancel));
+            let line = encode_error_response_with_code(
+                Some(&in_flight.job_id),
+                "worker_crashed",
+                "the worker deciding this job crashed; the job is safe to resubmit",
+            );
+            if in_flight.reply.send(line) != SendOutcome::Sent {
+                lock(&self.shared.stats).responses_dropped += 1;
+            }
+        }
+        // Replace the dead worker so capacity recovers — including
+        // during a draining shutdown while jobs are still queued
+        // (otherwise a panic storm at shutdown could strand queued
+        // jobs without any worker to answer them).
+        let respawn = !self.shared.shutting_down() || lock(&self.shared.queue).len() > 0;
+        if respawn {
+            lock(&self.shared.stats).worker_restarts += 1;
+            spawn_worker(&self.shared);
+        }
+        self.shared.available.notify_all();
+    }
+}
+
+/// The supervisor's watchdog: periodically cancels jobs that have
+/// been in flight longer than [`ServerConfig::hung_job_ms`]. Worker
+/// *panics* are handled synchronously by [`WorkerGuard`]; this thread
+/// covers the wedged-but-alive case.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.shutting_down() {
+        thread::sleep(Duration::from_millis(20));
+        let Some(hung_ms) = shared.config.hung_job_ms else {
+            continue;
+        };
+        let bound = Duration::from_millis(hung_ms);
+        let mut cancelled = 0u64;
+        for in_flight in lock(&shared.in_flight_jobs).values_mut() {
+            if !in_flight.hung_flagged && in_flight.started.elapsed() >= bound {
+                in_flight.hung_flagged = true;
+                in_flight.cancel.cancel();
+                cancelled += 1;
+            }
+        }
+        if cancelled > 0 {
+            lock(&shared.stats).hung_jobs_cancelled += cancelled;
+        }
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -337,31 +797,74 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         connections.retain(|c| !c.is_finished());
     }
+    // Drain the accept backlog: a client that completed its TCP
+    // handshake just before the flag flipped may have requests in
+    // flight already. Dropping the listener on it would RST the
+    // connection and silently discard those requests; accepting it
+    // lets the connection reader answer each one with the
+    // shutdown-time admission error before closing cleanly.
+    while let Ok((stream, _peer)) = listener.accept() {
+        let shared = Arc::clone(shared);
+        connections.push(thread::spawn(move || {
+            handle_connection(stream, &shared);
+        }));
+    }
     for c in connections {
         let _ = c.join();
     }
 }
 
-/// Reads request lines until EOF or shutdown; responses are funnelled
-/// through a dedicated writer thread so worker replies and inline
-/// replies (stats, protocol errors) never interleave mid-line.
+/// Reads request lines until EOF, shutdown or a poisoned connection;
+/// responses are funnelled through a dedicated writer thread behind a
+/// bounded buffer, so worker replies and inline replies (stats,
+/// protocol errors) never interleave mid-line and a stalled reader
+/// cannot absorb unbounded memory.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let client_id = shared.next_client_id.fetch_add(1, Ordering::Relaxed);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let Ok(poison_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnShared {
+        stream: poison_half,
+        poisoned: AtomicBool::new(false),
+    });
     // Short read timeout so the reader notices shutdown while idle.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let (reply_tx, reply_rx) = mpsc::channel::<String>();
-    let writer = thread::spawn(move || writer_loop(write_half, &reply_rx));
+    // A failure here would leave the reader blind to shutdown, so it
+    // is surfaced (logged + counted) instead of discarded.
+    if let Err(e) = stream.set_read_timeout(Some(Duration::from_millis(100))) {
+        eprintln!("stgd: set_read_timeout failed on client connection: {e}");
+        lock(&shared.stats).socket_config_errors += 1;
+    }
+    let write_timeout = shared.config.write_timeout();
+    if let Err(e) = write_half.set_write_timeout(write_timeout) {
+        eprintln!("stgd: set_write_timeout failed on client connection: {e}");
+        lock(&shared.stats).socket_config_errors += 1;
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(shared.config.response_buffer.max(1));
+    let reply = ReplySender {
+        tx: reply_tx,
+        conn: Arc::clone(&conn),
+        patience: write_timeout.unwrap_or(Duration::from_secs(30)),
+    };
+    let writer_conn = Arc::clone(&conn);
+    let writer_shared = Arc::clone(shared);
+    let writer =
+        thread::spawn(move || writer_loop(write_half, &reply_rx, &writer_conn, &writer_shared));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
+        if conn.is_poisoned() {
+            break;
+        }
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF: client is done.
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    handle_request_line(trimmed, shared, &reply_tx);
+                    handle_request_line(trimmed, shared, &reply, client_id);
                 }
                 line.clear();
             }
@@ -381,39 +884,81 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(_) => break,
         }
     }
-    drop(reply_tx);
+    drop(reply);
     let _ = writer.join();
 }
 
-fn writer_loop(stream: TcpStream, replies: &mpsc::Receiver<String>) {
+fn writer_loop(
+    stream: TcpStream,
+    replies: &mpsc::Receiver<String>,
+    conn: &Arc<ConnShared>,
+    shared: &Arc<Shared>,
+) {
     let mut out = io::BufWriter::new(stream);
     while let Ok(response) = replies.recv() {
-        if out
-            .write_all(response.as_bytes())
-            .and_then(|()| out.write_all(b"\n"))
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            // Client hung up; drain remaining replies so job senders
-            // never block (they use an unbounded channel anyway).
+        // Chaos injection: `writer/send` stalls the socket (the
+        // response buffer then exercises the slow-client path);
+        // `writer/short_write` splits the line into two flushes with
+        // a delay between them, which must never corrupt framing.
+        failpoints::fire("writer/send");
+        let bytes = response.as_bytes();
+        let result = if failpoints::is_triggered("writer/short_write") && bytes.len() > 1 {
+            let (head, tail) = bytes.split_at(bytes.len() / 2);
+            out.write_all(head)
+                .and_then(|()| out.flush())
+                .and_then(|()| {
+                    thread::sleep(Duration::from_millis(5));
+                    out.write_all(tail)
+                })
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+        } else {
+            out.write_all(bytes)
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush())
+        };
+        if let Err(e) = result {
+            // A write timeout means the client stalled; anything else
+            // is a plain hangup. Either way the connection is dead:
+            // poison it so the reader and job senders fail fast
+            // instead of queueing more undeliverable responses.
+            let stalled = matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            );
+            if conn.poison() && stalled {
+                lock(&shared.stats).slow_client_disconnects += 1;
+            }
+            // Undeliverable responses already buffered (or racing in
+            // past the poison flag) are counted, never silently
+            // discarded. Sends that *observe* the poison flag count
+            // themselves on the worker side; this drain picks up the
+            // rest and runs until every sender (reader, queued and
+            // in-flight jobs) has hung up, so the accounting is
+            // exactly-once either way.
+            let mut dropped = 0u64;
+            while replies.recv().is_ok() {
+                dropped += 1;
+            }
+            if dropped > 0 {
+                lock(&shared.stats).responses_dropped += dropped;
+            }
             break;
         }
     }
 }
 
-fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) {
+fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &ReplySender, client_id: u64) {
     match decode_request(line) {
         Err(e) => {
-            if let Ok(mut stats) = shared.stats.lock() {
-                stats.jobs_errored += 1;
-            }
-            let _ = reply.send(encode_error_response(e.id.as_deref(), &e.message));
+            lock(&shared.stats).jobs_errored += 1;
+            reply.send(encode_error_response(e.id.as_deref(), &e.message));
         }
         Ok(Request::Stats) => {
-            let _ = reply.send(shared.stats_response());
+            reply.send(shared.stats_response());
         }
         Ok(Request::Shutdown) => {
-            let _ = reply.send(
+            reply.send(
                 Value::Obj(vec![
                     ("status".to_owned(), Value::from("ok")),
                     ("shutting_down".to_owned(), Value::from(true)),
@@ -424,7 +969,7 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
         }
         Ok(Request::Check(request)) => {
             if shared.shutting_down() {
-                let _ = reply.send(encode_error_response(
+                reply.send(encode_error_response(
                     Some(&request.id),
                     "server is shutting down",
                 ));
@@ -443,17 +988,13 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
             let stg = match outcome.stg {
                 Some(stg) if !outcome.report.has_errors() => stg,
                 _ => {
-                    if let Ok(mut stats) = shared.stats.lock() {
-                        stats.jobs_rejected += 1;
-                    }
-                    let _ = reply.send(encode_lint_rejected(Some(&request.id), &outcome.report));
+                    lock(&shared.stats).jobs_rejected += 1;
+                    reply.send(encode_lint_rejected(Some(&request.id), &outcome.report));
                     return;
                 }
             };
             let cancel = CancelToken::new();
-            if let Ok(mut tokens) = shared.live_tokens.lock() {
-                tokens.push(cancel.clone());
-            }
+            lock(&shared.live_tokens).push(cancel.clone());
             // trigger_shutdown() may have swept live_tokens between
             // the shutting_down() check above and the push; re-check
             // so a job slipping through that window is still cancelled
@@ -466,78 +1007,125 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>)
                 stg,
                 cancel,
                 enqueued: Instant::now(),
+                client: client_id,
                 reply: reply.clone(),
             };
-            // Admission and the bound check happen under one queue
-            // lock, so the bound is exact even with many connection
-            // readers racing.
-            let depth = {
-                let Ok(mut queue) = shared.queue.lock() else {
-                    return;
-                };
-                if let Some(max) = shared.config.max_queue {
-                    if queue.len() >= max {
-                        drop(queue);
-                        if let Ok(mut tokens) = shared.live_tokens.lock() {
-                            tokens.retain(|t| !t.same_token(&job.cancel));
-                        }
-                        if let Ok(mut stats) = shared.stats.lock() {
-                            stats.jobs_rejected += 1;
-                        }
-                        let _ = job.reply.send(encode_error_response_with_code(
-                            Some(&job.request.id),
-                            "queue_full",
-                            &format!("job queue is full ({max} queued jobs); retry later"),
-                        ));
-                        return;
-                    }
+            // Admission and both bound checks happen under one queue
+            // lock, so the bounds are exact even with many connection
+            // readers racing. The shutdown re-check lives inside the
+            // same critical section: `trigger_shutdown` flips the
+            // flag under this lock, so a job admitted here is
+            // guaranteed to be visible to the draining workers — it
+            // can never land in the queue after the last worker
+            // already decided the drain was complete.
+            let admitted = {
+                let mut queue = lock(&shared.queue);
+                if shared.shutting_down() {
+                    Err((job, None, 0))
+                } else {
+                    let depth = queue.len();
+                    queue
+                        .try_push(job, shared.config.max_queue, shared.config.client_quota)
+                        .map_err(|boxed| {
+                            let (job, shed) = *boxed;
+                            (job, Some(shed), depth)
+                        })
                 }
-                queue.push_back(job);
-                queue.len() as u64
             };
-            if let Ok(mut stats) = shared.stats.lock() {
-                stats.jobs_received += 1;
-                stats.max_queue_depth = stats.max_queue_depth.max(depth);
+            match admitted {
+                Ok(depth) => {
+                    let mut stats = lock(&shared.stats);
+                    stats.jobs_received += 1;
+                    stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
+                    drop(stats);
+                    shared.available.notify_one();
+                }
+                Err((job, None, _)) => {
+                    // Refused by the in-lock shutdown re-check.
+                    lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
+                    job.reply.send(encode_error_response(
+                        Some(&job.request.id),
+                        "server is shutting down",
+                    ));
+                }
+                Err((job, Some(shed), depth)) => {
+                    lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
+                    {
+                        let mut stats = lock(&shared.stats);
+                        stats.jobs_rejected += 1;
+                        match shed {
+                            Shed::QueueFull(_) => stats.shed_queue_full += 1,
+                            Shed::OverQuota(_) => stats.shed_over_quota += 1,
+                        }
+                    }
+                    let retry_after_ms = shared.retry_after_hint_ms(depth);
+                    let (code, message) = match shed {
+                        Shed::QueueFull(max) => (
+                            "queue_full",
+                            format!("job queue is full ({max} queued jobs); retry later"),
+                        ),
+                        Shed::OverQuota(quota) => (
+                            "over_quota",
+                            format!(
+                                "client already has {quota} queued jobs \
+                                 (per-client quota); retry later"
+                            ),
+                        ),
+                    };
+                    job.reply.send(encode_overload_response(
+                        Some(&job.request.id),
+                        code,
+                        &message,
+                        retry_after_ms,
+                    ));
+                }
             }
-            shared.available.notify_one();
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
     loop {
         let job = {
-            let Ok(mut queue) = shared.queue.lock() else {
-                return;
-            };
+            let mut queue = lock(&shared.queue);
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break Some(job);
                 }
                 if shared.shutting_down() {
                     break None; // Queue drained, shutdown requested.
                 }
-                match shared
+                let (q, _) = shared
                     .available
                     .wait_timeout(queue, Duration::from_millis(50))
-                {
-                    Ok((q, _)) => queue = q,
-                    Err(_) => return,
-                }
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
             }
         };
         let Some(job) = job else { return };
-        if let Ok(mut stats) = shared.stats.lock() {
-            stats.in_flight += 1;
-        }
+        lock(&shared.stats).in_flight += 1;
+        // Register the job for supervision *before* any fallible
+        // work: if this thread dies mid-job, the worker guard fails
+        // the job with `worker_crashed` instead of losing it.
+        lock(&shared.in_flight_jobs).insert(
+            worker_id,
+            InFlight {
+                job_id: job.request.id.clone(),
+                reply: job.reply.clone(),
+                cancel: job.cancel.clone(),
+                started: Instant::now(),
+                hung_flagged: false,
+            },
+        );
+        // Chaos injection: `worker/run` panics (exercising the
+        // supervisor) or sleeps (injecting queue latency) as a job
+        // starts executing.
+        failpoints::fire("worker/run");
         process_job(&job, shared);
-        if let Ok(mut stats) = shared.stats.lock() {
-            stats.in_flight -= 1;
-        }
+        lock(&shared.in_flight_jobs).remove(&worker_id);
+        lock(&shared.stats).in_flight -= 1;
         // Completed jobs no longer need their shutdown hook.
-        if let Ok(mut tokens) = shared.live_tokens.lock() {
-            tokens.retain(|t| !t.same_token(&job.cancel));
-        }
+        lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
     }
 }
 
@@ -568,7 +1156,8 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
     let response = match result {
         Ok(run) => {
             let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-            if let Ok(mut stats) = shared.stats.lock() {
+            {
+                let mut stats = lock(&shared.stats);
                 stats.jobs_completed += 1;
                 stats.latency_total_ms += latency_ms;
                 stats.latency_max_ms = stats.latency_max_ms.max(latency_ms);
@@ -602,13 +1191,21 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
             encode_check_response(&request.id, stg, &run)
         }
         Err(e) => {
-            if let Ok(mut stats) = shared.stats.lock() {
-                stats.jobs_errored += 1;
-            }
+            lock(&shared.stats).jobs_errored += 1;
             encode_error_response(Some(&request.id), &e.to_string())
         }
     };
-    let _ = job.reply.send(response);
+    match job.reply.send(response) {
+        SendOutcome::Sent => {}
+        SendOutcome::Dropped => {
+            lock(&shared.stats).responses_dropped += 1;
+        }
+        SendOutcome::PoisonedNow => {
+            let mut stats = lock(&shared.stats);
+            stats.responses_dropped += 1;
+            stats.slow_client_disconnects += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -625,6 +1222,86 @@ mod tests {
             ..Default::default()
         })
         .expect("bind ephemeral port")
+    }
+
+    fn test_job(client: u64, id: &str) -> Job {
+        let stg = vme_read();
+        let (tx, rx) = mpsc::sync_channel(4);
+        // Keep the receiver alive for the test's duration by leaking
+        // it; unit-test jobs are never actually answered.
+        std::mem::forget(rx);
+        let conn = Arc::new(ConnShared {
+            stream: TcpStream::connect(
+                TcpListener::bind("127.0.0.1:0")
+                    .expect("bind")
+                    .local_addr()
+                    .expect("addr"),
+            )
+            .expect("connect"),
+            poisoned: AtomicBool::new(false),
+        });
+        Job {
+            request: CheckRequest {
+                id: id.to_owned(),
+                stg_g: String::new(),
+                property: Property::Csc,
+                engine: None,
+                budget: BudgetSpec::default(),
+            },
+            stg,
+            cancel: CancelToken::new(),
+            enqueued: Instant::now(),
+            client,
+            reply: ReplySender {
+                tx,
+                conn,
+                patience: Duration::from_millis(10),
+            },
+        }
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_clients() {
+        let mut queue = FairQueue::default();
+        // Client 1 pipelines three jobs before client 2's single job
+        // arrives; the dequeue order must interleave, not FIFO.
+        for (client, id) in [(1, "a1"), (1, "a2"), (1, "a3"), (2, "b1")] {
+            queue
+                .try_push(test_job(client, id), None, None)
+                .map_err(|_| "unexpected shed")
+                .expect("admitted");
+        }
+        assert_eq!(queue.len(), 4);
+        assert_eq!(queue.client_depth(1), 3);
+        let order: Vec<String> = std::iter::from_fn(|| queue.pop())
+            .map(|j| j.request.id)
+            .collect();
+        assert_eq!(order, ["a1", "b1", "a2", "a3"]);
+        assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn fair_queue_enforces_global_bound_and_quota() {
+        let mut queue = FairQueue::default();
+        queue
+            .try_push(test_job(1, "a1"), Some(2), Some(1))
+            .map_err(|_| "unexpected shed")
+            .expect("admitted");
+        // Client 1 is at its quota of 1.
+        let Err(shed) = queue.try_push(test_job(1, "a2"), Some(2), Some(1)) else {
+            panic!("quota must shed");
+        };
+        assert_eq!(shed.1, Shed::OverQuota(1));
+        // Another client still fits under the global bound of 2.
+        queue
+            .try_push(test_job(2, "b1"), Some(2), Some(1))
+            .map_err(|_| "unexpected shed")
+            .expect("admitted");
+        // Now the global bound sheds regardless of client.
+        let Err(shed) = queue.try_push(test_job(3, "c1"), Some(2), Some(1)) else {
+            panic!("bound must shed");
+        };
+        assert_eq!(shed.1, Shed::QueueFull(2));
     }
 
     #[test]
@@ -645,6 +1322,23 @@ mod tests {
                 .and_then(|s| s.get("jobs_completed"))
                 .and_then(Value::as_u64),
             Some(1)
+        );
+        // Revision 4: the overload and supervisor blocks are present.
+        let sup = stats
+            .get("stats")
+            .and_then(|s| s.get("supervisor"))
+            .expect("supervisor stats");
+        assert_eq!(sup.get("worker_panics").and_then(Value::as_u64), Some(0));
+        assert_eq!(sup.get("live_workers").and_then(Value::as_u64), Some(2));
+        let overload = stats
+            .get("stats")
+            .and_then(|s| s.get("overload"))
+            .expect("overload stats");
+        assert_eq!(overload.get("queue_full").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            overload.get("max_queue").and_then(Value::as_u64),
+            Some(1024),
+            "max_queue defaults to a bounded value"
         );
         server.shutdown();
     }
@@ -739,7 +1433,7 @@ mod tests {
     }
 
     #[test]
-    fn full_queue_rejects_checks_with_a_stable_code() {
+    fn full_queue_rejects_checks_with_a_stable_code_and_retry_hint() {
         // No workers ever pop: zero capacity means every check is
         // rejected at admission.
         let server = spawn(ServerConfig {
@@ -756,6 +1450,12 @@ mod tests {
         assert_eq!(response.status, "error");
         assert_eq!(response.code.as_deref(), Some("queue_full"));
         assert_eq!(response.id.as_deref(), Some("jq"));
+        // Revision 4: shed responses carry a backoff hint.
+        assert!(
+            response.retry_after_ms.is_some_and(|ms| ms >= 10),
+            "{:?}",
+            response.raw
+        );
         // The connection survives; stats counted the rejection.
         let stats = client.stats().expect("stats");
         assert_eq!(
@@ -768,10 +1468,48 @@ mod tests {
         assert_eq!(
             stats
                 .get("stats")
+                .and_then(|s| s.get("overload"))
+                .and_then(|o| o.get("queue_full"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats
+                .get("stats")
                 .and_then(|s| s.get("jobs_received"))
                 .and_then(Value::as_u64),
             Some(0),
             "rejected jobs are not received jobs"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_client_quota_sheds_with_the_over_quota_code() {
+        // One worker, no global bound pressure, but a quota of zero:
+        // every check from any single client is over quota.
+        let server = spawn(ServerConfig {
+            workers: 1,
+            client_quota: Some(0),
+            ..Default::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        let response = client
+            .check("jq", &g, Property::Csc, None, BudgetSpec::default())
+            .expect("transport ok");
+        assert_eq!(response.status, "error");
+        assert_eq!(response.code.as_deref(), Some("over_quota"));
+        assert!(response.retry_after_ms.is_some());
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("stats")
+                .and_then(|s| s.get("overload"))
+                .and_then(|o| o.get("over_quota"))
+                .and_then(Value::as_u64),
+            Some(1)
         );
         server.shutdown();
     }
@@ -860,5 +1598,42 @@ mod tests {
             Some(true)
         );
         server.join(); // Returns because the client op triggered shutdown.
+    }
+
+    #[test]
+    fn retry_after_hint_scales_with_backlog_and_stays_clamped() {
+        let shared = Shared {
+            config: ServerConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(FairQueue::default()),
+            available: Condvar::new(),
+            stats: Mutex::new(Stats::default()),
+            live_tokens: Mutex::new(Vec::new()),
+            cache: ArtifactCache::new(0),
+            in_flight_jobs: Mutex::new(HashMap::new()),
+            worker_handles: Mutex::new(Vec::new()),
+            next_worker_id: AtomicUsize::new(0),
+            next_client_id: AtomicU64::new(0),
+        };
+        // Cold server: the default hint.
+        assert_eq!(shared.retry_after_hint_ms(0), 10);
+        // Warm server with 20ms mean latency: hint grows with depth.
+        {
+            let mut stats = lock(&shared.stats);
+            stats.jobs_completed = 10;
+            stats.latency_total_ms = 200.0;
+        }
+        let shallow = shared.retry_after_hint_ms(1);
+        let deep = shared.retry_after_hint_ms(100);
+        assert!(shallow < deep, "{shallow} < {deep}");
+        // Pathological latencies never hint beyond the clamp.
+        {
+            let mut stats = lock(&shared.stats);
+            stats.latency_total_ms = 1e9;
+        }
+        assert_eq!(shared.retry_after_hint_ms(1000), 5_000);
     }
 }

@@ -1,0 +1,352 @@
+//! Chaos suite: drives `stgd` through injected faults — worker
+//! panics, queue latency, socket stalls, short writes — and asserts
+//! the service invariants hold anyway:
+//!
+//! - no deadlocks (every test finishes; shutdown drains cleanly);
+//! - every submitted job gets exactly one terminal response (a
+//!   verdict, `queue_full`/`over_quota`, `worker_crashed`, or the
+//!   shutdown-time admission error);
+//! - NDJSON framing survives short writes and stalls;
+//! - a backoff-enabled client completes a 100-job workload against a
+//!   4-slot queue and a periodically crashing worker.
+//!
+//! Compiled only under `--features failpoints` (the injection
+//! registry is a no-op otherwise). The registry is process-global,
+//! so every test serialises itself through [`guard`].
+#![cfg(feature = "failpoints")]
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use csc_core::{Engine, Property};
+use server::failpoints::{self, Action};
+use server::json::Value;
+use server::protocol::{BudgetSpec, CheckRequest};
+use server::{spawn, Client, RetryPolicy, ServerConfig};
+use stg::gen::vme::vme_read;
+
+/// Serialises tests around the process-global failpoint registry.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn vme_g() -> String {
+    stg::to_g_format(&vme_read(), "vme")
+}
+
+fn check_request(id: &str, g: &str) -> CheckRequest {
+    CheckRequest {
+        id: id.to_owned(),
+        stg_g: g.to_owned(),
+        property: Property::Csc,
+        engine: Some(Engine::UnfoldingIlp),
+        budget: BudgetSpec::default(),
+    }
+}
+
+/// Reads `n` responses and asserts each pending id gets exactly one
+/// terminal response; returns the responses keyed by id.
+fn collect_terminal(client: &mut Client, ids: &[String]) -> HashMap<String, server::CheckResponse> {
+    let mut seen: HashMap<String, server::CheckResponse> = HashMap::new();
+    for _ in 0..ids.len() {
+        let response = client.read_response().expect("a terminal response line");
+        let id = response.id.clone().expect("responses echo the id");
+        assert!(
+            seen.insert(id.clone(), response).is_none(),
+            "job {id} received two terminal responses"
+        );
+    }
+    for id in ids {
+        assert!(seen.contains_key(id), "job {id} never got a response");
+    }
+    seen
+}
+
+#[test]
+fn crashed_workers_fail_the_job_and_the_pool_recovers() {
+    let _guard = guard();
+    failpoints::reset();
+    let server = spawn(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let g = vme_g();
+
+    // The first two jobs to reach a worker kill it.
+    failpoints::configure("worker/run", Action::panic().times(2));
+    let ids: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
+    for id in &ids {
+        client.submit(&check_request(id, &g)).expect("submit");
+    }
+    let responses = collect_terminal(&mut client, &ids);
+    let crashed = responses
+        .values()
+        .filter(|r| r.code.as_deref() == Some("worker_crashed"))
+        .count();
+    let decided = responses
+        .values()
+        .filter(|r| r.verdict.as_deref() == Some("violated"))
+        .count();
+    assert_eq!(crashed, 2, "each injected panic fails exactly one job");
+    assert_eq!(decided, 2, "the remaining jobs still get verdicts");
+
+    // The pool was restocked: an un-faulted job succeeds, and the
+    // supervisor counters tell the story.
+    failpoints::remove("worker/run");
+    let after = client
+        .check("after", &g, Property::Csc, None, BudgetSpec::default())
+        .expect("post-crash check");
+    assert_eq!(after.verdict.as_deref(), Some("violated"));
+    let stats = client.stats().expect("stats");
+    let sup = stats
+        .get("stats")
+        .and_then(|s| s.get("supervisor"))
+        .expect("supervisor block");
+    assert_eq!(sup.get("worker_panics").and_then(Value::as_u64), Some(2));
+    assert_eq!(sup.get("worker_restarts").and_then(Value::as_u64), Some(2));
+    assert_eq!(sup.get("live_workers").and_then(Value::as_u64), Some(2));
+    server.shutdown();
+    failpoints::reset();
+}
+
+#[test]
+fn queue_latency_faults_lose_no_jobs_and_shutdown_drains() {
+    let _guard = guard();
+    failpoints::reset();
+    let server = spawn(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let g = vme_g();
+
+    // Every job stalls 30ms before executing, so shutdown fires with
+    // most of the batch still queued or in flight.
+    failpoints::configure("worker/run", Action::sleep_ms(30));
+    let ids: Vec<String> = (0..10).map(|i| format!("l{i}")).collect();
+    for id in &ids {
+        client.submit(&check_request(id, &g)).expect("submit");
+    }
+    server.trigger_shutdown();
+    // The drain guarantee: every job still answers — a verdict for
+    // jobs that ran, `cancelled` for swept ones, or the
+    // shutdown-time admission error for jobs the reader had not yet
+    // admitted. Exactly one line each, all parseable.
+    let responses = collect_terminal(&mut client, &ids);
+    for (id, response) in &responses {
+        let terminal = response.verdict.as_deref() == Some("violated")
+            || response.reason.as_deref() == Some("cancelled")
+            || response.status == "error";
+        assert!(terminal, "job {id}: odd terminal state {:?}", response.raw);
+    }
+    server.join();
+    failpoints::reset();
+}
+
+#[test]
+fn socket_stalls_and_short_writes_never_corrupt_framing() {
+    let _guard = guard();
+    failpoints::reset();
+    let server = spawn(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let g = vme_g();
+
+    // Every response line is delayed and then written in two short
+    // writes with a flush between them; the client must still see
+    // whole lines.
+    failpoints::configure("writer/send", Action::sleep_ms(10));
+    failpoints::configure("writer/short_write", Action::trigger());
+    let ids: Vec<String> = (0..6).map(|i| format!("f{i}")).collect();
+    for id in &ids {
+        client.submit(&check_request(id, &g)).expect("submit");
+    }
+    let responses = collect_terminal(&mut client, &ids);
+    for response in responses.values() {
+        assert_eq!(response.verdict.as_deref(), Some("violated"));
+    }
+    assert!(
+        failpoints::hits("writer/send") >= 6,
+        "the stall site was exercised"
+    );
+    failpoints::reset();
+    server.shutdown();
+}
+
+#[test]
+fn stalled_readers_are_poisoned_without_wedging_workers() {
+    let _guard = guard();
+    failpoints::reset();
+    let server = spawn(ServerConfig {
+        workers: 1,
+        write_timeout_ms: Some(100),
+        response_buffer: 1,
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut victim = Client::connect(server.addr()).expect("connect");
+    let g = vme_g();
+
+    // The victim's writer thread sleeps 600ms per response while the
+    // worker keeps finishing jobs into a 1-line buffer: the worker's
+    // sends outlast the 100ms write patience, so the connection is
+    // poisoned instead of blocking the worker.
+    failpoints::configure("writer/send", Action::sleep_ms(600));
+    for i in 0..4 {
+        victim
+            .submit(&check_request(&format!("s{i}"), &g))
+            .expect("submit");
+    }
+    // Wait for the poisoning to happen (jobs are ms-scale; patience
+    // is 100ms), then disarm so other connections are unaffected.
+    std::thread::sleep(Duration::from_millis(400));
+    failpoints::remove("writer/send");
+
+    // The worker survived: a fresh client gets served promptly.
+    let mut fresh = Client::connect(server.addr()).expect("connect fresh");
+    let after = fresh
+        .check("after", &g, Property::Csc, None, BudgetSpec::default())
+        .expect("check after poisoning");
+    assert_eq!(after.verdict.as_deref(), Some("violated"));
+    let stats = fresh.stats().expect("stats");
+    let overload = stats
+        .get("stats")
+        .and_then(|s| s.get("overload"))
+        .expect("overload block");
+    assert_eq!(
+        overload
+            .get("slow_client_disconnects")
+            .and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
+    assert!(
+        overload
+            .get("responses_dropped")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n >= 1),
+        "{stats:?}"
+    );
+    server.shutdown();
+    failpoints::reset();
+}
+
+/// The acceptance workload: 100 jobs from 10 concurrent
+/// backoff-enabled clients against a 2-worker pool with a 4-slot
+/// queue and a worker that panics every 9th job it starts. Every job
+/// must complete with the correct verdict; the shed and crash
+/// traffic is absorbed by the retry policy.
+#[test]
+fn backoff_clients_complete_100_jobs_against_tiny_queue_and_crashing_worker() {
+    let _guard = guard();
+    failpoints::reset();
+    let server = spawn(ServerConfig {
+        workers: 2,
+        max_queue: Some(4),
+        ..Default::default()
+    })
+    .expect("bind");
+    failpoints::configure("worker/run", Action::panic().every(9));
+    let g = vme_g();
+    let policy = RetryPolicy {
+        max_attempts: 25,
+        base_delay_ms: 5,
+        max_delay_ms: 250,
+    };
+    let addr = server.addr();
+    let workers: Vec<_> = (0..10)
+        .map(|t| {
+            let g = g.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut stats = server::RetryStats::default();
+                for j in 0..10 {
+                    let (response, attempt_stats) = client
+                        .check_with_retry_stats(
+                            &format!("w{t}-{j}"),
+                            &g,
+                            Property::Csc,
+                            Some(Engine::UnfoldingIlp),
+                            BudgetSpec::default(),
+                            &policy,
+                        )
+                        .expect("job must eventually complete");
+                    assert_eq!(
+                        response.verdict.as_deref(),
+                        Some("violated"),
+                        "job w{t}-{j}: {:?}",
+                        response.raw
+                    );
+                    stats.attempts += attempt_stats.attempts;
+                    stats.sheds += attempt_stats.sheds;
+                    stats.worker_crashes += attempt_stats.worker_crashes;
+                    stats.reconnects += attempt_stats.reconnects;
+                }
+                stats
+            })
+        })
+        .collect();
+    let mut total = server::RetryStats::default();
+    for w in workers {
+        let stats = w.join().expect("client thread");
+        total.attempts += stats.attempts;
+        total.sheds += stats.sheds;
+        total.worker_crashes += stats.worker_crashes;
+        total.reconnects += stats.reconnects;
+    }
+    failpoints::remove("worker/run");
+    assert!(
+        total.attempts >= 100,
+        "100 jobs need at least 100 attempts: {total:?}"
+    );
+    assert!(
+        total.worker_crashes >= 1,
+        "the crashing worker must have been observed: {total:?}"
+    );
+
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    let section = |name: &str| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get(name))
+            .unwrap_or_else(|| panic!("missing stats.{name}: {stats:?}"))
+            .clone()
+    };
+    let sup = section("supervisor");
+    let panics = sup
+        .get("worker_panics")
+        .and_then(Value::as_u64)
+        .expect("worker_panics");
+    assert!(panics >= 1, "{stats:?}");
+    assert_eq!(
+        sup.get("worker_restarts").and_then(Value::as_u64),
+        Some(panics),
+        "every panic during service must restart a worker"
+    );
+    assert_eq!(
+        sup.get("live_workers").and_then(Value::as_u64),
+        Some(2),
+        "the pool never shrinks"
+    );
+    // Completed + crashed = the 100 logical jobs plus retried
+    // attempts that were admitted; every admitted job terminated.
+    let completed = stats
+        .get("stats")
+        .and_then(|s| s.get("jobs_completed"))
+        .and_then(Value::as_u64)
+        .expect("jobs_completed");
+    assert!(completed >= 100, "{stats:?}");
+    server.shutdown();
+    failpoints::reset();
+}

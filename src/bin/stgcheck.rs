@@ -53,7 +53,7 @@ use stg_coding_conflicts::csc_core::{
 };
 use stg_coding_conflicts::lint;
 use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
-use stg_coding_conflicts::server::Client;
+use stg_coding_conflicts::server::{Client, RetryPolicy};
 use stg_coding_conflicts::stg::{self, Stg};
 use stg_coding_conflicts::unfolding::{self, OrderStrategy, Prefix, UnfoldOptions};
 
@@ -380,13 +380,16 @@ fn remote_coding(
         ..Default::default()
     };
     let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    // Retry transient failures (load shedding, a crashed worker, a
+    // dropped connection) with backoff; check jobs are idempotent.
     let response = client
-        .check(
+        .check_with_retry(
             "stgcheck",
             &stg::to_g_format(model, "stgcheck"),
             property,
             engine,
             spec,
+            &RetryPolicy::default(),
         )
         .map_err(|e| format!("{addr}: {e}"))?;
     if response.status == "error" {
