@@ -24,10 +24,10 @@
 
 #![warn(missing_docs)]
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 pub use csc_core::Budget;
-use csc_core::{CheckOutcome, CheckRequest, Checker, CheckerOptions, Engine, Property};
+use csc_core::{CheckOutcome, CheckRequest, Checker, CheckerOptions, Engine, Property, Verdict};
 use stg::gen::counterflow::{counterflow_asym, counterflow_sym};
 use stg::gen::duplex::{dup_4ph, dup_mod};
 use stg::gen::pipeline::muller_pipeline;
@@ -181,9 +181,40 @@ pub struct TableRow {
     /// ever be `true` on conflict-free rows (checked by
     /// `verdicts_ok`).
     pub lint_proved: bool,
+    /// State-equation CEGAR engine time for the CSC check,
+    /// milliseconds (time spent even when it abstained). An
+    /// unbudgeted harness run still caps this engine at
+    /// [`CEGAR_ALLOWANCE`] so a non-terminating integer search
+    /// degrades to an `unknown` row instead of hanging the table.
+    pub cegar_ms: f64,
+    /// The CEGAR verdict: `"holds"`, `"violated"`, or
+    /// `"unknown: <reason>"`.
+    pub cegar_verdict: String,
     /// Whether every *definite* verdict matched the expectation and
     /// the other engine; inconclusive runs are not mismatches.
     pub verdicts_ok: bool,
+}
+
+/// Wall-clock allowance for the CEGAR column when the harness itself
+/// runs unbudgeted. Branch-and-bound over the exact rational simplex
+/// has no useful worst-case bound; the sweep must terminate anyway.
+pub const CEGAR_ALLOWANCE: Duration = Duration::from_secs(60);
+
+/// Live-node allowance for the BDD management benchmark when the
+/// harness runs without `--budget-bdd-nodes`. The unmanaged leg's
+/// peak grows without bound in the counterflow width (23.7M live
+/// nodes already at width 6), so an uncapped sweep over larger widths
+/// never terminates; past that allowance the leg reports `aborted`
+/// instead.
+pub const BDD_BENCH_NODE_ALLOWANCE: usize = 32_000_000;
+
+/// The harness budget with the CEGAR fallback deadline applied.
+fn cegar_budget(budget: &Budget) -> Budget {
+    if budget.deadline.is_some() {
+        budget.clone()
+    } else {
+        budget.clone().with_deadline(CEGAR_ALLOWANCE)
+    }
 }
 
 /// Per-engine checker options derived from a [`Budget`]'s discrete
@@ -260,6 +291,23 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
         };
     let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
 
+    // The state-equation CEGAR engine: no prefix, no BDDs — its
+    // column shows what the marking equation alone decides.
+    let t2 = Instant::now();
+    let cegar_run = CheckRequest::new(stg, Property::Csc)
+        .engine(Engine::Cegar)
+        .budget(cegar_budget(budget))
+        .run();
+    let cegar_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let (cegar_csc, cegar_verdict) = match &cegar_run {
+        Ok(run) => match &run.verdict {
+            Verdict::Holds => (Some(true), "holds".to_owned()),
+            Verdict::Violated(_) => (Some(false), "violated".to_owned()),
+            Verdict::Unknown(reason) => (None, format!("unknown: {reason}")),
+        },
+        Err(e) => (None, format!("unknown: {e}")),
+    };
+
     let verdicts_ok = match (clp_csc, sym_csc) {
         (Some(clp), Some(sym)) => clp == model.expect_csc && sym == clp,
         (Some(v), None) | (None, Some(v)) => v == model.expect_csc,
@@ -268,7 +316,10 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
     // The LP proof is sound: claiming USC/CSC on a conflicted row
     // (or erroring on a Table 1 family) would be a lint bug.
     && (!lint_proved || model.expect_csc)
-        && !lint_report.has_errors();
+        && !lint_report.has_errors()
+    // A definite CEGAR verdict must match the expectation too; an
+    // abstention is not a mismatch.
+        && cegar_csc.is_none_or(|v| v == model.expect_csc);
     TableRow {
         name: model.name.to_owned(),
         s: stg.net().num_places(),
@@ -287,6 +338,8 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
         csc: clp_csc.or(sym_csc),
         lint_ms,
         lint_proved,
+        cegar_ms,
+        cegar_verdict,
         verdicts_ok,
     }
 }
@@ -296,15 +349,15 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
 pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} {:>8} | {:>4} {:>3} {:>3}\n",
-        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "Lnt[ms]", "CSC", "LP", "ok"
+        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} {:>8} {:>9} | {:>4} {:>3} {:>4} {:>3}\n",
+        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "Lnt[ms]", "CGR[ms]", "CSC", "LP", "CGR", "ok"
     ));
-    out.push_str(&"-".repeat(112));
+    out.push_str(&"-".repeat(127));
     out.push('\n');
     let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} {:>8.2} | {:>4} {:>3} {:>3}\n",
+            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} {:>8.2} {:>9.2} | {:>4} {:>3} {:>4} {:>3}\n",
             r.name,
             r.s,
             r.t,
@@ -316,12 +369,18 @@ pub fn format_table(rows: &[TableRow]) -> String {
             r.pfy_ms,
             r.clp_ms,
             r.lint_ms,
+            r.cegar_ms,
             match r.csc {
                 Some(true) => "yes",
                 Some(false) => "no",
                 None => "?",
             },
             if r.lint_proved { "yes" } else { "-" },
+            match r.cegar_verdict.as_str() {
+                "holds" => "yes",
+                "violated" => "no",
+                _ => "?",
+            },
             if r.verdicts_ok { "ok" } else { "BAD" },
         ));
     }
@@ -347,6 +406,12 @@ pub struct ScalePoint {
     /// `"completed"`, or `"aborted: <reason>"` for the unfolding+IP
     /// run.
     pub clp_outcome: String,
+    /// State-equation CEGAR CSC check time, ms (time spent even when
+    /// it abstained).
+    pub cegar_ms: f64,
+    /// The CEGAR verdict: `"holds"`, `"violated"`, or
+    /// `"unknown: <reason>"`.
+    pub cegar_verdict: String,
 }
 
 /// One budgeted sweep point: explicit exploration capped at
@@ -390,6 +455,26 @@ fn scale_point(
             Err(e) => (None, format!("aborted: {e}")),
         };
     let clp_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let t2 = Instant::now();
+    let cegar_run = CheckRequest::new(stg, Property::Csc)
+        .engine(Engine::Cegar)
+        .budget(cegar_budget(budget))
+        .run();
+    let cegar_ms = t2.elapsed().as_secs_f64() * 1e3;
+    let cegar_verdict = match &cegar_run {
+        Ok(run) => match &run.verdict {
+            Verdict::Holds => "holds".to_owned(),
+            Verdict::Violated(_) => {
+                assert!(
+                    !expect_satisfied,
+                    "CEGAR refuted a conflict-free-by-construction model"
+                );
+                "violated".to_owned()
+            }
+            Verdict::Unknown(reason) => format!("unknown: {reason}"),
+        },
+        Err(e) => format!("unknown: {e}"),
+    };
     ScalePoint {
         n,
         states: explicit.as_ref().map(stg::StateGraph::num_states),
@@ -398,6 +483,8 @@ fn scale_point(
         explicit_ms,
         clp_ms,
         clp_outcome,
+        cegar_ms,
+        cegar_verdict,
     }
 }
 
@@ -494,7 +581,12 @@ fn server_batch(
         engine: Some(engine),
         budget,
     };
-    let mut client = server::Client::connect(addr).expect("connect to in-process stgd");
+    // The default 30 s read timeout is sized for interactive use; a
+    // pipelined batch racing four engines on one core can keep a
+    // response in flight for longer than that, so give the bench
+    // client a leash sized for the workload instead.
+    let mut client = server::Client::connect_with_timeout(addr, Some(Duration::from_secs(300)))
+        .expect("connect to in-process stgd");
     let t0 = Instant::now();
     for rep in 0..reps {
         client
@@ -708,7 +800,7 @@ pub fn run_bdd_bench(widths: &[usize], depth: usize, budget: &Budget) -> Vec<Bdd
                 let mut checker = SymbolicChecker::with_options(&stg, options);
                 let sym_budget = SymbolicBudget {
                     guard: budget.guard(),
-                    max_nodes: budget.max_bdd_nodes,
+                    max_nodes: Some(budget.max_bdd_nodes.unwrap_or(BDD_BENCH_NODE_ALLOWANCE)),
                 };
                 let report = checker.try_analyse(&sym_budget);
                 let usc_witness = checker.usc_witness();
@@ -946,6 +1038,8 @@ pub fn table_to_json(rows: &[TableRow]) -> String {
                 .opt_boolean("csc", r.csc)
                 .float("lint_ms", r.lint_ms)
                 .boolean("lint_proved", r.lint_proved)
+                .float("cegar_ms", r.cegar_ms)
+                .string("cegar_verdict", &r.cegar_verdict)
                 .boolean("verdicts_ok", r.verdicts_ok);
             o
         })
@@ -1067,6 +1161,8 @@ pub fn scale_to_json(points: &[ScalePoint]) -> String {
             o.opt_float("explicit_ms", p.explicit_ms);
             o.float("clp_ms", p.clp_ms);
             o.string("clp_outcome", &p.clp_outcome);
+            o.float("cegar_ms", p.cegar_ms);
+            o.string("cegar_verdict", &p.cegar_verdict);
             o
         })
         .collect();

@@ -1,0 +1,171 @@
+//! Realisability of candidate firing-count vectors by token-game
+//! replay.
+//!
+//! A solution `x` of the marking equation is *realisable* when some
+//! interleaving fires every transition `t` exactly `x(t)` times from
+//! the initial marking. The marking along the way is a function of the
+//! remaining counts (`M = M0 + I·(x − remaining)`), so the memoised
+//! depth-first search below keys failures on the remaining vector
+//! alone — each distinct remainder is explored at most once, bounding
+//! the search by `Π (x(t)+1)` states rather than the number of
+//! interleavings.
+
+use std::collections::HashSet;
+
+use petri::{Marking, Net, StopGuard};
+
+/// Outcome of a replay. `Unknown` is a first-class answer: the caller
+/// must not treat the candidate as spurious (that would unsoundly
+/// shrink the search space behind a later "proved" claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Replay {
+    /// Some firing order realises the vector; the final marking
+    /// `M0 + I·x` is reachable.
+    Realisable,
+    /// No firing order exists — the candidate is certainly spurious.
+    Unrealisable,
+    /// The memo budget or the stop guard cut the search short.
+    Unknown,
+}
+
+/// Decides whether `counts` is realisable from `m0`, exploring at
+/// most `max_entries` distinct failure remainders.
+pub(crate) fn realisable(
+    net: &Net,
+    m0: &Marking,
+    counts: &[u32],
+    guard: &StopGuard,
+    max_entries: usize,
+) -> Replay {
+    debug_assert_eq!(counts.len(), net.num_transitions());
+    if counts.iter().all(|&c| c == 0) {
+        return Replay::Realisable;
+    }
+    let mut failed: HashSet<Vec<u32>> = HashSet::new();
+    let mut remaining = counts.to_vec();
+    let mut steps = 0u64;
+    match dfs(
+        net,
+        m0,
+        &mut remaining,
+        &mut failed,
+        guard,
+        max_entries,
+        &mut steps,
+    ) {
+        Some(true) => Replay::Realisable,
+        Some(false) => Replay::Unrealisable,
+        None => Replay::Unknown,
+    }
+}
+
+fn dfs(
+    net: &Net,
+    m: &Marking,
+    remaining: &mut Vec<u32>,
+    failed: &mut HashSet<Vec<u32>>,
+    guard: &StopGuard,
+    max_entries: usize,
+    steps: &mut u64,
+) -> Option<bool> {
+    *steps += 1;
+    if (*steps).is_multiple_of(64) && guard.poll_now().is_err() {
+        return None;
+    }
+    if remaining.iter().all(|&c| c == 0) {
+        return Some(true);
+    }
+    if failed.contains(remaining.as_slice()) {
+        return Some(false);
+    }
+    for t in net.transitions() {
+        if remaining[t.index()] == 0 || !net.is_enabled(m, t) {
+            continue;
+        }
+        let Some(next) = net.fire(m, t) else {
+            continue;
+        };
+        remaining[t.index()] -= 1;
+        let sub = dfs(net, &next, remaining, failed, guard, max_entries, steps);
+        remaining[t.index()] += 1;
+        match sub {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    if failed.len() >= max_entries {
+        return None;
+    }
+    failed.insert(remaining.clone());
+    Some(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petri::NetBuilder;
+
+    /// p0 -> t0 -> p1 -> t1 -> p0, token on p0.
+    fn cycle() -> (Net, Marking) {
+        let mut b = NetBuilder::new();
+        let p0 = b.add_place("p0");
+        let p1 = b.add_place("p1");
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        b.arc_pt(p0, t0).unwrap();
+        b.arc_tp(t0, p1).unwrap();
+        b.arc_pt(p1, t1).unwrap();
+        b.arc_tp(t1, p0).unwrap();
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(2, &[(p0, 1)]);
+        (net, m0)
+    }
+
+    #[test]
+    fn zero_vector_is_trivially_realisable() {
+        let (net, m0) = cycle();
+        let r = realisable(&net, &m0, &[0, 0], &StopGuard::unlimited(), 1000);
+        assert_eq!(r, Replay::Realisable);
+    }
+
+    #[test]
+    fn cycle_rounds_are_realisable() {
+        let (net, m0) = cycle();
+        for k in 1..5u32 {
+            let r = realisable(&net, &m0, &[k, k], &StopGuard::unlimited(), 1000);
+            assert_eq!(r, Replay::Realisable, "k = {k}");
+        }
+        // A half-round too: fire t0 once more than t1.
+        let r = realisable(&net, &m0, &[3, 2], &StopGuard::unlimited(), 1000);
+        assert_eq!(r, Replay::Realisable);
+    }
+
+    #[test]
+    fn order_violations_are_unrealisable() {
+        let (net, m0) = cycle();
+        // t1 before t0 is impossible: p1 starts empty.
+        let r = realisable(&net, &m0, &[0, 1], &StopGuard::unlimited(), 1000);
+        assert_eq!(r, Replay::Unrealisable);
+        let r = realisable(&net, &m0, &[1, 2], &StopGuard::unlimited(), 1000);
+        assert_eq!(r, Replay::Unrealisable);
+    }
+
+    #[test]
+    fn memo_budget_exhaustion_is_unknown_not_a_verdict() {
+        let (net, m0) = cycle();
+        let r = realisable(&net, &m0, &[4, 5], &StopGuard::unlimited(), 0);
+        assert_eq!(r, Replay::Unknown);
+    }
+
+    #[test]
+    fn cancelled_guard_stops_the_replay() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let (net, m0) = cycle();
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = StopGuard::new(Some(flag), None);
+        let r = realisable(&net, &m0, &[40, 40], &guard, 1_000_000);
+        assert_eq!(r, Replay::Unknown);
+    }
+}

@@ -49,10 +49,15 @@ pub enum Engine {
     /// oracle when the prefix built so far suggests a small state
     /// space; otherwise `Unknown` with partial statistics.
     Portfolio,
-    /// Racing parallel portfolio: all three engines on separate
+    /// Racing parallel portfolio: the four base engines on separate
     /// threads sharing one absolute deadline; the first conclusive
     /// verdict wins and the losers are cancelled.
     Race,
+    /// CEGAR over the Petri-net state equation: integer programming
+    /// with realisability refinement, no unfolding prefix, no BDDs.
+    /// Decides USC and CSC; answers
+    /// [`ExhaustionReason::Unsupported`] for normalcy.
+    Cegar,
 }
 
 impl Engine {
@@ -65,6 +70,7 @@ impl Engine {
             Engine::SymbolicBdd => "symbolic",
             Engine::Portfolio => "portfolio",
             Engine::Race => "race",
+            Engine::Cegar => "cegar",
         }
     }
 }
@@ -321,6 +327,7 @@ fn dispatch(
         Engine::SymbolicBdd => run_symbolic(artifacts, property, budget, &guard),
         Engine::Portfolio => run_portfolio(artifacts, property, budget, &guard),
         Engine::Race => run_race(artifacts, property, budget, &guard),
+        Engine::Cegar => run_cegar(artifacts, property, budget, &guard),
     }));
     match outcome {
         Ok(Ok((verdict, report))) => Ok(CheckRun { verdict, report }),
@@ -552,6 +559,53 @@ fn symbolic_normalcy(
     Ok(Some(Verdict::Holds))
 }
 
+fn run_cegar(
+    artifacts: &Artifacts,
+    property: Property,
+    budget: &Budget,
+    guard: &StopGuard,
+) -> EngineOutcome {
+    let start = Instant::now();
+    let mut report = ResourceReport::empty("cegar");
+    // The engine never touches the unfolding or BDD stages; report
+    // that positively so callers can assert "no prefix was built".
+    report.prefix_events_built = Some(0);
+    let Some(prop) = (match property {
+        Property::Usc => Some(cegar::CegarProperty::Usc),
+        Property::Csc => Some(cegar::CegarProperty::Csc),
+        Property::Normalcy => None,
+    }) else {
+        report.elapsed = start.elapsed();
+        return Ok((
+            Verdict::Unknown(ExhaustionReason::Unsupported(
+                "the CEGAR engine has no state-equation encoding of normalcy",
+            )),
+            report,
+        ));
+    };
+    let mut options = cegar::CegarOptions {
+        guard: guard.clone(),
+        ..cegar::CegarOptions::default()
+    };
+    if let Some(n) = budget.max_solver_steps {
+        options.max_nodes_per_target = n;
+    }
+    let (outcome, stats) = cegar::check(artifacts.stg(), prop, &options);
+    report.solver_steps = Some(stats.lp_solves);
+    report.cegar = Some(stats);
+    report.elapsed = start.elapsed();
+    let verdict = match outcome {
+        cegar::CegarOutcome::Proved => Verdict::Holds,
+        cegar::CegarOutcome::Refuted(pair) => Verdict::Violated(Witness::States(pair)),
+        cegar::CegarOutcome::Unknown(abort) => Verdict::Unknown(match abort {
+            cegar::CegarAbort::Cancelled => ExhaustionReason::Cancelled,
+            cegar::CegarAbort::DeadlineExpired => ExhaustionReason::DeadlineExpired,
+            cegar::CegarAbort::Exhausted => ExhaustionReason::SolverStepLimit(stats.branch_nodes),
+        }),
+    };
+    Ok((verdict, report))
+}
+
 fn run_portfolio(
     artifacts: &Artifacts,
     property: Property,
@@ -593,11 +647,12 @@ fn run_portfolio(
     Ok((verdict, report))
 }
 
-/// The three engines a [`Engine::Race`] runs concurrently.
-const RACERS: [Engine; 3] = [
+/// The four engines a [`Engine::Race`] runs concurrently.
+const RACERS: [Engine; 4] = [
     Engine::UnfoldingIlp,
     Engine::ExplicitStateGraph,
     Engine::SymbolicBdd,
+    Engine::Cegar,
 ];
 
 /// Derives the guard one racing engine polls: the job-level
@@ -664,6 +719,7 @@ fn run_race(
                     Engine::ExplicitStateGraph => {
                         run_explicit(artifacts, property, race_budget, &racer_guard)
                     }
+                    Engine::Cegar => run_cegar(artifacts, property, race_budget, &racer_guard),
                     _ => run_symbolic(artifacts, property, race_budget, &racer_guard),
                 }));
                 let _ = tx.send((i, outcome.map_err(|p| panic_message(p.as_ref()))));
@@ -755,6 +811,7 @@ fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
     if aggregate.bdd.is_none() {
         aggregate.bdd = racer.bdd.clone();
     }
+    aggregate.cegar = aggregate.cegar.or(racer.cegar);
 }
 
 #[cfg(test)]
@@ -765,10 +822,11 @@ mod tests {
     use stg::gen::vme::{vme_read, vme_read_csc_resolved};
     use stg::StateGraph;
 
-    const ENGINES: [Engine; 5] = [
+    const ENGINES: [Engine; 6] = [
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
+        Engine::Cegar,
         Engine::Portfolio,
         Engine::Race,
     ];
@@ -802,9 +860,12 @@ mod tests {
 
     #[test]
     fn engines_agree_on_normalcy() {
+        // Cegar is excluded: normalcy has no state-equation encoding,
+        // so it reports `Unsupported` — checked separately below.
         for stg in [vme_read_csc_resolved(), counterflow_sym(2, 2)] {
             let verdicts: Vec<bool> = ENGINES
                 .iter()
+                .filter(|&&e| e != Engine::Cegar)
                 .map(|&e| {
                     CheckRequest::new(&stg, Property::Normalcy)
                         .engine(e)
@@ -814,6 +875,20 @@ mod tests {
                 .collect();
             assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
         }
+    }
+
+    #[test]
+    fn cegar_reports_normalcy_as_unsupported() {
+        let stg = vme_read_csc_resolved();
+        let run = CheckRequest::new(&stg, Property::Normalcy)
+            .engine(Engine::Cegar)
+            .run()
+            .unwrap();
+        assert!(matches!(
+            run.verdict,
+            Verdict::Unknown(ExhaustionReason::Unsupported(_))
+        ));
+        assert_eq!(run.report.engine, "cegar");
     }
 
     #[test]
@@ -860,6 +935,39 @@ mod tests {
         assert!(stats.peak_live_nodes > 0);
         assert!(stats.live_nodes > 0);
         assert!(!stats.order.is_empty());
+
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::Cegar)
+            .run()
+            .unwrap();
+        assert_eq!(run.report.engine, "cegar");
+        // The whole point of the engine: no prefix, no BDDs, ever.
+        assert_eq!(run.report.prefix_events_built, Some(0));
+        assert_eq!(run.report.prefix_events, None);
+        assert_eq!(run.report.bdd_nodes, None);
+        assert_eq!(run.report.bdd, None);
+        assert_eq!(run.report.states, None);
+        let stats = run.report.cegar.expect("cegar runs report CEGAR stats");
+        assert!(stats.lp_solves > 0);
+        assert!(stats.targets > 0);
+    }
+
+    #[test]
+    fn cegar_witnesses_are_concrete_discordant_states() {
+        // vme_read's USC conflict must come back as two distinct
+        // reachable markings decoded from the integer solution.
+        let stg = vme_read();
+        let run = CheckRequest::new(&stg, Property::Usc)
+            .engine(Engine::Cegar)
+            .run()
+            .unwrap();
+        assert_eq!(run.verdict.holds(), Some(false));
+        match &run.verdict {
+            Verdict::Violated(Witness::States(pair)) => {
+                assert_ne!(pair.0, pair.1, "discordant states must differ");
+            }
+            other => panic!("expected a state-pair witness, got {other:?}"),
+        }
     }
 
     #[test]
@@ -943,7 +1051,7 @@ mod tests {
             assert_eq!(run.report.engine, "race");
             let winner = run.report.winner.expect("conclusive race names its winner");
             assert!(
-                ["unfolding-ilp", "explicit", "symbolic"].contains(&winner),
+                ["unfolding-ilp", "explicit", "symbolic", "cegar"].contains(&winner),
                 "{winner}"
             );
         }

@@ -60,6 +60,7 @@ mod report;
 mod witness;
 
 pub use artifact::{Artifacts, PrefixArtifact};
+pub use cegar::CegarStats;
 pub use checker::{CheckOutcome, Checker, CheckerOptions, NormalcyOutcome, NormalcyReport};
 pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
 pub use engine::{CheckRequest, Engine, Property};

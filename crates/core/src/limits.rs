@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cegar::CegarStats;
 use petri::{Marking, StopGuard, StopReason};
 use symbolic::BddStats;
 
@@ -180,6 +181,12 @@ pub enum ExhaustionReason {
     StateLimit(usize),
     /// The BDD node cap was reached.
     BddNodeLimit(usize),
+    /// The selected engine cannot decide this property at all (e.g.
+    /// the CEGAR state-equation engine has no normalcy encoding). The
+    /// payload says what is missing. Deliberately an `Unknown`, not an
+    /// error: inside a composite engine another member can still be
+    /// conclusive.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for ExhaustionReason {
@@ -193,6 +200,9 @@ impl fmt::Display for ExhaustionReason {
             }
             ExhaustionReason::StateLimit(n) => write!(f, "explicit state limit of {n} reached"),
             ExhaustionReason::BddNodeLimit(n) => write!(f, "BDD node limit of {n} reached"),
+            ExhaustionReason::Unsupported(what) => {
+                write!(f, "unsupported by this engine: {what}")
+            }
         }
     }
 }
@@ -307,6 +317,9 @@ pub struct ResourceReport {
     /// verdict produced by the lint layer alone — no engine ran and
     /// no state space was explored.
     pub lint: Option<LintSummary>,
+    /// Counters of the CEGAR state-equation engine (iterations, cuts,
+    /// branch nodes, …). `None` for every other engine.
+    pub cegar: Option<CegarStats>,
 }
 
 /// Summary of a prelint pass attached to a [`ResourceReport`].
@@ -342,6 +355,7 @@ impl ResourceReport {
             bdd_nodes: None,
             bdd: None,
             lint: None,
+            cegar: None,
         }
     }
 }
@@ -416,6 +430,7 @@ mod tests {
             (ExhaustionReason::SolverStepLimit(4), "step limit"),
             (ExhaustionReason::StateLimit(5), "state limit"),
             (ExhaustionReason::BddNodeLimit(6), "node limit"),
+            (ExhaustionReason::Unsupported("normalcy"), "unsupported"),
         ] {
             assert!(reason.to_string().contains(needle), "{reason:?}");
         }

@@ -1,0 +1,426 @@
+//! Branch-and-bound integer search over the exact rational LP.
+//!
+//! [`solve_integer`] enumerates the *integer* points of an
+//! [`LpProblem`] (all variables implicitly ≥ 0) by depth-first
+//! branch-and-bound over rational LP dives: every node solves the
+//! phase-1 simplex exactly, prunes on infeasibility, and branches
+//! `x ≤ ⌊v⌋` / `x ≥ ⌈v⌉` on the first fractional coordinate of the
+//! LP witness. Integral witnesses are handed to a caller callback,
+//! which either *accepts* (the search stops and returns the point) or
+//! *rejects* it. A rejected point is excluded by splitting the node's
+//! box around it — the CEGAR "jump" constraints: for each coordinate
+//! `i`, one child fixes `x_j = v_j` for `j < i` and forces
+//! `x_i ≤ v_i − 1` or `x_i ≥ v_i + 1`, a partition of ℤⁿ ∖ {v} — and
+//! the callback may additionally return *cut rows*, constraints known
+//! to hold for every point the caller could ever accept, which are
+//! added to all subsequent LP solves.
+//!
+//! Soundness contract, mirroring the simplex underneath:
+//!
+//! * [`BbOutcome::Infeasible`] — the rational relaxation is already
+//!   empty. Certain.
+//! * [`BbOutcome::Exhausted`] — the search tree closed: every integer
+//!   point of the system (minus regions excluded by caller-supplied
+//!   cuts) was either rejected by the callback or pruned by an exact
+//!   infeasibility proof. Certain, *provided* the caller's cuts were
+//!   valid for all acceptable points.
+//! * [`BbOutcome::Accepted`] — the callback accepted a point; it is
+//!   an exact integer solution of the system.
+//! * [`BbOutcome::Abstain`] — budget, cancellation, node cap or i128
+//!   overflow. Never a claim about the system.
+//!
+//! Termination: with a cooperating callback the search over an
+//! unbounded integer region need not terminate on its own (each
+//! rejected point spawns an `x_i ≥ v_i + 1` child), so the node cap
+//! is a hard bound — hitting it abstains rather than guessing.
+
+use crate::lp::{LpOptions, LpProblem, Phase1};
+use crate::CmpOp;
+use petri::StopGuard;
+
+/// What the callback decided about an integral LP witness.
+#[derive(Debug, Clone)]
+pub enum Candidate {
+    /// Stop the search and return this point.
+    Accept,
+    /// Exclude this point (jump constraints) and keep searching. The
+    /// attached cut rows are added to every subsequent LP solve; each
+    /// must be valid for *every* point the callback could accept, or
+    /// [`BbOutcome::Exhausted`] loses its meaning.
+    Reject(Vec<CutRow>),
+}
+
+/// A constraint row `Σ coeffs + constant OP 0` contributed by the
+/// candidate callback (see [`Candidate::Reject`]).
+#[derive(Debug, Clone)]
+pub struct CutRow {
+    /// `(variable, coefficient)` terms.
+    pub coeffs: Vec<(usize, i64)>,
+    /// Comparison against 0.
+    pub op: CmpOp,
+    /// Constant added to the left-hand side.
+    pub constant: i64,
+}
+
+/// Why a branch-and-bound search abstained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbAbort {
+    /// The [`BbOptions::guard`] fired (cancellation or deadline), or
+    /// the per-solve [`LpOptions`] deadline/cancel flag stopped a
+    /// dive.
+    Stopped,
+    /// The node cap [`BbOptions::max_nodes`] was reached.
+    NodeLimit,
+    /// Exact arithmetic overflowed i128 (or a value left the i64
+    /// branching range), so no sound claim is possible.
+    Arithmetic,
+}
+
+/// Result of [`solve_integer`].
+#[derive(Debug, Clone)]
+pub enum BbOutcome {
+    /// The rational relaxation at the root is infeasible — there is
+    /// no solution at all, integer or not.
+    Infeasible,
+    /// The search tree closed without an accepted point: no integer
+    /// solution exists beyond the explicitly rejected ones.
+    Exhausted,
+    /// The callback accepted this integer point.
+    Accepted(Vec<i64>),
+    /// No claim: a budget, cap or arithmetic limit was hit.
+    Abstain(BbAbort),
+}
+
+/// Tunables for [`solve_integer`].
+#[derive(Debug, Clone)]
+pub struct BbOptions {
+    /// Options for every per-node LP solve (pivot cap, deadline,
+    /// cancellation flag).
+    pub lp: LpOptions,
+    /// Hard cap on explored nodes; reaching it abstains.
+    pub max_nodes: u64,
+    /// Stop condition polled at every node head. Unlike
+    /// [`LpOptions::cancel`] this also covers secondary flags (a race
+    /// supervisor's loser sweep), at node rather than pivot
+    /// granularity.
+    pub guard: StopGuard,
+}
+
+impl Default for BbOptions {
+    fn default() -> Self {
+        BbOptions {
+            lp: LpOptions::default(),
+            max_nodes: 20_000,
+            guard: StopGuard::unlimited(),
+        }
+    }
+}
+
+/// Search counters, accumulated across calls so a caller looping over
+/// many systems can report totals.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BbStats {
+    /// Branch-and-bound nodes expanded.
+    pub nodes: u64,
+    /// Phase-1 LP solves performed.
+    pub lp_solves: u64,
+    /// Integral points offered to the callback.
+    pub candidates: u64,
+}
+
+/// One bound `x_var OP value` accumulated along a branch.
+type Bound = (usize, CmpOp, i64);
+
+struct Node {
+    bounds: Vec<Bound>,
+}
+
+/// Enumerates integer solutions of `problem`, consulting
+/// `on_candidate` for each integral point found. See the module docs
+/// for the outcome contract.
+pub fn solve_integer(
+    problem: &LpProblem,
+    opts: &BbOptions,
+    stats: &mut BbStats,
+    mut on_candidate: impl FnMut(&[i64]) -> Candidate,
+) -> BbOutcome {
+    let n = problem.vars();
+    let mut cuts: Vec<CutRow> = Vec::new();
+    let mut stack = vec![Node { bounds: Vec::new() }];
+    let mut at_root = true;
+    while let Some(node) = stack.pop() {
+        if opts.guard.poll_now().is_err() {
+            return BbOutcome::Abstain(BbAbort::Stopped);
+        }
+        stats.nodes += 1;
+        if stats.nodes > opts.max_nodes {
+            return BbOutcome::Abstain(BbAbort::NodeLimit);
+        }
+        let mut lp = problem.clone();
+        for cut in &cuts {
+            lp.add(&cut.coeffs, cut.op, cut.constant);
+        }
+        for &(v, op, b) in &node.bounds {
+            // `x_v OP b` in the solver's `Σ + c OP 0` convention.
+            let Some(c) = b.checked_neg() else {
+                return BbOutcome::Abstain(BbAbort::Arithmetic);
+            };
+            lp.add(&[(v, 1)], op, c);
+        }
+        stats.lp_solves += 1;
+        let solved = match lp.solve_phase1(&opts.lp) {
+            None => {
+                return BbOutcome::Abstain(if opts.lp.stopped() {
+                    BbAbort::Stopped
+                } else {
+                    BbAbort::Arithmetic
+                });
+            }
+            Some(Phase1::Infeasible) => {
+                if at_root {
+                    return BbOutcome::Infeasible;
+                }
+                at_root = false;
+                continue;
+            }
+            Some(Phase1::Feasible(sol)) => sol,
+        };
+        at_root = false;
+        if let Some((j, &val)) = solved.iter().enumerate().find(|(_, r)| !r.is_integer()) {
+            // Fractional coordinate: classic dichotomy. The ≤ child is
+            // pushed last so depth-first search dives toward small
+            // firing counts first.
+            let floor = val.floor_int();
+            let Ok(floor) = i64::try_from(floor) else {
+                return BbOutcome::Abstain(BbAbort::Arithmetic);
+            };
+            let Some(ceil) = floor.checked_add(1) else {
+                return BbOutcome::Abstain(BbAbort::Arithmetic);
+            };
+            let mut up = node.bounds.clone();
+            up.push((j, CmpOp::Ge, ceil));
+            stack.push(Node { bounds: up });
+            let mut down = node.bounds;
+            down.push((j, CmpOp::Le, floor));
+            stack.push(Node { bounds: down });
+            continue;
+        }
+        // Integral witness.
+        let mut point = Vec::with_capacity(n);
+        for &r in &solved {
+            let Some(v) = r.to_integer().and_then(|v| i64::try_from(v).ok()) else {
+                return BbOutcome::Abstain(BbAbort::Arithmetic);
+            };
+            point.push(v);
+        }
+        stats.candidates += 1;
+        match on_candidate(&point) {
+            Candidate::Accept => return BbOutcome::Accepted(point),
+            Candidate::Reject(new_cuts) => {
+                cuts.extend(new_cuts);
+                // Jump constraints: split the node's box around the
+                // rejected point. Child `i` keeps coordinates < i
+                // pinned to the point and moves coordinate `i` off it;
+                // together the children partition (box ∖ {point}).
+                for i in 0..n {
+                    let mut base = node.bounds.clone();
+                    for (j, &vj) in point.iter().enumerate().take(i) {
+                        base.push((j, CmpOp::Eq, vj));
+                    }
+                    if point[i] > 0 {
+                        let mut lo = base.clone();
+                        lo.push((i, CmpOp::Le, point[i] - 1));
+                        stack.push(Node { bounds: lo });
+                    }
+                    let Some(above) = point[i].checked_add(1) else {
+                        return BbOutcome::Abstain(BbAbort::Arithmetic);
+                    };
+                    base.push((i, CmpOp::Ge, above));
+                    stack.push(Node { bounds: base });
+                }
+            }
+        }
+    }
+    BbOutcome::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn accept_all(_: &[i64]) -> Candidate {
+        Candidate::Accept
+    }
+
+    fn reject_all(_: &[i64]) -> Candidate {
+        Candidate::Reject(Vec::new())
+    }
+
+    #[test]
+    fn infeasible_at_root_is_reported_as_infeasible() {
+        // x0 ≥ 2 ∧ x0 ≤ 1.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Ge, -2);
+        p.add(&[(0, 1)], CmpOp::Le, -1);
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, accept_all);
+        assert!(matches!(out, BbOutcome::Infeasible));
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn fractional_relaxation_branches_to_an_integer_point() {
+        // 2·x0 = 4 has the unique solution x0 = 2; 3·x0 + 2·x1 ≥ 7
+        // then forces x1 ≥ 1/2, so the integral witness needs a
+        // branch.
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 2)], CmpOp::Eq, -4);
+        p.add(&[(0, 3), (1, 2)], CmpOp::Ge, -7);
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, accept_all);
+        let BbOutcome::Accepted(point) = out else {
+            panic!("expected an accepted point, got {out:?}");
+        };
+        assert_eq!(point[0], 2);
+        assert!(3 * point[0] + 2 * point[1] >= 7);
+    }
+
+    #[test]
+    fn integer_infeasible_but_lp_feasible_exhausts() {
+        // 2·x0 = 1: rationally feasible (x0 = ½), integrally empty.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 2)], CmpOp::Eq, -1);
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, accept_all);
+        assert!(matches!(out, BbOutcome::Exhausted));
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn rejection_enumerates_the_whole_finite_box() {
+        // x0 + x1 ≤ 2: six integer points. Rejecting all of them must
+        // close the tree (Exhausted) after exactly six candidates —
+        // the jump split is a partition, no point is offered twice.
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Le, -2);
+        let mut seen = Vec::new();
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, |pt| {
+            seen.push((pt[0], pt[1]));
+            Candidate::Reject(Vec::new())
+        });
+        assert!(matches!(out, BbOutcome::Exhausted));
+        seen.sort_unstable();
+        let dedup: std::collections::BTreeSet<_> = seen.iter().copied().collect();
+        assert_eq!(seen.len(), dedup.len(), "no candidate is offered twice");
+        assert_eq!(seen.len(), 6, "all 6 points of the simplex enumerated");
+    }
+
+    #[test]
+    fn unbounded_relaxation_with_rejections_abstains_at_the_node_cap() {
+        // x0 ≥ 1 is an unbounded integer ray; rejecting every point
+        // walks it forever, so the node cap must stop the search with
+        // a sound Abstain (never Exhausted).
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Ge, -1);
+        let mut stats = BbStats::default();
+        let opts = BbOptions {
+            max_nodes: 64,
+            ..Default::default()
+        };
+        let out = solve_integer(&p, &opts, &mut stats, reject_all);
+        assert!(matches!(out, BbOutcome::Abstain(BbAbort::NodeLimit)));
+        assert!(stats.candidates >= 2, "the ray was actually walked");
+    }
+
+    #[test]
+    fn i128_overflow_in_a_dive_abstains() {
+        // Large mutually-prime coefficients force reduced fractions
+        // whose cross-multiplications exceed i128 during elimination;
+        // the solver must abstain, never panic or misreport.
+        let primes: [i64; 6] = [
+            2_147_483_647,
+            2_147_483_629,
+            2_147_483_587,
+            2_147_483_579,
+            2_147_483_563,
+            2_147_483_549,
+        ];
+        let mut p = LpProblem::new(primes.len());
+        for (i, &q) in primes.iter().enumerate() {
+            p.add(&[(i, q)], CmpOp::Eq, -1);
+        }
+        let all: Vec<(usize, i64)> = (0..primes.len()).map(|i| (i, 1)).collect();
+        p.add(&all, CmpOp::Ge, -1);
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, accept_all);
+        assert!(
+            matches!(out, BbOutcome::Abstain(BbAbort::Arithmetic)),
+            "expected an arithmetic abstain, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn cancellation_mid_branch_abstains() {
+        // The callback raises the cancel flag on the first candidate;
+        // the very next node head must notice and abstain.
+        let mut p = LpProblem::new(2);
+        p.add(&[(0, 1), (1, 1)], CmpOp::Le, -5);
+        let flag = Arc::new(AtomicBool::new(false));
+        let opts = BbOptions {
+            guard: StopGuard::new(Some(flag.clone()), None),
+            ..Default::default()
+        };
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &opts, &mut stats, |_| {
+            flag.store(true, Ordering::Relaxed);
+            Candidate::Reject(Vec::new())
+        });
+        assert!(matches!(out, BbOutcome::Abstain(BbAbort::Stopped)));
+        assert_eq!(stats.candidates, 1, "exactly one candidate before the stop");
+    }
+
+    #[test]
+    fn pre_cancelled_guard_stops_before_any_lp_solve() {
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Ge, -1);
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = BbOptions {
+            guard: StopGuard::new(Some(flag), None),
+            ..Default::default()
+        };
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &opts, &mut stats, accept_all);
+        assert!(matches!(out, BbOutcome::Abstain(BbAbort::Stopped)));
+        assert_eq!(stats.lp_solves, 0);
+    }
+
+    #[test]
+    fn reject_cuts_prune_future_candidates() {
+        // Box 0 ≤ x0 ≤ 5. Reject x0 = 0 with the cut x0 ≥ 3: the
+        // remaining candidates must all satisfy it.
+        let mut p = LpProblem::new(1);
+        p.add(&[(0, 1)], CmpOp::Le, -5);
+        let mut seen = Vec::new();
+        let mut stats = BbStats::default();
+        let out = solve_integer(&p, &BbOptions::default(), &mut stats, |pt| {
+            seen.push(pt[0]);
+            if seen.len() == 1 {
+                Candidate::Reject(vec![CutRow {
+                    coeffs: vec![(0, 1)],
+                    op: CmpOp::Ge,
+                    constant: -3,
+                }])
+            } else {
+                Candidate::Reject(Vec::new())
+            }
+        });
+        assert!(matches!(out, BbOutcome::Exhausted));
+        assert!(
+            seen[1..].iter().all(|&v| v >= 3),
+            "cut not honoured: {seen:?}"
+        );
+    }
+}

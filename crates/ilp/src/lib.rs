@@ -52,12 +52,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bb;
 mod constraint;
 mod expr;
 pub mod lp;
 mod problem;
 mod solver;
 
+pub use bb::{solve_integer, BbAbort, BbOptions, BbOutcome, BbStats, Candidate, CutRow};
 pub use constraint::{CmpOp, Constraint};
 pub use expr::{LinExpr, Var};
 pub use lp::{LpFeasibility, LpOptions, LpProblem};

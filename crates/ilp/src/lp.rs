@@ -137,20 +137,24 @@ impl LpProblem {
     /// arithmetic or pivot budget ran out.
     pub fn feasibility(&self, options: &LpOptions) -> LpFeasibility {
         match self.solve_phase1(options) {
-            Some(outcome) => outcome,
+            Some(Phase1::Feasible(_)) => LpFeasibility::Feasible,
+            Some(Phase1::Infeasible) => LpFeasibility::Infeasible,
             None => LpFeasibility::Abstain,
         }
     }
 
-    /// Phase-1 simplex; `None` signals arithmetic overflow.
-    fn solve_phase1(&self, options: &LpOptions) -> Option<LpFeasibility> {
+    /// Phase-1 simplex; `None` signals arithmetic overflow or an
+    /// exhausted pivot/deadline budget. A `Feasible` outcome carries
+    /// the basic solution found for the structural variables, which
+    /// the branch-and-bound layer uses to pick branching variables.
+    pub(crate) fn solve_phase1(&self, options: &LpOptions) -> Option<Phase1> {
         let n = self.vars;
         // Standard form: Σ a x  {≤,=,≥}  b  with b = -constant, then
         // flip rows so b ≥ 0, add slack/surplus columns, and give
         // every row without a usable slack an artificial variable.
         let m = self.rows.len();
         if m == 0 {
-            return Some(LpFeasibility::Feasible);
+            return Some(Phase1::Feasible(vec![Rat::ZERO; n]));
         }
         // Column layout: [structural 0..n | slack/surplus | artificial], rhs kept apart.
         let mut slack_cols = 0usize;
@@ -257,11 +261,19 @@ impl LpProblem {
             }
             let Some(enter) = enter else {
                 // Optimal. Feasible iff the artificial sum is zero.
-                return Some(if w.is_zero() {
-                    LpFeasibility::Feasible
-                } else {
-                    LpFeasibility::Infeasible
-                });
+                if !w.is_zero() {
+                    return Some(Phase1::Infeasible);
+                }
+                // Read the structural solution off the basis: basic
+                // variable `basis[i]` sits at value `rhs[i]`, every
+                // non-basic variable at 0.
+                let mut sol = vec![Rat::ZERO; n];
+                for (i, &b) in basis.iter().enumerate() {
+                    if b < n {
+                        sol[b] = rhs[i];
+                    }
+                }
+                return Some(Phase1::Feasible(sol));
             };
             // Ratio test; Bland tie-break on the smallest basic index.
             let mut leave: Option<(usize, Rat)> = None;
@@ -325,6 +337,16 @@ impl LpProblem {
     }
 }
 
+/// Outcome of a phase-1 solve that also carries the witness point.
+#[derive(Debug, Clone)]
+pub(crate) enum Phase1 {
+    /// The system is feasible; the vector holds one rational solution
+    /// for the structural variables (length = [`LpProblem::vars`]).
+    Feasible(Vec<Rat>),
+    /// No rational solution exists.
+    Infeasible,
+}
+
 fn flip(op: CmpOp) -> CmpOp {
     match op {
         CmpOp::Le => CmpOp::Ge,
@@ -337,14 +359,31 @@ fn flip(op: CmpOp) -> CmpOp {
 /// always positive and the fraction is kept reduced; any overflow
 /// propagates as `None` to the solver, which abstains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Rat {
+pub(crate) struct Rat {
     num: i128,
     den: i128,
 }
 
 impl Rat {
-    const ZERO: Rat = Rat { num: 0, den: 1 };
+    pub(crate) const ZERO: Rat = Rat { num: 0, den: 1 };
     const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// True when the value is an integer (denominator 1; fractions
+    /// are kept reduced, so this is exact).
+    pub(crate) fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The integer value, when [`Rat::is_integer`] holds.
+    pub(crate) fn to_integer(self) -> Option<i128> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// Largest integer ≤ the value. Cannot overflow: the denominator
+    /// is positive, so |⌊·⌋| ≤ |num|.
+    pub(crate) fn floor_int(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
 
     fn int(n: i128) -> Rat {
         Rat { num: n, den: 1 }

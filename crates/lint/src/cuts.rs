@@ -1,0 +1,152 @@
+//! Siphon/trap analysis promoted from warning generator to
+//! *constraint* generator.
+//!
+//! PR 5 used the maximal unmarked siphon only to emit the `W003`
+//! warning. The same facts are linear constraints on the marking
+//! equation `M = M0 + I·x`, valid for every *reachable* marking and
+//! therefore sound to add to the USC/CSC integer programs the `cegar`
+//! engine solves:
+//!
+//! * an initially token-free siphon stays token-free, so every
+//!   transition consuming from it is dead: `x(t) = 0`;
+//! * an initially marked trap stays marked: `Σ_{p∈Q} M(p) ≥ 1`;
+//! * a candidate solution whose *final* marking empties an initially
+//!   marked trap is unreachable — [`blocking_trap`] finds such a trap
+//!   and the resulting constraint both refutes the candidate and
+//!   holds for every reachable marking (the classical trap
+//!   strengthening of the state equation).
+//!
+//! Everything here is a pure erosion fixpoint over the net structure
+//! ([`petri::siphons`]); no state-space exploration.
+
+use petri::siphons::{maximal_siphon_within, maximal_trap_within, unmarked_places};
+use petri::{Marking, Net, PlaceId, TransitionId};
+
+/// Structurally derived facts that hold at every reachable marking,
+/// phrased so callers can turn them into linear constraints.
+#[derive(Debug, Clone, Default)]
+pub struct CutBasis {
+    /// The maximal siphon among the initially token-free places. It
+    /// can never acquire a token; `W003` reports it, `cegar` turns it
+    /// into `x(t) = 0` rows.
+    pub unmarked_siphon: Vec<PlaceId>,
+    /// Transitions consuming from [`CutBasis::unmarked_siphon`]:
+    /// structurally dead, so `x(t) = 0` in every realisable firing
+    /// count vector.
+    pub dead_consumers: Vec<TransitionId>,
+    /// An initially marked trap (the maximal trap of the net, when it
+    /// is marked at `M0`): `Σ_{p∈Q} M(p) ≥ 1` at every reachable
+    /// marking. Empty when the maximal trap is unmarked or the net
+    /// has none.
+    pub marked_trap: Vec<PlaceId>,
+}
+
+/// Computes the reusable cut basis for a net: one maximal unmarked
+/// siphon (with its dead consumers) and one initially marked trap.
+pub fn cut_basis(net: &Net, m0: &Marking) -> CutBasis {
+    let empty = unmarked_places(net, m0);
+    let unmarked_siphon = maximal_siphon_within(net, &empty);
+    let mut in_siphon = vec![false; net.num_places()];
+    for &p in &unmarked_siphon {
+        in_siphon[p.index()] = true;
+    }
+    let mut dead_consumers: Vec<TransitionId> = net
+        .transitions()
+        .filter(|&t| net.preset(t).iter().any(|&p| in_siphon[p.index()]))
+        .collect();
+    dead_consumers.sort_unstable();
+    let all: Vec<PlaceId> = net.places().collect();
+    let trap = maximal_trap_within(net, &all);
+    let marked_trap = if trap.iter().any(|&p| m0.tokens(p) > 0) {
+        trap
+    } else {
+        Vec::new()
+    };
+    CutBasis {
+        unmarked_siphon,
+        dead_consumers,
+        marked_trap,
+    }
+}
+
+/// Finds an initially marked trap that is *empty* at `m`, proving `m`
+/// unreachable: a trap marked at `M0` is marked at every reachable
+/// marking. Returns the trap so the caller can add the globally valid
+/// row `Σ_{p∈Q} (M0 + I·x)(p) ≥ 1`, which the candidate that produced
+/// `m` violates. `None` when no such trap exists (the erosion fixpoint
+/// inside the places `m` leaves empty finds nothing marked at `M0`).
+pub fn blocking_trap(net: &Net, m0: &Marking, m: &Marking) -> Option<Vec<PlaceId>> {
+    let zeros: Vec<PlaceId> = net.places().filter(|&p| m.tokens(p) == 0).collect();
+    let trap = maximal_trap_within(net, &zeros);
+    if !trap.is_empty() && trap.iter().any(|&p| m0.tokens(p) > 0) {
+        Some(trap)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use petri::NetBuilder;
+
+    /// p0 -> t0 -> p1 -> t1 -> p0 with a token on p0, plus an isolated
+    /// unmarked cycle q0 -> u0 -> q1 -> u1 -> q0.
+    fn two_cycles() -> (Net, Marking) {
+        let mut b = NetBuilder::new();
+        let p0 = b.add_place("p0");
+        let p1 = b.add_place("p1");
+        let q0 = b.add_place("q0");
+        let q1 = b.add_place("q1");
+        let t0 = b.add_transition("t0");
+        let t1 = b.add_transition("t1");
+        let u0 = b.add_transition("u0");
+        let u1 = b.add_transition("u1");
+        b.arc_pt(p0, t0).unwrap();
+        b.arc_tp(t0, p1).unwrap();
+        b.arc_pt(p1, t1).unwrap();
+        b.arc_tp(t1, p0).unwrap();
+        b.arc_pt(q0, u0).unwrap();
+        b.arc_tp(u0, q1).unwrap();
+        b.arc_pt(q1, u1).unwrap();
+        b.arc_tp(u1, q0).unwrap();
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(4, &[(p0, 1)]);
+        (net, m0)
+    }
+
+    #[test]
+    fn basis_finds_the_dead_cycle_and_the_marked_trap() {
+        let (net, m0) = two_cycles();
+        let basis = cut_basis(&net, &m0);
+        let names: Vec<&str> = basis
+            .unmarked_siphon
+            .iter()
+            .map(|&p| net.place_name(p))
+            .collect();
+        assert_eq!(names, vec!["q0", "q1"]);
+        let dead: Vec<&str> = basis
+            .dead_consumers
+            .iter()
+            .map(|&t| net.transition_name(t))
+            .collect();
+        assert_eq!(dead, vec!["u0", "u1"]);
+        // The maximal trap is all four places, and it is marked.
+        assert_eq!(basis.marked_trap.len(), 4);
+    }
+
+    #[test]
+    fn blocking_trap_refutes_an_emptied_cycle() {
+        let (net, m0) = two_cycles();
+        // A (fictitious) marking with the p-cycle drained: the cycle
+        // is a trap marked at M0, so the marking is unreachable.
+        let drained = Marking::empty(4);
+        let trap = blocking_trap(&net, &m0, &drained).expect("trap found");
+        assert!(trap.len() >= 2, "{trap:?}");
+        // The genuine successor marking (token on p1) empties no
+        // marked trap.
+        let t0 = net.transitions().next().unwrap();
+        let m1 = net.fire(&m0, t0).unwrap();
+        assert!(blocking_trap(&net, &m0, &m1).is_none());
+    }
+}

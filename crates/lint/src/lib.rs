@@ -41,13 +41,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cuts;
 mod diag;
 mod relax;
 mod structural;
 
+pub use cuts::{blocking_trap, cut_basis, CutBasis};
 pub use diag::{classify_parse_error, Code, Diagnostic, Severity, Span};
 pub use ilp::{LpFeasibility, LpOptions};
-pub use relax::Proofs;
+pub use relax::{prove as relaxation_proofs, Proofs};
 
 use stg::Stg;
 
@@ -234,15 +236,58 @@ pub struct LintOutcome {
     pub report: LintReport,
 }
 
+/// Finds the first occurrence of `name` as a whitespace-delimited
+/// token in the source and returns its 1-based position. Braces count
+/// as delimiters so `.marking {p}` still matches `p`.
+fn locate_token(bytes: &[u8], name: &str) -> Option<Span> {
+    let needle = name.as_bytes();
+    for (i, line) in bytes.split(|&b| b == b'\n').enumerate() {
+        let mut col = 0usize;
+        for tok in line.split(|&b| b.is_ascii_whitespace() || b == b'{' || b == b'}') {
+            if tok == needle {
+                return Some(Span {
+                    line: i + 1,
+                    col: col + 1,
+                });
+            }
+            col += tok.len() + 1;
+        }
+    }
+    None
+}
+
+/// Resolves a source span for a diagnostic's object name. Implicit
+/// places (`<a+,b+>`) rarely appear verbatim outside `.marking`
+/// lines, so they fall back to the first mention of their source
+/// transition on a graph line.
+fn locate_object(bytes: &[u8], name: &str) -> Option<Span> {
+    if let Some(span) = locate_token(bytes, name) {
+        return Some(span);
+    }
+    let inner = name.strip_prefix('<')?.strip_suffix('>')?;
+    let (from, _) = inner.split_once(',')?;
+    locate_token(bytes, from)
+}
+
 /// Lints raw `.g` bytes end to end: parse (classifying any failure
 /// into a coded, spanned diagnostic), then run every net-level
-/// analysis on success.
+/// analysis on success. Net-level diagnostics that name an object but
+/// carry no span (the analyses run on the built STG, which has no
+/// positions) get one attached here by locating the object's first
+/// occurrence in the source, so JSON consumers can jump to it.
 pub fn lint_bytes(bytes: &[u8], options: &LintOptions) -> LintOutcome {
     let total_lines = bytes.iter().filter(|&&b| b == b'\n').count()
         + usize::from(!bytes.is_empty() && bytes.last() != Some(&b'\n'));
     match stg::parse_bytes(bytes) {
         Ok(stg) => {
-            let report = lint_stg(&stg, options);
+            let mut report = lint_stg(&stg, options);
+            for d in &mut report.diagnostics {
+                if d.span.is_none() {
+                    if let Some(obj) = d.object.clone() {
+                        d.span = locate_object(bytes, &obj);
+                    }
+                }
+            }
             LintOutcome {
                 stg: Some(stg),
                 report,

@@ -3,9 +3,9 @@
 //! Everything here is a pure graph or fixpoint computation on the
 //! underlying Petri net — no state enumeration, no unfolding.
 
-use petri::siphons::{maximal_siphon_within, unmarked_places};
 use stg::{Label, SignalKind, Stg};
 
+use crate::cuts::cut_basis;
 use crate::diag::{Code, Diagnostic};
 
 /// Runs every structural check, appending findings to `out`.
@@ -141,11 +141,14 @@ fn dead_transitions(stg: &Stg, out: &mut Vec<Diagnostic>) {
 
 /// `W003`: the maximal siphon inside the initially-unmarked places.
 /// A siphon that starts empty stays empty forever, so every
-/// transition it feeds is dead and the net risks deadlock.
+/// transition it feeds is dead and the net risks deadlock. The same
+/// analysis doubles as a constraint generator for the CEGAR engine
+/// (see [`crate::cuts`]); here it only warns. The diagnostic carries
+/// the first member place as its object so the renderer can attach a
+/// source span.
 fn unmarked_siphons(stg: &Stg, out: &mut Vec<Diagnostic>) {
     let net = stg.net();
-    let empty = unmarked_places(net, stg.initial_marking());
-    let siphon = maximal_siphon_within(net, &empty);
+    let siphon = cut_basis(net, stg.initial_marking()).unmarked_siphon;
     if siphon.is_empty() {
         return;
     }
@@ -153,14 +156,17 @@ fn unmarked_siphons(stg: &Stg, out: &mut Vec<Diagnostic>) {
     names.sort_unstable();
     let shown = names.iter().take(4).cloned().collect::<Vec<_>>().join(", ");
     let suffix = if names.len() > 4 { ", …" } else { "" };
-    out.push(Diagnostic::new(
-        Code::UnmarkedSiphon,
-        format!(
-            "{} initially token-free place(s) form a siphon ({shown}{suffix}); \
-             they can never be marked and their output transitions are dead",
-            siphon.len()
-        ),
-    ));
+    out.push(
+        Diagnostic::new(
+            Code::UnmarkedSiphon,
+            format!(
+                "{} initially token-free place(s) form a siphon ({shown}{suffix}); \
+                 they can never be marked and their output transitions are dead",
+                siphon.len()
+            ),
+        )
+        .with_object(names[0]),
+    );
 }
 
 #[cfg(test)]

@@ -102,6 +102,7 @@ pub fn engine_from_str(name: &str) -> Option<Engine> {
         "symbolic" => Some(Engine::SymbolicBdd),
         "portfolio" => Some(Engine::Portfolio),
         "race" => Some(Engine::Race),
+        "cegar" => Some(Engine::Cegar),
         _ => None,
     }
 }
@@ -175,7 +176,7 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
                     Some(engine_from_str(name).ok_or_else(|| {
                         fail(format!(
                             "check: unknown engine `{name}` \
-                             (unfolding|explicit|symbolic|portfolio|race)"
+                             (unfolding|explicit|symbolic|portfolio|race|cegar)"
                         ))
                     })?)
                 }
@@ -270,7 +271,11 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
 /// for jobs whose worker panicked (safe to resubmit — jobs are
 /// idempotent), and the `overload`/`supervisor` blocks in `stats`;
 /// older clients that ignore unknown members keep working unchanged.
-pub const PROTO_VERSION: u64 = 4;
+/// Revision 5 added the `cegar` engine (state-equation CEGAR, no
+/// prefix and no BDDs), its optional `report.cegar` counter block
+/// (iterations, cuts, branch nodes, …), and the `unsupported` reason
+/// code for property/engine combinations an engine cannot decide.
+pub const PROTO_VERSION: u64 = 5;
 
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
@@ -397,6 +402,7 @@ pub fn reason_code(reason: &ExhaustionReason) -> &'static str {
         ExhaustionReason::SolverStepLimit(_) => "solver-step-limit",
         ExhaustionReason::StateLimit(_) => "state-limit",
         ExhaustionReason::BddNodeLimit(_) => "bdd-node-limit",
+        ExhaustionReason::Unsupported(_) => "unsupported",
     }
 }
 
@@ -430,6 +436,27 @@ fn encode_report(report: &ResourceReport) -> Value {
                     (
                         "all_consistent".to_owned(),
                         Value::from(summary.all_consistent),
+                    ),
+                ]),
+            },
+        ),
+        (
+            "cegar".to_owned(),
+            match &report.cegar {
+                None => Value::Null,
+                Some(stats) => Value::Obj(vec![
+                    ("iterations".to_owned(), Value::from(stats.iterations)),
+                    ("cuts".to_owned(), Value::from(stats.cuts)),
+                    ("branch_nodes".to_owned(), Value::from(stats.branch_nodes)),
+                    ("lp_solves".to_owned(), Value::from(stats.lp_solves)),
+                    ("targets".to_owned(), Value::from(stats.targets)),
+                    (
+                        "targets_closed".to_owned(),
+                        Value::from(stats.targets_closed),
+                    ),
+                    (
+                        "reduced_places".to_owned(),
+                        Value::from(stats.reduced_places),
                     ),
                 ]),
             },
@@ -618,6 +645,56 @@ mod tests {
         assert!(bdd.get("reorder_passes").and_then(Value::as_u64).is_some());
         let order = bdd.get("order").expect("final variable order present");
         assert!(matches!(order, Value::Arr(vars) if !vars.is_empty()));
+    }
+
+    #[test]
+    fn cegar_responses_carry_the_revision_5_counter_block() {
+        let stg = vme_read();
+        let run = csc_core::CheckRequest::new(&stg, Property::Usc)
+            .engine(Engine::Cegar)
+            .run()
+            .unwrap();
+        let line = encode_check_response("j10", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("engine").and_then(Value::as_str), Some("cegar"));
+        // vme_read has a real USC conflict: the engine refutes with a
+        // concrete state pair and no prefix or BDD work at all.
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("violated"));
+        let witness = v.get("witness").expect("witness present");
+        assert_eq!(witness.get("kind").and_then(Value::as_str), Some("states"));
+        let report = v.get("report").expect("report present");
+        assert_eq!(
+            report.get("prefix_events_built").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert!(report.get("bdd_nodes").is_some_and(Value::is_null));
+        let cegar = report.get("cegar").expect("cegar block present");
+        assert!(cegar
+            .get("iterations")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
+        assert!(cegar.get("cuts").and_then(Value::as_u64).is_some());
+        assert!(cegar
+            .get("branch_nodes")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
+        assert!(cegar
+            .get("targets")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
+    }
+
+    #[test]
+    fn cegar_reports_normalcy_as_unsupported() {
+        let stg = vme_read();
+        let run = csc_core::CheckRequest::new(&stg, Property::Normalcy)
+            .engine(Engine::Cegar)
+            .run()
+            .unwrap();
+        let line = encode_check_response("j11", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("unknown"));
+        assert_eq!(v.get("reason").and_then(Value::as_str), Some("unsupported"));
     }
 
     #[test]

@@ -137,9 +137,9 @@ struct Stats {
     /// Jobs answered by the lint LP proof alone — no engine ran.
     lint_proved: u64,
     /// Race outcomes keyed like [`RACER_NAMES`].
-    race_wins: [u64; 3],
+    race_wins: [u64; 4],
     /// Races some *other* engine won while this one was retired.
-    race_cancelled: [u64; 3],
+    race_cancelled: [u64; 4],
     race_inconclusive: u64,
     latency_total_ms: f64,
     latency_max_ms: f64,
@@ -166,7 +166,7 @@ struct Stats {
 }
 
 /// Engine-name order of the per-racer stats arrays.
-const RACER_NAMES: [&str; 3] = ["unfolding-ilp", "explicit", "symbolic"];
+const RACER_NAMES: [&str; 4] = ["unfolding-ilp", "explicit", "symbolic", "cegar"];
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
 ///
@@ -447,7 +447,7 @@ impl Shared {
         } else {
             0.0
         };
-        let per_racer = |values: [u64; 3]| {
+        let per_racer = |values: [u64; 4]| {
             Value::Obj(
                 RACER_NAMES
                     .iter()

@@ -70,7 +70,7 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|dot|gen> ... \
-     [--engine unfolding|explicit|symbolic|portfolio|race] [--timeout-ms N] [--max-events N] \
+     [--engine unfolding|explicit|symbolic|cegar|portfolio|race] [--timeout-ms N] [--max-events N] \
      [--server HOST:PORT] [--format human|json] [--no-lp]"
         .to_owned()
 }
@@ -162,7 +162,7 @@ fn engine_flag(flags: &[String]) -> Result<Option<Engine>, String> {
             .map(Some)
             .ok_or_else(|| {
                 format!(
-                    "bad --engine {} (unfolding|explicit|symbolic|portfolio|race)",
+                    "bad --engine {} (unfolding|explicit|symbolic|cegar|portfolio|race)",
                     flags.get(i + 1).map_or("<missing>", String::as_str)
                 )
             }),
@@ -313,6 +313,19 @@ fn print_bdd_stats(report: &ResourceReport) {
         println!(
             "  bdd: {} peak live nodes ({} live at end), {} gc run(s), {} reorder pass(es)",
             stats.peak_live_nodes, stats.live_nodes, stats.gc_runs, stats.reorder_passes
+        );
+    }
+    if let Some(stats) = &report.cegar {
+        println!(
+            "  cegar: {} refinement(s), {} cut(s), {} branch node(s) over {} LP solve(s), \
+             {}/{} target(s) closed, {} place(s) reduced away",
+            stats.iterations,
+            stats.cuts,
+            stats.branch_nodes,
+            stats.lp_solves,
+            stats.targets_closed,
+            stats.targets,
+            stats.reduced_places
         );
     }
 }

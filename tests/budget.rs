@@ -11,10 +11,11 @@ use stg_coding_conflicts::csc_core::{
 };
 use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
 
-const ALL_ENGINES: [Engine; 5] = [
+const ALL_ENGINES: [Engine; 6] = [
     Engine::UnfoldingIlp,
     Engine::ExplicitStateGraph,
     Engine::SymbolicBdd,
+    Engine::Cegar,
     Engine::Portfolio,
     Engine::Race,
 ];
@@ -157,6 +158,59 @@ fn portfolio_matches_expected_csc_on_table1_roster() {
             Some(model.expect_csc),
             "{}: {:?}",
             model.name,
+            run.verdict
+        );
+    }
+}
+
+/// The CEGAR engine under a deadline that lands mid-loop: the
+/// outermost LP relaxation, the branch-and-bound layer and the
+/// token-game replay all poll the same guard, so the run must come
+/// back inconclusive (never a wrong verdict) within ~2× the
+/// allowance.
+#[test]
+fn cegar_respects_deadline_on_adversarial_input() {
+    let stg = counterflow_sym(4, 4);
+    let deadline = Duration::from_millis(100);
+    let budget = Budget::unlimited().with_deadline(deadline);
+    let start = Instant::now();
+    let run = CheckRequest::new(&stg, Property::Csc)
+        .engine(Engine::Cegar)
+        .budget(budget)
+        .run()
+        .unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(
+        run.verdict,
+        Verdict::Unknown(ExhaustionReason::DeadlineExpired)
+    );
+    assert!(
+        elapsed < deadline * 2 + Duration::from_millis(100),
+        "{elapsed:?}"
+    );
+    assert_eq!(run.report.engine, "cegar");
+    assert_eq!(run.report.prefix_events_built, Some(0));
+}
+
+/// A zero branch-node allowance starves every CEGAR target on a
+/// conflicted model the LP relaxation cannot prove: the verdict must
+/// degrade to `Unknown(SolverStepLimit)` — not to a wrong `Holds`.
+#[test]
+fn cegar_with_zero_branch_nodes_abstains() {
+    let stg = stg_coding_conflicts::stg::gen::vme::vme_read();
+    let budget = Budget::unlimited().with_max_solver_steps(0);
+    for property in [Property::Usc, Property::Csc] {
+        let run = CheckRequest::new(&stg, property)
+            .engine(Engine::Cegar)
+            .budget(budget.clone())
+            .run()
+            .unwrap();
+        assert!(
+            matches!(
+                run.verdict,
+                Verdict::Unknown(ExhaustionReason::SolverStepLimit(_))
+            ),
+            "{property:?}: {:?}",
             run.verdict
         );
     }

@@ -1,6 +1,6 @@
 //! Concurrent-cancellation stress: a `CancelToken` flipped mid-check
 //! must stop every engine — including the racing portfolio, whose
-//! three racers each derive their own guard from the same token —
+//! four racers each derive their own guard from the same token —
 //! with `Unknown(Cancelled)` within a bounded delay.
 //!
 //! Each engine gets an adversarial input it would otherwise chew on
@@ -32,7 +32,10 @@ fn adversarial_input(engine: Engine) -> Stg {
         Engine::ExplicitStateGraph => counterflow_asym(8, 2),
         // Single BDD operations run for minutes on this input.
         Engine::SymbolicBdd => counterflow_sym(4, 4),
-        // All three racers must be slow, or one would win before the
+        // The integer search over the state equation branches for
+        // minutes; cancellation is polled per pivot and per node.
+        Engine::Cegar => counterflow_sym(4, 4),
+        // All four racers must be slow, or one would win before the
         // cancel fires.
         Engine::Portfolio | Engine::Race => counterflow_asym(8, 2),
     }
@@ -65,6 +68,7 @@ fn mid_flight_cancel_stops_each_engine_within_bounded_delay() {
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
+        Engine::Cegar,
     ] {
         let (verdict, elapsed) = cancelled_run(engine);
         assert_eq!(
@@ -101,6 +105,7 @@ fn concurrent_cancellations_do_not_interfere() {
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
+        Engine::Cegar,
         Engine::Race,
     ];
     let (tx, rx) = mpsc::channel();

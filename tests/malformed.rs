@@ -82,12 +82,12 @@ fn every_malformed_fixture_has_a_stable_code_and_span() {
 }
 
 /// The conflict-free fixture is the other half of the contract: the
-/// LP relaxation proves USC from the file alone, all five engines
+/// LP relaxation proves USC from the file alone, all six engines
 /// short-circuit with the `lint_proved` marker, and the proved
 /// verdict is differentially identical to what the explicit engine
 /// computes by exhaustive enumeration with the prelint stage off.
 #[test]
-fn lint_proved_fixture_short_circuits_all_five_engines() {
+fn lint_proved_fixture_short_circuits_all_six_engines() {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint_proved_usc.g");
     let bytes = fs::read(path).unwrap();
     let outcome = lint::lint_bytes(&bytes, &lint::LintOptions::default());
@@ -99,6 +99,7 @@ fn lint_proved_fixture_short_circuits_all_five_engines() {
         Engine::UnfoldingIlp,
         Engine::ExplicitStateGraph,
         Engine::SymbolicBdd,
+        Engine::Cegar,
         Engine::Portfolio,
         Engine::Race,
     ] {
@@ -133,4 +134,51 @@ fn lint_proved_fixture_short_circuits_all_five_engines() {
         explicit.report.states.is_some_and(|s| s > 0),
         "the reference run actually explored"
     );
+}
+
+/// W003 (initially-unmarked siphon) is a warning on a *parsable* net,
+/// and — since the siphon machinery was promoted into the CEGAR
+/// constraint generator — its diagnostic must name a member place and
+/// carry that place's source span, so editors can jump to it.
+#[test]
+fn unmarked_siphon_warning_carries_a_source_span() {
+    let src = "\
+.model m
+.outputs a b
+.graph
+a+ a-
+a- a+
+limbo b+
+b+ limbo2
+limbo2 b-
+b- limbo
+.marking { <a-,a+> }
+.initial_state 00
+.end
+";
+    let outcome = lint::lint_bytes(src.as_bytes(), &lint::LintOptions::default());
+    assert!(outcome.stg.is_some(), "net must be parsable");
+    // The siphon also makes `b+`/`b-` structurally dead (L021); those
+    // errors are consequences of the same defect, not parse failures.
+    assert!(outcome
+        .report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .all(|d| d.code == Code::DeadTransition));
+    let siphon = outcome
+        .report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::UnmarkedSiphon)
+        .expect("W003 fires on the unmarked limbo cycle");
+    assert_eq!(siphon.severity(), Severity::Warning);
+    let object = siphon.object.as_deref().expect("names a member place");
+    assert!(
+        object == "limbo" || object == "limbo2",
+        "object is a siphon member, got {object}"
+    );
+    let span = siphon.span.expect("W003 carries the member place's span");
+    // First occurrence of "limbo": the arc `limbo b+` on line 6.
+    assert_eq!((span.line, span.col), (6, 1), "span points at the place");
 }
