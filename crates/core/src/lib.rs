@@ -55,6 +55,7 @@ pub mod engine;
 mod error;
 mod exprs;
 pub mod limits;
+pub mod pipeline;
 pub mod reach;
 mod report;
 mod witness;
@@ -67,6 +68,10 @@ pub use engine::{CheckRequest, Engine, Property};
 pub use error::CheckError;
 pub use limits::{
     Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
+};
+pub use pipeline::{
+    Pipeline, PipelineError, PipelineOutcome, PipelineReport, PipelineRun, Resolution,
+    ResolveHookOutcome, SignalEquation, StageReport,
 };
 pub use report::AnalysisReport;
 pub use symbolic::BddStats;

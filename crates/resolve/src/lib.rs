@@ -12,13 +12,22 @@
 //!    likewise through `p⁻` (the paper's own Fig. 3 resolution — `u+`
 //!    on the `ldtack- → lds+` handover, `u-` on the `dsr- → d-` arc —
 //!    is one such candidate, verified in this crate's tests);
-//! 2. each candidate is *verified from scratch* with this
-//!    workspace's own consistency and CSC checkers — the resolver
-//!    can only return models that demonstrably pass;
+//! 2. each candidate is scored and verified with this workspace's own
+//!    budgeted engines through a content-addressed
+//!    [`csc_core::Artifacts`] set, so the stages built while scoring
+//!    the winning candidate are *reused* by its final verification
+//!    and by any downstream re-check (incremental re-verification) —
+//!    the resolver can only return models that demonstrably pass;
 //! 3. candidates are scored by remaining CSC conflict pairs; if one
 //!    signal does not suffice, the best candidate is kept and the
 //!    search iterates with another signal (up to a configurable
-//!    budget).
+//!    budget), all under one [`csc_core::Budget`] whose deadline and
+//!    cancellation token abort the search mid-candidate.
+//!
+//! The [`synthesize`] entry point runs the crate's full pipeline —
+//! lint → check → resolve → re-check → equations — by plugging this
+//! resolver and the `synth` crate's equation deriver into
+//! [`csc_core::Pipeline`].
 //!
 //! # Examples
 //!
@@ -44,7 +53,12 @@
 #![warn(missing_docs)]
 
 mod insert;
+mod pipeline;
 mod resolver;
 
 pub use insert::insert_state_signal;
-pub use resolver::{resolve_csc, ResolveError, ResolveOutcome, ResolverOptions};
+pub use pipeline::{derive_equations, synthesize, SynthesisOptions, SynthesisRun};
+pub use resolver::{
+    resolve_csc, resolve_csc_with_report, ResolveError, ResolveOutcome, ResolveReport, ResolveRun,
+    ResolverOptions, RoundReport, Scoring,
+};

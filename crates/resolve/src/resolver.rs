@@ -1,26 +1,77 @@
-//! The generate-and-test resolution loop.
+//! The generate-and-test resolution loop, rebuilt on the budgeted
+//! [`CheckRequest`] / [`Artifacts`] core.
+//!
+//! Every candidate insertion is scored through an [`Artifacts`] set
+//! keyed by `Stg::canonical_hash()`, so stages built while scoring a
+//! candidate (its unfolding prefix, its state graph) are *reused* by
+//! the final verification of that same candidate and by the
+//! pipeline's re-check — the incremental re-verification that stops
+//! the O(candidates × full-check) search from rebuilding the world
+//! per candidate. Reuse never crosses hashes: an insertion changes
+//! the canonical hash, so a modified net can never see stale stages.
+//!
+//! The whole search runs under one [`Budget`]: the wall-clock
+//! deadline and [`CancelToken`](csc_core::CancelToken) are polled
+//! between candidates and *inside* every prefix/state-graph build, so
+//! a hung-job watchdog can abort a resolution mid-candidate. A
+//! budget abort is a typed error ([`ResolveError::Exhausted`]),
+//! cleanly distinguished from a structurally broken candidate (which
+//! is skipped and counted in
+//! [`ResolveReport::candidates_broken`]).
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use csc_core::{CheckError, Checker};
-use petri::ExploreLimits;
-use stg::{StateGraph, Stg};
+use csc_core::{
+    Artifacts, Budget, CheckError, CheckRequest, Checker, CheckerOptions, Engine, ExhaustionReason,
+    Property, Verdict,
+};
+use petri::{ExploreLimits, StopGuard};
+use stg::Stg;
+use unfolding::UnfoldError;
 
 use crate::insert::insert_state_signal;
 
+/// How candidate insertions are scored (remaining CSC conflict
+/// pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scoring {
+    /// Count conflict pairs on the explicit state graph — fastest on
+    /// small nets, and the default.
+    #[default]
+    Explicit,
+    /// Count conflicts with the unfolding + integer-programming
+    /// checker — slower per candidate on small models, but
+    /// independent of the state-space size, and it leaves the
+    /// winning candidate's *prefix* in its artifact set, so the
+    /// final verification and the pipeline re-check are warm.
+    Unfolding,
+}
+
 /// Options of [`resolve_csc`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ResolverOptions {
     /// Maximum number of state signals to insert.
     pub max_signals: usize,
-    /// Exploration limits for candidate scoring.
+    /// Exploration limits for explicit candidate scoring.
     pub limits: ExploreLimits,
-    /// Score candidates with the unfolding + IP engine
-    /// (`Checker::enumerate_conflicts`) instead of the explicit state
-    /// graph — slower per candidate on small models, but independent
-    /// of the state-space size.
-    pub unfolding_scoring: bool,
+    /// Scoring engine for candidates.
+    pub scoring: Scoring,
+    /// Resource budget for the whole resolution (deadline and
+    /// cancellation are honoured between candidates and inside every
+    /// build; `max_events` / `max_states` cap individual scores).
+    pub budget: Budget,
+    /// Consult the lint layer's LP-relaxation proofs before exploring
+    /// a candidate: a candidate whose USC the relaxation proves
+    /// scores 0 with no state-space exploration at all.
+    pub lint_fast_path: bool,
+    /// Try the CEGAR state-equation engine before counting: when it
+    /// proves CSC for a candidate, the count (0) is known without
+    /// building a prefix or state graph. Conflicted candidates still
+    /// fall through to the scoring engine for a ranking count.
+    pub cegar_fast_path: bool,
 }
 
 impl Default for ResolverOptions {
@@ -28,7 +79,10 @@ impl Default for ResolverOptions {
         ResolverOptions {
             max_signals: 3,
             limits: ExploreLimits::default(),
-            unfolding_scoring: false,
+            scoring: Scoring::Explicit,
+            budget: Budget::unlimited(),
+            lint_fast_path: false,
+            cegar_fast_path: false,
         }
     }
 }
@@ -45,7 +99,8 @@ pub enum ResolveOutcome {
         /// Names of the inserted internal signals.
         inserted: Vec<String>,
     },
-    /// The budget ran out; `best` is the lowest-conflict model found.
+    /// The signal budget ran out; `best` is the lowest-conflict model
+    /// found.
     Failed {
         /// Best model reached.
         best: Stg,
@@ -62,6 +117,12 @@ pub enum ResolveError {
     Input(String),
     /// The final verification with the unfolding checker failed.
     Verification(CheckError),
+    /// The resolution was aborted by its [`Budget`]: the deadline
+    /// passed or the [`CancelToken`](csc_core::CancelToken) fired.
+    /// Distinct from a broken *candidate* (which is merely skipped):
+    /// this aborts the whole search, so a watchdog cancellation can
+    /// never be mistaken for "no candidate improves".
+    Exhausted(ExhaustionReason),
 }
 
 impl fmt::Display for ResolveError {
@@ -69,36 +130,211 @@ impl fmt::Display for ResolveError {
         match self {
             ResolveError::Input(m) => write!(f, "unresolvable input: {m}"),
             ResolveError::Verification(e) => write!(f, "verification failed: {e}"),
+            ResolveError::Exhausted(r) => write!(f, "resolution aborted: {r}"),
         }
     }
 }
 
 impl Error for ResolveError {}
 
-/// Number of CSC conflict pairs, or `None` when the candidate is
-/// broken (inconsistent / unsafe / too large).
-fn score(stg: &Stg, options: &ResolverOptions) -> Option<usize> {
-    if options.unfolding_scoring {
-        let checker = Checker::new(stg).ok()?;
-        if !checker.check_consistency().ok()?.is_consistent() {
-            return None;
+/// Accounting for one round of the greedy search (one inserted
+/// signal attempt).
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Name of the signal this round tried to insert.
+    pub signal: String,
+    /// Candidate insertions scored this round.
+    pub candidates_tried: usize,
+    /// CSC conflict pairs remaining after this round (unchanged when
+    /// no candidate improved).
+    pub remaining: usize,
+    /// Whether the round's best candidate was adopted.
+    pub inserted: bool,
+    /// Wall-clock time of the round.
+    pub elapsed: Duration,
+}
+
+/// Counters and per-stage timing of a resolution run.
+#[derive(Debug, Clone, Default)]
+pub struct ResolveReport {
+    /// CSC conflict pairs in the input.
+    pub initial_conflicts: usize,
+    /// Candidate insertions scored across all rounds.
+    pub candidates_tried: usize,
+    /// Candidates rejected as structurally broken (inconsistent,
+    /// unsafe, or over the per-candidate exploration caps) — skipped,
+    /// never silently mis-scored.
+    pub candidates_broken: usize,
+    /// Candidates whose score the lint LP proofs decided without any
+    /// exploration.
+    pub lint_shortcuts: usize,
+    /// Candidates whose score the CEGAR engine decided without
+    /// building a prefix or state graph.
+    pub cegar_shortcuts: usize,
+    /// Checks that reused an already-built artifact stage instead of
+    /// rebuilding it (seeded initial score, warm final verification).
+    pub warm_reuses: usize,
+    /// One entry per greedy round, in order.
+    pub rounds: Vec<RoundReport>,
+    /// Total time spent scoring candidates.
+    pub score_elapsed: Duration,
+    /// Time spent in the final unfolding verification.
+    pub verify_elapsed: Duration,
+    /// Prefix events the final verification built — 0 when unfolding
+    /// scoring already left the winner's prefix in its artifact set.
+    pub verify_prefix_events_built: Option<usize>,
+    /// Total wall-clock time of the resolution.
+    pub elapsed: Duration,
+}
+
+/// A completed resolution: outcome, accounting, and the outcome
+/// net's artifact set for warm re-verification downstream.
+#[derive(Debug)]
+pub struct ResolveRun {
+    /// The resolution outcome.
+    pub outcome: ResolveOutcome,
+    /// Counters and per-stage timing.
+    pub report: ResolveReport,
+    /// Artifact set of the outcome net (the resolved net for
+    /// [`ResolveOutcome::Resolved`], the input for
+    /// [`ResolveOutcome::AlreadySatisfied`], the best net for
+    /// [`ResolveOutcome::Failed`]). Attaching it to a later
+    /// [`CheckRequest`] on the same net makes that check warm — it
+    /// already holds the stages the resolver built, keyed by the
+    /// net's canonical hash.
+    pub artifacts: Option<Arc<Artifacts>>,
+}
+
+/// Typed score of one candidate: either a conflict-pair count or a
+/// structurally broken candidate. Budget aborts are *not* a score —
+/// they propagate as [`ResolveError::Exhausted`].
+enum Score {
+    /// CSC conflict pairs remaining in the candidate.
+    Conflicts(usize),
+    /// The candidate is inconsistent, unsafe, or exceeded the
+    /// per-candidate exploration caps; skip it.
+    Broken,
+}
+
+/// One scored candidate with its artifact set kept for reuse.
+struct Scored {
+    conflicts: usize,
+    stg: Arc<Stg>,
+    artifacts: Arc<Artifacts>,
+}
+
+/// Scores `artifacts.stg()` by remaining CSC conflict pairs.
+fn score(
+    artifacts: &Artifacts,
+    options: &ResolverOptions,
+    guard: &StopGuard,
+    report: &mut ResolveReport,
+) -> Result<Score, ResolveError> {
+    report.candidates_tried += 1;
+    if options.lint_fast_path {
+        let lint = artifacts.lint();
+        if lint.has_errors() {
+            return Ok(Score::Broken);
         }
-        Some(
-            checker
-                .enumerate_conflicts(csc_core::ConflictKind::Csc, 10_000)
-                .ok()?
-                .len(),
-        )
-    } else {
-        let sg = StateGraph::build(stg, options.limits).ok()?;
-        Some(sg.csc_conflict_pairs(stg).len())
+        if lint.proofs.usc_proved {
+            // USC ⊇ CSC conflicts: the LP relaxation proved USC, so
+            // no CSC conflict exists — score 0 without exploration.
+            report.lint_shortcuts += 1;
+            return Ok(Score::Conflicts(0));
+        }
+    }
+    if options.cegar_fast_path {
+        let run = CheckRequest::new(artifacts.stg(), Property::Csc)
+            .engine(Engine::Cegar)
+            .budget(options.budget.clone())
+            .artifacts(artifacts)
+            .run()
+            .map_err(|e| match e {
+                CheckError::Exhausted(r) => ResolveError::Exhausted(r),
+                other => ResolveError::Verification(other),
+            })?;
+        match run.verdict {
+            Verdict::Holds => {
+                report.cegar_shortcuts += 1;
+                return Ok(Score::Conflicts(0));
+            }
+            Verdict::Unknown(ExhaustionReason::Cancelled) => {
+                return Err(ResolveError::Exhausted(ExhaustionReason::Cancelled));
+            }
+            Verdict::Unknown(ExhaustionReason::DeadlineExpired) => {
+                return Err(ResolveError::Exhausted(ExhaustionReason::DeadlineExpired));
+            }
+            // Violated or otherwise inconclusive: fall through to the
+            // scoring engine for a ranking count.
+            Verdict::Violated(_) | Verdict::Unknown(_) => {}
+        }
+    }
+    match options.scoring {
+        Scoring::Explicit => {
+            let limits = ExploreLimits {
+                max_states: options
+                    .budget
+                    .max_states
+                    .unwrap_or(options.limits.max_states),
+                token_bound: options.limits.token_bound,
+            };
+            match artifacts.state_graph(limits, guard) {
+                Ok(sg) => Ok(Score::Conflicts(
+                    sg.csc_conflict_pairs(artifacts.stg()).len(),
+                )),
+                // The caller's deadline/cancellation fired mid-build:
+                // abort the resolution, do not mis-score.
+                Err(stg::SgError::Reach(petri::ReachError::Stopped { reason, .. })) => {
+                    Err(ResolveError::Exhausted(reason.into()))
+                }
+                // Inconsistent, unbounded, or over the per-candidate
+                // caps: the candidate is broken, skip it.
+                Err(_) => Ok(Score::Broken),
+            }
+        }
+        Scoring::Unfolding => {
+            let mut checker_options = CheckerOptions::default();
+            if let Some(n) = options.budget.max_events {
+                checker_options.unfold.max_events = n;
+            }
+            let (artifact, _built) = match artifacts.prefix(checker_options.unfold, guard) {
+                Ok(pair) => pair,
+                Err(UnfoldError::Interrupted { reason, .. }) => {
+                    return Err(ResolveError::Exhausted(reason.into()));
+                }
+                Err(_) => return Ok(Score::Broken),
+            };
+            let checker = Checker::from_artifact(
+                artifacts.stg(),
+                Arc::clone(&artifact.prefix),
+                Arc::clone(&artifact.relations),
+                checker_options,
+                guard.clone(),
+            );
+            match checker.check_consistency() {
+                Ok(outcome) if outcome.is_consistent() => {}
+                Ok(_) => return Ok(Score::Broken),
+                Err(CheckError::Exhausted(r)) => return Err(ResolveError::Exhausted(r)),
+                Err(_) => return Ok(Score::Broken),
+            }
+            match checker.enumerate_conflicts(csc_core::ConflictKind::Csc, 10_000) {
+                Ok(witnesses) => Ok(Score::Conflicts(witnesses.len())),
+                Err(CheckError::Exhausted(r)) => Err(ResolveError::Exhausted(r)),
+                Err(_) => Ok(Score::Broken),
+            }
+        }
     }
 }
 
 /// Attempts to make `stg` satisfy CSC by inserting up to
-/// [`ResolverOptions::max_signals`] internal state signals. Every
-/// returned `Resolved` model has been re-verified with the
-/// unfolding + integer-programming checker.
+/// [`ResolverOptions::max_signals`] internal state signals, returning
+/// the full [`ResolveRun`] (outcome + report + reusable artifacts).
+///
+/// `seed` optionally provides an existing artifact set of the *input*
+/// net (e.g. a server cache entry): when its canonical hash matches,
+/// the initial conflict count reuses whatever stages it already
+/// holds instead of re-exploring. A mismatched seed is ignored, never
+/// trusted.
 ///
 /// The search is greedy (best single insertion per round) and can
 /// stall in a local optimum on models whose conflicts cannot be
@@ -108,84 +344,196 @@ fn score(stg: &Stg, options: &ResolverOptions) -> Option<usize> {
 ///
 /// # Errors
 ///
-/// * [`ResolveError::Input`] if the input cannot even be scored
-///   (inconsistent or exceeding the exploration limits);
+/// * [`ResolveError::Input`] if the input itself cannot be scored;
+/// * [`ResolveError::Exhausted`] if the budget's deadline or
+///   cancellation token fired mid-search;
 /// * [`ResolveError::Verification`] if the final unfolding check
 ///   errors out.
-pub fn resolve_csc(stg: &Stg, options: ResolverOptions) -> Result<ResolveOutcome, ResolveError> {
-    let initial = score(stg, &options)
-        .ok_or_else(|| ResolveError::Input("state graph unavailable".to_owned()))?;
+pub fn resolve_csc_with_report(
+    stg: &Stg,
+    options: &ResolverOptions,
+    seed: Option<Arc<Artifacts>>,
+) -> Result<ResolveRun, ResolveError> {
+    let started = Instant::now();
+    let guard = options.budget.guard();
+    let mut report = ResolveReport::default();
+
+    // Score the input, reusing the caller's artifact set when it
+    // matches by canonical hash (a stale or foreign seed is ignored).
+    let input_artifacts = match seed {
+        Some(arts) if arts.hash() == stg.canonical_hash() => {
+            if arts.has_state_graph() || arts.has_prefix() {
+                report.warm_reuses += 1;
+            }
+            arts
+        }
+        _ => Arc::new(Artifacts::new(Arc::new(stg.clone()))),
+    };
+    let score_start = Instant::now();
+    let initial = match score(&input_artifacts, options, &guard, &mut report)? {
+        Score::Conflicts(n) => n,
+        Score::Broken => {
+            return Err(ResolveError::Input(
+                "the input STG cannot be scored (inconsistent, unsafe, or over the \
+                 exploration caps)"
+                    .to_owned(),
+            ))
+        }
+    };
+    report.score_elapsed += score_start.elapsed();
+    report.initial_conflicts = initial;
     if initial == 0 {
-        return Ok(ResolveOutcome::AlreadySatisfied);
+        report.elapsed = started.elapsed();
+        return Ok(ResolveRun {
+            outcome: ResolveOutcome::AlreadySatisfied,
+            report,
+            artifacts: Some(input_artifacts),
+        });
     }
-    let mut current = stg.clone();
-    let mut current_score = initial;
+
+    let mut current = Scored {
+        conflicts: initial,
+        stg: input_artifacts.shared_stg(),
+        artifacts: input_artifacts,
+    };
     let mut inserted = Vec::new();
     for round in 0..options.max_signals {
+        let round_start = Instant::now();
+        let round_tried = report.candidates_tried;
         let name = format!("csc{round}");
-        let mut best: Option<(usize, Stg)> = None;
-        let places: Vec<_> = current.net().places().collect();
+        let mut best: Option<Scored> = None;
+        let places: Vec<_> = current.stg.net().places().collect();
         'candidates: for &p_plus in &places {
             for &p_minus in &places {
                 if p_plus == p_minus {
                     continue;
                 }
-                let Ok(candidate) = insert_state_signal(&current, &name, p_plus, p_minus) else {
+                // A watchdog cancellation or an expired deadline
+                // aborts between candidates even when every
+                // individual score is cheap.
+                guard
+                    .poll()
+                    .map_err(|r| ResolveError::Exhausted(r.into()))?;
+                let Ok(candidate) = insert_state_signal(&current.stg, &name, p_plus, p_minus)
+                else {
                     continue;
                 };
-                let Some(s) = score(&candidate, &options) else {
-                    continue; // inconsistent or over limits
+                let candidate = Arc::new(candidate);
+                let artifacts = Arc::new(Artifacts::new(Arc::clone(&candidate)));
+                let score_start = Instant::now();
+                let scored = score(&artifacts, options, &guard, &mut report);
+                report.score_elapsed += score_start.elapsed();
+                let s = match scored? {
+                    Score::Conflicts(s) => s,
+                    Score::Broken => {
+                        report.candidates_broken += 1;
+                        continue;
+                    }
                 };
-                if best.as_ref().is_none_or(|(b, _)| s < *b) {
+                if best.as_ref().is_none_or(|b| s < b.conflicts) {
                     let solved = s == 0;
-                    best = Some((s, candidate));
+                    best = Some(Scored {
+                        conflicts: s,
+                        stg: candidate,
+                        artifacts,
+                    });
                     if solved {
                         break 'candidates;
                     }
                 }
             }
         }
-        match best {
-            Some((s, candidate)) if s < current_score => {
-                current = candidate;
-                current_score = s;
-                inserted.push(name);
-                if s == 0 {
-                    break;
-                }
+        let (improved, remaining) = match best {
+            Some(b) if b.conflicts < current.conflicts => {
+                let remaining = b.conflicts;
+                current = b;
+                inserted.push(name.clone());
+                (true, remaining)
             }
-            _ => break, // no candidate improves: stop early
+            _ => (false, current.conflicts),
+        };
+        report.rounds.push(RoundReport {
+            signal: name,
+            candidates_tried: report.candidates_tried - round_tried,
+            remaining,
+            inserted: improved,
+            elapsed: round_start.elapsed(),
+        });
+        if !improved || remaining == 0 {
+            break;
         }
     }
-    if current_score == 0 {
+
+    if current.conflicts == 0 {
         // Final verification with the paper's checker — the resolver
         // only ever *claims* success the unfolding engine confirms.
-        let checker = Checker::new(&current).map_err(ResolveError::Verification)?;
-        let outcome = checker.check_csc().map_err(ResolveError::Verification)?;
-        if !outcome.is_satisfied() {
-            return Err(ResolveError::Input(
-                "scoring and verification disagree".to_owned(),
-            ));
+        // The check runs on the winner's own artifact set: with
+        // unfolding scoring the prefix is already there and this is
+        // warm (0 events built); the set is returned either way so
+        // the pipeline's re-check is warm next.
+        let verify_start = Instant::now();
+        let run = CheckRequest::new(&current.stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .budget(options.budget.clone())
+            .artifacts(&current.artifacts)
+            .run()
+            .map_err(ResolveError::Verification)?;
+        report.verify_elapsed = verify_start.elapsed();
+        report.verify_prefix_events_built = run.report.prefix_events_built;
+        if report.verify_prefix_events_built == Some(0) {
+            report.warm_reuses += 1;
         }
-        Ok(ResolveOutcome::Resolved {
-            stg: current,
-            inserted,
+        match run.verdict {
+            Verdict::Holds => {}
+            Verdict::Violated(_) => {
+                return Err(ResolveError::Input(
+                    "scoring and verification disagree".to_owned(),
+                ))
+            }
+            Verdict::Unknown(reason) => return Err(ResolveError::Exhausted(reason)),
+        }
+        report.elapsed = started.elapsed();
+        Ok(ResolveRun {
+            outcome: ResolveOutcome::Resolved {
+                stg: (*current.stg).clone(),
+                inserted,
+            },
+            report,
+            artifacts: Some(current.artifacts),
         })
     } else {
-        Ok(ResolveOutcome::Failed {
-            best: current,
-            remaining: current_score,
+        report.elapsed = started.elapsed();
+        Ok(ResolveRun {
+            outcome: ResolveOutcome::Failed {
+                best: (*current.stg).clone(),
+                remaining: current.conflicts,
+            },
+            report,
+            artifacts: Some(current.artifacts),
         })
     }
+}
+
+/// Attempts to make `stg` satisfy CSC by inserting internal state
+/// signals. Convenience wrapper around [`resolve_csc_with_report`]
+/// that returns the outcome alone.
+///
+/// # Errors
+///
+/// See [`resolve_csc_with_report`].
+pub fn resolve_csc(stg: &Stg, options: ResolverOptions) -> Result<ResolveOutcome, ResolveError> {
+    resolve_csc_with_report(stg, &options, None).map(|run| run.outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use csc_core::CancelToken;
     use stg::gen::counterflow::counterflow_sym;
     use stg::gen::duplex::{dup_4ph, dup_mod};
     use stg::gen::ring::lazy_ring;
     use stg::gen::vme::vme_read;
+    use stg::StateGraph;
 
     fn assert_resolved(stg: &Stg, label: &str) -> Stg {
         match resolve_csc(stg, ResolverOptions::default()).unwrap() {
@@ -236,7 +584,7 @@ mod tests {
     fn unfolding_scoring_agrees_with_explicit() {
         let stg = vme_read();
         let options = ResolverOptions {
-            unfolding_scoring: true,
+            scoring: Scoring::Unfolding,
             ..Default::default()
         };
         match resolve_csc(&stg, options).unwrap() {
@@ -277,5 +625,153 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Regression: a budget/cancel abort must be a typed error, never a
+    // silent mis-score. The old `score -> Option<usize>` collapsed a
+    // mid-search deadline to `None` — indistinguishable from a broken
+    // candidate — so the loop kept "resolving" with wrong rankings.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cancelled_token_aborts_instead_of_mis_scoring() {
+        let stg = vme_read();
+        let token = CancelToken::new();
+        token.cancel();
+        let options = ResolverOptions {
+            budget: Budget::unlimited().with_cancel(token),
+            ..Default::default()
+        };
+        match resolve_csc(&stg, options) {
+            Err(ResolveError::Exhausted(ExhaustionReason::Cancelled)) => {}
+            other => panic!("expected Exhausted(Cancelled), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_instead_of_mis_scoring() {
+        let stg = vme_read();
+        let options = ResolverOptions {
+            budget: Budget::unlimited().with_deadline(Duration::ZERO),
+            ..Default::default()
+        };
+        match resolve_csc(&stg, options) {
+            Err(ResolveError::Exhausted(ExhaustionReason::DeadlineExpired)) => {}
+            other => panic!("expected Exhausted(DeadlineExpired), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_candidates_are_skipped_not_fatal() {
+        // The default run encounters candidates that break consistency
+        // (the inserted signal misfires); they must be counted as
+        // broken and skipped while the search still succeeds.
+        let stg = vme_read();
+        let run = resolve_csc_with_report(&stg, &ResolverOptions::default(), None).unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::Resolved { .. }));
+        assert!(run.report.candidates_tried > 0);
+        assert!(run.report.initial_conflicts > 0);
+        assert_eq!(run.report.rounds.len(), 1);
+        assert!(run.report.rounds[0].inserted);
+        assert_eq!(run.report.rounds[0].remaining, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental re-verification: the winner's artifact set makes the
+    // final verification and any downstream re-check warm.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unfolding_scoring_makes_final_verification_warm() {
+        let stg = vme_read();
+        let options = ResolverOptions {
+            scoring: Scoring::Unfolding,
+            ..Default::default()
+        };
+        let run = resolve_csc_with_report(&stg, &options, None).unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::Resolved { .. }));
+        // Scoring already built the winner's prefix; verification
+        // reused it verbatim.
+        assert_eq!(run.report.verify_prefix_events_built, Some(0));
+        assert!(run.report.warm_reuses >= 1);
+    }
+
+    #[test]
+    fn returned_artifacts_make_recheck_warm() {
+        // Warm re-check through the returned artifact set must build
+        // strictly fewer prefix events than a cold check of the same
+        // resolved net.
+        let stg = vme_read();
+        let run = resolve_csc_with_report(&stg, &ResolverOptions::default(), None).unwrap();
+        let ResolveOutcome::Resolved { stg: fixed, .. } = &run.outcome else {
+            panic!("vme resolves");
+        };
+        let warm_arts = run.artifacts.expect("resolved runs carry artifacts");
+        let warm = CheckRequest::new(fixed, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .artifacts(&warm_arts)
+            .run()
+            .unwrap();
+        let cold = CheckRequest::new(fixed, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .run()
+            .unwrap();
+        let warm_built = warm.report.prefix_events_built.unwrap();
+        let cold_built = cold.report.prefix_events_built.unwrap();
+        assert_eq!(warm_built, 0, "the resolver already verified on this set");
+        assert!(
+            warm_built < cold_built,
+            "warm ({warm_built}) must rebuild fewer prefix events than cold ({cold_built})"
+        );
+    }
+
+    #[test]
+    fn matching_seed_is_reused_for_the_initial_score() {
+        let stg = counterflow_sym(2, 2);
+        let seed = Arc::new(Artifacts::of(&stg));
+        // Pre-build the state graph the initial score needs.
+        seed.state_graph(Default::default(), &StopGuard::unlimited())
+            .unwrap();
+        let run =
+            resolve_csc_with_report(&stg, &ResolverOptions::default(), Some(Arc::clone(&seed)))
+                .unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::AlreadySatisfied));
+        assert!(run.report.warm_reuses >= 1);
+        // A foreign seed must be ignored, not trusted.
+        let other = Arc::new(Artifacts::of(&vme_read()));
+        let run = resolve_csc_with_report(&stg, &ResolverOptions::default(), Some(other)).unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::AlreadySatisfied));
+    }
+
+    #[test]
+    fn lint_fast_path_scores_without_exploration() {
+        // counterflow_sym(2,2) is conflict-free and its USC is
+        // provable by the LP relaxation, so the lint fast path must
+        // decide the initial score with zero exploration.
+        let stg = counterflow_sym(2, 2);
+        let options = ResolverOptions {
+            lint_fast_path: true,
+            ..Default::default()
+        };
+        let run = resolve_csc_with_report(&stg, &options, None).unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::AlreadySatisfied));
+        assert_eq!(run.report.lint_shortcuts, 1);
+        let arts = run.artifacts.unwrap();
+        assert!(!arts.has_state_graph() && !arts.has_prefix());
+    }
+
+    #[test]
+    fn cegar_fast_path_agrees() {
+        let stg = vme_read();
+        let options = ResolverOptions {
+            cegar_fast_path: true,
+            ..Default::default()
+        };
+        let run = resolve_csc_with_report(&stg, &options, None).unwrap();
+        assert!(matches!(run.outcome, ResolveOutcome::Resolved { .. }));
+        // The winning (conflict-free) candidate is decidable by CEGAR
+        // without exploration.
+        assert!(run.report.cegar_shortcuts >= 1);
     }
 }

@@ -29,7 +29,9 @@ use csc_core::{Engine, Property};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::json::{self, Value};
-use crate::protocol::{encode_check_request, BudgetSpec, CheckRequest};
+use crate::protocol::{
+    encode_check_request, encode_synthesize_request, BudgetSpec, CheckRequest, SynthesizeRequest,
+};
 
 /// A failure talking to the server.
 #[derive(Debug)]
@@ -182,6 +184,105 @@ impl CheckResponse {
     }
 }
 
+/// One decoded response to a revision-6 `synthesize` request.
+#[derive(Debug, Clone)]
+pub struct SynthesizeResponse {
+    /// The correlation id echoed by the server.
+    pub id: Option<String>,
+    /// Protocol revision of the response.
+    pub proto: u64,
+    /// `"ok"` or `"error"`.
+    pub status: String,
+    /// `"clean"` (already conflict-free) or `"resolved"` (state
+    /// signals were inserted) when `status == "ok"`.
+    pub outcome: Option<String>,
+    /// Names of the inserted state signals (empty for `clean`).
+    pub inserted: Vec<String>,
+    /// The resolved net in `.g` format; `None` for `clean` outcomes
+    /// and failures.
+    pub resolved_g: Option<String>,
+    /// The error message when `status == "error"`.
+    pub error: Option<String>,
+    /// Stable machine-readable error code when `status == "error"`
+    /// (`resolve_failed`, `queue_full`, …).
+    pub code: Option<String>,
+    /// The backoff hint on load-shedding errors.
+    pub retry_after_ms: Option<u64>,
+    /// Worker-side wall-clock of the whole pipeline.
+    pub elapsed_ms: Option<f64>,
+    /// The complete response object (equations, stages, resolve
+    /// counters, …).
+    pub raw: Value,
+}
+
+impl SynthesizeResponse {
+    fn from_value(raw: Value) -> Result<Self, ClientError> {
+        let status = raw
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ClientError::Protocol("response without `status`".to_owned()))?
+            .to_owned();
+        let text = |key: &str| raw.get(key).and_then(Value::as_str).map(str::to_owned);
+        let inserted = match raw.get("inserted") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .filter_map(Value::as_str)
+                .map(str::to_owned)
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(SynthesizeResponse {
+            id: text("id"),
+            proto: raw.get("proto").and_then(Value::as_u64).unwrap_or(1),
+            status,
+            outcome: text("outcome"),
+            inserted,
+            resolved_g: text("resolved_g"),
+            error: text("error"),
+            code: text("code"),
+            retry_after_ms: raw.get("retry_after_ms").and_then(Value::as_u64),
+            elapsed_ms: raw.get("elapsed_ms").and_then(Value::as_f64),
+            raw,
+        })
+    }
+
+    /// Whether the pipeline ended conflict-free (`clean`/`resolved`).
+    pub fn is_conflict_free(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// Whether this is a transient error a client may safely retry.
+    /// The same codes as `check` qualify (`queue_full`, `over_quota`,
+    /// `worker_crashed`); `resolve_failed` does *not* — the resolver
+    /// is deterministic, so resubmitting the same net fails the same
+    /// way.
+    pub fn is_retryable(&self) -> bool {
+        self.status == "error"
+            && matches!(
+                self.code.as_deref(),
+                Some("queue_full" | "over_quota" | "worker_crashed")
+            )
+    }
+
+    /// The `equations` array: one object per non-input signal with
+    /// `signal`, `equation` and `monotonic` members.
+    pub fn equations(&self) -> Option<&Value> {
+        self.raw.get("equations").filter(|v| !v.is_null())
+    }
+
+    /// The per-stage report blocks (`stage`, `elapsed_ms`, `detail`).
+    pub fn stages(&self) -> Option<&Value> {
+        self.raw.get("stages").filter(|v| !v.is_null())
+    }
+
+    /// The resolver's counters (`candidates_tried`, `warm_reuses`,
+    /// `verify_prefix_events_built`, …); `None` when the input was
+    /// already conflict-free.
+    pub fn resolve_stats(&self) -> Option<&Value> {
+        self.raw.get("resolve").filter(|v| !v.is_null())
+    }
+}
+
 /// How [`Client::check_with_retry`] paces its attempts.
 ///
 /// Delays follow truncated exponential backoff with jitter: attempt
@@ -242,6 +343,13 @@ pub struct RetryStats {
     /// Times the connection was re-established after a transport
     /// failure or timeout.
     pub reconnects: u32,
+}
+
+/// How [`Client::retry_loop`] should treat one response.
+struct RetryClass {
+    retryable: bool,
+    worker_crash: bool,
+    retry_after_ms: Option<u64>,
 }
 
 /// A blocking connection to one `stgd` server.
@@ -418,19 +526,116 @@ impl Client {
         budget: BudgetSpec,
         policy: &RetryPolicy,
     ) -> Result<(CheckResponse, RetryStats), ClientError> {
+        self.retry_loop(
+            policy,
+            |client| client.check(id, stg_g, property, engine, budget),
+            |r| RetryClass {
+                retryable: r.is_retryable(),
+                worker_crash: r.code.as_deref() == Some("worker_crashed"),
+                retry_after_ms: r.retry_after_ms,
+            },
+        )
+    }
+
+    /// Queues a `synthesize` without waiting; pair with
+    /// [`Self::read_synthesize_response`], matching responses by id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn submit_synthesize(&mut self, request: &SynthesizeRequest) -> Result<(), ClientError> {
+        self.send_line(&encode_synthesize_request(request))
+    }
+
+    /// Reads the next response line as a [`SynthesizeResponse`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, timeout, EOF, or an unparsable response.
+    pub fn read_synthesize_response(&mut self) -> Result<SynthesizeResponse, ClientError> {
+        SynthesizeResponse::from_value(self.read_value()?)
+    }
+
+    /// Convenience single-job synthesis: submit and wait for the
+    /// resolved net and equations (or the `resolve_failed` error).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparsable response.
+    pub fn synthesize(
+        &mut self,
+        id: &str,
+        stg_g: &str,
+        max_signals: Option<usize>,
+        engine: Option<Engine>,
+        budget: BudgetSpec,
+    ) -> Result<SynthesizeResponse, ClientError> {
+        self.submit_synthesize(&SynthesizeRequest {
+            id: id.to_owned(),
+            stg_g: stg_g.to_owned(),
+            max_signals,
+            engine,
+            budget,
+        })?;
+        self.read_synthesize_response()
+    }
+
+    /// [`Self::synthesize`] riding out transient failures exactly like
+    /// [`Self::check_with_retry`]. Resubmission is safe because the
+    /// pipeline is deterministic; `resolve_failed` is a *permanent*
+    /// outcome and is returned immediately, never retried.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once attempts are exhausted without
+    /// any server response.
+    pub fn synthesize_with_retry(
+        &mut self,
+        id: &str,
+        stg_g: &str,
+        max_signals: Option<usize>,
+        engine: Option<Engine>,
+        budget: BudgetSpec,
+        policy: &RetryPolicy,
+    ) -> Result<SynthesizeResponse, ClientError> {
+        self.retry_loop(
+            policy,
+            |client| client.synthesize(id, stg_g, max_signals, engine, budget),
+            |r| RetryClass {
+                retryable: r.is_retryable(),
+                worker_crash: r.code.as_deref() == Some("worker_crashed"),
+                retry_after_ms: r.retry_after_ms,
+            },
+        )
+        .map(|(response, _)| response)
+    }
+
+    /// The shared retry engine behind [`Self::check_with_retry_stats`]
+    /// and [`Self::synthesize_with_retry`]: transport failures
+    /// reconnect and resubmit; responses `classify` marks retryable
+    /// wait out the server's hint (or exponential backoff with
+    /// jitter) and resubmit; the first non-retryable response wins.
+    /// When every attempt was shed, the last shed response is
+    /// returned so callers always see the server's final word.
+    fn retry_loop<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        mut attempt: impl FnMut(&mut Self) -> Result<T, ClientError>,
+        classify: impl Fn(&T) -> RetryClass,
+    ) -> Result<(T, RetryStats), ClientError> {
         let seed = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs());
         let mut rng = StdRng::seed_from_u64(seed ^ self.addr.port() as u64);
         let mut stats = RetryStats::default();
         let mut broken = false;
-        let mut last_shed: Option<CheckResponse> = None;
+        let mut last_shed: Option<(T, Option<u64>)> = None;
         let mut last_error: Option<ClientError> = None;
         let attempts = policy.max_attempts.max(1);
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                let hint = last_shed.as_ref().and_then(|r| r.retry_after_ms);
-                let delay = policy.delay_ms(attempt - 1, hint, &mut rng);
+        for attempt_no in 0..attempts {
+            if attempt_no > 0 {
+                let hint = last_shed.as_ref().and_then(|(_, hint)| *hint);
+                let delay = policy.delay_ms(attempt_no - 1, hint, &mut rng);
                 std::thread::sleep(Duration::from_millis(delay));
             }
             if broken {
@@ -446,16 +651,20 @@ impl Client {
                 }
             }
             stats.attempts += 1;
-            match self.check(id, stg_g, property, engine, budget) {
-                Ok(response) if response.is_retryable() => {
-                    match response.code.as_deref() {
-                        Some("worker_crashed") => stats.worker_crashes += 1,
-                        _ => stats.sheds += 1,
+            match attempt(self) {
+                Ok(response) => {
+                    let class = classify(&response);
+                    if !class.retryable {
+                        return Ok((response, stats));
                     }
-                    last_shed = Some(response);
+                    if class.worker_crash {
+                        stats.worker_crashes += 1;
+                    } else {
+                        stats.sheds += 1;
+                    }
+                    last_shed = Some((response, class.retry_after_ms));
                     last_error = None;
                 }
-                Ok(response) => return Ok((response, stats)),
                 Err(e) => {
                     // The stream may hold a half-read response; never
                     // reuse it.
@@ -466,7 +675,7 @@ impl Client {
             }
         }
         match (last_error, last_shed) {
-            (None, Some(shed)) => Ok((shed, stats)),
+            (None, Some((shed, _))) => Ok((shed, stats)),
             (Some(e), _) => Err(e),
             (None, None) => Err(ClientError::Protocol(
                 "retry loop made no attempts".to_owned(),

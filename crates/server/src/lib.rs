@@ -3,9 +3,12 @@
 //! This crate turns the library-level checkers of [`csc_core`] into a
 //! long-running network service. Clients connect over TCP and speak a
 //! newline-delimited JSON protocol ([`protocol`], specified in
-//! `docs/SERVER.md`): each line is a `check`, `stats` or `shutdown`
-//! request; each response line carries a three-valued verdict with a
-//! full resource report. Jobs are scheduled onto a fixed worker pool
+//! `docs/SERVER.md`): each line is a `check`, `synthesize`, `stats`
+//! or `shutdown` request; `check` responses carry a three-valued
+//! verdict with a full resource report, and `synthesize` responses
+//! (revision 6) carry the resolved net, the inserted state signals
+//! and the derived next-state equations — or the stable
+//! `resolve_failed` code. Jobs are scheduled onto a fixed worker pool
 //! ([`server`]), and by default each worker decides its job with the
 //! racing parallel portfolio (`Engine::Race`) — the unfolding+ILP,
 //! explicit and symbolic engines on separate threads sharing one
@@ -51,5 +54,5 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use client::{CheckResponse, Client, ClientError, RetryPolicy, RetryStats};
+pub use client::{CheckResponse, Client, ClientError, RetryPolicy, RetryStats, SynthesizeResponse};
 pub use server::{spawn, ServerConfig, ServerHandle};

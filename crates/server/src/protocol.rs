@@ -21,6 +21,10 @@ use crate::json::{self, opt, Value};
 pub enum Request {
     /// Decide a property of one STG under a budget.
     Check(CheckRequest),
+    /// Run the full synthesis pipeline on one STG under a budget:
+    /// lint → CSC check → resolve by state-signal insertion →
+    /// re-check → next-state equations.
+    Synthesize(SynthesizeRequest),
     /// Report service counters.
     Stats,
     /// Begin graceful shutdown: drain in-flight jobs, then exit.
@@ -38,6 +42,22 @@ pub struct CheckRequest {
     pub property: Property,
     /// Engine override; `None` uses the server default (the racing
     /// portfolio).
+    pub engine: Option<Engine>,
+    /// Per-job resource budget.
+    pub budget: BudgetSpec,
+}
+
+/// The payload of a revision-6 `synthesize` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesizeRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The STG in `.g` format.
+    pub stg_g: String,
+    /// Cap on inserted state signals; `None` uses the server default.
+    pub max_signals: Option<usize>,
+    /// Engine override for the check/re-check stages; `None` uses the
+    /// server default (the racing portfolio).
     pub engine: Option<Engine>,
     /// Per-job resource budget.
     pub budget: BudgetSpec,
@@ -190,7 +210,52 @@ pub fn decode_request(line: &str) -> Result<Request, ProtocolError> {
                 budget,
             }))
         }
+        "synthesize" => {
+            let id = id
+                .clone()
+                .ok_or_else(|| fail("synthesize: missing `id`".to_owned()))?;
+            let stg_g = value
+                .get("stg")
+                .and_then(Value::as_str)
+                .ok_or_else(|| fail("synthesize: missing `stg` (.g text)".to_owned()))?
+                .to_owned();
+            let engine = decode_engine(&value, &fail)?;
+            let max_signals = match value.get("max_signals").filter(|v| !v.is_null()) {
+                None => None,
+                Some(v) => Some(v.as_u64().map(|n| n as usize).ok_or_else(|| {
+                    fail("synthesize: `max_signals` must be a non-negative integer".to_owned())
+                })?),
+            };
+            let budget = decode_budget(value.get("budget"), &fail)?;
+            Ok(Request::Synthesize(SynthesizeRequest {
+                id,
+                stg_g,
+                max_signals,
+                engine,
+                budget,
+            }))
+        }
         other => Err(fail(format!("unknown op `{other}`"))),
+    }
+}
+
+fn decode_engine(
+    value: &Value,
+    fail: &dyn Fn(String) -> ProtocolError,
+) -> Result<Option<Engine>, ProtocolError> {
+    match value.get("engine").filter(|v| !v.is_null()) {
+        None => Ok(None),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| fail("`engine` must be a string".to_owned()))?;
+            Ok(Some(engine_from_str(name).ok_or_else(|| {
+                fail(format!(
+                    "unknown engine `{name}` \
+                     (unfolding|explicit|symbolic|portfolio|race|cegar)"
+                ))
+            })?))
+        }
     }
 }
 
@@ -238,23 +303,50 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
     if let Some(engine) = request.engine {
         members.push(("engine".to_owned(), Value::from(engine.name())));
     }
-    let b = request.budget;
-    if b != BudgetSpec::default() {
-        members.push((
-            "budget".to_owned(),
-            Value::Obj(
-                [
-                    ("timeout_ms", b.timeout_ms),
-                    ("max_events", b.max_events.map(|n| n as u64)),
-                    ("max_states", b.max_states.map(|n| n as u64)),
-                    ("max_solver_steps", b.max_solver_steps),
-                    ("max_bdd_nodes", b.max_bdd_nodes.map(|n| n as u64)),
-                ]
-                .into_iter()
-                .filter_map(|(k, v)| v.map(|n| (k.to_owned(), Value::from(n))))
-                .collect(),
-            ),
-        ));
+    if let Some(budget) = budget_member(request.budget) {
+        members.push(budget);
+    }
+    Value::Obj(members).render()
+}
+
+/// Encodes a non-default budget spec as the `budget` member.
+fn budget_member(b: BudgetSpec) -> Option<(String, Value)> {
+    if b == BudgetSpec::default() {
+        return None;
+    }
+    Some((
+        "budget".to_owned(),
+        Value::Obj(
+            [
+                ("timeout_ms", b.timeout_ms),
+                ("max_events", b.max_events.map(|n| n as u64)),
+                ("max_states", b.max_states.map(|n| n as u64)),
+                ("max_solver_steps", b.max_solver_steps),
+                ("max_bdd_nodes", b.max_bdd_nodes.map(|n| n as u64)),
+            ]
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|n| (k.to_owned(), Value::from(n))))
+            .collect(),
+        ),
+    ))
+}
+
+/// Encodes a `synthesize` request line (the client side of
+/// [`decode_request`]).
+pub fn encode_synthesize_request(request: &SynthesizeRequest) -> String {
+    let mut members = vec![
+        ("op".to_owned(), Value::from("synthesize")),
+        ("id".to_owned(), Value::from(request.id.as_str())),
+        ("stg".to_owned(), Value::from(request.stg_g.as_str())),
+    ];
+    if let Some(n) = request.max_signals {
+        members.push(("max_signals".to_owned(), Value::from(n as u64)));
+    }
+    if let Some(engine) = request.engine {
+        members.push(("engine".to_owned(), Value::from(engine.name())));
+    }
+    if let Some(budget) = budget_member(request.budget) {
+        members.push(budget);
     }
     Value::Obj(members).render()
 }
@@ -275,7 +367,14 @@ pub fn encode_check_request(request: &CheckRequest) -> String {
 /// prefix and no BDDs), its optional `report.cegar` counter block
 /// (iterations, cuts, branch nodes, …), and the `unsupported` reason
 /// code for property/engine combinations an engine cannot decide.
-pub const PROTO_VERSION: u64 = 5;
+/// Revision 6 added the `synthesize` op (lint → check → resolve →
+/// re-check → equations in one job): success responses carry the
+/// resolved `.g` text, the inserted signal names, the next-state
+/// `equations`, per-stage report blocks (`stages`, `resolve`,
+/// `recheck_prefix_events_built`), and failed resolutions are
+/// reported with the stable `resolve_failed` error code (permanent —
+/// clients must not retry it).
+pub const PROTO_VERSION: u64 = 6;
 
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
@@ -296,6 +395,142 @@ pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
         ("report".to_owned(), encode_report(&run.report)),
     ])
     .render()
+}
+
+/// Encodes the revision-6 response for a completed `synthesize` job.
+///
+/// `Clean`/`Resolved` outcomes are `status: ok` with the resolved
+/// `.g` text (for `Resolved`), the inserted signals, the next-state
+/// equations, and per-stage report blocks. An `Unresolved` outcome is
+/// a `status: error` response with the stable `resolve_failed` code —
+/// a *permanent* failure (resubmitting the same net resolves the same
+/// way), so clients must not retry it.
+pub fn encode_synthesize_response(id: &str, run: &resolve::SynthesisRun) -> String {
+    use csc_core::PipelineOutcome;
+    let stages = Value::Arr(
+        run.pipeline
+            .report
+            .stages
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("stage".to_owned(), Value::from(s.stage)),
+                    (
+                        "elapsed_ms".to_owned(),
+                        Value::from(s.elapsed.as_secs_f64() * 1e3),
+                    ),
+                    ("detail".to_owned(), Value::from(s.detail.as_str())),
+                ])
+            })
+            .collect(),
+    );
+    let resolve_block = match &run.resolve_report {
+        None => Value::Null,
+        Some(r) => Value::Obj(vec![
+            (
+                "initial_conflicts".to_owned(),
+                Value::from(r.initial_conflicts as u64),
+            ),
+            (
+                "candidates_tried".to_owned(),
+                Value::from(r.candidates_tried as u64),
+            ),
+            (
+                "candidates_broken".to_owned(),
+                Value::from(r.candidates_broken as u64),
+            ),
+            ("rounds".to_owned(), Value::from(r.rounds.len() as u64)),
+            ("warm_reuses".to_owned(), Value::from(r.warm_reuses as u64)),
+            (
+                "verify_prefix_events_built".to_owned(),
+                opt(r.verify_prefix_events_built),
+            ),
+            (
+                "resolve_ms".to_owned(),
+                Value::from(r.elapsed.as_secs_f64() * 1e3),
+            ),
+        ]),
+    };
+    let equations_value = |equations: &[csc_core::SignalEquation]| {
+        Value::Arr(
+            equations
+                .iter()
+                .map(|e| {
+                    Value::Obj(vec![
+                        ("signal".to_owned(), Value::from(e.signal.as_str())),
+                        ("equation".to_owned(), Value::from(e.equation.as_str())),
+                        ("monotonic".to_owned(), Value::from(e.monotonic)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    match &run.pipeline.outcome {
+        PipelineOutcome::Unresolved { remaining, reason } => Value::Obj(vec![
+            ("id".to_owned(), Value::from(id)),
+            ("proto".to_owned(), Value::from(PROTO_VERSION)),
+            ("status".to_owned(), Value::from("error")),
+            ("code".to_owned(), Value::from("resolve_failed")),
+            (
+                "error".to_owned(),
+                Value::from(format!("synthesis failed: {reason}").as_str()),
+            ),
+            ("remaining".to_owned(), opt(remaining.map(|n| n as u64))),
+            ("stages".to_owned(), stages),
+            ("resolve".to_owned(), resolve_block),
+        ])
+        .render(),
+        PipelineOutcome::Clean { equations } => Value::Obj(vec![
+            ("id".to_owned(), Value::from(id)),
+            ("proto".to_owned(), Value::from(PROTO_VERSION)),
+            ("status".to_owned(), Value::from("ok")),
+            ("outcome".to_owned(), Value::from("clean")),
+            ("inserted".to_owned(), Value::Arr(Vec::new())),
+            ("resolved_g".to_owned(), Value::Null),
+            ("equations".to_owned(), equations_value(equations)),
+            ("stages".to_owned(), stages),
+            ("resolve".to_owned(), resolve_block),
+            (
+                "recheck_prefix_events_built".to_owned(),
+                opt(run.pipeline.report.recheck_prefix_events_built),
+            ),
+            (
+                "elapsed_ms".to_owned(),
+                Value::from(run.pipeline.report.elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
+        .render(),
+        PipelineOutcome::Resolved {
+            stg,
+            inserted,
+            equations,
+        } => Value::Obj(vec![
+            ("id".to_owned(), Value::from(id)),
+            ("proto".to_owned(), Value::from(PROTO_VERSION)),
+            ("status".to_owned(), Value::from("ok")),
+            ("outcome".to_owned(), Value::from("resolved")),
+            (
+                "inserted".to_owned(),
+                Value::Arr(inserted.iter().map(|s| Value::from(s.as_str())).collect()),
+            ),
+            (
+                "resolved_g".to_owned(),
+                Value::from(stg::to_g_format(stg, "resolved").as_str()),
+            ),
+            ("equations".to_owned(), equations_value(equations)),
+            ("stages".to_owned(), stages),
+            ("resolve".to_owned(), resolve_block),
+            (
+                "recheck_prefix_events_built".to_owned(),
+                opt(run.pipeline.report.recheck_prefix_events_built),
+            ),
+            (
+                "elapsed_ms".to_owned(),
+                Value::from(run.pipeline.report.elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
+        .render(),
+    }
 }
 
 /// Encodes an error response (parse failure, engine failure, protocol
@@ -564,6 +799,87 @@ mod tests {
         assert!(!line.contains('\n'), "NDJSON framing");
         let decoded = decode_request(&line).unwrap();
         assert_eq!(decoded, Request::Check(request));
+    }
+
+    #[test]
+    fn synthesize_request_round_trips() {
+        let request = SynthesizeRequest {
+            id: "syn-1".to_owned(),
+            stg_g: stg::to_g_format(&vme_read(), "vme"),
+            max_signals: Some(2),
+            engine: Some(Engine::UnfoldingIlp),
+            budget: BudgetSpec {
+                timeout_ms: Some(5000),
+                ..Default::default()
+            },
+        };
+        let line = encode_synthesize_request(&request);
+        assert!(!line.contains('\n'), "NDJSON framing");
+        let decoded = decode_request(&line).unwrap();
+        assert_eq!(decoded, Request::Synthesize(request));
+    }
+
+    #[test]
+    fn synthesize_responses_carry_resolution_and_stage_blocks() {
+        let stg = vme_read();
+        let run = resolve::synthesize(&stg, &resolve::SynthesisOptions::default(), None).unwrap();
+        let line = encode_synthesize_response("syn-2", &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("proto").and_then(Value::as_u64), Some(PROTO_VERSION));
+        assert_eq!(v.get("outcome").and_then(Value::as_str), Some("resolved"));
+        let inserted = v.get("inserted").expect("inserted present");
+        assert!(matches!(inserted, Value::Arr(items) if items.len() == 1));
+        // The resolved net round-trips through the wire as .g text.
+        let g = v
+            .get("resolved_g")
+            .and_then(Value::as_str)
+            .expect("resolved .g");
+        let resolved = stg::parse_bytes(g.as_bytes()).unwrap();
+        assert_eq!(resolved.num_signals(), stg.num_signals() + 1);
+        let Some(Value::Arr(equations)) = v.get("equations") else {
+            panic!("equations present");
+        };
+        assert!(!equations.is_empty());
+        let Some(Value::Arr(stages)) = v.get("stages") else {
+            panic!("stages present");
+        };
+        let names: Vec<_> = stages
+            .iter()
+            .filter_map(|s| s.get("stage").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, ["lint", "check", "resolve", "recheck", "equations"]);
+        // Incremental re-verification on the wire: the re-check
+        // reused the resolver's prefix.
+        assert_eq!(
+            v.get("recheck_prefix_events_built").and_then(Value::as_u64),
+            Some(0)
+        );
+        assert!(v.get("resolve").is_some_and(|r| !r.is_null()));
+    }
+
+    #[test]
+    fn failed_synthesis_uses_the_stable_resolve_failed_code() {
+        let stg = vme_read();
+        let options = resolve::SynthesisOptions {
+            resolver: resolve::ResolverOptions {
+                max_signals: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = resolve::synthesize(&stg, &options, None).unwrap();
+        let line = encode_synthesize_response("syn-3", &run);
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(
+            v.get("code").and_then(Value::as_str),
+            Some("resolve_failed")
+        );
+        assert!(v
+            .get("remaining")
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n > 0));
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::failpoints;
 use crate::json::Value;
 use crate::protocol::{
     decode_request, encode_check_response, encode_error_response, encode_error_response_with_code,
-    encode_lint_rejected, encode_overload_response, CheckRequest, Request,
+    encode_lint_rejected, encode_overload_response, encode_synthesize_response, CheckRequest,
+    Request, SynthesizeRequest,
 };
 
 /// Tuning knobs of one [`spawn`]ed service.
@@ -136,6 +137,13 @@ struct Stats {
     unknown: u64,
     /// Jobs answered by the lint LP proof alone — no engine ran.
     lint_proved: u64,
+    /// `synthesize` jobs admitted to the queue.
+    synthesize_received: u64,
+    /// `synthesize` jobs that ended conflict-free (clean or resolved).
+    synthesize_resolved: u64,
+    /// `synthesize` jobs that surrendered, exhausted their budget, or
+    /// hit a pipeline error (the `resolve_failed` response code).
+    synthesize_failed: u64,
     /// Race outcomes keyed like [`RACER_NAMES`].
     race_wins: [u64; 4],
     /// Races some *other* engine won while this one was retired.
@@ -188,10 +196,37 @@ enum Shed {
     OverQuota(usize),
 }
 
-/// One queued verification job. The STG was already parsed (and
-/// structurally linted) at admission, so workers never re-parse.
+/// The wire request a queued job executes. Both kinds flow through
+/// the same admission path, fair queue, worker pool, watchdog and
+/// supervisor — `synthesize` is not a side door around any of the
+/// overload or fault-tolerance machinery.
+enum JobRequest {
+    /// Decide one property (`check`).
+    Check(CheckRequest),
+    /// Run the full synthesis pipeline (`synthesize`).
+    Synthesize(SynthesizeRequest),
+}
+
+impl JobRequest {
+    fn id(&self) -> &str {
+        match self {
+            JobRequest::Check(r) => &r.id,
+            JobRequest::Synthesize(r) => &r.id,
+        }
+    }
+
+    fn stg_g(&self) -> &str {
+        match self {
+            JobRequest::Check(r) => &r.stg_g,
+            JobRequest::Synthesize(r) => &r.stg_g,
+        }
+    }
+}
+
+/// One queued job. The STG was already parsed (and structurally
+/// linted) at admission, so workers never re-parse.
 struct Job {
-    request: CheckRequest,
+    request: JobRequest,
     stg: Stg,
     cancel: CancelToken,
     enqueued: Instant,
@@ -492,6 +527,20 @@ impl Shared {
                         ]),
                     ),
                     ("lint_proved".to_owned(), Value::from(stats.lint_proved)),
+                    (
+                        "synthesize".to_owned(),
+                        Value::Obj(vec![
+                            (
+                                "received".to_owned(),
+                                Value::from(stats.synthesize_received),
+                            ),
+                            (
+                                "resolved".to_owned(),
+                                Value::from(stats.synthesize_resolved),
+                            ),
+                            ("failed".to_owned(), Value::from(stats.synthesize_failed)),
+                        ]),
+                    ),
                     (
                         "race".to_owned(),
                         Value::Obj(vec![
@@ -968,118 +1017,133 @@ fn handle_request_line(line: &str, shared: &Arc<Shared>, reply: &ReplySender, cl
             shared.trigger_shutdown();
         }
         Ok(Request::Check(request)) => {
-            if shared.shutting_down() {
-                reply.send(encode_error_response(
-                    Some(&request.id),
-                    "server is shutting down",
-                ));
-                return;
+            admit_job(JobRequest::Check(request), shared, reply, client_id);
+        }
+        Ok(Request::Synthesize(request)) => {
+            admit_job(JobRequest::Synthesize(request), shared, reply, client_id);
+        }
+    }
+}
+
+/// Admits one `check` or `synthesize` job: shutdown gate, admission
+/// lint, cancel-token registration, and the bounded fair-queue push.
+/// Both job kinds share this path, so quotas, load shedding and the
+/// graceful-shutdown drain treat them identically.
+fn admit_job(request: JobRequest, shared: &Arc<Shared>, reply: &ReplySender, client_id: u64) {
+    if shared.shutting_down() {
+        reply.send(encode_error_response(
+            Some(request.id()),
+            "server is shutting down",
+        ));
+        return;
+    }
+    // Admission lint: parse failures and structurally broken
+    // nets are rejected here on the reader thread — cheap
+    // graph checks only (no LP) — so garbage never consumes a
+    // queue slot or a worker. The job carries the parsed STG
+    // so workers never re-parse.
+    let options = lint::LintOptions {
+        lp: false,
+        ..Default::default()
+    };
+    let outcome = lint::lint_bytes(request.stg_g().as_bytes(), &options);
+    let stg = match outcome.stg {
+        Some(stg) if !outcome.report.has_errors() => stg,
+        _ => {
+            lock(&shared.stats).jobs_rejected += 1;
+            reply.send(encode_lint_rejected(Some(request.id()), &outcome.report));
+            return;
+        }
+    };
+    let cancel = CancelToken::new();
+    lock(&shared.live_tokens).push(cancel.clone());
+    // trigger_shutdown() may have swept live_tokens between
+    // the shutting_down() check above and the push; re-check
+    // so a job slipping through that window is still cancelled
+    // and cannot stall the drain.
+    if shared.shutting_down() {
+        cancel.cancel();
+    }
+    let is_synthesize = matches!(request, JobRequest::Synthesize(_));
+    let job = Job {
+        request,
+        stg,
+        cancel,
+        enqueued: Instant::now(),
+        client: client_id,
+        reply: reply.clone(),
+    };
+    // Admission and both bound checks happen under one queue
+    // lock, so the bounds are exact even with many connection
+    // readers racing. The shutdown re-check lives inside the
+    // same critical section: `trigger_shutdown` flips the
+    // flag under this lock, so a job admitted here is
+    // guaranteed to be visible to the draining workers — it
+    // can never land in the queue after the last worker
+    // already decided the drain was complete.
+    let admitted = {
+        let mut queue = lock(&shared.queue);
+        if shared.shutting_down() {
+            Err((job, None, 0))
+        } else {
+            let depth = queue.len();
+            queue
+                .try_push(job, shared.config.max_queue, shared.config.client_quota)
+                .map_err(|boxed| {
+                    let (job, shed) = *boxed;
+                    (job, Some(shed), depth)
+                })
+        }
+    };
+    match admitted {
+        Ok(depth) => {
+            let mut stats = lock(&shared.stats);
+            stats.jobs_received += 1;
+            if is_synthesize {
+                stats.synthesize_received += 1;
             }
-            // Admission lint: parse failures and structurally broken
-            // nets are rejected here on the reader thread — cheap
-            // graph checks only (no LP) — so garbage never consumes a
-            // queue slot or a worker. The job carries the parsed STG
-            // so workers never re-parse.
-            let options = lint::LintOptions {
-                lp: false,
-                ..Default::default()
-            };
-            let outcome = lint::lint_bytes(request.stg_g.as_bytes(), &options);
-            let stg = match outcome.stg {
-                Some(stg) if !outcome.report.has_errors() => stg,
-                _ => {
-                    lock(&shared.stats).jobs_rejected += 1;
-                    reply.send(encode_lint_rejected(Some(&request.id), &outcome.report));
-                    return;
-                }
-            };
-            let cancel = CancelToken::new();
-            lock(&shared.live_tokens).push(cancel.clone());
-            // trigger_shutdown() may have swept live_tokens between
-            // the shutting_down() check above and the push; re-check
-            // so a job slipping through that window is still cancelled
-            // and cannot stall the drain.
-            if shared.shutting_down() {
-                cancel.cancel();
-            }
-            let job = Job {
-                request,
-                stg,
-                cancel,
-                enqueued: Instant::now(),
-                client: client_id,
-                reply: reply.clone(),
-            };
-            // Admission and both bound checks happen under one queue
-            // lock, so the bounds are exact even with many connection
-            // readers racing. The shutdown re-check lives inside the
-            // same critical section: `trigger_shutdown` flips the
-            // flag under this lock, so a job admitted here is
-            // guaranteed to be visible to the draining workers — it
-            // can never land in the queue after the last worker
-            // already decided the drain was complete.
-            let admitted = {
-                let mut queue = lock(&shared.queue);
-                if shared.shutting_down() {
-                    Err((job, None, 0))
-                } else {
-                    let depth = queue.len();
-                    queue
-                        .try_push(job, shared.config.max_queue, shared.config.client_quota)
-                        .map_err(|boxed| {
-                            let (job, shed) = *boxed;
-                            (job, Some(shed), depth)
-                        })
-                }
-            };
-            match admitted {
-                Ok(depth) => {
-                    let mut stats = lock(&shared.stats);
-                    stats.jobs_received += 1;
-                    stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
-                    drop(stats);
-                    shared.available.notify_one();
-                }
-                Err((job, None, _)) => {
-                    // Refused by the in-lock shutdown re-check.
-                    lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
-                    job.reply.send(encode_error_response(
-                        Some(&job.request.id),
-                        "server is shutting down",
-                    ));
-                }
-                Err((job, Some(shed), depth)) => {
-                    lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
-                    {
-                        let mut stats = lock(&shared.stats);
-                        stats.jobs_rejected += 1;
-                        match shed {
-                            Shed::QueueFull(_) => stats.shed_queue_full += 1,
-                            Shed::OverQuota(_) => stats.shed_over_quota += 1,
-                        }
-                    }
-                    let retry_after_ms = shared.retry_after_hint_ms(depth);
-                    let (code, message) = match shed {
-                        Shed::QueueFull(max) => (
-                            "queue_full",
-                            format!("job queue is full ({max} queued jobs); retry later"),
-                        ),
-                        Shed::OverQuota(quota) => (
-                            "over_quota",
-                            format!(
-                                "client already has {quota} queued jobs \
-                                 (per-client quota); retry later"
-                            ),
-                        ),
-                    };
-                    job.reply.send(encode_overload_response(
-                        Some(&job.request.id),
-                        code,
-                        &message,
-                        retry_after_ms,
-                    ));
+            stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
+            drop(stats);
+            shared.available.notify_one();
+        }
+        Err((job, None, _)) => {
+            // Refused by the in-lock shutdown re-check.
+            lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
+            job.reply.send(encode_error_response(
+                Some(job.request.id()),
+                "server is shutting down",
+            ));
+        }
+        Err((job, Some(shed), depth)) => {
+            lock(&shared.live_tokens).retain(|t| !t.same_token(&job.cancel));
+            {
+                let mut stats = lock(&shared.stats);
+                stats.jobs_rejected += 1;
+                match shed {
+                    Shed::QueueFull(_) => stats.shed_queue_full += 1,
+                    Shed::OverQuota(_) => stats.shed_over_quota += 1,
                 }
             }
+            let retry_after_ms = shared.retry_after_hint_ms(depth);
+            let (code, message) = match shed {
+                Shed::QueueFull(max) => (
+                    "queue_full",
+                    format!("job queue is full ({max} queued jobs); retry later"),
+                ),
+                Shed::OverQuota(quota) => (
+                    "over_quota",
+                    format!(
+                        "client already has {quota} queued jobs \
+                         (per-client quota); retry later"
+                    ),
+                ),
+            };
+            job.reply.send(encode_overload_response(
+                Some(job.request.id()),
+                code,
+                &message,
+                retry_after_ms,
+            ));
         }
     }
 }
@@ -1110,7 +1174,7 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
         lock(&shared.in_flight_jobs).insert(
             worker_id,
             InFlight {
-                job_id: job.request.id.clone(),
+                job_id: job.request.id().to_owned(),
                 reply: job.reply.clone(),
                 cancel: job.cancel.clone(),
                 started: Instant::now(),
@@ -1130,7 +1194,25 @@ fn worker_loop(shared: &Arc<Shared>, worker_id: usize) {
 }
 
 fn process_job(job: &Job, shared: &Arc<Shared>) {
-    let request = &job.request;
+    let response = match &job.request {
+        JobRequest::Check(request) => process_check(request, job, shared),
+        JobRequest::Synthesize(request) => process_synthesize(request, job, shared),
+    };
+    match job.reply.send(response) {
+        SendOutcome::Sent => {}
+        SendOutcome::Dropped => {
+            lock(&shared.stats).responses_dropped += 1;
+        }
+        SendOutcome::PoisonedNow => {
+            let mut stats = lock(&shared.stats);
+            stats.responses_dropped += 1;
+            stats.slow_client_disconnects += 1;
+        }
+    }
+}
+
+/// Runs one `check` job and renders its response line.
+fn process_check(request: &CheckRequest, job: &Job, shared: &Arc<Shared>) -> String {
     let stg = &job.stg;
     let mut budget = request.budget.to_budget();
     if budget.deadline.is_none() {
@@ -1153,7 +1235,7 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
         .artifacts(&artifacts)
         .prelint(true)
         .run();
-    let response = match result {
+    match result {
         Ok(run) => {
             let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
             {
@@ -1194,16 +1276,56 @@ fn process_job(job: &Job, shared: &Arc<Shared>) {
             lock(&shared.stats).jobs_errored += 1;
             encode_error_response(Some(&request.id), &e.to_string())
         }
+    }
+}
+
+/// Runs one `synthesize` job and renders its response line.
+///
+/// The job reuses the same cached artifact set as `check` — a net
+/// already checked (or synthesized) before seeds the pipeline's
+/// initial check *and* the resolver's initial score. Failure is
+/// terminal: surrender, budget exhaustion (including a watchdog
+/// cancellation mid-resolution) and pipeline errors all answer the
+/// stable `resolve_failed` code, which clients must not retry.
+fn process_synthesize(request: &SynthesizeRequest, job: &Job, shared: &Arc<Shared>) -> String {
+    let stg = &job.stg;
+    let mut budget = request.budget.to_budget();
+    if budget.deadline.is_none() {
+        budget.deadline = shared.config.default_timeout_ms.map(Duration::from_millis);
+    }
+    budget.cancel = Some(job.cancel.clone());
+    let mut options = resolve::SynthesisOptions {
+        engine: request.engine.unwrap_or(shared.config.default_engine),
+        ..Default::default()
     };
-    match job.reply.send(response) {
-        SendOutcome::Sent => {}
-        SendOutcome::Dropped => {
-            lock(&shared.stats).responses_dropped += 1;
+    options.resolver.budget = budget;
+    if let Some(max) = request.max_signals {
+        options.resolver.max_signals = max;
+    }
+    let (artifacts, _cache_hit) = shared.cache.get_or_insert(stg);
+    match resolve::synthesize(stg, &options, Some(artifacts)) {
+        Ok(run) => {
+            let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+            {
+                let mut stats = lock(&shared.stats);
+                stats.jobs_completed += 1;
+                stats.latency_total_ms += latency_ms;
+                stats.latency_max_ms = stats.latency_max_ms.max(latency_ms);
+                if run.pipeline.outcome.is_conflict_free() {
+                    stats.synthesize_resolved += 1;
+                } else {
+                    stats.synthesize_failed += 1;
+                }
+            }
+            encode_synthesize_response(&request.id, &run)
         }
-        SendOutcome::PoisonedNow => {
-            let mut stats = lock(&shared.stats);
-            stats.responses_dropped += 1;
-            stats.slow_client_disconnects += 1;
+        Err(e) => {
+            {
+                let mut stats = lock(&shared.stats);
+                stats.jobs_errored += 1;
+                stats.synthesize_failed += 1;
+            }
+            encode_error_response_with_code(Some(&request.id), "resolve_failed", &e.to_string())
         }
     }
 }
@@ -1241,13 +1363,13 @@ mod tests {
             poisoned: AtomicBool::new(false),
         });
         Job {
-            request: CheckRequest {
+            request: JobRequest::Check(CheckRequest {
                 id: id.to_owned(),
                 stg_g: String::new(),
                 property: Property::Csc,
                 engine: None,
                 budget: BudgetSpec::default(),
-            },
+            }),
             stg,
             cancel: CancelToken::new(),
             enqueued: Instant::now(),
@@ -1274,7 +1396,7 @@ mod tests {
         assert_eq!(queue.len(), 4);
         assert_eq!(queue.client_depth(1), 3);
         let order: Vec<String> = std::iter::from_fn(|| queue.pop())
-            .map(|j| j.request.id)
+            .map(|j| j.request.id().to_owned())
             .collect();
         assert_eq!(order, ["a1", "b1", "a2", "a3"]);
         assert_eq!(queue.len(), 0);
@@ -1340,6 +1462,78 @@ mod tests {
             Some(1024),
             "max_queue defaults to a bounded value"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_a_synthesize_end_to_end() {
+        let server = local_server(2);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        let response = client
+            .synthesize("s1", &g, None, None, BudgetSpec::default())
+            .expect("synthesize");
+        assert_eq!(response.status, "ok");
+        assert_eq!(response.outcome.as_deref(), Some("resolved"));
+        assert_eq!(response.inserted.len(), 1, "one state signal for vme");
+        // The resolved net round-trips through .g and is genuinely
+        // conflict-free when re-checked over the same connection.
+        let resolved_g = response.resolved_g.as_deref().expect("resolved .g");
+        let recheck = client
+            .check(
+                "s1-recheck",
+                resolved_g,
+                Property::Csc,
+                None,
+                BudgetSpec::default(),
+            )
+            .expect("recheck");
+        assert_eq!(recheck.verdict.as_deref(), Some("holds"));
+        assert!(response.equations().is_some(), "equations present");
+        assert!(response.resolve_stats().is_some(), "resolve block present");
+        // The pipeline hands the resolver's artifacts to the re-check
+        // stage, so it rebuilt nothing.
+        assert_eq!(
+            response
+                .raw
+                .get("recheck_prefix_events_built")
+                .and_then(Value::as_u64),
+            Some(0),
+            "incremental re-verification: warm re-check"
+        );
+        let stats = client.stats().expect("stats");
+        let synth = stats
+            .get("stats")
+            .and_then(|s| s.get("synthesize"))
+            .expect("synthesize stats");
+        assert_eq!(synth.get("received").and_then(Value::as_u64), Some(1));
+        assert_eq!(synth.get("resolved").and_then(Value::as_u64), Some(1));
+        assert_eq!(synth.get("failed").and_then(Value::as_u64), Some(0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_synthesis_answers_the_permanent_resolve_failed_code() {
+        let server = local_server(1);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let g = stg::to_g_format(&vme_read(), "vme");
+        // max_signals 0 forbids any insertion, so the conflicted net
+        // cannot be resolved: a deterministic, permanent failure.
+        let response = client
+            .synthesize("s-fail", &g, Some(0), None, BudgetSpec::default())
+            .expect("synthesize");
+        assert_eq!(response.status, "error");
+        assert_eq!(response.code.as_deref(), Some("resolve_failed"));
+        assert!(
+            !response.is_retryable(),
+            "resolve_failed must never be retried"
+        );
+        let stats = client.stats().expect("stats");
+        let synth = stats
+            .get("stats")
+            .and_then(|s| s.get("synthesize"))
+            .expect("synthesize stats");
+        assert_eq!(synth.get("failed").and_then(Value::as_u64), Some(1));
         server.shutdown();
     }
 

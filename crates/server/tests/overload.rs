@@ -233,6 +233,67 @@ fn hung_job_watchdog_cancels_runaways() {
     server.shutdown();
 }
 
+/// The watchdog also covers `synthesize` jobs: a resolution that
+/// exceeds `hung_job_ms` is cancelled mid-candidate through the same
+/// cancel token, answers the stable `resolve_failed` code (permanent —
+/// the retry layer must not resubmit it), and frees the worker.
+#[test]
+fn hung_synthesize_watchdog_cancels_runaway_resolution() {
+    let server = spawn(ServerConfig {
+        workers: 1,
+        hung_job_ms: Some(60),
+        ..Default::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // A large conflicted duplex net: scoring its insertion candidates
+    // explores a state graph per candidate, far past the 60ms bound.
+    // The resolver threads the job's cancel token through every
+    // exploration, so the watchdog's flip aborts the search promptly.
+    let runaway = stg::to_g_format(&stg::gen::duplex::dup_mod(6), "runaway");
+    let response = client
+        .synthesize("runaway-synth", &runaway, None, None, BudgetSpec::default())
+        .expect("terminal response");
+    assert_eq!(response.status, "error", "{:?}", response.raw);
+    assert_eq!(
+        response.code.as_deref(),
+        Some("resolve_failed"),
+        "{:?}",
+        response.raw
+    );
+    assert!(
+        !response.is_retryable(),
+        "a watchdog-cancelled synthesis is a permanent failure"
+    );
+    // The worker is free again: a normal job completes promptly.
+    let after = client
+        .check(
+            "after",
+            &vme_g(),
+            Property::Csc,
+            Some(Engine::UnfoldingIlp),
+            BudgetSpec::default(),
+        )
+        .expect("check after cancellation");
+    assert_eq!(after.verdict.as_deref(), Some("violated"));
+    let stats = client.stats().expect("stats");
+    let sup = stats
+        .get("stats")
+        .and_then(|s| s.get("supervisor"))
+        .expect("supervisor block");
+    assert_eq!(
+        sup.get("hung_jobs_cancelled").and_then(Value::as_u64),
+        Some(1),
+        "{stats:?}"
+    );
+    let synth = stats
+        .get("stats")
+        .and_then(|s| s.get("synthesize"))
+        .expect("synthesize block");
+    assert_eq!(synth.get("failed").and_then(Value::as_u64), Some(1));
+    server.shutdown();
+}
+
 /// Per-client quotas shed the hog's surplus while another client's
 /// jobs still get through, and the `over_quota` code/counters are
 /// exact.

@@ -13,6 +13,8 @@
 //! stgcheck report <file.g>                   full battery, one summary
 //! stgcheck synth <file.g>                    next-state equations (needs CSC)
 //! stgcheck resolve <file.g> [--to-g]         insert state signals until CSC holds
+//! stgcheck synthesize <file.g> [--to-g]      full pipeline: lint -> check -> resolve
+//!                                            -> re-check -> equations
 //! stgcheck dot <file.g>                      STG as Graphviz DOT
 //! stgcheck gen <family> [params] [--to-g]    emit a benchmark model
 //! ```
@@ -24,9 +26,17 @@
 //! `--max-events N` (unfolding cap); an exhausted budget yields exit
 //! code 3.
 //!
-//! With `--server HOST:PORT` the `usc`/`csc` commands ship the job to
-//! a running `stgd` instead of checking in-process; the engine
-//! default is then the server's (the racing portfolio).
+//! With `--server HOST:PORT` the `usc`/`csc`/`synthesize` commands
+//! ship the job to a running `stgd` instead of working in-process;
+//! the engine default is then the server's (the racing portfolio).
+//!
+//! The `synthesize` command runs the whole synthesis pipeline of
+//! `resolve::synthesize`: lint gate, CSC check, state-signal
+//! insertion when conflicted, a warm re-check of the resolution over
+//! the resolver's own artifacts, and next-state equation derivation.
+//! `--max-signals N` caps the insertions; `--to-g` prints the
+//! resolved net instead of the human summary so the output can be
+//! piped back into other commands.
 //!
 //! The `check` command runs all three coding properties (USC, CSC,
 //! normalcy) over *one* shared artifact set: the unfolding prefix,
@@ -69,9 +79,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|dot|gen> ... \
+    "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|resolve|\
+     synthesize|dot|gen> ... \
      [--engine unfolding|explicit|symbolic|cegar|portfolio|race] [--timeout-ms N] [--max-events N] \
-     [--server HOST:PORT] [--format human|json] [--no-lp]"
+     [--max-signals N] [--server HOST:PORT] [--format human|json] [--no-lp] [--to-g]"
         .to_owned()
 }
 
@@ -109,8 +120,9 @@ fn run(args: &[String]) -> Result<u8, String> {
             print!("{report}");
             Ok(exit_code(!report.is_implementable_with_monotonic_gates()))
         }
-        "synth" => synthesize(&model).map(exit_code),
+        "synth" => synth_equations(&model).map(exit_code),
         "resolve" => resolve_cmd(&model, flags).map(exit_code),
+        "synthesize" => synthesize_cmd(&model, flags),
         "dot" => {
             print!("{}", stg::dot::to_dot(&model, "stg"));
             Ok(0)
@@ -476,7 +488,7 @@ fn deadlock(model: &Stg) -> Result<bool, String> {
     }
 }
 
-fn synthesize(model: &Stg) -> Result<bool, String> {
+fn synth_equations(model: &Stg) -> Result<bool, String> {
     use stg_coding_conflicts::synth::NextStateFunctions;
     let mut fns =
         NextStateFunctions::derive(model, Default::default()).map_err(|e| e.to_string())?;
@@ -524,6 +536,163 @@ fn resolve_cmd(model: &Stg, flags: &[String]) -> Result<bool, String> {
             println!("resolution failed: {remaining} CSC conflict pair(s) remain");
             Ok(true)
         }
+    }
+}
+
+/// Parses an optional `--<name> N` numeric flag.
+fn numeric_flag(flags: &[String], name: &str) -> Result<Option<usize>, String> {
+    match flags.iter().position(|f| f == name) {
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{name} needs a numeric argument")),
+    }
+}
+
+/// `stgcheck synthesize`: the full pipeline, locally or via `stgd`.
+fn synthesize_cmd(model: &Stg, flags: &[String]) -> Result<u8, String> {
+    if let Some(addr) = server_flag(flags)? {
+        return remote_synthesize(&addr, model, flags);
+    }
+    use stg_coding_conflicts::csc_core::PipelineOutcome;
+    use stg_coding_conflicts::resolve::{synthesize, SynthesisOptions};
+    let mut options = SynthesisOptions::default();
+    if let Some(engine) = engine_flag(flags)? {
+        options.engine = engine;
+    }
+    options.resolver.budget = budget_flags(flags)?;
+    if let Some(n) = numeric_flag(flags, "--max-signals")? {
+        options.resolver.max_signals = n;
+    }
+    let to_g = flags.iter().any(|f| f == "--to-g");
+    let run = synthesize(model, &options, None).map_err(|e| e.to_string())?;
+    if !to_g {
+        for stage in &run.pipeline.report.stages {
+            println!(
+                "{:<9} {:>9.1?}  {}",
+                stage.stage, stage.elapsed, stage.detail
+            );
+        }
+        if let Some(built) = run.pipeline.report.recheck_prefix_events_built {
+            println!("recheck prefix events built: {built} (warm when 0)");
+        }
+    }
+    let equations = |eqs: &[stg_coding_conflicts::csc_core::SignalEquation]| {
+        for eq in eqs {
+            println!(
+                "{}{}",
+                eq.equation,
+                if eq.monotonic {
+                    ""
+                } else {
+                    "   # not monotonic (needs input inverter)"
+                }
+            );
+        }
+    };
+    match &run.pipeline.outcome {
+        PipelineOutcome::Clean { equations: eqs } => {
+            if to_g {
+                print!("{}", stg::to_g_format(model, "resolved"));
+            } else {
+                println!("already conflict-free; no state signals needed");
+                equations(eqs);
+            }
+            Ok(0)
+        }
+        PipelineOutcome::Resolved {
+            stg: fixed,
+            inserted,
+            equations: eqs,
+        } => {
+            if to_g {
+                print!("{}", stg::to_g_format(fixed, "resolved"));
+            } else {
+                println!(
+                    "resolved with {} state signal(s): {}",
+                    inserted.len(),
+                    inserted.join(", ")
+                );
+                equations(eqs);
+            }
+            Ok(0)
+        }
+        PipelineOutcome::Unresolved { remaining, reason } => {
+            match remaining {
+                Some(n) => println!("synthesis failed: {reason} ({n} conflict pair(s) remain)"),
+                None => println!("synthesis failed: {reason}"),
+            }
+            Ok(1)
+        }
+    }
+}
+
+/// Ships the synthesis to a running `stgd`.
+fn remote_synthesize(addr: &str, model: &Stg, flags: &[String]) -> Result<u8, String> {
+    let engine = engine_flag(flags)?;
+    let budget = budget_flags(flags)?;
+    let spec = BudgetSpec {
+        timeout_ms: budget.deadline.map(|d| d.as_millis() as u64),
+        max_events: budget.max_events,
+        ..Default::default()
+    };
+    let max_signals = numeric_flag(flags, "--max-signals")?;
+    let to_g = flags.iter().any(|f| f == "--to-g");
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let response = client
+        .synthesize_with_retry(
+            "stgcheck",
+            &stg::to_g_format(model, "stgcheck"),
+            max_signals,
+            engine,
+            spec,
+            &RetryPolicy::default(),
+        )
+        .map_err(|e| format!("{addr}: {e}"))?;
+    if response.status == "error" {
+        let message = response
+            .error
+            .as_deref()
+            .unwrap_or("unspecified server error");
+        // A permanent resolution failure is a verdict (exit 1), not a
+        // processing error.
+        if response.code.as_deref() == Some("resolve_failed") {
+            println!("synthesis failed: {message} [server {addr}]");
+            return Ok(1);
+        }
+        return Err(message.to_owned());
+    }
+    match response.outcome.as_deref() {
+        Some("clean") => {
+            if to_g {
+                print!("{}", stg::to_g_format(model, "resolved"));
+            } else {
+                println!("already conflict-free; no state signals needed [server {addr}]");
+            }
+            Ok(0)
+        }
+        Some("resolved") => {
+            let resolved_g = response
+                .resolved_g
+                .as_deref()
+                .ok_or("server response lacks the resolved net")?;
+            if to_g {
+                print!("{resolved_g}");
+            } else {
+                println!(
+                    "resolved with {} state signal(s): {} [server {addr}]",
+                    response.inserted.len(),
+                    response.inserted.join(", ")
+                );
+            }
+            Ok(0)
+        }
+        other => Err(format!(
+            "malformed server outcome {:?} in response",
+            other.unwrap_or("<missing>")
+        )),
     }
 }
 

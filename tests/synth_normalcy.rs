@@ -5,10 +5,14 @@
 //! the same §6 condition through completely different machinery
 //! (BDDs over codes vs. integer programs over the unfolding).
 
-use stg_coding_conflicts::csc_core::Checker;
+use stg_coding_conflicts::csc_core::{
+    Artifacts, CheckRequest, Checker, Engine, PipelineOutcome, Property, Verdict,
+};
+use stg_coding_conflicts::resolve::{synthesize, SynthesisOptions};
 use stg_coding_conflicts::stg::gen::counterflow::counterflow_sym;
-use stg_coding_conflicts::stg::gen::duplex::dup_4ph;
-use stg_coding_conflicts::stg::gen::vme::vme_read_csc_resolved;
+use stg_coding_conflicts::stg::gen::duplex::{dup_4ph, dup_mod};
+use stg_coding_conflicts::stg::gen::ring::lazy_ring;
+use stg_coding_conflicts::stg::gen::vme::{vme_read, vme_read_csc_resolved};
 use stg_coding_conflicts::stg::{StateGraph, Stg};
 use stg_coding_conflicts::synth::NextStateFunctions;
 
@@ -60,6 +64,63 @@ fn monotone_completions_match_unfolding_normalcy() {
                 outcome.is_normal(),
                 "{label}/{}",
                 model.signal_name(z)
+            );
+        }
+    }
+}
+
+/// Differential re-verification of resolver outputs: every net the
+/// synthesis pipeline claims to have resolved is re-proved
+/// conflict-free by *all six* engines independently (plus a
+/// consistency check), so a resolver bug cannot hide behind the one
+/// engine it used for its own final verification.
+#[test]
+fn resolver_outputs_are_reproved_by_all_six_engines() {
+    let conflicted: Vec<(&str, Stg)> = vec![
+        ("vme", vme_read()),
+        ("dup_1", dup_4ph(1, false)),
+        ("dup_mod_2", dup_mod(2)),
+        ("lazy_ring_2", lazy_ring(2)),
+    ];
+    for (label, model) in conflicted {
+        let run = synthesize(&model, &SynthesisOptions::default(), None)
+            .unwrap_or_else(|e| panic!("{label}: synthesis failed: {e}"));
+        let PipelineOutcome::Resolved { stg: fixed, .. } = &run.pipeline.outcome else {
+            panic!(
+                "{label}: expected a resolution, got {:?}",
+                run.pipeline.outcome
+            );
+        };
+        // The resolved net must still be consistent — insertion is
+        // not allowed to break the STG's basic semantics.
+        let checker = Checker::new(fixed).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(
+            checker
+                .check_consistency()
+                .unwrap_or_else(|e| panic!("{label}: {e}"))
+                .is_consistent(),
+            "{label}: resolved net must stay consistent"
+        );
+        // All six engines, one shared artifact set.
+        let artifacts = Artifacts::of(fixed);
+        for engine in [
+            Engine::UnfoldingIlp,
+            Engine::ExplicitStateGraph,
+            Engine::SymbolicBdd,
+            Engine::Cegar,
+            Engine::Portfolio,
+            Engine::Race,
+        ] {
+            let check = CheckRequest::new(fixed, Property::Csc)
+                .engine(engine)
+                .artifacts(&artifacts)
+                .run()
+                .unwrap_or_else(|e| panic!("{label}/{}: {e}", engine.name()));
+            assert!(
+                matches!(check.verdict, Verdict::Holds),
+                "{label}/{}: resolver output must re-prove CSC, got {:?}",
+                engine.name(),
+                check.verdict
             );
         }
     }
