@@ -71,10 +71,7 @@ fn bench_order_ablation(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let options = UnfoldOptions {
-                    order,
-                    ..Default::default()
-                };
+                let options = UnfoldOptions::new().order(order);
                 black_box(Prefix::of_stg(black_box(&stg), options).expect("unfolds"))
             })
         });

@@ -329,14 +329,8 @@ mod tests {
     fn order_mismatch_builds_fresh_without_evicting() {
         let artifacts = Artifacts::of(&vme_read());
         let guard = StopGuard::default();
-        let erv = UnfoldOptions {
-            order: OrderStrategy::ErvTotal,
-            ..Default::default()
-        };
-        let mcm = UnfoldOptions {
-            order: OrderStrategy::McMillan,
-            ..Default::default()
-        };
+        let erv = UnfoldOptions::new().order(OrderStrategy::ErvTotal);
+        let mcm = UnfoldOptions::new().order(OrderStrategy::McMillan);
         let (cached, _) = artifacts.prefix(erv, &guard).unwrap();
         let (other, built) = artifacts.prefix(mcm, &guard).unwrap();
         assert!(built > 0, "mismatched order cannot reuse the cache");
@@ -351,10 +345,7 @@ mod tests {
     fn aborted_prefix_builds_are_not_cached() {
         let artifacts = Artifacts::of(&counterflow_sym(3, 3));
         let guard = StopGuard::default();
-        let tiny = UnfoldOptions {
-            max_events: 2,
-            ..Default::default()
-        };
+        let tiny = UnfoldOptions::new().max_events(2);
         let err = artifacts.prefix(tiny, &guard).unwrap_err();
         assert!(matches!(err, UnfoldError::TooManyEvents(_)));
         assert!(!artifacts.has_prefix(), "truncated artifact must not enter");

@@ -162,6 +162,7 @@ pub struct CheckRequest<'a> {
     engine: Engine,
     budget: Budget,
     prelint: bool,
+    unfold_threads: Option<usize>,
 }
 
 impl<'a> CheckRequest<'a> {
@@ -175,6 +176,7 @@ impl<'a> CheckRequest<'a> {
             engine: Engine::Portfolio,
             budget: Budget::unlimited(),
             prelint: false,
+            unfold_threads: None,
         }
     }
 
@@ -187,6 +189,19 @@ impl<'a> CheckRequest<'a> {
     /// Sets the resource budget.
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the worker count for parallel possible-extensions
+    /// discovery during prefix construction (engines that unfold:
+    /// `UnfoldingIlp`, `Portfolio`, and the unfolding racer of
+    /// `Race`). The prefix is bit-identical for every thread count —
+    /// see [`unfolding::UnfoldOptions::threads`] — so this knob only
+    /// affects wall-clock time, never verdicts or cached artifacts.
+    /// `0` means auto-detect from available parallelism; unset keeps
+    /// the serial default.
+    pub fn unfold_threads(mut self, threads: usize) -> Self {
+        self.unfold_threads = Some(threads);
         self
     }
 
@@ -251,7 +266,13 @@ impl<'a> CheckRequest<'a> {
 
     fn run_on(&self, artifacts: &Artifacts) -> Result<CheckRun, CheckError> {
         if !self.prelint {
-            return dispatch(artifacts, self.property, self.engine, &self.budget);
+            return dispatch(
+                artifacts,
+                self.property,
+                self.engine,
+                &self.budget,
+                self.unfold_threads,
+            );
         }
         let start = Instant::now();
         // The lint stage runs under the same wall-clock allowance
@@ -292,7 +313,13 @@ impl<'a> CheckRequest<'a> {
                 report: rr,
             });
         }
-        let mut run = dispatch(artifacts, self.property, self.engine, &self.budget)?;
+        let mut run = dispatch(
+            artifacts,
+            self.property,
+            self.engine,
+            &self.budget,
+            self.unfold_threads,
+        )?;
         run.report.lint = Some(summary);
         Ok(run)
     }
@@ -319,14 +346,15 @@ fn dispatch(
     property: Property,
     engine: Engine,
     budget: &Budget,
+    unfold_threads: Option<usize>,
 ) -> Result<CheckRun, CheckError> {
     let guard = budget.guard();
     let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
-        Engine::UnfoldingIlp => run_unfolding(artifacts, property, budget, &guard),
+        Engine::UnfoldingIlp => run_unfolding(artifacts, property, budget, unfold_threads, &guard),
         Engine::ExplicitStateGraph => run_explicit(artifacts, property, budget, &guard),
         Engine::SymbolicBdd => run_symbolic(artifacts, property, budget, &guard),
-        Engine::Portfolio => run_portfolio(artifacts, property, budget, &guard),
-        Engine::Race => run_race(artifacts, property, budget, &guard),
+        Engine::Portfolio => run_portfolio(artifacts, property, budget, unfold_threads, &guard),
+        Engine::Race => run_race(artifacts, property, budget, unfold_threads, &guard),
         Engine::Cegar => run_cegar(artifacts, property, budget, &guard),
     }));
     match outcome {
@@ -355,6 +383,7 @@ fn run_unfolding(
     artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
+    unfold_threads: Option<usize>,
     guard: &StopGuard,
 ) -> EngineOutcome {
     let start = Instant::now();
@@ -362,6 +391,9 @@ fn run_unfolding(
     let mut options = CheckerOptions::default();
     if let Some(n) = budget.max_events {
         options.unfold.max_events = n;
+    }
+    if let Some(n) = unfold_threads {
+        options.unfold = options.unfold.threads(n);
     }
     if let Some(n) = budget.max_solver_steps {
         options.solver.max_steps = n;
@@ -385,6 +417,10 @@ fn run_unfolding(
     report.prefix_events = Some(artifact.prefix.num_events());
     report.prefix_conditions = Some(artifact.prefix.num_conditions());
     report.prefix_events_built = Some(built);
+    // When the prefix came from the artifact cache these stats
+    // describe its *original* construction, not this request's
+    // thread setting — the prefix is bit-identical either way.
+    report.unfold = Some(artifact.prefix.unfold_stats());
     let checker = Checker::from_artifact(
         artifacts.stg(),
         Arc::clone(&artifact.prefix),
@@ -610,10 +646,11 @@ fn run_portfolio(
     artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
+    unfold_threads: Option<usize>,
     guard: &StopGuard,
 ) -> EngineOutcome {
     let start = Instant::now();
-    let (verdict, mut report) = run_unfolding(artifacts, property, budget, guard)?;
+    let (verdict, mut report) = run_unfolding(artifacts, property, budget, unfold_threads, guard)?;
     report.engine = "portfolio";
     if !verdict.is_unknown() {
         report.winner = Some("unfolding-ilp");
@@ -686,6 +723,7 @@ fn run_race(
     artifacts: &Artifacts,
     property: Property,
     budget: &Budget,
+    unfold_threads: Option<usize>,
     guard: &StopGuard,
 ) -> EngineOutcome {
     use std::sync::mpsc;
@@ -713,9 +751,13 @@ fn run_race(
             };
             scope.spawn(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
-                    Engine::UnfoldingIlp => {
-                        run_unfolding(artifacts, property, race_budget, &racer_guard)
-                    }
+                    Engine::UnfoldingIlp => run_unfolding(
+                        artifacts,
+                        property,
+                        race_budget,
+                        unfold_threads,
+                        &racer_guard,
+                    ),
                     Engine::ExplicitStateGraph => {
                         run_explicit(artifacts, property, race_budget, &racer_guard)
                     }
@@ -812,6 +854,7 @@ fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
         aggregate.bdd = racer.bdd.clone();
     }
     aggregate.cegar = aggregate.cegar.or(racer.cegar);
+    aggregate.unfold = aggregate.unfold.or(racer.unfold);
 }
 
 #[cfg(test)]

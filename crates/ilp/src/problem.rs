@@ -59,7 +59,7 @@ impl<'a> Problem<'a> {
     /// Splits a variable back into `(side, event)`.
     pub fn side_event(&self, v: Var) -> (usize, EventId) {
         let n = self.relations.num_events();
-        (v.index() / n, EventId((v.index() % n) as u32))
+        (v.index() / n, EventId::from_index(v.index() % n))
     }
 
     /// Number of variables.
@@ -104,7 +104,7 @@ impl<'a> Problem<'a> {
     /// `s`, given the cut-off predicate.
     pub fn fix_cutoffs(&mut self, is_cutoff: impl Fn(EventId) -> bool) {
         for e in 0..self.relations.num_events() {
-            let e = EventId(e as u32);
+            let e = EventId::from_index(e);
             if is_cutoff(e) {
                 for s in 0..self.sides {
                     self.fixed.push((self.var(s, e), false));
@@ -214,8 +214,8 @@ mod tests {
     fn variable_indexing_roundtrips() {
         let (_prefix, rel) = tiny();
         let p = Problem::new(&rel, 2);
-        let v = p.var(1, EventId(0));
-        assert_eq!(p.side_event(v), (1, EventId(0)));
+        let v = p.var(1, EventId::from_index(0));
+        assert_eq!(p.side_event(v), (1, EventId::from_index(0)));
         assert_eq!(p.num_vars(), 2);
     }
 
@@ -244,6 +244,6 @@ mod tests {
     fn out_of_range_side_panics() {
         let (_prefix, rel) = tiny();
         let p = Problem::new(&rel, 1);
-        p.var(1, EventId(0));
+        p.var(1, EventId::from_index(0));
     }
 }

@@ -218,17 +218,23 @@ impl<'p, 'r> Solver<'p, 'r> {
                 let rel = self.problem.relations();
                 if b {
                     for f in rel.predecessors(e).iter() {
-                        self.queue
-                            .push_back((self.problem.var(s, unfolding::EventId(f as u32)), true));
+                        self.queue.push_back((
+                            self.problem.var(s, unfolding::EventId::from_index(f)),
+                            true,
+                        ));
                     }
                     for g in rel.conflicts(e).iter() {
-                        self.queue
-                            .push_back((self.problem.var(s, unfolding::EventId(g as u32)), false));
+                        self.queue.push_back((
+                            self.problem.var(s, unfolding::EventId::from_index(g)),
+                            false,
+                        ));
                     }
                 } else {
                     for f in rel.successors(e).iter() {
-                        self.queue
-                            .push_back((self.problem.var(s, unfolding::EventId(f as u32)), false));
+                        self.queue.push_back((
+                            self.problem.var(s, unfolding::EventId::from_index(f)),
+                            false,
+                        ));
                     }
                 }
             }

@@ -91,7 +91,7 @@ proptest! {
         for c in &cs {
             let mut expr = LinExpr::new();
             for (i, &k) in c.coeffs.iter().enumerate() {
-                expr.push(problem.var(0, unfolding::EventId(i as u32)), k);
+                expr.push(problem.var(0, unfolding::EventId::from_index(i)), k);
             }
             expr.add_constant(c.constant);
             let op = [CmpOp::Eq, CmpOp::Le, CmpOp::Ge][c.op];
@@ -117,7 +117,7 @@ proptest! {
         let make = |problem: &Problem<'_>, c: &RandLinear, side: usize| {
             let mut e = LinExpr::new();
             for (i, &k) in c.coeffs.iter().enumerate() {
-                e.push(problem.var(side, unfolding::EventId(i as u32)), k);
+                e.push(problem.var(side, unfolding::EventId::from_index(i)), k);
             }
             e.add_constant(c.constant);
             e
@@ -167,7 +167,7 @@ proptest! {
         let make = |problem: &Problem<'_>, c: &RandLinear, side: usize| {
             let mut e = LinExpr::new();
             for (i, &k) in c.coeffs.iter().enumerate() {
-                e.push(problem.var(side, unfolding::EventId(i as u32)), k);
+                e.push(problem.var(side, unfolding::EventId::from_index(i)), k);
             }
             e.add_constant(c.constant);
             e

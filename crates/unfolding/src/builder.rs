@@ -1,10 +1,29 @@
 //! The ERV unfolding algorithm: construction of a finite complete
 //! prefix of a safe net system.
+//!
+//! Construction is split into two roles (see `docs/UNFOLDING.md`):
+//!
+//! * **possible-extensions discovery** — for each freshly integrated
+//!   condition, enumerate the co-sets completing a transition preset.
+//!   This is a pure read of the occurrence net built so far and is the
+//!   hot loop of the whole algorithm; with
+//!   [`UnfoldOptions::threads`] > 1 it fans out over a fixed worker
+//!   pool.
+//! * **sequential commit** — pop the adequate-order queue, insert
+//!   events, decide cut-offs. This stays on one thread so the prefix
+//!   is canonical: for any thread count the result is bit-identical
+//!   (same events in the same order, same [`OrderKey`]s, same cut-off
+//!   mates) to the serial construction.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread;
+use std::time::{Duration, Instant};
 
 use petri::{BitSet, Marking, Net, PlaceId, StopGuard, StopReason, TransitionId};
 use stg::Stg;
@@ -13,22 +32,109 @@ use crate::occ::{CondData, CondId, CutoffMate, EventData, EventId, Prefix};
 use crate::order::{OrderKey, OrderStrategy};
 
 /// Options controlling prefix construction.
+///
+/// Construct with [`UnfoldOptions::new`] (or `Default`) and chain the
+/// setters; the struct is `#[non_exhaustive]`, so adding a knob is not
+/// a breaking change and struct-literal construction is reserved to
+/// this crate. The fields stay readable everywhere.
+///
+/// ```
+/// use unfolding::{OrderStrategy, UnfoldOptions};
+///
+/// let options = UnfoldOptions::new()
+///     .order(OrderStrategy::McMillan)
+///     .max_events(10_000)
+///     .threads(2);
+/// assert_eq!(options.max_events, 10_000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct UnfoldOptions {
     /// Abort with [`UnfoldError::TooManyEvents`] beyond this many
     /// events (a guard against unbounded or explosive nets).
     pub max_events: usize,
     /// The adequate order used for queueing and cut-offs.
     pub order: OrderStrategy,
+    /// Worker threads for possible-extensions discovery. `1` (the
+    /// default) computes extensions inline on the commit thread; `0`
+    /// requests one worker per available CPU. The resulting prefix is
+    /// bit-identical for every value — only wall-clock time changes.
+    pub threads: usize,
+}
+
+impl UnfoldOptions {
+    /// The default options: ERV total order, 200 000-event cap,
+    /// inline (single-threaded) extension discovery.
+    pub fn new() -> Self {
+        UnfoldOptions {
+            max_events: 200_000,
+            order: OrderStrategy::ErvTotal,
+            threads: 1,
+        }
+    }
+
+    /// Sets the event cap.
+    #[must_use]
+    pub fn max_events(mut self, max_events: usize) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Sets the adequate order.
+    #[must_use]
+    pub fn order(mut self, order: OrderStrategy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the possible-extensions worker count (`0` = one per
+    /// available CPU).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The concrete worker count [`UnfoldOptions::threads`] resolves
+    /// to on this machine (`0` queries available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.threads
+        }
+    }
 }
 
 impl Default for UnfoldOptions {
     fn default() -> Self {
-        UnfoldOptions {
-            max_events: 200_000,
-            order: OrderStrategy::ErvTotal,
-        }
+        UnfoldOptions::new()
     }
+}
+
+/// Counters from one prefix construction, kept on the finished
+/// [`Prefix`] (see [`Prefix::unfold_stats`]).
+///
+/// `par_time` covers possible-extensions discovery — the phase the
+/// worker pool parallelises, including dispatch and collection —
+/// while `serial_time` covers the rest of the construction (the
+/// sequential commit loop). On a single CPU `par_time` with workers
+/// is expected to *exceed* the inline figure; the split is recorded
+/// so benchmarks can report the honest ratio either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct UnfoldStats {
+    /// Possible extensions discovered (pushes onto the order queue).
+    pub pe_discovered: u64,
+    /// Events committed to the prefix (cut-offs included).
+    pub pe_commits: u64,
+    /// Worker threads used for discovery (1 = inline on the commit
+    /// thread).
+    pub workers: u32,
+    /// Wall-clock spent in possible-extensions discovery.
+    pub par_time: Duration,
+    /// Wall-clock spent in the sequential commit loop.
+    pub serial_time: Duration,
 }
 
 /// An error during prefix construction.
@@ -112,9 +218,30 @@ impl PartialOrd for Pe {
     }
 }
 
-struct Builder<'a> {
+/// A discovered possible extension, before it is assigned a queue
+/// sequence number by the commit loop.
+struct PeCand {
+    key: OrderKey,
+    transition: TransitionId,
+    preset: Vec<CondId>,
+    depth: u32,
+}
+
+fn read_core<'l, 'a>(lock: &'l RwLock<Core<'a>>) -> RwLockReadGuard<'l, Core<'a>> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_core<'l, 'a>(lock: &'l RwLock<Core<'a>>) -> RwLockWriteGuard<'l, Core<'a>> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The occurrence net under construction: everything possible-
+/// extensions discovery reads. The commit loop is the sole writer
+/// (behind the `RwLock` write guard); workers take read guards per
+/// task, so discovery observes a quiescent net between commits.
+struct Core<'a> {
     net: &'a Net,
-    options: UnfoldOptions,
+    order: OrderStrategy,
     conds: Vec<CondData>,
     events: Vec<EventData>,
     min_conds: Vec<CondId>,
@@ -123,28 +250,19 @@ struct Builder<'a> {
     co_capacity: usize,
     /// Extendable conditions per original place.
     place_conds: Vec<Vec<CondId>>,
-    queue: BinaryHeap<Pe>,
-    /// `Mark([e]) → (key, mate)` entries for the cut-off test.
-    mark_table: HashMap<Marking, Vec<(OrderKey, CutoffMate)>>,
-    num_cutoffs: usize,
-    seq: u64,
 }
 
-impl<'a> Builder<'a> {
-    fn new(net: &'a Net, options: UnfoldOptions) -> Self {
-        Builder {
+impl<'a> Core<'a> {
+    fn new(net: &'a Net, order: OrderStrategy) -> Self {
+        Core {
             net,
-            options,
+            order,
             conds: Vec::new(),
             events: Vec::new(),
             min_conds: Vec::new(),
             co: Vec::new(),
             co_capacity: 256,
             place_conds: vec![Vec::new(); net.num_places()],
-            queue: BinaryHeap::new(),
-            mark_table: HashMap::new(),
-            num_cutoffs: 0,
-            seq: 0,
         }
     }
 
@@ -163,7 +281,7 @@ impl<'a> Builder<'a> {
         producer: Option<EventId>,
         from_cutoff: bool,
     ) -> CondId {
-        let id = CondId(self.conds.len() as u32);
+        let id = CondId::from_index(self.conds.len());
         self.conds.push(CondData {
             place,
             producer,
@@ -197,7 +315,7 @@ impl<'a> Builder<'a> {
         }
         let depth = depth + 1;
         let size = history.len() as u32 + 1;
-        let (parikh, foata) = match self.options.order {
+        let (parikh, foata) = match self.order {
             OrderStrategy::McMillan => (Vec::new(), Vec::new()),
             OrderStrategy::ErvTotal => {
                 let nt = self.net.num_transitions();
@@ -238,7 +356,7 @@ impl<'a> Builder<'a> {
                 continue;
             }
             let consumed = cond.consumers.iter().any(|e| history.contains(e.index()));
-            if !consumed && !preset.contains(&CondId(i as u32)) {
+            if !consumed && !preset.contains(&CondId::from_index(i)) {
                 m.add_token(cond.place);
             }
         }
@@ -249,9 +367,14 @@ impl<'a> Builder<'a> {
         m
     }
 
-    /// Pushes the possible extensions in which `b` participates as
-    /// the maximal (most recently added) condition.
-    fn push_extensions_for(&mut self, b: CondId) {
+    /// The possible extensions in which `b` participates as the
+    /// maximal (most recently added) condition: a pure read of the
+    /// net built so far. The output order — transitions in
+    /// `place_postset` order, co-sets in DFS order over
+    /// size-sorted candidate slots — is what makes parallel discovery
+    /// reproduce the serial queue exactly.
+    fn compute_extensions(&self, b: CondId) -> Vec<PeCand> {
+        let mut out = Vec::new();
         let place = self.conds[b.index()].place;
         for &t in self.net.place_postset(place) {
             let preset_places = self.net.preset(t);
@@ -278,29 +401,29 @@ impl<'a> Builder<'a> {
             }
             slots.sort_by_key(|(_, cands)| cands.len());
             let mut chosen: Vec<CondId> = Vec::with_capacity(slots.len());
-            self.search_cosets(t, b, &slots, &mut chosen);
+            self.search_cosets(t, b, &slots, &mut chosen, &mut out);
         }
+        out
     }
 
     fn search_cosets(
-        &mut self,
+        &self,
         t: TransitionId,
         b: CondId,
         slots: &[(PlaceId, Vec<CondId>)],
         chosen: &mut Vec<CondId>,
+        out: &mut Vec<PeCand>,
     ) {
         if chosen.len() == slots.len() {
             let mut preset: Vec<CondId> = chosen.clone();
             preset.push(b);
             preset.sort_unstable();
             let (key, depth, _history) = self.extension_key(t, &preset);
-            self.seq += 1;
-            self.queue.push(Pe {
+            out.push(PeCand {
                 key,
                 transition: t,
                 preset,
                 depth,
-                seq: self.seq,
             });
             return;
         }
@@ -311,14 +434,18 @@ impl<'a> Builder<'a> {
                 .all(|&d| self.co[c.index()].contains(d.index()))
             {
                 chosen.push(c);
-                self.search_cosets(t, b, slots, chosen);
+                self.search_cosets(t, b, slots, chosen, out);
                 chosen.pop();
             }
         }
     }
 
-    /// Integrates a freshly created extendable condition: computes its
-    /// concurrency set, registers it, and pushes its extensions.
+    /// Integrates a freshly created extendable condition: computes
+    /// its concurrency set, checks safety, and registers it for
+    /// discovery. Extension discovery itself happens separately (and
+    /// possibly concurrently) once every sibling is integrated —
+    /// candidates are filtered by `c < b`, so sibling registration
+    /// order cannot change any condition's extension set.
     ///
     /// `siblings` are the other postset conditions of the same event.
     fn integrate_condition(
@@ -377,14 +504,139 @@ impl<'a> Builder<'a> {
         }
         self.co[b.index()] = co_set;
         self.place_conds[place.index()].push(b);
-        self.push_extensions_for(b);
         Ok(())
     }
+}
 
-    fn run(mut self, m0: &Marking, guard: &StopGuard) -> Result<Prefix, UnfoldError> {
+/// A discovery task: the index of the condition within the current
+/// batch (so results can be re-sequenced) and the condition itself.
+type Task = (usize, CondId);
+type TaskResult = (usize, thread::Result<Vec<PeCand>>);
+
+fn worker_loop(lock: &RwLock<Core<'_>>, tasks: &Receiver<Task>, results: &Sender<TaskResult>) {
+    while let Ok((idx, b)) = tasks.recv() {
+        // Contain panics so a bug in discovery surfaces as a panic on
+        // the commit thread instead of a hung channel.
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| read_core(lock).compute_extensions(b)));
+        if results.send((idx, outcome)).is_err() {
+            break;
+        }
+    }
+}
+
+/// Where possible-extensions discovery runs: inline on the commit
+/// thread, or fanned out over a fixed worker pool.
+enum PeDiscovery {
+    Inline,
+    Pool {
+        task_txs: Vec<Sender<Task>>,
+        result_rx: Receiver<TaskResult>,
+    },
+}
+
+impl PeDiscovery {
+    /// Discovers the extensions of `conds` (a batch of freshly
+    /// integrated conditions) and returns them batch-ordered, so the
+    /// commit loop pushes candidates in exactly the serial order.
+    fn discover(&mut self, lock: &RwLock<Core<'_>>, conds: &[CondId]) -> Vec<Vec<PeCand>> {
+        match self {
+            PeDiscovery::Inline => conds
+                .iter()
+                .map(|&b| read_core(lock).compute_extensions(b))
+                .collect(),
+            PeDiscovery::Pool {
+                task_txs,
+                result_rx,
+            } => {
+                for (idx, &b) in conds.iter().enumerate() {
+                    // A dead worker surfaces below as a short result
+                    // count, so a send error needs no handling here.
+                    let _ = task_txs[idx % task_txs.len()].send((idx, b));
+                }
+                let mut slots: Vec<Option<Vec<PeCand>>> = conds.iter().map(|_| None).collect();
+                for _ in 0..conds.len() {
+                    match result_rx.recv() {
+                        Ok((idx, Ok(cands))) => slots[idx] = Some(cands),
+                        Ok((_, Err(payload))) => panic::resume_unwind(payload),
+                        Err(_) => unreachable!("PE worker pool disconnected"),
+                    }
+                }
+                slots.into_iter().flatten().collect()
+            }
+        }
+    }
+}
+
+/// The state owned exclusively by the sequential commit loop.
+struct Commit {
+    options: UnfoldOptions,
+    queue: BinaryHeap<Pe>,
+    /// `Mark([e]) → (key, mate)` entries for the cut-off test.
+    mark_table: HashMap<Marking, Vec<(OrderKey, CutoffMate)>>,
+    num_cutoffs: usize,
+    seq: u64,
+    stats: UnfoldStats,
+}
+
+impl Commit {
+    fn new(options: UnfoldOptions, workers: usize) -> Self {
+        Commit {
+            options,
+            queue: BinaryHeap::new(),
+            mark_table: HashMap::new(),
+            num_cutoffs: 0,
+            seq: 0,
+            stats: UnfoldStats {
+                workers: workers as u32,
+                ..UnfoldStats::default()
+            },
+        }
+    }
+
+    /// Discovers and enqueues the extensions of a batch of freshly
+    /// integrated conditions, assigning queue sequence numbers in
+    /// batch order — identical to the serial push order.
+    fn enqueue_extensions(
+        &mut self,
+        lock: &RwLock<Core<'_>>,
+        discovery: &mut PeDiscovery,
+        conds: &[CondId],
+    ) {
+        if conds.is_empty() {
+            return;
+        }
+        let started = Instant::now();
+        let batches = discovery.discover(lock, conds);
+        self.stats.par_time += started.elapsed();
+        for cands in batches {
+            for cand in cands {
+                self.seq += 1;
+                self.stats.pe_discovered += 1;
+                self.queue.push(Pe {
+                    key: cand.key,
+                    transition: cand.transition,
+                    preset: cand.preset,
+                    depth: cand.depth,
+                    seq: self.seq,
+                });
+            }
+        }
+    }
+
+    fn run(
+        &mut self,
+        lock: &RwLock<Core<'_>>,
+        discovery: &mut PeDiscovery,
+        m0: &Marking,
+        guard: &StopGuard,
+    ) -> Result<(), UnfoldError> {
         // Seed the cut-off table with the empty configuration.
-        let nt = self.net.num_transitions();
-        let empty_key = match self.options.order {
+        let (nt, order) = {
+            let core = read_core(lock);
+            (core.net.num_transitions(), core.order)
+        };
+        let empty_key = match order {
             OrderStrategy::McMillan => OrderKey {
                 size: 0,
                 parikh: Vec::new(),
@@ -400,27 +652,35 @@ impl<'a> Builder<'a> {
             .insert(m0.clone(), vec![(empty_key, CutoffMate::Initial)]);
 
         // Minimal conditions, one per token.
-        for p in m0.marked_places() {
-            if m0.tokens(p) > 1 {
-                return Err(UnfoldError::UnsafeNet { place: p });
+        let mins = {
+            let mut core = write_core(lock);
+            for p in m0.marked_places() {
+                if m0.tokens(p) > 1 {
+                    return Err(UnfoldError::UnsafeNet { place: p });
+                }
+                let b = core.new_condition(p, None, false);
+                core.min_conds.push(b);
             }
-            let b = self.new_condition(p, None, false);
-            self.min_conds.push(b);
-        }
-        let mins = self.min_conds.clone();
-        for &b in &mins {
-            self.integrate_condition(b, None, &[])?;
-        }
+            let mins = core.min_conds.clone();
+            for &b in &mins {
+                core.integrate_condition(b, None, &[])?;
+            }
+            mins
+        };
+        self.enqueue_extensions(lock, discovery, &mins);
 
         while let Some(pe) = self.queue.pop() {
             if let Err(reason) = guard.poll_now() {
                 return Err(UnfoldError::Interrupted {
                     reason,
-                    events: self.events.len(),
+                    events: read_core(lock).events.len(),
                 });
             }
-            if self.events.len() >= self.options.max_events {
-                return Err(UnfoldError::TooManyEvents(self.options.max_events));
+            {
+                let core = read_core(lock);
+                if core.events.len() >= self.options.max_events {
+                    return Err(UnfoldError::TooManyEvents(self.options.max_events));
+                }
             }
             let Pe {
                 key,
@@ -429,39 +689,50 @@ impl<'a> Builder<'a> {
                 depth,
                 ..
             } = pe;
-            let (_, _, history) = self.extension_key(transition, &preset);
-            let marking = self.extension_marking(transition, &preset, &history);
+            let (marking, postset, is_cutoff, id) = {
+                let mut core = write_core(lock);
+                let (_, _, history) = core.extension_key(transition, &preset);
+                let marking = core.extension_marking(transition, &preset, &history);
 
-            let mate = self.mark_table.get(&marking).and_then(|entries| {
-                entries
-                    .iter()
-                    .find(|(k, _)| k.is_strictly_less(&key, self.options.order))
-                    .map(|&(_, mate)| mate)
-            });
+                let mate = self.mark_table.get(&marking).and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|(k, _)| k.is_strictly_less(&key, self.options.order))
+                        .map(|&(_, mate)| mate)
+                });
 
-            let id = EventId(self.events.len() as u32);
-            let mut local = history;
-            local.grow(id.index() + 1);
-            local.insert(id.index());
-            let size = local.len() as u32;
-            for &b in &preset {
-                self.conds[b.index()].consumers.push(id);
-            }
-            let is_cutoff = mate.is_some();
-            let mut postset = Vec::new();
-            for &p in self.net.postset(transition) {
-                let b = self.new_condition(p, Some(id), is_cutoff);
-                postset.push(b);
-            }
-            self.events.push(EventData {
-                transition,
-                preset,
-                postset: postset.clone(),
-                cutoff: mate,
-                local,
-                size,
-                depth,
-            });
+                let id = EventId::from_index(core.events.len());
+                let mut local = history;
+                local.grow(id.index() + 1);
+                local.insert(id.index());
+                let size = local.len() as u32;
+                for &b in &preset {
+                    core.conds[b.index()].consumers.push(id);
+                }
+                let is_cutoff = mate.is_some();
+                let mut postset = Vec::new();
+                for &p in core.net.postset(transition) {
+                    let b = core.new_condition(p, Some(id), is_cutoff);
+                    postset.push(b);
+                }
+                core.events.push(EventData {
+                    transition,
+                    preset,
+                    postset: postset.clone(),
+                    cutoff: mate,
+                    key: key.clone(),
+                    local,
+                    size,
+                    depth,
+                });
+                if !is_cutoff {
+                    for &b in &postset {
+                        core.integrate_condition(b, Some(id), &postset)?;
+                    }
+                }
+                (marking, postset, is_cutoff, id)
+            };
+            self.stats.pe_commits += 1;
 
             if is_cutoff {
                 self.num_cutoffs += 1;
@@ -470,26 +741,66 @@ impl<'a> Builder<'a> {
                     .entry(marking)
                     .or_default()
                     .push((key, CutoffMate::Event(id)));
-                for &b in &postset {
-                    self.integrate_condition(b, Some(id), &postset)?;
-                }
+                self.enqueue_extensions(lock, discovery, &postset);
             }
         }
-
-        // Normalise local-configuration capacities for callers.
-        let n = self.events.len();
-        for e in &mut self.events {
-            e.local.grow(n);
-        }
-        Ok(Prefix {
-            conds: self.conds,
-            events: self.events,
-            min_conds: self.min_conds,
-            num_cutoffs: self.num_cutoffs,
-            num_places: self.net.num_places(),
-            num_transitions: self.net.num_transitions(),
-        })
+        Ok(())
     }
+}
+
+fn unfold_with(
+    net: &Net,
+    m0: &Marking,
+    options: UnfoldOptions,
+    guard: &StopGuard,
+) -> Result<Prefix, UnfoldError> {
+    let workers = options.resolved_threads().max(1);
+    let lock = RwLock::new(Core::new(net, options.order));
+    let mut commit = Commit::new(options, workers);
+    let started = Instant::now();
+    if workers <= 1 {
+        commit.run(&lock, &mut PeDiscovery::Inline, m0, guard)?;
+    } else {
+        thread::scope(|scope| {
+            let (result_tx, result_rx) = mpsc::channel();
+            let task_txs: Vec<Sender<Task>> = (0..workers)
+                .map(|_| {
+                    let (task_tx, task_rx) = mpsc::channel();
+                    let result_tx = result_tx.clone();
+                    let lock = &lock;
+                    scope.spawn(move || worker_loop(lock, &task_rx, &result_tx));
+                    task_tx
+                })
+                .collect();
+            drop(result_tx);
+            let mut discovery = PeDiscovery::Pool {
+                task_txs,
+                result_rx,
+            };
+            let outcome = commit.run(&lock, &mut discovery, m0, guard);
+            // Dropping the task senders disconnects the workers, so
+            // the scope's implicit join cannot hang.
+            drop(discovery);
+            outcome
+        })?;
+    }
+    commit.stats.serial_time = started.elapsed().saturating_sub(commit.stats.par_time);
+    let mut core = lock.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    // Normalise local-configuration capacities for callers.
+    let n = core.events.len();
+    for e in &mut core.events {
+        e.local.grow(n);
+    }
+    Ok(Prefix {
+        conds: core.conds,
+        events: core.events,
+        min_conds: core.min_conds,
+        num_cutoffs: commit.num_cutoffs,
+        num_places: net.num_places(),
+        num_transitions: net.num_transitions(),
+        stats: commit.stats,
+    })
 }
 
 impl Prefix {
@@ -525,7 +836,7 @@ impl Prefix {
     /// # }
     /// ```
     pub fn unfold(net: &Net, m0: &Marking, options: UnfoldOptions) -> Result<Prefix, UnfoldError> {
-        Builder::new(net, options).run(m0, &StopGuard::unlimited())
+        unfold_with(net, m0, options, &StopGuard::unlimited())
     }
 
     /// Like [`Prefix::unfold`], additionally polling `guard` before
@@ -543,7 +854,7 @@ impl Prefix {
         options: UnfoldOptions,
         guard: &StopGuard,
     ) -> Result<Prefix, UnfoldError> {
-        Builder::new(net, options).run(m0, guard)
+        unfold_with(net, m0, options, guard)
     }
 
     /// Unfolds the net system underlying an STG.
@@ -664,10 +975,7 @@ mod tests {
     #[test]
     fn event_limit_enforced() {
         let (net, m0) = parallel();
-        let options = UnfoldOptions {
-            max_events: 1,
-            ..Default::default()
-        };
+        let options = UnfoldOptions::new().max_events(1);
         assert!(matches!(
             Prefix::unfold(&net, &m0, options),
             Err(UnfoldError::TooManyEvents(1))
@@ -734,12 +1042,134 @@ mod tests {
         let mcm = Prefix::unfold(
             &net,
             &m0,
-            UnfoldOptions {
-                order: OrderStrategy::McMillan,
-                ..Default::default()
-            },
+            UnfoldOptions::new().order(OrderStrategy::McMillan),
         )
         .unwrap();
         assert!(mcm.num_events() >= erv.num_events());
+    }
+
+    /// Every structural component of two prefixes must coincide —
+    /// the bit-identity contract of parallel discovery.
+    fn assert_identical(a: &Prefix, b: &Prefix) {
+        assert_eq!(a.num_events(), b.num_events());
+        assert_eq!(a.num_conditions(), b.num_conditions());
+        assert_eq!(a.num_cutoffs(), b.num_cutoffs());
+        assert_eq!(a.min_conditions(), b.min_conditions());
+        for e in a.events() {
+            assert_eq!(a.event_transition(e), b.event_transition(e));
+            assert_eq!(a.event_preset(e), b.event_preset(e));
+            assert_eq!(a.event_postset(e), b.event_postset(e));
+            assert_eq!(a.cutoff_mate(e), b.cutoff_mate(e));
+            assert_eq!(a.order_key(e), b.order_key(e));
+            assert_eq!(a.depth(e), b.depth(e));
+            assert_eq!(a.local_config(e), b.local_config(e));
+        }
+        for c in a.conditions() {
+            assert_eq!(a.cond_place(c), b.cond_place(c));
+            assert_eq!(a.cond_producer(c), b.cond_producer(c));
+            assert_eq!(a.cond_consumers(c), b.cond_consumers(c));
+            assert_eq!(a.cond_from_cutoff(c), b.cond_from_cutoff(c));
+        }
+    }
+
+    #[test]
+    fn parallel_discovery_is_bit_identical() {
+        let stg = stg::gen::vme::vme_read();
+        let serial = Prefix::of_stg(&stg, UnfoldOptions::default()).unwrap();
+        assert_eq!(serial.unfold_stats().workers, 1);
+        for threads in [2, 3, 4] {
+            let par = Prefix::of_stg(&stg, UnfoldOptions::new().threads(threads)).unwrap();
+            assert_eq!(par.unfold_stats().workers, threads as u32);
+            assert_eq!(
+                par.unfold_stats().pe_discovered,
+                serial.unfold_stats().pe_discovered
+            );
+            assert_eq!(
+                par.unfold_stats().pe_commits,
+                serial.unfold_stats().pe_commits
+            );
+            assert_identical(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_discovery_matches_under_mcmillan() {
+        let (net, m0) = parallel();
+        let serial = Prefix::unfold(
+            &net,
+            &m0,
+            UnfoldOptions::new().order(OrderStrategy::McMillan),
+        )
+        .unwrap();
+        let par = Prefix::unfold(
+            &net,
+            &m0,
+            UnfoldOptions::new()
+                .order(OrderStrategy::McMillan)
+                .threads(4),
+        )
+        .unwrap();
+        assert_identical(&serial, &par);
+    }
+
+    #[test]
+    fn parallel_unsafe_net_rejected() {
+        let mut b = NetBuilder::new();
+        let p = b.add_place("p");
+        let q = b.add_place("q");
+        let r = b.add_place("r");
+        let t = b.add_transition("t");
+        let u = b.add_transition("u");
+        b.arc_pt(p, t).unwrap();
+        b.arc_tp(t, r).unwrap();
+        b.arc_pt(q, u).unwrap();
+        b.arc_tp(u, r).unwrap();
+        let net = b.build().unwrap();
+        let m0 = Marking::with_tokens(3, &[(p, 1), (q, 1)]);
+        assert!(matches!(
+            Prefix::unfold(&net, &m0, UnfoldOptions::new().threads(4)),
+            Err(UnfoldError::UnsafeNet { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_guard_interrupts() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let (net, m0) = parallel();
+        let flag = Arc::new(AtomicBool::new(true));
+        let guard = StopGuard::new(Some(flag), None);
+        let err = Prefix::unfold_guarded(&net, &m0, UnfoldOptions::new().threads(2), &guard)
+            .expect_err("pre-cancelled guard must interrupt");
+        assert!(matches!(err, UnfoldError::Interrupted { .. }));
+    }
+
+    #[test]
+    fn parallel_event_limit_enforced() {
+        let (net, m0) = parallel();
+        assert!(matches!(
+            Prefix::unfold(&net, &m0, UnfoldOptions::new().max_events(1).threads(2)),
+            Err(UnfoldError::TooManyEvents(1))
+        ));
+    }
+
+    #[test]
+    fn auto_thread_count_resolves() {
+        let options = UnfoldOptions::new().threads(0);
+        assert!(options.resolved_threads() >= 1);
+        let (net, m0) = parallel();
+        let auto = Prefix::unfold(&net, &m0, options).unwrap();
+        let serial = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        assert_identical(&serial, &auto);
+    }
+
+    #[test]
+    fn stats_count_discovery_and_commits() {
+        let (net, m0) = parallel();
+        let prefix = Prefix::unfold(&net, &m0, UnfoldOptions::default()).unwrap();
+        let stats = prefix.unfold_stats();
+        assert_eq!(stats.pe_commits, prefix.num_events() as u64);
+        assert!(stats.pe_discovered >= stats.pe_commits);
     }
 }

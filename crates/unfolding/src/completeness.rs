@@ -43,7 +43,7 @@ pub fn cutoff_free_configurations(prefix: &Prefix, limit: usize) -> Option<Vec<B
     let mut stack: Vec<(BitSet, usize)> = vec![(BitSet::new(n), 0)];
     while let Some((config, min_next)) = stack.pop() {
         for next in min_next..n {
-            let e = EventId(next as u32);
+            let e = EventId::from_index(next);
             if prefix.is_cutoff(e) {
                 continue;
             }

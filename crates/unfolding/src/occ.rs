@@ -5,14 +5,27 @@ use std::fmt;
 use petri::{BitSet, Marking, ParikhVector, PlaceId, TransitionId};
 use stg::{ChangeVec, Label, Stg};
 
+use crate::builder::UnfoldStats;
+use crate::order::OrderKey;
+
 /// Identifier of a condition (occurrence-net place) in a [`Prefix`].
+///
+/// The numbering is private to the unfolder; obtain ids from a
+/// [`Prefix`]'s iterators and accessors, or reconstitute one from a
+/// previously obtained [`CondId::index`] with [`CondId::from_index`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct CondId(pub u32);
+pub struct CondId(u32);
 
 impl CondId {
     /// Raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The condition with the given raw index (the inverse of
+    /// [`CondId::index`]; e.g. a bit position from a condition set).
+    pub fn from_index(index: usize) -> Self {
+        CondId(index as u32)
     }
 }
 
@@ -32,12 +45,19 @@ impl fmt::Display for CondId {
 /// Events are numbered in insertion order, which coincides with the
 /// adequate order used during construction.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct EventId(pub u32);
+pub struct EventId(u32);
 
 impl EventId {
     /// Raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The event with the given raw index (the inverse of
+    /// [`EventId::index`]; e.g. a bit position from a configuration
+    /// bit set).
+    pub fn from_index(index: usize) -> Self {
+        EventId(index as u32)
     }
 }
 
@@ -80,6 +100,8 @@ pub(crate) struct EventData {
     pub preset: Vec<CondId>,
     pub postset: Vec<CondId>,
     pub cutoff: Option<CutoffMate>,
+    /// The adequate-order key of `[e]` the event was queued with.
+    pub key: OrderKey,
     /// The local configuration `[e]` as an event bit set (includes
     /// `e` itself). Capacity equals the final number of events.
     pub local: BitSet,
@@ -103,6 +125,7 @@ pub struct Prefix {
     pub(crate) num_cutoffs: usize,
     pub(crate) num_places: usize,
     pub(crate) num_transitions: usize,
+    pub(crate) stats: UnfoldStats,
 }
 
 impl Prefix {
@@ -197,6 +220,22 @@ impl Prefix {
     /// Foata depth of `e` (1 for minimal events).
     pub fn depth(&self, e: EventId) -> u32 {
         self.events[e.index()].depth
+    }
+
+    /// The adequate-order key of `[e]` the event was queued and
+    /// committed with (size, Parikh vector, Foata normal form — the
+    /// Parikh/Foata parts are empty under
+    /// [`OrderStrategy::McMillan`](crate::OrderStrategy::McMillan)).
+    pub fn order_key(&self, e: EventId) -> &OrderKey {
+        &self.events[e.index()].key
+    }
+
+    /// Counters recorded while this prefix was built: possible
+    /// extensions discovered and committed, the discovery worker
+    /// count, and the wall-clock split between the parallelisable
+    /// discovery phase and the sequential commit loop.
+    pub fn unfold_stats(&self) -> UnfoldStats {
+        self.stats
     }
 
     /// Whether event set `c` is a configuration: causally closed and

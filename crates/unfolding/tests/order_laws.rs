@@ -30,7 +30,7 @@ fn key_of(prefix: &Prefix, stg: &Stg, e: EventId) -> OrderKey {
     let depth = prefix.depth(e) as usize;
     let mut foata = vec![vec![0u16; nt]; depth];
     for f in local.iter() {
-        let f = EventId(f as u32);
+        let f = EventId::from_index(f);
         parikh[prefix.event_transition(f).index()] += 1;
         foata[prefix.depth(f) as usize - 1][prefix.event_transition(f).index()] += 1;
     }

@@ -24,7 +24,11 @@
 //! conclusive engine wins). The `usc`/`csc` commands also accept
 //! budget flags: `--timeout-ms N` (wall-clock deadline) and
 //! `--max-events N` (unfolding cap); an exhausted budget yields exit
-//! code 3.
+//! code 3. Commands that build a prefix (`unfold`, `usc`, `csc`,
+//! `check`) accept `--unfold-threads N` to parallelise
+//! possible-extensions discovery (`0` = auto-detect); the prefix is
+//! bit-identical for every thread count, so this only changes
+//! wall-clock time.
 //!
 //! With `--server HOST:PORT` the `usc`/`csc`/`synthesize` commands
 //! ship the job to a running `stgd` instead of working in-process;
@@ -58,8 +62,8 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use stg_coding_conflicts::csc_core::{
-    Artifacts, Budget, CheckOutcome, CheckRequest, Checker, Engine, Property, ResourceReport,
-    Verdict,
+    Artifacts, Budget, CheckOutcome, CheckRequest, Checker, CheckerOptions, Engine, Property,
+    ResourceReport, Verdict,
 };
 use stg_coding_conflicts::lint;
 use stg_coding_conflicts::server::protocol::{engine_from_str, BudgetSpec};
@@ -82,7 +86,8 @@ fn usage() -> String {
     "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|resolve|\
      synthesize|dot|gen> ... \
      [--engine unfolding|explicit|symbolic|cegar|portfolio|race] [--timeout-ms N] [--max-events N] \
-     [--max-signals N] [--server HOST:PORT] [--format human|json] [--no-lp] [--to-g]"
+     [--unfold-threads N] [--max-signals N] [--server HOST:PORT] [--format human|json] [--no-lp] \
+     [--to-g]"
         .to_owned()
 }
 
@@ -192,6 +197,20 @@ fn server_flag(flags: &[String]) -> Result<Option<String>, String> {
     }
 }
 
+/// Parses `--unfold-threads N`; `None` when the flag is absent. `0`
+/// requests one possible-extensions worker per available CPU; the
+/// prefix is bit-identical for every value.
+fn unfold_threads_flag(flags: &[String]) -> Result<Option<usize>, String> {
+    match flags.iter().position(|f| f == "--unfold-threads") {
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| "--unfold-threads needs a numeric argument".to_owned()),
+    }
+}
+
 /// Parses `--timeout-ms N` / `--max-events N` into a [`Budget`].
 fn budget_flags(flags: &[String]) -> Result<Budget, String> {
     let numeric = |name: &str| -> Result<Option<u64>, String> {
@@ -243,14 +262,9 @@ fn unfold(model: &Stg, flags: &[String]) -> Result<bool, String> {
     } else {
         OrderStrategy::ErvTotal
     };
-    let prefix = Prefix::of_stg(
-        model,
-        UnfoldOptions {
-            order,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let threads = unfold_threads_flag(flags)?.unwrap_or(1);
+    let prefix = Prefix::of_stg(model, UnfoldOptions::new().order(order).threads(threads))
+        .map_err(|e| e.to_string())?;
     if flags.iter().any(|f| f == "--dot") {
         print!("{}", unfolding::dot::to_dot(&prefix, model, "prefix"));
     } else {
@@ -270,10 +284,15 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
     }
     let engine = engine_flag(flags)?.unwrap_or(Engine::UnfoldingIlp);
     let budget = budget_flags(flags)?;
+    let threads = unfold_threads_flag(flags)?;
     let unbudgeted = budget.deadline.is_none() && budget.max_events.is_none();
     if engine == Engine::UnfoldingIlp && unbudgeted {
         // Use the full checker so we can print witnesses.
-        let checker = Checker::new(model).map_err(|e| e.to_string())?;
+        let mut options = CheckerOptions::default();
+        if let Some(n) = threads {
+            options.unfold = options.unfold.threads(n);
+        }
+        let checker = Checker::with_options(model, options).map_err(|e| e.to_string())?;
         let outcome = match property {
             Property::Usc => checker.check_usc(),
             Property::Csc => checker.check_csc(),
@@ -291,11 +310,13 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
             }
         }
     } else {
-        let run = CheckRequest::new(model, property)
+        let mut request = CheckRequest::new(model, property)
             .engine(engine)
-            .budget(budget)
-            .run()
-            .map_err(|e| e.to_string())?;
+            .budget(budget);
+        if let Some(n) = threads {
+            request = request.unfold_threads(n);
+        }
+        let run = request.run().map_err(|e| e.to_string())?;
         let code = match run.verdict {
             Verdict::Holds => {
                 println!("{property:?}: satisfied");
@@ -321,6 +342,19 @@ fn coding(model: &Stg, property: Property, flags: &[String]) -> Result<u8, Strin
 /// Prints the BDD manager counters when the run touched the symbolic
 /// stage (peak/live nodes, collections, sifting passes).
 fn print_bdd_stats(report: &ResourceReport) {
+    if let Some(stats) = &report.unfold {
+        if stats.workers > 1 {
+            println!(
+                "  unfold: {} extension(s) discovered over {} commit(s) by {} worker(s), \
+                 {:?} parallel / {:?} sequential",
+                stats.pe_discovered,
+                stats.pe_commits,
+                stats.workers,
+                stats.par_time,
+                stats.serial_time
+            );
+        }
+    }
     if let Some(stats) = &report.bdd {
         println!(
             "  bdd: {} peak live nodes ({} live at end), {} gc run(s), {} reorder pass(es)",
@@ -348,15 +382,18 @@ fn print_bdd_stats(report: &ResourceReport) {
 fn check_all(model: &Stg, flags: &[String]) -> Result<u8, String> {
     let engine = engine_flag(flags)?.unwrap_or(Engine::UnfoldingIlp);
     let budget = budget_flags(flags)?;
+    let threads = unfold_threads_flag(flags)?;
     let artifacts = Artifacts::of(model);
     let mut worst = 0u8;
     for property in [Property::Usc, Property::Csc, Property::Normalcy] {
-        let run = CheckRequest::new(model, property)
+        let mut request = CheckRequest::new(model, property)
             .engine(engine)
             .budget(budget.clone())
-            .artifacts(&artifacts)
-            .run()
-            .map_err(|e| e.to_string())?;
+            .artifacts(&artifacts);
+        if let Some(n) = threads {
+            request = request.unfold_threads(n);
+        }
+        let run = request.run().map_err(|e| e.to_string())?;
         let built = run
             .report
             .prefix_events_built

@@ -63,7 +63,7 @@ proptest! {
         for c in &seen {
             prop_assert!(prefix.is_configuration(c));
             prop_assert!(!c.iter().any(|e| prefix.is_cutoff(
-                stg_coding_conflicts::unfolding::EventId(e as u32)
+                stg_coding_conflicts::unfolding::EventId::from_index(e)
             )));
         }
     }
