@@ -177,6 +177,14 @@ pub struct TableRow {
     /// Static lint pass time (structural checks, semiflow proofs and
     /// the LP-relaxation proofs), milliseconds.
     pub lint_ms: f64,
+    /// The most specific structural net class of the model
+    /// (`"marked-graph"`, `"state-machine"`, `"free-choice"`,
+    /// `"extended-free-choice"`, `"reduced-asymmetric-choice"` or
+    /// `"general"`), as detected by the structure pass.
+    pub class: String,
+    /// Structure pass time (net-class detection, structural
+    /// concurrency, lock relation), milliseconds.
+    pub structure_ms: f64,
     /// Whether the lint LP relaxation proved USC/CSC outright — a
     /// verdict obtained with zero state-space exploration. Must only
     /// ever be `true` on conflict-free rows (checked by
@@ -261,6 +269,14 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
     let lint_report = lint::lint_stg(stg, &lint::LintOptions::default());
     let lint_ms = t_lint.elapsed().as_secs_f64() * 1e3;
     let lint_proved = lint_report.proofs.usc_proved;
+
+    // The structure pass alongside it: net-class detection plus the
+    // structural concurrency and lock relations, again with no
+    // state-space exploration.
+    let t_structure = Instant::now();
+    let structure = lint::structure::analyse(stg);
+    let structure_ms = t_structure.elapsed().as_secs_f64() * 1e3;
+    let class = structure.classes.name().to_owned();
 
     let t0 = Instant::now();
     let mut symbolic = SymbolicChecker::new(stg);
@@ -426,6 +442,8 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
         solver_steps,
         csc: clp_csc.or(sym_csc),
         lint_ms,
+        class,
+        structure_ms,
         lint_proved,
         cegar_ms,
         cegar_verdict,
@@ -443,19 +461,30 @@ pub fn run_row(model: &BenchModel, budget: &Budget) -> TableRow {
 pub fn format_table(rows: &[TableRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} {:>8} {:>9} | {:>4} {:>3} {:>4} | {:>9} {:>3} {:>7} | {:>3}\n",
-        "Problem", "S", "T", "Z", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "Lnt[ms]", "CGR[ms]", "CSC", "LP", "CGR", "Rsv[ms]", "sig", "w/c", "ok"
+        "{:<16} {:>4} {:>4} {:>3} {:>5} | {:>5} {:>5} {:>4} | {:>8} | {:>9} {:>9} {:>8} {:>7} {:>9} | {:>4} {:>3} {:>4} | {:>9} {:>3} {:>7} | {:>3}\n",
+        "Problem", "S", "T", "Z", "class", "B", "E", "Ecut", "states", "Pfy[ms]", "CLP[ms]", "Lnt[ms]", "Str[ms]", "CGR[ms]", "CSC", "LP", "CGR", "Rsv[ms]", "sig", "w/c", "ok"
     ));
-    out.push_str(&"-".repeat(151));
+    out.push_str(&"-".repeat(165));
     out.push('\n');
     let opt = |v: Option<usize>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
+    // The table column uses the conventional short class tags; the
+    // JSON keeps the full names.
+    let class_tag = |class: &str| match class {
+        "marked-graph" => "MG",
+        "state-machine" => "SM",
+        "free-choice" => "FC",
+        "extended-free-choice" => "EFC",
+        "reduced-asymmetric-choice" => "RAC",
+        _ => "GEN",
+    };
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>4} {:>4} {:>3} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} {:>8.2} {:>9.2} | {:>4} {:>3} {:>4} | {:>9.2} {:>3} {:>7} | {:>3}\n",
+            "{:<16} {:>4} {:>4} {:>3} {:>5} | {:>5} {:>5} {:>4} | {:>8} | {:>9.2} {:>9.2} {:>8.2} {:>7.2} {:>9.2} | {:>4} {:>3} {:>4} | {:>9.2} {:>3} {:>7} | {:>3}\n",
             r.name,
             r.s,
             r.t,
             r.z,
+            class_tag(&r.class),
             opt(r.b),
             opt(r.e),
             opt(r.e_cut),
@@ -463,6 +492,7 @@ pub fn format_table(rows: &[TableRow]) -> String {
             r.pfy_ms,
             r.clp_ms,
             r.lint_ms,
+            r.structure_ms,
             r.cegar_ms,
             match r.csc {
                 Some(true) => "yes",
@@ -1209,6 +1239,8 @@ pub fn table_to_json(rows: &[TableRow]) -> String {
                 .opt_number("solver_steps", r.solver_steps)
                 .opt_boolean("csc", r.csc)
                 .float("lint_ms", r.lint_ms)
+                .string("class", &r.class)
+                .float("structure_ms", r.structure_ms)
                 .boolean("lint_proved", r.lint_proved)
                 .float("cegar_ms", r.cegar_ms)
                 .string("cegar_verdict", &r.cegar_verdict)
@@ -1400,6 +1432,8 @@ mod tests {
             // The static LP proof decides exactly the conflict-free
             // half of the roster, with no exploration at all.
             assert_eq!(row.lint_proved, model.expect_csc, "{}", row.name);
+            // Every roster model belongs to a detected class.
+            assert!(!row.class.is_empty(), "{}", row.name);
         }
     }
 
@@ -1426,6 +1460,10 @@ mod tests {
         let json = table_to_json(std::slice::from_ref(&row));
         assert!(json.contains("\"clp_outcome\": \"aborted:"));
         assert!(json.contains("\"e\": null"));
+        // The structure pass runs before either engine, so its
+        // columns survive an exhausted budget.
+        assert!(json.contains("\"class\": \""));
+        assert!(json.contains("\"structure_ms\":"));
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub struct Artifacts {
     state_graph: Mutex<Option<Arc<StateGraph>>>,
     symbolic: Mutex<Option<SymbolicChecker>>,
     lint: Mutex<Option<Arc<lint::LintReport>>>,
+    structure: Mutex<Option<Arc<lint::StructureReport>>>,
 }
 
 impl std::fmt::Debug for Artifacts {
@@ -116,6 +117,7 @@ impl Artifacts {
             state_graph: Mutex::new(None),
             symbolic: Mutex::new(None),
             lint: Mutex::new(None),
+            structure: Mutex::new(None),
         }
     }
 
@@ -268,6 +270,34 @@ impl Artifacts {
             *slot = Some(Arc::clone(&report));
         }
         report
+    }
+
+    /// The structure stage, running it if absent: the static
+    /// net-class, concurrency and lock-relation analysis of
+    /// [`lint::structure::analyse`]. The pass is total (it never
+    /// abstains or truncates), so the result is cached
+    /// unconditionally and shared like every other stage.
+    pub fn structure(&self) -> Arc<lint::StructureReport> {
+        {
+            let slot = relock(&self.structure);
+            if let Some(report) = slot.as_ref() {
+                return Arc::clone(report);
+            }
+        }
+        // Computed outside the lock, mirroring the lint stage: the
+        // pass is cheap, but there is no reason to serialise callers.
+        let report = Arc::new(lint::structure::analyse(&self.stg));
+        let mut slot = relock(&self.structure);
+        if let Some(cached) = slot.as_ref() {
+            return Arc::clone(cached);
+        }
+        *slot = Some(Arc::clone(&report));
+        report
+    }
+
+    /// Whether the structure stage has run (and is cached).
+    pub fn has_structure(&self) -> bool {
+        relock(&self.structure).is_some()
     }
 
     /// Whether the lint stage has run (and is cached).

@@ -23,8 +23,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ilp::AbortCause;
-use petri::{ExploreLimits, ReachError, StopGuard};
-use stg::{SgError, Signal, Stg};
+use petri::{ExploreLimits, Marking, PlaceId, ReachError, StopGuard};
+use stg::{CodeVec, Edge, Label, SgError, Signal, Stg};
 use symbolic::{SymbolicBudget, SymbolicChecker, SymbolicStop};
 use unfolding::UnfoldError;
 
@@ -32,7 +32,8 @@ use crate::artifact::Artifacts;
 use crate::checker::{CheckOutcome, Checker, CheckerOptions};
 use crate::error::CheckError;
 use crate::limits::{
-    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
+    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, StructureSummary,
+    Verdict, Witness,
 };
 
 /// Which engine decides the property.
@@ -162,6 +163,7 @@ pub struct CheckRequest<'a> {
     engine: Engine,
     budget: Budget,
     prelint: bool,
+    structure: bool,
     unfold_threads: Option<usize>,
 }
 
@@ -176,6 +178,7 @@ impl<'a> CheckRequest<'a> {
             engine: Engine::Portfolio,
             budget: Budget::unlimited(),
             prelint: false,
+            structure: false,
             unfold_threads: None,
         }
     }
@@ -216,6 +219,25 @@ impl<'a> CheckRequest<'a> {
     /// normally and the report carries the (unproved) lint summary.
     pub fn prelint(mut self, enabled: bool) -> Self {
         self.prelint = enabled;
+        self
+    }
+
+    /// Enables the structural net-class stage (off by default).
+    /// Before any engine runs, the structure pass
+    /// ([`lint::structure::analyse`], cached in the [`Artifacts`]
+    /// set) detects the net's class; when a class-gated fast path can
+    /// decide the property exactly — currently single-token state
+    /// machines, whose reachable markings are exactly the reachable
+    /// places of the place graph — the engines are short-circuited
+    /// and the run returns with [`ResourceReport::structure`] marked
+    /// `proved`, `winner = "structure"` and `prefix_events_built` =
+    /// 0. Otherwise the requested engine runs normally and the report
+    /// carries the class summary. The fast path bails to the engines
+    /// on any irregularity (multiple tokens, inconsistent codes), so
+    /// enabling the stage never changes a verdict — only, sometimes,
+    /// who produces it.
+    pub fn structure(mut self, enabled: bool) -> Self {
+        self.structure = enabled;
         self
     }
 
@@ -265,16 +287,44 @@ impl<'a> CheckRequest<'a> {
     }
 
     fn run_on(&self, artifacts: &Artifacts) -> Result<CheckRun, CheckError> {
+        let start = Instant::now();
+        // The structure stage first: it is cheaper than the lint LP
+        // and can decide USC/CSC outright on single-token state
+        // machines, with a concrete two-state witness on refutation.
+        let structure_summary = if self.structure {
+            let report = artifacts.structure();
+            let mut summary = summarize_structure(&report);
+            if matches!(self.property, Property::Usc | Property::Csc) {
+                if let Some(verdict) =
+                    state_machine_fast_path(artifacts.stg(), &report, self.property)
+                {
+                    summary.proved = true;
+                    let mut rr = ResourceReport::empty(self.engine.name());
+                    rr.winner = Some("structure");
+                    rr.elapsed = start.elapsed();
+                    rr.prefix_events_built = Some(0);
+                    rr.structure = Some(summary);
+                    return Ok(CheckRun {
+                        verdict,
+                        report: rr,
+                    });
+                }
+            }
+            Some(summary)
+        } else {
+            None
+        };
         if !self.prelint {
-            return dispatch(
+            let mut run = dispatch(
                 artifacts,
                 self.property,
                 self.engine,
                 &self.budget,
                 self.unfold_threads,
-            );
+            )?;
+            run.report.structure = structure_summary;
+            return Ok(run);
         }
-        let start = Instant::now();
         // The lint stage runs under the same wall-clock allowance
         // and cancellation flag as the engines: a tightly budgeted
         // job gets an immediate LP abstention instead of a lint pass
@@ -308,6 +358,7 @@ impl<'a> CheckRequest<'a> {
                 proved: true,
                 ..summary
             });
+            rr.structure = structure_summary;
             return Ok(CheckRun {
                 verdict: Verdict::Holds,
                 report: rr,
@@ -321,6 +372,7 @@ impl<'a> CheckRequest<'a> {
             self.unfold_threads,
         )?;
         run.report.lint = Some(summary);
+        run.report.structure = structure_summary;
         Ok(run)
     }
 
@@ -365,6 +417,108 @@ fn dispatch(
             message: panic_message(&payload),
         }),
     }
+}
+
+/// Projects a full structure report onto the compact summary carried
+/// by [`ResourceReport::structure`].
+fn summarize_structure(report: &lint::StructureReport) -> StructureSummary {
+    StructureSummary {
+        marked_graph: report.classes.marked_graph,
+        state_machine: report.classes.state_machine,
+        free_choice: report.classes.free_choice,
+        extended_free_choice: report.classes.extended_free_choice,
+        reduced_asymmetric_choice: report.classes.reduced_asymmetric_choice,
+        exact: matches!(
+            report.concurrency.level(),
+            lint::Approximation::ExactForLiveFreeChoice
+        ),
+        concurrent_place_pairs: report.concurrency.concurrent_place_pairs() as u64,
+        locked_signal_pairs: report.lock.locked_pairs() as u64,
+        signal_pairs: report.lock.total_pairs() as u64,
+        proved: false,
+    }
+}
+
+/// Exact USC/CSC decision for single-token state machines.
+///
+/// In a state machine every transition moves the unique token from
+/// one place to another, so the reachable markings are exactly the
+/// places reachable from the initially marked place in the place
+/// graph, and the code of a reachable marking is a function of its
+/// place. The walk labels each reachable place with its code,
+/// *bailing to the engines* (`None`) on any irregularity — more than
+/// one initial token, a rise/fall firing from the wrong value, or two
+/// paths assigning different codes to one place (an inconsistent
+/// STG): the fast path only decides nets whose semantics it models
+/// exactly, so enabling it never changes a verdict. USC holds iff
+/// all reachable codes are distinct; CSC additionally tolerates
+/// equal codes when the two markings enable the same local signals.
+/// Refutations carry the two single-token markings as a
+/// [`Witness::States`] pair, like the explicit engine's.
+fn state_machine_fast_path(
+    stg: &Stg,
+    report: &lint::StructureReport,
+    property: Property,
+) -> Option<Verdict> {
+    use std::collections::VecDeque;
+
+    if !report.classes.state_machine || stg.initial_marking().total() != 1 {
+        return None;
+    }
+    let net = stg.net();
+    let start = stg.initial_marking().marked_places().next()?;
+    let mut codes: Vec<Option<CodeVec>> = vec![None; net.num_places()];
+    codes[start.index()] = Some(stg.initial_code().clone());
+    let mut reached = vec![start];
+    let mut queue = VecDeque::from([start]);
+    while let Some(p) = queue.pop_front() {
+        let code = codes[p.index()].clone()?;
+        for &t in net.place_postset(p) {
+            let q = *net.postset(t).first()?;
+            let mut next = code.clone();
+            if let Label::SignalEdge(z, e) = stg.label(t) {
+                let want = matches!(e, Edge::Rise);
+                if next.bit(z) == want {
+                    // A rise from 1 or fall from 0: the STG is
+                    // inconsistent; let the engines report it.
+                    return None;
+                }
+                next.set_bit(z, want);
+            }
+            match &codes[q.index()] {
+                Some(existing) if *existing != next => return None,
+                Some(_) => {}
+                None => {
+                    codes[q.index()] = Some(next);
+                    reached.push(q);
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    let marking_of = |p: PlaceId| Marking::with_tokens(net.num_places(), &[(p, 1)]);
+    for (i, &p) in reached.iter().enumerate() {
+        for &q in &reached[i + 1..] {
+            if codes[p.index()] != codes[q.index()] {
+                continue;
+            }
+            let conflict = match property {
+                Property::Usc => true,
+                Property::Csc => {
+                    stg.enabled_local_signals(&marking_of(p))
+                        != stg.enabled_local_signals(&marking_of(q))
+                }
+                Property::Normalcy => return None,
+            };
+            if conflict {
+                return Some(Verdict::Violated(Witness::States(Box::new((
+                    marking_of(p),
+                    marking_of(q),
+                )))));
+            }
+        }
+    }
+    Some(Verdict::Holds)
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -855,6 +1009,7 @@ fn merge_racer_report(aggregate: &mut ResourceReport, racer: &ResourceReport) {
     }
     aggregate.cegar = aggregate.cegar.or(racer.cegar);
     aggregate.unfold = aggregate.unfold.or(racer.unfold);
+    aggregate.structure = aggregate.structure.or(racer.structure);
 }
 
 #[cfg(test)]
@@ -1244,6 +1399,97 @@ mod tests {
         assert!(!artifacts.has_prefix());
         assert!(!artifacts.has_state_graph());
         assert!(!artifacts.has_symbolic());
+    }
+
+    /// A single-token state machine with a genuine USC conflict:
+    /// `a` runs its rise/fall alternation twice around one cycle, so
+    /// two distinct places carry the same code.
+    fn usc_broken_cycle() -> Stg {
+        use stg::{SignalKind, StgBuilder};
+        let mut b = StgBuilder::new();
+        let a = b.add_signal("a", SignalKind::Output);
+        let t1 = b.edge(a, Edge::Rise);
+        let t2 = b.edge(a, Edge::Fall);
+        let t3 = b.edge(a, Edge::Rise);
+        let t4 = b.edge(a, Edge::Fall);
+        b.chain_cycle(&[t1, t2, t3, t4]).unwrap();
+        b.build_with_inferred_code(Default::default()).unwrap()
+    }
+
+    #[test]
+    fn structure_fast_path_decides_state_machines_without_engines() {
+        // A plain consistent handshake cycle: USC holds, decided by
+        // the place-graph walk alone.
+        use stg::{SignalKind, StgBuilder};
+        let mut b = StgBuilder::new();
+        let req = b.add_signal("req", SignalKind::Input);
+        let ack = b.add_signal("ack", SignalKind::Output);
+        let rp = b.edge(req, Edge::Rise);
+        let ap = b.edge(ack, Edge::Rise);
+        let rm = b.edge(req, Edge::Fall);
+        let am = b.edge(ack, Edge::Fall);
+        b.chain_cycle(&[rp, ap, rm, am]).unwrap();
+        let stg = b.build_with_inferred_code(Default::default()).unwrap();
+
+        let artifacts = Artifacts::of(&stg);
+        for property in [Property::Usc, Property::Csc] {
+            let run = CheckRequest::new(&stg, property)
+                .engine(Engine::UnfoldingIlp)
+                .artifacts(&artifacts)
+                .structure(true)
+                .run()
+                .unwrap();
+            assert_eq!(run.verdict, Verdict::Holds, "{property:?}");
+            assert_eq!(run.report.winner, Some("structure"));
+            assert_eq!(run.report.prefix_events_built, Some(0));
+            let s = run.report.structure.expect("structure block");
+            assert!(s.proved);
+            assert!(s.state_machine);
+        }
+        assert!(!artifacts.has_prefix(), "no engine stage was built");
+    }
+
+    #[test]
+    fn structure_fast_path_refutes_with_a_concrete_state_pair() {
+        let stg = usc_broken_cycle();
+        let run = CheckRequest::new(&stg, Property::Usc)
+            .engine(Engine::ExplicitStateGraph)
+            .structure(true)
+            .run()
+            .unwrap();
+        assert_eq!(run.report.winner, Some("structure"));
+        let Verdict::Violated(Witness::States(pair)) = run.verdict else {
+            panic!("expected a two-state witness, got {:?}", run.verdict);
+        };
+        let (m1, m2) = *pair;
+        assert_ne!(m1, m2, "distinct markings");
+        // The witness is real: both markings are single-token and the
+        // explicit oracle agrees the property fails.
+        assert_eq!(m1.total(), 1);
+        assert_eq!(m2.total(), 1);
+        let oracle = CheckRequest::new(&stg, Property::Usc)
+            .engine(Engine::ExplicitStateGraph)
+            .run()
+            .unwrap();
+        assert_eq!(oracle.verdict.holds(), Some(false));
+    }
+
+    #[test]
+    fn structure_stage_annotates_without_deciding_non_state_machines() {
+        // vme_read is not a state machine: the fast path must bail
+        // and the engine verdict (a real CSC conflict) stands, with
+        // the class summary attached.
+        let stg = vme_read();
+        let run = CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .structure(true)
+            .run()
+            .unwrap();
+        assert_eq!(run.verdict.holds(), Some(false));
+        assert_ne!(run.report.winner, Some("structure"));
+        let s = run.report.structure.expect("summary attached");
+        assert!(!s.proved);
+        assert!(!s.state_machine);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub use consistency::{ConsistencyOutcome, ConsistencyViolation};
 pub use engine::{CheckRequest, Engine, Property};
 pub use error::CheckError;
 pub use limits::{
-    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, Verdict, Witness,
+    Budget, CancelToken, CheckRun, ExhaustionReason, LintSummary, ResourceReport, StructureSummary,
+    Verdict, Witness,
 };
 pub use pipeline::{
     Pipeline, PipelineError, PipelineOutcome, PipelineReport, PipelineRun, Resolution,

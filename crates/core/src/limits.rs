@@ -317,6 +317,11 @@ pub struct ResourceReport {
     /// verdict produced by the lint layer alone — no engine ran and
     /// no state space was explored.
     pub lint: Option<LintSummary>,
+    /// Result of the structural net-class pass, when one ran (see
+    /// [`crate::CheckRequest::structure`]). `structure.proved` marks
+    /// a verdict decided by the class-gated fast path alone — no
+    /// engine ran and no prefix was built.
+    pub structure: Option<StructureSummary>,
     /// Counters of the CEGAR state-equation engine (iterations, cuts,
     /// branch nodes, …). `None` for every other engine.
     pub cegar: Option<CegarStats>,
@@ -328,6 +333,55 @@ pub struct ResourceReport {
     /// itself built `prefix_events_built = 0` events. `None` for
     /// engines that never touched the unfolding stage.
     pub unfold: Option<unfolding::UnfoldStats>,
+}
+
+/// Summary of a structural net-class pass attached to a
+/// [`ResourceReport`] (see `lint::structure`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructureSummary {
+    /// Every place has at most one producer and one consumer.
+    pub marked_graph: bool,
+    /// Every transition has exactly one input and one output place.
+    pub state_machine: bool,
+    /// No shared place feeds a synchronising transition.
+    pub free_choice: bool,
+    /// Places sharing a consumer share all of them.
+    pub extended_free_choice: bool,
+    /// Wimmel's reduced asymmetric choice.
+    pub reduced_asymmetric_choice: bool,
+    /// The structural concurrency relation is exact provided the net
+    /// is live (true exactly when the net is free-choice).
+    pub exact: bool,
+    /// Unordered structurally concurrent place pairs.
+    pub concurrent_place_pairs: u64,
+    /// Unordered locked signal pairs (out of `signal_pairs`).
+    pub locked_signal_pairs: u64,
+    /// Total unordered distinct signal pairs.
+    pub signal_pairs: u64,
+    /// The verdict of this run was decided by the structure fast path
+    /// alone: the engines were short-circuited and
+    /// `prefix_events_built` is 0.
+    pub proved: bool,
+}
+
+impl StructureSummary {
+    /// The most specific detected class, mirroring
+    /// `lint::structure::Classes::name`.
+    pub fn class(&self) -> &'static str {
+        if self.marked_graph {
+            "marked-graph"
+        } else if self.state_machine {
+            "state-machine"
+        } else if self.free_choice {
+            "free-choice"
+        } else if self.extended_free_choice {
+            "extended-free-choice"
+        } else if self.reduced_asymmetric_choice {
+            "reduced-asymmetric-choice"
+        } else {
+            "general"
+        }
+    }
 }
 
 /// Summary of a prelint pass attached to a [`ResourceReport`].
@@ -363,6 +417,7 @@ impl ResourceReport {
             bdd_nodes: None,
             bdd: None,
             lint: None,
+            structure: None,
             cegar: None,
             unfold: None,
         }

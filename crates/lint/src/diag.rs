@@ -8,6 +8,9 @@ use stg::{ParseStgError, SyntaxKind};
 /// How serious a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
+    /// A neutral structural fact about the net (e.g. a net-class
+    /// refutation); never affects admission or exit codes.
+    Info,
     /// The input is usable but suspicious; verification still runs.
     Warning,
     /// The input is broken; verification is refused.
@@ -17,6 +20,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Info => write!(f, "info"),
             Severity::Warning => write!(f, "warning"),
             Severity::Error => write!(f, "error"),
         }
@@ -62,6 +66,22 @@ pub enum Code {
     /// `W003` — a non-empty siphon with no initial tokens: its output
     /// transitions are dead and the net risks structural deadlock.
     UnmarkedSiphon,
+    /// `I001` — the net is not a marked graph: some place has more
+    /// than one producer or more than one consumer.
+    NotMarkedGraph,
+    /// `I002` — the net is not a state machine: some transition has
+    /// more than one input or output place.
+    NotStateMachine,
+    /// `I003` — the net is not free-choice: a shared place feeds a
+    /// transition with a non-singleton preset.
+    NotFreeChoice,
+    /// `I004` — the net is not extended free-choice: two places share
+    /// a consumer without sharing all of them.
+    NotExtendedFreeChoice,
+    /// `I005` — the net is not reduced asymmetric choice (Wimmel):
+    /// two places overlap on consumers with unequal, non-singleton
+    /// postsets.
+    NotReducedAsymmetricChoice,
 }
 
 impl Code {
@@ -83,15 +103,21 @@ impl Code {
             Code::UnusedSignal => "W001",
             Code::MixedChoice => "W002",
             Code::UnmarkedSiphon => "W003",
+            Code::NotMarkedGraph => "I001",
+            Code::NotStateMachine => "I002",
+            Code::NotFreeChoice => "I003",
+            Code::NotExtendedFreeChoice => "I004",
+            Code::NotReducedAsymmetricChoice => "I005",
         }
     }
 
-    /// Severity implied by the code (`L` = error, `W` = warning).
+    /// Severity implied by the code (`L` = error, `W` = warning,
+    /// `I` = informational).
     pub fn severity(self) -> Severity {
-        if self.as_str().starts_with('L') {
-            Severity::Error
-        } else {
-            Severity::Warning
+        match self.as_str().as_bytes()[0] {
+            b'L' => Severity::Error,
+            b'I' => Severity::Info,
+            _ => Severity::Warning,
         }
     }
 }

@@ -45,11 +45,13 @@ pub mod cuts;
 mod diag;
 mod relax;
 mod structural;
+pub mod structure;
 
 pub use cuts::{blocking_trap, cut_basis, CutBasis};
 pub use diag::{classify_parse_error, Code, Diagnostic, Severity, Span};
 pub use ilp::{LpFeasibility, LpOptions};
 pub use relax::{prove as relaxation_proofs, Proofs};
+pub use structure::{analyse as analyse_structure, Approximation, Classes, StructureReport};
 
 use stg::Stg;
 
@@ -210,7 +212,7 @@ impl LintReport {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -299,6 +301,49 @@ pub fn lint_bytes(bytes: &[u8], options: &LintOptions) -> LintOutcome {
                 diagnostics: vec![classify_parse_error(&err, total_lines)],
                 proofs: Proofs::default(),
             },
+        },
+    }
+}
+
+/// Result of running the structure pass on raw `.g` bytes.
+#[derive(Debug)]
+pub struct StructureOutcome {
+    /// The parsed STG; `None` when parsing failed.
+    pub stg: Option<Stg>,
+    /// The structure report; `None` when parsing failed.
+    pub report: Option<structure::StructureReport>,
+    /// The classified parse diagnostic when parsing failed.
+    pub error: Option<Diagnostic>,
+}
+
+/// Runs the structure pass on raw `.g` bytes: parse (classifying any
+/// failure into a coded, spanned diagnostic), analyse, and attach
+/// source spans to the class-refutation diagnostics by locating each
+/// witnessing object's first occurrence — same mechanism as
+/// [`lint_bytes`].
+pub fn structure_bytes(bytes: &[u8]) -> StructureOutcome {
+    let total_lines = bytes.iter().filter(|&&b| b == b'\n').count()
+        + usize::from(!bytes.is_empty() && bytes.last() != Some(&b'\n'));
+    match stg::parse_bytes(bytes) {
+        Ok(stg) => {
+            let mut report = structure::analyse(&stg);
+            for d in &mut report.diagnostics {
+                if d.span.is_none() {
+                    if let Some(obj) = d.object.clone() {
+                        d.span = locate_object(bytes, &obj);
+                    }
+                }
+            }
+            StructureOutcome {
+                stg: Some(stg),
+                report: Some(report),
+                error: None,
+            }
+        }
+        Err(err) => StructureOutcome {
+            stg: None,
+            report: None,
+            error: Some(classify_parse_error(&err, total_lines)),
         },
     }
 }

@@ -29,6 +29,42 @@ pub fn insert_state_signal(
     p_minus: PlaceId,
 ) -> Result<Stg, StgError> {
     assert_ne!(p_plus, p_minus, "the two edges need distinct host places");
+    insert_state_signal_multi(stg, name, &[(p_plus, p_minus)])
+}
+
+/// Rebuilds `stg` with a fresh internal signal `name` that *toggles
+/// once per host pair*: pair `i` threads a rising edge through place
+/// `hosts[i].0` and a falling edge through `hosts[i].1`, each split
+/// as `p → u± → p'` exactly like [`insert_state_signal`] (which is
+/// the one-pair special case).
+///
+/// Multi-toggle signals matter on cyclic STGs: a signal with a
+/// single rise and fall cuts a sequential cycle into only two
+/// constant-value arcs, so `k` such signals distinguish at most `2k`
+/// same-code states along the cycle — a hard ceiling no search order
+/// can beat. A signal toggling twice contributes four cuts at the
+/// cost of one signal, which is how a burst cycle like `dup_mod(6)`
+/// (seven same-code states) resolves within a three-signal budget.
+///
+/// As with the one-pair form, the result is *not* guaranteed to be
+/// consistent — the rises and falls must alternate along every
+/// execution, which depends on the net's behaviour — and the
+/// resolver verifies every candidate with the real checkers.
+///
+/// # Errors
+///
+/// Returns the underlying construction error for malformed inputs.
+///
+/// # Panics
+///
+/// Panics if `hosts` is empty or any two host places coincide (a
+/// place can host at most one edge).
+pub fn insert_state_signal_multi(
+    stg: &Stg,
+    name: &str,
+    hosts: &[(PlaceId, PlaceId)],
+) -> Result<Stg, StgError> {
+    assert!(!hosts.is_empty(), "need at least one host pair");
     let net = stg.net();
     let mut b = StgBuilder::new();
 
@@ -47,18 +83,23 @@ pub fn insert_state_signal(
         };
         tmap.insert(t, new);
     }
-    let u_plus = b.edge(u, Edge::Rise);
-    let u_minus = b.edge(u, Edge::Fall);
+    let mut split: HashMap<PlaceId, TransitionId> = HashMap::new();
+    for &(p_plus, p_minus) in hosts {
+        let u_plus = b.edge(u, Edge::Rise);
+        let u_minus = b.edge(u, Edge::Fall);
+        assert!(
+            split.insert(p_plus, u_plus).is_none(),
+            "each edge needs its own host place"
+        );
+        assert!(
+            split.insert(p_minus, u_minus).is_none(),
+            "each edge needs its own host place"
+        );
+    }
 
-    // Places and arcs; the two host places are split.
+    // Places and arcs; the host places are split.
     for p in net.places() {
-        let splitter = if p == p_plus {
-            Some(u_plus)
-        } else if p == p_minus {
-            Some(u_minus)
-        } else {
-            None
-        };
+        let splitter = split.get(&p).copied();
         let head = b.add_place(net.place_name(p));
         for &t in net.place_preset(p) {
             b.arc_tp(tmap[&t], head)?;

@@ -56,7 +56,7 @@ mod insert;
 mod pipeline;
 mod resolver;
 
-pub use insert::insert_state_signal;
+pub use insert::{insert_state_signal, insert_state_signal_multi};
 pub use pipeline::{derive_equations, synthesize, SynthesisOptions, SynthesisRun};
 pub use resolver::{
     resolve_csc, resolve_csc_with_report, ResolveError, ResolveOutcome, ResolveReport, ResolveRun,

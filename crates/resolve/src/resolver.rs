@@ -19,6 +19,8 @@
 //! is skipped and counted in
 //! [`ResolveReport::candidates_broken`]).
 
+use std::cmp::Reverse;
+use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -28,11 +30,11 @@ use csc_core::{
     Artifacts, Budget, CheckError, CheckRequest, Checker, CheckerOptions, Engine, ExhaustionReason,
     Property, Verdict,
 };
-use petri::{ExploreLimits, StopGuard};
-use stg::Stg;
+use petri::{ExploreLimits, PlaceId, StopGuard};
+use stg::{Signal, Stg};
 use unfolding::UnfoldError;
 
-use crate::insert::insert_state_signal;
+use crate::insert::insert_state_signal_multi;
 
 /// How candidate insertions are scored (remaining CSC conflict
 /// pairs).
@@ -165,6 +167,15 @@ pub struct ResolveReport {
     /// unsafe, or over the per-candidate exploration caps) — skipped,
     /// never silently mis-scored.
     pub candidates_broken: usize,
+    /// Candidates emitted by the conflict-core-guided generator
+    /// (scored *before* the exhaustive place-pair sweep).
+    pub candidates_generated: usize,
+    /// Guided host pairs discarded by the structural concurrency
+    /// relation before any scoring: structurally concurrent hosts
+    /// would let the inserted signal's rise and fall race, so the
+    /// candidate is near-certainly inconsistent. The exhaustive sweep
+    /// still covers them, so pruning never loses a resolution.
+    pub candidates_pruned: usize,
     /// Candidates whose score the lint LP proofs decided without any
     /// exploration.
     pub lint_shortcuts: usize,
@@ -217,10 +228,350 @@ enum Score {
 }
 
 /// One scored candidate with its artifact set kept for reuse.
+#[derive(Clone)]
 struct Scored {
     conflicts: usize,
+    /// Toggle pairs of the insertion that produced this net (0 for
+    /// the input). Ties in conflict count break toward *more*
+    /// toggles: each extra toggle pair refines the state code more
+    /// finely, so later rounds have strictly more separating power.
+    toggles: usize,
     stg: Arc<Stg>,
     artifacts: Arc<Artifacts>,
+}
+
+/// Conflict pairs sampled for core extraction per round.
+const CORE_PAIR_CAP: usize = 256;
+/// Core places kept after ranking by cover count.
+const CORE_PLACE_CAP: usize = 24;
+/// Guided single-toggle candidates scored per round before the
+/// exhaustive sweep.
+const GUIDED_CAP: usize = 160;
+/// Best-scoring single-toggle candidates kept per round as the pool
+/// double-toggle candidates are composed from.
+const POOL_CAP: usize = 32;
+/// Double-toggle candidates are only composed below this conflict
+/// count: they target the endgame, where few same-code state
+/// classes remain and the binding constraint is cut *count*, not
+/// which coarse region a single split picks.
+const DOUBLE_CONFLICT_CAP: usize = 1024;
+/// The endgame backtracking search only runs below this initial
+/// conflict count — tie branching multiplies sweep cost, so it is
+/// reserved for small instances where greedy stalls near zero.
+const ENDGAME_CONFLICT_CAP: usize = 64;
+/// Tied-best candidates the endgame search branches over per round
+/// (first entry = first round; the last entry covers deeper rounds).
+const ENDGAME_TIE_CAPS: [usize; 2] = [12, 6];
+/// Total candidate insertions the endgame search may score — a hard
+/// effort bound independent of the wall-clock budget.
+const ENDGAME_CANDIDATE_CAP: usize = 60_000;
+
+/// Signals of the transitions adjacent to `p` (its structural
+/// neighbourhood in the STG), sorted and deduplicated.
+fn place_signals(stg: &Stg, p: PlaceId) -> Vec<Signal> {
+    let net = stg.net();
+    let mut out: Vec<Signal> = net
+        .place_preset(p)
+        .iter()
+        .chain(net.place_postset(p))
+        .filter_map(|&t| stg.label(t).signal())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether every signal adjacent to `p` is lock-related to every
+/// signal adjacent to `q` — a strong hint that splitting at `(p, q)`
+/// inserts the new signal into one sequential thread of control.
+fn hosts_locked(stg: &Stg, structure: &lint::StructureReport, p: PlaceId, q: PlaceId) -> bool {
+    let zp = place_signals(stg, p);
+    let zq = place_signals(stg, q);
+    !zp.is_empty()
+        && !zq.is_empty()
+        && zp
+            .iter()
+            .all(|&a| zq.iter().all(|&b| a == b || structure.lock.locked(a, b)))
+}
+
+/// Conflict-core-guided candidate generation: host pairs drawn from
+/// the places that distinguish conflicting markings, ranked so the
+/// most promising insertions are scored first.
+///
+/// The *conflict core* of a CSC conflict pair `(M, M')` is the
+/// symmetric difference of the two markings — exactly the places
+/// whose tokens tell the states apart, i.e. where an inserted state
+/// signal can observe the difference. Each place is weighted by how
+/// many sampled conflict pairs it covers; candidates pair the
+/// top-covering places, prune structurally concurrent hosts (the
+/// inserted signal's edges would race — counted in
+/// [`ResolveReport::candidates_pruned`]), and rank by total cover
+/// with a lock-relation tiebreak. Requires the current net's state
+/// graph (present under [`Scoring::Explicit`], which just counted
+/// conflicts on it); returns no candidates otherwise, falling back
+/// to the exhaustive sweep alone.
+fn guided_singles(
+    current: &Scored,
+    options: &ResolverOptions,
+    guard: &StopGuard,
+    report: &mut ResolveReport,
+) -> Vec<(PlaceId, PlaceId)> {
+    if !current.artifacts.has_state_graph() {
+        return Vec::new();
+    }
+    let limits = ExploreLimits {
+        max_states: options
+            .budget
+            .max_states
+            .unwrap_or(options.limits.max_states),
+        token_bound: options.limits.token_bound,
+    };
+    let Ok(sg) = current.artifacts.state_graph(limits, guard) else {
+        return Vec::new();
+    };
+    let stg = current.stg.as_ref();
+    let net = stg.net();
+    let pairs = sg.csc_conflict_pairs(stg);
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let mut cover = vec![0usize; net.num_places()];
+    for &(a, b) in pairs.iter().take(CORE_PAIR_CAP) {
+        let (ma, mb) = (sg.marking(a), sg.marking(b));
+        for p in net.places() {
+            if ma.tokens(p) != mb.tokens(p) {
+                cover[p.index()] += 1;
+            }
+        }
+    }
+    let mut core: Vec<PlaceId> = net.places().filter(|p| cover[p.index()] > 0).collect();
+    core.sort_by_key(|p| (Reverse(cover[p.index()]), p.index()));
+    core.truncate(CORE_PLACE_CAP);
+
+    let structure = current.artifacts.structure();
+    let mut ranked: Vec<(usize, usize, PlaceId, PlaceId)> = Vec::new();
+    for &p in &core {
+        for &q in &core {
+            if p == q {
+                continue;
+            }
+            if structure.concurrency.places_concurrent(p, q) {
+                report.candidates_pruned += 1;
+                continue;
+            }
+            let locked = usize::from(hosts_locked(stg, &structure, p, q));
+            ranked.push((cover[p.index()] + cover[q.index()], locked, p, q));
+        }
+    }
+    ranked.sort_by_key(|&(cov, lock, p, q)| (Reverse(cov), Reverse(lock), p.index(), q.index()));
+    ranked.truncate(GUIDED_CAP);
+    report.candidates_generated += ranked.len();
+    ranked.into_iter().map(|(_, _, p, q)| (p, q)).collect()
+}
+
+/// Composes double-toggle candidates from the round's best-scoring
+/// consistent singles: two host pairs with four distinct places.
+///
+/// On sequential nets `k` single-toggle signals cut a cycle into at
+/// most `2k` constant-code arcs, so `n` same-code states need more
+/// toggles per signal once `2k < n` — a hard ceiling no search order
+/// can beat. The pairs that *compose* well are not the round's
+/// winners (whose long arcs interleave, making the rise/fall order
+/// inconsistent) but mid-ranked singles cutting short disjoint arcs,
+/// which is why the whole top-[`POOL_CAP`] pool is paired rather
+/// than the best few. Inconsistent combinations die cheaply in
+/// scoring as broken candidates.
+fn composed_doubles(pool: &mut Vec<(usize, (PlaceId, PlaceId))>) -> Vec<[(PlaceId, PlaceId); 2]> {
+    pool.sort_by_key(|&(s, (p, q))| (s, p.index(), q.index()));
+    pool.truncate(POOL_CAP);
+    let mut doubles = Vec::new();
+    for (i, &(_, (p1, q1))) in pool.iter().enumerate() {
+        for &(_, (p2, q2)) in &pool[i + 1..] {
+            let places = [p1, q1, p2, q2];
+            if (1..4).any(|k| places[..k].contains(&places[k])) {
+                continue;
+            }
+            doubles.push([(p1, q1), (p2, q2)]);
+        }
+    }
+    doubles
+}
+
+/// Inserts and scores one candidate insertion (one toggle pair per
+/// `hosts` entry), tracking the round's best. Ties in conflict count
+/// break toward more toggle pairs — the finer code refinement gives
+/// later rounds strictly more separating power at the same cost.
+/// Returns the candidate's conflict count, or `None` when it was
+/// unbuildable or broken; a returned `Some(0)` means the round is
+/// solved and scoring can stop.
+fn try_candidate(
+    current_stg: &Arc<Stg>,
+    name: &str,
+    hosts: &[(PlaceId, PlaceId)],
+    options: &ResolverOptions,
+    guard: &StopGuard,
+    report: &mut ResolveReport,
+    best: &mut Option<Scored>,
+) -> Result<Option<usize>, ResolveError> {
+    let Ok(candidate) = insert_state_signal_multi(current_stg, name, hosts) else {
+        return Ok(None);
+    };
+    let candidate = Arc::new(candidate);
+    let artifacts = Arc::new(Artifacts::new(Arc::clone(&candidate)));
+    let score_start = Instant::now();
+    let scored = score(&artifacts, options, guard, report);
+    report.score_elapsed += score_start.elapsed();
+    let s = match scored? {
+        Score::Conflicts(s) => s,
+        Score::Broken => {
+            report.candidates_broken += 1;
+            return Ok(None);
+        }
+    };
+    let better = match best.as_ref() {
+        None => true,
+        Some(b) => s < b.conflicts || (s == b.conflicts && hosts.len() > b.toggles),
+    };
+    if better {
+        *best = Some(Scored {
+            conflicts: s,
+            toggles: hosts.len(),
+            stg: candidate,
+            artifacts,
+        });
+    }
+    Ok(Some(s))
+}
+
+/// Inserts and scores one candidate, returning it as a [`Scored`]
+/// (`None` for unbuildable or broken candidates).
+fn score_hosts(
+    current_stg: &Arc<Stg>,
+    name: &str,
+    hosts: &[(PlaceId, PlaceId)],
+    options: &ResolverOptions,
+    guard: &StopGuard,
+    report: &mut ResolveReport,
+) -> Result<Option<Scored>, ResolveError> {
+    let Ok(candidate) = insert_state_signal_multi(current_stg, name, hosts) else {
+        return Ok(None);
+    };
+    let candidate = Arc::new(candidate);
+    let artifacts = Arc::new(Artifacts::new(Arc::clone(&candidate)));
+    let score_start = Instant::now();
+    let scored = score(&artifacts, options, guard, report);
+    report.score_elapsed += score_start.elapsed();
+    match scored? {
+        Score::Conflicts(s) => Ok(Some(Scored {
+            conflicts: s,
+            toggles: hosts.len(),
+            stg: candidate,
+            artifacts,
+        })),
+        Score::Broken => {
+            report.candidates_broken += 1;
+            Ok(None)
+        }
+    }
+}
+
+/// Bounded backtracking over tied-best candidates — the endgame
+/// search run when the greedy pass fails on a small instance.
+///
+/// Greedy adoption is blind to *which* of several equally-scoring
+/// insertions it keeps, yet on tightly-coupled nets only some tie
+/// choices admit a conflict-free completion (on a burst cycle, every
+/// balanced first cut scores alike, but only cuts that interleave
+/// with the later ones reach zero). This search redoes the rounds
+/// depth-first, branching over the tied-best candidates of each
+/// round — double-toggle candidates explored first, since the
+/// endgame's binding constraint is cut count — under
+/// [`ENDGAME_TIE_CAPS`] and a total effort bound of
+/// [`ENDGAME_CANDIDATE_CAP`] scored insertions. Returns the first
+/// conflict-free net found with its inserted signal names.
+fn endgame(
+    current: &Scored,
+    round: usize,
+    effort: &mut usize,
+    options: &ResolverOptions,
+    guard: &StopGuard,
+    report: &mut ResolveReport,
+) -> Result<Option<(Scored, Vec<String>)>, ResolveError> {
+    if round >= options.max_signals || *effort == 0 {
+        return Ok(None);
+    }
+    let name = format!("csc{round}");
+    let tie_cap = ENDGAME_TIE_CAPS[round.min(ENDGAME_TIE_CAPS.len() - 1)];
+    let mut pool: Vec<(usize, (PlaceId, PlaceId))> = Vec::new();
+    // Tied-best candidates, singles and doubles kept apart so the
+    // branching below can explore the finer refinements first.
+    let mut tie_singles: Vec<Scored> = Vec::new();
+    let mut tie_doubles: Vec<Scored> = Vec::new();
+    let mut min = usize::MAX;
+
+    let places: Vec<_> = current.stg.net().places().collect();
+    for &p in &places {
+        for &q in &places {
+            if p == q || *effort == 0 {
+                continue;
+            }
+            *effort -= 1;
+            guard
+                .poll()
+                .map_err(|r| ResolveError::Exhausted(r.into()))?;
+            let Some(cand) = score_hosts(&current.stg, &name, &[(p, q)], options, guard, report)?
+            else {
+                continue;
+            };
+            if cand.conflicts == 0 {
+                return Ok(Some((cand, vec![name])));
+            }
+            pool.push((cand.conflicts, (p, q)));
+            if cand.conflicts < min {
+                min = cand.conflicts;
+                tie_singles.clear();
+                tie_doubles.clear();
+                tie_singles.push(cand);
+            } else if cand.conflicts == min && tie_singles.len() < tie_cap {
+                tie_singles.push(cand);
+            }
+        }
+    }
+
+    let doubles = composed_doubles(&mut pool);
+    report.candidates_generated += doubles.len();
+    for hosts in &doubles {
+        if *effort == 0 {
+            break;
+        }
+        *effort -= 1;
+        guard
+            .poll()
+            .map_err(|r| ResolveError::Exhausted(r.into()))?;
+        let Some(cand) = score_hosts(&current.stg, &name, hosts, options, guard, report)? else {
+            continue;
+        };
+        if cand.conflicts == 0 {
+            return Ok(Some((cand, vec![name])));
+        }
+        if cand.conflicts < min {
+            min = cand.conflicts;
+            tie_singles.clear();
+            tie_doubles.clear();
+            tie_doubles.push(cand);
+        } else if cand.conflicts == min && tie_doubles.len() < tie_cap {
+            tie_doubles.push(cand);
+        }
+    }
+
+    for tie in tie_doubles.iter().chain(&tie_singles) {
+        if let Some((solved, mut names)) = endgame(tie, round + 1, effort, options, guard, report)?
+        {
+            names.insert(0, name.clone());
+            return Ok(Some((solved, names)));
+        }
+    }
+    Ok(None)
 }
 
 /// Scores `artifacts.stg()` by remaining CSC conflict pairs.
@@ -336,11 +687,23 @@ fn score(
 /// holds instead of re-exploring. A mismatched seed is ignored, never
 /// trusted.
 ///
-/// The search is greedy (best single insertion per round) and can
-/// stall in a local optimum on models whose conflicts cannot be
-/// reduced by any single insertion — notably τ-heavy STGs where
-/// dummy transitions separate same-code states. Such runs end in
-/// [`ResolveOutcome::Failed`] with the best model found.
+/// The search is greedy (best single insertion per round). Each
+/// round scores *guided* candidates first — host pairs drawn from
+/// the conflict cores (the places distinguishing conflicting
+/// markings), filtered through the structural concurrency relation
+/// and ranked by cover — then falls back to the exhaustive
+/// place-pair sweep, so guidance reorders the search without ever
+/// losing a resolution. A round whose best candidate merely *ties*
+/// the current conflict count is adopted anyway (a plateau step):
+/// the extra split refines the state code, letting a later round
+/// separate states no single insertion could. The search can still
+/// fail on models whose conflicts resist [`max_signals`] insertions
+/// — notably τ-heavy STGs where dummy transitions separate
+/// same-code states. Such runs end in [`ResolveOutcome::Failed`]
+/// with the lowest-conflict model seen (plateau detours are never
+/// reported as "best").
+///
+/// [`max_signals`]: ResolverOptions::max_signals
 ///
 /// # Errors
 ///
@@ -393,74 +756,163 @@ pub fn resolve_csc_with_report(
 
     let mut current = Scored {
         conflicts: initial,
+        toggles: 0,
         stg: input_artifacts.shared_stg(),
         artifacts: input_artifacts,
     };
+    // The lowest-conflict net seen so far: plateau rounds may adopt
+    // equal-conflict candidates to escape a local optimum, so a
+    // failed search reports this instead of the (possibly larger)
+    // final net.
+    let mut best_seen = current.clone();
+    // The untouched input, kept as the endgame search's root.
+    let origin = current.clone();
     let mut inserted = Vec::new();
     for round in 0..options.max_signals {
         let round_start = Instant::now();
         let round_tried = report.candidates_tried;
         let name = format!("csc{round}");
         let mut best: Option<Scored> = None;
-        let places: Vec<_> = current.stg.net().places().collect();
-        'candidates: for &p_plus in &places {
-            for &p_minus in &places {
-                if p_plus == p_minus {
-                    continue;
+        let mut solved = false;
+
+        let mut pool: Vec<(usize, (PlaceId, PlaceId))> = Vec::new();
+
+        // Phase 1: guided — conflict-core host pairs first, so ties
+        // in the exhaustive sweep resolve toward structurally
+        // informed insertions.
+        let guided = guided_singles(&current, options, &guard, &mut report);
+        let mut tried: HashSet<(PlaceId, PlaceId)> = HashSet::with_capacity(guided.len());
+        for &(p_plus, p_minus) in &guided {
+            guard
+                .poll()
+                .map_err(|r| ResolveError::Exhausted(r.into()))?;
+            tried.insert((p_plus, p_minus));
+            let hosts = [(p_plus, p_minus)];
+            let scored = try_candidate(
+                &current.stg,
+                &name,
+                &hosts,
+                options,
+                &guard,
+                &mut report,
+                &mut best,
+            )?;
+            if let Some(s) = scored {
+                pool.push((s, (p_plus, p_minus)));
+                if s == 0 {
+                    solved = true;
+                    break;
                 }
-                // A watchdog cancellation or an expired deadline
-                // aborts between candidates even when every
-                // individual score is cheap.
-                guard
-                    .poll()
-                    .map_err(|r| ResolveError::Exhausted(r.into()))?;
-                let Ok(candidate) = insert_state_signal(&current.stg, &name, p_plus, p_minus)
-                else {
-                    continue;
-                };
-                let candidate = Arc::new(candidate);
-                let artifacts = Arc::new(Artifacts::new(Arc::clone(&candidate)));
-                let score_start = Instant::now();
-                let scored = score(&artifacts, options, &guard, &mut report);
-                report.score_elapsed += score_start.elapsed();
-                let s = match scored? {
-                    Score::Conflicts(s) => s,
-                    Score::Broken => {
-                        report.candidates_broken += 1;
+            }
+        }
+
+        // Phase 2: exhaustive sweep over the remaining place pairs —
+        // guided generation reorders the search but never loses a
+        // resolution the plain sweep would have found.
+        if !solved {
+            let places: Vec<_> = current.stg.net().places().collect();
+            'candidates: for &p_plus in &places {
+                for &p_minus in &places {
+                    if p_plus == p_minus || tried.contains(&(p_plus, p_minus)) {
                         continue;
                     }
-                };
-                if best.as_ref().is_none_or(|b| s < b.conflicts) {
-                    let solved = s == 0;
-                    best = Some(Scored {
-                        conflicts: s,
-                        stg: candidate,
-                        artifacts,
-                    });
-                    if solved {
-                        break 'candidates;
+                    // A watchdog cancellation or an expired deadline
+                    // aborts between candidates even when every
+                    // individual score is cheap.
+                    guard
+                        .poll()
+                        .map_err(|r| ResolveError::Exhausted(r.into()))?;
+                    let hosts = [(p_plus, p_minus)];
+                    let scored = try_candidate(
+                        &current.stg,
+                        &name,
+                        &hosts,
+                        options,
+                        &guard,
+                        &mut report,
+                        &mut best,
+                    )?;
+                    if let Some(s) = scored {
+                        pool.push((s, (p_plus, p_minus)));
+                        if s == 0 {
+                            solved = true;
+                            break 'candidates;
+                        }
                     }
                 }
             }
         }
-        let (improved, remaining) = match best {
-            Some(b) if b.conflicts < current.conflicts => {
+
+        // Phase 3: double-toggle insertions — one signal toggling
+        // twice, composed from the round's best consistent singles.
+        // Scored after the single sweeps so a net a single toggle
+        // already solves never grows extra transitions; at equal
+        // conflict counts the tie-break in [`try_candidate`] adopts
+        // the double for its finer code refinement.
+        if !solved && current.conflicts <= DOUBLE_CONFLICT_CAP {
+            let doubles = composed_doubles(&mut pool);
+            report.candidates_generated += doubles.len();
+            for hosts in &doubles {
+                guard
+                    .poll()
+                    .map_err(|r| ResolveError::Exhausted(r.into()))?;
+                let scored = try_candidate(
+                    &current.stg,
+                    &name,
+                    hosts,
+                    options,
+                    &guard,
+                    &mut report,
+                    &mut best,
+                )?;
+                if scored == Some(0) {
+                    break;
+                }
+            }
+        }
+
+        let adopted = match best {
+            // Strict improvement — or a plateau step: adopting an
+            // equal-conflict candidate spends a signal slot without
+            // visible progress, but moves the search off local optima
+            // that no *single* insertion improves (the split still
+            // refines the code, so a later insertion can separate
+            // states this round could not).
+            Some(b) if b.conflicts <= current.conflicts => {
                 let remaining = b.conflicts;
                 current = b;
                 inserted.push(name.clone());
-                (true, remaining)
+                if current.conflicts < best_seen.conflicts {
+                    best_seen = current.clone();
+                }
+                Some(remaining)
             }
-            _ => (false, current.conflicts),
+            _ => None,
         };
         report.rounds.push(RoundReport {
             signal: name,
             candidates_tried: report.candidates_tried - round_tried,
-            remaining,
-            inserted: improved,
+            remaining: adopted.unwrap_or(current.conflicts),
+            inserted: adopted.is_some(),
             elapsed: round_start.elapsed(),
         });
-        if !improved || remaining == 0 {
-            break;
+        match adopted {
+            Some(0) | None => break,
+            Some(_) => {}
+        }
+    }
+
+    // The greedy pass is myopic about *which* of several tied-best
+    // insertions it adopts; on small instances a bounded
+    // backtracking pass over those ties often completes where greedy
+    // stalled one conflict short.
+    if current.conflicts > 0 && initial <= ENDGAME_CONFLICT_CAP {
+        let mut effort = ENDGAME_CANDIDATE_CAP;
+        if let Some((solved, names)) =
+            endgame(&origin, 0, &mut effort, options, &guard, &mut report)?
+        {
+            current = solved;
+            inserted = names;
         }
     }
 
@@ -502,14 +954,21 @@ pub fn resolve_csc_with_report(
             artifacts: Some(current.artifacts),
         })
     } else {
+        // Plateau rounds may have left `current` no better than an
+        // earlier net; report the true lowest-conflict model seen.
+        let best = if best_seen.conflicts < current.conflicts {
+            best_seen
+        } else {
+            current
+        };
         report.elapsed = started.elapsed();
         Ok(ResolveRun {
             outcome: ResolveOutcome::Failed {
-                best: (*current.stg).clone(),
-                remaining: current.conflicts,
+                best: (*best.stg).clone(),
+                remaining: best.conflicts,
             },
             report,
-            artifacts: Some(current.artifacts),
+            artifacts: Some(best.artifacts),
         })
     }
 }

@@ -188,6 +188,19 @@ impl CheckResponse {
             .filter(|v| !v.is_null())
     }
 
+    /// The revision-8 `report.structure` summary object (the detected
+    /// net `class`, the individual class flags, `exact`,
+    /// `concurrent_place_pairs`, `locked_signal_pairs`, `proved`),
+    /// when the server ran the structural pass for the job. `None` on
+    /// older revisions and for jobs that skipped the pass, so callers
+    /// need no protocol-version branch of their own.
+    pub fn structure_summary(&self) -> Option<&Value> {
+        self.raw
+            .get("report")
+            .and_then(|r| r.get("structure"))
+            .filter(|v| !v.is_null())
+    }
+
     /// The revision-3 `diagnostics` array of a `lint_rejected`
     /// admission error: one object per finding with `code`,
     /// `severity`, `line`/`col` span and `message`.
@@ -805,6 +818,64 @@ mod tests {
         let response = CheckResponse::from_value(raw).unwrap();
         assert!(response.is_retryable());
         assert_eq!(response.retry_after_ms, None);
+    }
+
+    #[test]
+    fn revision_8_responses_surface_the_structure_summary() {
+        let raw = json::parse(
+            r#"{"id":"g","proto":8,"status":"ok","verdict":"holds",
+                "report":{"elapsed_ms":1.0,
+                          "structure":{"class":"marked-graph",
+                                       "marked_graph":true,
+                                       "state_machine":false,
+                                       "free_choice":true,
+                                       "extended_free_choice":true,
+                                       "reduced_asymmetric_choice":true,
+                                       "exact":true,
+                                       "concurrent_place_pairs":3,
+                                       "locked_signal_pairs":2,
+                                       "signal_pairs":6,
+                                       "proved":false}}}"#,
+        )
+        .unwrap();
+        let response = CheckResponse::from_value(raw).unwrap();
+        assert_eq!(response.proto, 8);
+        let structure = response.structure_summary().expect("structure summary");
+        assert_eq!(
+            structure.get("class").and_then(Value::as_str),
+            Some("marked-graph")
+        );
+        assert_eq!(structure.get("exact").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            structure
+                .get("concurrent_place_pairs")
+                .and_then(Value::as_u64),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn older_revisions_read_structure_as_absent() {
+        // Revision 7 had no block at all; a revision-8 null block is
+        // equally absent — accessors are revision-tolerant both ways.
+        let raw = json::parse(
+            r#"{"id":"h","proto":7,"status":"ok","verdict":"holds",
+                "report":{"elapsed_ms":1.0}}"#,
+        )
+        .unwrap();
+        assert!(CheckResponse::from_value(raw)
+            .unwrap()
+            .structure_summary()
+            .is_none());
+        let raw = json::parse(
+            r#"{"id":"i","proto":8,"status":"ok","verdict":"holds",
+                "report":{"elapsed_ms":1.0,"structure":null}}"#,
+        )
+        .unwrap();
+        assert!(CheckResponse::from_value(raw)
+            .unwrap()
+            .structure_summary()
+            .is_none());
     }
 
     #[test]

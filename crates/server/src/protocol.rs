@@ -380,7 +380,18 @@ pub fn encode_synthesize_request(request: &SynthesizeRequest) -> String {
 /// the prefix itself is bit-identical for every worker count, so the
 /// block is purely observational and older clients that ignore
 /// unknown members keep working unchanged.
-pub const PROTO_VERSION: u64 = 7;
+/// Revision 8 added the optional `report.structure` block describing
+/// the structural net-class pass that now fronts every check (the
+/// detected `class` plus the individual class flags, whether the
+/// structural concurrency relation is `exact`, the concurrent
+/// place-pair and locked signal-pair counts, and `proved` — set when
+/// the class-gated fast path decided the verdict with no engine run),
+/// and the `candidates_generated` / `candidates_pruned` counters in
+/// the synthesize response's `resolve` block (conflict-core-guided
+/// candidate generation and its structural-concurrency pruning).
+/// The block is null for jobs that skipped the pass, so older clients
+/// that ignore unknown members keep working unchanged.
+pub const PROTO_VERSION: u64 = 8;
 
 /// Encodes the verdict response for a completed check.
 pub fn encode_check_response(id: &str, stg: &Stg, run: &CheckRun) -> String {
@@ -444,6 +455,14 @@ pub fn encode_synthesize_response(id: &str, run: &resolve::SynthesisRun) -> Stri
             (
                 "candidates_broken".to_owned(),
                 Value::from(r.candidates_broken as u64),
+            ),
+            (
+                "candidates_generated".to_owned(),
+                Value::from(r.candidates_generated as u64),
+            ),
+            (
+                "candidates_pruned".to_owned(),
+                Value::from(r.candidates_pruned as u64),
             ),
             ("rounds".to_owned(), Value::from(r.rounds.len() as u64)),
             ("warm_reuses".to_owned(), Value::from(r.warm_reuses as u64)),
@@ -682,6 +701,37 @@ fn encode_report(report: &ResourceReport) -> Value {
             },
         ),
         (
+            "structure".to_owned(),
+            match &report.structure {
+                None => Value::Null,
+                Some(s) => Value::Obj(vec![
+                    ("class".to_owned(), Value::from(s.class())),
+                    ("marked_graph".to_owned(), Value::from(s.marked_graph)),
+                    ("state_machine".to_owned(), Value::from(s.state_machine)),
+                    ("free_choice".to_owned(), Value::from(s.free_choice)),
+                    (
+                        "extended_free_choice".to_owned(),
+                        Value::from(s.extended_free_choice),
+                    ),
+                    (
+                        "reduced_asymmetric_choice".to_owned(),
+                        Value::from(s.reduced_asymmetric_choice),
+                    ),
+                    ("exact".to_owned(), Value::from(s.exact)),
+                    (
+                        "concurrent_place_pairs".to_owned(),
+                        Value::from(s.concurrent_place_pairs),
+                    ),
+                    (
+                        "locked_signal_pairs".to_owned(),
+                        Value::from(s.locked_signal_pairs),
+                    ),
+                    ("signal_pairs".to_owned(), Value::from(s.signal_pairs)),
+                    ("proved".to_owned(), Value::from(s.proved)),
+                ]),
+            },
+        ),
+        (
             "cegar".to_owned(),
             match &report.cegar {
                 None => Value::Null,
@@ -880,7 +930,18 @@ mod tests {
             v.get("recheck_prefix_events_built").and_then(Value::as_u64),
             Some(0)
         );
-        assert!(v.get("resolve").is_some_and(|r| !r.is_null()));
+        let resolve = v.get("resolve").expect("resolve block present");
+        assert!(!resolve.is_null());
+        // Revision 8: the guided-generation counters are always
+        // present (zero when guidance never fired).
+        assert!(resolve
+            .get("candidates_generated")
+            .and_then(Value::as_u64)
+            .is_some());
+        assert!(resolve
+            .get("candidates_pruned")
+            .and_then(Value::as_u64)
+            .is_some());
     }
 
     #[test]
@@ -1059,6 +1120,56 @@ mod tests {
         assert!(v
             .get("report")
             .and_then(|r| r.get("unfold"))
+            .is_some_and(Value::is_null));
+    }
+
+    #[test]
+    fn responses_carry_the_revision_8_structure_block() {
+        let stg = vme_read();
+        let run = csc_core::CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .structure(true)
+            .run()
+            .unwrap();
+        let line = encode_check_response("j14", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        let report = v.get("report").expect("report present");
+        let structure = report.get("structure").expect("structure block present");
+        assert!(!structure.is_null());
+        assert!(structure.get("class").and_then(Value::as_str).is_some());
+        for flag in [
+            "marked_graph",
+            "state_machine",
+            "free_choice",
+            "extended_free_choice",
+            "reduced_asymmetric_choice",
+            "exact",
+            "proved",
+        ] {
+            assert!(
+                structure.get(flag).and_then(Value::as_bool).is_some(),
+                "missing flag {flag}"
+            );
+        }
+        assert!(structure
+            .get("concurrent_place_pairs")
+            .and_then(Value::as_u64)
+            .is_some());
+        assert!(structure
+            .get("locked_signal_pairs")
+            .and_then(Value::as_u64)
+            .is_some());
+        // Jobs that skip the pass answer with a null block, so
+        // clients need no protocol-version branch.
+        let run = csc_core::CheckRequest::new(&stg, Property::Csc)
+            .engine(Engine::UnfoldingIlp)
+            .run()
+            .unwrap();
+        let line = encode_check_response("j15", &stg, &run);
+        let v = json::parse(&line).unwrap();
+        assert!(v
+            .get("report")
+            .and_then(|r| r.get("structure"))
             .is_some_and(Value::is_null));
     }
 

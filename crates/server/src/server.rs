@@ -153,6 +153,12 @@ struct Stats {
     /// `synthesize` jobs that surrendered, exhausted their budget, or
     /// hit a pipeline error (the `resolve_failed` response code).
     synthesize_failed: u64,
+    /// Cumulative guided candidates emitted across all `synthesize`
+    /// jobs (the resolver's conflict-core generator).
+    synthesize_candidates_generated: u64,
+    /// Cumulative guided host pairs discarded by the structural
+    /// concurrency relation across all `synthesize` jobs.
+    synthesize_candidates_pruned: u64,
     /// Race outcomes keyed like [`RACER_NAMES`].
     race_wins: [u64; 4],
     /// Races some *other* engine won while this one was retired.
@@ -548,6 +554,14 @@ impl Shared {
                                 Value::from(stats.synthesize_resolved),
                             ),
                             ("failed".to_owned(), Value::from(stats.synthesize_failed)),
+                            (
+                                "candidates_generated".to_owned(),
+                                Value::from(stats.synthesize_candidates_generated),
+                            ),
+                            (
+                                "candidates_pruned".to_owned(),
+                                Value::from(stats.synthesize_candidates_pruned),
+                            ),
                         ]),
                     ),
                     (
@@ -1238,11 +1252,15 @@ fn process_check(request: &CheckRequest, job: &Job, shared: &Arc<Shared>) -> Str
     // family whose property the LP relaxation proves answers without
     // any engine touching the state space, and the proof is cached in
     // the shared artifacts for repeat nets.
+    // The structure pass rides along too: its class-gated fast paths
+    // can answer without any engine, and the revision-8 responses
+    // surface the detected net class to clients.
     let mut check = csc_core::CheckRequest::new(stg, property)
         .engine(engine)
         .budget(budget)
         .artifacts(&artifacts)
-        .prelint(true);
+        .prelint(true)
+        .structure(true);
     if let Some(threads) = shared.config.unfold_threads {
         check = check.unfold_threads(threads);
     }
@@ -1327,6 +1345,10 @@ fn process_synthesize(request: &SynthesizeRequest, job: &Job, shared: &Arc<Share
                     stats.synthesize_resolved += 1;
                 } else {
                     stats.synthesize_failed += 1;
+                }
+                if let Some(r) = &run.resolve_report {
+                    stats.synthesize_candidates_generated += r.candidates_generated as u64;
+                    stats.synthesize_candidates_pruned += r.candidates_pruned as u64;
                 }
             }
             encode_synthesize_response(&request.id, &run)

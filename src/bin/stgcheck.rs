@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! stgcheck lint <file.g> [--format json] [--no-lp]   static analysis + LP proofs
+//! stgcheck structure <file.g> [--format json]   net classes + concurrency + locks
 //! stgcheck info <file.g>                     structural stats + consistency
 //! stgcheck unfold <file.g> [--dot] [--mcmillan]   prefix stats (optionally DOT)
 //! stgcheck usc <file.g> [--engine E]         Unique State Coding check
@@ -54,6 +55,15 @@
 //! semiflow and LP-relaxation proofs (`--no-lp` skips the LPs). Exit
 //! code 2 when any error-severity diagnostic fires, 0 otherwise.
 //!
+//! The `structure` command runs the purely structural net-class pass:
+//! marked-graph / state-machine / free-choice / extended-free-choice /
+//! reduced-asymmetric-choice membership (each refutation an `I0xx`
+//! informational diagnostic with a witnessing span), the
+//! Kovalyov–Esparza structural concurrency relation (exact for live
+//! free-choice nets, a sound over-approximation otherwise), and the
+//! signal lock-relation graph. No state space is explored. Exit code
+//! 2 only when the input fails to parse, 0 otherwise.
+//!
 //! Exit codes: 0 = property holds / ok, 1 = conflict found, 2 = usage
 //! or processing error, 3 = inconclusive (budget exhausted).
 
@@ -83,8 +93,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: stgcheck <lint|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|resolve|\
-     synthesize|dot|gen> ... \
+    "usage: stgcheck <lint|structure|info|unfold|usc|csc|check|normalcy|deadlock|report|synth|\
+     resolve|synthesize|dot|gen> ... \
      [--engine unfolding|explicit|symbolic|cegar|portfolio|race] [--timeout-ms N] [--max-events N] \
      [--unfold-threads N] [--max-signals N] [--server HOST:PORT] [--format human|json] [--no-lp] \
      [--to-g]"
@@ -109,6 +119,11 @@ fn run(args: &[String]) -> Result<u8, String> {
         // Lint consumes the raw bytes itself so even unparsable input
         // gets a coded, spanned diagnostic instead of a bare error.
         return lint_cmd(path, &source, &args[2..]);
+    }
+    if command == "structure" {
+        // Same raw-bytes discipline: parse failures become coded
+        // diagnostics, and the I0xx spans point into the source.
+        return structure_cmd(path, &source, &args[2..]);
     }
     let model = stg::parse_bytes(&source).map_err(|e| format!("{path}: {e}"))?;
     let flags = &args[2..];
@@ -166,6 +181,53 @@ fn lint_cmd(path: &str, source: &[u8], flags: &[String]) -> Result<u8, String> {
         print!("{}", outcome.report.render_human(path));
     }
     Ok(if outcome.report.has_errors() { 2 } else { 0 })
+}
+
+/// `stgcheck structure`: net classes, structural concurrency and the
+/// signal lock relation — purely structural, no state space.
+fn structure_cmd(path: &str, source: &[u8], flags: &[String]) -> Result<u8, String> {
+    let json = match flags.iter().position(|f| f == "--format") {
+        None => false,
+        Some(i) => match flags.get(i + 1).map(String::as_str) {
+            Some("json") => true,
+            Some("human") => false,
+            other => {
+                return Err(format!(
+                    "bad --format {} (human|json)",
+                    other.unwrap_or("<missing>")
+                ))
+            }
+        },
+    };
+    let outcome = lint::structure_bytes(source);
+    match outcome.report {
+        Some(report) => {
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_human(path));
+            }
+            Ok(0)
+        }
+        None => {
+            let diag = outcome.error.expect("no report implies a parse diagnostic");
+            match diag.span {
+                Some(span) => eprintln!(
+                    "{path}:{span}: {}[{}] {}",
+                    diag.severity(),
+                    diag.code,
+                    diag.message
+                ),
+                None => eprintln!(
+                    "{path}: {}[{}] {}",
+                    diag.severity(),
+                    diag.code,
+                    diag.message
+                ),
+            }
+            Ok(2)
+        }
+    }
 }
 
 /// Parses `--engine NAME`; `None` when the flag is absent (the local
@@ -610,6 +672,16 @@ fn synthesize_cmd(model: &Stg, flags: &[String]) -> Result<u8, String> {
             println!(
                 "{:<9} {:>9.1?}  {}",
                 stage.stage, stage.elapsed, stage.detail
+            );
+        }
+        if let Some(r) = &run.resolve_report {
+            println!(
+                "resolve candidates: {} tried, {} guided, {} pruned (concurrent hosts), \
+                 {} broken",
+                r.candidates_tried,
+                r.candidates_generated,
+                r.candidates_pruned,
+                r.candidates_broken
             );
         }
         if let Some(built) = run.pipeline.report.recheck_prefix_events_built {

@@ -182,3 +182,185 @@ b- limbo
     // First occurrence of "limbo": the arc `limbo b+` on line 6.
     assert_eq!((span.line, span.col), (6, 1), "span points at the place");
 }
+
+/// Helper for the I0xx span regressions below: structure-lints a
+/// `.g` source and returns the diagnostic for `code`, asserting it
+/// exists, is informational, and carries a span.
+fn structure_diag(src: &str, code: Code) -> (String, (usize, usize)) {
+    let outcome = lint::structure_bytes(src.as_bytes());
+    let report = outcome.report.expect("net must be parsable");
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code)
+        .unwrap_or_else(|| panic!("{code} expected; got {:?}", report.diagnostics));
+    assert_eq!(d.severity(), Severity::Info, "{code}");
+    let span = d.span.unwrap_or_else(|| panic!("{code} must carry a span"));
+    (
+        d.object
+            .clone()
+            .unwrap_or_else(|| panic!("{code} names an object")),
+        (span.line, span.col),
+    )
+}
+
+/// I001 (not a marked graph): the witnessing choice place, with the
+/// span of its first occurrence — and nothing further down the class
+/// hierarchy, because a plain free-choice split stays a state
+/// machine.
+#[test]
+fn i001_names_the_choice_place_with_its_span() {
+    let src = "\
+.model m
+.outputs a b
+.graph
+split a+
+split b+
+a+ qa
+qa a-
+a- split
+b+ qb
+qb b-
+b- split
+.marking { split }
+.initial_state 00
+.end
+";
+    let (object, span) = structure_diag(src, Code::NotMarkedGraph);
+    assert_eq!(object, "split");
+    assert_eq!(span, (4, 1), "first occurrence: the arc `split a+`");
+    let report = lint::structure_bytes(src.as_bytes()).report.unwrap();
+    assert!(
+        report.classes.state_machine && report.classes.free_choice,
+        "a free-choice split refutes only the marked-graph class"
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+}
+
+/// I002 (not a state machine): the witnessing fork transition, with
+/// the span of its first occurrence — on a pure fork/join marked
+/// graph, the only diagnostic.
+#[test]
+fn i002_names_the_fork_transition_with_its_span() {
+    let src = "\
+.model m
+.outputs a x y
+.graph
+a+ x+ y+
+x+ x-
+y+ y-
+x- a-
+y- a-
+a- a+
+.marking { <a-,a+> }
+.initial_state 000
+.end
+";
+    let (object, span) = structure_diag(src, Code::NotStateMachine);
+    assert_eq!(object, "a+");
+    assert_eq!(span, (4, 1), "first occurrence: the fork arc `a+ x+ y+`");
+    let report = lint::structure_bytes(src.as_bytes()).report.unwrap();
+    assert!(
+        report.classes.marked_graph,
+        "forks keep the net a marked graph"
+    );
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+}
+
+/// I003/I004 (not free-choice, not extended free-choice): the classic
+/// asymmetric confusion — a shared place whose consumer also waits on
+/// a private place — refutes both, each diagnostic naming the shared
+/// place with its span. The singleton overlap keeps I005 quiet.
+#[test]
+fn i003_and_i004_name_the_confused_place_with_spans() {
+    let src = "\
+.model m
+.outputs a c
+.graph
+shared a+
+shared c+
+other c+
+a+ qa
+qa a-
+a- shared
+c+ qc
+qc c-
+c- shared
+c- other
+.marking { shared other }
+.initial_state 00
+.end
+";
+    let (object, span) = structure_diag(src, Code::NotFreeChoice);
+    assert_eq!(object, "shared");
+    assert_eq!(span, (4, 1), "first occurrence: the arc `shared a+`");
+    let (object, span) = structure_diag(src, Code::NotExtendedFreeChoice);
+    assert_eq!(object, "shared");
+    assert_eq!(span, (4, 1));
+    let report = lint::structure_bytes(src.as_bytes()).report.unwrap();
+    assert!(
+        report.classes.reduced_asymmetric_choice,
+        "a singleton overlap stays reduced asymmetric choice"
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::NotReducedAsymmetricChoice),
+        "{:?}",
+        report.diagnostics
+    );
+}
+
+/// I005 (not reduced asymmetric choice): two places with overlapping,
+/// unequal, non-singleton postsets — Wimmel's RAC refutation — named
+/// by the first place of the pair with its span.
+#[test]
+fn i005_names_the_rac_refuting_place_with_its_span() {
+    let src = "\
+.model m
+.outputs a b c
+.graph
+p1 a+
+p1 b+
+p2 b+
+p2 c+
+a+ qa
+qa a-
+a- p1
+b+ qb
+qb b-
+b- p1
+b- p2
+c+ qc
+qc c-
+c- p2
+.marking { p1 p2 }
+.initial_state 000
+.end
+";
+    let (object, span) = structure_diag(src, Code::NotReducedAsymmetricChoice);
+    assert_eq!(object, "p1");
+    assert_eq!(span, (4, 1), "first occurrence: the arc `p1 a+`");
+    let report = lint::structure_bytes(src.as_bytes()).report.unwrap();
+    assert_eq!(report.classes.name(), "general");
+    // The full hierarchy collapses: every I0xx code fires once.
+    for code in [
+        Code::NotMarkedGraph,
+        Code::NotStateMachine,
+        Code::NotFreeChoice,
+        Code::NotExtendedFreeChoice,
+        Code::NotReducedAsymmetricChoice,
+    ] {
+        assert_eq!(
+            report.diagnostics.iter().filter(|d| d.code == code).count(),
+            1,
+            "{code}"
+        );
+        assert!(
+            report.diagnostics.iter().all(|d| d.span.is_some()),
+            "every structure diagnostic carries a span: {:?}",
+            report.diagnostics
+        );
+    }
+}

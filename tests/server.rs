@@ -53,7 +53,11 @@ fn mixed_batch_gets_per_job_verdicts_and_a_clean_shutdown() {
     // *completed* cached prefix is legitimately reused under any
     // smaller event cap (see docs/ARTIFACTS.md), yielding a real
     // verdict instead of the exhaustion this job exists to provoke.
-    let starved_g = stg::to_g_format(&stg::gen::ring::lazy_ring(2), "starved");
+    // The net must also not be a state machine: the server enables
+    // the structure pass on every check, and its one-token fast path
+    // would answer an SM net (such as a lazy ring) before the event
+    // cap could bite.
+    let starved_g = stg::to_g_format(&stg::gen::duplex::dup_4ph(1, false), "starved");
     client
         .submit(&CheckRequest {
             id: "starved".to_owned(),
